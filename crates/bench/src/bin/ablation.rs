@@ -1,0 +1,81 @@
+//! Ablation study of the reproduction's design choices (extension beyond
+//! the paper's figures):
+//!
+//! 1. **first-touch ordering** — Algorithm 1 packs each thread's elements
+//!    in the order its rewritten references walk them; the ablation packs
+//!    hyperplane/lexicographic instead.
+//! 2. **chunk capping** — chunk sizes and pattern repetitions are capped
+//!    at the thread's data (the paper's literal `S₁/l` is uncapped).
+//! 3. **template compilation** (§4.3) — layouts compiled for the
+//!    hierarchy *template* (shape only, minimal capacities) instead of
+//!    the concrete hierarchy.
+//! 4. **MQ second-level caching** ([50]) — the optimization under a
+//!    Multi-Queue storage cache.
+//!
+//! Each row is the suite-average normalized execution time (variant /
+//! default execution). Set `FLO_SCALE=small` for a fast run.
+
+use flo_bench::harness::{run_app, RunOverrides, Scheme};
+use flo_bench::tablefmt::Table;
+use flo_core::tracegen::generate_traces;
+use flo_core::{run_layout_pass, template_spec, ChunkAddresser, HierSpec, HierTemplate};
+use flo_core::{ParallelConfig, PassOptions, TargetLayers};
+use flo_sim::{simulate, PolicyKind, StorageSystem};
+use flo_workloads::all;
+use rayon::prelude::*;
+
+fn main() {
+    let scale = flo_bench::scale_from_env();
+    let topo = flo_bench::topology_for(scale);
+    let suite = all(scale);
+    let mut table = Table::new(
+        "Ablation — suite-average normalized execution time (lower is better)",
+        &["variant", "normalized_exec"],
+    );
+    let norm_with = |f: &(dyn Fn(&mut PassOptions) + Sync), policy: PolicyKind| -> f64 {
+        let norms: Vec<f64> = suite
+            .par_iter()
+            .map(|w| {
+                let base = run_app(w, &topo, policy, Scheme::Default, &RunOverrides::default());
+                let mut opts = PassOptions::default_for(&topo);
+                f(&mut opts);
+                let plan = run_layout_pass(&w.program, &topo, &opts);
+                let traces = generate_traces(&w.program, &opts.parallel, &plan.layouts, &topo);
+                let mut system = StorageSystem::new(topo.clone(), policy);
+                if policy == PolicyKind::Karma {
+                    system.set_karma_hints(&flo_bench::harness::karma_hints(&traces, &topo));
+                }
+                let r = simulate(&mut system, &traces, &w.run_config(opts.parallel.threads));
+                r.execution_time_ms / base.exec_ms()
+            })
+            .collect();
+        norms.iter().sum::<f64>() / norms.len() as f64
+    };
+
+    let full = norm_with(&|_| {}, PolicyKind::LruInclusive);
+    table.row(vec!["inter (all features)".into(), format!("{full:.3}")]);
+    let no_ft = norm_with(&|o| o.first_touch = false, PolicyKind::LruInclusive);
+    table.row(vec!["− first-touch ordering".into(), format!("{no_ft:.3}")]);
+    let no_cap = norm_with(&|o| o.cap_chunks = false, PolicyKind::LruInclusive);
+    table.row(vec!["− chunk capping".into(), format!("{no_cap:.3}")]);
+    let mq = norm_with(&|_| {}, PolicyKind::MqSecondLevel);
+    table.row(vec!["inter under MQ storage caches [50]".into(), format!("{mq:.3}")]);
+
+    // Template compilation: report the pattern granularity difference.
+    let cfg = ParallelConfig::default_for(topo.compute_nodes);
+    let concrete = HierSpec::build(&topo, &cfg.mapping, cfg.threads, TargetLayers::Both);
+    let template = template_spec(&HierTemplate::of(&concrete), topo.block_elems);
+    let a_concrete = ChunkAddresser::new(&concrete);
+    let a_template = ChunkAddresser::new(&template);
+    table.note(format!(
+        "template compilation (§4.3): chunk {}→{} elems, period {}→{} elems — one \
+         compilation serves every hierarchy of template {:?}",
+        a_concrete.chunk_elems(),
+        a_template.chunk_elems(),
+        a_concrete.period(),
+        a_template.period(),
+        HierTemplate::of(&concrete).fan_ins,
+    ));
+    println!("{table}");
+    flo_bench::persist(&table, "ablation");
+}

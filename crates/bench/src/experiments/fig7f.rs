@@ -1,0 +1,60 @@
+//! Fig. 7(f) — targeting individual layers vs the whole hierarchy.
+//! The paper: I/O-only gives 9.1%, storage-only 13.0%, both 23.7% —
+//! "targeting the entire storage hierarchy is critical".
+
+use crate::experiments::{mean, par_over_suite, r3};
+use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::tablefmt::Table;
+use crate::topology_for;
+use flo_core::TargetLayers;
+use flo_sim::PolicyKind;
+use flo_workloads::{all, Scale};
+
+/// Run the suite for each target-layer choice.
+pub fn run(scale: Scale) -> Table {
+    let topo = topology_for(scale);
+    let suite = all(scale);
+    let targets =
+        [TargetLayers::IoOnly, TargetLayers::StorageOnly, TargetLayers::Both];
+    let rows = par_over_suite(&suite, |w| {
+        targets
+            .iter()
+            .map(|&target| {
+                let ov = RunOverrides { mapping: None, target: Some(target) };
+                normalized_exec(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &ov)
+            })
+            .collect::<Vec<f64>>()
+    });
+    let mut t = Table::new(
+        "Fig. 7(f) — normalized execution time by targeted layers",
+        &["application", "io_only", "storage_only", "both"],
+    );
+    for (w, norms) in suite.iter().zip(&rows) {
+        let mut cells = vec![w.name.to_string()];
+        cells.extend(norms.iter().map(|&n| r3(n)));
+        t.row(cells);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    for c in 0..targets.len() {
+        let col: Vec<f64> = rows.iter().map(|r| r[c]).collect();
+        avg.push(r3(mean(&col)));
+    }
+    t.row(avg);
+    t.note("paper averages: I/O-only 9.1%, storage-only 13.0%, both 23.7% improvement");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_layers_at_least_as_good_as_single() {
+        let t = run(Scale::Small);
+        let io = t.cell_f64("AVERAGE", "io_only").unwrap();
+        let sc = t.cell_f64("AVERAGE", "storage_only").unwrap();
+        let both = t.cell_f64("AVERAGE", "both").unwrap();
+        assert!(both <= io + 0.02, "both ({both}) must beat io-only ({io})");
+        assert!(both <= sc + 0.02, "both ({both}) must beat storage-only ({sc})");
+    }
+}

@@ -1,0 +1,46 @@
+//! One module per experiment of §5. Every module exposes
+//! `run(scale) -> Table` so binaries and integration tests share the same
+//! entry points.
+
+pub mod fig7a;
+pub mod fig7b;
+pub mod fig7c;
+pub mod fig7d;
+pub mod fig7e;
+pub mod fig7f;
+pub mod fig7g;
+pub mod fig7h;
+pub mod optstats;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use flo_workloads::Workload;
+
+/// Format a ratio with three decimals.
+pub(crate) fn r3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a percentage with one decimal.
+pub(crate) fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Geometric-free average of a slice.
+pub(crate) fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Run `f` over the suite in parallel (rayon), preserving order.
+pub(crate) fn par_over_suite<T: Send>(
+    suite: &[Workload],
+    f: impl Fn(&Workload) -> T + Sync + Send,
+) -> Vec<T> {
+    use rayon::prelude::*;
+    suite.par_iter().map(f).collect()
+}

@@ -1,0 +1,63 @@
+//! §5.1 statistics — how many arrays the compiler optimizes per
+//! application (paper: from 3 to 17 arrays per code, ~72% optimized on
+//! average, all of s3asim's) and the pass compile times (paper: +36%
+//! average compile-time overhead, max ~50 s).
+
+use crate::experiments::{mean, par_over_suite, pct};
+use crate::tablefmt::Table;
+use crate::topology_for;
+use flo_core::{run_layout_pass, PassOptions};
+use flo_workloads::{all, Scale};
+
+/// Run the layout pass over the suite and summarize its diagnostics.
+pub fn run(scale: Scale) -> Table {
+    let topo = topology_for(scale);
+    let suite = all(scale);
+    let plans = par_over_suite(&suite, |w| {
+        let opts = PassOptions::default_for(&topo);
+        run_layout_pass(&w.program, &topo, &opts)
+    });
+    let mut t = Table::new(
+        "§5.1 — layout pass statistics",
+        &["application", "arrays", "optimized", "fraction_%", "compile_ms"],
+    );
+    let mut fractions = Vec::new();
+    for (w, plan) in suite.iter().zip(&plans) {
+        let optimized = plan.reports.iter().filter(|r| r.optimized).count();
+        fractions.push(plan.optimized_fraction());
+        t.row(vec![
+            w.name.to_string(),
+            plan.reports.len().to_string(),
+            optimized.to_string(),
+            pct(plan.optimized_fraction()),
+            format!("{:.1}", plan.compile_ms),
+        ]);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        "".into(),
+        "".into(),
+        pct(mean(&fractions)),
+        "".into(),
+    ]);
+    t.note("paper: ~72% of arrays optimized on average; all arrays of s3asim");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_in_paper_ballpark() {
+        let t = run(Scale::Small);
+        let avg = t.cell_f64("AVERAGE", "fraction_%").unwrap();
+        assert!(
+            (55.0..=95.0).contains(&avg),
+            "average optimized fraction {avg}% outside ballpark"
+        );
+        assert_eq!(t.cell("s3asim", "fraction_%"), Some("100.0"));
+        assert_eq!(t.cell("afores", "arrays"), Some("3"));
+        assert_eq!(t.cell("twer", "arrays"), Some("17"));
+    }
+}

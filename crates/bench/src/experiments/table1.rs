@@ -1,0 +1,43 @@
+//! Table 1 — major system parameters and their default values.
+
+use crate::tablefmt::Table;
+use crate::topology_for;
+use flo_workloads::Scale;
+
+/// Render Table 1 for the given scale's simulated cluster.
+pub fn run(scale: Scale) -> Table {
+    let topo = topology_for(scale);
+    let disk = flo_sim::DiskModel::paper_default();
+    let mut t = Table::new(
+        "Table 1 — major system parameters (simulated; paper values scaled, see DESIGN.md)",
+        &["parameter", "value"],
+    );
+    let mut kv = |k: &str, v: String| t.row(vec![k.to_string(), v]);
+    kv("number of compute nodes", topo.compute_nodes.to_string());
+    kv("number of I/O nodes", topo.io_nodes.to_string());
+    kv("number of storage nodes", topo.storage_nodes.to_string());
+    kv("data striping", format!("uses all {} storage nodes", topo.storage_nodes));
+    kv("stripe size", format!("{} elements (= 1 data block)", topo.block_elems));
+    kv("data block size", format!("{} elements", topo.block_elems));
+    kv("cache capacity / I/O node", format!("{} blocks", topo.io_cache_blocks));
+    kv("cache capacity / storage node", format!("{} blocks", topo.storage_cache_blocks));
+    kv("disk model", format!(
+        "seek {:.1} ms + rotation {:.1} ms (10k RPM) + transfer {:.1} ms",
+        disk.seek_ms, disk.rotational_ms, disk.transfer_ms
+    ));
+    t.note("paper: 64/16/4 nodes, 128 kB blocks, 1 GB / 2 GB caches, 10k RPM disks");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_node_counts() {
+        let t = run(Scale::Full);
+        assert_eq!(t.cell("number of compute nodes", "value"), Some("64"));
+        assert_eq!(t.cell("number of I/O nodes", "value"), Some("16"));
+        assert_eq!(t.cell("number of storage nodes", "value"), Some("4"));
+    }
+}

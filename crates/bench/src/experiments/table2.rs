@@ -1,0 +1,49 @@
+//! Table 2 — applications, storage-cache miss rates, and execution times
+//! under the default execution (row-major layouts, LRU inclusive caches).
+
+use crate::experiments::{par_over_suite, pct};
+use crate::harness::{run_app, RunOverrides, Scheme};
+use crate::tablefmt::Table;
+use crate::topology_for;
+use flo_sim::PolicyKind;
+use flo_workloads::{all, Scale};
+
+/// Run the default execution of every application.
+pub fn run(scale: Scale) -> Table {
+    let topo = topology_for(scale);
+    let suite = all(scale);
+    let results = par_over_suite(&suite, |w| {
+        run_app(w, &topo, PolicyKind::LruInclusive, Scheme::Default, &RunOverrides::default())
+    });
+    let mut t = Table::new(
+        "Table 2 — default execution: miss rates and execution time",
+        &["application", "io_miss_%", "storage_miss_%", "exec_time_ms", "arrays"],
+    );
+    for (w, out) in suite.iter().zip(&results) {
+        t.row(vec![
+            w.name.to_string(),
+            pct(out.report.io_miss_rate()),
+            pct(out.report.storage_miss_rate()),
+            format!("{:.1}", out.exec_ms()),
+            w.array_count().to_string(),
+        ]);
+    }
+    t.note("paper reports miss rates of 6.1–52.2% (I/O) and 4.4–64.2% (storage)");
+    t.note("absolute times are simulator milliseconds, not cluster minutes");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_whole_suite() {
+        let t = run(Scale::Small);
+        assert_eq!(t.rows.len(), 16);
+        // Group 1 apps must show low default I/O miss rates; group 3 high.
+        let cc1 = t.cell_f64("cc-ver-1", "io_miss_%").unwrap();
+        let qio = t.cell_f64("qio", "io_miss_%").unwrap();
+        assert!(cc1 < qio, "cc-ver-1 ({cc1}) must miss less than qio ({qio})");
+    }
+}

@@ -1,0 +1,55 @@
+//! Table 3 — cache misses after the inter-node layout optimization,
+//! normalized to the default execution (Table 2).
+
+use crate::experiments::{par_over_suite, r3};
+use crate::harness::{run_app, RunOverrides, Scheme};
+use crate::tablefmt::Table;
+use crate::topology_for;
+use flo_sim::PolicyKind;
+use flo_workloads::{all, Scale};
+
+/// Run default + optimized executions and normalize miss counts.
+pub fn run(scale: Scale) -> Table {
+    let topo = topology_for(scale);
+    let suite = all(scale);
+    let results = par_over_suite(&suite, |w| {
+        let base =
+            run_app(w, &topo, PolicyKind::LruInclusive, Scheme::Default, &RunOverrides::default());
+        let opt =
+            run_app(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default());
+        (base, opt)
+    });
+    let mut t = Table::new(
+        "Table 3 — normalized cache misses after optimization (1.0 = default)",
+        &["application", "io_caches", "storage_caches"],
+    );
+    for (w, (base, opt)) in suite.iter().zip(&results) {
+        let io = ratio(opt.report.layers.io.misses(), base.report.layers.io.misses());
+        let sc = ratio(opt.report.layers.storage.misses(), base.report.layers.storage.misses());
+        t.row(vec![w.name.to_string(), r3(io), r3(sc)]);
+    }
+    t.note("paper range: 0.43–0.98 (I/O), 0.51–0.98 (storage); group 1 near 1.0");
+    t
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group1_near_one_group3_below() {
+        let t = run(Scale::Small);
+        let twer = t.cell_f64("twer", "io_caches").unwrap();
+        let swim = t.cell_f64("swim", "io_caches").unwrap();
+        assert!(twer > 0.8, "twer must barely change, got {twer}");
+        assert!(swim < twer, "swim must cut misses more than twer");
+    }
+}

@@ -1,0 +1,97 @@
+//! # flo-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§5). One binary per experiment:
+//!
+//! | binary     | reproduces                                             |
+//! |------------|--------------------------------------------------------|
+//! | `table1`   | Table 1 — system parameters                            |
+//! | `table2`   | Table 2 — default-execution miss rates & times         |
+//! | `table3`   | Table 3 — normalized misses after optimization         |
+//! | `fig7a`    | Fig. 7(a) — normalized execution times                 |
+//! | `fig7b`    | Fig. 7(b) — thread-to-node mappings I–IV               |
+//! | `fig7c`    | Fig. 7(c) — cache-capacity sensitivity                 |
+//! | `fig7d`    | Fig. 7(d) — node-count sensitivity                     |
+//! | `fig7e`    | Fig. 7(e) — block-size sensitivity                     |
+//! | `fig7f`    | Fig. 7(f) — layers targeted                            |
+//! | `fig7g`    | Fig. 7(g) — vs computation mapping [26] & reindexing [27] |
+//! | `fig7h`    | Fig. 7(h) — under KARMA [47] and DEMOTE-LRU [44]       |
+//! | `optstats` | §5.1 — optimizable-array statistics & compile times    |
+//! | `ablation` | extension — design-choice ablations & MQ policy [50]   |
+//! | `calibrate`| the compute/IO calibration that fixed the workload constants |
+//!
+//! Each experiment function returns a [`tablefmt::Table`]; binaries print
+//! it and also write JSON under `target/experiments/`. Set `FLO_SCALE=small`
+//! for a fast run (test-sized workloads on a shrunken cluster).
+
+pub mod experiments;
+pub mod harness;
+pub mod tablefmt;
+
+pub use harness::{run_app, RunOutcome, Scheme};
+pub use tablefmt::Table;
+
+use flo_workloads::Scale;
+
+/// Read the workload scale from `FLO_SCALE` (`small` or `full`, default
+/// full).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("FLO_SCALE").as_deref() {
+        Ok("small") => Scale::Small,
+        _ => Scale::Full,
+    }
+}
+
+/// The simulated cluster for a given scale: the paper topology for full
+/// runs, a proportionally shrunken one (8 compute / 4 I/O / 2 storage) for
+/// small runs.
+pub fn topology_for(scale: Scale) -> flo_sim::Topology {
+    match scale {
+        Scale::Full => flo_sim::Topology::paper_default(),
+        Scale::Small => flo_sim::Topology {
+            compute_nodes: 8,
+            io_nodes: 4,
+            storage_nodes: 2,
+            io_cache_blocks: 24,
+            storage_cache_blocks: 48,
+            block_elems: 16,
+            cache_ways: 8,
+        },
+    }
+}
+
+/// Write an experiment table to `target/experiments/<name>.json` (best
+/// effort; failures are reported but not fatal).
+pub fn persist(table: &Table, name: &str) {
+    let dir = std::path::Path::new("target/experiments");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(table) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {path:?}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize table: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_topology_is_consistent() {
+        let t = topology_for(Scale::Small);
+        t.validate();
+        assert_eq!(t.compute_per_io(), 2);
+    }
+
+    #[test]
+    fn full_topology_is_paper_default() {
+        assert_eq!(topology_for(Scale::Full), flo_sim::Topology::paper_default());
+    }
+}

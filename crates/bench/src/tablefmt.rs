@@ -1,0 +1,134 @@
+//! Plain-text experiment tables (plus JSON serialization).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A titled table of strings, printable in fixed-width columns.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// Title line (e.g. `Fig. 7(a) — normalized execution time`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row, checking its width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Look up a cell by row key (first column) and header name — used by
+    /// integration tests to assert on experiment output.
+    pub fn cell(&self, row_key: &str, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        let row = self.rows.iter().find(|r| r[0] == row_key)?;
+        Some(&row[col])
+    }
+
+    /// Parse a cell as `f64`.
+    pub fn cell_f64(&self, row_key: &str, header: &str) -> Option<f64> {
+        self.cell(row_key, header)?.trim().parse().ok()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(c, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        for r in &self.rows {
+            writeln!(f, "{}", fmt_row(r))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Sample", &["app", "value"]);
+        t.row(vec!["swim".into(), "0.75".into()]);
+        t.row(vec!["sp".into(), "0.74".into()]);
+        t.note("a note");
+        t
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell("swim", "value"), Some("0.75"));
+        assert_eq!(t.cell_f64("sp", "value"), Some(0.74));
+        assert_eq!(t.cell("missing", "value"), None);
+        assert_eq!(t.cell("swim", "missing"), None);
+    }
+
+    #[test]
+    fn display_includes_everything() {
+        let out = format!("{}", sample());
+        assert!(out.contains("Sample"));
+        assert!(out.contains("swim"));
+        assert!(out.contains("note: a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows, t.rows);
+    }
+}

@@ -1,0 +1,48 @@
+//! Computation-mapping baseline [26].
+//!
+//! The HPDC'10 scheme clusters loop iterations over the storage-cache
+//! topology: iteration blocks that touch adjacent data are placed on
+//! threads that share caches, so that (under the unchanged row-major
+//! layout) each cache serves a compact region of the file. In our
+//! parallelization model this is precisely the `Blocked` iteration-block
+//! assignment combined with a hierarchy-ordered thread mapping: thread
+//! groups behind one I/O node receive consecutive runs of iteration
+//! blocks, and I/O-node groups behind one storage group receive
+//! consecutive super-runs.
+//!
+//! It is a *computation* restructuring: [`compmap_config`] only transforms
+//! the [`ParallelConfig`]; layouts remain the program's defaults.
+
+use crate::config::ParallelConfig;
+use flo_parallel::BlockAssignment;
+
+/// Derive the computation-mapping configuration from a default one.
+pub fn compmap_config(cfg: &ParallelConfig) -> ParallelConfig {
+    cfg.clone().with_assignment(BlockAssignment::Blocked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_polyhedral::{IterSpace, LoopNest};
+
+    #[test]
+    fn blocked_assignment_applied() {
+        let cfg = ParallelConfig::default_for(4);
+        let cm = compmap_config(&cfg);
+        assert_eq!(cm.assignment, BlockAssignment::Blocked);
+        assert_eq!(cm.threads, cfg.threads);
+        // The partition of a nest now hands contiguous runs to threads.
+        let nest = LoopNest::new(IterSpace::from_extents(&[64, 4]), vec![]);
+        let p = cm.partition_of(&nest);
+        let t0: Vec<usize> = p.blocks_of_thread(0).map(|b| b.index).collect();
+        assert_eq!(t0, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn original_config_untouched() {
+        let cfg = ParallelConfig::default_for(4);
+        let _ = compmap_config(&cfg);
+        assert_eq!(cfg.assignment, BlockAssignment::RoundRobin);
+    }
+}

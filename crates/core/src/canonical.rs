@@ -1,0 +1,136 @@
+//! Canonical-layout boundary transformations (§4.3, first limitation).
+//!
+//! The optimized file layouts are private to one compiled binary: "the
+//! data is not readable by other applications". The paper proposes adding
+//! two layout transformations — input arrays are converted *from* a
+//! canonical layout (row-major) when the program starts, and output arrays
+//! are converted back *to* a canonical layout (or a consumer's preferred
+//! layout) when it ends.
+//!
+//! This module implements that extension: [`RelayoutPlan`] computes the
+//! exact block-transfer schedule of such a conversion and its simulated
+//! cost, so the pass can report whether optimizing an array is still
+//! profitable once the one-time conversions are charged
+//! ([`amortization_threshold`]).
+
+use crate::layout::FileLayout;
+use flo_polyhedral::DataSpace;
+use flo_sim::{BlockAddr, DiskModel};
+
+/// Which boundary a conversion sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Boundary {
+    /// Canonical → optimized, before the first access.
+    Input,
+    /// Optimized → canonical (or a consumer layout), after the last write.
+    Output,
+}
+
+/// The block-level schedule of one array conversion.
+#[derive(Clone, Debug)]
+pub struct RelayoutPlan {
+    /// Which boundary this conversion sits on.
+    pub boundary: Boundary,
+    /// Source block reads, in the order the converter streams the
+    /// canonical file.
+    pub reads: u64,
+    /// Destination block writes (distinct destination blocks touched).
+    pub writes: u64,
+    /// Estimated wall-clock cost in milliseconds, assuming the canonical
+    /// side streams sequentially and the optimized side is written in
+    /// file-offset order (both sides sequential: a two-pass external
+    /// permutation).
+    pub cost_ms: f64,
+}
+
+/// Plan the conversion of one array between `FileLayout::RowMajor` and
+/// `layout`.
+pub fn plan_relayout(
+    space: &DataSpace,
+    layout: &FileLayout,
+    block_elems: u64,
+    boundary: Boundary,
+    disk: &DiskModel,
+) -> RelayoutPlan {
+    let elems = space.num_elements() as u64;
+    let src_blocks = elems.div_ceil(block_elems);
+    // Distinct destination blocks (holes in hierarchical layouts mean the
+    // destination can span more blocks than the dense source).
+    let mut dst = std::collections::HashSet::new();
+    for e in 0..elems {
+        let a = space.delinearize(e as i64);
+        let off = layout.offset_of(space, &a);
+        dst.insert(BlockAddr::containing(0, off, block_elems));
+    }
+    let writes = dst.len() as u64;
+    // A converter sorts the permutation offline, so both passes stream:
+    // read every source block once + write every destination block once,
+    // all sequential.
+    let cost_ms = (src_blocks + writes) as f64 * disk.sequential_ms();
+    RelayoutPlan { boundary, reads: src_blocks, writes, cost_ms }
+}
+
+/// How many times must the program's access savings be realized before a
+/// pair of boundary conversions pays for itself?
+///
+/// Returns the break-even count `ceil(conversion_cost / per_run_saving)`,
+/// or `None` when the optimization saves nothing (conversion can never
+/// amortize).
+pub fn amortization_threshold(conversion_cost_ms: f64, per_run_saving_ms: f64) -> Option<u64> {
+    if per_run_saving_ms <= 0.0 {
+        return None;
+    }
+    Some((conversion_cost_ms / per_run_saving_ms).ceil() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::HierLayout;
+
+    #[test]
+    fn dense_relayout_touches_every_block_once() {
+        let space = DataSpace::new(vec![16, 16]);
+        let plan = plan_relayout(
+            &space,
+            &FileLayout::ColMajor,
+            8,
+            Boundary::Input,
+            &DiskModel::paper_default(),
+        );
+        assert_eq!(plan.reads, 32);
+        assert_eq!(plan.writes, 32);
+        assert!(plan.cost_ms > 0.0);
+    }
+
+    #[test]
+    fn hierarchical_holes_increase_writes() {
+        // A sparse table: 4 elements scattered over a 100-element file.
+        let space = DataSpace::new(vec![2, 2]);
+        let layout = FileLayout::Hierarchical(HierLayout {
+            table: vec![0, 30, 60, 90],
+            file_elems: 91,
+        });
+        let plan =
+            plan_relayout(&space, &layout, 8, Boundary::Output, &DiskModel::paper_default());
+        assert_eq!(plan.reads, 1, "dense source is one block");
+        assert_eq!(plan.writes, 4, "each element lands in its own block");
+    }
+
+    #[test]
+    fn identity_relayout_is_cheapest() {
+        let space = DataSpace::new(vec![8, 8]);
+        let disk = DiskModel::paper_default();
+        let id = plan_relayout(&space, &FileLayout::RowMajor, 8, Boundary::Input, &disk);
+        let tr = plan_relayout(&space, &FileLayout::ColMajor, 8, Boundary::Input, &disk);
+        assert!(id.cost_ms <= tr.cost_ms);
+    }
+
+    #[test]
+    fn amortization_math() {
+        assert_eq!(amortization_threshold(100.0, 50.0), Some(2));
+        assert_eq!(amortization_threshold(100.0, 30.0), Some(4));
+        assert_eq!(amortization_threshold(100.0, 0.0), None);
+        assert_eq!(amortization_threshold(0.0, 10.0), Some(0));
+    }
+}

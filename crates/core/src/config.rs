@@ -1,0 +1,109 @@
+//! Parallelization configuration shared by the pass, the trace generator
+//! and the baselines.
+
+use flo_parallel::{BlockAssignment, BlockPartition, ThreadMapping};
+use flo_polyhedral::LoopNest;
+
+/// How the application's loop nests are parallelized and placed.
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Number of application threads (default execution: one per compute
+    /// node).
+    pub threads: usize,
+    /// The user-specified parallelized loop dimension `u` (§3). Nests
+    /// shallower than `u + 1` levels fall back to their outermost loop.
+    pub u: usize,
+    /// Iteration blocks per thread (`x = threads × blocks_per_thread`).
+    pub blocks_per_thread: usize,
+    /// Block-to-thread assignment (round-robin per §3; the
+    /// computation-mapping baseline uses `Blocked`).
+    pub assignment: BlockAssignment,
+    /// Thread-to-compute-node mapping (Mapping I by default).
+    pub mapping: ThreadMapping,
+}
+
+impl ParallelConfig {
+    /// The paper's default execution for `threads` threads: `u = 0`, four
+    /// blocks per thread, round-robin, identity mapping.
+    pub fn default_for(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            threads,
+            u: 0,
+            blocks_per_thread: 4,
+            assignment: BlockAssignment::RoundRobin,
+            mapping: ThreadMapping::identity(threads),
+        }
+    }
+
+    /// The effective parallel dimension for a nest of the given rank.
+    pub fn u_for_rank(&self, rank: usize) -> usize {
+        if self.u < rank {
+            self.u
+        } else {
+            0
+        }
+    }
+
+    /// The iteration-block partition of `nest` under this configuration.
+    pub fn partition_of(&self, nest: &LoopNest) -> BlockPartition {
+        let u = self.u_for_rank(nest.space.rank());
+        BlockPartition::new(
+            &nest.space,
+            u,
+            self.threads * self.blocks_per_thread,
+            self.threads,
+        )
+        .with_assignment(self.assignment)
+    }
+
+    /// Copy with a different thread mapping (Fig. 7(b) sweeps).
+    pub fn with_mapping(mut self, mapping: ThreadMapping) -> ParallelConfig {
+        assert_eq!(mapping.num_threads(), self.threads, "mapping size mismatch");
+        self.mapping = mapping;
+        self
+    }
+
+    /// Copy with a different block assignment (computation mapping).
+    pub fn with_assignment(mut self, assignment: BlockAssignment) -> ParallelConfig {
+        self.assignment = assignment;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_polyhedral::IterSpace;
+
+    #[test]
+    fn default_shape() {
+        let cfg = ParallelConfig::default_for(8);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.u, 0);
+        assert!(cfg.mapping.is_identity());
+    }
+
+    #[test]
+    fn u_falls_back_for_shallow_nests() {
+        let mut cfg = ParallelConfig::default_for(4);
+        cfg.u = 2;
+        assert_eq!(cfg.u_for_rank(3), 2);
+        assert_eq!(cfg.u_for_rank(2), 0);
+    }
+
+    #[test]
+    fn partition_respects_blocks_per_thread() {
+        let cfg = ParallelConfig::default_for(4);
+        let nest = LoopNest::new(IterSpace::from_extents(&[64, 8]), vec![]);
+        let p = cfg.partition_of(&nest);
+        assert_eq!(p.num_blocks(), 16);
+        assert_eq!(p.num_threads(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping size mismatch")]
+    fn mapping_size_checked() {
+        let cfg = ParallelConfig::default_for(4);
+        let _ = cfg.with_mapping(ThreadMapping::identity(8));
+    }
+}

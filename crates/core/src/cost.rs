@@ -1,0 +1,155 @@
+//! The block-footprint cost model.
+//!
+//! §2's central observation: a layout is good when each thread's accesses
+//! occupy few data blocks ("block footprint"), because the footprint is
+//! what competes for shared cache space at every layer. This module
+//! measures footprints from generated traces and aggregates them per cache
+//! group — the quantity the optimization provably shrinks, independent of
+//! any cache policy.
+
+use flo_sim::{ThreadTrace, Topology};
+use std::collections::HashSet;
+
+/// Footprint statistics of one run configuration.
+#[derive(Clone, Debug, Default)]
+pub struct FootprintReport {
+    /// Distinct blocks touched by each thread.
+    pub per_thread: Vec<usize>,
+    /// Distinct blocks flowing through each I/O-node cache.
+    pub per_io_group: Vec<usize>,
+    /// Distinct blocks flowing through each storage-node cache.
+    pub per_storage_group: Vec<usize>,
+    /// Total block requests (post-coalescing).
+    pub total_requests: usize,
+}
+
+impl FootprintReport {
+    /// Largest per-thread footprint.
+    pub fn max_thread_footprint(&self) -> usize {
+        self.per_thread.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean per-thread footprint.
+    pub fn mean_thread_footprint(&self) -> f64 {
+        if self.per_thread.is_empty() {
+            return 0.0;
+        }
+        self.per_thread.iter().sum::<usize>() as f64 / self.per_thread.len() as f64
+    }
+
+    /// Worst I/O-cache pressure: max group footprint over cache capacity.
+    pub fn io_pressure(&self, topo: &Topology) -> f64 {
+        self.per_io_group.iter().copied().max().unwrap_or(0) as f64
+            / topo.io_cache_blocks as f64
+    }
+
+    /// Worst storage-cache pressure.
+    pub fn storage_pressure(&self, topo: &Topology) -> f64 {
+        self.per_storage_group.iter().copied().max().unwrap_or(0) as f64
+            / topo.storage_cache_blocks as f64
+    }
+}
+
+/// Measure footprints of a set of traces on `topo`.
+pub fn footprint(traces: &[ThreadTrace], topo: &Topology) -> FootprintReport {
+    let mut per_thread = Vec::with_capacity(traces.len());
+    let mut io_sets: Vec<HashSet<_>> = vec![HashSet::new(); topo.io_nodes];
+    let mut sc_sets: Vec<HashSet<_>> = vec![HashSet::new(); topo.storage_nodes];
+    let mut total = 0usize;
+    for tr in traces {
+        let mut mine = HashSet::new();
+        let io = topo.io_node_of_compute(tr.compute_node);
+        for b in tr.blocks() {
+            mine.insert(b);
+            io_sets[io].insert(b);
+            sc_sets[topo.storage_node_of_block(b)].insert(b);
+        }
+        total += tr.len();
+        per_thread.push(mine.len());
+    }
+    FootprintReport {
+        per_thread,
+        per_io_group: io_sets.iter().map(HashSet::len).collect(),
+        per_storage_group: sc_sets.iter().map(HashSet::len).collect(),
+        total_requests: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ParallelConfig;
+    use crate::pass::{run_layout_pass, PassOptions};
+    use crate::tracegen::{default_layouts, generate_traces};
+    use flo_polyhedral::ProgramBuilder;
+    use flo_polyhedral::Program;
+
+    fn tiny_topology() -> Topology {
+        let mut t = Topology::tiny();
+        t.block_elems = 4;
+        t
+    }
+
+    /// Column-access program: the case the optimization is built for.
+    fn column_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", &[32, 32]);
+        b.nest(&[32, 32]).read(a, &[&[0, 1], &[1, 0]]).done();
+        b.build()
+    }
+
+    #[test]
+    fn optimization_shrinks_footprint() {
+        let program = column_program();
+        let topo = tiny_topology();
+        let opts = PassOptions::default_for(&topo);
+        let default_traces =
+            generate_traces(&program, &opts.parallel, &default_layouts(&program), &topo);
+        let plan = run_layout_pass(&program, &topo, &opts);
+        let opt_traces = generate_traces(&program, &opts.parallel, &plan.layouts, &topo);
+
+        let before = footprint(&default_traces, &topo);
+        let after = footprint(&opt_traces, &topo);
+        assert!(
+            after.max_thread_footprint() < before.max_thread_footprint(),
+            "optimized footprint {} must shrink below default {}",
+            after.max_thread_footprint(),
+            before.max_thread_footprint()
+        );
+        // The headline claim of §2: per-thread data lands in the minimal
+        // number of blocks (elements / block size, rounded up).
+        let per_thread_elems = 32 * 32 / topo.compute_nodes as i64;
+        let minimal = (per_thread_elems as u64).div_ceil(topo.block_elems) as usize;
+        assert!(
+            after.max_thread_footprint() <= minimal + 1,
+            "footprint {} not near-minimal {minimal}",
+            after.max_thread_footprint()
+        );
+    }
+
+    #[test]
+    fn footprint_counts_are_consistent() {
+        let program = column_program();
+        let topo = tiny_topology();
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        let traces = generate_traces(&program, &cfg, &default_layouts(&program), &topo);
+        let fp = footprint(&traces, &topo);
+        assert_eq!(fp.per_thread.len(), topo.compute_nodes);
+        assert_eq!(fp.per_io_group.len(), topo.io_nodes);
+        // Aggregate group footprints bound the per-thread ones.
+        let max_thread = fp.max_thread_footprint();
+        let max_group = fp.per_io_group.iter().copied().max().unwrap();
+        assert!(max_group >= max_thread);
+        assert!(fp.total_requests > 0);
+        assert!(fp.io_pressure(&topo) > 0.0);
+        assert!(fp.storage_pressure(&topo) > 0.0);
+    }
+
+    #[test]
+    fn empty_traces_empty_report() {
+        let topo = tiny_topology();
+        let fp = footprint(&[], &topo);
+        assert_eq!(fp.max_thread_footprint(), 0);
+        assert_eq!(fp.mean_thread_footprint(), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Static block-footprint estimation.
+//!
+//! [`crate::cost`] *measures* footprints from generated traces; this
+//! module *predicts* them from the program alone — the compile-time cost
+//! model a production pass uses to decide whether optimizing an array is
+//! profitable (e.g. against the canonical-conversion charges of
+//! [`crate::canonical`]) without simulating anything.
+//!
+//! For one thread and one reference, the touched region is the image of
+//! the thread's iteration sub-box under the affine map `a = Q·i + q`. Per
+//! data dimension `k` the image spans
+//! `Σ_j |Q[k][j]|·(trip_j − 1) + 1` indices (interval arithmetic, exact
+//! for boxes). Under a row-major layout the block count follows from
+//! whether the innermost data dimension is walked densely; under the
+//! optimized layout each thread's elements are consecutive, so the block
+//! count is simply `⌈elements / block⌉` — §2's "minimal block footprint".
+
+use crate::config::ParallelConfig;
+use flo_polyhedral::{LoopNest, Program};
+use flo_sim::Topology;
+
+/// Predicted per-thread block footprints for one array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayFootprintEstimate {
+    /// Elements the busiest thread touches.
+    pub elements: u64,
+    /// Blocks under the default row-major layout.
+    pub blocks_row_major: u64,
+    /// Blocks under the inter-node layout (the minimum possible).
+    pub blocks_optimized: u64,
+}
+
+impl ArrayFootprintEstimate {
+    /// Predicted footprint reduction factor (≥ 1).
+    pub fn reduction(&self) -> f64 {
+        self.blocks_row_major as f64 / self.blocks_optimized.max(1) as f64
+    }
+}
+
+/// Image extent of one data dimension under `Q` for the given per-loop
+/// trip counts.
+fn image_extent(q_row: &[i64], trips: &[i64]) -> u64 {
+    let span: i64 = q_row
+        .iter()
+        .zip(trips)
+        .map(|(&c, &t)| c.abs() * (t - 1).max(0))
+        .sum();
+    (span + 1) as u64
+}
+
+/// Estimate the busiest thread's footprint on `array` for one nest.
+///
+/// The thread's share of the parallel loop is a *set* of iteration blocks
+/// (round-robin ownership scatters it), so each owned block's image is
+/// accounted separately; the per-image block counts are upper bounds
+/// (misaligned inner spans may straddle one extra block per outer index).
+fn estimate_for_nest(
+    nest: &LoopNest,
+    array: flo_polyhedral::ArrayId,
+    cfg: &ParallelConfig,
+    block_elems: u64,
+) -> ArrayFootprintEstimate {
+    let partition = cfg.partition_of(nest);
+    let rank = nest.space.rank();
+    let u = partition.u();
+    let mut elements = 0u64;
+    let mut blocks_row = 0u64;
+    for r in nest.refs_to(array) {
+        let q = r.access.matrix();
+        let mut elems = 0u64;
+        let mut row_blocks = 0u64;
+        for owned in partition.blocks_of_thread(0) {
+            let trips: Vec<i64> = (0..rank)
+                .map(|k| if k == u { owned.width() } else { nest.space.trip_count(k) })
+                .collect();
+            let extents: Vec<u64> =
+                (0..q.rows()).map(|k| image_extent(q.row(k), &trips)).collect();
+            let e: u64 = extents.iter().product();
+            let inner = *extents.last().unwrap_or(&1);
+            let outer: u64 = extents[..extents.len().saturating_sub(1)].iter().product();
+            // Dense inner span: ceil(inner / block) blocks per outer index,
+            // plus one straddle block per outer index when misaligned.
+            let straddle = if inner.is_multiple_of(block_elems) { 0 } else { outer };
+            elems += e;
+            row_blocks += outer * inner.div_ceil(block_elems) + straddle;
+        }
+        elements = elements.max(elems);
+        blocks_row = blocks_row.max(row_blocks);
+    }
+    ArrayFootprintEstimate {
+        elements,
+        blocks_row_major: blocks_row,
+        blocks_optimized: elements.div_ceil(block_elems).max(1),
+    }
+}
+
+/// Estimate, per array, the busiest thread's footprint across the whole
+/// program (the maximum over nests).
+pub fn estimate_footprints(
+    program: &Program,
+    cfg: &ParallelConfig,
+    topo: &Topology,
+) -> Vec<ArrayFootprintEstimate> {
+    program
+        .array_ids()
+        .map(|array| {
+            let mut est = ArrayFootprintEstimate {
+                elements: 0,
+                blocks_row_major: 0,
+                blocks_optimized: 1,
+            };
+            for nest in program.nests() {
+                if nest.refs_to(array).next().is_none() {
+                    continue;
+                }
+                let e = estimate_for_nest(nest, array, cfg, topo.block_elems);
+                if e.blocks_row_major > est.blocks_row_major {
+                    est = e;
+                }
+            }
+            est
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::footprint;
+    use crate::pass::{run_layout_pass, PassOptions};
+    use crate::tracegen::{default_layouts, generate_traces};
+    use flo_polyhedral::ProgramBuilder;
+
+    fn tiny_topology() -> Topology {
+        let mut t = Topology::tiny();
+        t.block_elems = 4;
+        t
+    }
+
+    #[test]
+    fn image_extents() {
+        // identity row over trips (8, 8): extent 8.
+        assert_eq!(image_extent(&[1, 0], &[8, 8]), 8);
+        // skewed row i1 + i2: 8 + 8 - 1.
+        assert_eq!(image_extent(&[1, 1], &[8, 8]), 15);
+        // strided 2·i1: 2·7 + 1.
+        assert_eq!(image_extent(&[2, 0], &[8, 8]), 15);
+        // constant: 1.
+        assert_eq!(image_extent(&[0, 0], &[8, 8]), 1);
+    }
+
+    #[test]
+    fn transposed_access_predicts_large_row_major_footprint() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", &[32, 32]);
+        b.nest(&[32, 32]).read(a, &[&[0, 1], &[1, 0]]).done();
+        let program = b.build();
+        let topo = tiny_topology();
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        let est = &estimate_footprints(&program, &cfg, &topo)[0];
+        // Thread owns 8 of 32 columns → 32×8 = 256 elements.
+        assert_eq!(est.elements, 256);
+        assert_eq!(est.blocks_optimized, 64);
+        assert!(
+            est.blocks_row_major >= 2 * est.blocks_optimized,
+            "transposed row-major footprint must be far from minimal: {} vs {}",
+            est.blocks_row_major,
+            est.blocks_optimized
+        );
+    }
+
+    #[test]
+    fn row_access_is_already_minimal() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", &[32, 32]);
+        b.nest(&[32, 32]).read(a, &[&[1, 0], &[0, 1]]).done();
+        let program = b.build();
+        let topo = tiny_topology();
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        let est = &estimate_footprints(&program, &cfg, &topo)[0];
+        assert_eq!(est.blocks_row_major, est.blocks_optimized);
+        assert!((est.reduction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_bracket_measured_footprints() {
+        // The analytic estimate must agree with trace measurement within
+        // rounding for both layouts, on a transposed kernel.
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", &[32, 32]);
+        b.nest(&[32, 32]).read(a, &[&[0, 1], &[1, 0]]).done();
+        let program = b.build();
+        let topo = tiny_topology();
+        let opts = PassOptions::default_for(&topo);
+        let est = &estimate_footprints(&program, &opts.parallel, &topo)[0];
+
+        let def = footprint(
+            &generate_traces(&program, &opts.parallel, &default_layouts(&program), &topo),
+            &topo,
+        );
+        let plan = run_layout_pass(&program, &topo, &opts);
+        let opt = footprint(
+            &generate_traces(&program, &opts.parallel, &plan.layouts, &topo),
+            &topo,
+        );
+        let measured_def = def.max_thread_footprint() as u64;
+        let measured_opt = opt.max_thread_footprint() as u64;
+        assert!(
+            est.blocks_row_major >= measured_def,
+            "estimate {} must bound measured default {}",
+            est.blocks_row_major,
+            measured_def
+        );
+        assert!(
+            measured_opt <= est.blocks_optimized + 1,
+            "optimized measurement {} must be near the minimum {}",
+            measured_opt,
+            est.blocks_optimized
+        );
+    }
+
+    #[test]
+    fn skewed_access_counts_wavefront_span() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", &[16, 8]);
+        b.nest(&[8, 8]).read(a, &[&[1, 1], &[0, 1]]).done();
+        let program = b.build();
+        let topo = tiny_topology();
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        let est = &estimate_footprints(&program, &cfg, &topo)[0];
+        // Thread 0 owns wavefronts {0, 4} (round-robin, width 1): each
+        // owned wavefront's image spans a0 ∈ 8 values × a1 ∈ 8 values.
+        assert_eq!(est.elements, 2 * 8 * 8);
+    }
+}

@@ -1,0 +1,196 @@
+//! File layouts: the mapping from array elements to file offsets.
+//!
+//! A [`FileLayout`] is an injective map from the elements of one
+//! disk-resident array to offsets in its file (§2's "file layout"). The
+//! conventional layouts (row-major, column-major, arbitrary dimension
+//! permutations — the search space of the reindexing baseline [27]) are
+//! closed-form; the paper's inter-node layout is carried as the explicit
+//! address table Algorithm 1 constructs at compile time.
+
+use flo_polyhedral::DataSpace;
+
+/// A file layout for one array.
+#[derive(Clone, Debug)]
+pub enum FileLayout {
+    /// Row-major (the paper's default layout).
+    RowMajor,
+    /// Column-major (dimensions reversed).
+    ColMajor,
+    /// A general dimension permutation: `perm[k]` is the original
+    /// dimension stored at position `k` of the permuted order (outermost
+    /// first). `DimPerm(vec![0, 1, …])` is row-major.
+    DimPerm(Vec<usize>),
+    /// The inter-node hierarchical layout of §4: an explicit element →
+    /// offset table (indexed by row-major element index).
+    Hierarchical(HierLayout),
+}
+
+/// The table-backed hierarchical layout produced by Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct HierLayout {
+    /// `table[row_major_index(a)]` = file offset of element `a`.
+    pub table: Vec<u64>,
+    /// One past the largest assigned offset (the file's extent in
+    /// elements, holes included).
+    pub file_elems: u64,
+}
+
+impl FileLayout {
+    /// File offset (in elements) of array element `a` under this layout.
+    pub fn offset_of(&self, space: &DataSpace, a: &[i64]) -> u64 {
+        debug_assert!(space.contains(a), "offset_of: {a:?} outside array");
+        match self {
+            FileLayout::RowMajor => space.linearize(a) as u64,
+            FileLayout::ColMajor => {
+                let m = space.rank();
+                let mut off: i64 = 0;
+                for k in (0..m).rev() {
+                    off = off * space.extent(k) + a[k];
+                }
+                off as u64
+            }
+            FileLayout::DimPerm(perm) => {
+                debug_assert_eq!(perm.len(), space.rank(), "DimPerm rank mismatch");
+                let mut off: i64 = 0;
+                for &k in perm {
+                    off = off * space.extent(k) + a[k];
+                }
+                off as u64
+            }
+            FileLayout::Hierarchical(h) => h.table[space.linearize(a) as usize],
+        }
+    }
+
+    /// The file's extent in elements (equals the array size for dense
+    /// layouts; may exceed it for hierarchical layouts with padding
+    /// holes).
+    pub fn file_elems(&self, space: &DataSpace) -> u64 {
+        match self {
+            FileLayout::Hierarchical(h) => h.file_elems,
+            _ => space.num_elements() as u64,
+        }
+    }
+
+    /// All dimension permutations of an `m`-dimensional array — the search
+    /// space of the profiler-driven reindexing baseline [27] ("for a
+    /// three-dimensional disk-resident array, six possible file layouts").
+    pub fn all_permutations(m: usize) -> Vec<FileLayout> {
+        let mut perms = Vec::new();
+        let mut cur: Vec<usize> = (0..m).collect();
+        heap_permute(&mut cur, m, &mut perms);
+        perms.sort();
+        perms.into_iter().map(FileLayout::DimPerm).collect()
+    }
+
+    /// Short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            FileLayout::RowMajor => "row-major".into(),
+            FileLayout::ColMajor => "column-major".into(),
+            FileLayout::DimPerm(p) => format!("dim-perm{p:?}"),
+            FileLayout::Hierarchical(_) => "inter-node hierarchical".into(),
+        }
+    }
+}
+
+fn heap_permute(cur: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(cur.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(cur, k - 1, out);
+        if k.is_multiple_of(2) {
+            cur.swap(i, k - 1);
+        } else {
+            cur.swap(0, k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn space() -> DataSpace {
+        DataSpace::new(vec![3, 4])
+    }
+
+    #[test]
+    fn row_major_matches_linearize() {
+        let s = space();
+        assert_eq!(FileLayout::RowMajor.offset_of(&s, &[0, 0]), 0);
+        assert_eq!(FileLayout::RowMajor.offset_of(&s, &[0, 3]), 3);
+        assert_eq!(FileLayout::RowMajor.offset_of(&s, &[1, 0]), 4);
+        assert_eq!(FileLayout::RowMajor.offset_of(&s, &[2, 3]), 11);
+    }
+
+    #[test]
+    fn col_major_transposes() {
+        let s = space();
+        assert_eq!(FileLayout::ColMajor.offset_of(&s, &[0, 0]), 0);
+        assert_eq!(FileLayout::ColMajor.offset_of(&s, &[1, 0]), 1);
+        assert_eq!(FileLayout::ColMajor.offset_of(&s, &[0, 1]), 3);
+        assert_eq!(FileLayout::ColMajor.offset_of(&s, &[2, 3]), 11);
+    }
+
+    #[test]
+    fn dim_perm_identity_is_row_major() {
+        let s = space();
+        let id = FileLayout::DimPerm(vec![0, 1]);
+        let rev = FileLayout::DimPerm(vec![1, 0]);
+        for a in [[0i64, 0], [1, 2], [2, 3]] {
+            assert_eq!(id.offset_of(&s, &a), FileLayout::RowMajor.offset_of(&s, &a));
+            assert_eq!(rev.offset_of(&s, &a), FileLayout::ColMajor.offset_of(&s, &a));
+        }
+    }
+
+    #[test]
+    fn every_dense_layout_is_a_bijection() {
+        let s = DataSpace::new(vec![2, 3, 4]);
+        for layout in FileLayout::all_permutations(3) {
+            let mut seen = HashSet::new();
+            for e in 0..s.num_elements() {
+                let a = s.delinearize(e);
+                let off = layout.offset_of(&s, &a);
+                assert!(off < 24, "offset out of range for {}", layout.describe());
+                assert!(seen.insert(off), "duplicate offset for {}", layout.describe());
+            }
+            assert_eq!(seen.len(), 24);
+        }
+    }
+
+    #[test]
+    fn permutation_count_is_factorial() {
+        assert_eq!(FileLayout::all_permutations(1).len(), 1);
+        assert_eq!(FileLayout::all_permutations(2).len(), 2);
+        assert_eq!(FileLayout::all_permutations(3).len(), 6);
+        assert_eq!(FileLayout::all_permutations(4).len(), 24);
+    }
+
+    #[test]
+    fn permutations_are_distinct() {
+        let perms = FileLayout::all_permutations(3);
+        let keys: HashSet<String> = perms.iter().map(FileLayout::describe).collect();
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn hierarchical_uses_table() {
+        let s = DataSpace::new(vec![2, 2]);
+        let layout = FileLayout::Hierarchical(HierLayout {
+            table: vec![10, 4, 7, 0],
+            file_elems: 11,
+        });
+        assert_eq!(layout.offset_of(&s, &[0, 0]), 10);
+        assert_eq!(layout.offset_of(&s, &[1, 1]), 0);
+        assert_eq!(layout.file_elems(&s), 11);
+    }
+
+    #[test]
+    fn dense_file_extent_equals_array() {
+        let s = space();
+        assert_eq!(FileLayout::RowMajor.file_elems(&s), 12);
+    }
+}

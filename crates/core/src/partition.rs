@@ -1,0 +1,360 @@
+//! Step I: array partitioning via unimodular data transformations (§4.1).
+//!
+//! For each array we look for a transformed data hyperplane `h_A = e_v`
+//! (we fix `v = 0` WLOG) and a unimodular `D` such that two iterations on
+//! the same iteration hyperplane always touch data on the same transformed
+//! data hyperplane:
+//!
+//! ```text
+//! h_A · D · Q_k · E_u = 0          for the chosen references k   (Eq. 4)
+//! ```
+//!
+//! Writing `d = h_A · D` (row `v` of `D`), each reference contributes the
+//! linear constraint `d · (Q_k · E_uᵀ) = 0`, so `d` must lie in the
+//! intersection of the left nullspaces of the matrices `Q_k · E_uᵀ`. A
+//! solution is *useful* only if `d · Q · e_u ≠ 0` for the primary
+//! reference — otherwise the transformed coordinate would not vary across
+//! iteration blocks and every thread would share one data hyperplane.
+//!
+//! When no single `d` satisfies every reference, the paper's weighted
+//! strategy (Eq. 5) applies: process access matrices in decreasing weight
+//! order, greedily keeping each one whose constraints still admit a useful
+//! solution. The final primitive `d` is completed to a unimodular `D`.
+
+use flo_linalg::{complete_to_unimodular, left_nullspace, make_primitive, IMat};
+use flo_polyhedral::e_u_matrix;
+
+/// One distinct access-matrix constraint: `(Q, u, weight)`.
+#[derive(Clone, Debug)]
+pub struct AccessConstraint {
+    /// The access matrix (`m × n`).
+    pub q: IMat,
+    /// The parallelized loop dimension of the nests this matrix appears in.
+    pub u: usize,
+    /// The paper's weight `W(Q)` (Eq. 5).
+    pub weight: i64,
+}
+
+/// A successful Step I result.
+#[derive(Clone, Debug)]
+pub struct Partitioning {
+    /// The full unimodular data transformation `D` (row 0 is `d`).
+    pub d: IMat,
+    /// The partitioning row `d = h_A · D` (so `v = 0`).
+    pub d_row: Vec<i64>,
+    /// `d · Q₁ · e_u` for the primary reference — the (positive) rate at
+    /// which the transformed coordinate advances per iteration hyperplane.
+    pub alpha: i64,
+    /// Which input constraints the transformation satisfies.
+    pub satisfied: Vec<bool>,
+    /// Weight-fraction of references satisfied, in [0, 1].
+    pub satisfied_weight_fraction: f64,
+}
+
+/// Why Step I declined to transform an array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NotOptimizableReason {
+    /// The array is never referenced.
+    NoReferences,
+    /// Even the heaviest single reference admits no useful solution
+    /// (e.g. the access does not depend on the parallel loop at all, or
+    /// conflicting constraints annihilate every candidate).
+    NoUsefulSolution,
+}
+
+/// The outcome of Step I on one array.
+#[derive(Clone, Debug)]
+pub enum PartitionOutcome {
+    /// A transformation was found.
+    Optimized(Partitioning),
+    /// The array keeps its original layout.
+    NotOptimizable(NotOptimizableReason),
+}
+
+impl PartitionOutcome {
+    /// Whether a transformation was found.
+    pub fn is_optimized(&self) -> bool {
+        matches!(self, PartitionOutcome::Optimized(_))
+    }
+}
+
+/// The constraint matrix `M = Q · E_uᵀ` of one reference.
+fn constraint_matrix(q: &IMat, u: usize) -> IMat {
+    let n = q.cols();
+    q * &e_u_matrix(n, u).transpose()
+}
+
+/// `Q · e_u`: the column of `Q` along the parallelized dimension.
+fn q_e_u(q: &IMat, u: usize) -> Vec<i64> {
+    q.col(u)
+}
+
+/// Pick a useful primitive solution from the combined left-nullspace, or
+/// `None`. Usefulness is measured against the primary reference's
+/// `Q·e_u`; among useful basis vectors the one with the smallest L1 norm
+/// (then lexicographically smallest) is chosen so the compiler's output is
+/// simple and deterministic.
+fn pick_useful(basis: &[Vec<i64>], primary_qe: &[i64]) -> Option<Vec<i64>> {
+    let mut best: Option<Vec<i64>> = None;
+    for b in basis {
+        let dot = flo_linalg::dot(b, primary_qe);
+        if dot == 0 {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some(cur) => {
+                let l1 = |v: &[i64]| v.iter().map(|x| x.abs()).sum::<i64>();
+                (l1(b), b.clone()) < (l1(cur), cur.clone())
+            }
+        };
+        if better {
+            best = Some(b.clone());
+        }
+    }
+    best
+}
+
+/// Run Step I over the distinct access matrices of one array.
+///
+/// `constraints` must be sorted by decreasing weight (ties broken
+/// deterministically), as produced by
+/// [`flo_polyhedral::Program::access_profile`].
+pub fn partition_array(constraints: &[AccessConstraint]) -> PartitionOutcome {
+    if constraints.is_empty() {
+        return PartitionOutcome::NotOptimizable(NotOptimizableReason::NoReferences);
+    }
+    let m = constraints[0].q.rows();
+    debug_assert!(constraints.iter().all(|c| c.q.rows() == m), "mixed array ranks");
+    let primary = &constraints[0];
+    let primary_qe = q_e_u(&primary.q, primary.u);
+
+    // Greedy accumulation in weight order (the paper's "most beneficial
+    // linear system first").
+    let mut accepted: Vec<usize> = Vec::new();
+    let mut combined: Option<IMat> = None;
+    let mut current_d: Option<Vec<i64>> = None;
+    for (k, c) in constraints.iter().enumerate() {
+        let mk = constraint_matrix(&c.q, c.u);
+        let trial = match &combined {
+            None => mk.clone(),
+            Some(m0) => m0.hcat(&mk),
+        };
+        let basis = left_nullspace(&trial);
+        if let Some(d) = pick_useful(&basis, &primary_qe) {
+            combined = Some(trial);
+            accepted.push(k);
+            current_d = Some(d);
+        } else if k == 0 {
+            // The heaviest reference alone is unsolvable: give up.
+            return PartitionOutcome::NotOptimizable(NotOptimizableReason::NoUsefulSolution);
+        }
+        // Otherwise: skip this reference (it stays unsatisfied).
+    }
+    let d_raw = current_d.expect("accepted set is non-empty");
+    let mut d_row = make_primitive(&d_raw).expect("nullspace vectors are nonzero");
+    // Normalize the sign so the transformed coordinate increases with the
+    // parallel loop of the primary reference.
+    let mut alpha = flo_linalg::dot(&d_row, &primary_qe);
+    if alpha < 0 {
+        for x in &mut d_row {
+            *x = -*x;
+        }
+        alpha = -alpha;
+    }
+    debug_assert!(alpha > 0);
+    let d = complete_to_unimodular(&d_row, 0).expect("primitive row must complete");
+
+    let satisfied: Vec<bool> = (0..constraints.len()).map(|k| accepted.contains(&k)).collect();
+    let total_w: i64 = constraints.iter().map(|c| c.weight).sum();
+    let sat_w: i64 = constraints
+        .iter()
+        .zip(&satisfied)
+        .filter(|(_, &s)| s)
+        .map(|(c, _)| c.weight)
+        .sum();
+    PartitionOutcome::Optimized(Partitioning {
+        d,
+        d_row,
+        alpha,
+        satisfied,
+        satisfied_weight_fraction: if total_w == 0 { 1.0 } else { sat_w as f64 / total_w as f64 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(q: IMat, u: usize, weight: i64) -> AccessConstraint {
+        AccessConstraint { q, u, weight }
+    }
+
+    /// Verify Eq. (4): d · Q · E_uᵀ = 0 for satisfied constraints.
+    fn assert_satisfies(p: &Partitioning, q: &IMat, u: usize) {
+        let m = constraint_matrix(q, u);
+        let prod = m.vec_mul(&p.d_row);
+        assert!(prod.iter().all(|&x| x == 0), "d·Q·E_uᵀ != 0: {prod:?}");
+    }
+
+    #[test]
+    fn row_access_identity() {
+        // A[i1, i2] with u = 0: rows are per-thread slabs already; d should
+        // isolate dimension 0 of the data space.
+        let q = IMat::identity(2);
+        let out = partition_array(&[c(q.clone(), 0, 100)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert_satisfies(&p, &q, 0);
+        assert_eq!(p.d_row, vec![1, 0]);
+        assert_eq!(p.alpha, 1);
+        assert!(flo_linalg::is_unimodular(&p.d));
+    }
+
+    #[test]
+    fn column_access_transposes() {
+        // A[i2, i1] with u = 0: thread owns a set of *columns*; d must pick
+        // the second data dimension.
+        let q = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let out = partition_array(&[c(q.clone(), 0, 100)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert_satisfies(&p, &q, 0);
+        assert_eq!(p.d_row, vec![0, 1]);
+    }
+
+    #[test]
+    fn diagonal_access() {
+        // A[i1 + i2, i2] with u = 0 in a 2-deep nest: hyperplanes of
+        // constant i1 map to lines a0 - a1 = i1 → d = (1, -1).
+        let q = IMat::from_rows(&[&[1, 1], &[0, 1]]);
+        let out = partition_array(&[c(q.clone(), 0, 10)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert_satisfies(&p, &q, 0);
+        assert_eq!(p.alpha, 1);
+        // d·Q = (α, 0): check directly.
+        let dq = q.transpose().mul_vec(&p.d_row);
+        assert_eq!(dq, vec![1, 0]);
+    }
+
+    #[test]
+    fn matmul_example_from_paper() {
+        // W[i1, i2] in the 3-deep matmul nest (Fig. 3(b)), u = 0.
+        let q = IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0]]);
+        let out = partition_array(&[c(q.clone(), 0, 1000)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert_satisfies(&p, &q, 0);
+        assert_eq!(p.d_row, vec![1, 0]);
+    }
+
+    #[test]
+    fn access_independent_of_u_is_rejected() {
+        // V[i3, i2] in the matmul nest with u = 0: V's elements do not
+        // depend on i1 at all, so no data hyperplane separates threads.
+        let q = IMat::from_rows(&[&[0, 0, 1], &[0, 1, 0]]);
+        let out = partition_array(&[c(q, 0, 1000)]);
+        assert!(!out.is_optimized());
+    }
+
+    #[test]
+    fn weighted_conflict_prefers_heavy_reference() {
+        // Two conflicting references: row access (heavy) and column access
+        // (light). No d satisfies both; the heavy one must win.
+        let row = IMat::identity(2);
+        let col = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let out = partition_array(&[c(row.clone(), 0, 900), c(col.clone(), 0, 100)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert_satisfies(&p, &row, 0);
+        assert_eq!(p.satisfied, vec![true, false]);
+        assert!((p.satisfied_weight_fraction - 0.9).abs() < 1e-12);
+        assert_eq!(p.d_row, vec![1, 0]);
+    }
+
+    #[test]
+    fn compatible_references_all_satisfied() {
+        // Same Q with different offsets collapse earlier; here two distinct
+        // but compatible Qs: A[i1, i2] and A[i1, i2+i1]? Q2 = [[1,0],[1,1]].
+        // d = (1, 0) works for both: d·Q1 = (1,0), d·Q2 = (1,0).
+        let q1 = IMat::identity(2);
+        let q2 = IMat::from_rows(&[&[1, 0], &[1, 1]]);
+        let out = partition_array(&[c(q1.clone(), 0, 500), c(q2.clone(), 0, 500)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert_satisfies(&p, &q1, 0);
+        assert_satisfies(&p, &q2, 0);
+        assert_eq!(p.satisfied, vec![true, true]);
+        assert_eq!(p.satisfied_weight_fraction, 1.0);
+    }
+
+    #[test]
+    fn one_dimensional_array() {
+        // B[i1] in a 2-deep nest, u = 0: M = Q·E_0ᵀ = column of zeros →
+        // d = (1) works.
+        let q = IMat::from_rows(&[&[1, 0]]);
+        let out = partition_array(&[c(q.clone(), 0, 10)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert_eq!(p.d_row, vec![1]);
+        assert_satisfies(&p, &q, 0);
+    }
+
+    #[test]
+    fn one_dim_array_indexed_by_inner_loop_rejected() {
+        // B[i2] with u = 0: every thread sweeps the whole array; no
+        // partition exists. M = Q·E_0ᵀ = [1] → left nullspace empty.
+        let q = IMat::from_rows(&[&[0, 1]]);
+        let out = partition_array(&[c(q, 0, 10)]);
+        assert!(!out.is_optimized());
+    }
+
+    #[test]
+    fn inner_parallel_dimension() {
+        // A[i1, i2] parallelized on u = 1: threads own column slabs; d
+        // must pick data dimension 1.
+        let q = IMat::identity(2);
+        let out = partition_array(&[c(q.clone(), 1, 10)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert_eq!(p.d_row, vec![0, 1]);
+        let m = constraint_matrix(&q, 1);
+        assert!(m.vec_mul(&p.d_row).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn no_references() {
+        assert!(matches!(
+            partition_array(&[]),
+            PartitionOutcome::NotOptimizable(NotOptimizableReason::NoReferences)
+        ));
+    }
+
+    #[test]
+    fn negative_alpha_normalized() {
+        // A[-i1 + i2, i2]? Use Q = [[-1, 0], [0, 1]]: d = (1, 0) gives
+        // α = -1 → must be flipped to d = (-1, 0), α = 1.
+        let q = IMat::from_rows(&[&[-1, 0], &[0, 1]]);
+        let out = partition_array(&[c(q.clone(), 0, 10)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert!(p.alpha > 0);
+        assert_satisfies(&p, &q, 0);
+    }
+
+    #[test]
+    fn strided_access_alpha_greater_than_one() {
+        // A[2·i1, i2]: d = (1, 0), α = 2 — thread slabs are every other
+        // data hyperplane.
+        let q = IMat::from_rows(&[&[2, 0], &[0, 1]]);
+        let out = partition_array(&[c(q.clone(), 0, 10)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert_eq!(p.alpha, 2);
+        assert_satisfies(&p, &q, 0);
+    }
+
+    #[test]
+    fn three_conflicting_references_greedy() {
+        // Heaviest: row. Middle: col (conflicts). Lightest: row-compatible.
+        let row = IMat::identity(2);
+        let col = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let rowish = IMat::from_rows(&[&[1, 0], &[1, 1]]);
+        let out =
+            partition_array(&[c(row, 0, 600), c(col, 0, 300), c(rowish, 0, 100)]);
+        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        assert_eq!(p.satisfied, vec![true, false, true]);
+        assert!((p.satisfied_weight_fraction - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,321 @@
+//! Step II pattern arithmetic: hierarchical layout patterns and chunk
+//! addressing (§4.2, Algorithm 1 lines 10–14).
+//!
+//! The file is covered by a repeating *layout pattern* built bottom-up
+//! from the cache hierarchy:
+//!
+//! * each layer-1 cache's `l` threads own one *chunk* of `c = S₁/l`
+//!   elements inside a layer-1 pattern of size `P₁ = c·l`;
+//! * a layer-`i+1` pattern consists of `N_{i+1}` contiguous segments, one
+//!   per child cache group, each holding `t_i = S_{i+1}/(N_{i+1}·P_i)`
+//!   repetitions of that group's layer-`i` pattern;
+//! * the file repeats the top-layer pattern (one segment per top cache)
+//!   with period `k_top · P_top`.
+//!
+//! The starting address of thread `t`'s `x`-th chunk is then
+//! `base_t + Σ_{i<n} ((x/(t₁⋯t_{i-1})) mod t_i)·P_i + (x/(t₁⋯t_{n-1}))·period`,
+//! which is the paper's formula with the pattern sizes `P_i` in place of
+//! the raw capacities `S_i` — identical when capacities divide evenly, and
+//! still injective when they do not (capacities are rounded down to whole
+//! chunks/segments; the paper implicitly assumes even division).
+
+use crate::target::HierSpec;
+
+/// Closed-form chunk addressing for one hierarchy specification.
+#[derive(Clone, Debug)]
+pub struct ChunkAddresser {
+    chunk_elems: u64,
+    /// Pattern sizes `P_i`, bottom-up.
+    pattern_sizes: Vec<u64>,
+    /// Repetition counts `t_i` (length `levels - 1`).
+    reps: Vec<u64>,
+    /// File-level pattern period.
+    period: u64,
+    /// Per-thread base offsets.
+    base: Vec<u64>,
+}
+
+impl ChunkAddresser {
+    /// Derive the pattern geometry from a hierarchy specification, with
+    /// the chunk size given by the thread's cache share (`S₁/l`).
+    pub fn new(spec: &HierSpec) -> ChunkAddresser {
+        ChunkAddresser::for_data(spec, u64::MAX)
+    }
+
+    /// Derive the pattern geometry for an array whose threads own
+    /// `per_thread_elems` elements each. The chunk size is the thread's
+    /// cache share capped at the thread's actual data (rounded up to whole
+    /// blocks) — the paper's `S₁/l` assumes arrays much larger than the
+    /// caches; for smaller arrays an uncapped chunk would scatter the few
+    /// used blocks across a mostly-empty pattern.
+    pub fn for_data(spec: &HierSpec, per_thread_elems: u64) -> ChunkAddresser {
+        let n = spec.levels.len();
+        assert!(n >= 1, "ChunkAddresser: empty hierarchy");
+        let l = spec.threads_per_group() as u64;
+        // Top-down effective capacities ("built in a top-down fashion",
+        // §4.2): a layer's pattern cannot exceed its share of the parent
+        // segment. With the paper's own default parameters the storage
+        // caches are smaller than the combined I/O caches beneath them, so
+        // the I/O-level patterns shrink to S₂/N₂ when both layers are
+        // targeted.
+        let mut eff: Vec<u64> = spec.levels.iter().map(|lv| lv.capacity_elems).collect();
+        for i in (0..n.saturating_sub(1)).rev() {
+            let fan_in = (spec.levels[i].caches / spec.levels[i + 1].caches) as u64;
+            eff[i] = eff[i].min(eff[i + 1] / fan_in.max(1));
+        }
+        let cap0 = eff[0];
+        let block = spec.block_elems;
+        // Chunk size: the thread's share of its layer-1 cache, rounded
+        // down to whole blocks (at least one block), capped at the
+        // thread's own data size (rounded up to whole blocks).
+        let share = ((cap0 / l) / block * block).max(block);
+        let data_cap = per_thread_elems
+            .saturating_add(block - 1)
+            .checked_div(block)
+            .map(|b| b.saturating_mul(block))
+            .unwrap_or(u64::MAX)
+            .max(block);
+        let chunk_elems = share.min(data_cap);
+        // Chunks a thread actually fills; repetition counts beyond this
+        // would only spread the file with unused slots.
+        let chunks_per_thread = per_thread_elems
+            .saturating_add(chunk_elems - 1)
+            .checked_div(chunk_elems)
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let mut pattern_sizes = vec![chunk_elems * l];
+        let mut reps = Vec::new();
+        let mut slots = 1u64;
+        for i in 1..n {
+            let fan_in = spec.levels[i - 1].caches / spec.levels[i].caches;
+            assert!(
+                spec.levels[i - 1].caches.is_multiple_of(spec.levels[i].caches),
+                "hierarchy fan-in must be uniform"
+            );
+            let prev = pattern_sizes[i - 1];
+            let t_raw = (eff[i] / (fan_in as u64 * prev)).max(1);
+            // Cap: no more chunk slots per period than the thread fills.
+            let t_i = t_raw.min((chunks_per_thread / slots).max(1));
+            slots = slots.saturating_mul(t_i);
+            reps.push(t_i);
+            pattern_sizes.push(t_i * prev * fan_in as u64);
+        }
+        let k_top = spec.levels[n - 1].caches as u64;
+        let period = pattern_sizes[n - 1] * k_top;
+        // Per-thread bases from the thread's position chain in the tree.
+        let base = (0..spec.threads)
+            .map(|t| {
+                let mut addr = spec.rank_in_group(t) as u64 * chunk_elems;
+                let mut g = spec.group_of_thread[t];
+                for i in 1..n {
+                    let fan_in = spec.levels[i - 1].caches / spec.levels[i].caches;
+                    let w = (g % fan_in) as u64;
+                    g /= fan_in;
+                    // Segment of a child group inside the layer-(i+1)
+                    // pattern: P_{i+1} / N_{i+1} = t_i · P_i.
+                    addr += w * reps[i - 1] * pattern_sizes[i - 1];
+                }
+                addr += g as u64 * pattern_sizes[n - 1];
+                addr
+            })
+            .collect();
+        ChunkAddresser { chunk_elems, pattern_sizes, reps, period, base }
+    }
+
+    /// Elements per chunk (`c`).
+    pub fn chunk_elems(&self) -> u64 {
+        self.chunk_elems
+    }
+
+    /// File-level pattern period in elements.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Pattern sizes `P_i`, bottom-up (exposed for diagnostics).
+    pub fn pattern_sizes(&self) -> &[u64] {
+        &self.pattern_sizes
+    }
+
+    /// Starting file offset of the `x`-th chunk of `thread`
+    /// (Algorithm 1 lines 10–14).
+    pub fn chunk_start(&self, thread: usize, x: u64) -> u64 {
+        let mut addr = self.base[thread];
+        let mut q = x;
+        for (t_i, p_i) in self.reps.iter().zip(&self.pattern_sizes) {
+            addr += (q % t_i) * p_i;
+            q /= t_i;
+        }
+        addr + q * self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{HierSpec, TargetLayers};
+    use flo_parallel::ThreadMapping;
+    use flo_sim::Topology;
+    use std::collections::HashSet;
+
+    /// The paper's Fig. 6(c) architecture: 4 threads, 2 I/O caches (2
+    /// threads each), 1 storage cache, S₁ < S₂.
+    fn fig6_spec() -> HierSpec {
+        HierSpec {
+            levels: vec![
+                crate::target::HierLevel { caches: 2, capacity_elems: 8 },
+                crate::target::HierLevel { caches: 1, capacity_elems: 32 },
+            ],
+            threads: 4,
+            group_of_thread: vec![0, 0, 1, 1],
+            block_elems: 1,
+        }
+    }
+
+    #[test]
+    fn fig6_pattern_matches_paper() {
+        // S₁ = 8, l = 2 → c = 4, P₁ = 8. N₂ = 2, S₂ = 32 → t₁ = 2,
+        // P₂ = 32, period = 32.
+        let a = ChunkAddresser::new(&fig6_spec());
+        assert_eq!(a.chunk_elems(), 4);
+        assert_eq!(a.pattern_sizes(), &[8, 32]);
+        assert_eq!(a.period(), 32);
+        // SC2 pattern ⟨P1,P2,P1,P2,P3,P4,P3,P4⟩ in chunks of 4:
+        // P1's chunks: 0 and 8 (two repetitions of ⟨P1,P2⟩), then next
+        // period at 32.
+        assert_eq!(a.chunk_start(0, 0), 0);
+        assert_eq!(a.chunk_start(0, 1), 8);
+        assert_eq!(a.chunk_start(0, 2), 32);
+        // P2 is offset by one chunk.
+        assert_eq!(a.chunk_start(1, 0), 4);
+        assert_eq!(a.chunk_start(1, 1), 12);
+        // P3 opens the second half of the SC2 pattern (b = S₂/2 = 16).
+        assert_eq!(a.chunk_start(2, 0), 16);
+        assert_eq!(a.chunk_start(2, 1), 24);
+        assert_eq!(a.chunk_start(3, 0), 20);
+        assert_eq!(a.chunk_start(3, 1), 28);
+    }
+
+    #[test]
+    fn paper_formula_b1_b2() {
+        // Cross-check against the paper's b₁/b₂ formulas: t₁ = S₂/(2S₁),
+        // b₁ = (x mod t₁)·S₁, b₂ = (x div t₁)·S₂.
+        let a = ChunkAddresser::new(&fig6_spec());
+        let (s1, s2, t1) = (8u64, 32u64, 2u64);
+        for thread in 0..4usize {
+            let base = a.chunk_start(thread, 0);
+            for x in 0..6u64 {
+                let b1 = (x % t1) * s1;
+                let b2 = (x / t1) * s2;
+                assert_eq!(
+                    a.chunk_start(thread, x),
+                    base + b1 + b2,
+                    "thread {thread}, chunk {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_never_collide() {
+        let a = ChunkAddresser::new(&fig6_spec());
+        let mut seen: HashSet<u64> = HashSet::new();
+        for t in 0..4usize {
+            for x in 0..16u64 {
+                let start = a.chunk_start(t, x);
+                for e in start..start + a.chunk_elems() {
+                    assert!(seen.insert(e), "collision at element {e} (thread {t}, chunk {x})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_tile_the_file_densely() {
+        // With evenly dividing capacities the pattern leaves no holes.
+        let a = ChunkAddresser::new(&fig6_spec());
+        let mut covered: HashSet<u64> = HashSet::new();
+        for t in 0..4usize {
+            for x in 0..8u64 {
+                let start = a.chunk_start(t, x);
+                covered.extend(start..start + a.chunk_elems());
+            }
+        }
+        // 4 threads × 8 chunks × 4 elements = 128 contiguous elements.
+        assert_eq!(covered.len(), 128);
+        assert_eq!(*covered.iter().max().unwrap(), 127);
+    }
+
+    #[test]
+    fn real_topology_injective() {
+        let topo = Topology::paper_default();
+        let mapping = ThreadMapping::identity(64);
+        for target in TargetLayers::all() {
+            let spec = HierSpec::build(&topo, &mapping, 64, target);
+            let a = ChunkAddresser::new(&spec);
+            let mut seen: HashSet<u64> = HashSet::new();
+            for t in 0..64usize {
+                for x in 0..8u64 {
+                    let s = a.chunk_start(t, x);
+                    assert!(
+                        seen.insert(s),
+                        "chunk start collision under {target:?} (thread {t}, x {x})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_size_is_block_multiple() {
+        let topo = Topology::paper_default();
+        let mapping = ThreadMapping::identity(64);
+        let spec = HierSpec::build(&topo, &mapping, 64, TargetLayers::Both);
+        let a = ChunkAddresser::new(&spec);
+        assert_eq!(a.chunk_elems() % topo.block_elems, 0);
+        assert!(a.chunk_elems() >= topo.block_elems);
+    }
+
+    #[test]
+    fn single_level_hierarchy() {
+        let spec = HierSpec {
+            levels: vec![crate::target::HierLevel { caches: 2, capacity_elems: 8 }],
+            threads: 4,
+            group_of_thread: vec![0, 0, 1, 1],
+            block_elems: 1,
+        };
+        let a = ChunkAddresser::new(&spec);
+        // P₁ = 8, 2 top caches → period 16.
+        assert_eq!(a.period(), 16);
+        assert_eq!(a.chunk_start(0, 0), 0);
+        assert_eq!(a.chunk_start(1, 0), 4);
+        assert_eq!(a.chunk_start(2, 0), 8);
+        assert_eq!(a.chunk_start(3, 0), 12);
+        assert_eq!(a.chunk_start(0, 1), 16);
+    }
+
+    #[test]
+    fn undersized_lower_cache_clamps_reps() {
+        // Storage cache smaller than the combined I/O patterns: t must
+        // clamp to 1 and addressing stays injective.
+        let spec = HierSpec {
+            levels: vec![
+                crate::target::HierLevel { caches: 2, capacity_elems: 8 },
+                crate::target::HierLevel { caches: 1, capacity_elems: 4 },
+            ],
+            threads: 4,
+            group_of_thread: vec![0, 0, 1, 1],
+            block_elems: 1,
+        };
+        let a = ChunkAddresser::new(&spec);
+        let mut seen: HashSet<u64> = HashSet::new();
+        for t in 0..4usize {
+            for x in 0..8u64 {
+                let start = a.chunk_start(t, x);
+                for e in start..start + a.chunk_elems() {
+                    assert!(seen.insert(e), "collision at {e}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Which cache layers the layout targets (Fig. 7(f)) and the hierarchy
+//! abstraction Step II consumes.
+//!
+//! Step II views the storage system as a tree: threads → layer-1 caches →
+//! layer-2 caches → …. [`HierSpec`] flattens a [`flo_sim::Topology`] plus a
+//! thread mapping into that tree, for the layer subset selected by
+//! [`TargetLayers`].
+
+use flo_parallel::ThreadMapping;
+use flo_sim::Topology;
+
+/// Layer subset the optimization targets (the Fig. 7(f) experiment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TargetLayers {
+    /// Only the I/O-node caches.
+    IoOnly,
+    /// Only the storage-node caches.
+    StorageOnly,
+    /// The full hierarchy (the paper's main configuration).
+    Both,
+}
+
+impl TargetLayers {
+    /// All variants in Fig. 7(f) order.
+    pub fn all() -> [TargetLayers; 3] {
+        [TargetLayers::IoOnly, TargetLayers::StorageOnly, TargetLayers::Both]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TargetLayers::IoOnly => "I/O nodes only",
+            TargetLayers::StorageOnly => "storage nodes only",
+            TargetLayers::Both => "both layers",
+        }
+    }
+}
+
+/// One cache layer of the hierarchy tree, bottom-up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierLevel {
+    /// Number of caches at this layer.
+    pub caches: usize,
+    /// Capacity of each cache in array elements.
+    pub capacity_elems: u64,
+}
+
+/// The hierarchy tree Step II builds layout patterns for.
+#[derive(Clone, Debug)]
+pub struct HierSpec {
+    /// Cache layers from the compute side down to the disks.
+    pub levels: Vec<HierLevel>,
+    /// Number of application threads.
+    pub threads: usize,
+    /// `group_of_thread[t]` = index of the layer-0 cache thread `t` sits
+    /// behind.
+    pub group_of_thread: Vec<usize>,
+    /// Data-block size in elements (chunk sizes are rounded to blocks).
+    pub block_elems: u64,
+}
+
+impl HierSpec {
+    /// Build the tree for `threads` threads mapped by `mapping` onto
+    /// `topo`, targeting `target`.
+    pub fn build(
+        topo: &Topology,
+        mapping: &ThreadMapping,
+        threads: usize,
+        target: TargetLayers,
+    ) -> HierSpec {
+        assert_eq!(mapping.num_threads(), threads, "HierSpec: mapping size mismatch");
+        assert!(threads <= topo.compute_nodes, "more threads than compute nodes");
+        let io_level = HierLevel {
+            caches: topo.io_nodes,
+            capacity_elems: topo.io_cache_blocks as u64 * topo.block_elems,
+        };
+        // All I/O nodes reach all storage nodes via striping; for the tree
+        // abstraction, I/O nodes group contiguously onto storage caches
+        // (see DESIGN.md §4).
+        let storage_groups =
+            if topo.io_nodes.is_multiple_of(topo.storage_nodes) { topo.storage_nodes } else { 1 };
+        let storage_level = HierLevel {
+            caches: storage_groups,
+            capacity_elems: topo.storage_cache_blocks as u64 * topo.block_elems,
+        };
+        let io_group =
+            |t: usize| -> usize { topo.io_node_of_compute(mapping.node_of(t)) };
+        let (levels, group_of_thread): (Vec<HierLevel>, Vec<usize>) = match target {
+            TargetLayers::IoOnly => {
+                (vec![io_level], (0..threads).map(io_group).collect())
+            }
+            TargetLayers::StorageOnly => {
+                let per = topo.io_nodes / storage_groups;
+                (
+                    vec![storage_level],
+                    (0..threads).map(|t| io_group(t) / per).collect(),
+                )
+            }
+            TargetLayers::Both => (
+                vec![io_level, storage_level],
+                (0..threads).map(io_group).collect(),
+            ),
+        };
+        HierSpec { levels, threads, group_of_thread, block_elems: topo.block_elems }
+    }
+
+    /// Number of threads sharing each layer-0 cache (uniform by
+    /// construction for bijective mappings on divisible topologies).
+    pub fn threads_per_group(&self) -> usize {
+        let groups = self.levels[0].caches;
+        self.threads.div_ceil(groups)
+    }
+
+    /// The position of thread `t` among the threads of its layer-0 group
+    /// (ordered by thread id) — the `w₁` of the chunk-address formula.
+    pub fn rank_in_group(&self, t: usize) -> usize {
+        let g = self.group_of_thread[t];
+        (0..t).filter(|&s| self.group_of_thread[s] == g).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(target: TargetLayers) -> HierSpec {
+        let topo = Topology::paper_default();
+        let mapping = ThreadMapping::identity(64);
+        HierSpec::build(&topo, &mapping, 64, target)
+    }
+
+    #[test]
+    fn both_layers_shape() {
+        let s = spec(TargetLayers::Both);
+        assert_eq!(s.levels.len(), 2);
+        assert_eq!(s.levels[0].caches, 16);
+        assert_eq!(s.levels[1].caches, 4);
+        assert_eq!(s.threads_per_group(), 4);
+        // Thread 5 runs on node 5 → I/O node 1.
+        assert_eq!(s.group_of_thread[5], 1);
+        assert_eq!(s.rank_in_group(5), 1);
+        assert_eq!(s.rank_in_group(4), 0);
+    }
+
+    #[test]
+    fn io_only_shape() {
+        let s = spec(TargetLayers::IoOnly);
+        assert_eq!(s.levels.len(), 1);
+        assert_eq!(s.levels[0].caches, 16);
+    }
+
+    #[test]
+    fn storage_only_shape() {
+        let s = spec(TargetLayers::StorageOnly);
+        assert_eq!(s.levels.len(), 1);
+        assert_eq!(s.levels[0].caches, 4);
+        assert_eq!(s.threads_per_group(), 16);
+        // Threads 0..16 sit behind I/O nodes 0..4 → storage group 0.
+        assert_eq!(s.group_of_thread[15], 0);
+        assert_eq!(s.group_of_thread[16], 1);
+    }
+
+    #[test]
+    fn permuted_mapping_regroups_threads() {
+        let topo = Topology::paper_default();
+        let mapping = ThreadMapping::permutation(64, 2);
+        let s = HierSpec::build(&topo, &mapping, 64, TargetLayers::Both);
+        // Every group still has exactly 4 threads (bijection).
+        let mut counts = vec![0usize; 16];
+        for &g in &s.group_of_thread {
+            counts[g] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 4), "uneven groups: {counts:?}");
+    }
+
+    #[test]
+    fn capacity_in_elements() {
+        let s = spec(TargetLayers::Both);
+        let topo = Topology::paper_default();
+        assert_eq!(
+            s.levels[0].capacity_elems,
+            topo.io_cache_blocks as u64 * topo.block_elems
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Template hierarchies (§4.3, second limitation).
+//!
+//! The pass normally requires recompilation whenever a system parameter
+//! changes. The paper sketches an extension: compile for a *template* —
+//! "all hierarchies with the same number of high-level caches connected to
+//! a low-level cache can be considered as belonging to the same template,
+//! and a single compilation for all architectures that belong to the same
+//! template would suffice (with some performance loss)".
+//!
+//! [`HierTemplate`] captures exactly that equivalence class (fan-in shape
+//! plus threads-per-cache, ignoring absolute capacities), and
+//! [`template_spec`] produces the representative hierarchy a template
+//! compilation targets: capacity-free patterns where every chunk is one
+//! data block. A layout compiled for the template is valid on every
+//! member of the class; the granularity it gives up relative to a
+//! concrete-hierarchy compilation is reported by the `ablation` binary.
+
+use crate::target::{HierLevel, HierSpec};
+
+/// The shape of a hierarchy: fan-ins bottom-up plus threads per layer-1
+/// cache. Capacities are deliberately absent.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct HierTemplate {
+    /// Threads per layer-1 cache.
+    pub threads_per_cache: usize,
+    /// `fan_ins[i]` = layer-(i+1) caches per layer-(i+2) cache.
+    pub fan_ins: Vec<usize>,
+    /// Number of top-layer caches.
+    pub top_caches: usize,
+}
+
+impl HierTemplate {
+    /// The template of a concrete hierarchy.
+    pub fn of(spec: &HierSpec) -> HierTemplate {
+        let fan_ins = (1..spec.levels.len())
+            .map(|i| spec.levels[i - 1].caches / spec.levels[i].caches)
+            .collect();
+        HierTemplate {
+            threads_per_cache: spec.threads_per_group(),
+            fan_ins,
+            top_caches: spec.levels.last().map_or(0, |l| l.caches),
+        }
+    }
+
+    /// Whether two concrete hierarchies may share one compilation.
+    pub fn compatible(a: &HierSpec, b: &HierSpec) -> bool {
+        HierTemplate::of(a) == HierTemplate::of(b)
+    }
+}
+
+/// The representative hierarchy a template compilation targets: the same
+/// tree shape with *minimal* capacities (every thread's chunk is exactly
+/// one data block, every pattern repeats once). Layouts built against it
+/// are portable across every hierarchy of the template.
+pub fn template_spec(template: &HierTemplate, block_elems: u64) -> HierSpec {
+    let mut caches = template.top_caches;
+    let mut counts = vec![caches];
+    for &f in template.fan_ins.iter().rev() {
+        caches *= f;
+        counts.push(caches);
+    }
+    counts.reverse();
+    let threads = counts[0] * template.threads_per_cache;
+    let levels: Vec<HierLevel> = counts
+        .iter()
+        .enumerate()
+        .map(|(_i, &c)| HierLevel {
+            caches: c,
+            // Minimal capacity: one block per thread below this cache.
+            capacity_elems: block_elems
+                * (template.threads_per_cache * counts[0] / c) as u64,
+        })
+        .collect();
+    let group_of_thread =
+        (0..threads).map(|t| t / template.threads_per_cache).collect();
+    HierSpec { levels, threads, group_of_thread, block_elems }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::ChunkAddresser;
+    use crate::target::TargetLayers;
+    use flo_parallel::ThreadMapping;
+    use flo_sim::Topology;
+
+    fn spec_for(topo: &Topology) -> HierSpec {
+        let mapping = ThreadMapping::identity(topo.compute_nodes);
+        HierSpec::build(topo, &mapping, topo.compute_nodes, TargetLayers::Both)
+    }
+
+    #[test]
+    fn same_shape_different_capacities_share_a_template() {
+        let a = spec_for(&Topology::paper_default());
+        let b = spec_for(&Topology::paper_default().with_cache_scale(4, 1));
+        assert!(HierTemplate::compatible(&a, &b));
+    }
+
+    #[test]
+    fn different_fan_ins_do_not() {
+        let a = spec_for(&Topology::paper_default()); // (64,16,4)
+        let b = spec_for(&Topology::paper_default().with_node_counts(64, 8, 4));
+        assert!(!HierTemplate::compatible(&a, &b));
+    }
+
+    #[test]
+    fn template_of_paper_default() {
+        let t = HierTemplate::of(&spec_for(&Topology::paper_default()));
+        assert_eq!(t.threads_per_cache, 4);
+        assert_eq!(t.fan_ins, vec![4]);
+        assert_eq!(t.top_caches, 4);
+    }
+
+    #[test]
+    fn template_spec_reconstructs_the_shape() {
+        let topo = Topology::paper_default();
+        let concrete = spec_for(&topo);
+        let template = HierTemplate::of(&concrete);
+        let spec = template_spec(&template, topo.block_elems);
+        assert_eq!(spec.levels.len(), concrete.levels.len());
+        assert_eq!(spec.threads, concrete.threads);
+        assert_eq!(
+            spec.levels.iter().map(|l| l.caches).collect::<Vec<_>>(),
+            concrete.levels.iter().map(|l| l.caches).collect::<Vec<_>>()
+        );
+        assert!(HierTemplate::compatible(&spec, &concrete));
+    }
+
+    #[test]
+    fn template_layouts_are_minimal_and_injective() {
+        let topo = Topology::paper_default();
+        let template = HierTemplate::of(&spec_for(&topo));
+        let spec = template_spec(&template, topo.block_elems);
+        let addr = ChunkAddresser::new(&spec);
+        assert_eq!(addr.chunk_elems(), topo.block_elems, "template chunks are one block");
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..spec.threads {
+            for x in 0..4u64 {
+                assert!(seen.insert(addr.chunk_start(t, x)), "collision (t={t}, x={x})");
+            }
+        }
+    }
+}

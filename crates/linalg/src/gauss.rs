@@ -1,0 +1,230 @@
+//! Integer Gaussian elimination, rank, and nullspace bases.
+//!
+//! This is the "Integer Gaussian Elimination" the paper cites (Schrijver,
+//! *Theory of Linear and Integer Programming*) for solving the homogeneous
+//! systems of Step I. Elimination is performed exactly over the rationals
+//! (fraction-free, via cross-multiplication), and nullspace vectors are
+//! cleared of denominators and reduced to primitive integer vectors, so the
+//! caller always receives integral solutions suitable for rows of a
+//! unimodular matrix.
+
+use crate::matrix::IMat;
+use crate::rational::Rat;
+use crate::vecops::make_primitive;
+
+/// Result of reducing a matrix to row-echelon form over the rationals.
+struct Echelon {
+    /// Echelon matrix entries.
+    rows: Vec<Vec<Rat>>,
+    /// `pivot_cols[k]` is the column of the pivot in echelon row `k`.
+    pivot_cols: Vec<usize>,
+    cols: usize,
+}
+
+fn echelonize(m: &IMat) -> Echelon {
+    let (nr, nc) = (m.rows(), m.cols());
+    let mut rows: Vec<Vec<Rat>> =
+        (0..nr).map(|r| m.row(r).iter().map(|&x| Rat::from_int(x)).collect()).collect();
+    let mut pivot_cols = Vec::new();
+    let mut r = 0usize;
+    for c in 0..nc {
+        // Find a pivot row at or below r with a nonzero entry in column c.
+        let Some(p) = (r..nr).find(|&i| !rows[i][c].is_zero()) else {
+            continue;
+        };
+        rows.swap(r, p);
+        // Normalize the pivot row so the pivot is 1 (keeps entries small).
+        let inv = rows[r][c].recip();
+        for x in rows[r].iter_mut() {
+            *x = *x * inv;
+        }
+        // Eliminate column c from every other row (full reduction gives
+        // reduced row-echelon form, which simplifies nullspace extraction).
+        for i in 0..nr {
+            if i != r && !rows[i][c].is_zero() {
+                let f = rows[i][c];
+                for j in 0..nc {
+                    let sub = rows[r][j] * f;
+                    rows[i][j] = rows[i][j] - sub;
+                }
+            }
+        }
+        pivot_cols.push(c);
+        r += 1;
+        if r == nr {
+            break;
+        }
+    }
+    Echelon { rows, pivot_cols, cols: nc }
+}
+
+/// Rank of an integer matrix (exact).
+pub fn rank(m: &IMat) -> usize {
+    echelonize(m).pivot_cols.len()
+}
+
+/// A basis for the (right) nullspace `{ x : M·x = 0 }`, returned as
+/// primitive integer vectors. The basis has `cols - rank` elements; an empty
+/// vector means the nullspace is trivial.
+pub fn nullspace(m: &IMat) -> Vec<Vec<i64>> {
+    let ech = echelonize(m);
+    let nc = ech.cols;
+    let pivots = &ech.pivot_cols;
+    let is_pivot: Vec<bool> = {
+        let mut v = vec![false; nc];
+        for &c in pivots {
+            v[c] = true;
+        }
+        v
+    };
+    let mut basis = Vec::new();
+    for free in 0..nc {
+        if is_pivot[free] {
+            continue;
+        }
+        // Standard RREF nullspace vector: free var = 1, others from pivots.
+        let mut x = vec![Rat::ZERO; nc];
+        x[free] = Rat::ONE;
+        for (k, &pc) in pivots.iter().enumerate() {
+            // Row k reads: x[pc] + sum_{j free} a_kj x[j] = 0.
+            x[pc] = -ech.rows[k][free];
+        }
+        // Clear denominators: multiply by lcm of dens.
+        let lcm_den = x.iter().fold(1i128, |acc, r| {
+            let d = r.den();
+            acc / gcd128(acc, d) * d
+        });
+        let ints: Vec<i64> = x
+            .iter()
+            .map(|r| i64::try_from(r.num() * (lcm_den / r.den())).expect("nullspace overflow"))
+            .collect();
+        basis.push(make_primitive(&ints).expect("nullspace vector cannot be zero"));
+    }
+    basis
+}
+
+fn gcd128(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a == 0 {
+        1
+    } else {
+        a
+    }
+}
+
+/// A basis for the *left* nullspace `{ d : d·M = 0 }` as primitive integer
+/// row vectors. This is the solver Step I uses: `d` ranges over candidate
+/// rows `h_A·D` and `M = Q·E_uᵀ`.
+pub fn left_nullspace(m: &IMat) -> Vec<Vec<i64>> {
+    nullspace(&m.transpose())
+}
+
+/// Solve the homogeneous system `M·x = 0`; synonym for [`nullspace`] that
+/// mirrors the paper's phrasing ("k homogeneous linear systems to solve").
+pub fn solve_homogeneous(m: &IMat) -> Vec<Vec<i64>> {
+    nullspace(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops::dot;
+
+    #[test]
+    fn rank_basics() {
+        assert_eq!(rank(&IMat::identity(3)), 3);
+        assert_eq!(rank(&IMat::zeros(2, 5)), 0);
+        let m = IMat::from_rows(&[&[1, 2], &[2, 4]]);
+        assert_eq!(rank(&m), 1);
+        let m = IMat::from_rows(&[&[1, 2, 3], &[0, 1, 1], &[1, 3, 4]]);
+        assert_eq!(rank(&m), 2);
+    }
+
+    #[test]
+    fn nullspace_annihilates() {
+        let m = IMat::from_rows(&[&[1, 2, 3], &[0, 1, 1], &[1, 3, 4]]);
+        let ns = nullspace(&m);
+        assert_eq!(ns.len(), 1);
+        for v in &ns {
+            for r in 0..m.rows() {
+                assert_eq!(dot(m.row(r), v), 0, "nullspace vector not annihilated");
+            }
+        }
+    }
+
+    #[test]
+    fn nullspace_trivial_for_full_rank() {
+        assert!(nullspace(&IMat::identity(4)).is_empty());
+    }
+
+    #[test]
+    fn nullspace_of_zero_matrix_is_full() {
+        let ns = nullspace(&IMat::zeros(2, 3));
+        assert_eq!(ns.len(), 3);
+    }
+
+    #[test]
+    fn nullspace_vectors_are_primitive() {
+        let m = IMat::from_rows(&[&[2, 4, 6]]);
+        for v in nullspace(&m) {
+            assert_eq!(crate::vecops::gcd_slice(&v), 1);
+        }
+    }
+
+    #[test]
+    fn nullspace_with_fractions() {
+        // Row reduction produces fractional RREF entries here; the basis
+        // must still come back integral.
+        let m = IMat::from_rows(&[&[2, 3, 5], &[4, 6, 11]]);
+        let ns = nullspace(&m);
+        assert_eq!(ns.len(), 1);
+        assert_eq!(dot(m.row(0), &ns[0]), 0);
+        assert_eq!(dot(m.row(1), &ns[0]), 0);
+    }
+
+    #[test]
+    fn left_nullspace_annihilates_from_left() {
+        let m = IMat::from_rows(&[&[1, 0], &[2, 0], &[0, 1]]);
+        let lns = left_nullspace(&m);
+        assert_eq!(lns.len(), 1);
+        let d = &lns[0];
+        let prod = m.vec_mul(d);
+        assert!(prod.iter().all(|&x| x == 0), "left nullspace failed: {prod:?}");
+    }
+
+    #[test]
+    fn left_nullspace_step1_shape() {
+        // The Step I system from the paper's matmul example: array W with
+        // reference W[i1, i2] in a 3-deep loop (i1, i2, i3), parallelized on
+        // u = 0. Q = [[1,0,0],[0,1,0]], E_0 = rows {e2, e3}.
+        let q = IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0]]);
+        let e_u = IMat::identity(3).delete_row(0); // rows e_1, e_2 (0-indexed dims 1,2)
+        let m = &q * &e_u.transpose(); // 2 x 2
+        let lns = left_nullspace(&m);
+        // Q·E_uᵀ = [[0,0],[1,0]]... compute: Q cols: dims; e_uᵀ selects dims 1,2.
+        // Row0 of Q is e_0 -> annihilated by both -> left-nullspace nontrivial.
+        assert!(!lns.is_empty());
+        for d in &lns {
+            assert!(m.vec_mul(d).iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn rank_nullity_theorem() {
+        let cases = [
+            IMat::from_rows(&[&[1, 2, 3], &[4, 5, 6]]),
+            IMat::from_rows(&[&[1, 1], &[1, 1], &[2, 2]]),
+            IMat::identity(5),
+            IMat::zeros(3, 4),
+        ];
+        for m in cases {
+            assert_eq!(rank(&m) + nullspace(&m).len(), m.cols());
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Row-style Hermite Normal Form with its unimodular transform.
+//!
+//! `hermite_normal_form(M)` returns `(H, U)` with `H = U · M`, `U`
+//! unimodular, and `H` in row HNF: pivot columns strictly increase, pivots
+//! are positive, and entries below each pivot are zero while entries above
+//! are reduced modulo the pivot. The HNF is the canonical integer analogue
+//! of row-echelon form; the test-suite uses it to cross-check the Gaussian
+//! elimination kernel, and it provides lattice-membership queries used when
+//! validating Step I transformations.
+
+use crate::matrix::IMat;
+use crate::unimodular::is_unimodular;
+use crate::vecops::extended_gcd;
+
+/// The result of a Hermite Normal Form computation.
+#[derive(Clone, Debug)]
+pub struct HnfResult {
+    /// The HNF matrix `H = U · M`.
+    pub h: IMat,
+    /// The unimodular transform `U`.
+    pub u: IMat,
+    /// Columns containing pivots, in order.
+    pub pivot_cols: Vec<usize>,
+}
+
+impl HnfResult {
+    /// Rank of the original matrix (number of nonzero rows of `H`).
+    pub fn rank(&self) -> usize {
+        self.pivot_cols.len()
+    }
+}
+
+/// Compute the row-style Hermite Normal Form. See module docs.
+pub fn hermite_normal_form(m: &IMat) -> HnfResult {
+    let (nr, nc) = (m.rows(), m.cols());
+    let mut h = m.clone();
+    let mut u = IMat::identity(nr);
+    let mut pivot_cols = Vec::new();
+    let mut r = 0usize;
+    for c in 0..nc {
+        if r == nr {
+            break;
+        }
+        // Zero out entries below row r in column c by pairwise gcd row ops,
+        // accumulating them into the pivot row.
+        for i in r + 1..nr {
+            if h[(i, c)] == 0 {
+                continue;
+            }
+            let (g, x, y) = extended_gcd(h[(r, c)], h[(i, c)]);
+            let (a, b) = (h[(r, c)] / g, h[(i, c)] / g);
+            // Row op block [[x, y], [-b, a]] has determinant x·a + y·b = 1.
+            combine_rows(&mut h, r, i, x, y, -b, a);
+            combine_rows(&mut u, r, i, x, y, -b, a);
+        }
+        if h[(r, c)] == 0 {
+            continue;
+        }
+        // Make the pivot positive.
+        if h[(r, c)] < 0 {
+            negate_row(&mut h, r);
+            negate_row(&mut u, r);
+        }
+        // Reduce entries above the pivot into [0, pivot).
+        let p = h[(r, c)];
+        for i in 0..r {
+            let q = h[(i, c)].div_euclid(p);
+            if q != 0 {
+                sub_scaled_row(&mut h, i, r, q);
+                sub_scaled_row(&mut u, i, r, q);
+            }
+        }
+        pivot_cols.push(c);
+        r += 1;
+    }
+    debug_assert!(is_unimodular(&u));
+    HnfResult { h, u, pivot_cols }
+}
+
+/// Simultaneously replace rows `(i, j)` with `(x·ri + y·rj, z·ri + w·rj)`.
+fn combine_rows(m: &mut IMat, i: usize, j: usize, x: i64, y: i64, z: i64, w: i64) {
+    for c in 0..m.cols() {
+        let (a, b) = (m[(i, c)], m[(j, c)]);
+        m[(i, c)] = x * a + y * b;
+        m[(j, c)] = z * a + w * b;
+    }
+}
+
+fn negate_row(m: &mut IMat, r: usize) {
+    for c in 0..m.cols() {
+        m[(r, c)] = -m[(r, c)];
+    }
+}
+
+/// `row_i -= q · row_j`.
+fn sub_scaled_row(m: &mut IMat, i: usize, j: usize, q: i64) {
+    for c in 0..m.cols() {
+        m[(i, c)] -= q * m[(j, c)];
+    }
+}
+
+/// Whether integer vector `v` lies in the row lattice of `m` (the set of
+/// integer combinations of `m`'s rows). Decided by reducing `v` against the
+/// HNF rows.
+pub fn in_row_lattice(m: &IMat, v: &[i64]) -> bool {
+    assert_eq!(v.len(), m.cols(), "in_row_lattice: width mismatch");
+    let hnf = hermite_normal_form(m);
+    let mut rem: Vec<i64> = v.to_vec();
+    for (k, &pc) in hnf.pivot_cols.iter().enumerate() {
+        let p = hnf.h[(k, pc)];
+        if rem[pc] % p != 0 {
+            return false;
+        }
+        let q = rem[pc] / p;
+        for c in 0..rem.len() {
+            rem[c] -= q * hnf.h[(k, c)];
+        }
+    }
+    rem.iter().all(|&x| x == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_hnf_invariants(m: &IMat) {
+        let res = hermite_normal_form(m);
+        // H = U · M exactly.
+        assert_eq!(&res.u * m, res.h, "H != U·M");
+        assert!(is_unimodular(&res.u));
+        // Pivot structure: strictly increasing pivot columns, positive
+        // pivots, zeros below, reduced entries above.
+        for (k, &pc) in res.pivot_cols.iter().enumerate() {
+            let p = res.h[(k, pc)];
+            assert!(p > 0, "pivot must be positive");
+            for i in k + 1..res.h.rows() {
+                assert_eq!(res.h[(i, pc)], 0, "nonzero below pivot");
+            }
+            for i in 0..k {
+                let e = res.h[(i, pc)];
+                assert!((0..p).contains(&e), "entry above pivot not reduced: {e} vs {p}");
+            }
+        }
+        for w in res.pivot_cols.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn hnf_identity() {
+        let res = hermite_normal_form(&IMat::identity(3));
+        assert_eq!(res.h, IMat::identity(3));
+        assert_eq!(res.rank(), 3);
+    }
+
+    #[test]
+    fn hnf_invariants_on_samples() {
+        let samples = [
+            IMat::from_rows(&[&[2, 4, 4], &[-6, 6, 12], &[10, -4, -16]]),
+            IMat::from_rows(&[&[1, 2], &[2, 4]]),
+            IMat::from_rows(&[&[0, 0], &[0, 0]]),
+            IMat::from_rows(&[&[3, 3, 1, 4], &[0, 1, 0, 0], &[0, 0, 19, 16]]),
+            IMat::from_rows(&[&[0, 1], &[1, 0]]),
+        ];
+        for m in &samples {
+            check_hnf_invariants(m);
+        }
+    }
+
+    #[test]
+    fn hnf_rank_matches_gauss() {
+        let samples = [
+            IMat::from_rows(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]),
+            IMat::from_rows(&[&[2, 0], &[0, 3]]),
+            IMat::zeros(3, 2),
+        ];
+        for m in &samples {
+            assert_eq!(hermite_normal_form(m).rank(), crate::gauss::rank(m));
+        }
+    }
+
+    #[test]
+    fn row_lattice_membership() {
+        let m = IMat::from_rows(&[&[2, 0], &[0, 3]]);
+        assert!(in_row_lattice(&m, &[4, 3]));
+        assert!(in_row_lattice(&m, &[0, 0]));
+        assert!(!in_row_lattice(&m, &[1, 0]));
+        assert!(!in_row_lattice(&m, &[2, 1]));
+    }
+
+    #[test]
+    fn row_lattice_full_for_unimodular() {
+        let m = IMat::from_rows(&[&[1, 2], &[0, 1]]);
+        assert!(in_row_lattice(&m, &[17, -31]));
+    }
+}

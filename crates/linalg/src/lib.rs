@@ -1,0 +1,37 @@
+//! # flo-linalg
+//!
+//! Exact integer and rational linear algebra for the `flo` compiler.
+//!
+//! The array-partitioning step of the file layout optimizer (Step I of the
+//! SC'12 paper) solves homogeneous linear systems of the form
+//! `h_A · D · Q · E_uᵀ = 0` over the integers using *Integer Gaussian
+//! Elimination* and then completes the solution row to a full unimodular
+//! transformation matrix `D` (`det D = ±1`). Everything in this crate is
+//! exact: there is no floating point anywhere, so the compiler's decisions
+//! are deterministic and reproducible.
+//!
+//! Provided building blocks:
+//!
+//! * [`Rat`] — normalized `i128` rationals,
+//! * [`IMat`] — dense `i64` integer matrices with exact operations
+//!   (multiplication, transpose, Bareiss determinant, adjugate inverse),
+//! * [`gauss`] — fraction-free Gaussian elimination, rank, and integer
+//!   nullspace bases made of primitive vectors,
+//! * [`hnf`] — column-style Hermite Normal Form with its unimodular
+//!   transform,
+//! * [`unimodular`] — primitive-vector tests and unimodular completion
+//!   (extend a primitive row vector to a square matrix of determinant ±1).
+
+pub mod gauss;
+pub mod hnf;
+pub mod matrix;
+pub mod rational;
+pub mod unimodular;
+pub mod vecops;
+
+pub use gauss::{left_nullspace, nullspace, rank, solve_homogeneous};
+pub use hnf::{hermite_normal_form, HnfResult};
+pub use matrix::IMat;
+pub use rational::Rat;
+pub use unimodular::{complete_to_unimodular, is_unimodular, unimodular_inverse};
+pub use vecops::{dot, gcd, gcd_slice, is_primitive, lcm, make_primitive};

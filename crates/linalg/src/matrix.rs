@@ -1,0 +1,334 @@
+//! Dense integer matrices with exact operations.
+//!
+//! [`IMat`] is the workhorse type of the compiler: access matrices `Q`,
+//! data transformations `D`, and the `E_u` selector matrices are all `IMat`s.
+//! Entries are `i64`; the compiler only ever manipulates small entries
+//! (loop strides and unimodular combinations thereof), and every operation
+//! that could overflow uses checked arithmetic in debug builds via plain
+//! `i64` ops (overflow panics under `debug_assertions`).
+
+use crate::vecops::dot;
+use std::fmt;
+use std::ops::{Index, IndexMut, Mul};
+
+/// A dense row-major integer matrix.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IMat {
+    /// An `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> IMat {
+        IMat { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> IMat {
+        let mut m = IMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Build from a row-major nested slice. All rows must have equal length.
+    pub fn from_rows(rows: &[&[i64]]) -> IMat {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "IMat::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        IMat { rows: r, cols: c, data }
+    }
+
+    /// Build from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<i64>) -> IMat {
+        assert_eq!(data.len(), rows * cols, "IMat::from_vec: size mismatch");
+        IMat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True for a square matrix.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[i64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    pub fn row_mut(&mut self, r: usize) -> &mut [i64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<i64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Replace row `r` with `v`.
+    pub fn set_row(&mut self, r: usize, v: &[i64]) {
+        assert_eq!(v.len(), self.cols, "set_row: width mismatch");
+        self.row_mut(r).copy_from_slice(v);
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> IMat {
+        let mut t = IMat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `self · v`.
+    pub fn mul_vec(&self, v: &[i64]) -> Vec<i64> {
+        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
+        (0..self.rows).map(|r| dot(self.row(r), v)).collect()
+    }
+
+    /// Row-vector–matrix product `v · self`.
+    pub fn vec_mul(&self, v: &[i64]) -> Vec<i64> {
+        assert_eq!(v.len(), self.rows, "vec_mul: dimension mismatch");
+        (0..self.cols)
+            .map(|c| (0..self.rows).map(|r| v[r] * self[(r, c)]).sum())
+            .collect()
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hcat(&self, other: &IMat) -> IMat {
+        assert_eq!(self.rows, other.rows, "hcat: row count mismatch");
+        let mut m = IMat::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            m.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            m.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        m
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    pub fn vcat(&self, other: &IMat) -> IMat {
+        assert_eq!(self.cols, other.cols, "vcat: column count mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        IMat { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Delete row `r`, returning an `(rows-1) × cols` matrix.
+    pub fn delete_row(&self, r: usize) -> IMat {
+        assert!(r < self.rows, "delete_row: out of range");
+        let mut data = Vec::with_capacity((self.rows - 1) * self.cols);
+        for i in 0..self.rows {
+            if i != r {
+                data.extend_from_slice(self.row(i));
+            }
+        }
+        IMat { rows: self.rows - 1, cols: self.cols, data }
+    }
+
+    /// Exact determinant via the fraction-free Bareiss algorithm, computed
+    /// in `i128` to avoid intermediate overflow.
+    pub fn determinant(&self) -> i64 {
+        assert!(self.is_square(), "determinant: non-square matrix");
+        let n = self.rows;
+        if n == 0 {
+            return 1;
+        }
+        let mut a: Vec<Vec<i128>> =
+            (0..n).map(|r| self.row(r).iter().map(|&x| x as i128).collect()).collect();
+        let mut sign = 1i128;
+        let mut prev = 1i128;
+        for k in 0..n - 1 {
+            if a[k][k] == 0 {
+                // Pivot: find a row below with a nonzero entry in column k.
+                match (k + 1..n).find(|&r| a[r][k] != 0) {
+                    Some(r) => {
+                        a.swap(k, r);
+                        sign = -sign;
+                    }
+                    None => return 0,
+                }
+            }
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    a[i][j] = (a[i][j] * a[k][k] - a[i][k] * a[k][j]) / prev;
+                }
+                a[i][k] = 0;
+            }
+            prev = a[k][k];
+        }
+        let det = sign * a[n - 1][n - 1];
+        i64::try_from(det).expect("determinant overflows i64")
+    }
+
+    /// Whether every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&x| x == 0)
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[i64]> {
+        (0..self.rows).map(move |r| self.row(r))
+    }
+}
+
+impl Index<(usize, usize)> for IMat {
+    type Output = i64;
+    fn index(&self, (r, c): (usize, usize)) -> &i64 {
+        assert!(r < self.rows && c < self.cols, "IMat index out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for IMat {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut i64 {
+        assert!(r < self.rows && c < self.cols, "IMat index out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Mul for &IMat {
+    type Output = IMat;
+    fn mul(self, rhs: &IMat) -> IMat {
+        assert_eq!(self.cols, rhs.rows, "IMat mul: inner dimension mismatch");
+        let mut out = IMat::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let v = self[(r, k)];
+                if v == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += v * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IMat {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IMat {
+        IMat::from_rows(&[&[1, 2], &[3, 4]])
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(0, 1)], 2);
+        assert_eq!(m.row(1), &[3, 4]);
+        assert_eq!(m.col(0), vec![1, 3]);
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let i = IMat::identity(3);
+        assert_eq!(i[(0, 0)], 1);
+        assert_eq!(i[(0, 1)], 0);
+        assert!(IMat::zeros(2, 2).is_zero());
+        assert!(!i.is_zero());
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = sample();
+        let b = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let ab = &a * &b;
+        assert_eq!(ab, IMat::from_rows(&[&[2, 1], &[4, 3]]));
+        let i = IMat::identity(2);
+        assert_eq!(&a * &i, a);
+        assert_eq!(&i * &a, a);
+    }
+
+    #[test]
+    fn vector_products() {
+        let m = sample();
+        assert_eq!(m.mul_vec(&[1, 1]), vec![3, 7]);
+        assert_eq!(m.vec_mul(&[1, 1]), vec![4, 6]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = IMat::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().row(0), &[1, 4]);
+    }
+
+    #[test]
+    fn concatenation() {
+        let a = sample();
+        let h = a.hcat(&IMat::identity(2));
+        assert_eq!(h.cols(), 4);
+        assert_eq!(h.row(0), &[1, 2, 1, 0]);
+        let v = a.vcat(&IMat::identity(2));
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.row(3), &[0, 1]);
+    }
+
+    #[test]
+    fn delete_row_matches_e_u() {
+        // E_u for u = 1 (0-indexed) in 3 dims: identity minus row 1.
+        let e = IMat::identity(3).delete_row(1);
+        assert_eq!(e, IMat::from_rows(&[&[1, 0, 0], &[0, 0, 1]]));
+    }
+
+    #[test]
+    fn determinants() {
+        assert_eq!(sample().determinant(), -2);
+        assert_eq!(IMat::identity(4).determinant(), 1);
+        assert_eq!(IMat::zeros(3, 3).determinant(), 0);
+        // Needs a pivot swap.
+        let m = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        assert_eq!(m.determinant(), -1);
+        // A 3x3 with nontrivial elimination.
+        let m = IMat::from_rows(&[&[2, 0, 1], &[1, 1, 0], &[0, 3, 1]]);
+        assert_eq!(m.determinant(), 5);
+    }
+
+    #[test]
+    fn determinant_singular_lower_rank() {
+        let m = IMat::from_rows(&[&[1, 2, 3], &[2, 4, 6], &[0, 1, 1]]);
+        assert_eq!(m.determinant(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn bad_mul_panics() {
+        let a = IMat::zeros(2, 3);
+        let b = IMat::zeros(2, 3);
+        let _ = &a * &b;
+    }
+}

@@ -1,0 +1,200 @@
+//! Unimodular matrices: tests, exact inverses, and completion.
+//!
+//! A data transformation `a' = D·a` is valid for the paper's Step I only if
+//! `D` is *unimodular* (`det D = ±1`), which guarantees the transformed data
+//! space is an exact relabeling of the original (a bijection on ℤⁿ). Step I
+//! produces a single row `d = h_A·D` from the nullspace solver; this module
+//! extends that primitive row to a full unimodular matrix.
+
+use crate::matrix::IMat;
+use crate::vecops::{extended_gcd, is_primitive};
+
+/// Whether `m` is square with determinant ±1.
+pub fn is_unimodular(m: &IMat) -> bool {
+    m.is_square() && m.determinant().abs() == 1
+}
+
+/// Exact inverse of a unimodular integer matrix via the adjugate
+/// (`inv = adj(M) · det(M)` because `det = ±1`). Panics if `m` is not
+/// unimodular.
+pub fn unimodular_inverse(m: &IMat) -> IMat {
+    let n = m.rows();
+    let det = m.determinant();
+    assert!(m.is_square() && det.abs() == 1, "unimodular_inverse: det must be ±1");
+    let mut inv = IMat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            // Cofactor expansion: adj[(i,j)] = (-1)^{i+j} · minor(j, i).
+            let minor = minor_det(m, j, i);
+            let sign = if (i + j) % 2 == 0 { 1 } else { -1 };
+            inv[(i, j)] = sign * minor * det;
+        }
+    }
+    inv
+}
+
+fn minor_det(m: &IMat, skip_row: usize, skip_col: usize) -> i64 {
+    let n = m.rows();
+    let mut sub = IMat::zeros(n - 1, n - 1);
+    let mut ri = 0;
+    for r in 0..n {
+        if r == skip_row {
+            continue;
+        }
+        let mut ci = 0;
+        for c in 0..n {
+            if c == skip_col {
+                continue;
+            }
+            sub[(ri, ci)] = m[(r, c)];
+            ci += 1;
+        }
+        ri += 1;
+    }
+    sub.determinant()
+}
+
+/// Extend a primitive row vector `d` to an `n × n` unimodular matrix with
+/// `d` as row `row`. Returns `None` if `d` is not primitive (gcd ≠ 1).
+///
+/// Construction: reduce `d` to the unit row `e_0` by elementary unimodular
+/// column operations (pairwise extended gcds), accumulating the operations
+/// in `C` so that `d · C = e_0`; then `D = C⁻¹` has `d` as its first row,
+/// and a final row swap moves it to position `row`.
+pub fn complete_to_unimodular(d: &[i64], row: usize) -> Option<IMat> {
+    let n = d.len();
+    assert!(row < n, "complete_to_unimodular: row out of range");
+    if !is_primitive(d) {
+        return None;
+    }
+    let mut v: Vec<i64> = d.to_vec();
+    let mut c = IMat::identity(n);
+    for k in 1..n {
+        if v[k] == 0 {
+            continue;
+        }
+        let (g, x, y) = extended_gcd(v[0], v[k]);
+        let (a, b) = (v[0] / g, v[k] / g);
+        // Column op: col0' = x·col0 + y·colk ; colk' = -b·col0 + a·colk.
+        // The 2×2 block [[x, -b], [y, a]] has determinant x·a + y·b = 1.
+        for r in 0..n {
+            let (c0, ck) = (c[(r, 0)], c[(r, k)]);
+            c[(r, 0)] = x * c0 + y * ck;
+            c[(r, k)] = -b * c0 + a * ck;
+        }
+        v[0] = g;
+        v[k] = 0;
+    }
+    debug_assert_eq!(v[0].abs(), 1, "primitive vector must reduce to ±1");
+    if v[0] == -1 {
+        // Flip the sign of column 0 (determinant flips, still ±1).
+        for r in 0..n {
+            c[(r, 0)] = -c[(r, 0)];
+        }
+    }
+    debug_assert!({
+        let reduced = c.vec_mul(d);
+        reduced[0] == 1 && reduced[1..].iter().all(|&x| x == 0)
+    });
+    let mut result = unimodular_inverse(&c);
+    if row != 0 {
+        // Swap rows 0 and `row`.
+        let r0 = result.row(0).to_vec();
+        let rv = result.row(row).to_vec();
+        result.set_row(0, &rv);
+        result.set_row(row, &r0);
+    }
+    debug_assert!(is_unimodular(&result));
+    debug_assert_eq!(result.row(row), d);
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_unimodular() {
+        assert!(is_unimodular(&IMat::identity(3)));
+        assert!(!is_unimodular(&IMat::zeros(2, 2)));
+        assert!(!is_unimodular(&IMat::from_rows(&[&[2, 0], &[0, 1]])));
+        assert!(is_unimodular(&IMat::from_rows(&[&[0, 1], &[1, 0]])));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = IMat::from_rows(&[&[1, 2], &[0, 1]]);
+        let inv = unimodular_inverse(&m);
+        assert_eq!(&m * &inv, IMat::identity(2));
+        assert_eq!(&inv * &m, IMat::identity(2));
+    }
+
+    #[test]
+    fn inverse_3x3() {
+        let m = IMat::from_rows(&[&[1, 2, 3], &[0, 1, 4], &[0, 0, 1]]);
+        let inv = unimodular_inverse(&m);
+        assert_eq!(&m * &inv, IMat::identity(3));
+    }
+
+    #[test]
+    fn inverse_negative_det() {
+        let m = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        let inv = unimodular_inverse(&m);
+        assert_eq!(&m * &inv, IMat::identity(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "det must be ±1")]
+    fn inverse_rejects_non_unimodular() {
+        unimodular_inverse(&IMat::from_rows(&[&[2, 0], &[0, 1]]));
+    }
+
+    #[test]
+    fn completion_simple() {
+        let d = [1, 0, 0];
+        let m = complete_to_unimodular(&d, 0).unwrap();
+        assert!(is_unimodular(&m));
+        assert_eq!(m.row(0), &d);
+    }
+
+    #[test]
+    fn completion_general() {
+        for d in [
+            vec![2i64, 3],
+            vec![3, 5, 7],
+            vec![0, 1, 0],
+            vec![-1, 2, 4],
+            vec![5, -3],
+            vec![1, 1, 1, 1],
+            vec![6, 10, 15],
+        ] {
+            let m = complete_to_unimodular(&d, 0)
+                .unwrap_or_else(|| panic!("completion failed for {d:?}"));
+            assert!(is_unimodular(&m), "not unimodular for {d:?}: {m:?}");
+            assert_eq!(m.row(0), &d[..], "row 0 not preserved for {d:?}");
+        }
+    }
+
+    #[test]
+    fn completion_at_other_row() {
+        let d = [3, 5];
+        let m = complete_to_unimodular(&d, 1).unwrap();
+        assert!(is_unimodular(&m));
+        assert_eq!(m.row(1), &d);
+    }
+
+    #[test]
+    fn completion_rejects_imprimitive() {
+        assert!(complete_to_unimodular(&[2, 4], 0).is_none());
+        assert!(complete_to_unimodular(&[0, 0], 0).is_none());
+    }
+
+    #[test]
+    fn completion_1d() {
+        let m = complete_to_unimodular(&[1], 0).unwrap();
+        assert_eq!(m, IMat::identity(1));
+        let m = complete_to_unimodular(&[-1], 0).unwrap();
+        assert!(is_unimodular(&m));
+        assert_eq!(m.row(0), &[-1]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Scalar and vector helpers: gcd/lcm, extended gcd, dot products, and
+//! primitive (content-1) integer vectors.
+//!
+//! A *primitive* vector is one whose entries have greatest common divisor 1.
+//! Only primitive row vectors can appear as a row of a unimodular matrix, so
+//! Step I always reduces its nullspace solutions to primitive form before
+//! completion.
+
+/// Greatest common divisor of two integers. `gcd(0, 0) == 0`; the result is
+/// always non-negative.
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// Least common multiple. `lcm(0, x) == 0`. Panics on overflow in debug
+/// builds (the compiler only manipulates small loop-bound-sized integers).
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).abs() * b.abs()
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`
+/// and `g >= 0`.
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    if b == 0 {
+        if a < 0 {
+            return (-a, -1, 0);
+        }
+        return (a, 1, 0);
+    }
+    let (g, x1, y1) = extended_gcd(b, a % b);
+    (g, y1, x1 - (a / b) * y1)
+}
+
+/// GCD of all entries of a slice (non-negative; 0 for an all-zero slice).
+pub fn gcd_slice(v: &[i64]) -> i64 {
+    v.iter().fold(0, |acc, &x| gcd(acc, x))
+}
+
+/// Whether `v` is primitive, i.e. `gcd(v) == 1`.
+pub fn is_primitive(v: &[i64]) -> bool {
+    gcd_slice(v) == 1
+}
+
+/// Divide out the content of `v`, making it primitive. Additionally fixes
+/// the sign so the first nonzero entry is positive (canonical form, so the
+/// compiler's output does not depend on elimination order). Returns `None`
+/// for the zero vector.
+pub fn make_primitive(v: &[i64]) -> Option<Vec<i64>> {
+    let g = gcd_slice(v);
+    if g == 0 {
+        return None;
+    }
+    let mut out: Vec<i64> = v.iter().map(|&x| x / g).collect();
+    if let Some(&first) = out.iter().find(|&&x| x != 0) {
+        if first < 0 {
+            for x in &mut out {
+                *x = -*x;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Exact dot product of two equal-length vectors.
+pub fn dot(a: &[i64], b: &[i64]) -> i64 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(i64::MIN + 1, 1), 1);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+        assert_eq!(lcm(-4, 6), 12);
+        assert_eq!(lcm(7, 13), 91);
+    }
+
+    #[test]
+    fn extended_gcd_identity() {
+        for (a, b) in [(12, 18), (-12, 18), (0, 7), (7, 0), (1, 1), (240, 46)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
+            assert_eq!(a * x + b * y, g, "bezout broken for ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn extended_gcd_negative_pairs() {
+        for (a, b) in [(-5, -10), (-3, 7), (3, -7), (-1, 0), (0, -1)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert!(g >= 0);
+            assert_eq!(a * x + b * y, g);
+        }
+    }
+
+    #[test]
+    fn gcd_slice_and_primitive() {
+        assert_eq!(gcd_slice(&[4, 6, 8]), 2);
+        assert_eq!(gcd_slice(&[0, 0]), 0);
+        assert!(is_primitive(&[2, 3]));
+        assert!(!is_primitive(&[2, 4]));
+        assert!(!is_primitive(&[0, 0]));
+    }
+
+    #[test]
+    fn make_primitive_normalizes_sign() {
+        assert_eq!(make_primitive(&[-2, -4]).unwrap(), vec![1, 2]);
+        assert_eq!(make_primitive(&[0, -3, 6]).unwrap(), vec![0, 1, -2]);
+        assert_eq!(make_primitive(&[0, 0]), None);
+        assert_eq!(make_primitive(&[7]).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn dot_products() {
+        assert_eq!(dot(&[1, 2, 3], &[4, 5, 6]), 32);
+        assert_eq!(dot(&[], &[]), 0);
+        assert_eq!(dot(&[-1, 1], &[1, 1]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_mismatched_lengths_panics() {
+        dot(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the exact linear algebra kernel.
+
+use flo_linalg::*;
+use proptest::prelude::*;
+
+/// Strategy: a small integer matrix (entries in [-9, 9]) of the given shape.
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = IMat> {
+    proptest::collection::vec(-9i64..=9, rows * cols)
+        .prop_map(move |data| IMat::from_vec(rows, cols, data))
+}
+
+/// Strategy: a small nonzero vector.
+fn nonzero_vec(len: usize) -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-9i64..=9, len).prop_filter("nonzero", |v| v.iter().any(|&x| x != 0))
+}
+
+proptest! {
+    #[test]
+    fn nullspace_vectors_annihilate(m in (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| mat(r, c))) {
+        for v in nullspace(&m) {
+            let prod = m.mul_vec(&v);
+            prop_assert!(prod.iter().all(|&x| x == 0), "M·v != 0: {prod:?}");
+            prop_assert_eq!(gcd_slice(&v), 1, "nullspace vector not primitive");
+        }
+    }
+
+    #[test]
+    fn rank_nullity(m in (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| mat(r, c))) {
+        prop_assert_eq!(rank(&m) + nullspace(&m).len(), m.cols());
+    }
+
+    #[test]
+    fn left_nullspace_annihilates(m in (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| mat(r, c))) {
+        for d in left_nullspace(&m) {
+            let prod = m.vec_mul(&d);
+            prop_assert!(prod.iter().all(|&x| x == 0), "d·M != 0: {prod:?}");
+        }
+    }
+
+    #[test]
+    fn completion_is_unimodular(v in (1usize..=5).prop_flat_map(nonzero_vec)) {
+        if let Some(d) = make_primitive(&v) {
+            let m = complete_to_unimodular(&d, 0).expect("primitive vector must complete");
+            prop_assert!(is_unimodular(&m));
+            prop_assert_eq!(m.row(0), &d[..]);
+        }
+    }
+
+    #[test]
+    fn completion_any_row(v in (2usize..=4).prop_flat_map(nonzero_vec), row_seed in 0usize..4) {
+        if let Some(d) = make_primitive(&v) {
+            let row = row_seed % d.len();
+            let m = complete_to_unimodular(&d, row).unwrap();
+            prop_assert!(is_unimodular(&m));
+            prop_assert_eq!(m.row(row), &d[..]);
+        }
+    }
+
+    #[test]
+    fn unimodular_inverse_roundtrip(v in (2usize..=4).prop_flat_map(nonzero_vec)) {
+        if let Some(d) = make_primitive(&v) {
+            let m = complete_to_unimodular(&d, 0).unwrap();
+            let inv = unimodular_inverse(&m);
+            prop_assert_eq!(&m * &inv, IMat::identity(m.rows()));
+            prop_assert_eq!(&inv * &m, IMat::identity(m.rows()));
+        }
+    }
+
+    #[test]
+    fn hnf_reconstructs(m in (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| mat(r, c))) {
+        let res = hermite_normal_form(&m);
+        prop_assert_eq!(&res.u * &m, res.h.clone());
+        prop_assert!(is_unimodular(&res.u));
+        prop_assert_eq!(res.rank(), rank(&m));
+    }
+
+    #[test]
+    fn determinant_of_product(a in mat(3, 3), b in mat(3, 3)) {
+        // det(AB) = det(A)·det(B) — a strong consistency check on Bareiss.
+        let ab = &a * &b;
+        prop_assert_eq!(ab.determinant(), a.determinant() * b.determinant());
+    }
+
+    #[test]
+    fn rational_field_axioms(an in -50i128..50, ad in 1i128..20, bn in -50i128..50, bd in 1i128..20) {
+        let a = Rat::new(an, ad);
+        let b = Rat::new(bn, bd);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) - b, a);
+        if !b.is_zero() {
+            prop_assert_eq!((a / b) * b, a);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Iteration-block partitioning and round-robin distribution (§3).
+
+use flo_polyhedral::IterSpace;
+
+/// One iteration block: the slab of the iteration space with
+/// `lo <= i_u < hi` (all other dimensions full).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IterBlock {
+    /// Block index (0-based, in increasing-`i_u` order).
+    pub index: usize,
+    /// Inclusive lower bound along dimension `u`.
+    pub lo: i64,
+    /// Exclusive upper bound along dimension `u`.
+    pub hi: i64,
+}
+
+impl IterBlock {
+    /// Number of hyperplanes (values of `i_u`) in the block.
+    pub fn width(&self) -> i64 {
+        self.hi - self.lo
+    }
+}
+
+/// How iteration blocks are assigned to threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BlockAssignment {
+    /// The paper's default (§3): block `b` goes to thread `b mod T`.
+    #[default]
+    RoundRobin,
+    /// Contiguous runs: thread `t` receives blocks
+    /// `[t·⌈x/T⌉, (t+1)·⌈x/T⌉)`. This is the clustered distribution used by
+    /// the computation-mapping baseline [26], which groups adjacent
+    /// iteration blocks onto threads that share storage caches.
+    Blocked,
+}
+
+/// The paper's parallelization: dimension `u` is cut into `num_blocks`
+/// equal blocks (the last may be smaller), distributed over `num_threads`
+/// threads by a [`BlockAssignment`] (round-robin by default).
+#[derive(Clone, Debug)]
+pub struct BlockPartition {
+    u: usize,
+    num_blocks: usize,
+    num_threads: usize,
+    lower: i64,
+    upper: i64,
+    block_width: i64,
+    assignment: BlockAssignment,
+}
+
+impl BlockPartition {
+    /// Partition `space` along dimension `u` into `num_blocks` blocks for
+    /// `num_threads` threads.
+    ///
+    /// `num_blocks` is clamped to the trip count of loop `u` (cannot cut a
+    /// loop of 8 iterations into 16 blocks).
+    pub fn new(space: &IterSpace, u: usize, num_blocks: usize, num_threads: usize) -> Self {
+        assert!(u < space.rank(), "BlockPartition: u out of range");
+        assert!(num_blocks > 0 && num_threads > 0, "BlockPartition: empty partition");
+        let trip = space.trip_count(u);
+        let num_blocks = num_blocks.min(trip as usize);
+        // Even partition: block width = ceil(trip / x); final block ragged
+        // ("the last block may have a smaller number of iterations").
+        let block_width = (trip + num_blocks as i64 - 1) / num_blocks as i64;
+        // Recompute the real block count after ceil (e.g. trip=10, x=4 →
+        // width 3 → only 4 blocks but the 4th has width 1).
+        let num_blocks = ((trip + block_width - 1) / block_width) as usize;
+        BlockPartition {
+            u,
+            num_blocks,
+            num_threads,
+            lower: space.lower(u),
+            upper: space.upper(u),
+            block_width,
+            assignment: BlockAssignment::RoundRobin,
+        }
+    }
+
+    /// Same partition with a different block-to-thread assignment.
+    pub fn with_assignment(mut self, assignment: BlockAssignment) -> Self {
+        self.assignment = assignment;
+        self
+    }
+
+    /// The active assignment strategy.
+    pub fn assignment(&self) -> BlockAssignment {
+        self.assignment
+    }
+
+    /// Convenience: one block per thread (`x = num_threads`), the default
+    /// configuration in the paper's experiments.
+    pub fn per_thread(space: &IterSpace, u: usize, num_threads: usize) -> Self {
+        BlockPartition::new(space, u, num_threads, num_threads)
+    }
+
+    /// The parallelized dimension `u`.
+    pub fn u(&self) -> usize {
+        self.u
+    }
+
+    /// Number of iteration blocks `x`.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Uniform block width along `u` (last block may be narrower).
+    pub fn block_width(&self) -> i64 {
+        self.block_width
+    }
+
+    /// The `b`-th block.
+    pub fn block(&self, b: usize) -> IterBlock {
+        assert!(b < self.num_blocks, "block index out of range");
+        let lo = self.lower + self.block_width * b as i64;
+        let hi = (lo + self.block_width).min(self.upper);
+        IterBlock { index: b, lo, hi }
+    }
+
+    /// The thread that owns block `b` under the active assignment.
+    pub fn thread_of_block(&self, b: usize) -> usize {
+        match self.assignment {
+            BlockAssignment::RoundRobin => b % self.num_threads,
+            BlockAssignment::Blocked => {
+                let run = self.num_blocks.div_ceil(self.num_threads);
+                (b / run).min(self.num_threads - 1)
+            }
+        }
+    }
+
+    /// Which block a given value of `i_u` falls into.
+    pub fn block_of_coord(&self, iu: i64) -> usize {
+        assert!(iu >= self.lower && iu < self.upper, "coordinate outside space");
+        ((iu - self.lower) / self.block_width) as usize
+    }
+
+    /// The thread executing iteration hyperplane `i_u`.
+    pub fn thread_of_coord(&self, iu: i64) -> usize {
+        self.thread_of_block(self.block_of_coord(iu))
+    }
+
+    /// Blocks owned by thread `t`, in execution order.
+    pub fn blocks_of_thread(&self, t: usize) -> impl Iterator<Item = IterBlock> + '_ {
+        (0..self.num_blocks).filter(move |&b| self.thread_of_block(b) == t).map(|b| self.block(b))
+    }
+
+    /// All blocks in index order.
+    pub fn blocks(&self) -> impl Iterator<Item = IterBlock> + '_ {
+        (0..self.num_blocks).map(|b| self.block(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(n: i64) -> IterSpace {
+        IterSpace::from_extents(&[n, 8])
+    }
+
+    #[test]
+    fn even_partition() {
+        let p = BlockPartition::new(&space(16), 0, 4, 2);
+        assert_eq!(p.num_blocks(), 4);
+        assert_eq!(p.block_width(), 4);
+        assert_eq!(p.block(0), IterBlock { index: 0, lo: 0, hi: 4 });
+        assert_eq!(p.block(3), IterBlock { index: 3, lo: 12, hi: 16 });
+    }
+
+    #[test]
+    fn ragged_last_block() {
+        let p = BlockPartition::new(&space(10), 0, 4, 2);
+        // width = ceil(10/4) = 3 → blocks [0,3) [3,6) [6,9) [9,10).
+        assert_eq!(p.num_blocks(), 4);
+        let last = p.block(3);
+        assert_eq!(last.width(), 1);
+        let total: i64 = p.blocks().map(|b| b.width()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn more_blocks_than_iterations_clamped() {
+        let p = BlockPartition::new(&space(3), 0, 8, 2);
+        assert_eq!(p.num_blocks(), 3);
+        assert_eq!(p.block_width(), 1);
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let p = BlockPartition::new(&space(16), 0, 8, 4);
+        assert_eq!(p.thread_of_block(0), 0);
+        assert_eq!(p.thread_of_block(3), 3);
+        assert_eq!(p.thread_of_block(4), 0);
+        assert_eq!(p.thread_of_block(7), 3);
+        let blocks: Vec<usize> = p.blocks_of_thread(1).map(|b| b.index).collect();
+        assert_eq!(blocks, vec![1, 5]);
+    }
+
+    #[test]
+    fn coord_lookup() {
+        let p = BlockPartition::new(&space(16), 0, 4, 2);
+        assert_eq!(p.block_of_coord(0), 0);
+        assert_eq!(p.block_of_coord(3), 0);
+        assert_eq!(p.block_of_coord(4), 1);
+        assert_eq!(p.block_of_coord(15), 3);
+        assert_eq!(p.thread_of_coord(4), 1);
+        assert_eq!(p.thread_of_coord(8), 0);
+    }
+
+    #[test]
+    fn nonzero_lower_bound() {
+        let s = IterSpace::new(vec![4], vec![20]);
+        let p = BlockPartition::new(&s, 0, 4, 4);
+        assert_eq!(p.block(0), IterBlock { index: 0, lo: 4, hi: 8 });
+        assert_eq!(p.block_of_coord(4), 0);
+        assert_eq!(p.block_of_coord(19), 3);
+    }
+
+    #[test]
+    fn blocks_cover_space_disjointly() {
+        let p = BlockPartition::new(&space(17), 0, 5, 3);
+        let mut covered = [false; 17];
+        for b in p.blocks() {
+            for i in b.lo..b.hi {
+                assert!(!covered[i as usize], "block overlap at {i}");
+                covered[i as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "blocks do not cover the space");
+    }
+
+    #[test]
+    fn parallelize_inner_dimension() {
+        let s = IterSpace::from_extents(&[4, 12]);
+        let p = BlockPartition::new(&s, 1, 3, 3);
+        assert_eq!(p.u(), 1);
+        assert_eq!(p.block(1), IterBlock { index: 1, lo: 4, hi: 8 });
+    }
+
+    #[test]
+    fn blocked_assignment_contiguous_runs() {
+        let p = BlockPartition::new(&space(16), 0, 8, 4).with_assignment(BlockAssignment::Blocked);
+        // 8 blocks, 4 threads, run = 2.
+        assert_eq!(p.thread_of_block(0), 0);
+        assert_eq!(p.thread_of_block(1), 0);
+        assert_eq!(p.thread_of_block(2), 1);
+        assert_eq!(p.thread_of_block(7), 3);
+        let blocks: Vec<usize> = p.blocks_of_thread(1).map(|b| b.index).collect();
+        assert_eq!(blocks, vec![2, 3]);
+    }
+
+    #[test]
+    fn blocked_assignment_ragged() {
+        // 5 blocks, 2 threads: run = 3, thread 0 gets 0..3, thread 1 gets 3..5.
+        let p = BlockPartition::new(&space(5), 0, 5, 2).with_assignment(BlockAssignment::Blocked);
+        assert_eq!(p.blocks_of_thread(0).count(), 3);
+        assert_eq!(p.blocks_of_thread(1).count(), 2);
+        // Every block has exactly one owner < num_threads.
+        for b in 0..5 {
+            assert!(p.thread_of_block(b) < 2);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # flo-parallel
+//!
+//! The loop parallelization and distribution strategy of §3 of the paper,
+//! plus the thread-to-compute-node mappings exercised in Fig. 7(b).
+//!
+//! The `n`-dimensional iteration space is evenly partitioned into
+//! *iteration blocks* by parallel hyperplanes orthogonal to a user-chosen
+//! dimension `u` (the iteration hyperplane vector `h_I = e_u`), and blocks
+//! are assigned to threads round-robin in thread-number order
+//! ([`blocks::BlockPartition`]). [`schedule::ThreadSchedule`] walks a
+//! thread's iterations lazily, block by block, in lexicographic order —
+//! this is the order in which the generated code would issue its I/O.
+//! [`mapping::ThreadMapping`] places threads on compute nodes.
+
+pub mod blocks;
+pub mod mapping;
+pub mod schedule;
+
+pub use blocks::{BlockAssignment, BlockPartition, IterBlock};
+pub use mapping::ThreadMapping;
+pub use schedule::ThreadSchedule;

@@ -1,0 +1,135 @@
+//! Thread-to-compute-node mappings (Fig. 7(b)).
+//!
+//! The default execution assigns thread `t` to compute node `t`
+//! (Mapping I). Mappings II–IV are "different random permutations of
+//! threads to compute nodes" (§5.3); they are generated from a
+//! deterministic seeded shuffle so experiments are reproducible. The
+//! computation-mapping baseline additionally uses a topology-clustered
+//! mapping.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An assignment of application threads to compute nodes.
+///
+/// Invariant: it is a bijection (the paper runs one thread per compute
+/// node in the default setup).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadMapping {
+    /// `node_of[t]` = compute node hosting thread `t`.
+    node_of: Vec<usize>,
+}
+
+impl ThreadMapping {
+    /// Mapping I: thread `t` on compute node `t`.
+    pub fn identity(num_threads: usize) -> ThreadMapping {
+        ThreadMapping { node_of: (0..num_threads).collect() }
+    }
+
+    /// A seeded random permutation (Mappings II–IV use seeds 2, 3, 4).
+    pub fn permutation(num_threads: usize, seed: u64) -> ThreadMapping {
+        let mut node_of: Vec<usize> = (0..num_threads).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        node_of.shuffle(&mut rng);
+        ThreadMapping { node_of }
+    }
+
+    /// The paper's four experimental mappings, in order I..IV.
+    pub fn paper_mappings(num_threads: usize) -> Vec<(&'static str, ThreadMapping)> {
+        vec![
+            ("Mapping I", ThreadMapping::identity(num_threads)),
+            ("Mapping II", ThreadMapping::permutation(num_threads, 2)),
+            ("Mapping III", ThreadMapping::permutation(num_threads, 3)),
+            ("Mapping IV", ThreadMapping::permutation(num_threads, 4)),
+        ]
+    }
+
+    /// Build from an explicit permutation vector.
+    pub fn from_vec(node_of: Vec<usize>) -> ThreadMapping {
+        let n = node_of.len();
+        let mut seen = vec![false; n];
+        for &node in &node_of {
+            assert!(node < n, "ThreadMapping: node index out of range");
+            assert!(!seen[node], "ThreadMapping: not a bijection");
+            seen[node] = true;
+        }
+        ThreadMapping { node_of }
+    }
+
+    /// Number of threads (= number of compute nodes).
+    pub fn num_threads(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Compute node of thread `t`.
+    pub fn node_of(&self, t: usize) -> usize {
+        self.node_of[t]
+    }
+
+    /// Thread running on compute node `c` (inverse lookup).
+    pub fn thread_on(&self, c: usize) -> usize {
+        self.node_of
+            .iter()
+            .position(|&n| n == c)
+            .expect("ThreadMapping: node out of range")
+    }
+
+    /// Whether this is the identity mapping.
+    pub fn is_identity(&self) -> bool {
+        self.node_of.iter().enumerate().all(|(t, &n)| t == n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mapping() {
+        let m = ThreadMapping::identity(4);
+        assert!(m.is_identity());
+        assert_eq!(m.node_of(2), 2);
+        assert_eq!(m.thread_on(3), 3);
+    }
+
+    #[test]
+    fn permutation_is_bijection() {
+        let m = ThreadMapping::permutation(64, 7);
+        let mut nodes: Vec<usize> = (0..64).map(|t| m.node_of(t)).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn permutation_deterministic_per_seed() {
+        assert_eq!(ThreadMapping::permutation(16, 2), ThreadMapping::permutation(16, 2));
+        assert_ne!(ThreadMapping::permutation(16, 2), ThreadMapping::permutation(16, 3));
+    }
+
+    #[test]
+    fn paper_mappings_distinct() {
+        let maps = ThreadMapping::paper_mappings(32);
+        assert_eq!(maps.len(), 4);
+        assert!(maps[0].1.is_identity());
+        for i in 0..maps.len() {
+            for j in i + 1..maps.len() {
+                assert_ne!(maps[i].1, maps[j].1, "mappings {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_lookup_roundtrip() {
+        let m = ThreadMapping::permutation(10, 99);
+        for t in 0..10 {
+            assert_eq!(m.thread_on(m.node_of(t)), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn duplicate_node_rejected() {
+        ThreadMapping::from_vec(vec![0, 0, 1]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Affine array references `a = Q·i + q`.
+
+use flo_linalg::IMat;
+
+/// An affine mapping from an `n`-dimensional iteration space to an
+/// `m`-dimensional data space: `a = Q·i + q` with `Q` the `m × n` access
+/// matrix and `q` the `m`-vector offset (the paper's `\vec{q}` / `\vec{o}`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AffineAccess {
+    q: IMat,
+    offset: Vec<i64>,
+}
+
+impl AffineAccess {
+    /// Build from an access matrix and offset vector.
+    pub fn new(q: IMat, offset: Vec<i64>) -> AffineAccess {
+        assert_eq!(q.rows(), offset.len(), "AffineAccess: offset rank mismatch");
+        AffineAccess { q, offset }
+    }
+
+    /// Build with a zero offset.
+    pub fn linear(q: IMat) -> AffineAccess {
+        let m = q.rows();
+        AffineAccess { q, offset: vec![0; m] }
+    }
+
+    /// Access matrix rows = array rank `m`.
+    pub fn array_rank(&self) -> usize {
+        self.q.rows()
+    }
+
+    /// Access matrix columns = iteration space rank `n`.
+    pub fn iter_rank(&self) -> usize {
+        self.q.cols()
+    }
+
+    /// The access matrix `Q`.
+    pub fn matrix(&self) -> &IMat {
+        &self.q
+    }
+
+    /// The offset vector `q`.
+    pub fn offset(&self) -> &[i64] {
+        &self.offset
+    }
+
+    /// Evaluate the reference at iteration `i`: returns `Q·i + q`.
+    pub fn eval(&self, i: &[i64]) -> Vec<i64> {
+        let mut a = vec![0; self.q.rows()];
+        self.eval_into(i, &mut a);
+        a
+    }
+
+    /// Allocation-free evaluation into a caller-provided buffer (the trace
+    /// generator calls this once per dynamic reference).
+    pub fn eval_into(&self, i: &[i64], out: &mut [i64]) {
+        debug_assert_eq!(out.len(), self.q.rows());
+        for (r, slot) in out.iter_mut().enumerate() {
+            let row = self.q.row(r);
+            let mut acc = self.offset[r];
+            for (k, &ik) in i.iter().enumerate() {
+                acc += row[k] * ik;
+            }
+            *slot = acc;
+        }
+    }
+
+    /// The reference after a data transformation `D` (`r' = D·r`): access
+    /// matrix becomes `D·Q`, offset becomes `D·q`. This is exactly how the
+    /// compiler rewrites array index functions after Step I.
+    pub fn transformed(&self, d: &IMat) -> AffineAccess {
+        assert_eq!(d.cols(), self.q.rows(), "transformed: D rank mismatch");
+        AffineAccess { q: d * &self.q, offset: d.mul_vec(&self.offset) }
+    }
+
+    /// Identity access (`a = i`), valid when array rank equals loop rank.
+    pub fn identity(n: usize) -> AffineAccess {
+        AffineAccess::linear(IMat::identity(n))
+    }
+
+    /// Convenience constructor from nested rows.
+    pub fn from_rows(rows: &[&[i64]], offset: Vec<i64>) -> AffineAccess {
+        AffineAccess::new(IMat::from_rows(rows), offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_with_offset() {
+        // a = (i2 + 1, i1) — a transposed access with an offset.
+        let acc = AffineAccess::from_rows(&[&[0, 1], &[1, 0]], vec![1, 0]);
+        assert_eq!(acc.eval(&[3, 5]), vec![6, 3]);
+        assert_eq!(acc.array_rank(), 2);
+        assert_eq!(acc.iter_rank(), 2);
+    }
+
+    #[test]
+    fn identity_access() {
+        let acc = AffineAccess::identity(3);
+        assert_eq!(acc.eval(&[7, 8, 9]), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn rectangular_access() {
+        // 2-D array indexed from a 3-deep loop: W[i1, i2] in the paper's
+        // matmul example.
+        let acc = AffineAccess::from_rows(&[&[1, 0, 0], &[0, 1, 0]], vec![0, 0]);
+        assert_eq!(acc.eval(&[4, 5, 6]), vec![4, 5]);
+    }
+
+    #[test]
+    fn transform_composes() {
+        let acc = AffineAccess::from_rows(&[&[1, 0], &[0, 1]], vec![2, 3]);
+        let d = IMat::from_rows(&[&[0, 1], &[1, 0]]); // swap dims
+        let t = acc.transformed(&d);
+        // For any iteration, t.eval(i) == D · acc.eval(i).
+        for i in [[0i64, 0], [1, 2], [5, 7]] {
+            assert_eq!(t.eval(&i), d.mul_vec(&acc.eval(&i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "offset rank mismatch")]
+    fn bad_offset_rank() {
+        AffineAccess::new(IMat::identity(2), vec![0]);
+    }
+}

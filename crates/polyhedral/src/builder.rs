@@ -1,0 +1,179 @@
+//! Fluent construction of [`Program`]s.
+//!
+//! This is the interface the 16 workload kernels use to express themselves.
+//! The paper's compiler extracts this information from MPI-IO source via
+//! SUIF; here the builder plays the role of the front end (see DESIGN.md §1
+//! for why this substitution is faithful).
+//!
+//! ```
+//! use flo_polyhedral::ProgramBuilder;
+//!
+//! // The paper's Fig. 3(b) matmul fragment:
+//! //   for i1 in 0..N, i2 in 0..N, i3 in 0..N:
+//! //       W[i1,i2] += U[i1,i3] * V[i3,i2]
+//! let mut b = ProgramBuilder::new();
+//! let w = b.array("W", &[64, 64]);
+//! let u = b.array("U", &[64, 64]);
+//! let v = b.array("V", &[64, 64]);
+//! b.nest(&[64, 64, 64])
+//!     .write(w, &[&[1, 0, 0], &[0, 1, 0]])
+//!     .read(u, &[&[1, 0, 0], &[0, 0, 1]])
+//!     .read(v, &[&[0, 0, 1], &[0, 1, 0]])
+//!     .done();
+//! let program = b.build();
+//! assert_eq!(program.arrays().len(), 3);
+//! ```
+
+use crate::access::AffineAccess;
+use crate::nest::{AccessKind, ArrayRef, LoopNest};
+use crate::program::{ArrayDecl, ArrayId, Program};
+use crate::space::{DataSpace, IterSpace};
+use flo_linalg::IMat;
+
+/// Default element size (bytes) for arrays declared through the builder:
+/// a double-precision float, as in the paper's out-of-core codes.
+pub const DEFAULT_ELEMENT_SIZE: usize = 8;
+
+/// Incrementally builds a [`Program`].
+#[derive(Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Fresh builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder { program: Program::new() }
+    }
+
+    /// Declare a disk-resident array with the given extents.
+    pub fn array(&mut self, name: &str, extents: &[i64]) -> ArrayId {
+        self.array_sized(name, extents, DEFAULT_ELEMENT_SIZE)
+    }
+
+    /// Declare an array with an explicit element size.
+    pub fn array_sized(&mut self, name: &str, extents: &[i64], element_size: usize) -> ArrayId {
+        self.program.add_array(ArrayDecl {
+            name: name.to_string(),
+            space: DataSpace::new(extents.to_vec()),
+            element_size,
+        })
+    }
+
+    /// Start a loop nest with extents `0..e` per level.
+    pub fn nest(&mut self, extents: &[i64]) -> NestBuilder<'_> {
+        self.nest_bounds(&vec![0; extents.len()], extents)
+    }
+
+    /// Start a loop nest with explicit lower/upper bounds.
+    pub fn nest_bounds(&mut self, lower: &[i64], upper: &[i64]) -> NestBuilder<'_> {
+        NestBuilder {
+            builder: self,
+            space: IterSpace::new(lower.to_vec(), upper.to_vec()),
+            refs: Vec::new(),
+        }
+    }
+
+    /// Finish, returning the program.
+    pub fn build(self) -> Program {
+        self.program
+    }
+}
+
+/// Builds one loop nest; obtained from [`ProgramBuilder::nest`].
+pub struct NestBuilder<'a> {
+    builder: &'a mut ProgramBuilder,
+    space: IterSpace,
+    refs: Vec<ArrayRef>,
+}
+
+impl NestBuilder<'_> {
+    /// Add a read reference with access matrix rows `q` and zero offset.
+    pub fn read(self, array: ArrayId, q: &[&[i64]]) -> Self {
+        self.reference(array, q, None, AccessKind::Read)
+    }
+
+    /// Add a write reference with access matrix rows `q` and zero offset.
+    pub fn write(self, array: ArrayId, q: &[&[i64]]) -> Self {
+        self.reference(array, q, None, AccessKind::Write)
+    }
+
+    /// Add a read reference with an offset vector (e.g. stencil neighbours).
+    pub fn read_off(self, array: ArrayId, q: &[&[i64]], offset: &[i64]) -> Self {
+        self.reference(array, q, Some(offset), AccessKind::Read)
+    }
+
+    /// Add a write reference with an offset vector.
+    pub fn write_off(self, array: ArrayId, q: &[&[i64]], offset: &[i64]) -> Self {
+        self.reference(array, q, Some(offset), AccessKind::Write)
+    }
+
+    fn reference(
+        mut self,
+        array: ArrayId,
+        q: &[&[i64]],
+        offset: Option<&[i64]>,
+        kind: AccessKind,
+    ) -> Self {
+        let m = IMat::from_rows(q);
+        let off = offset.map(<[i64]>::to_vec).unwrap_or_else(|| vec![0; m.rows()]);
+        self.refs.push(ArrayRef { array, access: AffineAccess::new(m, off), kind });
+        self
+    }
+
+    /// Close the nest and add it to the program.
+    pub fn done(self) {
+        let nest = LoopNest::new(self.space, self.refs);
+        self.builder.program.add_nest(nest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_matmul() {
+        let mut b = ProgramBuilder::new();
+        let w = b.array("W", &[8, 8]);
+        let u = b.array("U", &[8, 8]);
+        let v = b.array("V", &[8, 8]);
+        b.nest(&[8, 8, 8])
+            .write(w, &[&[1, 0, 0], &[0, 1, 0]])
+            .read(u, &[&[1, 0, 0], &[0, 0, 1]])
+            .read(v, &[&[0, 0, 1], &[0, 1, 0]])
+            .done();
+        let p = b.build();
+        assert_eq!(p.nests().len(), 1);
+        assert_eq!(p.nests()[0].refs.len(), 3);
+        let prof = p.access_profile(w);
+        assert_eq!(prof.weighted_matrices.len(), 1);
+        assert_eq!(prof.weighted_matrices[0].1, 512);
+    }
+
+    #[test]
+    fn stencil_offsets_share_access_matrix() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", &[10, 10]);
+        b.nest_bounds(&[1, 1], &[9, 9])
+            .read(a, &[&[1, 0], &[0, 1]])
+            .read_off(a, &[&[1, 0], &[0, 1]], &[-1, 0])
+            .read_off(a, &[&[1, 0], &[0, 1]], &[1, 0])
+            .read_off(a, &[&[1, 0], &[0, 1]], &[0, -1])
+            .read_off(a, &[&[1, 0], &[0, 1]], &[0, 1])
+            .done();
+        let p = b.build();
+        let prof = p.access_profile(a);
+        // One distinct Q, weight = 5 refs × 64 iterations.
+        assert_eq!(prof.weighted_matrices.len(), 1);
+        assert_eq!(prof.weighted_matrices[0].1, 5 * 64);
+    }
+
+    #[test]
+    fn element_size_override() {
+        let mut b = ProgramBuilder::new();
+        let a = b.array_sized("A", &[4], 4);
+        let p = b.build();
+        assert_eq!(p.array(a).element_size, 4);
+    }
+}

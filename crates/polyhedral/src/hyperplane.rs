@@ -1,0 +1,115 @@
+//! Hyperplanes and the selector matrices of Step I.
+//!
+//! A hyperplane family in an `x`-dimensional space is given by a normal
+//! vector `g` (the *hyperplane vector*); members share `g` and differ in the
+//! constant `c` of `g·b = c`. The paper's parallelization uses the unit
+//! iteration hyperplane `h_I = e_u`, and Step I seeks a unit data hyperplane
+//! `h_A = e_v` in the *transformed* data space.
+
+use flo_linalg::IMat;
+
+/// A single hyperplane `normal · b = c`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Hyperplane {
+    /// The hyperplane (normal) vector `g`.
+    pub normal: Vec<i64>,
+    /// The hyperplane constant `c`.
+    pub c: i64,
+}
+
+impl Hyperplane {
+    /// Construct a hyperplane.
+    pub fn new(normal: Vec<i64>, c: i64) -> Hyperplane {
+        assert!(normal.iter().any(|&g| g != 0), "Hyperplane: zero normal");
+        Hyperplane { normal, c }
+    }
+
+    /// Whether point `b` lies on the hyperplane.
+    pub fn contains(&self, b: &[i64]) -> bool {
+        flo_linalg::dot(&self.normal, b) == self.c
+    }
+
+    /// The member of this family through point `b`.
+    pub fn through(normal: Vec<i64>, b: &[i64]) -> Hyperplane {
+        let c = flo_linalg::dot(&normal, b);
+        Hyperplane::new(normal, c)
+    }
+}
+
+/// The unit hyperplane vector `(0, …, 0, 1, 0, …, 0)` of length `n` with the
+/// `1` at (0-indexed) position `u` — the paper's `h_I` / `h_A`.
+pub fn unit_hyperplane(n: usize, u: usize) -> Vec<i64> {
+    assert!(u < n, "unit_hyperplane: u out of range");
+    let mut h = vec![0; n];
+    h[u] = 1;
+    h
+}
+
+/// The matrix `E_u`: the `n × n` identity with row `u` deleted, giving an
+/// `(n-1) × n` matrix whose rows span `{Δi : h_I · Δi = 0}` — every
+/// difference of two iterations on the same iteration hyperplane.
+pub fn e_u_matrix(n: usize, u: usize) -> IMat {
+    assert!(u < n, "e_u_matrix: u out of range");
+    IMat::identity(n).delete_row(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_linalg::dot;
+
+    #[test]
+    fn unit_vectors() {
+        assert_eq!(unit_hyperplane(3, 0), vec![1, 0, 0]);
+        assert_eq!(unit_hyperplane(3, 2), vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "u out of range")]
+    fn unit_out_of_range() {
+        unit_hyperplane(2, 2);
+    }
+
+    #[test]
+    fn e_u_rows_annihilated_by_h() {
+        for n in 1..=4 {
+            for u in 0..n {
+                let h = unit_hyperplane(n, u);
+                let e = e_u_matrix(n, u);
+                assert_eq!(e.rows(), n - 1);
+                assert_eq!(e.cols(), n);
+                for r in e.rows_iter() {
+                    assert_eq!(dot(&h, r), 0, "h_I · E_u row != 0 (n={n}, u={u})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn e_u_spans_orthogonal_complement() {
+        // rank(E_u) = n - 1, so its rows span the full complement of e_u.
+        let e = e_u_matrix(4, 2);
+        assert_eq!(flo_linalg::rank(&e), 3);
+    }
+
+    #[test]
+    fn hyperplane_membership() {
+        let h = Hyperplane::new(vec![1, -1], 0);
+        assert!(h.contains(&[3, 3]));
+        assert!(!h.contains(&[3, 4]));
+    }
+
+    #[test]
+    fn hyperplane_through_point() {
+        let h = Hyperplane::through(vec![2, 1], &[3, 4]);
+        assert_eq!(h.c, 10);
+        assert!(h.contains(&[3, 4]));
+        assert!(h.contains(&[0, 10]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero normal")]
+    fn zero_normal_rejected() {
+        Hyperplane::new(vec![0, 0], 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # flo-polyhedral
+//!
+//! The compiler's intermediate representation: a small polyhedral model of
+//! affine loop nests over disk-resident arrays, exactly as §3 of the paper
+//! describes.
+//!
+//! * An *iteration space* is an `n`-dimensional box of iteration vectors
+//!   `i = (i₁, …, iₙ)` ([`IterSpace`]).
+//! * A *data space* is an `m`-dimensional box of array indices
+//!   ([`DataSpace`], one per disk-resident [`ArrayDecl`]).
+//! * An *array reference* maps iterations to data: `a = Q·i + q`
+//!   ([`AffineAccess`]); `Q` is the access matrix, `q` the offset vector.
+//! * *Hyperplanes* partition either space ([`hyperplane`]); the iteration
+//!   hyperplane vector `h_I` and data hyperplane vector `h_A` of Step I are
+//!   unit vectors built here.
+//!
+//! Programs are assembled with [`builder::ProgramBuilder`], which is what
+//! the 16 workload kernels in `flo-workloads` use. Nothing in this crate
+//! depends on the storage hierarchy; it is pure compiler front-half.
+
+pub mod access;
+pub mod builder;
+pub mod hyperplane;
+pub mod nest;
+pub mod program;
+pub mod space;
+
+pub use access::AffineAccess;
+pub use builder::{NestBuilder, ProgramBuilder};
+pub use hyperplane::{e_u_matrix, unit_hyperplane, Hyperplane};
+pub use nest::{AccessKind, ArrayRef, LoopNest};
+pub use program::{AccessProfile, ArrayDecl, ArrayId, Program};
+pub use space::{DataSpace, IterSpace};

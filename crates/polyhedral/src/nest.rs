@@ -1,0 +1,121 @@
+//! Loop nests and array references.
+
+use crate::access::AffineAccess;
+use crate::program::ArrayId;
+use crate::space::IterSpace;
+
+/// Whether a reference reads or writes the array. Step I treats both alike
+/// (the layout must serve every touch); the simulator distinguishes them for
+/// statistics and for write-allocate behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read reference.
+    Read,
+    /// Write reference.
+    Write,
+}
+
+/// A single array reference inside a loop nest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// Which disk-resident array is referenced.
+    pub array: ArrayId,
+    /// The affine index function `a = Q·i + q`.
+    pub access: AffineAccess,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A (perfectly nested, affine) loop nest with the references in its body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopNest {
+    /// The iteration space of the nest.
+    pub space: IterSpace,
+    /// References executed each iteration, in program order.
+    pub refs: Vec<ArrayRef>,
+}
+
+impl LoopNest {
+    /// Create a nest, validating that every reference consumes the nest's
+    /// iteration vector.
+    pub fn new(space: IterSpace, refs: Vec<ArrayRef>) -> LoopNest {
+        for r in &refs {
+            assert_eq!(
+                r.access.iter_rank(),
+                space.rank(),
+                "LoopNest: reference iteration rank must equal nest rank"
+            );
+        }
+        LoopNest { space, refs }
+    }
+
+    /// The weight `n_j` of every reference in this nest (Eq. 5): the product
+    /// of the trip counts of the loops enclosing it. All references sit in
+    /// the innermost body, so this is the nest's total iteration count.
+    pub fn reference_weight(&self) -> i64 {
+        self.space.total_iterations()
+    }
+
+    /// References touching a particular array.
+    pub fn refs_to(&self, array: ArrayId) -> impl Iterator<Item = &ArrayRef> {
+        self.refs.iter().filter(move |r| r.array == array)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_linalg::IMat;
+
+    fn sample_nest() -> LoopNest {
+        let space = IterSpace::from_extents(&[4, 8]);
+        let a0 = ArrayId(0);
+        let a1 = ArrayId(1);
+        LoopNest::new(
+            space,
+            vec![
+                ArrayRef {
+                    array: a0,
+                    access: AffineAccess::identity(2),
+                    kind: AccessKind::Read,
+                },
+                ArrayRef {
+                    array: a1,
+                    access: AffineAccess::linear(IMat::from_rows(&[&[0, 1], &[1, 0]])),
+                    kind: AccessKind::Write,
+                },
+                ArrayRef {
+                    array: a0,
+                    access: AffineAccess::identity(2),
+                    kind: AccessKind::Write,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn weight_is_total_iterations() {
+        assert_eq!(sample_nest().reference_weight(), 32);
+    }
+
+    #[test]
+    fn refs_to_filters_by_array() {
+        let nest = sample_nest();
+        assert_eq!(nest.refs_to(ArrayId(0)).count(), 2);
+        assert_eq!(nest.refs_to(ArrayId(1)).count(), 1);
+        assert_eq!(nest.refs_to(ArrayId(2)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration rank")]
+    fn rank_mismatch_rejected() {
+        LoopNest::new(
+            IterSpace::from_extents(&[4]),
+            vec![ArrayRef {
+                array: ArrayId(0),
+                access: AffineAccess::identity(2),
+                kind: AccessKind::Read,
+            }],
+        );
+    }
+}

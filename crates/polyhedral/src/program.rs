@@ -1,0 +1,230 @@
+//! Whole-program view: array declarations plus loop nests, and the
+//! per-array access profile that drives Step I's weighted solver.
+
+use crate::nest::LoopNest;
+use crate::space::DataSpace;
+use flo_linalg::IMat;
+use std::collections::HashMap;
+
+/// Identifier of a disk-resident array within a [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// Declaration of one disk-resident array. Each array is stored in its own
+/// file (paper §4, footnote 3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// The data space (extents).
+    pub space: DataSpace,
+    /// Element size in bytes (used when converting element counts to
+    /// capacity units).
+    pub element_size: usize,
+}
+
+/// A whole program: arrays + loop nests.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    arrays: Vec<ArrayDecl>,
+    nests: Vec<LoopNest>,
+}
+
+/// The access profile of one array: every *distinct* access matrix `Q_i`
+/// appearing in references to it, with the paper's weight
+/// `W(Q_i) = Σ_j n_j` (Eq. 5) summed over references sharing that matrix.
+#[derive(Clone, Debug)]
+pub struct AccessProfile {
+    /// Distinct access matrices with their accumulated weights, sorted by
+    /// descending weight (ties broken deterministically by matrix entries).
+    pub weighted_matrices: Vec<(IMat, i64)>,
+    /// Total number of dynamic element accesses to the array.
+    pub total_accesses: i64,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Declare an array; returns its id.
+    pub fn add_array(&mut self, decl: ArrayDecl) -> ArrayId {
+        self.arrays.push(decl);
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Append a loop nest, validating its references against declared
+    /// arrays.
+    pub fn add_nest(&mut self, nest: LoopNest) {
+        for r in &nest.refs {
+            let decl = self
+                .arrays
+                .get(r.array.0)
+                .unwrap_or_else(|| panic!("nest references undeclared array {:?}", r.array));
+            assert_eq!(
+                r.access.array_rank(),
+                decl.space.rank(),
+                "reference rank does not match array '{}'",
+                decl.name
+            );
+        }
+        self.nests.push(nest);
+    }
+
+    /// The declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Declaration for `id`.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// All array ids.
+    pub fn array_ids(&self) -> impl Iterator<Item = ArrayId> {
+        (0..self.arrays.len()).map(ArrayId)
+    }
+
+    /// The loop nests in program order.
+    pub fn nests(&self) -> &[LoopNest] {
+        &self.nests
+    }
+
+    /// Build the weighted access profile for `array` across every nest
+    /// (Eq. 5). Offsets are ignored on purpose: two references that differ
+    /// only by a constant offset share a `Q` and therefore share a
+    /// partitioning constraint.
+    pub fn access_profile(&self, array: ArrayId) -> AccessProfile {
+        let mut weights: HashMap<IMat, i64> = HashMap::new();
+        let mut total = 0i64;
+        for nest in &self.nests {
+            let w = nest.reference_weight();
+            for r in nest.refs_to(array) {
+                *weights.entry(r.access.matrix().clone()).or_insert(0) += w;
+                total += w;
+            }
+        }
+        let mut weighted_matrices: Vec<(IMat, i64)> = weights.into_iter().collect();
+        weighted_matrices.sort_by(|(ma, wa), (mb, wb)| {
+            wb.cmp(wa).then_with(|| {
+                // Deterministic tie-break on entries so compiler output is
+                // stable across runs.
+                let ka: Vec<i64> = ma.rows_iter().flatten().copied().collect();
+                let kb: Vec<i64> = mb.rows_iter().flatten().copied().collect();
+                ka.cmp(&kb)
+            })
+        });
+        AccessProfile { weighted_matrices, total_accesses: total }
+    }
+
+    /// Total dynamic element accesses over all arrays (used by the
+    /// execution-time model for the compute/IO ratio).
+    pub fn total_accesses(&self) -> i64 {
+        self.nests.iter().map(|n| n.reference_weight() * n.refs.len() as i64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AffineAccess;
+    use crate::nest::{AccessKind, ArrayRef};
+    use crate::space::IterSpace;
+
+    fn decl(name: &str, extents: &[i64]) -> ArrayDecl {
+        ArrayDecl {
+            name: name.into(),
+            space: DataSpace::new(extents.to_vec()),
+            element_size: 8,
+        }
+    }
+
+    #[test]
+    fn profile_accumulates_weights_per_matrix() {
+        let mut p = Program::new();
+        let a = p.add_array(decl("A", &[16, 16]));
+        // Nest 1: 8x8 = 64 iterations, two refs with the same Q.
+        p.add_nest(LoopNest::new(
+            IterSpace::from_extents(&[8, 8]),
+            vec![
+                ArrayRef { array: a, access: AffineAccess::identity(2), kind: AccessKind::Read },
+                ArrayRef {
+                    array: a,
+                    access: AffineAccess::new(flo_linalg::IMat::identity(2), vec![0, 1]),
+                    kind: AccessKind::Read,
+                },
+            ],
+        ));
+        // Nest 2: 4x4 = 16 iterations, transposed ref.
+        p.add_nest(LoopNest::new(
+            IterSpace::from_extents(&[4, 4]),
+            vec![ArrayRef {
+                array: a,
+                access: AffineAccess::linear(flo_linalg::IMat::from_rows(&[&[0, 1], &[1, 0]])),
+                kind: AccessKind::Write,
+            }],
+        ));
+        let prof = p.access_profile(a);
+        assert_eq!(prof.weighted_matrices.len(), 2, "offset-only refs must share a Q");
+        // Identity matrix has weight 64 + 64 = 128, transpose 16.
+        assert_eq!(prof.weighted_matrices[0].1, 128);
+        assert_eq!(prof.weighted_matrices[1].1, 16);
+        assert_eq!(prof.total_accesses, 144);
+        // Heaviest first.
+        assert_eq!(prof.weighted_matrices[0].0, flo_linalg::IMat::identity(2));
+    }
+
+    #[test]
+    fn profile_of_untouched_array_is_empty() {
+        let mut p = Program::new();
+        let a = p.add_array(decl("A", &[4]));
+        let prof = p.access_profile(a);
+        assert!(prof.weighted_matrices.is_empty());
+        assert_eq!(prof.total_accesses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared array")]
+    fn undeclared_array_rejected() {
+        let mut p = Program::new();
+        p.add_nest(LoopNest::new(
+            IterSpace::from_extents(&[2]),
+            vec![ArrayRef {
+                array: ArrayId(3),
+                access: AffineAccess::identity(1),
+                kind: AccessKind::Read,
+            }],
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match array")]
+    fn rank_mismatch_rejected() {
+        let mut p = Program::new();
+        let a = p.add_array(decl("A", &[4, 4]));
+        p.add_nest(LoopNest::new(
+            IterSpace::from_extents(&[2]),
+            vec![ArrayRef {
+                array: a,
+                access: AffineAccess::identity(1),
+                kind: AccessKind::Read,
+            }],
+        ));
+    }
+
+    #[test]
+    fn total_accesses_counts_all_refs() {
+        let mut p = Program::new();
+        let a = p.add_array(decl("A", &[8, 8]));
+        p.add_nest(LoopNest::new(
+            IterSpace::from_extents(&[3, 3]),
+            vec![
+                ArrayRef { array: a, access: AffineAccess::identity(2), kind: AccessKind::Read },
+                ArrayRef { array: a, access: AffineAccess::identity(2), kind: AccessKind::Write },
+            ],
+        ));
+        assert_eq!(p.total_accesses(), 18);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests of the polyhedral IR: affine access algebra, space
+//! linearization, and weight accounting.
+
+use flo_linalg::IMat;
+use flo_polyhedral::{AffineAccess, DataSpace, IterSpace, ProgramBuilder};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = IMat> {
+    proptest::collection::vec(-3i64..=3, rows * cols)
+        .prop_map(move |v| IMat::from_vec(rows, cols, v))
+}
+
+proptest! {
+    /// `eval` and `eval_into` agree, and transformation composes:
+    /// `transformed(D).eval(i) == D · eval(i)`.
+    #[test]
+    fn access_algebra(
+        q in small_matrix(2, 3),
+        offset in proptest::collection::vec(-3i64..=3, 2),
+        d in small_matrix(2, 2),
+        i in proptest::collection::vec(-5i64..=5, 3),
+    ) {
+        let acc = AffineAccess::new(q, offset);
+        let mut buf = vec![0i64; 2];
+        acc.eval_into(&i, &mut buf);
+        prop_assert_eq!(&buf, &acc.eval(&i));
+        let transformed = acc.transformed(&d);
+        prop_assert_eq!(transformed.eval(&i), d.mul_vec(&acc.eval(&i)));
+    }
+
+    /// Row-major linearization is a bijection onto [0, elements).
+    #[test]
+    fn linearize_bijection(extents in proptest::collection::vec(1i64..6, 1..4)) {
+        let space = DataSpace::new(extents);
+        let mut seen = vec![false; space.num_elements() as usize];
+        // Walk all elements via delinearize and check the roundtrip.
+        for off in 0..space.num_elements() {
+            let a = space.delinearize(off);
+            prop_assert!(space.contains(&a));
+            prop_assert_eq!(space.linearize(&a), off);
+            prop_assert!(!seen[off as usize]);
+            seen[off as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Iteration spaces visit exactly `total_iterations` distinct points.
+    #[test]
+    fn iteration_count(lower in proptest::collection::vec(-3i64..=0, 1..3), widths in proptest::collection::vec(1i64..5, 1..3)) {
+        prop_assume!(lower.len() == widths.len());
+        let upper: Vec<i64> = lower.iter().zip(&widths).map(|(l, w)| l + w).collect();
+        let space = IterSpace::new(lower, upper);
+        let points: Vec<Vec<i64>> = space.iter().collect();
+        prop_assert_eq!(points.len() as i64, space.total_iterations());
+        let mut dedup = points.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), points.len());
+        for p in &points {
+            prop_assert!(space.contains(p));
+        }
+    }
+
+    /// Reference weights accumulate per distinct matrix: `k` references
+    /// sharing `Q` in an `n`-iteration nest weigh `k·n` (Eq. 5).
+    #[test]
+    fn weights_accumulate(reps in 1usize..5, n in 2i64..8) {
+        let mut b = ProgramBuilder::new();
+        let a = b.array("A", &[n, n]);
+        let mut nest = b.nest(&[n, n]);
+        for _ in 0..reps {
+            nest = nest.read(a, &[&[1, 0], &[0, 1]]);
+        }
+        nest.done();
+        let p = b.build();
+        let profile = p.access_profile(a);
+        prop_assert_eq!(profile.weighted_matrices.len(), 1);
+        prop_assert_eq!(profile.weighted_matrices[0].1, reps as i64 * n * n);
+        prop_assert_eq!(profile.total_accesses, reps as i64 * n * n);
+    }
+}

@@ -1,0 +1,59 @@
+//! Data-block addressing.
+//!
+//! The unit of cache management is the *data block*, whose size equals the
+//! stripe size (paper §5.1, Table 1: both 128 KB). A block is identified by
+//! the file it belongs to (one file per disk-resident array) and its block
+//! index within that file.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a file (= one disk-resident array).
+pub type FileId = u32;
+
+/// Address of one data block: `(file, block index within file)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr {
+    /// Owning file.
+    pub file: FileId,
+    /// Block index within the file.
+    pub index: u64,
+}
+
+impl BlockAddr {
+    /// Construct a block address.
+    pub fn new(file: FileId, index: u64) -> BlockAddr {
+        BlockAddr { file, index }
+    }
+
+    /// The block containing byte/element `offset` of `file`, for a block
+    /// size of `block_size` elements.
+    pub fn containing(file: FileId, offset: u64, block_size: u64) -> BlockAddr {
+        assert!(block_size > 0, "BlockAddr: zero block size");
+        BlockAddr { file, index: offset / block_size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containing_block() {
+        assert_eq!(BlockAddr::containing(3, 0, 64), BlockAddr::new(3, 0));
+        assert_eq!(BlockAddr::containing(3, 63, 64), BlockAddr::new(3, 0));
+        assert_eq!(BlockAddr::containing(3, 64, 64), BlockAddr::new(3, 1));
+        assert_eq!(BlockAddr::containing(3, 1000, 64), BlockAddr::new(3, 15));
+    }
+
+    #[test]
+    fn ordering_is_file_major() {
+        assert!(BlockAddr::new(0, 99) < BlockAddr::new(1, 0));
+        assert!(BlockAddr::new(1, 0) < BlockAddr::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero block size")]
+    fn zero_block_size_rejected() {
+        BlockAddr::containing(0, 0, 0);
+    }
+}

@@ -1,0 +1,567 @@
+//! The LRU cache core shared by all policies.
+//!
+//! [`LruCore`] is a fixed-capacity set of [`BlockAddr`]s with O(1) lookup,
+//! promotion, insertion and eviction, implemented as a hash map into a
+//! slab-backed intrusive doubly-linked list (MRU at the head). The three
+//! hierarchy policies (inclusive LRU, DEMOTE-LRU, KARMA) differ only in
+//! *when* they insert/remove/demote — they all reuse this core.
+
+use crate::block::BlockAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    block: BlockAddr,
+    prev: usize,
+    next: usize,
+}
+
+/// Hit/miss counters for one cache (or one aggregated layer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of lookups.
+    pub accesses: u64,
+    /// Number of lookups that found the block resident.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss rate in [0, 1]; 0 for an idle cache.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Accumulate another counter into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+    }
+}
+
+/// A fixed-capacity LRU set of blocks.
+#[derive(Clone, Debug)]
+pub struct LruCore {
+    capacity: usize,
+    map: HashMap<BlockAddr, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // MRU
+    tail: usize, // LRU
+    stats: CacheStats,
+}
+
+impl LruCore {
+    /// An empty cache holding at most `capacity` blocks.
+    pub fn new(capacity: usize) -> LruCore {
+        assert!(capacity > 0, "LruCore: zero capacity");
+        LruCore {
+            capacity,
+            map: HashMap::with_capacity(capacity + 1),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no block is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `block` is resident (does not touch recency or stats).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    /// Look up `block`, recording a hit or miss; on hit the block becomes
+    /// MRU. Returns `true` on hit.
+    pub fn access(&mut self, block: BlockAddr) -> bool {
+        self.access_weighted(block, 1)
+    }
+
+    /// Look up `block` on behalf of `weight` coalesced element accesses.
+    /// All `weight` accesses count as hits when the block is resident; on
+    /// a miss, the first element access is the miss and the remaining
+    /// `weight − 1` are served from the freshly fetched block (hits).
+    /// Returns `true` when the block was resident.
+    pub fn access_weighted(&mut self, block: BlockAddr, weight: u32) -> bool {
+        debug_assert!(weight >= 1);
+        self.stats.accesses += weight as u64;
+        if let Some(&idx) = self.map.get(&block) {
+            self.stats.hits += weight as u64;
+            self.unlink(idx);
+            self.push_front(idx);
+            true
+        } else {
+            self.stats.hits += weight as u64 - 1;
+            false
+        }
+    }
+
+    /// Insert `block` as MRU (no stats recorded — insertion follows a miss
+    /// already counted by [`access`](Self::access)). If the cache is full
+    /// the LRU block is evicted and returned. Inserting a resident block
+    /// just promotes it.
+    pub fn insert(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        if let Some(&idx) = self.map.get(&block) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity { self.pop_lru() } else { None };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node { block, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.nodes.push(Node { block, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(block, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    /// Insert `block` at the *LRU* end (used by DEMOTE-style placements
+    /// where a block should be first in line for eviction). Returns the
+    /// evicted block if the cache was full.
+    pub fn insert_lru(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        if let Some(&idx) = self.map.get(&block) {
+            // Already resident: move to LRU end.
+            self.unlink(idx);
+            self.push_back(idx);
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity { self.pop_lru() } else { None };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node { block, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.nodes.push(Node { block, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(block, idx);
+        self.push_back(idx);
+        evicted
+    }
+
+    /// Remove `block` if resident; returns whether it was present.
+    pub fn remove(&mut self, block: BlockAddr) -> bool {
+        if let Some(idx) = self.map.remove(&block) {
+            self.unlink(idx);
+            self.free.push(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evict and return the LRU block.
+    pub fn pop_lru(&mut self) -> Option<BlockAddr> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let block = self.nodes[idx].block;
+        self.unlink(idx);
+        self.map.remove(&block);
+        self.free.push(idx);
+        Some(block)
+    }
+
+    /// Counters for this cache.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset counters (contents retained) — used between warm-up and
+    /// measurement phases.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Resident blocks from MRU to LRU (test helper; O(len)).
+    pub fn blocks_mru_to_lru(&self) -> Vec<BlockAddr> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.nodes[cur].block);
+            cur = self.nodes[cur].next;
+        }
+        out
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn push_back(&mut self, idx: usize) {
+        self.nodes[idx].next = NIL;
+        self.nodes[idx].prev = self.tail;
+        if self.tail != NIL {
+            self.nodes[self.tail].next = idx;
+        }
+        self.tail = idx;
+        if self.head == NIL {
+            self.head = idx;
+        }
+    }
+}
+
+/// A set-associative cache: `capacity / ways` hash-indexed sets, each an
+/// LRU list of `ways` blocks.
+///
+/// Real storage caches index their block tables by address hash, so which
+/// blocks conflict depends on the *file layout* — this is precisely the
+/// effect the paper's hierarchy-aware pattern construction exploits (and
+/// why targeting a single layer loses part of the benefit, Fig. 7(f)).
+/// The set index preserves within-file block adjacency (consecutive blocks
+/// fall into consecutive sets) and offsets different files by a prime
+/// multiplier.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: Vec<LruCore>,
+    ways: usize,
+}
+
+impl SetAssocCache {
+    /// A cache of `capacity` blocks organized as `capacity / ways` sets of
+    /// `ways` blocks. `ways >= capacity` degenerates to fully-associative.
+    pub fn new(capacity: usize, ways: usize) -> SetAssocCache {
+        assert!(capacity > 0 && ways > 0, "SetAssocCache: zero capacity/ways");
+        let ways = ways.min(capacity);
+        let num_sets = (capacity / ways).max(1);
+        SetAssocCache { sets: (0..num_sets).map(|_| LruCore::new(ways)).collect(), ways }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    fn set_of(&self, block: BlockAddr) -> usize {
+        ((block.index + block.file as u64 * 7919) % self.sets.len() as u64) as usize
+    }
+
+    /// Weighted lookup; see [`LruCore::access_weighted`].
+    pub fn access_weighted(&mut self, block: BlockAddr, weight: u32) -> bool {
+        let s = self.set_of(block);
+        self.sets[s].access_weighted(block, weight)
+    }
+
+    /// Unweighted lookup.
+    pub fn access(&mut self, block: BlockAddr) -> bool {
+        self.access_weighted(block, 1)
+    }
+
+    /// Insert at MRU of the block's set; returns the set's LRU victim if
+    /// the set was full.
+    pub fn insert(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        let s = self.set_of(block);
+        self.sets[s].insert(block)
+    }
+
+    /// Insert at the LRU end of the block's set.
+    pub fn insert_lru(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        let s = self.set_of(block);
+        self.sets[s].insert_lru(block)
+    }
+
+    /// Remove a block if resident.
+    pub fn remove(&mut self, block: BlockAddr) -> bool {
+        let s = self.set_of(block);
+        self.sets[s].remove(block)
+    }
+
+    /// Residency check (no stats).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.sets[self.set_of(block)].contains(block)
+    }
+
+    /// Total resident blocks.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(LruCore::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(LruCore::is_empty)
+    }
+
+    /// Aggregated counters over all sets.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for set in &self.sets {
+            s.merge(&set.stats());
+        }
+        s
+    }
+
+    /// Resident blocks (test helper).
+    pub fn blocks(&self) -> Vec<BlockAddr> {
+        self.sets.iter().flat_map(LruCore::blocks_mru_to_lru).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::new(0, i)
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = LruCore::new(2);
+        assert!(!c.access(b(1)));
+        c.insert(b(1));
+        assert!(c.access(b(1)));
+        let s = c.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses(), 1);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_access_accounting() {
+        let mut c = LruCore::new(2);
+        // Cold block, 4 coalesced elements: 1 miss + 3 buffered hits.
+        assert!(!c.access_weighted(b(1), 4));
+        c.insert(b(1));
+        // Warm block, 4 elements: all hits.
+        assert!(c.access_weighted(b(1), 4));
+        let s = c.stats();
+        assert_eq!(s.accesses, 8);
+        assert_eq!(s.hits, 7);
+        assert_eq!(s.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = LruCore::new(2);
+        c.insert(b(1));
+        c.insert(b(2));
+        let evicted = c.insert(b(3));
+        assert_eq!(evicted, Some(b(1)), "LRU block must be evicted");
+        assert!(c.contains(b(2)));
+        assert!(c.contains(b(3)));
+    }
+
+    #[test]
+    fn access_promotes_to_mru() {
+        let mut c = LruCore::new(2);
+        c.insert(b(1));
+        c.insert(b(2));
+        c.access(b(1)); // 1 becomes MRU, 2 is now LRU
+        let evicted = c.insert(b(3));
+        assert_eq!(evicted, Some(b(2)));
+    }
+
+    #[test]
+    fn insert_lru_is_first_evicted() {
+        let mut c = LruCore::new(2);
+        c.insert(b(1));
+        c.insert_lru(b(2));
+        let evicted = c.insert(b(3));
+        assert_eq!(evicted, Some(b(2)), "LRU-inserted block evicted first");
+    }
+
+    #[test]
+    fn insert_resident_promotes() {
+        let mut c = LruCore::new(2);
+        c.insert(b(1));
+        c.insert(b(2));
+        assert_eq!(c.insert(b(1)), None);
+        assert_eq!(c.insert(b(3)), Some(b(2)));
+    }
+
+    #[test]
+    fn remove_and_reuse_slot() {
+        let mut c = LruCore::new(2);
+        c.insert(b(1));
+        assert!(c.remove(b(1)));
+        assert!(!c.remove(b(1)));
+        assert_eq!(c.len(), 0);
+        c.insert(b(2));
+        c.insert(b(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(b(2)) && c.contains(b(3)));
+    }
+
+    #[test]
+    fn pop_lru_drains_in_order() {
+        let mut c = LruCore::new(3);
+        c.insert(b(1));
+        c.insert(b(2));
+        c.insert(b(3));
+        assert_eq!(c.pop_lru(), Some(b(1)));
+        assert_eq!(c.pop_lru(), Some(b(2)));
+        assert_eq!(c.pop_lru(), Some(b(3)));
+        assert_eq!(c.pop_lru(), None);
+    }
+
+    #[test]
+    fn mru_to_lru_listing() {
+        let mut c = LruCore::new(3);
+        c.insert(b(1));
+        c.insert(b(2));
+        c.insert(b(3));
+        c.access(b(1));
+        assert_eq!(c.blocks_mru_to_lru(), vec![b(1), b(3), b(2)]);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = LruCore::new(1);
+        c.insert(b(1));
+        assert_eq!(c.insert(b(2)), Some(b(1)));
+        assert!(c.contains(b(2)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut c = LruCore::new(4);
+        for i in 0..100 {
+            c.access(b(i % 7));
+            c.insert(b(i % 7));
+            assert!(c.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn lru_stack_property() {
+        // A larger LRU cache's hits are a superset of a smaller one's on
+        // the same trace (classic inclusion property).
+        let trace: Vec<u64> = vec![1, 2, 3, 1, 4, 5, 2, 1, 3, 3, 6, 1, 2, 7, 1];
+        let mut small = LruCore::new(2);
+        let mut large = LruCore::new(4);
+        for &t in &trace {
+            let hs = small.access(b(t));
+            let hl = large.access(b(t));
+            assert!(!hs || hl, "small cache hit where large missed (block {t})");
+            small.insert(b(t));
+            large.insert(b(t));
+        }
+        assert!(large.stats().hits >= small.stats().hits);
+    }
+
+    #[test]
+    fn set_assoc_single_set_is_fully_associative() {
+        let mut sa = SetAssocCache::new(4, 8); // ways clamped to 4 → 1 set
+        assert_eq!(sa.num_sets(), 1);
+        for i in 0..4 {
+            sa.insert(b(i));
+        }
+        assert!(sa.access(b(0)));
+        assert_eq!(sa.insert(b(9)), Some(b(1)), "global LRU evicted");
+    }
+
+    #[test]
+    fn set_assoc_conflicts_within_set() {
+        // 4 sets × 2 ways: blocks 0, 4, 8 share set 0; inserting three
+        // evicts the set-LRU even though other sets are empty.
+        let mut sa = SetAssocCache::new(8, 2);
+        assert_eq!(sa.num_sets(), 4);
+        sa.insert(b(0));
+        sa.insert(b(4));
+        let evicted = sa.insert(b(8));
+        assert_eq!(evicted, Some(b(0)), "set conflict must evict");
+        assert_eq!(sa.len(), 2);
+    }
+
+    #[test]
+    fn set_assoc_consecutive_blocks_spread() {
+        let mut sa = SetAssocCache::new(8, 2);
+        for i in 0..8 {
+            assert_eq!(sa.insert(b(i)), None, "consecutive blocks must not conflict");
+        }
+        assert_eq!(sa.len(), 8);
+    }
+
+    #[test]
+    fn set_assoc_files_are_offset() {
+        let sa = SetAssocCache::new(8, 2);
+        // Same index in different files should usually land in different
+        // sets (prime multiplier).
+        let a = BlockAddr::new(0, 0);
+        let c = BlockAddr::new(1, 0);
+        assert_ne!(sa.set_of(a), sa.set_of(c));
+    }
+
+    #[test]
+    fn set_assoc_stats_aggregate() {
+        let mut sa = SetAssocCache::new(8, 2);
+        sa.access(b(0));
+        sa.insert(b(0));
+        sa.access(b(0));
+        let st = sa.stats();
+        assert_eq!(st.accesses, 2);
+        assert_eq!(st.hits, 1);
+    }
+}

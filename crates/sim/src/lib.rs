@@ -1,0 +1,43 @@
+//! # flo-sim
+//!
+//! A trace-driven simulator of the paper's target platform: a cluster whose
+//! I/O path runs compute node → I/O node → storage node → disk, with
+//! *storage caches* at the I/O and storage layers (Fig. 1 of the paper;
+//! caches are allocated only at those two layers in the evaluation, §5.1).
+//!
+//! The simulator consumes per-thread streams of data-block accesses
+//! ([`trace::ThreadTrace`]) and produces per-layer hit/miss statistics plus
+//! an execution-time estimate ([`stats::SimReport`]). Three cache-hierarchy
+//! management policies are provided:
+//!
+//! * inclusive LRU (the paper's default, §5.1),
+//! * DEMOTE-LRU — exclusive caching via demotions (Wong & Wilkes, §5.4),
+//! * KARMA — hint-based exclusive range partitioning (Yadgar et al., §5.4).
+//!
+//! The disk model charges seek + rotational latency (10k RPM) for
+//! non-sequential reads and a pure transfer cost for sequential ones, with
+//! PVFS-style round-robin striping of file blocks across storage nodes.
+//!
+//! Everything is deterministic: same traces + same configuration ⇒ same
+//! report.
+
+pub mod block;
+pub mod cache;
+pub mod disk;
+pub mod policies;
+pub mod sim;
+pub mod stats;
+pub mod system;
+pub mod topology;
+pub mod trace;
+
+pub use block::{BlockAddr, FileId};
+pub use cache::LruCore;
+pub use disk::DiskModel;
+pub use policies::karma::KarmaHints;
+pub use policies::PolicyKind;
+pub use sim::{simulate, RunConfig};
+pub use stats::{LayerStats, SimReport};
+pub use system::StorageSystem;
+pub use topology::Topology;
+pub use trace::{JitterInterleaver, ThreadTrace};

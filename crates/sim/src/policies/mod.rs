@@ -1,0 +1,80 @@
+//! Cache-hierarchy management policies.
+//!
+//! The paper evaluates its layout optimization under three managements of
+//! the (I/O cache, storage cache) hierarchy:
+//!
+//! * [`PolicyKind::LruInclusive`] — the default of §5.1: every layer runs
+//!   LRU and lower layers retain copies of blocks cached above them.
+//! * [`PolicyKind::DemoteLru`] — Wong & Wilkes' DEMOTE with LRU arrays
+//!   (§5.4, [44]): exclusive caching where client evictions are demoted to
+//!   the storage cache.
+//! * [`PolicyKind::Karma`] — Yadgar et al.'s KARMA (§5.4, [47]): exclusive
+//!   caching driven by application hints that classify blocks into ranges
+//!   and partition cache space across the hierarchy by marginal gain.
+//!
+//! The per-access walks live in [`crate::system`]; this module holds the
+//! policy identifiers and KARMA's hint/allocation machinery.
+
+pub mod demote;
+pub mod karma;
+pub mod mq;
+
+use serde::{Deserialize, Serialize};
+
+/// Which hierarchy management scheme the simulated system runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Inclusive LRU at both layers (paper default).
+    LruInclusive,
+    /// DEMOTE-LRU exclusive caching [44].
+    DemoteLru,
+    /// KARMA hint-based exclusive partitioning [47].
+    Karma,
+    /// Multi-Queue at the storage layer, LRU at the I/O layer — the
+    /// second-level scheme of the paper's citation [50]; an extension
+    /// beyond the evaluated policies.
+    MqSecondLevel,
+}
+
+impl PolicyKind {
+    /// The policies of Fig. 7(h), in presentation order.
+    pub fn all() -> [PolicyKind; 3] {
+        [PolicyKind::LruInclusive, PolicyKind::Karma, PolicyKind::DemoteLru]
+    }
+
+    /// All policies including the MQ extension.
+    pub fn extended() -> [PolicyKind; 4] {
+        [
+            PolicyKind::LruInclusive,
+            PolicyKind::Karma,
+            PolicyKind::DemoteLru,
+            PolicyKind::MqSecondLevel,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::LruInclusive => "LRU",
+            PolicyKind::DemoteLru => "DEMOTE-LRU",
+            PolicyKind::Karma => "KARMA",
+            PolicyKind::MqSecondLevel => "MQ",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = PolicyKind::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 3);
+        for i in 0..names.len() {
+            for j in i + 1..names.len() {
+                assert_ne!(names[i], names[j]);
+            }
+        }
+    }
+}

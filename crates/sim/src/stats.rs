@@ -1,0 +1,94 @@
+//! Simulation reports.
+
+use crate::cache::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer cache statistics as reported in Tables 2 and 3.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// I/O-node layer counters.
+    pub io: CacheStats,
+    /// Storage-node layer counters.
+    pub storage: CacheStats,
+}
+
+/// The outcome of one simulated run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Per-layer cache counters.
+    pub layers: LayerStats,
+    /// Total disk reads.
+    pub disk_reads: u64,
+    /// Disk reads that were sequential.
+    pub disk_sequential_reads: u64,
+    /// DEMOTE transfers performed (0 for non-demoting policies).
+    pub demotions: u64,
+    /// Per-thread accumulated I/O latency in milliseconds.
+    pub thread_latency_ms: Vec<f64>,
+    /// Per-thread compute time in milliseconds.
+    pub thread_compute_ms: Vec<f64>,
+    /// Estimated execution time: `max_t(compute_t + latency_t)`.
+    pub execution_time_ms: f64,
+    /// Total block requests issued.
+    pub total_requests: u64,
+}
+
+impl SimReport {
+    /// I/O-layer miss rate in [0, 1].
+    pub fn io_miss_rate(&self) -> f64 {
+        self.layers.io.miss_rate()
+    }
+
+    /// Storage-layer miss rate in [0, 1].
+    pub fn storage_miss_rate(&self) -> f64 {
+        self.layers.storage.miss_rate()
+    }
+
+    /// Fraction of disk reads that were sequential.
+    pub fn disk_sequential_fraction(&self) -> f64 {
+        if self.disk_reads == 0 {
+            0.0
+        } else {
+            self.disk_sequential_reads as f64 / self.disk_reads as f64
+        }
+    }
+
+    /// Aggregate I/O stall time across threads.
+    pub fn total_io_ms(&self) -> f64 {
+        self.thread_latency_ms.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let mut r = SimReport::default();
+        r.layers.io.accesses = 10;
+        r.layers.io.hits = 7;
+        r.layers.storage.accesses = 3;
+        r.layers.storage.hits = 1;
+        r.disk_reads = 2;
+        r.disk_sequential_reads = 1;
+        assert!((r.io_miss_rate() - 0.3).abs() < 1e-12);
+        assert!((r.storage_miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.disk_sequential_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_has_zero_rates() {
+        let r = SimReport::default();
+        assert_eq!(r.io_miss_rate(), 0.0);
+        assert_eq!(r.disk_sequential_fraction(), 0.0);
+        assert_eq!(r.total_io_ms(), 0.0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = SimReport::default();
+        let json = serde_json::to_string(&r);
+        assert!(json.is_ok());
+    }
+}

@@ -1,0 +1,216 @@
+//! The storage hierarchy topology (Table 1).
+//!
+//! Compute nodes connect in contiguous groups to I/O nodes; file blocks are
+//! striped round-robin across storage nodes (PVFS). Capacities are in data
+//! blocks: the paper's absolute byte sizes are scaled down together with the
+//! workload footprints (see DESIGN.md §1, "Scaling substitution").
+
+use crate::block::BlockAddr;
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated platform.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of compute nodes (each runs one application thread in the
+    /// default execution).
+    pub compute_nodes: usize,
+    /// Number of I/O nodes (I/O forwarders); each serves
+    /// `compute_nodes / io_nodes` compute nodes.
+    pub io_nodes: usize,
+    /// Number of storage nodes (file servers with disks).
+    pub storage_nodes: usize,
+    /// Capacity of each I/O-node cache, in data blocks.
+    pub io_cache_blocks: usize,
+    /// Capacity of each storage-node cache, in data blocks.
+    pub storage_cache_blocks: usize,
+    /// Data-block size in array elements (cache management unit = stripe
+    /// size, per Table 1).
+    pub block_elems: u64,
+    /// Cache associativity (ways per hash-indexed set). Real storage
+    /// caches index block tables by address hash; `ways >= capacity`
+    /// degenerates to fully-associative.
+    pub cache_ways: usize,
+}
+
+impl Topology {
+    /// The default configuration mirroring Table 1's shape:
+    /// (64 compute, 16 I/O, 4 storage) nodes, storage caches twice the
+    /// I/O caches, block = stripe.
+    pub fn paper_default() -> Topology {
+        Topology {
+            compute_nodes: 64,
+            io_nodes: 16,
+            storage_nodes: 4,
+            io_cache_blocks: 96,
+            storage_cache_blocks: 192,
+            block_elems: 64,
+            cache_ways: 8,
+        }
+    }
+
+    /// A small topology for unit tests: (4, 2, 1) nodes.
+    pub fn tiny() -> Topology {
+        Topology {
+            compute_nodes: 4,
+            io_nodes: 2,
+            storage_nodes: 1,
+            io_cache_blocks: 8,
+            storage_cache_blocks: 16,
+            block_elems: 4,
+            cache_ways: usize::MAX, // fully associative for unit tests
+        }
+    }
+
+    /// Validate divisibility constraints; panics on malformed topologies.
+    pub fn validate(&self) {
+        assert!(self.compute_nodes > 0 && self.io_nodes > 0 && self.storage_nodes > 0);
+        assert!(
+            self.compute_nodes.is_multiple_of(self.io_nodes),
+            "compute nodes must divide evenly over I/O nodes"
+        );
+        assert!(self.io_cache_blocks > 0 && self.storage_cache_blocks > 0);
+        assert!(self.block_elems > 0);
+    }
+
+    /// Compute nodes per I/O node.
+    pub fn compute_per_io(&self) -> usize {
+        self.compute_nodes / self.io_nodes
+    }
+
+    /// I/O nodes per storage-cache *sharing group*. All I/O nodes reach all
+    /// storage nodes (striping), so for layout-pattern purposes the I/O
+    /// layer fans in uniformly: `io_nodes / storage_nodes` when divisible,
+    /// otherwise all I/O nodes share each storage cache.
+    pub fn io_per_storage(&self) -> usize {
+        if self.io_nodes.is_multiple_of(self.storage_nodes) {
+            self.io_nodes / self.storage_nodes
+        } else {
+            self.io_nodes
+        }
+    }
+
+    /// The I/O node serving compute node `c`.
+    pub fn io_node_of_compute(&self, c: usize) -> usize {
+        assert!(c < self.compute_nodes, "compute node out of range");
+        c / self.compute_per_io()
+    }
+
+    /// The storage node holding `block` (PVFS round-robin striping, stripe
+    /// size = block size).
+    pub fn storage_node_of_block(&self, block: BlockAddr) -> usize {
+        (block.index % self.storage_nodes as u64) as usize
+    }
+
+    /// Aggregate I/O-layer cache capacity in blocks.
+    pub fn total_io_cache(&self) -> usize {
+        self.io_nodes * self.io_cache_blocks
+    }
+
+    /// Aggregate storage-layer cache capacity in blocks.
+    pub fn total_storage_cache(&self) -> usize {
+        self.storage_nodes * self.storage_cache_blocks
+    }
+
+    /// A copy with both cache capacities scaled by `num/den` (used by the
+    /// Fig. 7(c) sensitivity sweep). Capacities are kept ≥ 1 block.
+    pub fn with_cache_scale(&self, num: usize, den: usize) -> Topology {
+        let mut t = self.clone();
+        t.io_cache_blocks = (self.io_cache_blocks * num / den).max(1);
+        t.storage_cache_blocks = (self.storage_cache_blocks * num / den).max(1);
+        t
+    }
+
+    /// A copy with a different block size (Fig. 7(e)). Cache capacities in
+    /// *blocks* are adjusted inversely so the byte capacity stays fixed,
+    /// exactly as in the paper's sweep.
+    pub fn with_block_elems(&self, block_elems: u64) -> Topology {
+        let mut t = self.clone();
+        let ratio_num = self.block_elems as usize;
+        let ratio_den = block_elems as usize;
+        t.block_elems = block_elems;
+        t.io_cache_blocks = (self.io_cache_blocks * ratio_num / ratio_den).max(1);
+        t.storage_cache_blocks = (self.storage_cache_blocks * ratio_num / ratio_den).max(1);
+        t
+    }
+
+    /// A copy with different node counts (Fig. 7(d)); per-node cache sizes
+    /// retain their defaults, matching the paper ("individual cache
+    /// capacities are as shown in Table 1").
+    pub fn with_node_counts(&self, compute: usize, io: usize, storage: usize) -> Topology {
+        let mut t = self.clone();
+        t.compute_nodes = compute;
+        t.io_nodes = io;
+        t.storage_nodes = storage;
+        t.validate();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let t = Topology::paper_default();
+        t.validate();
+        assert_eq!(t.compute_per_io(), 4);
+        assert_eq!(t.io_per_storage(), 4);
+    }
+
+    #[test]
+    fn compute_to_io_routing() {
+        let t = Topology::paper_default();
+        assert_eq!(t.io_node_of_compute(0), 0);
+        assert_eq!(t.io_node_of_compute(3), 0);
+        assert_eq!(t.io_node_of_compute(4), 1);
+        assert_eq!(t.io_node_of_compute(63), 15);
+    }
+
+    #[test]
+    fn striping_round_robin() {
+        let t = Topology::paper_default();
+        assert_eq!(t.storage_node_of_block(BlockAddr::new(0, 0)), 0);
+        assert_eq!(t.storage_node_of_block(BlockAddr::new(0, 1)), 1);
+        assert_eq!(t.storage_node_of_block(BlockAddr::new(0, 4)), 0);
+        assert_eq!(t.storage_node_of_block(BlockAddr::new(7, 5)), 1);
+    }
+
+    #[test]
+    fn striping_is_balanced() {
+        let t = Topology::paper_default();
+        let mut counts = vec![0usize; t.storage_nodes];
+        for i in 0..1000 {
+            counts[t.storage_node_of_block(BlockAddr::new(0, i))] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1, "striping imbalance: {counts:?}");
+    }
+
+    #[test]
+    fn cache_scaling() {
+        let t = Topology::paper_default();
+        let half = t.with_cache_scale(1, 2);
+        assert_eq!(half.io_cache_blocks, t.io_cache_blocks / 2);
+        assert_eq!(half.storage_cache_blocks, t.storage_cache_blocks / 2);
+        // Never scales to zero.
+        let tiny = t.with_cache_scale(1, 1_000_000);
+        assert_eq!(tiny.io_cache_blocks, 1);
+    }
+
+    #[test]
+    fn block_size_scaling_preserves_byte_capacity() {
+        let t = Topology::paper_default();
+        let halved = t.with_block_elems(t.block_elems / 2);
+        assert_eq!(
+            halved.io_cache_blocks as u64 * halved.block_elems,
+            t.io_cache_blocks as u64 * t.block_elems
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn indivisible_compute_rejected() {
+        Topology::paper_default().with_node_counts(10, 3, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the storage-cache simulator's invariants.
+
+use flo_sim::policies::demote;
+use flo_sim::{BlockAddr, LruCore, PolicyKind, StorageSystem, ThreadTrace, Topology};
+use proptest::prelude::*;
+
+fn block_stream() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..40, 1..200)
+}
+
+proptest! {
+    /// LRU inclusion (stack) property: a larger cache's hits are a
+    /// superset of a smaller one's on any trace.
+    #[test]
+    fn lru_stack_property(stream in block_stream()) {
+        let mut small = LruCore::new(4);
+        let mut large = LruCore::new(16);
+        for &i in &stream {
+            let b = BlockAddr::new(0, i);
+            let hs = small.access(b);
+            let hl = large.access(b);
+            prop_assert!(!hs || hl, "small hit where large missed at block {i}");
+            small.insert(b);
+            large.insert(b);
+        }
+        prop_assert!(large.stats().hits >= small.stats().hits);
+    }
+
+    /// The LRU cache never exceeds its capacity and never double-counts.
+    #[test]
+    fn lru_capacity_invariant(stream in block_stream(), cap in 1usize..12) {
+        let mut c = LruCore::new(cap);
+        for &i in &stream {
+            let b = BlockAddr::new(0, i);
+            c.access(b);
+            c.insert(b);
+            prop_assert!(c.len() <= cap);
+            let listed = c.blocks_mru_to_lru();
+            let mut dedup = listed.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), listed.len(), "duplicate resident block");
+        }
+    }
+
+    /// DEMOTE keeps the two layers exclusive on any trace.
+    #[test]
+    fn demote_exclusivity(stream in block_stream()) {
+        let mut upper = LruCore::new(3);
+        let mut lower = LruCore::new(5);
+        for &i in &stream {
+            demote::access(&mut upper, &mut lower, BlockAddr::new(0, i));
+            for b in upper.blocks_mru_to_lru() {
+                prop_assert!(!lower.contains(b), "block {b:?} resident at both layers");
+            }
+        }
+    }
+
+    /// Any policy on any trace keeps hit counts within access counts, and
+    /// the simulation is deterministic.
+    #[test]
+    fn policies_consistent_and_deterministic(
+        streams in proptest::collection::vec(block_stream(), 1..4),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = PolicyKind::all()[policy_idx];
+        let topo = Topology::tiny();
+        let traces: Vec<ThreadTrace> = streams
+            .iter()
+            .enumerate()
+            .map(|(t, s)| {
+                let mut tr = ThreadTrace::new(t, t % topo.compute_nodes);
+                for &i in s {
+                    tr.push(BlockAddr::new((i % 3) as u32, i));
+                }
+                tr
+            })
+            .collect();
+        let run = || {
+            let mut system = StorageSystem::new(topo.clone(), policy);
+            flo_sim::simulate(&mut system, &traces, &Default::default())
+        };
+        let a = run();
+        let b = run();
+        prop_assert!(a.layers.io.hits <= a.layers.io.accesses);
+        prop_assert!(a.layers.storage.hits <= a.layers.storage.accesses);
+        prop_assert!(a.disk_sequential_reads <= a.disk_reads);
+        prop_assert_eq!(a.execution_time_ms, b.execution_time_ms);
+        prop_assert_eq!(a.disk_reads, b.disk_reads);
+        // Every block request reaches the I/O layer exactly once (weighted
+        // by coalesced element counts).
+        let elements: u64 = traces.iter().map(|t| t.element_accesses()).sum();
+        prop_assert_eq!(a.layers.io.accesses, elements);
+    }
+
+    /// Striping never routes a block outside the storage nodes and is
+    /// deterministic per address.
+    #[test]
+    fn striping_is_total(file in 0u32..4, index in 0u64..10_000) {
+        let topo = Topology::paper_default();
+        let node = topo.storage_node_of_block(BlockAddr::new(file, index));
+        prop_assert!(node < topo.storage_nodes);
+        prop_assert_eq!(node, topo.storage_node_of_block(BlockAddr::new(file, index)));
+    }
+}

@@ -1,0 +1,52 @@
+//! `afores` — I/O template of an alternative-fuel combustion simulation.
+//!
+//! **Group 3 (21–26%), master–slave, and the suite's smallest array count
+//! (3).** The template checkpoints three very large species-concentration
+//! arrays; the writer drains them column-by-column (transposed) while
+//! later phases re-read them the same way. Work items are handed out by a
+//! master, making the app mapping-sensitive (§5.3).
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy() * 3 / 2;
+    let mut b = ProgramBuilder::new();
+    let species: Vec<_> =
+        (0..3).map(|k| b.array(&format!("species{k}"), &[n, n])).collect();
+    let t: &[&[i64]] = &[&[0, 1], &[1, 0]];
+    for _ in 0..3 {
+        for &a in &species {
+            b.nest(&[n, n]).write(a, t).done();
+            b.nest(&[n, n]).read(a, t).done();
+        }
+    }
+    Workload {
+        name: "afores",
+        description: "alternative fuel combustion simulation I/O template",
+        program: b.build(),
+        compute_ms_per_elem: 5.09,
+        master_slave: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 3, "afores has the suite's fewest arrays");
+        assert!(w.master_slave);
+        assert_eq!(w.program.nests().len(), 18);
+    }
+
+    #[test]
+    fn arrays_are_largest_of_2d_suite() {
+        let small = build(Scale::Small);
+        let extent = small.program.array(flo_polyhedral::ArrayId(0)).space.extent(0);
+        assert_eq!(extent, Scale::Small.xy() * 3 / 2);
+    }
+}

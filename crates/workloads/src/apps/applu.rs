@@ -1,0 +1,68 @@
+//! `applu` — out-of-core SPECOMP applu (LU-SSOR solver).
+//!
+//! **Group 3 (21–26%).** The lower/upper SSOR sweeps are parallelized
+//! over *wavefronts*: the staged flow arrays are indexed by the wavefront
+//! number plus the in-plane coordinates, `rsd[i1 + i2 + i3, i2, i3]`. A
+//! thread owns a set of diagonal wavefront planes — Step I's hyperplane is
+//! the skewed `d = (1, −1, −1)`, and **no dimension permutation** can make
+//! a thread's wavefront data contiguous (this is the class of layouts the
+//! paper's §5.4 argues is out of reach for reindexing [27]).
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let z = scale.z();
+    let mut b = ProgramBuilder::new();
+    let arrays: Vec<_> =
+        (0..6).map(|k| b.array(&format!("rsd{k}"), &[3 * z - 2, z, z])).collect();
+    let flux = b.array("flux", &[z, z]);
+    // Wavefront-staged access: a = (i1 + i2 + i3, i2, i3), where i1 is the
+    // parallelized wavefront loop.
+    let wave: &[&[i64]] = &[&[1, 1, 1], &[0, 1, 0], &[0, 0, 1]];
+    for _ in 0..2 {
+        for &a in &arrays {
+            b.nest(&[z, z, z]).read(a, wave).write(a, wave).done();
+        }
+        // Flux coefficients indexed by the non-parallel loops.
+        b.nest(&[z, z, z]).read(flux, &[&[0, 1, 0], &[0, 0, 1]]).done();
+    }
+    Workload {
+        name: "applu",
+        description: "out-of-core SPECOMP applu (LU-SSOR CFD solver)",
+        program: b.build(),
+        compute_ms_per_elem: 11.28,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_core::partition::{partition_array, AccessConstraint, PartitionOutcome};
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 7);
+    }
+
+    #[test]
+    fn partition_is_skewed_wavefront() {
+        let w = build(Scale::Small);
+        let profile = w.program.access_profile(flo_polyhedral::ArrayId(0));
+        let constraints: Vec<AccessConstraint> = profile
+            .weighted_matrices
+            .into_iter()
+            .map(|(q, weight)| AccessConstraint { q, u: 0, weight })
+            .collect();
+        let PartitionOutcome::Optimized(p) = partition_array(&constraints) else {
+            panic!("applu arrays must optimize");
+        };
+        // d ∝ (1, −1, −1): a genuinely skewed hyperplane — no dimension
+        // permutation isolates it.
+        assert_eq!(p.d_row.iter().map(|x| x.abs()).collect::<Vec<_>>(), vec![1, 1, 1]);
+        assert_eq!(p.satisfied_weight_fraction, 1.0);
+    }
+}

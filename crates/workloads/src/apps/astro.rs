@@ -1,0 +1,61 @@
+//! `astro` — astrophysics post-processing.
+//!
+//! **Group 2 (8–13%), high default miss rates.** Table 2 lists astro with
+//! the suite's worst default miss rates (52%/61%): large particle-grid
+//! arrays swept along the wrong dimension. Half of its arrays are read by
+//! a single transposed sweep (fixable); the other half are read both
+//! row-wise and column-wise in the same phase with equal weight
+//! (conflicting, like `twer`), which caps the overall benefit at the
+//! moderate band.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy();
+    let mut b = ProgramBuilder::new();
+    let grids: Vec<_> = (0..3).map(|k| b.array(&format!("grid{k}"), &[n, n])).collect();
+    let hists: Vec<_> = (0..2).map(|k| b.array(&format!("hist{k}"), &[n, n])).collect();
+    let bins = b.array("bins", &[n]);
+    for _ in 0..2 {
+        // Grid arrays: pure column sweeps — the layout pass fixes these.
+        for &a in &grids {
+            b.nest(&[n, n]).read(a, &[&[0, 1], &[1, 0]]).done();
+        }
+        // Histogram arrays: conflicting row and column passes, plus a
+        // shared bin table indexed by the inner loop.
+        for &a in &hists {
+            b.nest(&[n, n]).read(a, &[&[1, 0], &[0, 1]]).read(bins, &[&[0, 1]]).done();
+            b.nest(&[n, n]).read(a, &[&[0, 1], &[1, 0]]).done();
+        }
+    }
+    Workload {
+        name: "astro",
+        description: "astrophysics particle-grid post-processing",
+        program: b.build(),
+        compute_ms_per_elem: 3.25,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 6);
+        assert_eq!(w.program.nests().len(), 2 * (3 + 4));
+    }
+
+    #[test]
+    fn grid_arrays_have_single_access_matrix() {
+        let w = build(Scale::Small);
+        let profile = w.program.access_profile(flo_polyhedral::ArrayId(0));
+        assert_eq!(profile.weighted_matrices.len(), 1);
+        let profile = w.program.access_profile(flo_polyhedral::ArrayId(3));
+        assert_eq!(profile.weighted_matrices.len(), 2, "hist arrays conflict");
+    }
+}

@@ -1,0 +1,76 @@
+//! `bt` — out-of-core NAS Parallel Benchmarks BT (block tri-diagonal).
+//!
+//! **Group 2 (8–13%).** BT solves block-tridiagonal systems along each of
+//! the three coordinate directions in turn. The x-sweep arrays are indexed
+//! `[i1, i2, i3]` (already contiguous per thread under row-major), but the
+//! y-sweep arrays are indexed `[i2, i1, i3]` — their first storage
+//! dimension varies with a *non-parallel* loop, so the default layout
+//! scatters each thread's data. Half the arrays benefit, half are already
+//! fine: a moderate overall improvement.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let z = scale.z();
+    let mut b = ProgramBuilder::new();
+    let xs: Vec<_> = (0..3).map(|k| b.array(&format!("xsweep{k}"), &[z, z, z])).collect();
+    let ys: Vec<_> = (0..3).map(|k| b.array(&format!("ysweep{k}"), &[z, z, z])).collect();
+    let coeff: Vec<_> = (0..2).map(|k| b.array(&format!("coeff{k}"), &[z, z])).collect();
+    for _ in 0..2 {
+        // x-direction solve: identity accesses.
+        for &a in &xs {
+            b.nest(&[z, z, z]).read(a, &[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]).done();
+        }
+        // y-direction solve: first array dimension indexed by the middle
+        // loop → scattered under row-major, fixed by the inter-node
+        // layout (d = (0, 1, 0)).
+        for &a in &ys {
+            b.nest(&[z, z, z]).read(a, &[&[0, 1, 0], &[1, 0, 0], &[0, 0, 1]]).done();
+        }
+        // Solver coefficients indexed by the non-parallel loops — shared
+        // by every thread, hence not partitionable (kept row-major).
+        for &a in &coeff {
+            b.nest(&[z, z, z]).read(a, &[&[0, 1, 0], &[0, 0, 1]]).done();
+        }
+    }
+    Workload {
+        name: "bt",
+        description: "out-of-core NAS BT (block tri-diagonal solver)",
+        program: b.build(),
+        compute_ms_per_elem: 1.12,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_core::partition::{partition_array, AccessConstraint};
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 8);
+        assert_eq!(w.program.nests().len(), 16);
+    }
+
+    #[test]
+    fn ysweep_arrays_partition_along_dim_one() {
+        let w = build(Scale::Small);
+        // Arrays 3..6 are the y-sweep arrays.
+        let profile = w.program.access_profile(flo_polyhedral::ArrayId(4));
+        let constraints: Vec<AccessConstraint> = profile
+            .weighted_matrices
+            .into_iter()
+            .map(|(q, weight)| AccessConstraint { q, u: 0, weight })
+            .collect();
+        match partition_array(&constraints) {
+            flo_core::partition::PartitionOutcome::Optimized(p) => {
+                assert_eq!(p.d_row, vec![0, 1, 0]);
+            }
+            other => panic!("y-sweep must optimize: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! `cc-ver-1` — protein structure prediction, implementation 1.
+//!
+//! **Group 1 (no benefit).** The paper: "cc-ver-1 … already ha[s] very
+//! good cache hit rates in [its] default execution; there is simply no
+//! scope for additional performance improvement." The kernel models the
+//! contact-map scoring phase: many passes over a set of *small*
+//! residue-pair matrices with row-order (identity) accesses. The working
+//! set fits in the I/O caches, and the accesses have strong spatial and
+//! temporal reuse, so the default row-major layouts already behave well.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy() / 4;
+    let mut b = ProgramBuilder::new();
+    let arrays: Vec<_> = (0..5)
+        .map(|k| b.array(&format!("contact{k}"), &[n, n]))
+        .collect();
+    // Twelve scoring sweeps: every pass reads each matrix in row order and
+    // rewrites the score matrix. High repetition → high hit rates.
+    for _ in 0..12 {
+        for pair in arrays.chunks(2) {
+            let mut nest = b.nest(&[n, n]);
+            for &a in pair {
+                nest = nest.read(a, &[&[1, 0], &[0, 1]]);
+            }
+            nest.write(arrays[4], &[&[1, 0], &[0, 1]]).done();
+        }
+    }
+    Workload {
+        name: "cc-ver-1",
+        description: "protein structure prediction (contact-map scoring), v1",
+        program: b.build(),
+        compute_ms_per_elem: 0.004,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.name, "cc-ver-1");
+        assert_eq!(w.array_count(), 5);
+        assert!(!w.master_slave);
+        // 12 sweeps × 3 chunk-nests (chunks of 2 over 5 arrays).
+        assert_eq!(w.program.nests().len(), 36);
+    }
+
+    #[test]
+    fn accesses_are_row_order() {
+        let w = build(Scale::Small);
+        for nest in w.program.nests() {
+            for r in &nest.refs {
+                assert_eq!(r.access.matrix(), &flo_linalg::IMat::identity(2));
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! `cc-ver-2` — protein structure prediction, implementation 2.
+//!
+//! **Group 2 (8–13%), master–slave.** The second implementation
+//! distributes scoring work from a master queue, so which thread touches
+//! which region depends on the thread mapping (§5.3 singles out cc-ver-2,
+//! afores and sar as mapping-sensitive). Its access structure mixes
+//! transposed sweeps over pair matrices (fixable) with row-order passes
+//! that are already fine.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy() * 3 / 4;
+    let mut b = ProgramBuilder::new();
+    let pairs: Vec<_> = (0..3).map(|k| b.array(&format!("pair{k}"), &[n, n])).collect();
+    let seqs: Vec<_> = (0..3).map(|k| b.array(&format!("seq{k}"), &[n, n])).collect();
+    let lookup = b.array("lookup", &[n]);
+    for _ in 0..2 {
+        // Pair matrices are filled column-wise (transposed accesses).
+        for &a in &pairs {
+            b.nest(&[n, n]).write(a, &[&[0, 1], &[1, 0]]).done();
+        }
+        // Sequence data streams in row order; the scoring lookup table
+        // is indexed by the inner loop (shared by all threads, not
+        // partitionable).
+        for &a in &seqs {
+            b.nest(&[n, n])
+                .read(a, &[&[1, 0], &[0, 1]])
+                .read(lookup, &[&[0, 1]])
+                .done();
+        }
+    }
+    Workload {
+        name: "cc-ver-2",
+        description: "protein structure prediction (master-slave scoring), v2",
+        program: b.build(),
+        compute_ms_per_elem: 2.33,
+        master_slave: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 7);
+        assert!(w.master_slave);
+    }
+
+    #[test]
+    fn mixes_reads_and_writes() {
+        let w = build(Scale::Small);
+        use flo_polyhedral::AccessKind;
+        let kinds: Vec<AccessKind> = w
+            .program
+            .nests()
+            .iter()
+            .flat_map(|nst| nst.refs.iter().map(|r| r.kind))
+            .collect();
+        assert!(kinds.contains(&AccessKind::Read));
+        assert!(kinds.contains(&AccessKind::Write));
+    }
+}

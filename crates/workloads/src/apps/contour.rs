@@ -1,0 +1,62 @@
+//! `contour` — contour display (isoline extraction) kernel.
+//!
+//! **Group 2 (8–13%).** Contour extraction scans each field twice
+//! vertically (column marching) for every horizontal pass, so the access
+//! profile is a 2:1 column:row mix. Step I follows the majority (columns),
+//! leaving a third of the accesses scattered — a partial, moderate win.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy();
+    let mut b = ProgramBuilder::new();
+    let fields: Vec<_> = (0..4).map(|k| b.array(&format!("field{k}"), &[n, n])).collect();
+    for _ in 0..2 {
+        for &a in &fields {
+            // Two column-marching passes …
+            b.nest(&[n, n]).read(a, &[&[0, 1], &[1, 0]]).done();
+            b.nest(&[n, n]).read(a, &[&[0, 1], &[1, 0]]).done();
+            // … and one horizontal pass per phase.
+            b.nest(&[n, n]).read(a, &[&[1, 0], &[0, 1]]).done();
+        }
+    }
+    Workload {
+        name: "contour",
+        description: "contour display (isoline extraction)",
+        program: b.build(),
+        compute_ms_per_elem: 3.87,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_core::partition::{partition_array, AccessConstraint, PartitionOutcome};
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 4);
+        assert_eq!(w.program.nests().len(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn two_thirds_of_weight_satisfied() {
+        let w = build(Scale::Small);
+        let profile = w.program.access_profile(flo_polyhedral::ArrayId(0));
+        let constraints: Vec<AccessConstraint> = profile
+            .weighted_matrices
+            .into_iter()
+            .map(|(q, weight)| AccessConstraint { q, u: 0, weight })
+            .collect();
+        let PartitionOutcome::Optimized(p) = partition_array(&constraints) else {
+            panic!("contour fields must optimize");
+        };
+        assert!((p.satisfied_weight_fraction - 2.0 / 3.0).abs() < 1e-9);
+        // The column majority drives the layout.
+        assert_eq!(p.d_row, vec![0, 1]);
+    }
+}

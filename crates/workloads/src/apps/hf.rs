@@ -1,0 +1,68 @@
+//! `hf` — Hartree–Fock method (self-consistent field iteration).
+//!
+//! **Group 3 (21–26%).** The Fock-matrix build reads the two-electron
+//! integral arrays along skewed index pairs `(i1 + i2, i2)` — the
+//! orbital-pair traversal — and the density matrices transposed. Both
+//! patterns scatter badly under row-major and neither is a dimension
+//! permutation of the other's fix, yet Step I handles each with its own
+//! unimodular hyperplane; three SCF iterations provide the reuse that the
+//! collapsed footprints convert into cache hits.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy();
+    let mut b = ProgramBuilder::new();
+    let eri: Vec<_> = (0..2).map(|k| b.array(&format!("eri{k}"), &[2 * n, n])).collect();
+    let dens: Vec<_> = (0..1).map(|k| b.array(&format!("density{k}"), &[n, n])).collect();
+    let basis = b.array("basis", &[n]);
+    let t: &[&[i64]] = &[&[0, 1], &[1, 0]];
+    for _ in 0..3 {
+        // Orbital-pair sweep: a = (i1 + i2, i2).
+        for &a in &eri {
+            b.nest(&[n, n]).read(a, &[&[1, 1], &[0, 1]]).done();
+        }
+        // Density updates, transposed, consulting the inner-indexed
+        // basis-set table.
+        for &a in &dens {
+            b.nest(&[n, n]).read(a, t).read(basis, &[&[0, 1]]).write(a, t).done();
+        }
+    }
+    Workload {
+        name: "hf",
+        description: "Hartree-Fock self-consistent field iteration",
+        program: b.build(),
+        compute_ms_per_elem: 2.46,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_core::partition::{partition_array, AccessConstraint, PartitionOutcome};
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 4);
+    }
+
+    #[test]
+    fn eri_uses_skewed_hyperplane() {
+        let w = build(Scale::Small);
+        let profile = w.program.access_profile(flo_polyhedral::ArrayId(0));
+        let constraints: Vec<AccessConstraint> = profile
+            .weighted_matrices
+            .into_iter()
+            .map(|(q, weight)| AccessConstraint { q, u: 0, weight })
+            .collect();
+        let PartitionOutcome::Optimized(p) = partition_array(&constraints) else {
+            panic!("eri must optimize");
+        };
+        // d ∝ (1, −1): skewed, not a reindexing.
+        assert_eq!(p.d_row.iter().map(|x| x.abs()).collect::<Vec<_>>(), vec![1, 1]);
+    }
+}

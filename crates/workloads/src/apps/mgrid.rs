@@ -1,0 +1,81 @@
+//! `mgrid` — out-of-core SPECOMP mgrid (multigrid V-cycle).
+//!
+//! **Group 2 (8–13%).** Restriction and prolongation between grid levels
+//! use *strided* accesses: the coarse-grid update reads `F[2·i1, i2, i3]`
+//! (stride-2 along the partitioned dimension, `α = 2` in Step I's
+//! s-mapping), and smoothing sweeps the fine grids with identity accesses
+//! plus stencil offsets. Strided partitions leave half of each fine-grid
+//! slab owned by neighbouring threads, so the gain is real but moderate.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let z = scale.z();
+    let mut b = ProgramBuilder::new();
+    let fine: Vec<_> = (0..3).map(|k| b.array(&format!("fine{k}"), &[2 * z, z, z])).collect();
+    let coarse: Vec<_> = (0..1).map(|k| b.array(&format!("coarse{k}"), &[z, z, z])).collect();
+    let interp = b.array("interp", &[z, z]);
+    for _ in 0..2 {
+        // Restriction: fine[2·i1, i3, i2] → coarse[i1, i2, i3]. The fine
+        // grids are stored z-major from a previous phase, so the sweep
+        // transposes the inner dimensions — scattered under row-major.
+        for (&f, &c) in fine.iter().zip(coarse.iter().cycle()) {
+            b.nest(&[z, z, z])
+                .read(f, &[&[2, 0, 0], &[0, 0, 1], &[0, 1, 0]])
+                .write(c, &[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])
+                .done();
+        }
+        // Interpolation coefficients indexed by the non-parallel loops:
+        // shared by all threads, not partitionable.
+        b.nest(&[z, z, z]).read(interp, &[&[0, 1, 0], &[0, 0, 1]]).done();
+        // Smoothing on the fine grids, in the same transposed order, with
+        // neighbour offsets.
+        for &f in &fine {
+            b.nest_bounds(&[0, 0, 1], &[2 * z, z, z - 1])
+                .read(f, &[&[1, 0, 0], &[0, 0, 1], &[0, 1, 0]])
+                .read_off(f, &[&[1, 0, 0], &[0, 0, 1], &[0, 1, 0]], &[0, -1, 0])
+                .read_off(f, &[&[1, 0, 0], &[0, 0, 1], &[0, 1, 0]], &[0, 1, 0])
+                .done();
+        }
+    }
+    Workload {
+        name: "mgrid",
+        description: "out-of-core SPECOMP mgrid (multigrid V-cycle)",
+        program: b.build(),
+        compute_ms_per_elem: 4.67,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_core::partition::{partition_array, AccessConstraint, PartitionOutcome};
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 5);
+    }
+
+    #[test]
+    fn strided_access_gives_alpha_two_or_conflicts() {
+        // The fine arrays mix stride-2 and identity accesses; whichever
+        // wins, the partition must exist (identity and stride share
+        // d = (1,0,0) for the E_u constraint — only α differs).
+        let w = build(Scale::Small);
+        let profile = w.program.access_profile(flo_polyhedral::ArrayId(0));
+        let constraints: Vec<AccessConstraint> = profile
+            .weighted_matrices
+            .into_iter()
+            .map(|(q, weight)| AccessConstraint { q, u: 0, weight })
+            .collect();
+        let PartitionOutcome::Optimized(p) = partition_array(&constraints) else {
+            panic!("fine grids must optimize");
+        };
+        assert_eq!(p.d_row, vec![1, 0, 0]);
+        assert_eq!(p.satisfied_weight_fraction, 1.0, "stride and identity are compatible");
+    }
+}

@@ -1,0 +1,52 @@
+//! `qio` — parallel I/O benchmark (query I/O).
+//!
+//! **Group 3 (21–26%).** A pure I/O stress kernel: every thread repeatedly
+//! queries vertical slices of record arrays (column reads) and appends
+//! column-ordered results. Almost no computation (`compute_ms_per_elem`
+//! is the suite's smallest), so execution time is nearly all I/O stall —
+//! the configuration in which layout optimization pays the most.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy();
+    let mut b = ProgramBuilder::new();
+    let recs: Vec<_> = (0..3).map(|k| b.array(&format!("records{k}"), &[n, n])).collect();
+    let index = b.array("index", &[n]);
+    let out = b.array("results", &[n, n]);
+    let t: &[&[i64]] = &[&[0, 1], &[1, 0]];
+    for _ in 0..4 {
+        for &a in &recs {
+            b.nest(&[n, n]).read(a, t).read(index, &[&[0, 1]]).write(out, t).done();
+        }
+    }
+    Workload {
+        name: "qio",
+        description: "parallel query-I/O benchmark",
+        program: b.build(),
+        compute_ms_per_elem: 4.95,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::all;
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 5);
+        assert_eq!(w.program.nests().len(), 12);
+    }
+
+    #[test]
+    fn compute_factors_are_positive() {
+        for w in all(Scale::Small) {
+            assert!(w.compute_ms_per_elem > 0.0, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! `sar` — synthetic aperture radar kernel.
+//!
+//! **Group 3 (21–26%), master–slave.** SAR backprojection alternates
+//! range-compression (row FFTs) on small scratch arrays with the
+//! range-migration walk over the raw-echo arrays — a *skewed* traversal
+//! `echo[i1 + i2, i2]` (the range bin advances with both the pulse and the
+//! azimuth position) — and column-order writes of the focused image.
+//! The skewed echo accesses cannot be fixed by any dimension reindexing;
+//! tile hand-out from a master makes the app mapping-sensitive (§5.3).
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy();
+    let mut b = ProgramBuilder::new();
+    let echo: Vec<_> = (0..2).map(|k| b.array(&format!("echo{k}"), &[2 * n, n])).collect();
+    let image: Vec<_> = (0..2).map(|k| b.array(&format!("image{k}"), &[n, n])).collect();
+    let scratch: Vec<_> =
+        (0..1).map(|k| b.array(&format!("scratch{k}"), &[n / 2, n / 2])).collect();
+    let window = b.array("window", &[n]);
+    let t: &[&[i64]] = &[&[0, 1], &[1, 0]];
+    let id: &[&[i64]] = &[&[1, 0], &[0, 1]];
+    for _ in 0..3 {
+        // Range migration: skewed walk over the echo, column-order image
+        // writes, applying the inner-indexed window function (shared,
+        // unpartitionable).
+        for (&e, &im) in echo.iter().zip(&image) {
+            b.nest(&[n, n])
+                .read(e, &[&[1, 1], &[0, 1]])
+                .read(window, &[&[0, 1]])
+                .write(im, t)
+                .done();
+        }
+        // Range compression on the small scratch tiles (row order).
+        for &s in &scratch {
+            b.nest(&[n / 2, n / 2]).read(s, id).write(s, id).done();
+        }
+    }
+    Workload {
+        name: "sar",
+        description: "synthetic aperture radar (backprojection) kernel",
+        program: b.build(),
+        compute_ms_per_elem: 1.62,
+        master_slave: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 6);
+        assert!(w.master_slave);
+    }
+
+    #[test]
+    fn echo_is_skewed_image_is_column_swept() {
+        let w = build(Scale::Small);
+        for k in 0..2 {
+            let profile = w.program.access_profile(flo_polyhedral::ArrayId(k));
+            assert_eq!(profile.weighted_matrices.len(), 1, "echo {k}");
+            assert_eq!(
+                &profile.weighted_matrices[0].0,
+                &flo_linalg::IMat::from_rows(&[&[1, 1], &[0, 1]])
+            );
+        }
+        for k in 2..4 {
+            let profile = w.program.access_profile(flo_polyhedral::ArrayId(k));
+            assert_eq!(
+                &profile.weighted_matrices[0].0,
+                &flo_linalg::IMat::from_rows(&[&[0, 1], &[1, 0]]),
+                "image {k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! `sp` — out-of-core NAS Parallel Benchmarks SP (scalar penta-diagonal).
+//!
+//! **Group 3 (21–26%).** Like BT, SP solves along all three directions,
+//! but the out-of-core port keeps *all* of its arrays in y/z-sweep order:
+//! six arrays indexed `[i3, i2, i1]` and three indexed `[i2, i1, i3]`.
+//! Nothing is row-friendly, reuse spans three pseudo-time steps, and the
+//! default execution shows the long runtime and substantial miss rates of
+//! Table 2 (8 min 50 s, 46%/37%) — the largest headroom in the suite.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let z = scale.z();
+    let mut b = ProgramBuilder::new();
+    let zs: Vec<_> = (0..5).map(|k| b.array(&format!("zsweep{k}"), &[z, z, z])).collect();
+    let smooth = b.array("smooth", &[z, z]);
+    let ys: Vec<_> = (0..3).map(|k| b.array(&format!("ysweep{k}"), &[z, z, z])).collect();
+    // The z-solve arrays are swept in two directions per pseudo-time step
+    // (a = (i3, i2, i1), then a = (i2, i3, i1)); both orders share the
+    // partition d = (0, 0, 1), so the inter-node layout serves both while
+    // no dimension permutation can. The y-solve arrays use a = (i2, i1, i3).
+    let zrot: &[&[i64]] = &[&[0, 0, 1], &[0, 1, 0], &[1, 0, 0]];
+    let zrot2: &[&[i64]] = &[&[0, 1, 0], &[0, 0, 1], &[1, 0, 0]];
+    let yrot: &[&[i64]] = &[&[0, 1, 0], &[1, 0, 0], &[0, 0, 1]];
+    for _ in 0..3 {
+        for &a in &zs {
+            b.nest(&[z, z, z]).read(a, zrot).write(a, zrot).done();
+            b.nest(&[z, z, z]).read(a, zrot2).done();
+        }
+        for &a in &ys {
+            b.nest(&[z, z, z]).read(a, yrot).write(a, yrot).done();
+        }
+        // Fourth-order smoothing coefficients, inner-indexed.
+        b.nest(&[z, z, z]).read(smooth, &[&[0, 1, 0], &[0, 0, 1]]).done();
+    }
+    Workload {
+        name: "sp",
+        description: "out-of-core NAS SP (scalar penta-diagonal solver)",
+        program: b.build(),
+        compute_ms_per_elem: 3.04,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_core::partition::{partition_array, AccessConstraint, PartitionOutcome};
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 9);
+        assert_eq!(w.program.nests().len(), 42);
+    }
+
+    #[test]
+    fn both_rotations_partition_correctly() {
+        let w = build(Scale::Small);
+        let expect = |idx: usize, d: Vec<i64>| {
+            let profile = w.program.access_profile(flo_polyhedral::ArrayId(idx));
+            let constraints: Vec<AccessConstraint> = profile
+                .weighted_matrices
+                .into_iter()
+                .map(|(q, weight)| AccessConstraint { q, u: 0, weight })
+                .collect();
+            let PartitionOutcome::Optimized(p) = partition_array(&constraints) else {
+                panic!("sp array {idx} must optimize");
+            };
+            assert_eq!(p.d_row, d, "array {idx}");
+        };
+        expect(0, vec![0, 0, 1]); // zsweep: i1 feeds dim 2 (ids 0..5)
+        expect(7, vec![0, 1, 0]); // ysweep: i1 feeds dim 1
+    }
+}

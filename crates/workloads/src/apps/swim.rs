@@ -1,0 +1,103 @@
+//! `swim` — out-of-core SPECOMP swim (shallow-water equations).
+//!
+//! **Group 3 (21–26%).** The finite-difference update sweeps the velocity
+//! and pressure fields *column-wise* (the Fortran-order arrays are
+//! accessed transposed in this out-of-core port), with neighbour stencil
+//! offsets and three time steps. Under the default row-major layout every
+//! element access lands in a different data block and each thread's
+//! footprint is the whole array; the inter-node layout collapses it to
+//! the thread's own elements, which then fit and re-hit in the I/O caches
+//! across time steps.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy();
+    let mut b = ProgramBuilder::new();
+    let u = b.array("u", &[n, n]);
+    let v = b.array("v", &[n, n]);
+    let p = b.array("p", &[n, n]);
+    let unew = b.array("unew", &[n, n]);
+    let vnew = b.array("vnew", &[n, n]);
+    let pnew = b.array("pnew", &[n, n]);
+    let pold = b.array("pold", &[n, n]);
+    let cu = b.array("cu", &[n]);
+    let cv = b.array("cv", &[n]);
+    let t: &[&[i64]] = &[&[0, 1], &[1, 0]]; // transposed access A[i2, i1]
+    for _ in 0..3 {
+        // calc1/calc2: update new fields from current ones, column-wise
+        // with vertical neighbours.
+        b.nest_bounds(&[0, 1], &[n, n - 1])
+            .read(u, t)
+            .read_off(u, t, &[1, 0])
+            .read(v, t)
+            .read_off(v, t, &[-1, 0])
+            .read(p, t)
+            .write(unew, t)
+            .write(vnew, t)
+            .write(pnew, t)
+            .done();
+        // calc3: time smoothing into the old pressure field, consulting
+        // the inner-loop-indexed Coriolis tables (shared, unpartitionable).
+        b.nest(&[n, n])
+            .read(unew, t)
+            .read(vnew, t)
+            .read(pnew, t)
+            .read(cu, &[&[0, 1]])
+            .read(cv, &[&[0, 1]])
+            .write(pold, t)
+            .done();
+    }
+    Workload {
+        name: "swim",
+        description: "out-of-core SPECOMP swim (shallow water equations)",
+        program: b.build(),
+        compute_ms_per_elem: 11.39,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_core::partition::{partition_array, AccessConstraint, PartitionOutcome};
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 9);
+        assert_eq!(w.program.nests().len(), 6);
+    }
+
+    #[test]
+    fn field_arrays_fully_optimizable_with_column_partition() {
+        let w = build(Scale::Small);
+        // Arrays 0..7 are the 2-D fields; 7 and 8 are the Coriolis tables.
+        for idx in 0..7usize {
+            let profile = w.program.access_profile(flo_polyhedral::ArrayId(idx));
+            let constraints: Vec<AccessConstraint> = profile
+                .weighted_matrices
+                .into_iter()
+                .map(|(q, weight)| AccessConstraint { q, u: 0, weight })
+                .collect();
+            let PartitionOutcome::Optimized(p) = partition_array(&constraints) else {
+                panic!("swim field {idx} must optimize");
+            };
+            assert_eq!(p.d_row, vec![0, 1]);
+            assert_eq!(p.satisfied_weight_fraction, 1.0);
+        }
+        // The inner-indexed tables are not partitionable.
+        for idx in 7..9usize {
+            let constraints: Vec<AccessConstraint> = w
+                .program
+                .access_profile(flo_polyhedral::ArrayId(idx))
+                .weighted_matrices
+                .into_iter()
+                .map(|(q, weight)| AccessConstraint { q, u: 0, weight })
+                .collect();
+            assert!(!partition_array(&constraints).is_optimized(), "table {idx}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! `twer` — twister (tornado) simulation kernel.
+//!
+//! **Group 1 (no benefit), the conflicting case.** §5.2: "in twer,
+//! overly-conflicting requests from different threads at different points
+//! in execution prevent the compiler from choosing a good file layout."
+//! The kernel models the vortex advection phase with the paper's maximum
+//! array count (17). Twelve state arrays are dominated by a *ghost-strip*
+//! re-read in which every thread scans a shared boundary strip —
+//! an access that does not depend on the parallel loop at all, so Step I's
+//! heaviest system is unsolvable and those arrays keep their original
+//! layouts. The remaining five arrays are swept once in row and once in
+//! column order with equal weights, so whatever hyperplane Step I picks
+//! satisfies only half of their accesses. Either way the high default
+//! miss rates (29%/45% in Table 2) barely move.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy();
+    let mut b = ProgramBuilder::new();
+    let strips: Vec<_> =
+        (0..12).map(|k| b.array(&format!("state{k}"), &[n, n])).collect();
+    let conflict: Vec<_> =
+        (12..17).map(|k| b.array(&format!("state{k}"), &[n / 2, n / 2])).collect();
+    let row: &[&[i64]] = &[&[1, 0], &[0, 1]];
+    let col: &[&[i64]] = &[&[0, 1], &[1, 0]];
+    // Ghost strip: a = (i2, i3) — independent of the parallel loop i1;
+    // every thread rescans the strip each outer iteration.
+    let strip: &[&[i64]] = &[&[0, 1, 0], &[0, 0, 1]];
+    for _ in 0..2 {
+        for &a in &strips {
+            b.nest(&[n, n, 2]).read(a, strip).done();
+            b.nest(&[n, n]).read(a, row).done();
+        }
+        for &a in &conflict {
+            b.nest(&[n / 2, n / 2]).read(a, row).done();
+            b.nest(&[n / 2, n / 2]).read(a, col).done();
+        }
+    }
+    Workload {
+        name: "twer",
+        description: "twister simulation kernel (vortex advection)",
+        program: b.build(),
+        compute_ms_per_elem: 0.084,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_core::partition::{partition_array, AccessConstraint, PartitionOutcome};
+
+    fn constraints_of(w: &Workload, idx: usize) -> Vec<AccessConstraint> {
+        w.program
+            .access_profile(flo_polyhedral::ArrayId(idx))
+            .weighted_matrices
+            .into_iter()
+            .map(|(q, weight)| AccessConstraint { q, u: 0, weight })
+            .collect()
+    }
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 17);
+    }
+
+    #[test]
+    fn ghost_strip_arrays_are_not_optimizable() {
+        let w = build(Scale::Small);
+        for idx in 0..12 {
+            let out = partition_array(&constraints_of(&w, idx));
+            assert!(!out.is_optimized(), "state{idx} must not optimize (strip dominates)");
+        }
+    }
+
+    #[test]
+    fn conflicting_arrays_satisfy_half_the_weight() {
+        let w = build(Scale::Small);
+        for idx in 12..17 {
+            match partition_array(&constraints_of(&w, idx)) {
+                PartitionOutcome::Optimized(p) => {
+                    assert!(
+                        (p.satisfied_weight_fraction - 0.5).abs() < 1e-9,
+                        "state{idx}: expected half weight, got {}",
+                        p.satisfied_weight_fraction
+                    );
+                }
+                other => panic!("state{idx} is technically optimizable: {other:?}"),
+            }
+        }
+    }
+}

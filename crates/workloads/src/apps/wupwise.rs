@@ -1,0 +1,74 @@
+//! `wupwise` — out-of-core SPECOMP wupwise (lattice QCD, BiCGStab).
+//!
+//! **Group 2 (8–13%).** The matrix–vector products of the BiCGStab solver
+//! walk the gauge-field arrays along *skewed* diagonals: the reference
+//! `U[i1 + i2, i2]` advances through storage diagonally, so no dimension
+//! permutation can linearize it — but Step I's unimodular transformation
+//! `d = (1, −1)` can. Two arrays are diagonal (fixable only by the
+//! inter-node layout), two stream in row order (already fine), and one is
+//! touched by conflicting row/diagonal passes.
+
+use crate::spec::{Scale, Workload};
+use flo_polyhedral::ProgramBuilder;
+
+/// Build the kernel.
+pub fn build(scale: Scale) -> Workload {
+    let n = scale.xy();
+    let mut b = ProgramBuilder::new();
+    // Diagonal-access arrays need extent 2n−1 along dim 0.
+    let gauge: Vec<_> = (0..2).map(|k| b.array(&format!("gauge{k}"), &[2 * n, n])).collect();
+    let vecs: Vec<_> = (0..2).map(|k| b.array(&format!("vec{k}"), &[n, n])).collect();
+    let res = b.array("residual", &[2 * n, n]);
+    for _ in 0..2 {
+        // Skewed sweeps over the gauge fields: a = (i1 + i2, i2).
+        for &a in &gauge {
+            b.nest(&[n, n]).read(a, &[&[1, 1], &[0, 1]]).done();
+        }
+        // Row-order vector updates.
+        for &a in &vecs {
+            b.nest(&[n, n]).write(a, &[&[1, 0], &[0, 1]]).done();
+        }
+        // The residual is accessed both diagonally and row-wise.
+        b.nest(&[n, n]).read(res, &[&[1, 1], &[0, 1]]).done();
+        b.nest(&[n, n]).read(res, &[&[1, 0], &[0, 1]]).done();
+    }
+    Workload {
+        name: "wupwise",
+        description: "out-of-core SPECOMP wupwise (BiCGStab lattice solver)",
+        program: b.build(),
+        compute_ms_per_elem: 1.10,
+        master_slave: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_core::partition::{partition_array, AccessConstraint, PartitionOutcome};
+
+    #[test]
+    fn shape() {
+        let w = build(Scale::Small);
+        assert_eq!(w.array_count(), 5);
+    }
+
+    #[test]
+    fn gauge_arrays_need_non_permutation_layout() {
+        let w = build(Scale::Small);
+        let profile = w.program.access_profile(flo_polyhedral::ArrayId(0));
+        let constraints: Vec<AccessConstraint> = profile
+            .weighted_matrices
+            .into_iter()
+            .map(|(q, weight)| AccessConstraint { q, u: 0, weight })
+            .collect();
+        match partition_array(&constraints) {
+            PartitionOutcome::Optimized(p) => {
+                // d = ±(1, −1): a genuinely skewed hyperplane, not
+                // expressible as any dimension reindexing.
+                assert_eq!(p.d_row.iter().map(|x| x.abs()).collect::<Vec<_>>(), vec![1, 1]);
+                assert_ne!(p.d_row[0].signum(), p.d_row[1].signum());
+            }
+            other => panic!("gauge must optimize: {other:?}"),
+        }
+    }
+}

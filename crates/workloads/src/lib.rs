@@ -1,0 +1,31 @@
+//! # flo-workloads
+//!
+//! The 16 I/O-intensive multi-threaded applications of the paper's
+//! evaluation (Table 2), expressed as affine kernel specifications.
+//!
+//! The paper's apps are out-of-core versions of SPECOMP/NAS codes plus
+//! locally maintained I/O kernels. Their *semantics* never enter the
+//! paper's analysis — only their affine access patterns, array counts and
+//! I/O intensity do — so each module here encodes the loop-nest/reference
+//! structure the paper's SUIF pass would have extracted from the original
+//! source (see DESIGN.md §1). The three behavioural groups of §5.2 emerge
+//! from the structures:
+//!
+//! * **group 1** (no benefit): `cc_ver_1`, `s3asim` — small working sets
+//!   with strong reuse (already-good hit rates); `twer` — many arrays
+//!   touched by *conflicting* references of equal weight, so Step I cannot
+//!   satisfy the majority.
+//! * **group 2** (8–13%): `bt`, `cc_ver_2`, `astro`, `wupwise`,
+//!   `contour`, `mgrid` — mixes of optimizable and non-optimizable
+//!   arrays, strided or partially conflicting accesses.
+//! * **group 3** (21–26%): `swim`, `afores`, `sar`, `hf`, `qio`, `applu`,
+//!   `sp` — transposed/column-dominant sweeps over large arrays with
+//!   cross-sweep reuse, the pattern the inter-node layout is built for.
+//!
+//! Array counts per app bracket the paper's range (3 for `afores` up to 17
+//! for `twer`).
+
+pub mod apps;
+pub mod spec;
+
+pub use spec::{all, by_name, Scale, Workload, PAPER_ORDER};

@@ -1,0 +1,166 @@
+//! Workload descriptors and the suite registry.
+
+use flo_polyhedral::Program;
+use flo_sim::RunConfig;
+
+/// Workload sizing. The paper's datasets are tens of GB; both scales
+/// shrink them proportionally with the simulated cache capacities
+/// (DESIGN.md §1, "Scaling substitution").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Benchmark scale: sized for the 64-thread paper topology.
+    Full,
+    /// Test scale: sized for unit/integration tests on tiny topologies.
+    Small,
+}
+
+impl Scale {
+    /// Base 2-D extent.
+    pub fn xy(&self) -> i64 {
+        match self {
+            Scale::Full => 256,
+            Scale::Small => 64,
+        }
+    }
+
+    /// Base 3-D extent.
+    pub fn z(&self) -> i64 {
+        match self {
+            Scale::Full => 40,
+            Scale::Small => 12,
+        }
+    }
+}
+
+/// One application of the evaluation suite.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Name as it appears in Table 2.
+    pub name: &'static str,
+    /// What the original application computes.
+    pub description: &'static str,
+    /// The extracted affine kernel.
+    pub program: Program,
+    /// CPU milliseconds per dynamic element access — the application's
+    /// compute/IO ratio. Multiplied by the per-thread access count to
+    /// obtain the thread compute time (independent of layout).
+    pub compute_ms_per_elem: f64,
+    /// Whether the parallel computation is master–slave rather than data
+    /// parallel (§5.3: such apps are sensitive to thread mapping).
+    pub master_slave: bool,
+}
+
+impl Workload {
+    /// The execution-time model configuration for a run with `threads`
+    /// threads.
+    pub fn run_config(&self, threads: usize) -> RunConfig {
+        let per_thread = self.program.total_accesses() as f64 / threads as f64;
+        RunConfig { compute_ms_per_thread: per_thread * self.compute_ms_per_elem }
+    }
+
+    /// Number of disk-resident arrays.
+    pub fn array_count(&self) -> usize {
+        self.program.arrays().len()
+    }
+}
+
+/// Application names in Table 2 order.
+pub const PAPER_ORDER: [&str; 16] = [
+    "cc-ver-1", "s3asim", "twer", "bt", "cc-ver-2", "astro", "wupwise", "contour", "mgrid",
+    "swim", "afores", "sar", "hf", "qio", "applu", "sp",
+];
+
+/// Build the whole suite at the given scale, in Table 2 order.
+pub fn all(scale: Scale) -> Vec<Workload> {
+    use crate::apps::*;
+    vec![
+        cc_ver_1::build(scale),
+        s3asim::build(scale),
+        twer::build(scale),
+        bt::build(scale),
+        cc_ver_2::build(scale),
+        astro::build(scale),
+        wupwise::build(scale),
+        contour::build(scale),
+        mgrid::build(scale),
+        swim::build(scale),
+        afores::build(scale),
+        sar::build(scale),
+        hf::build(scale),
+        qio::build(scale),
+        applu::build(scale),
+        sp::build(scale),
+    ]
+}
+
+/// Look up one application by its Table 2 name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Workload> {
+    all(scale).into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_sixteen_apps_in_paper_order() {
+        let suite = all(Scale::Small);
+        assert_eq!(suite.len(), 16);
+        for (w, &name) in suite.iter().zip(PAPER_ORDER.iter()) {
+            assert_eq!(w.name, name);
+        }
+    }
+
+    #[test]
+    fn array_counts_bracket_paper_range() {
+        let suite = all(Scale::Small);
+        let counts: Vec<usize> = suite.iter().map(Workload::array_count).collect();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert_eq!(min, 3, "afores has the fewest arrays (3)");
+        assert_eq!(max, 17, "twer has the most arrays (17)");
+        // afores and twer specifically.
+        let afores = by_name("afores", Scale::Small).unwrap();
+        assert_eq!(afores.array_count(), 3);
+        let twer = by_name("twer", Scale::Small).unwrap();
+        assert_eq!(twer.array_count(), 17);
+    }
+
+    #[test]
+    fn every_app_has_references() {
+        for w in all(Scale::Small) {
+            assert!(w.program.total_accesses() > 0, "{} has no accesses", w.name);
+            assert!(!w.program.nests().is_empty(), "{} has no nests", w.name);
+        }
+    }
+
+    #[test]
+    fn master_slave_flags_match_paper() {
+        // §5.3: cc-ver-2, afores and sar implement master–slave models.
+        for w in all(Scale::Small) {
+            let expected = matches!(w.name, "cc-ver-2" | "afores" | "sar");
+            assert_eq!(w.master_slave, expected, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn run_config_scales_with_accesses() {
+        let w = by_name("swim", Scale::Small).unwrap();
+        let c16 = w.run_config(16);
+        let c4 = w.run_config(4);
+        assert!(c4.compute_ms_per_thread > c16.compute_ms_per_thread);
+        assert!(c16.compute_ms_per_thread > 0.0);
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("nonesuch", Scale::Small).is_none());
+    }
+
+    #[test]
+    fn full_scale_is_larger() {
+        let small = by_name("swim", Scale::Small).unwrap();
+        let full = by_name("swim", Scale::Full).unwrap();
+        assert!(full.program.total_accesses() > small.program.total_accesses());
+    }
+}

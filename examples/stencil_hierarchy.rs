@@ -1,0 +1,66 @@
+//! A shallow-water stencil (swim-like) across different storage
+//! hierarchies: demonstrates how the same program gets a *different*
+//! optimized layout for each cache topology, and what each layout buys.
+//!
+//! ```sh
+//! cargo run --release --example stencil_hierarchy
+//! ```
+
+use flo::core::tracegen::{default_layouts, generate_traces};
+use flo::core::{run_layout_pass, PassOptions};
+use flo::polyhedral::{Program, ProgramBuilder};
+use flo::sim::{simulate, PolicyKind, RunConfig, StorageSystem, Topology};
+
+/// Three time steps of a transposed five-point stencil over two fields.
+fn stencil_program(n: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let u = b.array("u", &[n, n]);
+    let unew = b.array("unew", &[n, n]);
+    let t: &[&[i64]] = &[&[0, 1], &[1, 0]];
+    for _ in 0..3 {
+        b.nest_bounds(&[1, 1], &[n - 1, n - 1])
+            .read(u, t)
+            .read_off(u, t, &[1, 0])
+            .read_off(u, t, &[-1, 0])
+            .read_off(u, t, &[0, 1])
+            .read_off(u, t, &[0, -1])
+            .write(unew, t)
+            .done();
+        b.nest(&[n, n]).read(unew, t).write(u, t).done();
+    }
+    b.build()
+}
+
+fn main() {
+    let program = stencil_program(256);
+    // Hierarchies: the paper default, a flatter one, and a deeper share.
+    let topologies = [
+        ("64 compute / 16 I/O / 4 storage (paper)", Topology::paper_default()),
+        ("64 compute /  8 I/O / 2 storage (more sharing)",
+            Topology::paper_default().with_node_counts(64, 8, 2)),
+        ("64 compute / 32 I/O / 8 storage (less sharing)",
+            Topology::paper_default().with_node_counts(64, 32, 8)),
+    ];
+    println!("{:<48} {:>10} {:>10} {:>8}", "hierarchy", "stall_def", "stall_opt", "gain");
+    for (name, topo) in topologies {
+        let opts = PassOptions::default_for(&topo);
+        let plan = run_layout_pass(&program, &topo, &opts);
+        let run = |layouts: &[flo::core::FileLayout]| {
+            let traces = generate_traces(&program, &opts.parallel, layouts, &topo);
+            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+            simulate(&mut system, &traces, &RunConfig::default()).execution_time_ms
+        };
+        let def = run(&default_layouts(&program));
+        let opt = run(&plan.layouts);
+        println!(
+            "{:<48} {:>8.0}ms {:>8.0}ms {:>7.1}%",
+            name,
+            def,
+            opt,
+            (1.0 - opt / def) * 100.0
+        );
+    }
+    println!();
+    println!("The pass re-chunks the same arrays differently for each hierarchy;");
+    println!("more cache sharing leaves more contention for the layout to remove.");
+}

@@ -1,0 +1,78 @@
+//! The case dimension reindexing cannot touch: a wavefront-parallel
+//! solver whose partitioning hyperplane is skewed (`d = (1, −1, −1)`).
+//!
+//! The example builds an applu-style wavefront kernel, shows Step I
+//! producing a non-axis-aligned unimodular transformation, and compares
+//! the inter-node layout against the *best possible* dimension
+//! permutation found by exhaustive profiling (the FAST'08 baseline [27]).
+//!
+//! ```sh
+//! cargo run --release --example wavefront_skew
+//! ```
+
+use flo::core::baseline::reindex::best_reindexing;
+use flo::core::tracegen::{default_layouts, generate_traces};
+use flo::core::{run_layout_pass, FileLayout, ParallelConfig, PassOptions};
+use flo::polyhedral::ProgramBuilder;
+use flo::sim::{simulate, PolicyKind, RunConfig, StorageSystem, Topology};
+
+fn main() {
+    let z = 40;
+    let mut b = ProgramBuilder::new();
+    // Wavefront-staged flow variable: a = (i1 + i2 + i3, i2, i3) with the
+    // wavefront loop i1 parallelized.
+    let rsd = b.array("rsd", &[3 * z - 2, z, z]);
+    let wave: &[&[i64]] = &[&[1, 1, 1], &[0, 1, 0], &[0, 0, 1]];
+    for _ in 0..2 {
+        b.nest(&[z, z, z]).read(rsd, wave).write(rsd, wave).done();
+    }
+    let program = b.build();
+    let topo = Topology::paper_default();
+    let cfg = ParallelConfig::default_for(topo.compute_nodes);
+
+    // Step I on the wavefront access.
+    let mut opts = PassOptions::default_for(&topo);
+    opts.parallel = cfg.clone();
+    let plan = run_layout_pass(&program, &topo, &opts);
+    let d = plan.reports[0].d_row.as_ref().expect("wavefront must optimize");
+    println!("Step I partitioning row: d = {d:?}  (skewed — not a permutation)");
+
+    // The reindexing baseline exhaustively profiles all 6 permutations.
+    let reindexed = best_reindexing(&program, &cfg, &topo);
+    if let FileLayout::DimPerm(p) = &reindexed.layouts[0] {
+        println!(
+            "best of {} profiled permutations: {:?} — still leaves wavefronts scattered",
+            reindexed.profile_runs, p
+        );
+    }
+
+    let run = |layouts: &[FileLayout]| {
+        let traces = generate_traces(&program, &cfg, layouts, &topo);
+        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+        simulate(&mut system, &traces, &RunConfig::default())
+    };
+    let base = run(&default_layouts(&program));
+    let perm = run(&reindexed.layouts);
+    let inter = run(&plan.layouts);
+    println!();
+    println!("{:<22} {:>12} {:>12} {:>10}", "layout", "I/O stall", "disk reads", "io miss%");
+    for (name, r) in [
+        ("row-major (default)", &base),
+        ("best reindexing [27]", &perm),
+        ("inter-node (paper)", &inter),
+    ] {
+        println!(
+            "{:<22} {:>10.0}ms {:>12} {:>10.1}",
+            name,
+            r.execution_time_ms,
+            r.disk_reads,
+            r.io_miss_rate() * 100.0
+        );
+    }
+    println!();
+    println!(
+        "inter vs best permutation: {:.1}% less I/O stall — the skewed hyperplane",
+        (1.0 - inter.execution_time_ms / perm.execution_time_ms) * 100.0
+    );
+    println!("is exactly the layout class §5.4 argues reindexing cannot express.");
+}

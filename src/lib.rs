@@ -1,0 +1,61 @@
+//! # flo — compiler-directed file layout optimization for hierarchical storage systems
+//!
+//! A from-scratch Rust reproduction of Ding, Zhang, Kandemir & Son,
+//! *"Compiler-directed file layout optimization for hierarchical storage
+//! systems"* (SC 2012): a compiler pass that, given a parallelized affine
+//! program and a description of a multi-layer storage-cache hierarchy,
+//! determines a file layout for each disk-resident array such that every
+//! thread's data lands in consecutive file locations, chunk-interleaved to
+//! match the cache hierarchy.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`linalg`] — exact integer linear algebra (Gaussian elimination,
+//!   nullspaces, unimodular completion),
+//! * [`polyhedral`] — the affine loop-nest / array IR,
+//! * [`parallel`] — iteration-block parallelization & thread mappings,
+//! * [`core`] — the paper's contribution: Step I array partitioning,
+//!   Step II hierarchy-aware layouts (Algorithm 1), the layout pass, the
+//!   prior-work baselines,
+//! * [`sim`] — the trace-driven multi-layer storage-cache simulator
+//!   (LRU / KARMA / DEMOTE-LRU, striped disks),
+//! * [`workloads`] — the 16 evaluation applications of Table 2,
+//! * [`bench`] — the experiment harness regenerating every table and
+//!   figure of §5.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flo::core::{run_layout_pass, PassOptions};
+//! use flo::polyhedral::ProgramBuilder;
+//! use flo::sim::Topology;
+//!
+//! // The paper's matmul fragment (Fig. 3(b)).
+//! let mut b = ProgramBuilder::new();
+//! let w = b.array("W", &[64, 64]);
+//! let u = b.array("U", &[64, 64]);
+//! let v = b.array("V", &[64, 64]);
+//! b.nest(&[64, 64, 64])
+//!     .write(w, &[&[1, 0, 0], &[0, 1, 0]])
+//!     .read(u, &[&[1, 0, 0], &[0, 0, 1]])
+//!     .read(v, &[&[0, 0, 1], &[0, 1, 0]])
+//!     .done();
+//! let program = b.build();
+//!
+//! let topo = Topology::tiny();
+//! let plan = run_layout_pass(&program, &topo, &PassOptions::default_for(&topo));
+//! // W and U partition along i1; V cannot be optimized (paper §4.1).
+//! assert!(plan.reports[0].optimized && plan.reports[1].optimized);
+//! assert!(!plan.reports[2].optimized);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the paper's experiments.
+
+pub use flo_bench as bench;
+pub use flo_core as core;
+pub use flo_linalg as linalg;
+pub use flo_parallel as parallel;
+pub use flo_polyhedral as polyhedral;
+pub use flo_sim as sim;
+pub use flo_workloads as workloads;

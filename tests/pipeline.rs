@@ -1,0 +1,160 @@
+//! End-to-end integration tests: compiler pass → trace generation →
+//! storage simulation, across the full workload suite.
+
+use flo::core::cost::footprint;
+use flo::core::tracegen::{default_layouts, generate_traces};
+use flo::core::{run_layout_pass, FileLayout, ParallelConfig, PassOptions, TargetLayers};
+use flo::sim::{simulate, PolicyKind, RunConfig, StorageSystem, Topology};
+use flo::workloads::{all, Scale};
+
+fn small_topology() -> Topology {
+    Topology {
+        compute_nodes: 8,
+        io_nodes: 4,
+        storage_nodes: 2,
+        io_cache_blocks: 24,
+        storage_cache_blocks: 48,
+        block_elems: 16,
+        cache_ways: 8,
+    }
+}
+
+/// The pass produces one layout per array for every application, and the
+/// hierarchical ones are injective into the file space.
+#[test]
+fn pass_layouts_are_injective_for_every_app() {
+    let topo = small_topology();
+    for w in all(Scale::Small) {
+        let plan = run_layout_pass(&w.program, &topo, &PassOptions::default_for(&topo));
+        assert_eq!(plan.layouts.len(), w.array_count(), "{}", w.name);
+        for (k, layout) in plan.layouts.iter().enumerate() {
+            if let FileLayout::Hierarchical(h) = layout {
+                let mut offs = h.table.clone();
+                offs.sort_unstable();
+                let before = offs.len();
+                offs.dedup();
+                assert_eq!(offs.len(), before, "{}: array {k} layout not injective", w.name);
+                assert!(
+                    h.file_elems > *offs.last().unwrap(),
+                    "{}: array {k} file extent wrong",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+/// Traces generated under any layout contain exactly the same number of
+/// element accesses — layouts relocate data, they never change what the
+/// program reads.
+#[test]
+fn layouts_preserve_element_access_counts() {
+    let topo = small_topology();
+    for w in all(Scale::Small) {
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        let plan = run_layout_pass(&w.program, &topo, &PassOptions::default_for(&topo));
+        let def = generate_traces(&w.program, &cfg, &default_layouts(&w.program), &topo);
+        let opt = generate_traces(&w.program, &cfg, &plan.layouts, &topo);
+        let count = |traces: &[flo::sim::ThreadTrace]| -> u64 {
+            traces.iter().map(|t| t.element_accesses()).sum()
+        };
+        assert_eq!(count(&def), count(&opt), "{}: element accesses changed", w.name);
+    }
+}
+
+/// The optimization never increases any thread's block footprint.
+#[test]
+fn footprints_never_grow() {
+    let topo = small_topology();
+    for w in all(Scale::Small) {
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        let plan = run_layout_pass(&w.program, &topo, &PassOptions::default_for(&topo));
+        let def = footprint(
+            &generate_traces(&w.program, &cfg, &default_layouts(&w.program), &topo),
+            &topo,
+        );
+        let opt = footprint(&generate_traces(&w.program, &cfg, &plan.layouts, &topo), &topo);
+        // Allow a tiny block-rounding slack (unaligned thread shares may
+        // straddle one extra block per thread per array).
+        let slack = 1 + w.array_count();
+        for t in 0..cfg.threads {
+            assert!(
+                opt.per_thread[t] <= def.per_thread[t] + slack,
+                "{}: thread {t} footprint grew {} -> {}",
+                w.name,
+                def.per_thread[t],
+                opt.per_thread[t]
+            );
+        }
+    }
+}
+
+/// Every policy runs the full suite without panicking and reports
+/// well-formed statistics.
+#[test]
+fn every_policy_simulates_the_suite() {
+    let topo = small_topology();
+    for w in all(Scale::Small) {
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        let traces = generate_traces(&w.program, &cfg, &default_layouts(&w.program), &topo);
+        for policy in PolicyKind::all() {
+            let mut system = StorageSystem::new(topo.clone(), policy);
+            if policy == PolicyKind::Karma {
+                system.set_karma_hints(&flo::bench::harness::karma_hints(&traces, &topo));
+            }
+            let report = simulate(&mut system, &traces, &w.run_config(cfg.threads));
+            assert!(report.total_requests > 0, "{}: empty trace", w.name);
+            assert!(
+                report.layers.io.hits <= report.layers.io.accesses,
+                "{}: inconsistent io stats",
+                w.name
+            );
+            assert!(
+                report.disk_sequential_reads <= report.disk_reads,
+                "{}: inconsistent disk stats",
+                w.name
+            );
+            assert!(report.execution_time_ms.is_finite() && report.execution_time_ms > 0.0);
+        }
+    }
+}
+
+/// Targeting both layers is never meaningfully worse than a single layer
+/// on the same app (Fig. 7(f) ordering, weak form).
+#[test]
+fn both_layers_never_meaningfully_worse() {
+    let topo = small_topology();
+    for w in all(Scale::Small) {
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        let stall = |target| {
+            let mut opts = PassOptions::default_for(&topo);
+            opts.parallel = cfg.clone();
+            opts.target = target;
+            let plan = run_layout_pass(&w.program, &topo, &opts);
+            let traces = generate_traces(&w.program, &cfg, &plan.layouts, &topo);
+            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+            simulate(&mut system, &traces, &RunConfig::default()).execution_time_ms
+        };
+        let both = stall(TargetLayers::Both);
+        let io_only = stall(TargetLayers::IoOnly);
+        let sc_only = stall(TargetLayers::StorageOnly);
+        assert!(both <= io_only * 1.10, "{}: both {both} vs io-only {io_only}", w.name);
+        assert!(both <= sc_only * 1.10, "{}: both {both} vs storage-only {sc_only}", w.name);
+    }
+}
+
+/// Determinism: the whole pipeline replays bit-identically.
+#[test]
+fn pipeline_is_deterministic() {
+    let topo = small_topology();
+    let w = flo::workloads::by_name("applu", Scale::Small).unwrap();
+    let run = || {
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        let plan = run_layout_pass(&w.program, &topo, &PassOptions::default_for(&topo));
+        let traces = generate_traces(&w.program, &cfg, &plan.layouts, &topo);
+        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+        let r = simulate(&mut system, &traces, &RunConfig::default());
+        (r.execution_time_ms, r.disk_reads, r.layers.io.hits)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,114 @@
+//! Property-based integration tests over randomly generated affine
+//! programs: the compiler pass must produce valid, injective layouts and
+//! consistent traces for *any* well-formed input, not just the suite.
+
+use flo::core::tracegen::{default_layouts, generate_traces};
+use flo::core::{run_layout_pass, FileLayout, ParallelConfig, PassOptions, TargetLayers};
+use flo::polyhedral::{Program, ProgramBuilder};
+use flo::sim::Topology;
+use proptest::prelude::*;
+
+fn tiny_topology() -> Topology {
+    let mut t = Topology::tiny();
+    t.block_elems = 4;
+    t
+}
+
+/// A random small 2-D access matrix from a library of realistic patterns
+/// (identity, transpose, skew, stride, inner-only).
+fn access_pattern() -> impl Strategy<Value = (Vec<Vec<i64>>, &'static str)> {
+    prop_oneof![
+        Just((vec![vec![1, 0], vec![0, 1]], "identity")),
+        Just((vec![vec![0, 1], vec![1, 0]], "transpose")),
+        Just((vec![vec![1, 1], vec![0, 1]], "skew")),
+        Just((vec![vec![2, 0], vec![0, 1]], "stride")),
+        Just((vec![vec![0, 1], vec![0, 1]], "inner-only")),
+    ]
+}
+
+/// A random program: 1–3 arrays, 1–4 nests, random patterns.
+fn program() -> impl Strategy<Value = Program> {
+    (
+        1usize..=3,
+        proptest::collection::vec((0usize..3, access_pattern()), 1..=4),
+        8i64..=20,
+    )
+        .prop_map(|(num_arrays, nests, n)| {
+            let mut b = ProgramBuilder::new();
+            // Skewed accesses need the first extent to cover i1 + i2.
+            let arrays: Vec<_> = (0..num_arrays)
+                .map(|k| b.array(&format!("A{k}"), &[2 * n, n]))
+                .collect();
+            for (which, (rows, _)) in nests {
+                let a = arrays[which % arrays.len()];
+                let q: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+                b.nest(&[n, n]).read(a, &q).done();
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hierarchical layouts are injective and within the file extent for
+    /// any generated program.
+    #[test]
+    fn random_programs_get_valid_layouts(program in program()) {
+        let topo = tiny_topology();
+        let plan = run_layout_pass(&program, &topo, &PassOptions::default_for(&topo));
+        prop_assert_eq!(plan.layouts.len(), program.arrays().len());
+        for layout in &plan.layouts {
+            if let FileLayout::Hierarchical(h) = layout {
+                let mut offs = h.table.clone();
+                offs.sort_unstable();
+                let len = offs.len();
+                offs.dedup();
+                prop_assert_eq!(offs.len(), len, "layout must be injective");
+                prop_assert!(h.file_elems > *offs.last().unwrap());
+            }
+        }
+    }
+
+    /// Optimized traces preserve the dynamic element-access count.
+    #[test]
+    fn random_programs_preserve_access_counts(program in program()) {
+        let topo = tiny_topology();
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        let plan = run_layout_pass(&program, &topo, &PassOptions::default_for(&topo));
+        let def = generate_traces(&program, &cfg, &default_layouts(&program), &topo);
+        let opt = generate_traces(&program, &cfg, &plan.layouts, &topo);
+        let count = |traces: &[flo::sim::ThreadTrace]| -> u64 {
+            traces.iter().map(|t| t.element_accesses()).sum()
+        };
+        prop_assert_eq!(count(&def), count(&opt));
+    }
+
+    /// The pass is deterministic for any input.
+    #[test]
+    fn random_programs_pass_deterministically(program in program()) {
+        let topo = tiny_topology();
+        let a = run_layout_pass(&program, &topo, &PassOptions::default_for(&topo));
+        let b = run_layout_pass(&program, &topo, &PassOptions::default_for(&topo));
+        for (la, lb) in a.layouts.iter().zip(&b.layouts) {
+            match (la, lb) {
+                (FileLayout::Hierarchical(x), FileLayout::Hierarchical(y)) => {
+                    prop_assert_eq!(&x.table, &y.table);
+                }
+                (FileLayout::RowMajor, FileLayout::RowMajor) => {}
+                other => prop_assert!(false, "layout kinds diverged: {other:?}"),
+            }
+        }
+    }
+
+    /// Every target-layer choice yields valid layouts.
+    #[test]
+    fn random_programs_all_targets(program in program()) {
+        let topo = tiny_topology();
+        for target in TargetLayers::all() {
+            let opts = PassOptions::default_for(&topo).with_target(target);
+            let plan = run_layout_pass(&program, &topo, &opts);
+            prop_assert_eq!(plan.layouts.len(), program.arrays().len());
+        }
+    }
+}
