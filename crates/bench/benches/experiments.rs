@@ -1,11 +1,11 @@
-//! Criterion wrappers around the paper's experiments at test scale —
+//! Wall-clock timings of the paper's experiments at test scale —
 //! `cargo bench` exercises one representative configuration per
 //! table/figure so regressions in any experiment path are caught. The
 //! full-scale numbers live in the per-experiment binaries
 //! (`cargo run --release -p flo-bench --bin fig7a`, …).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flo_bench::harness::{normalized_exec, run_app, RunOverrides, Scheme};
+use flo_bench::timing::measure;
 use flo_bench::topology_for;
 use flo_core::TargetLayers;
 use flo_parallel::ThreadMapping;
@@ -13,69 +13,72 @@ use flo_sim::PolicyKind;
 use flo_workloads::{by_name, Scale};
 
 fn representative() -> (flo_workloads::Workload, flo_sim::Topology) {
-    (by_name("qio", Scale::Small).unwrap(), topology_for(Scale::Small))
+    (
+        by_name("qio", Scale::Small).unwrap(),
+        topology_for(Scale::Small),
+    )
 }
 
-fn bench_table2_row(c: &mut Criterion) {
+fn main() {
     let (w, topo) = representative();
-    c.bench_function("exp_table2_default_run", |b| {
-        b.iter(|| run_app(&w, &topo, PolicyKind::LruInclusive, Scheme::Default, &RunOverrides::default()))
+    measure("exp_table2_default_run", || {
+        run_app(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Default,
+            &RunOverrides::default(),
+        )
     });
-}
-
-fn bench_fig7a_row(c: &mut Criterion) {
-    let (w, topo) = representative();
-    c.bench_function("exp_fig7a_normalized", |b| {
-        b.iter(|| {
-            normalized_exec(&w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default())
-        })
+    measure("exp_fig7a_normalized", || {
+        normalized_exec(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Inter,
+            &RunOverrides::default(),
+        )
     });
-}
-
-fn bench_fig7b_mapping(c: &mut Criterion) {
-    let (w, topo) = representative();
     let mapping = ThreadMapping::permutation(topo.compute_nodes, 2);
-    c.bench_function("exp_fig7b_mapping_ii", |b| {
-        b.iter(|| {
-            let ov = RunOverrides { mapping: Some(mapping.clone()), target: None };
-            normalized_exec(&w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &ov)
-        })
+    measure("exp_fig7b_mapping_ii", || {
+        let ov = RunOverrides {
+            mapping: Some(mapping.clone()),
+            target: None,
+        };
+        normalized_exec(&w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &ov)
+    });
+    measure("exp_fig7f_io_only", || {
+        let ov = RunOverrides {
+            mapping: None,
+            target: Some(TargetLayers::IoOnly),
+        };
+        normalized_exec(&w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &ov)
+    });
+    measure("exp_fig7g_compmap", || {
+        normalized_exec(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::CompMap,
+            &RunOverrides::default(),
+        )
+    });
+    measure("exp_fig7h_karma", || {
+        normalized_exec(
+            &w,
+            &topo,
+            PolicyKind::Karma,
+            Scheme::Inter,
+            &RunOverrides::default(),
+        )
+    });
+    measure("exp_fig7h_demote", || {
+        normalized_exec(
+            &w,
+            &topo,
+            PolicyKind::DemoteLru,
+            Scheme::Inter,
+            &RunOverrides::default(),
+        )
     });
 }
-
-fn bench_fig7f_target(c: &mut Criterion) {
-    let (w, topo) = representative();
-    c.bench_function("exp_fig7f_io_only", |b| {
-        b.iter(|| {
-            let ov = RunOverrides { mapping: None, target: Some(TargetLayers::IoOnly) };
-            normalized_exec(&w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &ov)
-        })
-    });
-}
-
-fn bench_fig7g_baselines(c: &mut Criterion) {
-    let (w, topo) = representative();
-    c.bench_function("exp_fig7g_compmap", |b| {
-        b.iter(|| {
-            normalized_exec(&w, &topo, PolicyKind::LruInclusive, Scheme::CompMap, &RunOverrides::default())
-        })
-    });
-}
-
-fn bench_fig7h_policies(c: &mut Criterion) {
-    let (w, topo) = representative();
-    c.bench_function("exp_fig7h_karma", |b| {
-        b.iter(|| normalized_exec(&w, &topo, PolicyKind::Karma, Scheme::Inter, &RunOverrides::default()))
-    });
-    c.bench_function("exp_fig7h_demote", |b| {
-        b.iter(|| normalized_exec(&w, &topo, PolicyKind::DemoteLru, Scheme::Inter, &RunOverrides::default()))
-    });
-}
-
-criterion_group! {
-    name = experiments;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table2_row, bench_fig7a_row, bench_fig7b_mapping,
-              bench_fig7f_target, bench_fig7g_baselines, bench_fig7h_policies
-}
-criterion_main!(experiments);

@@ -1,4 +1,5 @@
-//! Criterion microbenchmarks of the reproduction's hot paths:
+//! Microbenchmarks of the reproduction's hot paths (plain wall-clock
+//! timers via `flo_bench::timing` — the offline build has no criterion):
 //!
 //! * `step1_partition` — the Step I integer-Gaussian solver,
 //! * `algorithm1_table` — Algorithm 1's layout-table construction,
@@ -8,14 +9,17 @@
 //!   experiment),
 //! * `layout_pass_app` — the complete compiler pass on an application
 //!   (the paper reports compile-time overhead in §5.1).
+//!
+//! Run with `cargo bench -p flo-bench --bench microbench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flo_bench::timing::measure;
 use flo_core::partition::{partition_array, AccessConstraint};
 use flo_core::tracegen::{default_layouts, generate_traces};
 use flo_core::{run_layout_pass, ParallelConfig, PassOptions};
 use flo_linalg::IMat;
 use flo_sim::{simulate, BlockAddr, LruCore, PolicyKind, StorageSystem, Topology};
 use flo_workloads::{by_name, Scale};
+use std::hint::black_box;
 
 fn small_topology() -> Topology {
     Topology {
@@ -29,84 +33,95 @@ fn small_topology() -> Topology {
     }
 }
 
-fn bench_step1(c: &mut Criterion) {
+fn bench_step1() {
     let constraints = vec![
-        AccessConstraint { q: IMat::from_rows(&[&[1, 1, 1], &[0, 1, 0], &[0, 0, 1]]), u: 0, weight: 1000 },
-        AccessConstraint { q: IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]), u: 0, weight: 500 },
-        AccessConstraint { q: IMat::from_rows(&[&[0, 1, 0], &[1, 0, 0], &[0, 0, 1]]), u: 0, weight: 100 },
+        AccessConstraint {
+            q: IMat::from_rows(&[&[1, 1, 1], &[0, 1, 0], &[0, 0, 1]]),
+            u: 0,
+            weight: 1000,
+        },
+        AccessConstraint {
+            q: IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]),
+            u: 0,
+            weight: 500,
+        },
+        AccessConstraint {
+            q: IMat::from_rows(&[&[0, 1, 0], &[1, 0, 0], &[0, 0, 1]]),
+            u: 0,
+            weight: 100,
+        },
     ];
-    c.bench_function("step1_partition_3x3_conflicting", |b| {
-        b.iter(|| partition_array(black_box(&constraints)))
+    measure("step1_partition_3x3_conflicting", || {
+        partition_array(black_box(&constraints))
     });
 }
 
-fn bench_layout_pass(c: &mut Criterion) {
+fn bench_layout_pass() {
     let topo = small_topology();
     let w = by_name("swim", Scale::Small).unwrap();
-    c.bench_function("layout_pass_swim_small", |b| {
-        b.iter(|| run_layout_pass(black_box(&w.program), &topo, &PassOptions::default_for(&topo)))
+    measure("layout_pass_swim_small", || {
+        run_layout_pass(
+            black_box(&w.program),
+            &topo,
+            &PassOptions::default_for(&topo),
+        )
     });
 }
 
-fn bench_layout_offset(c: &mut Criterion) {
+fn bench_layout_offset() {
     let topo = small_topology();
     let w = by_name("qio", Scale::Small).unwrap();
     let plan = run_layout_pass(&w.program, &topo, &PassOptions::default_for(&topo));
     let space = &w.program.arrays()[0].space;
     let layout = &plan.layouts[0];
-    c.bench_function("layout_offset_hierarchical", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..space.extent(0) {
-                acc = acc.wrapping_add(layout.offset_of(space, &[i, i % space.extent(1)]));
-            }
-            acc
-        })
+    measure("layout_offset_hierarchical", || {
+        let mut acc = 0u64;
+        for i in 0..space.extent(0) {
+            acc = acc.wrapping_add(layout.offset_of(space, &[i, i % space.extent(1)]));
+        }
+        acc
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("lru_access_insert_1k", |b| {
-        let mut cache = LruCore::new(256);
-        let mut i = 0u64;
-        b.iter(|| {
-            for _ in 0..1024 {
-                i = (i * 1664525 + 1013904223) % 512;
-                if !cache.access(BlockAddr::new(0, i)) {
-                    cache.insert(BlockAddr::new(0, i));
-                }
+fn bench_cache() {
+    let mut cache = LruCore::new(256);
+    let mut i = 0u64;
+    measure("lru_access_insert_1k", move || {
+        for _ in 0..1024 {
+            i = (i * 1664525 + 1013904223) % 512;
+            if !cache.access(BlockAddr::new(0, i)) {
+                cache.insert(BlockAddr::new(0, i));
             }
-        })
+        }
     });
 }
 
-fn bench_simulate(c: &mut Criterion) {
+fn bench_simulate() {
     let topo = small_topology();
     let w = by_name("qio", Scale::Small).unwrap();
     let cfg = ParallelConfig::default_for(topo.compute_nodes);
     let traces = generate_traces(&w.program, &cfg, &default_layouts(&w.program), &topo);
-    c.bench_function("simulate_qio_small_default", |b| {
-        b.iter(|| {
-            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
-            simulate(&mut system, black_box(&traces), &w.run_config(cfg.threads))
-        })
+    measure("simulate_qio_small_default", || {
+        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+        simulate(&mut system, black_box(&traces), &w.run_config(cfg.threads))
     });
 }
 
-fn bench_tracegen(c: &mut Criterion) {
+fn bench_tracegen() {
     let topo = small_topology();
     let w = by_name("sp", Scale::Small).unwrap();
     let cfg = ParallelConfig::default_for(topo.compute_nodes);
     let layouts = default_layouts(&w.program);
-    c.bench_function("tracegen_sp_small", |b| {
-        b.iter(|| generate_traces(black_box(&w.program), &cfg, &layouts, &topo))
+    measure("tracegen_sp_small", || {
+        generate_traces(black_box(&w.program), &cfg, &layouts, &topo)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_step1, bench_layout_pass, bench_layout_offset, bench_cache,
-              bench_simulate, bench_tracegen
+fn main() {
+    bench_step1();
+    bench_layout_pass();
+    bench_layout_offset();
+    bench_cache();
+    bench_simulate();
+    bench_tracegen();
 }
-criterion_main!(benches);

@@ -22,7 +22,6 @@ use flo_core::{run_layout_pass, template_spec, ChunkAddresser, HierSpec, HierTem
 use flo_core::{ParallelConfig, PassOptions, TargetLayers};
 use flo_sim::{simulate, PolicyKind, StorageSystem};
 use flo_workloads::all;
-use rayon::prelude::*;
 
 fn main() {
     let scale = flo_bench::scale_from_env();
@@ -33,22 +32,19 @@ fn main() {
         &["variant", "normalized_exec"],
     );
     let norm_with = |f: &(dyn Fn(&mut PassOptions) + Sync), policy: PolicyKind| -> f64 {
-        let norms: Vec<f64> = suite
-            .par_iter()
-            .map(|w| {
-                let base = run_app(w, &topo, policy, Scheme::Default, &RunOverrides::default());
-                let mut opts = PassOptions::default_for(&topo);
-                f(&mut opts);
-                let plan = run_layout_pass(&w.program, &topo, &opts);
-                let traces = generate_traces(&w.program, &opts.parallel, &plan.layouts, &topo);
-                let mut system = StorageSystem::new(topo.clone(), policy);
-                if policy == PolicyKind::Karma {
-                    system.set_karma_hints(&flo_bench::harness::karma_hints(&traces, &topo));
-                }
-                let r = simulate(&mut system, &traces, &w.run_config(opts.parallel.threads));
-                r.execution_time_ms / base.exec_ms()
-            })
-            .collect();
+        let norms: Vec<f64> = flo_parallel::parallel_map(&suite, |w| {
+            let base = run_app(w, &topo, policy, Scheme::Default, &RunOverrides::default());
+            let mut opts = PassOptions::default_for(&topo);
+            f(&mut opts);
+            let plan = run_layout_pass(&w.program, &topo, &opts);
+            let traces = generate_traces(&w.program, &opts.parallel, &plan.layouts, &topo);
+            let mut system = StorageSystem::new(topo.clone(), policy);
+            if policy == PolicyKind::Karma {
+                system.set_karma_hints(&flo_bench::harness::karma_hints(&traces, &topo));
+            }
+            let r = simulate(&mut system, &traces, &w.run_config(opts.parallel.threads));
+            r.execution_time_ms / base.exec_ms()
+        });
         norms.iter().sum::<f64>() / norms.len() as f64
     };
 
@@ -59,7 +55,10 @@ fn main() {
     let no_cap = norm_with(&|o| o.cap_chunks = false, PolicyKind::LruInclusive);
     table.row(vec!["− chunk capping".into(), format!("{no_cap:.3}")]);
     let mq = norm_with(&|_| {}, PolicyKind::MqSecondLevel);
-    table.row(vec!["inter under MQ storage caches [50]".into(), format!("{mq:.3}")]);
+    table.row(vec![
+        "inter under MQ storage caches [50]".into(),
+        format!("{mq:.3}"),
+    ]);
 
     // Template compilation: report the pattern granularity difference.
     let cfg = ParallelConfig::default_for(topo.compute_nodes);

@@ -13,23 +13,54 @@ fn main() {
     let topo = flo_bench::topology_for(scale);
     // Paper-band targets for Fig. 7(a), per application.
     let targets = [
-        ("cc-ver-1", 0.99), ("s3asim", 0.99), ("twer", 0.99),
-        ("bt", 0.90), ("cc-ver-2", 0.89), ("astro", 0.87),
-        ("wupwise", 0.88), ("contour", 0.90), ("mgrid", 0.92),
-        ("swim", 0.77), ("afores", 0.76), ("sar", 0.75),
-        ("hf", 0.79), ("qio", 0.74), ("applu", 0.76), ("sp", 0.74),
+        ("cc-ver-1", 0.99),
+        ("s3asim", 0.99),
+        ("twer", 0.99),
+        ("bt", 0.90),
+        ("cc-ver-2", 0.89),
+        ("astro", 0.87),
+        ("wupwise", 0.88),
+        ("contour", 0.90),
+        ("mgrid", 0.92),
+        ("swim", 0.77),
+        ("afores", 0.76),
+        ("sar", 0.75),
+        ("hf", 0.79),
+        ("qio", 0.74),
+        ("applu", 0.76),
+        ("sp", 0.74),
     ];
-    println!("{:<10} {:>12} {:>12} {:>8} {:>14} {:>12}", "app", "L_def(ms)", "L_opt(ms)", "target", "C_needed(ms)", "ms_per_elem");
+    println!(
+        "{:<10} {:>12} {:>12} {:>8} {:>14} {:>12}",
+        "app", "L_def(ms)", "L_opt(ms)", "target", "C_needed(ms)", "ms_per_elem"
+    );
     for w in all(scale) {
         let t = targets.iter().find(|(n, _)| *n == w.name).unwrap().1;
         let ov = RunOverrides::default();
         let base = run_app(&w, &topo, PolicyKind::LruInclusive, Scheme::Default, &ov);
         let opt = run_app(&w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &ov);
-        let l_def = base.report.thread_latency_ms.iter().cloned().fold(0.0f64, f64::max);
-        let l_opt = opt.report.thread_latency_ms.iter().cloned().fold(0.0f64, f64::max);
-        let c = if t < 1.0 { (l_opt - t * l_def) / (t - 1.0) } else { 0.0 };
+        let l_def = base
+            .report
+            .thread_latency_ms
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let l_opt = opt
+            .report
+            .thread_latency_ms
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let c = if t < 1.0 {
+            (l_opt - t * l_def) / (t - 1.0)
+        } else {
+            0.0
+        };
         let per_thread_accesses = w.program.total_accesses() as f64 / topo.compute_nodes as f64;
         let ms_per_elem = (c / per_thread_accesses).max(0.0);
-        println!("{:<10} {:>12.1} {:>12.1} {:>8.2} {:>14.1} {:>12.6}", w.name, l_def, l_opt, t, c, ms_per_elem);
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>8.2} {:>14.1} {:>12.6}",
+            w.name, l_def, l_opt, t, c, ms_per_elem
+        );
     }
 }

@@ -7,18 +7,33 @@ fn main() {
     let scale = flo_bench::scale_from_env();
     let topo = flo_bench::topology_for(scale);
     let apps: Vec<String> = std::env::args().skip(1).collect();
-    println!("{:<10} {:<8} {:>10} {:>8} {:>8} {:>10} {:>8} {:>12}",
-        "app", "scheme", "requests", "io_mr%", "sc_mr%", "disk_rd", "seq%", "L_max(ms)");
+    println!(
+        "{:<10} {:<8} {:>10} {:>8} {:>8} {:>10} {:>8} {:>12}",
+        "app", "scheme", "requests", "io_mr%", "sc_mr%", "disk_rd", "seq%", "L_max(ms)"
+    );
     for name in &apps {
         let w = by_name(name, scale).expect("unknown app");
         for scheme in [Scheme::Default, Scheme::Inter] {
-            let out = run_app(&w, &topo, PolicyKind::LruInclusive, scheme, &RunOverrides::default());
+            let out = run_app(
+                &w,
+                &topo,
+                PolicyKind::LruInclusive,
+                scheme,
+                &RunOverrides::default(),
+            );
             let r = &out.report;
             let lmax = r.thread_latency_ms.iter().cloned().fold(0.0f64, f64::max);
-            println!("{:<10} {:<8} {:>10} {:>8.1} {:>8.1} {:>10} {:>8.1} {:>12.1}",
-                name, scheme.name(), r.total_requests,
-                r.io_miss_rate()*100.0, r.storage_miss_rate()*100.0,
-                r.disk_reads, r.disk_sequential_fraction()*100.0, lmax);
+            println!(
+                "{:<10} {:<8} {:>10} {:>8.1} {:>8.1} {:>10} {:>8.1} {:>12.1}",
+                name,
+                scheme.name(),
+                r.total_requests,
+                r.io_miss_rate() * 100.0,
+                r.storage_miss_rate() * 100.0,
+                r.disk_reads,
+                r.disk_sequential_fraction() * 100.0,
+                lmax
+            );
         }
     }
 }

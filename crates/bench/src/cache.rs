@@ -1,0 +1,219 @@
+//! Trace memoization across experiment runs.
+//!
+//! Every experiment run re-derives its per-thread traces, but the traces
+//! are a pure function of far fewer inputs than a full run configuration:
+//! the program, the parallelization, the file layouts, and the block
+//! size. Cache capacities, replacement policies and compute-time
+//! constants all act downstream of trace generation — so a figure that
+//! sweeps policies (Fig. 7(h)) or capacities (Fig. 7(c)) regenerates
+//! byte-identical traces many times. A [`TraceCache`] keys traces by
+//! exactly the trace-determining inputs and shares one generation per
+//! distinct key.
+//!
+//! Keying on the *layouts themselves* (not the scheme that produced
+//! them) is what makes this correct: the `Inter` scheme's layouts depend
+//! on cache capacities through the layout pass, so capacity sweeps miss
+//! (as they must), while `Default` runs hit across the whole sweep.
+
+use flo_core::{FileLayout, ParallelConfig};
+use flo_sim::{FxHasher, ThreadTrace, Topology};
+use flo_workloads::Workload;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A concurrency-safe memo table for generated traces.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    map: Mutex<HashMap<u64, Arc<Vec<ThreadTrace>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceCache {
+    /// Empty cache.
+    pub fn new() -> TraceCache {
+        TraceCache::default()
+    }
+
+    /// The traces of `workload` under (`cfg`, `layouts`, block size) —
+    /// generated on first request, shared thereafter.
+    pub fn traces_for(
+        &self,
+        workload: &Workload,
+        cfg: &ParallelConfig,
+        layouts: &[FileLayout],
+        topo: &Topology,
+    ) -> Arc<Vec<ThreadTrace>> {
+        let key = trace_key(workload, cfg, layouts, topo);
+        if let Some(found) = self.map.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        // Generate outside the lock: concurrent fig7* workers must not
+        // serialize their (expensive) misses. A racing duplicate insert
+        // is harmless — both values are identical.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let traces = Arc::new(flo_core::generate_traces(
+            &workload.program,
+            cfg,
+            layouts,
+            topo,
+        ));
+        self.map
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&traces));
+        traces
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to generate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct trace sets held.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Hash of exactly the inputs trace generation depends on.
+fn trace_key(
+    workload: &Workload,
+    cfg: &ParallelConfig,
+    layouts: &[FileLayout],
+    topo: &Topology,
+) -> u64 {
+    // FxHasher, not SipHash: hierarchical layouts carry a per-element
+    // table, so a key computation hashes megabytes at full scale.
+    let mut h = FxHasher::default();
+    // The program: array shapes plus every nest's box and references.
+    workload.name.hash(&mut h);
+    for a in workload.program.arrays() {
+        a.space.extents().hash(&mut h);
+    }
+    for nest in workload.program.nests() {
+        nest.space.rank().hash(&mut h);
+        for k in 0..nest.space.rank() {
+            nest.space.lower(k).hash(&mut h);
+            nest.space.upper(k).hash(&mut h);
+        }
+        for r in &nest.refs {
+            r.array.0.hash(&mut h);
+            r.access.hash(&mut h);
+        }
+    }
+    // The parallelization.
+    cfg.threads.hash(&mut h);
+    cfg.u.hash(&mut h);
+    cfg.blocks_per_thread.hash(&mut h);
+    (cfg.assignment == flo_parallel::BlockAssignment::Blocked).hash(&mut h);
+    for t in 0..cfg.threads {
+        cfg.mapping.node_of(t).hash(&mut h);
+    }
+    // The block size (the only topology parameter traces depend on).
+    topo.block_elems.hash(&mut h);
+    // The layouts, by value: the scheme that produced them is
+    // irrelevant, their content is everything.
+    for layout in layouts {
+        match layout {
+            FileLayout::RowMajor => 0u8.hash(&mut h),
+            FileLayout::ColMajor => 1u8.hash(&mut h),
+            FileLayout::DimPerm(p) => {
+                2u8.hash(&mut h);
+                p.hash(&mut h);
+            }
+            FileLayout::Hierarchical(hier) => {
+                3u8.hash(&mut h);
+                hier.file_elems.hash(&mut h);
+                hier.table.hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_core::tracegen::{default_layouts, generate_traces};
+    use flo_workloads::{by_name, Scale};
+
+    fn setup() -> (Workload, Topology, ParallelConfig) {
+        let w = by_name("qio", Scale::Small).unwrap();
+        let topo = crate::topology_for(Scale::Small);
+        let cfg = ParallelConfig::default_for(topo.compute_nodes);
+        (w, topo, cfg)
+    }
+
+    #[test]
+    fn second_lookup_hits_and_matches_generation() {
+        let (w, topo, cfg) = setup();
+        let cache = TraceCache::new();
+        let layouts = default_layouts(&w.program);
+        let first = cache.traces_for(&w, &cfg, &layouts, &topo);
+        let second = cache.traces_for(&w, &cfg, &layouts, &topo);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "hit must share the generation"
+        );
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(*first, generate_traces(&w.program, &cfg, &layouts, &topo));
+    }
+
+    #[test]
+    fn distinct_layouts_get_distinct_entries() {
+        let (w, topo, cfg) = setup();
+        let cache = TraceCache::new();
+        let row = default_layouts(&w.program);
+        let col: Vec<FileLayout> = row.iter().map(|_| FileLayout::ColMajor).collect();
+        let a = cache.traces_for(&w, &cfg, &row, &topo);
+        let b = cache.traces_for(&w, &cfg, &col, &topo);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 2);
+        assert_ne!(*a, *b, "different layouts must yield different traces");
+    }
+
+    #[test]
+    fn capacity_changes_do_not_miss() {
+        let (w, topo, cfg) = setup();
+        let mut bigger = topo.clone();
+        bigger.io_cache_blocks *= 2;
+        bigger.storage_cache_blocks *= 2;
+        let cache = TraceCache::new();
+        let layouts = default_layouts(&w.program);
+        cache.traces_for(&w, &cfg, &layouts, &topo);
+        cache.traces_for(&w, &cfg, &layouts, &bigger);
+        assert_eq!(cache.hits(), 1, "capacities are not trace inputs");
+    }
+
+    #[test]
+    fn block_size_changes_miss() {
+        let (w, topo, cfg) = setup();
+        let cache = TraceCache::new();
+        let layouts = default_layouts(&w.program);
+        cache.traces_for(&w, &cfg, &layouts, &topo);
+        cache.traces_for(
+            &w,
+            &cfg,
+            &layouts,
+            &topo.with_block_elems(topo.block_elems / 2),
+        );
+        assert_eq!(cache.misses(), 2, "block size is a trace input");
+    }
+}

@@ -2,8 +2,9 @@
 //! normalized to the default execution. The paper reports a 23.7% average
 //! improvement with three application groups (≈0%, 8–13%, 21–26%).
 
+use crate::cache::TraceCache;
 use crate::experiments::{mean, par_over_suite, r3};
-use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
@@ -13,8 +14,16 @@ use flo_workloads::{all, Scale};
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
     let suite = all(scale);
+    let cache = TraceCache::new();
     let norms = par_over_suite(&suite, |w| {
-        normalized_exec(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default())
+        normalized_exec_cached(
+            &cache,
+            w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Inter,
+            &RunOverrides::default(),
+        )
     });
     let mut t = Table::new(
         "Fig. 7(a) — normalized execution time (inter-node layout / default)",
@@ -25,7 +34,10 @@ pub fn run(scale: Scale) -> Table {
     }
     let avg = mean(&norms);
     t.row(vec!["AVERAGE".into(), r3(avg)]);
-    t.note(format!("average improvement: {:.1}% (paper: 23.7%)", (1.0 - avg) * 100.0));
+    t.note(format!(
+        "average improvement: {:.1}% (paper: 23.7%)",
+        (1.0 - avg) * 100.0
+    ));
     t
 }
 

@@ -3,8 +3,9 @@
 //! within 6%, with only the master–slave apps (cc-ver-2, afores, sar)
 //! showing any sensitivity.
 
+use crate::cache::TraceCache;
 use crate::experiments::{par_over_suite, r3};
-use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_parallel::ThreadMapping;
@@ -19,12 +20,23 @@ pub fn run(scale: Scale) -> Table {
     let headers: Vec<&str> = std::iter::once("application")
         .chain(mappings.iter().map(|(n, _)| *n))
         .collect();
+    let cache = TraceCache::new();
     let rows = par_over_suite(&suite, |w| {
         mappings
             .iter()
             .map(|(_, m)| {
-                let ov = RunOverrides { mapping: Some(m.clone()), target: None };
-                normalized_exec(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &ov)
+                let ov = RunOverrides {
+                    mapping: Some(m.clone()),
+                    target: None,
+                };
+                normalized_exec_cached(
+                    &cache,
+                    w,
+                    &topo,
+                    PolicyKind::LruInclusive,
+                    Scheme::Inter,
+                    &ov,
+                )
             })
             .collect::<Vec<f64>>()
     });
@@ -50,8 +62,7 @@ mod tests {
     fn mapping_spread_is_bounded() {
         let t = run(Scale::Small);
         for row in &t.rows {
-            let vals: Vec<f64> =
-                row[1..].iter().map(|s| s.parse::<f64>().unwrap()).collect();
+            let vals: Vec<f64> = row[1..].iter().map(|s| s.parse::<f64>().unwrap()).collect();
             let (min, max) = (
                 vals.iter().cloned().fold(f64::INFINITY, f64::min),
                 vals.iter().cloned().fold(0.0f64, f64::max),

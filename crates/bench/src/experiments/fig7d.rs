@@ -3,8 +3,9 @@
 //! I/O and storage caches, that is, when they are shared by more client
 //! and I/O nodes".
 
+use crate::cache::TraceCache;
 use crate::experiments::{mean, par_over_suite, r3};
-use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
@@ -12,8 +13,13 @@ use flo_workloads::{all, Scale};
 
 /// Node-count configurations swept at full scale: (compute, io, storage).
 /// The first is the default (64, 16, 4); later entries increase sharing.
-pub const FULL_CONFIGS: [(usize, usize, usize); 5] =
-    [(64, 32, 8), (64, 16, 4), (64, 16, 2), (64, 8, 4), (64, 8, 2)];
+pub const FULL_CONFIGS: [(usize, usize, usize); 5] = [
+    (64, 32, 8),
+    (64, 16, 4),
+    (64, 16, 2),
+    (64, 8, 4),
+    (64, 8, 2),
+];
 
 /// Shrunken configurations for `Scale::Small` (8 compute nodes).
 pub const SMALL_CONFIGS: [(usize, usize, usize); 5] =
@@ -27,16 +33,27 @@ pub fn run(scale: Scale) -> Table {
         Scale::Small => SMALL_CONFIGS,
     };
     let suite = all(scale);
-    let names: Vec<String> =
-        configs.iter().map(|&(c, i, s)| format!("({c},{i},{s})")).collect();
-    let headers: Vec<&str> =
-        std::iter::once("application").chain(names.iter().map(String::as_str)).collect();
+    let names: Vec<String> = configs
+        .iter()
+        .map(|&(c, i, s)| format!("({c},{i},{s})"))
+        .collect();
+    let headers: Vec<&str> = std::iter::once("application")
+        .chain(names.iter().map(String::as_str))
+        .collect();
+    let cache = TraceCache::new();
     let rows = par_over_suite(&suite, |w| {
         configs
             .iter()
             .map(|&(c, i, s)| {
                 let topo = base_topo.with_node_counts(c, i, s);
-                normalized_exec(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default())
+                normalized_exec_cached(
+                    &cache,
+                    w,
+                    &topo,
+                    PolicyKind::LruInclusive,
+                    Scheme::Inter,
+                    &RunOverrides::default(),
+                )
             })
             .collect::<Vec<f64>>()
     });

@@ -3,30 +3,45 @@
 //! (paper §5.3). Cache capacities in *bytes* are held fixed across the
 //! sweep, as in the paper.
 
+use crate::cache::TraceCache;
 use crate::experiments::{mean, par_over_suite, r3};
-use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
 use flo_workloads::{all, Scale};
 
 /// Block-size multipliers swept (default = 1×).
-pub const FACTORS: [(u64, u64, &str); 5] =
-    [(1, 4, "1/4x"), (1, 2, "1/2x"), (1, 1, "1x"), (2, 1, "2x"), (4, 1, "4x")];
+pub const FACTORS: [(u64, u64, &str); 5] = [
+    (1, 4, "1/4x"),
+    (1, 2, "1/2x"),
+    (1, 1, "1x"),
+    (2, 1, "2x"),
+    (4, 1, "4x"),
+];
 
 /// Run the sweep.
 pub fn run(scale: Scale) -> Table {
     let base_topo = topology_for(scale);
     let suite = all(scale);
-    let headers: Vec<&str> =
-        std::iter::once("application").chain(FACTORS.iter().map(|&(_, _, n)| n)).collect();
+    let headers: Vec<&str> = std::iter::once("application")
+        .chain(FACTORS.iter().map(|&(_, _, n)| n))
+        .collect();
+    let cache = TraceCache::new();
     let rows = par_over_suite(&suite, |w| {
         FACTORS
             .iter()
             .map(|&(num, den, _)| {
                 let block = (base_topo.block_elems * num / den).max(1);
                 let topo = base_topo.with_block_elems(block);
-                normalized_exec(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default())
+                normalized_exec_cached(
+                    &cache,
+                    w,
+                    &topo,
+                    PolicyKind::LruInclusive,
+                    Scheme::Inter,
+                    &RunOverrides::default(),
+                )
             })
             .collect::<Vec<f64>>()
     });

@@ -2,8 +2,9 @@
 //! The paper: I/O-only gives 9.1%, storage-only 13.0%, both 23.7% —
 //! "targeting the entire storage hierarchy is critical".
 
+use crate::cache::TraceCache;
 use crate::experiments::{mean, par_over_suite, r3};
-use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_core::TargetLayers;
@@ -14,14 +15,28 @@ use flo_workloads::{all, Scale};
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
     let suite = all(scale);
-    let targets =
-        [TargetLayers::IoOnly, TargetLayers::StorageOnly, TargetLayers::Both];
+    let targets = [
+        TargetLayers::IoOnly,
+        TargetLayers::StorageOnly,
+        TargetLayers::Both,
+    ];
+    let cache = TraceCache::new();
     let rows = par_over_suite(&suite, |w| {
         targets
             .iter()
             .map(|&target| {
-                let ov = RunOverrides { mapping: None, target: Some(target) };
-                normalized_exec(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &ov)
+                let ov = RunOverrides {
+                    mapping: None,
+                    target: Some(target),
+                };
+                normalized_exec_cached(
+                    &cache,
+                    w,
+                    &topo,
+                    PolicyKind::LruInclusive,
+                    Scheme::Inter,
+                    &ov,
+                )
             })
             .collect::<Vec<f64>>()
     });
@@ -55,6 +70,9 @@ mod tests {
         let sc = t.cell_f64("AVERAGE", "storage_only").unwrap();
         let both = t.cell_f64("AVERAGE", "both").unwrap();
         assert!(both <= io + 0.02, "both ({both}) must beat io-only ({io})");
-        assert!(both <= sc + 0.02, "both ({both}) must beat storage-only ({sc})");
+        assert!(
+            both <= sc + 0.02,
+            "both ({both}) must beat storage-only ({sc})"
+        );
     }
 }

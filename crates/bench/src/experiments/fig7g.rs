@@ -4,8 +4,9 @@
 //! paper avg 7.1%), both normalized to the default execution, alongside
 //! the inter-node layout optimization (23.7%).
 
+use crate::cache::TraceCache;
 use crate::experiments::{mean, par_over_suite, r3};
-use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
@@ -16,11 +17,19 @@ pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
     let suite = all(scale);
     let schemes = [Scheme::CompMap, Scheme::Reindex, Scheme::Inter];
+    let cache = TraceCache::new();
     let rows = par_over_suite(&suite, |w| {
         schemes
             .iter()
             .map(|&s| {
-                normalized_exec(w, &topo, PolicyKind::LruInclusive, s, &RunOverrides::default())
+                normalized_exec_cached(
+                    &cache,
+                    w,
+                    &topo,
+                    PolicyKind::LruInclusive,
+                    s,
+                    &RunOverrides::default(),
+                )
             })
             .collect::<Vec<f64>>()
     });
@@ -57,6 +66,9 @@ mod tests {
         assert!(inter < cm, "inter ({inter}) must beat compmap ({cm})");
         // At test scale the compressed gains put inter and reindex within
         // noise of each other; the full-scale run separates them clearly.
-        assert!(inter < ri + 0.03, "inter ({inter}) must not lose to reindex ({ri})");
+        assert!(
+            inter < ri + 0.03,
+            "inter ({inter}) must not lose to reindex ({ri})"
+        );
     }
 }

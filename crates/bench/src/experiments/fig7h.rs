@@ -4,8 +4,9 @@
 //! optimization becomes *more* effective under the exclusive policies
 //! (30.1% with KARMA, 28.6% with DEMOTE-LRU, vs 23.7% with LRU).
 
+use crate::cache::TraceCache;
 use crate::experiments::{mean, par_over_suite, r3};
-use crate::harness::{normalized_exec, RunOverrides, Scheme};
+use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
@@ -15,11 +16,18 @@ use flo_workloads::{all, Scale};
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
     let suite = all(scale);
-    let policies = [PolicyKind::LruInclusive, PolicyKind::Karma, PolicyKind::DemoteLru];
+    let policies = [
+        PolicyKind::LruInclusive,
+        PolicyKind::Karma,
+        PolicyKind::DemoteLru,
+    ];
+    let cache = TraceCache::new();
     let rows = par_over_suite(&suite, |w| {
         policies
             .iter()
-            .map(|&p| normalized_exec(w, &topo, p, Scheme::Inter, &RunOverrides::default()))
+            .map(|&p| {
+                normalized_exec_cached(&cache, w, &topo, p, Scheme::Inter, &RunOverrides::default())
+            })
             .collect::<Vec<f64>>()
     });
     let mut t = Table::new(

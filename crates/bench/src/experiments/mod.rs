@@ -36,11 +36,10 @@ pub(crate) fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Run `f` over the suite in parallel (rayon), preserving order.
+/// Run `f` over the suite in parallel, preserving order.
 pub(crate) fn par_over_suite<T: Send>(
     suite: &[Workload],
     f: impl Fn(&Workload) -> T + Sync + Send,
 ) -> Vec<T> {
-    use rayon::prelude::*;
-    suite.par_iter().map(f).collect()
+    flo_parallel::parallel_map(suite, f)
 }

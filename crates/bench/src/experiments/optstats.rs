@@ -19,7 +19,13 @@ pub fn run(scale: Scale) -> Table {
     });
     let mut t = Table::new(
         "§5.1 — layout pass statistics",
-        &["application", "arrays", "optimized", "fraction_%", "compile_ms"],
+        &[
+            "application",
+            "arrays",
+            "optimized",
+            "fraction_%",
+            "compile_ms",
+        ],
     );
     let mut fractions = Vec::new();
     for (w, plan) in suite.iter().zip(&plans) {

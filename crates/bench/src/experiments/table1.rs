@@ -16,15 +16,30 @@ pub fn run(scale: Scale) -> Table {
     kv("number of compute nodes", topo.compute_nodes.to_string());
     kv("number of I/O nodes", topo.io_nodes.to_string());
     kv("number of storage nodes", topo.storage_nodes.to_string());
-    kv("data striping", format!("uses all {} storage nodes", topo.storage_nodes));
-    kv("stripe size", format!("{} elements (= 1 data block)", topo.block_elems));
+    kv(
+        "data striping",
+        format!("uses all {} storage nodes", topo.storage_nodes),
+    );
+    kv(
+        "stripe size",
+        format!("{} elements (= 1 data block)", topo.block_elems),
+    );
     kv("data block size", format!("{} elements", topo.block_elems));
-    kv("cache capacity / I/O node", format!("{} blocks", topo.io_cache_blocks));
-    kv("cache capacity / storage node", format!("{} blocks", topo.storage_cache_blocks));
-    kv("disk model", format!(
-        "seek {:.1} ms + rotation {:.1} ms (10k RPM) + transfer {:.1} ms",
-        disk.seek_ms, disk.rotational_ms, disk.transfer_ms
-    ));
+    kv(
+        "cache capacity / I/O node",
+        format!("{} blocks", topo.io_cache_blocks),
+    );
+    kv(
+        "cache capacity / storage node",
+        format!("{} blocks", topo.storage_cache_blocks),
+    );
+    kv(
+        "disk model",
+        format!(
+            "seek {:.1} ms + rotation {:.1} ms (10k RPM) + transfer {:.1} ms",
+            disk.seek_ms, disk.rotational_ms, disk.transfer_ms
+        ),
+    );
     t.note("paper: 64/16/4 nodes, 128 kB blocks, 1 GB / 2 GB caches, 10k RPM disks");
     t
 }

@@ -1,8 +1,9 @@
 //! Table 2 — applications, storage-cache miss rates, and execution times
 //! under the default execution (row-major layouts, LRU inclusive caches).
 
+use crate::cache::TraceCache;
 use crate::experiments::{par_over_suite, pct};
-use crate::harness::{run_app, RunOverrides, Scheme};
+use crate::harness::{run_app_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
@@ -12,12 +13,26 @@ use flo_workloads::{all, Scale};
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
     let suite = all(scale);
+    let cache = TraceCache::new();
     let results = par_over_suite(&suite, |w| {
-        run_app(w, &topo, PolicyKind::LruInclusive, Scheme::Default, &RunOverrides::default())
+        run_app_cached(
+            &cache,
+            w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Default,
+            &RunOverrides::default(),
+        )
     });
     let mut t = Table::new(
         "Table 2 — default execution: miss rates and execution time",
-        &["application", "io_miss_%", "storage_miss_%", "exec_time_ms", "arrays"],
+        &[
+            "application",
+            "io_miss_%",
+            "storage_miss_%",
+            "exec_time_ms",
+            "arrays",
+        ],
     );
     for (w, out) in suite.iter().zip(&results) {
         t.row(vec![
@@ -44,6 +59,9 @@ mod tests {
         // Group 1 apps must show low default I/O miss rates; group 3 high.
         let cc1 = t.cell_f64("cc-ver-1", "io_miss_%").unwrap();
         let qio = t.cell_f64("qio", "io_miss_%").unwrap();
-        assert!(cc1 < qio, "cc-ver-1 ({cc1}) must miss less than qio ({qio})");
+        assert!(
+            cc1 < qio,
+            "cc-ver-1 ({cc1}) must miss less than qio ({qio})"
+        );
     }
 }

@@ -1,8 +1,9 @@
 //! Table 3 — cache misses after the inter-node layout optimization,
 //! normalized to the default execution (Table 2).
 
+use crate::cache::TraceCache;
 use crate::experiments::{par_over_suite, r3};
-use crate::harness::{run_app, RunOverrides, Scheme};
+use crate::harness::{run_app_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
@@ -12,11 +13,24 @@ use flo_workloads::{all, Scale};
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
     let suite = all(scale);
+    let cache = TraceCache::new();
     let results = par_over_suite(&suite, |w| {
-        let base =
-            run_app(w, &topo, PolicyKind::LruInclusive, Scheme::Default, &RunOverrides::default());
-        let opt =
-            run_app(w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default());
+        let base = run_app_cached(
+            &cache,
+            w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Default,
+            &RunOverrides::default(),
+        );
+        let opt = run_app_cached(
+            &cache,
+            w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Inter,
+            &RunOverrides::default(),
+        );
         (base, opt)
     });
     let mut t = Table::new(
@@ -24,8 +38,14 @@ pub fn run(scale: Scale) -> Table {
         &["application", "io_caches", "storage_caches"],
     );
     for (w, (base, opt)) in suite.iter().zip(&results) {
-        let io = ratio(opt.report.layers.io.misses(), base.report.layers.io.misses());
-        let sc = ratio(opt.report.layers.storage.misses(), base.report.layers.storage.misses());
+        let io = ratio(
+            opt.report.layers.io.misses(),
+            base.report.layers.io.misses(),
+        );
+        let sc = ratio(
+            opt.report.layers.storage.misses(),
+            base.report.layers.storage.misses(),
+        );
         t.row(vec![w.name.to_string(), r3(io), r3(sc)]);
     }
     t.note("paper range: 0.43–0.98 (I/O), 0.51–0.98 (storage); group 1 near 1.0");

@@ -1,12 +1,15 @@
 //! Run one (workload × scheme × policy × topology) configuration.
 
+use crate::cache::TraceCache;
 use flo_core::baseline::{compmap, reindex};
+use flo_core::FileLayout;
 use flo_core::{generate_traces, run_layout_pass, ParallelConfig, PassOptions, TargetLayers};
 use flo_parallel::ThreadMapping;
 use flo_sim::policies::karma::KarmaHints;
-use flo_sim::{simulate, PolicyKind, SimReport, StorageSystem, ThreadTrace, Topology};
+use flo_sim::{simulate, PolicyKind, RunConfig, SimReport, StorageSystem, ThreadTrace, Topology};
 use flo_workloads::Workload;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which layout/computation scheme a run uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -76,9 +79,15 @@ pub fn karma_hints(traces: &[ThreadTrace], topo: &Topology) -> KarmaHints {
     for tr in traces {
         let g = topo.io_node_of_compute(tr.compute_node);
         for e in &tr.entries {
-            blocks.entry(e.block.file).or_default().insert(e.block.index);
+            blocks
+                .entry(e.block.file)
+                .or_default()
+                .insert(e.block.index);
             *accesses.entry(e.block.file).or_insert(0) += e.count as u64;
-            group_blocks[g].entry(e.block.file).or_default().insert(e.block.index);
+            group_blocks[g]
+                .entry(e.block.file)
+                .or_default()
+                .insert(e.block.index);
             *group_accesses[g].entry(e.block.file).or_insert(0) += e.count as u64;
         }
     }
@@ -107,23 +116,40 @@ pub fn karma_hints(traces: &[ThreadTrace], topo: &Topology) -> KarmaHints {
     hints
 }
 
-/// Run `workload` on `topo` with `policy` under `scheme`.
-pub fn run_app(
+/// Everything a run needs before trace generation: the layouts and
+/// parallelization a scheme chose, plus the pass diagnostics. Separating
+/// this from execution lets [`run_app`] and [`run_app_cached`] share one
+/// code path (they previously duplicated the whole scheme match around
+/// their `generate_traces` calls).
+#[derive(Clone, Debug)]
+pub struct PreparedRun {
+    /// The parallelization the scheme runs under.
+    pub cfg: ParallelConfig,
+    /// One file layout per array.
+    pub layouts: Vec<FileLayout>,
+    /// Simulator run parameters (compute time per thread).
+    pub run_cfg: RunConfig,
+    /// Fraction of arrays optimized (`Inter` only, else 0).
+    pub optimized_fraction: f64,
+    /// Layout-pass compile time in ms (`Inter` only, else 0).
+    pub compile_ms: f64,
+}
+
+/// Resolve `scheme` into concrete layouts and a parallel configuration.
+pub fn prepare_run(
     workload: &Workload,
     topo: &Topology,
-    policy: PolicyKind,
     scheme: Scheme,
     overrides: &RunOverrides,
-) -> RunOutcome {
+) -> PreparedRun {
     let mut cfg = ParallelConfig::default_for(topo.compute_nodes);
     if let Some(m) = &overrides.mapping {
         cfg = cfg.with_mapping(m.clone());
     }
     let target = overrides.target.unwrap_or(TargetLayers::Both);
-    let (layouts, run_cfg, opt_fraction, compile_ms, cfg) = match scheme {
+    let (layouts, opt_fraction, compile_ms, cfg) = match scheme {
         Scheme::Default => (
             flo_core::tracegen::default_layouts(&workload.program),
-            workload.run_config(cfg.threads),
             0.0,
             0.0,
             cfg,
@@ -135,13 +161,12 @@ pub fn run_app(
             let plan = run_layout_pass(&workload.program, topo, &opts);
             let f = plan.optimized_fraction();
             let ms = plan.compile_ms;
-            (plan.layouts, workload.run_config(cfg.threads), f, ms, cfg)
+            (plan.layouts, f, ms, cfg)
         }
         Scheme::CompMap => {
             let cm = compmap::compmap_config(&cfg);
             (
                 flo_core::tracegen::default_layouts(&workload.program),
-                workload.run_config(cm.threads),
                 0.0,
                 0.0,
                 cm,
@@ -149,16 +174,83 @@ pub fn run_app(
         }
         Scheme::Reindex => {
             let plan = reindex::best_reindexing(&workload.program, &cfg, topo);
-            (plan.layouts, workload.run_config(cfg.threads), 0.0, 0.0, cfg)
+            (plan.layouts, 0.0, 0.0, cfg)
         }
     };
-    let traces = generate_traces(&workload.program, &cfg, &layouts, topo);
+    let run_cfg = workload.run_config(cfg.threads);
+    PreparedRun {
+        cfg,
+        layouts,
+        run_cfg,
+        optimized_fraction: opt_fraction,
+        compile_ms,
+    }
+}
+
+/// The single trace-generation call site of the harness: through the
+/// cache when one is supplied, directly otherwise.
+fn traces_for(
+    cache: Option<&TraceCache>,
+    workload: &Workload,
+    prepared: &PreparedRun,
+    topo: &Topology,
+) -> Arc<Vec<ThreadTrace>> {
+    match cache {
+        Some(c) => c.traces_for(workload, &prepared.cfg, &prepared.layouts, topo),
+        None => Arc::new(generate_traces(
+            &workload.program,
+            &prepared.cfg,
+            &prepared.layouts,
+            topo,
+        )),
+    }
+}
+
+fn run_with(
+    cache: Option<&TraceCache>,
+    workload: &Workload,
+    topo: &Topology,
+    policy: PolicyKind,
+    scheme: Scheme,
+    overrides: &RunOverrides,
+) -> RunOutcome {
+    let prepared = prepare_run(workload, topo, scheme, overrides);
+    let traces = traces_for(cache, workload, &prepared, topo);
     let mut system = StorageSystem::new(topo.clone(), policy);
     if policy == PolicyKind::Karma {
         system.set_karma_hints(&karma_hints(&traces, topo));
     }
-    let report = simulate(&mut system, &traces, &run_cfg);
-    RunOutcome { report, optimized_fraction: opt_fraction, compile_ms }
+    let report = simulate(&mut system, &traces, &prepared.run_cfg);
+    RunOutcome {
+        report,
+        optimized_fraction: prepared.optimized_fraction,
+        compile_ms: prepared.compile_ms,
+    }
+}
+
+/// Run `workload` on `topo` with `policy` under `scheme`.
+pub fn run_app(
+    workload: &Workload,
+    topo: &Topology,
+    policy: PolicyKind,
+    scheme: Scheme,
+    overrides: &RunOverrides,
+) -> RunOutcome {
+    run_with(None, workload, topo, policy, scheme, overrides)
+}
+
+/// [`run_app`] with trace memoization: repeated configurations that
+/// share trace-determining inputs (e.g. the `Default` baseline across a
+/// policy or capacity sweep) generate their traces once.
+pub fn run_app_cached(
+    cache: &TraceCache,
+    workload: &Workload,
+    topo: &Topology,
+    policy: PolicyKind,
+    scheme: Scheme,
+    overrides: &RunOverrides,
+) -> RunOutcome {
+    run_with(Some(cache), workload, topo, policy, scheme, overrides)
 }
 
 /// Normalized execution time of `scheme` against the `Default` scheme on
@@ -175,6 +267,20 @@ pub fn normalized_exec(
     opt.exec_ms() / base.exec_ms()
 }
 
+/// [`normalized_exec`] with trace memoization for both runs.
+pub fn normalized_exec_cached(
+    cache: &TraceCache,
+    workload: &Workload,
+    topo: &Topology,
+    policy: PolicyKind,
+    scheme: Scheme,
+    overrides: &RunOverrides,
+) -> f64 {
+    let base = run_app_cached(cache, workload, topo, policy, Scheme::Default, overrides);
+    let opt = run_app_cached(cache, workload, topo, policy, scheme, overrides);
+    opt.exec_ms() / base.exec_ms()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,7 +294,13 @@ mod tests {
     fn inter_beats_default_on_group3_app() {
         let w = by_name("qio", Scale::Small).unwrap();
         let topo = small_topo();
-        let norm = normalized_exec(&w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default());
+        let norm = normalized_exec(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Inter,
+            &RunOverrides::default(),
+        );
         assert!(norm < 0.97, "qio must improve, got {norm:.3}");
     }
 
@@ -196,12 +308,21 @@ mod tests {
     fn group1_app_shows_little_change() {
         let w = by_name("cc-ver-1", Scale::Small).unwrap();
         let topo = small_topo();
-        let norm = normalized_exec(&w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default());
+        let norm = normalized_exec(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Inter,
+            &RunOverrides::default(),
+        );
         // At test scale the cold pass dominates cc-ver-1's tiny run, so a
         // little reordering noise is visible; at full scale the ratio is
         // exactly 1.00 (see EXPERIMENTS.md).
         assert!(norm > 0.85, "cc-ver-1 has no headroom, got {norm:.3}");
-        assert!(norm < 1.25, "optimization must not hurt much, got {norm:.3}");
+        assert!(
+            norm < 1.25,
+            "optimization must not hurt much, got {norm:.3}"
+        );
     }
 
     #[test]
@@ -227,7 +348,13 @@ mod tests {
     fn outcome_carries_pass_diagnostics() {
         let w = by_name("s3asim", Scale::Small).unwrap();
         let topo = small_topo();
-        let out = run_app(&w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &RunOverrides::default());
+        let out = run_app(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Inter,
+            &RunOverrides::default(),
+        );
         assert_eq!(out.optimized_fraction, 1.0, "s3asim optimizes every array");
         assert!(out.compile_ms >= 0.0);
     }

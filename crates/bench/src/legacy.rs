@@ -1,0 +1,351 @@
+//! The pre-fast-path inclusive-LRU simulator, kept as the benchmark
+//! baseline.
+//!
+//! `perfstats` reports an end-to-end before/after comparison of the
+//! figure pipeline. "Before" must mean the pipeline as it stood before
+//! the fast path landed — including its simulator, which then indexed
+//! every cache set through a SipHash `std::collections::HashMap` and
+//! ran disk sequentiality detection over a hashed LBA set. This module
+//! preserves that implementation verbatim (hash maps and all) so the
+//! baseline stays honest after the simulator itself got faster.
+//!
+//! It is a *replica*, not a second source of truth: it simulates the
+//! inclusive-LRU policy only (the one the Fig. 7(a) pipeline runs), and
+//! the `matches_current_simulator` test plus a hard assertion inside
+//! `perfstats` pin its numbers to the real simulator's — if the two ever
+//! disagree, the baseline is measuring something else and must die.
+
+use flo_sim::disk::{DiskModel, SCHED_WINDOW, SKIP_DISTANCE};
+use flo_sim::sim::INTERLEAVE_SEED;
+use flo_sim::system::CostModel;
+use flo_sim::{BlockAddr, JitterInterleaver, RunConfig, ThreadTrace, Topology};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    block: BlockAddr,
+    prev: usize,
+    next: usize,
+}
+
+/// The original `LruCore`: a SipHash `HashMap` into the intrusive
+/// recency list.
+struct LegacyLru {
+    capacity: usize,
+    map: HashMap<BlockAddr, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    accesses: u64,
+}
+
+impl LegacyLru {
+    fn new(capacity: usize) -> LegacyLru {
+        LegacyLru {
+            capacity,
+            map: HashMap::with_capacity(capacity + 1),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            accesses: 0,
+        }
+    }
+
+    fn access_weighted(&mut self, block: BlockAddr, weight: u32) -> bool {
+        self.accesses += weight as u64;
+        if let Some(&idx) = self.map.get(&block) {
+            self.hits += weight as u64;
+            self.unlink(idx);
+            self.push_front(idx);
+            true
+        } else {
+            self.hits += weight as u64 - 1;
+            false
+        }
+    }
+
+    fn insert(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        if let Some(&idx) = self.map.get(&block) {
+            self.unlink(idx);
+            self.push_front(idx);
+            return None;
+        }
+        let evicted = if self.map.len() == self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(block, idx);
+        self.push_front(idx);
+        evicted
+    }
+
+    fn pop_lru(&mut self) -> Option<BlockAddr> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let block = self.nodes[idx].block;
+        self.unlink(idx);
+        self.map.remove(&block);
+        self.free.push(idx);
+        Some(block)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+/// The original set-associative wrapper (same set indexing).
+struct LegacySetAssoc {
+    sets: Vec<LegacyLru>,
+}
+
+impl LegacySetAssoc {
+    fn new(capacity: usize, ways: usize) -> LegacySetAssoc {
+        let ways = ways.min(capacity);
+        let num_sets = (capacity / ways).max(1);
+        LegacySetAssoc {
+            sets: (0..num_sets).map(|_| LegacyLru::new(ways)).collect(),
+        }
+    }
+
+    fn set_of(&self, block: BlockAddr) -> usize {
+        ((block.index + block.file as u64 * 7919) % self.sets.len() as u64) as usize
+    }
+
+    fn access_weighted(&mut self, block: BlockAddr, weight: u32) -> bool {
+        let s = self.set_of(block);
+        self.sets[s].access_weighted(block, weight)
+    }
+
+    fn insert(&mut self, block: BlockAddr) {
+        let s = self.set_of(block);
+        self.sets[s].insert(block);
+    }
+
+    fn hits(&self) -> u64 {
+        self.sets.iter().map(|s| s.hits).sum()
+    }
+
+    fn accesses(&self) -> u64 {
+        self.sets.iter().map(|s| s.accesses).sum()
+    }
+}
+
+/// The original per-disk scheduling window: a `VecDeque` mirrored by a
+/// SipHash `HashSet` probed once per skip offset.
+#[derive(Default)]
+struct LegacyDisk {
+    recent: VecDeque<u64>,
+    recent_set: HashSet<u64>,
+    reads: u64,
+    sequential_reads: u64,
+}
+
+impl LegacyDisk {
+    fn read(&mut self, block: BlockAddr, model: &DiskModel, storage_nodes: usize) -> f64 {
+        let lba = ((block.file as u64) << 24) | (block.index / storage_nodes as u64);
+        let sequential =
+            (0..=SKIP_DISTANCE).any(|d| self.recent_set.contains(&lba.wrapping_sub(d)));
+        if self.recent.len() == SCHED_WINDOW {
+            if let Some(old) = self.recent.pop_front() {
+                self.recent_set.remove(&old);
+            }
+        }
+        if self.recent_set.insert(lba) {
+            self.recent.push_back(lba);
+        }
+        self.reads += 1;
+        if sequential {
+            self.sequential_reads += 1;
+            model.sequential_ms()
+        } else {
+            model.random_ms()
+        }
+    }
+}
+
+/// The assembled pre-fast-path system, inclusive-LRU only.
+pub struct LegacySystem {
+    topo: Topology,
+    costs: CostModel,
+    disk_model: DiskModel,
+    io_caches: Vec<LegacySetAssoc>,
+    storage_caches: Vec<LegacySetAssoc>,
+    disks: Vec<LegacyDisk>,
+}
+
+/// What the legacy run measured, reduced to the numbers `perfstats`
+/// cross-checks against the current simulator.
+pub struct LegacyReport {
+    /// Modelled execution time (slowest thread).
+    pub execution_time_ms: f64,
+    /// I/O-layer (hits, accesses).
+    pub io: (u64, u64),
+    /// Storage-layer (hits, accesses).
+    pub storage: (u64, u64),
+    /// (total disk reads, sequential disk reads).
+    pub disk: (u64, u64),
+}
+
+impl LegacySystem {
+    /// Build the legacy system for `topo`.
+    pub fn new(topo: &Topology) -> LegacySystem {
+        let ways = topo.cache_ways;
+        LegacySystem {
+            costs: CostModel::for_block_elems(topo.block_elems),
+            disk_model: DiskModel::for_block_elems(topo.block_elems),
+            io_caches: (0..topo.io_nodes)
+                .map(|_| LegacySetAssoc::new(topo.io_cache_blocks, ways))
+                .collect(),
+            storage_caches: (0..topo.storage_nodes)
+                .map(|_| LegacySetAssoc::new(topo.storage_cache_blocks, ways))
+                .collect(),
+            disks: (0..topo.storage_nodes)
+                .map(|_| LegacyDisk::default())
+                .collect(),
+            topo: topo.clone(),
+        }
+    }
+
+    fn access_weighted(&mut self, compute_node: usize, block: BlockAddr, weight: u32) -> f64 {
+        let io_idx = self.topo.io_node_of_compute(compute_node);
+        let sc_idx = self.topo.storage_node_of_block(block);
+        if self.io_caches[io_idx].access_weighted(block, weight) {
+            return self.costs.io_hit_ms;
+        }
+        if self.storage_caches[sc_idx].access_weighted(block, 1) {
+            self.io_caches[io_idx].insert(block);
+            return self.costs.io_hit_ms + self.costs.storage_hit_ms;
+        }
+        let disk = self.disks[sc_idx].read(block, &self.disk_model, self.topo.storage_nodes);
+        self.storage_caches[sc_idx].insert(block);
+        self.io_caches[io_idx].insert(block);
+        self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
+    }
+}
+
+/// Run `traces` through a fresh legacy system — the original `simulate`
+/// loop, same interleaver, same seed, same execution-time model.
+pub fn simulate_legacy(topo: &Topology, traces: &[ThreadTrace], cfg: &RunConfig) -> LegacyReport {
+    let mut system = LegacySystem::new(topo);
+    let mut latency = vec![0.0f64; traces.len()];
+    for (t, entry) in JitterInterleaver::new(traces, INTERLEAVE_SEED) {
+        latency[t] += system.access_weighted(traces[t].compute_node, entry.block, entry.count);
+    }
+    let execution_time_ms = latency
+        .iter()
+        .map(|l| l + cfg.compute_ms_per_thread)
+        .fold(0.0f64, f64::max);
+    LegacyReport {
+        execution_time_ms,
+        io: (
+            system.io_caches.iter().map(LegacySetAssoc::hits).sum(),
+            system.io_caches.iter().map(LegacySetAssoc::accesses).sum(),
+        ),
+        storage: (
+            system.storage_caches.iter().map(LegacySetAssoc::hits).sum(),
+            system
+                .storage_caches
+                .iter()
+                .map(LegacySetAssoc::accesses)
+                .sum(),
+        ),
+        disk: (
+            system.disks.iter().map(|d| d.reads).sum(),
+            system.disks.iter().map(|d| d.sequential_reads).sum(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{prepare_run, RunOverrides, Scheme};
+    use crate::topology_for;
+    use flo_core::generate_traces;
+    use flo_sim::{simulate, PolicyKind, StorageSystem};
+    use flo_workloads::{all, Scale};
+
+    /// The replica must agree with the current simulator on every number
+    /// it reports, across the whole small-scale suite and both schemes.
+    #[test]
+    fn matches_current_simulator() {
+        let topo = topology_for(Scale::Small);
+        for w in &all(Scale::Small) {
+            for scheme in [Scheme::Default, Scheme::Inter] {
+                let p = prepare_run(w, &topo, scheme, &RunOverrides::default());
+                let traces = generate_traces(&w.program, &p.cfg, &p.layouts, &topo);
+                let legacy = simulate_legacy(&topo, &traces, &p.run_cfg);
+                let mut sys = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+                let report = simulate(&mut sys, &traces, &p.run_cfg);
+                let tag = format!("{}/{}", w.name, scheme.name());
+                assert_eq!(legacy.execution_time_ms, report.execution_time_ms, "{tag}");
+                assert_eq!(
+                    legacy.io,
+                    (report.layers.io.hits, report.layers.io.accesses),
+                    "{tag}"
+                );
+                assert_eq!(
+                    legacy.storage,
+                    (report.layers.storage.hits, report.layers.storage.accesses),
+                    "{tag}"
+                );
+                assert_eq!(
+                    legacy.disk,
+                    (report.disk_reads, report.disk_sequential_reads),
+                    "{tag}"
+                );
+            }
+        }
+    }
+}

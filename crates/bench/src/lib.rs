@@ -24,11 +24,15 @@
 //! it and also write JSON under `target/experiments/`. Set `FLO_SCALE=small`
 //! for a fast run (test-sized workloads on a shrunken cluster).
 
+pub mod cache;
 pub mod experiments;
 pub mod harness;
+pub mod legacy;
 pub mod tablefmt;
+pub mod timing;
 
-pub use harness::{run_app, RunOutcome, Scheme};
+pub use cache::TraceCache;
+pub use harness::{run_app, run_app_cached, RunOutcome, Scheme};
 pub use tablefmt::Table;
 
 use flo_workloads::Scale;
@@ -38,7 +42,11 @@ use flo_workloads::Scale;
 pub fn scale_from_env() -> Scale {
     match std::env::var("FLO_SCALE").as_deref() {
         Ok("small") => Scale::Small,
-        _ => Scale::Full,
+        Ok("full") | Err(_) => Scale::Full,
+        Ok(other) => {
+            eprintln!("warning: unrecognized FLO_SCALE={other:?}, running full scale");
+            Scale::Full
+        }
     }
 }
 
@@ -69,13 +77,8 @@ pub fn persist(table: &Table, name: &str) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(table) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: cannot write {path:?}: {e}");
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize table: {e}"),
+    if let Err(e) = std::fs::write(&path, table.to_json().pretty()) {
+        eprintln!("warning: cannot write {path:?}: {e}");
     }
 }
 
@@ -92,6 +95,9 @@ mod tests {
 
     #[test]
     fn full_topology_is_paper_default() {
-        assert_eq!(topology_for(Scale::Full), flo_sim::Topology::paper_default());
+        assert_eq!(
+            topology_for(Scale::Full),
+            flo_sim::Topology::paper_default()
+        );
     }
 }

@@ -1,10 +1,10 @@
 //! Plain-text experiment tables (plus JSON serialization).
 
-use serde::{Deserialize, Serialize};
+use flo_json::Json;
 use std::fmt;
 
 /// A titled table of strings, printable in fixed-width columns.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Table {
     /// Title line (e.g. `Fig. 7(a) — normalized execution time`).
     pub title: String,
@@ -50,6 +50,40 @@ impl Table {
     pub fn cell_f64(&self, row_key: &str, header: &str) -> Option<f64> {
         self.cell(row_key, header)?.trim().parse().ok()
     }
+
+    /// JSON rendering (the shape persisted under `target/experiments/`).
+    pub fn to_json(&self) -> Json {
+        let strings = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::obj()
+            .set("title", self.title.as_str())
+            .set("headers", strings(&self.headers))
+            .set(
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| strings(r)).collect()),
+            )
+            .set("notes", strings(&self.notes))
+    }
+
+    /// Inverse of [`to_json`](Table::to_json).
+    pub fn from_json(v: &Json) -> Option<Table> {
+        let strings = |v: &Json| -> Option<Vec<String>> {
+            v.as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(String::from))
+                .collect()
+        };
+        Some(Table {
+            title: v.get("title")?.as_str()?.to_string(),
+            headers: strings(v.get("headers")?)?,
+            rows: v
+                .get("rows")?
+                .as_arr()?
+                .iter()
+                .map(&strings)
+                .collect::<Option<_>>()?,
+            notes: strings(v.get("notes")?)?,
+        })
+    }
 }
 
 impl fmt::Display for Table {
@@ -77,7 +111,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        )?;
         for r in &self.rows {
             writeln!(f, "{}", fmt_row(r))?;
         }
@@ -127,8 +165,10 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let t = sample();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Table = serde_json::from_str(&json).unwrap();
+        let json = t.to_json().pretty();
+        let back = Table::from_json(&flo_json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.rows, t.rows);
+        assert_eq!(back.title, t.title);
+        assert_eq!(back.notes, t.notes);
     }
 }

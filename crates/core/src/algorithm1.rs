@@ -109,7 +109,10 @@ pub fn build_hier_layout(
     assert_eq!(d_row.len(), space.rank(), "d rank mismatch");
     assert!(smap.alpha > 0, "alpha must be positive (Step I normalizes)");
     let total = space.num_elements() as usize;
-    assert!(total > 0 && total < u32::MAX as usize, "array too large for table layout");
+    assert!(
+        total > 0 && total < u32::MAX as usize,
+        "array too large for table layout"
+    );
     let (s_lo, s_hi) = s_range(space, d_row);
     let range = (s_hi - s_lo + 1) as usize;
 
@@ -190,7 +193,10 @@ pub fn build_hier_layout(
         }
     }
     debug_assert!(table.iter().all(|&x| x != UNASSIGNED));
-    HierLayout { table, file_elems: max_off + 1 }
+    HierLayout {
+        table,
+        file_elems: max_off + 1,
+    }
 }
 
 #[cfg(test)]
@@ -204,8 +210,14 @@ mod tests {
     fn addresser(block_elems: u64, cap1: u64, cap2: u64) -> ChunkAddresser {
         ChunkAddresser::new(&HierSpec {
             levels: vec![
-                HierLevel { caches: 2, capacity_elems: cap1 },
-                HierLevel { caches: 1, capacity_elems: cap2 },
+                HierLevel {
+                    caches: 2,
+                    capacity_elems: cap1,
+                },
+                HierLevel {
+                    caches: 1,
+                    capacity_elems: cap2,
+                },
             ],
             threads: 4,
             group_of_thread: vec![0, 0, 1, 1],
@@ -226,8 +238,14 @@ mod tests {
     fn table_is_injective() {
         let (space, d, partition) = row_case();
         let addr = addresser(4, 16, 64);
-        let layout =
-            build_hier_layout(&space, &d, SMapping { alpha: 1, beta: 0 }, &partition, &addr, None);
+        let layout = build_hier_layout(
+            &space,
+            &d,
+            SMapping { alpha: 1, beta: 0 },
+            &partition,
+            &addr,
+            None,
+        );
         let set: HashSet<u64> = layout.table.iter().copied().collect();
         assert_eq!(set.len(), layout.table.len(), "layout must be injective");
         assert_eq!(layout.file_elems, *layout.table.iter().max().unwrap() + 1);
@@ -237,8 +255,14 @@ mod tests {
     fn thread_elements_are_chunk_contiguous() {
         let (space, d, partition) = row_case();
         let addr = addresser(4, 16, 64);
-        let layout =
-            build_hier_layout(&space, &d, SMapping { alpha: 1, beta: 0 }, &partition, &addr, None);
+        let layout = build_hier_layout(
+            &space,
+            &d,
+            SMapping { alpha: 1, beta: 0 },
+            &partition,
+            &addr,
+            None,
+        );
         // Thread 0 owns rows 0..4 (block 0). Its 32 elements must occupy
         // whole chunks: offsets grouped into runs of chunk_elems = 8.
         let mut offsets: Vec<u64> = (0..4)
@@ -259,8 +283,14 @@ mod tests {
     fn lexicographic_order_within_thread() {
         let (space, d, partition) = row_case();
         let addr = addresser(4, 16, 64);
-        let layout =
-            build_hier_layout(&space, &d, SMapping { alpha: 1, beta: 0 }, &partition, &addr, None);
+        let layout = build_hier_layout(
+            &space,
+            &d,
+            SMapping { alpha: 1, beta: 0 },
+            &partition,
+            &addr,
+            None,
+        );
         // Within one row (single s), file offsets increase with the column.
         for r in 0..16u64 {
             for c in 0..7u64 {
@@ -291,13 +321,15 @@ mod tests {
         assert_eq!(set.len(), 128);
         // Thread 0 owns columns 0..4; its elements (8 rows × 4 cols = 32)
         // must sit in the thread-0 chunk slots: 0..8, 16..24, 64..72, ...
-        let col0: Vec<u64> =
-            (0..8).map(|r| layout.table[(r * 16) as usize]).collect();
+        let col0: Vec<u64> = (0..8).map(|r| layout.table[(r * 16) as usize]).collect();
         for &o in &col0 {
             // chunk slots of thread 0 start at chunk_start(0, x) ∈ {0, 16, 64, 80, ...}
             let within_chunk = o % 8;
             let chunk_base = o - within_chunk;
-            assert_eq!(addr.chunk_start(0, (chunk_base / 16) % 2 + 2 * (chunk_base / 64)), chunk_base);
+            assert_eq!(
+                addr.chunk_start(0, (chunk_base / 16) % 2 + 2 * (chunk_base / 64)),
+                chunk_base
+            );
         }
     }
 

@@ -49,8 +49,11 @@ fn profile_exec_time(
 /// (row-major initially), and the best candidate is locked in — the
 /// greedy coordinate descent a profile-driven compiler would perform.
 pub fn best_reindexing(program: &Program, cfg: &ParallelConfig, topo: &Topology) -> ReindexPlan {
-    let mut layouts: Vec<FileLayout> =
-        program.arrays().iter().map(|_| FileLayout::RowMajor).collect();
+    let mut layouts: Vec<FileLayout> = program
+        .arrays()
+        .iter()
+        .map(|_| FileLayout::RowMajor)
+        .collect();
     let mut profile_runs = 0usize;
     for (k, decl) in program.arrays().iter().enumerate() {
         let m = decl.space.rank();
@@ -67,7 +70,10 @@ pub fn best_reindexing(program: &Program, cfg: &ParallelConfig, topo: &Topology)
         }
         layouts[k] = best;
     }
-    ReindexPlan { layouts, profile_runs }
+    ReindexPlan {
+        layouts,
+        profile_runs,
+    }
 }
 
 #[cfg(test)]

@@ -67,7 +67,12 @@ pub fn plan_relayout(
     // read every source block once + write every destination block once,
     // all sequential.
     let cost_ms = (src_blocks + writes) as f64 * disk.sequential_ms();
-    RelayoutPlan { boundary, reads: src_blocks, writes, cost_ms }
+    RelayoutPlan {
+        boundary,
+        reads: src_blocks,
+        writes,
+        cost_ms,
+    }
 }
 
 /// How many times must the program's access savings be realized before a
@@ -111,8 +116,13 @@ mod tests {
             table: vec![0, 30, 60, 90],
             file_elems: 91,
         });
-        let plan =
-            plan_relayout(&space, &layout, 8, Boundary::Output, &DiskModel::paper_default());
+        let plan = plan_relayout(
+            &space,
+            &layout,
+            8,
+            Boundary::Output,
+            &DiskModel::paper_default(),
+        );
         assert_eq!(plan.reads, 1, "dense source is one block");
         assert_eq!(plan.writes, 4, "each element lands in its own block");
     }

@@ -39,8 +39,7 @@ impl FootprintReport {
 
     /// Worst I/O-cache pressure: max group footprint over cache capacity.
     pub fn io_pressure(&self, topo: &Topology) -> f64 {
-        self.per_io_group.iter().copied().max().unwrap_or(0) as f64
-            / topo.io_cache_blocks as f64
+        self.per_io_group.iter().copied().max().unwrap_or(0) as f64 / topo.io_cache_blocks as f64
     }
 
     /// Worst storage-cache pressure.
@@ -81,8 +80,8 @@ mod tests {
     use crate::config::ParallelConfig;
     use crate::pass::{run_layout_pass, PassOptions};
     use crate::tracegen::{default_layouts, generate_traces};
-    use flo_polyhedral::ProgramBuilder;
     use flo_polyhedral::Program;
+    use flo_polyhedral::ProgramBuilder;
 
     fn tiny_topology() -> Topology {
         let mut t = Topology::tiny();

@@ -71,16 +71,27 @@ fn estimate_for_nest(
         let mut row_blocks = 0u64;
         for owned in partition.blocks_of_thread(0) {
             let trips: Vec<i64> = (0..rank)
-                .map(|k| if k == u { owned.width() } else { nest.space.trip_count(k) })
+                .map(|k| {
+                    if k == u {
+                        owned.width()
+                    } else {
+                        nest.space.trip_count(k)
+                    }
+                })
                 .collect();
-            let extents: Vec<u64> =
-                (0..q.rows()).map(|k| image_extent(q.row(k), &trips)).collect();
+            let extents: Vec<u64> = (0..q.rows())
+                .map(|k| image_extent(q.row(k), &trips))
+                .collect();
             let e: u64 = extents.iter().product();
             let inner = *extents.last().unwrap_or(&1);
             let outer: u64 = extents[..extents.len().saturating_sub(1)].iter().product();
             // Dense inner span: ceil(inner / block) blocks per outer index,
             // plus one straddle block per outer index when misaligned.
-            let straddle = if inner.is_multiple_of(block_elems) { 0 } else { outer };
+            let straddle = if inner.is_multiple_of(block_elems) {
+                0
+            } else {
+                outer
+            };
             elems += e;
             row_blocks += outer * inner.div_ceil(block_elems) + straddle;
         }

@@ -61,6 +61,55 @@ impl FileLayout {
         }
     }
 
+    /// Per-dimension element strides for dense layouts: the offset of
+    /// element `a` is exactly `Σ_k strides[k]·a[k]` (no constant term).
+    /// `None` for table-backed hierarchical layouts, whose offsets are
+    /// not linear in the element index.
+    ///
+    /// This is what makes *incremental* offset evaluation possible: when
+    /// an element vector moves by a delta `Δ` (an [`AccessCursor`] step),
+    /// the offset moves by the precomputable scalar `⟨strides, Δ⟩`.
+    ///
+    /// [`AccessCursor`]: flo_polyhedral::AccessCursor
+    pub fn strides(&self, space: &DataSpace) -> Option<Vec<i64>> {
+        let m = space.rank();
+        match self {
+            FileLayout::RowMajor => {
+                let mut s = vec![1i64; m];
+                for k in (0..m - 1).rev() {
+                    s[k] = s[k + 1] * space.extent(k + 1);
+                }
+                Some(s)
+            }
+            FileLayout::ColMajor => {
+                let mut s = vec![1i64; m];
+                for k in 1..m {
+                    s[k] = s[k - 1] * space.extent(k - 1);
+                }
+                Some(s)
+            }
+            FileLayout::DimPerm(perm) => {
+                debug_assert_eq!(perm.len(), m, "DimPerm rank mismatch");
+                let mut s = vec![0i64; m];
+                let mut acc = 1i64;
+                for &k in perm.iter().rev() {
+                    s[k] = acc;
+                    acc *= space.extent(k);
+                }
+                Some(s)
+            }
+            FileLayout::Hierarchical(_) => None,
+        }
+    }
+
+    /// Offset movement per element-vector step `dir` under a dense
+    /// layout (`None` for hierarchical layouts): `⟨strides, dir⟩`.
+    pub fn offset_step(&self, space: &DataSpace, dir: &[i64]) -> Option<i64> {
+        let s = self.strides(space)?;
+        debug_assert_eq!(dir.len(), s.len(), "offset_step rank mismatch");
+        Some(s.iter().zip(dir).map(|(&a, &b)| a * b).sum())
+    }
+
     /// The file's extent in elements (equals the array size for dense
     /// layouts; may exceed it for hierarchical layouts with padding
     /// holes).
@@ -142,7 +191,10 @@ mod tests {
         let rev = FileLayout::DimPerm(vec![1, 0]);
         for a in [[0i64, 0], [1, 2], [2, 3]] {
             assert_eq!(id.offset_of(&s, &a), FileLayout::RowMajor.offset_of(&s, &a));
-            assert_eq!(rev.offset_of(&s, &a), FileLayout::ColMajor.offset_of(&s, &a));
+            assert_eq!(
+                rev.offset_of(&s, &a),
+                FileLayout::ColMajor.offset_of(&s, &a)
+            );
         }
     }
 
@@ -155,7 +207,11 @@ mod tests {
                 let a = s.delinearize(e);
                 let off = layout.offset_of(&s, &a);
                 assert!(off < 24, "offset out of range for {}", layout.describe());
-                assert!(seen.insert(off), "duplicate offset for {}", layout.describe());
+                assert!(
+                    seen.insert(off),
+                    "duplicate offset for {}",
+                    layout.describe()
+                );
             }
             assert_eq!(seen.len(), 24);
         }
@@ -192,5 +248,41 @@ mod tests {
     fn dense_file_extent_equals_array() {
         let s = space();
         assert_eq!(FileLayout::RowMajor.file_elems(&s), 12);
+    }
+
+    #[test]
+    fn strides_reproduce_offsets() {
+        let s = DataSpace::new(vec![3, 4, 5]);
+        let mut layouts = FileLayout::all_permutations(3);
+        layouts.push(FileLayout::RowMajor);
+        layouts.push(FileLayout::ColMajor);
+        for layout in &layouts {
+            let strides = layout.strides(&s).expect("dense layouts have strides");
+            for e in 0..s.num_elements() {
+                let a = s.delinearize(e);
+                let linear: i64 = strides.iter().zip(&a).map(|(&st, &v)| st * v).sum();
+                assert_eq!(
+                    linear as u64,
+                    layout.offset_of(&s, &a),
+                    "strides disagree with offset_of for {}",
+                    layout.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn offset_step_is_stride_dot_direction() {
+        let s = DataSpace::new(vec![4, 6]);
+        let layout = FileLayout::RowMajor;
+        assert_eq!(layout.offset_step(&s, &[0, 1]), Some(1));
+        assert_eq!(layout.offset_step(&s, &[1, 0]), Some(6));
+        assert_eq!(layout.offset_step(&s, &[1, -2]), Some(4));
+        let hier = FileLayout::Hierarchical(HierLayout {
+            table: vec![0],
+            file_elems: 1,
+        });
+        assert_eq!(hier.offset_step(&s, &[0, 1]), None);
+        assert_eq!(hier.strides(&s), None);
     }
 }

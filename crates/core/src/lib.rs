@@ -33,6 +33,7 @@ pub mod baseline;
 pub mod canonical;
 pub mod config;
 pub mod cost;
+pub mod emit;
 pub mod estimate;
 pub mod layout;
 pub mod partition;
@@ -49,4 +50,4 @@ pub use pass::{run_layout_pass, ArrayReport, LayoutPlan, PassOptions};
 pub use pattern::ChunkAddresser;
 pub use target::{HierLevel, HierSpec, TargetLayers};
 pub use template::{template_spec, HierTemplate};
-pub use tracegen::generate_traces;
+pub use tracegen::{generate_traces, generate_traces_reference};

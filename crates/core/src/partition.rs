@@ -125,7 +125,10 @@ pub fn partition_array(constraints: &[AccessConstraint]) -> PartitionOutcome {
         return PartitionOutcome::NotOptimizable(NotOptimizableReason::NoReferences);
     }
     let m = constraints[0].q.rows();
-    debug_assert!(constraints.iter().all(|c| c.q.rows() == m), "mixed array ranks");
+    debug_assert!(
+        constraints.iter().all(|c| c.q.rows() == m),
+        "mixed array ranks"
+    );
     let primary = &constraints[0];
     let primary_qe = q_e_u(&primary.q, primary.u);
 
@@ -165,7 +168,9 @@ pub fn partition_array(constraints: &[AccessConstraint]) -> PartitionOutcome {
     debug_assert!(alpha > 0);
     let d = complete_to_unimodular(&d_row, 0).expect("primitive row must complete");
 
-    let satisfied: Vec<bool> = (0..constraints.len()).map(|k| accepted.contains(&k)).collect();
+    let satisfied: Vec<bool> = (0..constraints.len())
+        .map(|k| accepted.contains(&k))
+        .collect();
     let total_w: i64 = constraints.iter().map(|c| c.weight).sum();
     let sat_w: i64 = constraints
         .iter()
@@ -178,7 +183,11 @@ pub fn partition_array(constraints: &[AccessConstraint]) -> PartitionOutcome {
         d_row,
         alpha,
         satisfied,
-        satisfied_weight_fraction: if total_w == 0 { 1.0 } else { sat_w as f64 / total_w as f64 },
+        satisfied_weight_fraction: if total_w == 0 {
+            1.0
+        } else {
+            sat_w as f64 / total_w as f64
+        },
     })
 }
 
@@ -203,7 +212,9 @@ mod tests {
         // isolate dimension 0 of the data space.
         let q = IMat::identity(2);
         let out = partition_array(&[c(q.clone(), 0, 100)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert_satisfies(&p, &q, 0);
         assert_eq!(p.d_row, vec![1, 0]);
         assert_eq!(p.alpha, 1);
@@ -216,7 +227,9 @@ mod tests {
         // the second data dimension.
         let q = IMat::from_rows(&[&[0, 1], &[1, 0]]);
         let out = partition_array(&[c(q.clone(), 0, 100)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert_satisfies(&p, &q, 0);
         assert_eq!(p.d_row, vec![0, 1]);
     }
@@ -227,7 +240,9 @@ mod tests {
         // constant i1 map to lines a0 - a1 = i1 → d = (1, -1).
         let q = IMat::from_rows(&[&[1, 1], &[0, 1]]);
         let out = partition_array(&[c(q.clone(), 0, 10)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert_satisfies(&p, &q, 0);
         assert_eq!(p.alpha, 1);
         // d·Q = (α, 0): check directly.
@@ -240,7 +255,9 @@ mod tests {
         // W[i1, i2] in the 3-deep matmul nest (Fig. 3(b)), u = 0.
         let q = IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0]]);
         let out = partition_array(&[c(q.clone(), 0, 1000)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert_satisfies(&p, &q, 0);
         assert_eq!(p.d_row, vec![1, 0]);
     }
@@ -261,7 +278,9 @@ mod tests {
         let row = IMat::identity(2);
         let col = IMat::from_rows(&[&[0, 1], &[1, 0]]);
         let out = partition_array(&[c(row.clone(), 0, 900), c(col.clone(), 0, 100)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert_satisfies(&p, &row, 0);
         assert_eq!(p.satisfied, vec![true, false]);
         assert!((p.satisfied_weight_fraction - 0.9).abs() < 1e-12);
@@ -276,7 +295,9 @@ mod tests {
         let q1 = IMat::identity(2);
         let q2 = IMat::from_rows(&[&[1, 0], &[1, 1]]);
         let out = partition_array(&[c(q1.clone(), 0, 500), c(q2.clone(), 0, 500)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert_satisfies(&p, &q1, 0);
         assert_satisfies(&p, &q2, 0);
         assert_eq!(p.satisfied, vec![true, true]);
@@ -289,7 +310,9 @@ mod tests {
         // d = (1) works.
         let q = IMat::from_rows(&[&[1, 0]]);
         let out = partition_array(&[c(q.clone(), 0, 10)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert_eq!(p.d_row, vec![1]);
         assert_satisfies(&p, &q, 0);
     }
@@ -309,7 +332,9 @@ mod tests {
         // must pick data dimension 1.
         let q = IMat::identity(2);
         let out = partition_array(&[c(q.clone(), 1, 10)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert_eq!(p.d_row, vec![0, 1]);
         let m = constraint_matrix(&q, 1);
         assert!(m.vec_mul(&p.d_row).iter().all(|&x| x == 0));
@@ -329,7 +354,9 @@ mod tests {
         // α = -1 → must be flipped to d = (-1, 0), α = 1.
         let q = IMat::from_rows(&[&[-1, 0], &[0, 1]]);
         let out = partition_array(&[c(q.clone(), 0, 10)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert!(p.alpha > 0);
         assert_satisfies(&p, &q, 0);
     }
@@ -340,7 +367,9 @@ mod tests {
         // data hyperplane.
         let q = IMat::from_rows(&[&[2, 0], &[0, 1]]);
         let out = partition_array(&[c(q.clone(), 0, 10)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert_eq!(p.alpha, 2);
         assert_satisfies(&p, &q, 0);
     }
@@ -351,9 +380,10 @@ mod tests {
         let row = IMat::identity(2);
         let col = IMat::from_rows(&[&[0, 1], &[1, 0]]);
         let rowish = IMat::from_rows(&[&[1, 0], &[1, 1]]);
-        let out =
-            partition_array(&[c(row, 0, 600), c(col, 0, 300), c(rowish, 0, 100)]);
-        let PartitionOutcome::Optimized(p) = out else { panic!("must optimize") };
+        let out = partition_array(&[c(row, 0, 600), c(col, 0, 300), c(rowish, 0, 100)]);
+        let PartitionOutcome::Optimized(p) = out else {
+            panic!("must optimize")
+        };
         assert_eq!(p.satisfied, vec![true, false, true]);
         assert!((p.satisfied_weight_fraction - 0.7).abs() < 1e-12);
     }

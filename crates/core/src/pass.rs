@@ -93,7 +93,11 @@ impl LayoutPlan {
 /// Gather Step I constraints for one array: distinct access matrices with
 /// their effective parallel dimension and accumulated weights, heaviest
 /// first.
-fn constraints_for(program: &Program, array: ArrayId, cfg: &ParallelConfig) -> Vec<AccessConstraint> {
+fn constraints_for(
+    program: &Program,
+    array: ArrayId,
+    cfg: &ParallelConfig,
+) -> Vec<AccessConstraint> {
     let profile = program.access_profile(array);
     profile
         .weighted_matrices
@@ -121,16 +125,17 @@ pub fn run_layout_pass(program: &Program, topo: &Topology, opts: &PassOptions) -
                 // Locate the primary reference: the heaviest satisfied
                 // access matrix, in its heaviest nest, for the s-mapping
                 // and the iteration partition.
-                let primary_idx =
-                    p.satisfied.iter().position(|&s| s).expect("optimized implies satisfied");
+                let primary_idx = p
+                    .satisfied
+                    .iter()
+                    .position(|&s| s)
+                    .expect("optimized implies satisfied");
                 let primary_q = &constraints[primary_idx].q;
                 // The heaviest nest containing a primary-matrix reference.
                 let primary_nest = program
                     .nests()
                     .iter()
-                    .filter(|nest| {
-                        nest.refs_to(array).any(|r| r.access.matrix() == primary_q)
-                    })
+                    .filter(|nest| nest.refs_to(array).any(|r| r.access.matrix() == primary_q))
                     .max_by_key(|nest| nest.reference_weight())
                     .expect("primary reference must exist");
                 let partition = cfg.partition_of(primary_nest);
@@ -153,14 +158,17 @@ pub fn run_layout_pass(program: &Program, topo: &Topology, opts: &PassOptions) -
                     .find(|r| r.access.matrix() == primary_q)
                     .expect("primary reference must exist");
                 let beta = dot(&p.d_row, first.access.offset());
-                let smap = SMapping { alpha: p.alpha, beta };
+                let smap = SMapping {
+                    alpha: p.alpha,
+                    beta,
+                };
                 let per_thread = if opts.cap_chunks {
                     (decl.space.num_elements() as u64).div_ceil(cfg.threads as u64)
                 } else {
                     u64::MAX
                 };
                 let addresser = ChunkAddresser::for_data(&spec, per_thread);
-                let primary_ref = opts.first_touch.then(|| crate::algorithm1::PrimaryRef {
+                let primary_ref = opts.first_touch.then_some(crate::algorithm1::PrimaryRef {
                     nest_space: &primary_nest.space,
                     accesses,
                 });

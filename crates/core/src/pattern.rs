@@ -89,7 +89,9 @@ impl ChunkAddresser {
         for i in 1..n {
             let fan_in = spec.levels[i - 1].caches / spec.levels[i].caches;
             assert!(
-                spec.levels[i - 1].caches.is_multiple_of(spec.levels[i].caches),
+                spec.levels[i - 1]
+                    .caches
+                    .is_multiple_of(spec.levels[i].caches),
                 "hierarchy fan-in must be uniform"
             );
             let prev = pattern_sizes[i - 1];
@@ -119,7 +121,13 @@ impl ChunkAddresser {
                 addr
             })
             .collect();
-        ChunkAddresser { chunk_elems, pattern_sizes, reps, period, base }
+        ChunkAddresser {
+            chunk_elems,
+            pattern_sizes,
+            reps,
+            period,
+            base,
+        }
     }
 
     /// Elements per chunk (`c`).
@@ -163,8 +171,14 @@ mod tests {
     fn fig6_spec() -> HierSpec {
         HierSpec {
             levels: vec![
-                crate::target::HierLevel { caches: 2, capacity_elems: 8 },
-                crate::target::HierLevel { caches: 1, capacity_elems: 32 },
+                crate::target::HierLevel {
+                    caches: 2,
+                    capacity_elems: 8,
+                },
+                crate::target::HierLevel {
+                    caches: 1,
+                    capacity_elems: 32,
+                },
             ],
             threads: 4,
             group_of_thread: vec![0, 0, 1, 1],
@@ -224,7 +238,10 @@ mod tests {
             for x in 0..16u64 {
                 let start = a.chunk_start(t, x);
                 for e in start..start + a.chunk_elems() {
-                    assert!(seen.insert(e), "collision at element {e} (thread {t}, chunk {x})");
+                    assert!(
+                        seen.insert(e),
+                        "collision at element {e} (thread {t}, chunk {x})"
+                    );
                 }
             }
         }
@@ -279,7 +296,10 @@ mod tests {
     #[test]
     fn single_level_hierarchy() {
         let spec = HierSpec {
-            levels: vec![crate::target::HierLevel { caches: 2, capacity_elems: 8 }],
+            levels: vec![crate::target::HierLevel {
+                caches: 2,
+                capacity_elems: 8,
+            }],
             threads: 4,
             group_of_thread: vec![0, 0, 1, 1],
             block_elems: 1,
@@ -300,8 +320,14 @@ mod tests {
         // clamp to 1 and addressing stays injective.
         let spec = HierSpec {
             levels: vec![
-                crate::target::HierLevel { caches: 2, capacity_elems: 8 },
-                crate::target::HierLevel { caches: 1, capacity_elems: 4 },
+                crate::target::HierLevel {
+                    caches: 2,
+                    capacity_elems: 8,
+                },
+                crate::target::HierLevel {
+                    caches: 1,
+                    capacity_elems: 4,
+                },
             ],
             threads: 4,
             group_of_thread: vec![0, 0, 1, 1],

@@ -23,7 +23,11 @@ pub enum TargetLayers {
 impl TargetLayers {
     /// All variants in Fig. 7(f) order.
     pub fn all() -> [TargetLayers; 3] {
-        [TargetLayers::IoOnly, TargetLayers::StorageOnly, TargetLayers::Both]
+        [
+            TargetLayers::IoOnly,
+            TargetLayers::StorageOnly,
+            TargetLayers::Both,
+        ]
     }
 
     /// Display name.
@@ -68,8 +72,15 @@ impl HierSpec {
         threads: usize,
         target: TargetLayers,
     ) -> HierSpec {
-        assert_eq!(mapping.num_threads(), threads, "HierSpec: mapping size mismatch");
-        assert!(threads <= topo.compute_nodes, "more threads than compute nodes");
+        assert_eq!(
+            mapping.num_threads(),
+            threads,
+            "HierSpec: mapping size mismatch"
+        );
+        assert!(
+            threads <= topo.compute_nodes,
+            "more threads than compute nodes"
+        );
         let io_level = HierLevel {
             caches: topo.io_nodes,
             capacity_elems: topo.io_cache_blocks as u64 * topo.block_elems,
@@ -77,18 +88,18 @@ impl HierSpec {
         // All I/O nodes reach all storage nodes via striping; for the tree
         // abstraction, I/O nodes group contiguously onto storage caches
         // (see DESIGN.md §4).
-        let storage_groups =
-            if topo.io_nodes.is_multiple_of(topo.storage_nodes) { topo.storage_nodes } else { 1 };
+        let storage_groups = if topo.io_nodes.is_multiple_of(topo.storage_nodes) {
+            topo.storage_nodes
+        } else {
+            1
+        };
         let storage_level = HierLevel {
             caches: storage_groups,
             capacity_elems: topo.storage_cache_blocks as u64 * topo.block_elems,
         };
-        let io_group =
-            |t: usize| -> usize { topo.io_node_of_compute(mapping.node_of(t)) };
+        let io_group = |t: usize| -> usize { topo.io_node_of_compute(mapping.node_of(t)) };
         let (levels, group_of_thread): (Vec<HierLevel>, Vec<usize>) = match target {
-            TargetLayers::IoOnly => {
-                (vec![io_level], (0..threads).map(io_group).collect())
-            }
+            TargetLayers::IoOnly => (vec![io_level], (0..threads).map(io_group).collect()),
             TargetLayers::StorageOnly => {
                 let per = topo.io_nodes / storage_groups;
                 (
@@ -101,7 +112,12 @@ impl HierSpec {
                 (0..threads).map(io_group).collect(),
             ),
         };
-        HierSpec { levels, threads, group_of_thread, block_elems: topo.block_elems }
+        HierSpec {
+            levels,
+            threads,
+            group_of_thread,
+            block_elems: topo.block_elems,
+        }
     }
 
     /// Number of threads sharing each layer-0 cache (uniform by

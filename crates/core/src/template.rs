@@ -63,17 +63,21 @@ pub fn template_spec(template: &HierTemplate, block_elems: u64) -> HierSpec {
     let threads = counts[0] * template.threads_per_cache;
     let levels: Vec<HierLevel> = counts
         .iter()
-        .enumerate()
-        .map(|(_i, &c)| HierLevel {
+        .map(|&c| HierLevel {
             caches: c,
             // Minimal capacity: one block per thread below this cache.
-            capacity_elems: block_elems
-                * (template.threads_per_cache * counts[0] / c) as u64,
+            capacity_elems: block_elems * (template.threads_per_cache * counts[0] / c) as u64,
         })
         .collect();
-    let group_of_thread =
-        (0..threads).map(|t| t / template.threads_per_cache).collect();
-    HierSpec { levels, threads, group_of_thread, block_elems }
+    let group_of_thread = (0..threads)
+        .map(|t| t / template.threads_per_cache)
+        .collect();
+    HierSpec {
+        levels,
+        threads,
+        group_of_thread,
+        block_elems,
+    }
 }
 
 #[cfg(test)]
@@ -132,11 +136,18 @@ mod tests {
         let template = HierTemplate::of(&spec_for(&topo));
         let spec = template_spec(&template, topo.block_elems);
         let addr = ChunkAddresser::new(&spec);
-        assert_eq!(addr.chunk_elems(), topo.block_elems, "template chunks are one block");
+        assert_eq!(
+            addr.chunk_elems(),
+            topo.block_elems,
+            "template chunks are one block"
+        );
         let mut seen = std::collections::HashSet::new();
         for t in 0..spec.threads {
             for x in 0..4u64 {
-                assert!(seen.insert(addr.chunk_start(t, x)), "collision (t={t}, x={x})");
+                assert!(
+                    seen.insert(addr.chunk_start(t, x)),
+                    "collision (t={t}, x={x})"
+                );
             }
         }
     }

@@ -6,24 +6,104 @@
 //! emits the containing data block. Consecutive repeats collapse (the
 //! runtime buffers within a block), producing exactly the request stream
 //! the storage hierarchy would see.
+//!
+//! Two generators produce that stream:
+//!
+//! * [`generate_traces`] — the fast path: threads fan out in parallel and
+//!   each walks its schedule with incremental cursors and per-segment
+//!   block-run emission (see [`crate::emit`]).
+//! * [`generate_traces_reference`] — the original element-at-a-time
+//!   evaluator, kept as the executable specification; the differential
+//!   tests assert the two agree entry for entry on every workload.
 
 use crate::config::ParallelConfig;
+use crate::emit;
 use crate::layout::FileLayout;
 use flo_parallel::ThreadSchedule;
 use flo_polyhedral::Program;
 use flo_sim::{BlockAddr, ThreadTrace, Topology};
 
+/// Upper bound on the up-front per-trace entry reservation. Coalescing
+/// keeps most traces far below their element-access bound; reserving the
+/// full bound maps (and then unmaps) hundreds of megabytes per suite,
+/// which costs more in page-table traffic than the reallocations saved.
+const RESERVE_CAP_ENTRIES: usize = 1 << 16;
+
 /// Generate the per-thread block traces of `program` under `layouts`.
 ///
 /// `layouts[k]` is the file layout of array `k`; files are numbered by
-/// array id.
+/// array id. Equivalent to [`generate_traces_reference`] but runs the
+/// incremental fast path with one parallel task per thread trace.
 pub fn generate_traces(
     program: &Program,
     cfg: &ParallelConfig,
     layouts: &[FileLayout],
     topo: &Topology,
 ) -> Vec<ThreadTrace> {
-    assert_eq!(layouts.len(), program.arrays().len(), "one layout per array");
+    assert_eq!(
+        layouts.len(),
+        program.arrays().len(),
+        "one layout per array"
+    );
+    let partitions: Vec<_> = program
+        .nests()
+        .iter()
+        .map(|n| cfg.partition_of(n))
+        .collect();
+    flo_parallel::parallel_map_indexed(cfg.threads, |t| {
+        let mut trace = ThreadTrace::new(t, cfg.mapping.node_of(t));
+        // Reserve up to the element-access upper bound (entries only
+        // shrink under coalescing), capped: growing a multi-megabyte
+        // entry vector from zero triggers allocator churn, but the full
+        // bound over-maps badly when coalescing is effective.
+        let cap: u64 = program
+            .nests()
+            .iter()
+            .zip(&partitions)
+            .map(|(nest, partition)| {
+                let u = partition.u();
+                let extent_u = nest.space.upper(u) - nest.space.lower(u);
+                let inner = nest.space.total_iterations() / extent_u.max(1);
+                let owned: i64 = partition.blocks_of_thread(t).map(|b| b.hi - b.lo).sum();
+                owned as u64 * inner as u64 * nest.refs.len() as u64
+            })
+            .sum();
+        trace
+            .entries
+            .reserve((cap as usize).min(RESERVE_CAP_ENTRIES));
+        for (nest, partition) in program.nests().iter().zip(&partitions) {
+            emit::emit_nest(
+                program,
+                nest,
+                partition,
+                t,
+                layouts,
+                topo.block_elems,
+                &mut trace,
+            );
+        }
+        // Traces live long (the bench layer caches them); return excess
+        // growth capacity to the allocator.
+        trace.entries.shrink_to_fit();
+        trace
+    })
+}
+
+/// The reference trace generator: full affine evaluation and layout
+/// lookup per dynamic reference. `O(iterations · refs)` with a matrix
+/// product each — slow, but obviously correct; [`generate_traces`] is
+/// differentially tested against it.
+pub fn generate_traces_reference(
+    program: &Program,
+    cfg: &ParallelConfig,
+    layouts: &[FileLayout],
+    topo: &Topology,
+) -> Vec<ThreadTrace> {
+    assert_eq!(
+        layouts.len(),
+        program.arrays().len(),
+        "one layout per array"
+    );
     let mut traces: Vec<ThreadTrace> = (0..cfg.threads)
         .map(|t| ThreadTrace::new(t, cfg.mapping.node_of(t)))
         .collect();
@@ -44,7 +124,11 @@ pub fn generate_traces(
                         program.array(r.array).name
                     );
                     let offset = layouts[r.array.0].offset_of(space, &elem);
-                    trace.push(BlockAddr::containing(r.array.0 as u32, offset, topo.block_elems));
+                    trace.push(BlockAddr::containing(
+                        r.array.0 as u32,
+                        offset,
+                        topo.block_elems,
+                    ));
                 }
             }
         }
@@ -55,7 +139,11 @@ pub fn generate_traces(
 /// Row-major layouts for every array of a program (the "default
 /// execution" configuration).
 pub fn default_layouts(program: &Program) -> Vec<FileLayout> {
-    program.arrays().iter().map(|_| FileLayout::RowMajor).collect()
+    program
+        .arrays()
+        .iter()
+        .map(|_| FileLayout::RowMajor)
+        .collect()
 }
 
 #[cfg(test)]
@@ -101,20 +189,21 @@ mod tests {
         let program = b.build();
         let mut cfg = ParallelConfig::default_for(4);
         cfg.blocks_per_thread = 1;
-        let traces =
-            generate_traces(&program, &cfg, &default_layouts(&program), &tiny_topology());
+        let traces = generate_traces(&program, &cfg, &default_layouts(&program), &tiny_topology());
         // Thread 0 owns i1 ∈ 0..2 → columns 0..2 → touches every row's
         // blocks: footprint = 8 rows × 2 cols / shared blocks — much wider
         // than the sequential case.
-        assert!(traces[0].distinct_blocks() > 4, "column access must scatter");
+        assert!(
+            traces[0].distinct_blocks() > 4,
+            "column access must scatter"
+        );
     }
 
     #[test]
     fn total_requests_bounded_by_dynamic_accesses() {
         let program = row_program();
         let cfg = ParallelConfig::default_for(4);
-        let traces =
-            generate_traces(&program, &cfg, &default_layouts(&program), &tiny_topology());
+        let traces = generate_traces(&program, &cfg, &default_layouts(&program), &tiny_topology());
         let total: usize = traces.iter().map(ThreadTrace::len).sum();
         // 64 iterations × 1 ref, block-collapsed → at most 64.
         assert!(total <= 64);
@@ -126,8 +215,7 @@ mod tests {
         let program = row_program();
         let cfg = ParallelConfig::default_for(4)
             .with_mapping(flo_parallel::ThreadMapping::from_vec(vec![3, 2, 1, 0]));
-        let traces =
-            generate_traces(&program, &cfg, &default_layouts(&program), &tiny_topology());
+        let traces = generate_traces(&program, &cfg, &default_layouts(&program), &tiny_topology());
         assert_eq!(traces[0].compute_node, 3);
         assert_eq!(traces[3].compute_node, 0);
     }

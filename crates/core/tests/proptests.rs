@@ -1,75 +1,89 @@
 //! Property-based tests of the compiler core: Step I solutions always
 //! satisfy Eq. (4), chunk addressing never collides, and Algorithm 1
 //! builds injective tables for arbitrary partitioning rows.
+//!
+//! Deterministic SplitMix64 case generation replaces `proptest`
+//! (unavailable offline); failures carry a case index for replay.
 
 use flo_core::algorithm1::{build_hier_layout, SMapping};
 use flo_core::partition::{partition_array, AccessConstraint, PartitionOutcome};
 use flo_core::pattern::ChunkAddresser;
 use flo_core::target::{HierLevel, HierSpec};
-use flo_linalg::IMat;
+use flo_linalg::{IMat, SplitMix64};
 use flo_parallel::BlockPartition;
 use flo_polyhedral::{e_u_matrix, DataSpace, IterSpace};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 /// Random small access matrix (2×2, entries in [-2, 2], nonzero).
-fn access_matrix() -> impl Strategy<Value = IMat> {
-    proptest::collection::vec(-2i64..=2, 4).prop_filter_map("nonsingular-ish", |v| {
+fn access_matrix(rng: &mut SplitMix64) -> IMat {
+    loop {
+        let v = (0..4).map(|_| rng.range_i64(-2, 2)).collect();
         let m = IMat::from_vec(2, 2, v);
-        if m.is_zero() {
-            None
-        } else {
-            Some(m)
+        if !m.is_zero() {
+            return m;
         }
-    })
+    }
 }
 
-proptest! {
-    /// Whenever Step I optimizes, the returned d annihilates Q·E_uᵀ for
-    /// every satisfied constraint, D is unimodular, and α > 0.
-    #[test]
-    fn step1_solutions_satisfy_eq4(
-        qs in proptest::collection::vec(access_matrix(), 1..4),
-        u in 0usize..2,
-    ) {
-        let constraints: Vec<AccessConstraint> = qs
-            .iter()
-            .enumerate()
-            .map(|(k, q)| AccessConstraint { q: q.clone(), u, weight: 100 - k as i64 })
+/// Whenever Step I optimizes, the returned d annihilates Q·E_uᵀ for
+/// every satisfied constraint, D is unimodular, and α > 0.
+#[test]
+fn step1_solutions_satisfy_eq4() {
+    let mut rng = SplitMix64::new(0xE94);
+    for case in 0..300 {
+        let n_qs = rng.range_usize(1, 3);
+        let u = rng.range_usize(0, 1);
+        let constraints: Vec<AccessConstraint> = (0..n_qs)
+            .map(|k| AccessConstraint {
+                q: access_matrix(&mut rng),
+                u,
+                weight: 100 - k as i64,
+            })
             .collect();
         if let PartitionOutcome::Optimized(p) = partition_array(&constraints) {
-            prop_assert!(flo_linalg::is_unimodular(&p.d));
-            prop_assert!(p.alpha > 0);
-            prop_assert_eq!(p.d.row(0), &p.d_row[..]);
+            assert!(flo_linalg::is_unimodular(&p.d), "case {case}");
+            assert!(p.alpha > 0, "case {case}");
+            assert_eq!(p.d.row(0), &p.d_row[..], "case {case}");
             for (c, &sat) in constraints.iter().zip(&p.satisfied) {
                 if sat {
                     let m = &c.q * &e_u_matrix(c.q.cols(), c.u).transpose();
                     let prod = m.vec_mul(&p.d_row);
-                    prop_assert!(
+                    assert!(
                         prod.iter().all(|&x| x == 0),
-                        "satisfied constraint violated: {prod:?}"
+                        "case {case}: satisfied constraint violated: {prod:?}"
                     );
                 }
             }
-            prop_assert!(p.satisfied[0], "the heaviest constraint is always satisfied");
+            assert!(
+                p.satisfied[0],
+                "case {case}: the heaviest constraint is always satisfied"
+            );
         }
     }
+}
 
-    /// Chunk addresses never collide across threads and chunk indices,
-    /// for random hierarchy shapes.
-    #[test]
-    fn chunk_addresses_never_collide(
-        l in 1usize..4,
-        groups in 1usize..5,
-        cap1 in 4u64..64,
-        cap2 in 4u64..256,
-        per_thread in 1u64..64,
-    ) {
+/// Chunk addresses never collide across threads and chunk indices,
+/// for random hierarchy shapes.
+#[test]
+fn chunk_addresses_never_collide() {
+    let mut rng = SplitMix64::new(0xC40);
+    for case in 0..60 {
+        let l = rng.range_usize(1, 3);
+        let groups = rng.range_usize(1, 4);
+        let cap1 = rng.below(60) + 4;
+        let cap2 = rng.below(252) + 4;
+        let per_thread = rng.below(63) + 1;
         let threads = l * groups;
         let spec = HierSpec {
             levels: vec![
-                HierLevel { caches: groups, capacity_elems: cap1 },
-                HierLevel { caches: 1, capacity_elems: cap2 },
+                HierLevel {
+                    caches: groups,
+                    capacity_elems: cap1,
+                },
+                HierLevel {
+                    caches: 1,
+                    capacity_elems: cap2,
+                },
             ],
             threads,
             group_of_thread: (0..threads).map(|t| t / l).collect(),
@@ -82,35 +96,46 @@ proptest! {
                 let start = addr.chunk_start(t, x);
                 let range = (start, start + addr.chunk_elems());
                 for other in &seen {
-                    prop_assert!(
+                    assert!(
                         range.1 <= other.0 || other.1 <= range.0,
-                        "chunk overlap: {range:?} vs {other:?} (thread {t}, x {x})"
+                        "case {case}: chunk overlap: {range:?} vs {other:?} (thread {t}, x {x})"
                     );
                 }
                 seen.insert(range);
             }
         }
     }
+}
 
-    /// Algorithm 1 builds an injective table for random d rows, alphas and
-    /// array shapes.
-    #[test]
-    fn algorithm1_tables_are_injective(
-        d0 in -2i64..=2,
-        d1 in -2i64..=2,
-        alpha in 1i64..3,
-        rows in 4i64..12,
-        cols in 4i64..12,
-    ) {
-        prop_assume!(d0 != 0 || d1 != 0);
-        prop_assume!(flo_linalg::gcd(d0, d1) == 1);
+/// Algorithm 1 builds an injective table for random d rows, alphas and
+/// array shapes.
+#[test]
+fn algorithm1_tables_are_injective() {
+    let mut rng = SplitMix64::new(0xA16);
+    for case in 0..100 {
+        let (d0, d1) = loop {
+            let d0 = rng.range_i64(-2, 2);
+            let d1 = rng.range_i64(-2, 2);
+            if (d0 != 0 || d1 != 0) && flo_linalg::gcd(d0, d1) == 1 {
+                break (d0, d1);
+            }
+        };
+        let alpha = rng.range_i64(1, 2);
+        let rows = rng.range_i64(4, 11);
+        let cols = rng.range_i64(4, 11);
         let space = DataSpace::new(vec![rows, cols]);
         let iter = IterSpace::from_extents(&[rows, cols]);
         let partition = BlockPartition::new(&iter, 0, 4, 4);
         let spec = HierSpec {
             levels: vec![
-                HierLevel { caches: 2, capacity_elems: 16 },
-                HierLevel { caches: 1, capacity_elems: 64 },
+                HierLevel {
+                    caches: 2,
+                    capacity_elems: 16,
+                },
+                HierLevel {
+                    caches: 1,
+                    capacity_elems: 64,
+                },
             ],
             threads: 4,
             group_of_thread: vec![0, 0, 1, 1],
@@ -130,7 +155,7 @@ proptest! {
         offs.sort_unstable();
         let len = offs.len();
         offs.dedup();
-        prop_assert_eq!(offs.len(), len, "table must be injective");
-        prop_assert_eq!(layout.file_elems, *offs.last().unwrap() + 1);
+        assert_eq!(offs.len(), len, "case {case}: table must be injective");
+        assert_eq!(layout.file_elems, *offs.last().unwrap() + 1, "case {case}");
     }
 }

@@ -23,8 +23,9 @@ struct Echelon {
 
 fn echelonize(m: &IMat) -> Echelon {
     let (nr, nc) = (m.rows(), m.cols());
-    let mut rows: Vec<Vec<Rat>> =
-        (0..nr).map(|r| m.row(r).iter().map(|&x| Rat::from_int(x)).collect()).collect();
+    let mut rows: Vec<Vec<Rat>> = (0..nr)
+        .map(|r| m.row(r).iter().map(|&x| Rat::from_int(x)).collect())
+        .collect();
     let mut pivot_cols = Vec::new();
     let mut r = 0usize;
     for c in 0..nc {
@@ -43,9 +44,14 @@ fn echelonize(m: &IMat) -> Echelon {
         for i in 0..nr {
             if i != r && !rows[i][c].is_zero() {
                 let f = rows[i][c];
-                for j in 0..nc {
-                    let sub = rows[r][j] * f;
-                    rows[i][j] = rows[i][j] - sub;
+                let (lo, hi) = rows.split_at_mut(i.max(r));
+                let (dst, src) = if i < r {
+                    (&mut lo[i], &hi[0])
+                } else {
+                    (&mut hi[0], &lo[r])
+                };
+                for (x, &s) in dst.iter_mut().zip(src.iter()) {
+                    *x = *x - s * f;
                 }
             }
         }
@@ -55,7 +61,11 @@ fn echelonize(m: &IMat) -> Echelon {
             break;
         }
     }
-    Echelon { rows, pivot_cols, cols: nc }
+    Echelon {
+        rows,
+        pivot_cols,
+        cols: nc,
+    }
 }
 
 /// Rank of an integer matrix (exact).
@@ -195,7 +205,10 @@ mod tests {
         assert_eq!(lns.len(), 1);
         let d = &lns[0];
         let prod = m.vec_mul(d);
-        assert!(prod.iter().all(|&x| x == 0), "left nullspace failed: {prod:?}");
+        assert!(
+            prod.iter().all(|&x| x == 0),
+            "left nullspace failed: {prod:?}"
+        );
     }
 
     #[test]

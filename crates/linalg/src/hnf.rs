@@ -112,8 +112,8 @@ pub fn in_row_lattice(m: &IMat, v: &[i64]) -> bool {
             return false;
         }
         let q = rem[pc] / p;
-        for c in 0..rem.len() {
-            rem[c] -= q * hnf.h[(k, c)];
+        for (c, x) in rem.iter_mut().enumerate() {
+            *x -= q * hnf.h[(k, c)];
         }
     }
     rem.iter().all(|&x| x == 0)
@@ -138,7 +138,10 @@ mod tests {
             }
             for i in 0..k {
                 let e = res.h[(i, pc)];
-                assert!((0..p).contains(&e), "entry above pivot not reduced: {e} vs {p}");
+                assert!(
+                    (0..p).contains(&e),
+                    "entry above pivot not reduced: {e} vs {p}"
+                );
             }
         }
         for w in res.pivot_cols.windows(2) {

@@ -26,6 +26,7 @@ pub mod gauss;
 pub mod hnf;
 pub mod matrix;
 pub mod rational;
+pub mod rng;
 pub mod unimodular;
 pub mod vecops;
 
@@ -33,5 +34,6 @@ pub use gauss::{left_nullspace, nullspace, rank, solve_homogeneous};
 pub use hnf::{hermite_normal_form, HnfResult};
 pub use matrix::IMat;
 pub use rational::Rat;
+pub use rng::SplitMix64;
 pub use unimodular::{complete_to_unimodular, is_unimodular, unimodular_inverse};
 pub use vecops::{dot, gcd, gcd_slice, is_primitive, lcm, make_primitive};

@@ -22,7 +22,11 @@ pub struct IMat {
 impl IMat {
     /// An `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> IMat {
-        IMat { rows, cols, data: vec![0; rows * cols] }
+        IMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -43,7 +47,11 @@ impl IMat {
             assert_eq!(row.len(), c, "IMat::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        IMat { rows: r, cols: c, data }
+        IMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a flat row-major vector.
@@ -129,7 +137,11 @@ impl IMat {
         assert_eq!(self.cols, other.cols, "vcat: column count mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        IMat { rows: self.rows + other.rows, cols: self.cols, data }
+        IMat {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Delete row `r`, returning an `(rows-1) × cols` matrix.
@@ -141,7 +153,11 @@ impl IMat {
                 data.extend_from_slice(self.row(i));
             }
         }
-        IMat { rows: self.rows - 1, cols: self.cols, data }
+        IMat {
+            rows: self.rows - 1,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Exact determinant via the fraction-free Bareiss algorithm, computed
@@ -152,8 +168,9 @@ impl IMat {
         if n == 0 {
             return 1;
         }
-        let mut a: Vec<Vec<i128>> =
-            (0..n).map(|r| self.row(r).iter().map(|&x| x as i128).collect()).collect();
+        let mut a: Vec<Vec<i128>> = (0..n)
+            .map(|r| self.row(r).iter().map(|&x| x as i128).collect())
+            .collect();
         let mut sign = 1i128;
         let mut prev = 1i128;
         for k in 0..n - 1 {

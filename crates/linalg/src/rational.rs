@@ -48,7 +48,10 @@ impl Rat {
 
     /// Construct from an integer.
     pub fn from_int(v: i64) -> Rat {
-        Rat { num: v as i128, den: 1 }
+        Rat {
+            num: v as i128,
+            den: 1,
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -88,7 +91,10 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den }
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 }
 
@@ -124,7 +130,10 @@ impl Div for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -1,0 +1,118 @@
+//! A tiny deterministic PRNG (SplitMix64) used wherever the repo needs
+//! reproducible pseudo-randomness: seeded thread-mapping permutations and
+//! the randomized property tests. Hand-rolled because the build
+//! environment is offline (no `rand` crate); SplitMix64 passes BigCrush
+//! and is more than adequate for shuffles and test-case generation.
+
+/// SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator; equal seeds replay identical streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "SplitMix64::below: zero bound");
+        // Lemire-style rejection to remove modulo bias.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            if x >= threshold {
+                return x % bound;
+            }
+        }
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi, "SplitMix64::range_i64: empty range");
+        lo + self.below((hi - lo) as u64 + 1) as i64
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_i64(lo as i64, hi as i64) as usize
+    }
+
+    /// Fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8).map(|_| SplitMix64::new(42).next_u64()).collect();
+        assert!(a.iter().all(|&x| x == a[0]));
+        let mut r1 = SplitMix64::new(1);
+        let mut r2 = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut r = SplitMix64::new(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut r = SplitMix64::new(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.range_i64(-2, 2);
+            assert!((-2..=2).contains(&v));
+            seen[(v + 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range must occur");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements should not shuffle to identity"
+        );
+    }
+}

@@ -20,7 +20,10 @@ pub fn is_unimodular(m: &IMat) -> bool {
 pub fn unimodular_inverse(m: &IMat) -> IMat {
     let n = m.rows();
     let det = m.determinant();
-    assert!(m.is_square() && det.abs() == 1, "unimodular_inverse: det must be ±1");
+    assert!(
+        m.is_square() && det.abs() == 1,
+        "unimodular_inverse: det must be ±1"
+    );
     let mut inv = IMat::zeros(n, n);
     for i in 0..n {
         for j in 0..n {

@@ -1,95 +1,166 @@
-//! Property-based tests for the exact linear algebra kernel.
+//! Randomized property tests for the exact linear algebra kernel.
+//!
+//! Deterministic SplitMix64-driven case generation stands in for the
+//! `proptest` crate (unavailable in the offline build environment); every
+//! property is checked over a few hundred seeded random cases, so runs
+//! are reproducible and failures can be replayed by case index.
 
+use flo_linalg::rng::SplitMix64;
 use flo_linalg::*;
-use proptest::prelude::*;
 
-/// Strategy: a small integer matrix (entries in [-9, 9]) of the given shape.
-fn mat(rows: usize, cols: usize) -> impl Strategy<Value = IMat> {
-    proptest::collection::vec(-9i64..=9, rows * cols)
-        .prop_map(move |data| IMat::from_vec(rows, cols, data))
+/// A small integer matrix (entries in [-9, 9]) of the given shape.
+fn mat(rng: &mut SplitMix64, rows: usize, cols: usize) -> IMat {
+    let data = (0..rows * cols).map(|_| rng.range_i64(-9, 9)).collect();
+    IMat::from_vec(rows, cols, data)
 }
 
-/// Strategy: a small nonzero vector.
-fn nonzero_vec(len: usize) -> impl Strategy<Value = Vec<i64>> {
-    proptest::collection::vec(-9i64..=9, len).prop_filter("nonzero", |v| v.iter().any(|&x| x != 0))
+fn random_shape_mat(rng: &mut SplitMix64) -> IMat {
+    let r = rng.range_usize(1, 4);
+    let c = rng.range_usize(1, 4);
+    mat(rng, r, c)
 }
 
-proptest! {
-    #[test]
-    fn nullspace_vectors_annihilate(m in (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| mat(r, c))) {
+/// A small nonzero vector.
+fn nonzero_vec(rng: &mut SplitMix64, len: usize) -> Vec<i64> {
+    loop {
+        let v: Vec<i64> = (0..len).map(|_| rng.range_i64(-9, 9)).collect();
+        if v.iter().any(|&x| x != 0) {
+            return v;
+        }
+    }
+}
+
+#[test]
+fn nullspace_vectors_annihilate() {
+    let mut rng = SplitMix64::new(0x11);
+    for case in 0..300 {
+        let m = random_shape_mat(&mut rng);
         for v in nullspace(&m) {
             let prod = m.mul_vec(&v);
-            prop_assert!(prod.iter().all(|&x| x == 0), "M·v != 0: {prod:?}");
-            prop_assert_eq!(gcd_slice(&v), 1, "nullspace vector not primitive");
+            assert!(
+                prod.iter().all(|&x| x == 0),
+                "case {case}: M·v != 0: {prod:?}"
+            );
+            assert_eq!(
+                gcd_slice(&v),
+                1,
+                "case {case}: nullspace vector not primitive"
+            );
         }
     }
+}
 
-    #[test]
-    fn rank_nullity(m in (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| mat(r, c))) {
-        prop_assert_eq!(rank(&m) + nullspace(&m).len(), m.cols());
+#[test]
+fn rank_nullity() {
+    let mut rng = SplitMix64::new(0x22);
+    for case in 0..300 {
+        let m = random_shape_mat(&mut rng);
+        assert_eq!(
+            rank(&m) + nullspace(&m).len(),
+            m.cols(),
+            "case {case}: {m:?}"
+        );
     }
+}
 
-    #[test]
-    fn left_nullspace_annihilates(m in (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| mat(r, c))) {
+#[test]
+fn left_nullspace_annihilates() {
+    let mut rng = SplitMix64::new(0x33);
+    for case in 0..300 {
+        let m = random_shape_mat(&mut rng);
         for d in left_nullspace(&m) {
             let prod = m.vec_mul(&d);
-            prop_assert!(prod.iter().all(|&x| x == 0), "d·M != 0: {prod:?}");
+            assert!(
+                prod.iter().all(|&x| x == 0),
+                "case {case}: d·M != 0: {prod:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn completion_is_unimodular(v in (1usize..=5).prop_flat_map(nonzero_vec)) {
+#[test]
+fn completion_is_unimodular() {
+    let mut rng = SplitMix64::new(0x44);
+    for case in 0..300 {
+        let len = rng.range_usize(1, 5);
+        let v = nonzero_vec(&mut rng, len);
         if let Some(d) = make_primitive(&v) {
             let m = complete_to_unimodular(&d, 0).expect("primitive vector must complete");
-            prop_assert!(is_unimodular(&m));
-            prop_assert_eq!(m.row(0), &d[..]);
+            assert!(is_unimodular(&m), "case {case}");
+            assert_eq!(m.row(0), &d[..], "case {case}");
         }
     }
+}
 
-    #[test]
-    fn completion_any_row(v in (2usize..=4).prop_flat_map(nonzero_vec), row_seed in 0usize..4) {
+#[test]
+fn completion_any_row() {
+    let mut rng = SplitMix64::new(0x55);
+    for case in 0..300 {
+        let len = rng.range_usize(2, 4);
+        let v = nonzero_vec(&mut rng, len);
         if let Some(d) = make_primitive(&v) {
-            let row = row_seed % d.len();
+            let row = rng.range_usize(0, d.len() - 1);
             let m = complete_to_unimodular(&d, row).unwrap();
-            prop_assert!(is_unimodular(&m));
-            prop_assert_eq!(m.row(row), &d[..]);
+            assert!(is_unimodular(&m), "case {case}");
+            assert_eq!(m.row(row), &d[..], "case {case}");
         }
     }
+}
 
-    #[test]
-    fn unimodular_inverse_roundtrip(v in (2usize..=4).prop_flat_map(nonzero_vec)) {
+#[test]
+fn unimodular_inverse_roundtrip() {
+    let mut rng = SplitMix64::new(0x66);
+    for case in 0..300 {
+        let len = rng.range_usize(2, 4);
+        let v = nonzero_vec(&mut rng, len);
         if let Some(d) = make_primitive(&v) {
             let m = complete_to_unimodular(&d, 0).unwrap();
             let inv = unimodular_inverse(&m);
-            prop_assert_eq!(&m * &inv, IMat::identity(m.rows()));
-            prop_assert_eq!(&inv * &m, IMat::identity(m.rows()));
+            assert_eq!(&m * &inv, IMat::identity(m.rows()), "case {case}");
+            assert_eq!(&inv * &m, IMat::identity(m.rows()), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn hnf_reconstructs(m in (1usize..=4, 1usize..=4).prop_flat_map(|(r, c)| mat(r, c))) {
+#[test]
+fn hnf_reconstructs() {
+    let mut rng = SplitMix64::new(0x77);
+    for case in 0..300 {
+        let m = random_shape_mat(&mut rng);
         let res = hermite_normal_form(&m);
-        prop_assert_eq!(&res.u * &m, res.h.clone());
-        prop_assert!(is_unimodular(&res.u));
-        prop_assert_eq!(res.rank(), rank(&m));
+        assert_eq!(&res.u * &m, res.h.clone(), "case {case}");
+        assert!(is_unimodular(&res.u), "case {case}");
+        assert_eq!(res.rank(), rank(&m), "case {case}");
     }
+}
 
-    #[test]
-    fn determinant_of_product(a in mat(3, 3), b in mat(3, 3)) {
+#[test]
+fn determinant_of_product() {
+    let mut rng = SplitMix64::new(0x88);
+    for case in 0..300 {
         // det(AB) = det(A)·det(B) — a strong consistency check on Bareiss.
+        let a = mat(&mut rng, 3, 3);
+        let b = mat(&mut rng, 3, 3);
         let ab = &a * &b;
-        prop_assert_eq!(ab.determinant(), a.determinant() * b.determinant());
+        assert_eq!(
+            ab.determinant(),
+            a.determinant() * b.determinant(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn rational_field_axioms(an in -50i128..50, ad in 1i128..20, bn in -50i128..50, bd in 1i128..20) {
-        let a = Rat::new(an, ad);
-        let b = Rat::new(bn, bd);
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!(a * b, b * a);
-        prop_assert_eq!((a + b) - b, a);
+#[test]
+fn rational_field_axioms() {
+    let mut rng = SplitMix64::new(0x99);
+    for case in 0..500 {
+        let a = Rat::new(rng.range_i64(-50, 49) as i128, rng.range_i64(1, 19) as i128);
+        let b = Rat::new(rng.range_i64(-50, 49) as i128, rng.range_i64(1, 19) as i128);
+        assert_eq!(a + b, b + a, "case {case}");
+        assert_eq!(a * b, b * a, "case {case}");
+        assert_eq!((a + b) - b, a, "case {case}");
         if !b.is_zero() {
-            prop_assert_eq!((a / b) * b, a);
+            assert_eq!((a / b) * b, a, "case {case}");
         }
     }
 }

@@ -56,7 +56,10 @@ impl BlockPartition {
     /// loop of 8 iterations into 16 blocks).
     pub fn new(space: &IterSpace, u: usize, num_blocks: usize, num_threads: usize) -> Self {
         assert!(u < space.rank(), "BlockPartition: u out of range");
-        assert!(num_blocks > 0 && num_threads > 0, "BlockPartition: empty partition");
+        assert!(
+            num_blocks > 0 && num_threads > 0,
+            "BlockPartition: empty partition"
+        );
         let trip = space.trip_count(u);
         let num_blocks = num_blocks.min(trip as usize);
         // Even partition: block width = ceil(trip / x); final block ragged
@@ -134,7 +137,10 @@ impl BlockPartition {
 
     /// Which block a given value of `i_u` falls into.
     pub fn block_of_coord(&self, iu: i64) -> usize {
-        assert!(iu >= self.lower && iu < self.upper, "coordinate outside space");
+        assert!(
+            iu >= self.lower && iu < self.upper,
+            "coordinate outside space"
+        );
         ((iu - self.lower) / self.block_width) as usize
     }
 
@@ -145,7 +151,9 @@ impl BlockPartition {
 
     /// Blocks owned by thread `t`, in execution order.
     pub fn blocks_of_thread(&self, t: usize) -> impl Iterator<Item = IterBlock> + '_ {
-        (0..self.num_blocks).filter(move |&b| self.thread_of_block(b) == t).map(|b| self.block(b))
+        (0..self.num_blocks)
+            .filter(move |&b| self.thread_of_block(b) == t)
+            .map(|b| self.block(b))
     }
 
     /// All blocks in index order.
@@ -167,8 +175,22 @@ mod tests {
         let p = BlockPartition::new(&space(16), 0, 4, 2);
         assert_eq!(p.num_blocks(), 4);
         assert_eq!(p.block_width(), 4);
-        assert_eq!(p.block(0), IterBlock { index: 0, lo: 0, hi: 4 });
-        assert_eq!(p.block(3), IterBlock { index: 3, lo: 12, hi: 16 });
+        assert_eq!(
+            p.block(0),
+            IterBlock {
+                index: 0,
+                lo: 0,
+                hi: 4
+            }
+        );
+        assert_eq!(
+            p.block(3),
+            IterBlock {
+                index: 3,
+                lo: 12,
+                hi: 16
+            }
+        );
     }
 
     #[test]
@@ -215,7 +237,14 @@ mod tests {
     fn nonzero_lower_bound() {
         let s = IterSpace::new(vec![4], vec![20]);
         let p = BlockPartition::new(&s, 0, 4, 4);
-        assert_eq!(p.block(0), IterBlock { index: 0, lo: 4, hi: 8 });
+        assert_eq!(
+            p.block(0),
+            IterBlock {
+                index: 0,
+                lo: 4,
+                hi: 8
+            }
+        );
         assert_eq!(p.block_of_coord(4), 0);
         assert_eq!(p.block_of_coord(19), 3);
     }
@@ -238,7 +267,14 @@ mod tests {
         let s = IterSpace::from_extents(&[4, 12]);
         let p = BlockPartition::new(&s, 1, 3, 3);
         assert_eq!(p.u(), 1);
-        assert_eq!(p.block(1), IterBlock { index: 1, lo: 4, hi: 8 });
+        assert_eq!(
+            p.block(1),
+            IterBlock {
+                index: 1,
+                lo: 4,
+                hi: 8
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Deterministic thread fan-out over independent work items.
+//!
+//! The experiment harness and the trace generator both run embarrassingly
+//! parallel loops (per-workload configurations, per-thread traces). This
+//! module provides an order-preserving `parallel_map` built on
+//! `std::thread::scope` — no external thread-pool crate is available in
+//! the offline build environment, and none is needed: work items are
+//! claimed from a shared atomic counter, so the load balances dynamically
+//! while results land in input order, keeping every caller bit-for-bit
+//! deterministic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maximum worker threads, honoring the `FLO_THREADS` override (useful to
+/// force sequential runs when profiling or debugging).
+fn worker_cap() -> usize {
+    if let Ok(v) = std::env::var("FLO_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `0..n`, running items concurrently; results are returned
+/// in index order. Falls back to a plain sequential loop when `n <= 1` or
+/// only one worker is available.
+pub fn parallel_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_cap().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots = Mutex::new((0..n).map(|_| None).collect::<Vec<Option<R>>>());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                // Claim items one at a time; buffer locally and flush in
+                // batches so the slot lock is uncontended.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                    if local.len() >= 16 {
+                        let mut out = slots.lock().unwrap();
+                        for (k, r) in local.drain(..) {
+                            out[k] = Some(r);
+                        }
+                    }
+                }
+                let mut out = slots.lock().unwrap();
+                for (k, r) in local {
+                    out[k] = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("parallel_map_indexed: missing result"))
+        .collect()
+}
+
+/// Map `f` over a slice concurrently, preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let squares = parallel_map_indexed(100, |i| i * i);
+        assert_eq!(squares, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn maps_slices() {
+        let words = ["a", "bb", "ccc"];
+        assert_eq!(parallel_map(&words, |w| w.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        assert_eq!(parallel_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn matches_sequential_for_uneven_work() {
+        // Items with wildly different costs still land in order.
+        let out = parallel_map_indexed(64, |i| {
+            let mut acc = 0u64;
+            for k in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_add(k as u64);
+            }
+            (i, acc)
+        });
+        for (i, pair) in out.iter().enumerate() {
+            assert_eq!(pair.0, i);
+        }
+    }
+}

@@ -11,11 +11,16 @@
 //! thread's iterations lazily, block by block, in lexicographic order —
 //! this is the order in which the generated code would issue its I/O.
 //! [`mapping::ThreadMapping`] places threads on compute nodes.
+//! [`fanout`] provides the std-thread `parallel_map` used to fan
+//! independent work (per-thread trace generation, per-workload
+//! experiment configurations) across cores.
 
 pub mod blocks;
+pub mod fanout;
 pub mod mapping;
 pub mod schedule;
 
 pub use blocks::{BlockAssignment, BlockPartition, IterBlock};
+pub use fanout::{parallel_map, parallel_map_indexed};
 pub use mapping::ThreadMapping;
 pub use schedule::ThreadSchedule;

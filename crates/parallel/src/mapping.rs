@@ -7,9 +7,7 @@
 //! computation-mapping baseline additionally uses a topology-clustered
 //! mapping.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use flo_linalg::SplitMix64;
 
 /// An assignment of application threads to compute nodes.
 ///
@@ -24,14 +22,16 @@ pub struct ThreadMapping {
 impl ThreadMapping {
     /// Mapping I: thread `t` on compute node `t`.
     pub fn identity(num_threads: usize) -> ThreadMapping {
-        ThreadMapping { node_of: (0..num_threads).collect() }
+        ThreadMapping {
+            node_of: (0..num_threads).collect(),
+        }
     }
 
     /// A seeded random permutation (Mappings II–IV use seeds 2, 3, 4).
     pub fn permutation(num_threads: usize, seed: u64) -> ThreadMapping {
         let mut node_of: Vec<usize> = (0..num_threads).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        node_of.shuffle(&mut rng);
+        // Mix the seed so small consecutive seeds give unrelated shuffles.
+        SplitMix64::new(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xA5A5).shuffle(&mut node_of);
         ThreadMapping { node_of }
     }
 
@@ -103,8 +103,14 @@ mod tests {
 
     #[test]
     fn permutation_deterministic_per_seed() {
-        assert_eq!(ThreadMapping::permutation(16, 2), ThreadMapping::permutation(16, 2));
-        assert_ne!(ThreadMapping::permutation(16, 2), ThreadMapping::permutation(16, 3));
+        assert_eq!(
+            ThreadMapping::permutation(16, 2),
+            ThreadMapping::permutation(16, 2)
+        );
+        assert_ne!(
+            ThreadMapping::permutation(16, 2),
+            ThreadMapping::permutation(16, 3)
+        );
     }
 
     #[test]

@@ -19,8 +19,15 @@ pub struct ThreadSchedule<'a> {
 impl<'a> ThreadSchedule<'a> {
     /// Schedule of thread `t` under the given partition of `space`.
     pub fn new(space: &'a IterSpace, partition: &'a BlockPartition, thread: usize) -> Self {
-        assert!(thread < partition.num_threads(), "ThreadSchedule: thread out of range");
-        ThreadSchedule { space, partition, thread }
+        assert!(
+            thread < partition.num_threads(),
+            "ThreadSchedule: thread out of range"
+        );
+        ThreadSchedule {
+            space,
+            partition,
+            thread,
+        }
     }
 
     /// Total number of iterations this thread executes.
@@ -29,22 +36,31 @@ impl<'a> ThreadSchedule<'a> {
             .filter(|&k| k != self.partition.u())
             .map(|k| self.space.trip_count(k))
             .product();
-        let width: i64 =
-            self.partition.blocks_of_thread(self.thread).map(|b| b.width()).sum();
+        let width: i64 = self
+            .partition
+            .blocks_of_thread(self.thread)
+            .map(|b| b.width())
+            .sum();
         width * other
     }
 
     /// Iterate over the thread's iteration vectors in execution order.
     pub fn iterations(&self) -> impl Iterator<Item = Vec<i64>> + '_ {
         let u = self.partition.u();
-        self.partition.blocks_of_thread(self.thread).flat_map(move |block| {
-            // Walk the sub-box where dimension u is restricted to the block.
-            let mut lower: Vec<i64> = (0..self.space.rank()).map(|k| self.space.lower(k)).collect();
-            let mut upper: Vec<i64> = (0..self.space.rank()).map(|k| self.space.upper(k)).collect();
-            lower[u] = block.lo;
-            upper[u] = block.hi;
-            IterSpace::new(lower, upper).iter().collect::<Vec<_>>()
-        })
+        self.partition
+            .blocks_of_thread(self.thread)
+            .flat_map(move |block| {
+                // Walk the sub-box where dimension u is restricted to the block.
+                let mut lower: Vec<i64> = (0..self.space.rank())
+                    .map(|k| self.space.lower(k))
+                    .collect();
+                let mut upper: Vec<i64> = (0..self.space.rank())
+                    .map(|k| self.space.upper(k))
+                    .collect();
+                lower[u] = block.lo;
+                upper[u] = block.hi;
+                IterSpace::new(lower, upper).iter().collect::<Vec<_>>()
+            })
     }
 }
 

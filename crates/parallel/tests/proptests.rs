@@ -1,90 +1,122 @@
 //! Property tests: iteration-block partitions and schedules cover every
 //! iteration exactly once, for any parameters and either assignment.
+//!
+//! Cases are generated deterministically with SplitMix64 (the offline
+//! build has no `proptest`); each failure message carries the case index
+//! for replay.
 
+use flo_linalg::SplitMix64;
 use flo_parallel::{BlockAssignment, BlockPartition, ThreadMapping, ThreadSchedule};
 use flo_polyhedral::IterSpace;
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    /// Blocks tile the parallel dimension exactly.
-    #[test]
-    fn blocks_tile_dimension(
-        trip in 1i64..40,
-        inner in 1i64..6,
-        x in 1usize..12,
-        threads in 1usize..8,
-        blocked in proptest::bool::ANY,
-    ) {
+/// Blocks tile the parallel dimension exactly.
+#[test]
+fn blocks_tile_dimension() {
+    let mut rng = SplitMix64::new(0xB10C);
+    for case in 0..200 {
+        let trip = rng.range_i64(1, 39);
+        let inner = rng.range_i64(1, 5);
+        let x = rng.range_usize(1, 11);
+        let threads = rng.range_usize(1, 7);
+        let assignment = if rng.bool() {
+            BlockAssignment::Blocked
+        } else {
+            BlockAssignment::RoundRobin
+        };
         let space = IterSpace::from_extents(&[trip, inner]);
-        let assignment =
-            if blocked { BlockAssignment::Blocked } else { BlockAssignment::RoundRobin };
         let p = BlockPartition::new(&space, 0, x, threads).with_assignment(assignment);
         let mut covered = vec![0u32; trip as usize];
         for b in p.blocks() {
-            prop_assert!(b.lo < b.hi);
+            assert!(b.lo < b.hi, "case {case}");
             for i in b.lo..b.hi {
                 covered[i as usize] += 1;
             }
-            prop_assert!(p.thread_of_block(b.index) < threads);
+            assert!(p.thread_of_block(b.index) < threads, "case {case}");
         }
-        prop_assert!(covered.iter().all(|&c| c == 1), "blocks must tile exactly: {covered:?}");
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "case {case}: blocks must tile exactly: {covered:?}"
+        );
     }
+}
 
-    /// Every iteration is executed by exactly one thread's schedule, and
-    /// the per-thread counts match `iteration_count`.
-    #[test]
-    fn schedules_partition_iterations(
-        trip in 1i64..16,
-        inner in 1i64..6,
-        u in 0usize..2,
-        x in 1usize..8,
-        threads in 1usize..5,
-        blocked in proptest::bool::ANY,
-    ) {
+/// Every iteration is executed by exactly one thread's schedule, and
+/// the per-thread counts match `iteration_count`.
+#[test]
+fn schedules_partition_iterations() {
+    let mut rng = SplitMix64::new(0x5CED);
+    for case in 0..150 {
+        let trip = rng.range_i64(1, 15);
+        let inner = rng.range_i64(1, 5);
+        let u = rng.range_usize(0, 1);
+        let x = rng.range_usize(1, 7);
+        let threads = rng.range_usize(1, 4);
+        let assignment = if rng.bool() {
+            BlockAssignment::Blocked
+        } else {
+            BlockAssignment::RoundRobin
+        };
         let space = IterSpace::from_extents(&[trip, inner]);
-        let assignment =
-            if blocked { BlockAssignment::Blocked } else { BlockAssignment::RoundRobin };
         let p = BlockPartition::new(&space, u, x, threads).with_assignment(assignment);
         let mut seen: HashSet<Vec<i64>> = HashSet::new();
         for t in 0..threads {
             let sched = ThreadSchedule::new(&space, &p, t);
             let mut count = 0i64;
             for i in sched.iterations() {
-                prop_assert!(space.contains(&i));
-                prop_assert!(seen.insert(i), "iteration executed twice");
+                assert!(space.contains(&i), "case {case}");
+                assert!(seen.insert(i), "case {case}: iteration executed twice");
                 count += 1;
             }
-            prop_assert_eq!(count, sched.iteration_count());
+            assert_eq!(count, sched.iteration_count(), "case {case}");
         }
-        prop_assert_eq!(seen.len() as i64, space.total_iterations());
+        assert_eq!(seen.len() as i64, space.total_iterations(), "case {case}");
     }
+}
 
-    /// Coordinate → block → thread lookups agree with block enumeration.
-    #[test]
-    fn coord_lookup_consistent(trip in 2i64..40, x in 1usize..10, threads in 1usize..6) {
+/// Coordinate → block → thread lookups agree with block enumeration.
+#[test]
+fn coord_lookup_consistent() {
+    let mut rng = SplitMix64::new(0xC003D);
+    for case in 0..200 {
+        let trip = rng.range_i64(2, 39);
+        let x = rng.range_usize(1, 9);
+        let threads = rng.range_usize(1, 5);
         let space = IterSpace::from_extents(&[trip, 2]);
         let p = BlockPartition::new(&space, 0, x, threads);
         for iu in 0..trip {
             let b = p.block_of_coord(iu);
             let blk = p.block(b);
-            prop_assert!(blk.lo <= iu && iu < blk.hi, "coord {iu} not in its block");
-            prop_assert_eq!(p.thread_of_coord(iu), p.thread_of_block(b));
+            assert!(
+                blk.lo <= iu && iu < blk.hi,
+                "case {case}: coord {iu} not in its block"
+            );
+            assert_eq!(p.thread_of_coord(iu), p.thread_of_block(b), "case {case}");
         }
     }
+}
 
-    /// Seeded permutations are bijections and reproducible.
-    #[test]
-    fn mappings_are_bijections(n in 1usize..64, seed in 0u64..1000) {
+/// Seeded permutations are bijections and reproducible.
+#[test]
+fn mappings_are_bijections() {
+    let mut rng = SplitMix64::new(0xB17EC);
+    for case in 0..200 {
+        let n = rng.range_usize(1, 63);
+        let seed = rng.range_usize(0, 999) as u64;
         let m = ThreadMapping::permutation(n, seed);
         let mut nodes: Vec<usize> = (0..n).map(|t| m.node_of(t)).collect();
         nodes.sort_unstable();
-        prop_assert_eq!(nodes, (0..n).collect::<Vec<_>>());
-        prop_assert_eq!(m.clone(), ThreadMapping::permutation(n, seed));
+        assert_eq!(nodes, (0..n).collect::<Vec<_>>(), "case {case}");
+        assert_eq!(
+            m.clone(),
+            ThreadMapping::permutation(n, seed),
+            "case {case}"
+        );
         for t in 0..n {
-            prop_assert_eq!(
+            assert_eq!(
                 ThreadMapping::permutation(n, seed).thread_on(m.node_of(t)),
-                t
+                t,
+                "case {case}"
             );
         }
     }

@@ -21,7 +21,10 @@ impl AffineAccess {
     /// Build with a zero offset.
     pub fn linear(q: IMat) -> AffineAccess {
         let m = q.rows();
-        AffineAccess { q, offset: vec![0; m] }
+        AffineAccess {
+            q,
+            offset: vec![0; m],
+        }
     }
 
     /// Access matrix rows = array rank `m`.
@@ -70,7 +73,10 @@ impl AffineAccess {
     /// compiler rewrites array index functions after Step I.
     pub fn transformed(&self, d: &IMat) -> AffineAccess {
         assert_eq!(d.cols(), self.q.rows(), "transformed: D rank mismatch");
-        AffineAccess { q: d * &self.q, offset: d.mul_vec(&self.offset) }
+        AffineAccess {
+            q: d * &self.q,
+            offset: d.mul_vec(&self.offset),
+        }
     }
 
     /// Identity access (`a = i`), valid when array rank equals loop rank.

@@ -43,7 +43,9 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Fresh builder.
     pub fn new() -> ProgramBuilder {
-        ProgramBuilder { program: Program::new() }
+        ProgramBuilder {
+            program: Program::new(),
+        }
     }
 
     /// Declare a disk-resident array with the given extents.
@@ -116,8 +118,14 @@ impl NestBuilder<'_> {
         kind: AccessKind,
     ) -> Self {
         let m = IMat::from_rows(q);
-        let off = offset.map(<[i64]>::to_vec).unwrap_or_else(|| vec![0; m.rows()]);
-        self.refs.push(ArrayRef { array, access: AffineAccess::new(m, off), kind });
+        let off = offset
+            .map(<[i64]>::to_vec)
+            .unwrap_or_else(|| vec![0; m.rows()]);
+        self.refs.push(ArrayRef {
+            array,
+            access: AffineAccess::new(m, off),
+            kind,
+        });
         self
     }
 

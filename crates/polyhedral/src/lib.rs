@@ -20,6 +20,7 @@
 
 pub mod access;
 pub mod builder;
+pub mod cursor;
 pub mod hyperplane;
 pub mod nest;
 pub mod program;
@@ -27,6 +28,7 @@ pub mod space;
 
 pub use access::AffineAccess;
 pub use builder::{NestBuilder, ProgramBuilder};
+pub use cursor::AccessCursor;
 pub use hyperplane::{e_u_matrix, unit_hyperplane, Hyperplane};
 pub use nest::{AccessKind, ArrayRef, LoopNest};
 pub use program::{AccessProfile, ArrayDecl, ArrayId, Program};

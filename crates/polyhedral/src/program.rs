@@ -116,13 +116,19 @@ impl Program {
                 ka.cmp(&kb)
             })
         });
-        AccessProfile { weighted_matrices, total_accesses: total }
+        AccessProfile {
+            weighted_matrices,
+            total_accesses: total,
+        }
     }
 
     /// Total dynamic element accesses over all arrays (used by the
     /// execution-time model for the compute/IO ratio).
     pub fn total_accesses(&self) -> i64 {
-        self.nests.iter().map(|n| n.reference_weight() * n.refs.len() as i64).sum()
+        self.nests
+            .iter()
+            .map(|n| n.reference_weight() * n.refs.len() as i64)
+            .sum()
     }
 }
 
@@ -149,7 +155,11 @@ mod tests {
         p.add_nest(LoopNest::new(
             IterSpace::from_extents(&[8, 8]),
             vec![
-                ArrayRef { array: a, access: AffineAccess::identity(2), kind: AccessKind::Read },
+                ArrayRef {
+                    array: a,
+                    access: AffineAccess::identity(2),
+                    kind: AccessKind::Read,
+                },
                 ArrayRef {
                     array: a,
                     access: AffineAccess::new(flo_linalg::IMat::identity(2), vec![0, 1]),
@@ -167,7 +177,11 @@ mod tests {
             }],
         ));
         let prof = p.access_profile(a);
-        assert_eq!(prof.weighted_matrices.len(), 2, "offset-only refs must share a Q");
+        assert_eq!(
+            prof.weighted_matrices.len(),
+            2,
+            "offset-only refs must share a Q"
+        );
         // Identity matrix has weight 64 + 64 = 128, transpose 16.
         assert_eq!(prof.weighted_matrices[0].1, 128);
         assert_eq!(prof.weighted_matrices[1].1, 16);
@@ -221,8 +235,16 @@ mod tests {
         p.add_nest(LoopNest::new(
             IterSpace::from_extents(&[3, 3]),
             vec![
-                ArrayRef { array: a, access: AffineAccess::identity(2), kind: AccessKind::Read },
-                ArrayRef { array: a, access: AffineAccess::identity(2), kind: AccessKind::Write },
+                ArrayRef {
+                    array: a,
+                    access: AffineAccess::identity(2),
+                    kind: AccessKind::Read,
+                },
+                ArrayRef {
+                    array: a,
+                    access: AffineAccess::identity(2),
+                    kind: AccessKind::Write,
+                },
             ],
         ));
         assert_eq!(p.total_accesses(), 18);

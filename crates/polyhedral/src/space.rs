@@ -65,7 +65,10 @@ impl IterSpace {
     /// tests and small spaces; the simulator walks spaces incrementally
     /// instead of materializing them.
     pub fn iter(&self) -> IterSpaceIter<'_> {
-        IterSpaceIter { space: self, cur: Some(self.lower.clone()) }
+        IterSpaceIter {
+            space: self,
+            cur: Some(self.lower.clone()),
+        }
     }
 }
 
@@ -105,7 +108,10 @@ impl DataSpace {
     /// Data space with the given per-dimension extents (all positive).
     pub fn new(extents: Vec<i64>) -> DataSpace {
         assert!(!extents.is_empty(), "DataSpace: zero-rank array");
-        assert!(extents.iter().all(|&e| e > 0), "DataSpace: non-positive extent");
+        assert!(
+            extents.iter().all(|&e| e > 0),
+            "DataSpace: non-positive extent"
+        );
         DataSpace { extents }
     }
 
@@ -131,12 +137,19 @@ impl DataSpace {
 
     /// Whether `a` is a valid element index vector.
     pub fn contains(&self, a: &[i64]) -> bool {
-        a.len() == self.rank() && a.iter().enumerate().all(|(k, &v)| v >= 0 && v < self.extents[k])
+        a.len() == self.rank()
+            && a.iter()
+                .enumerate()
+                .all(|(k, &v)| v >= 0 && v < self.extents[k])
     }
 
     /// Row-major linearization of an element index.
     pub fn linearize(&self, a: &[i64]) -> i64 {
-        debug_assert!(self.contains(a), "linearize: {a:?} outside {:?}", self.extents);
+        debug_assert!(
+            self.contains(a),
+            "linearize: {a:?} outside {:?}",
+            self.extents
+        );
         let mut off = 0;
         for (k, &v) in a.iter().enumerate() {
             off = off * self.extents[k] + v;
@@ -146,7 +159,10 @@ impl DataSpace {
 
     /// Inverse of [`linearize`](DataSpace::linearize).
     pub fn delinearize(&self, mut off: i64) -> Vec<i64> {
-        debug_assert!(off >= 0 && off < self.num_elements(), "delinearize out of range");
+        debug_assert!(
+            off >= 0 && off < self.num_elements(),
+            "delinearize out of range"
+        );
         let mut a = vec![0; self.rank()];
         for k in (0..self.rank()).rev() {
             a[k] = off % self.extents[k];

@@ -1,70 +1,157 @@
 //! Property tests of the polyhedral IR: affine access algebra, space
 //! linearization, and weight accounting.
+//!
+//! Deterministic SplitMix64 case generation replaces `proptest`
+//! (unavailable offline); failures carry a case index for replay.
 
-use flo_linalg::IMat;
-use flo_polyhedral::{AffineAccess, DataSpace, IterSpace, ProgramBuilder};
-use proptest::prelude::*;
+use flo_linalg::{IMat, SplitMix64};
+use flo_polyhedral::{AccessCursor, AffineAccess, DataSpace, IterSpace, ProgramBuilder};
 
-fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = IMat> {
-    proptest::collection::vec(-3i64..=3, rows * cols)
-        .prop_map(move |v| IMat::from_vec(rows, cols, v))
+fn small_matrix(rng: &mut SplitMix64, rows: usize, cols: usize) -> IMat {
+    let v = (0..rows * cols).map(|_| rng.range_i64(-3, 3)).collect();
+    IMat::from_vec(rows, cols, v)
 }
 
-proptest! {
-    /// `eval` and `eval_into` agree, and transformation composes:
-    /// `transformed(D).eval(i) == D · eval(i)`.
-    #[test]
-    fn access_algebra(
-        q in small_matrix(2, 3),
-        offset in proptest::collection::vec(-3i64..=3, 2),
-        d in small_matrix(2, 2),
-        i in proptest::collection::vec(-5i64..=5, 3),
-    ) {
+/// `eval` and `eval_into` agree, and transformation composes:
+/// `transformed(D).eval(i) == D · eval(i)`.
+#[test]
+fn access_algebra() {
+    let mut rng = SplitMix64::new(0xACCE55);
+    for case in 0..300 {
+        let q = small_matrix(&mut rng, 2, 3);
+        let offset: Vec<i64> = (0..2).map(|_| rng.range_i64(-3, 3)).collect();
+        let d = small_matrix(&mut rng, 2, 2);
+        let i: Vec<i64> = (0..3).map(|_| rng.range_i64(-5, 5)).collect();
         let acc = AffineAccess::new(q, offset);
         let mut buf = vec![0i64; 2];
         acc.eval_into(&i, &mut buf);
-        prop_assert_eq!(&buf, &acc.eval(&i));
+        assert_eq!(&buf, &acc.eval(&i), "case {case}");
         let transformed = acc.transformed(&d);
-        prop_assert_eq!(transformed.eval(&i), d.mul_vec(&acc.eval(&i)));
+        assert_eq!(
+            transformed.eval(&i),
+            d.mul_vec(&acc.eval(&i)),
+            "case {case}"
+        );
     }
+}
 
-    /// Row-major linearization is a bijection onto [0, elements).
-    #[test]
-    fn linearize_bijection(extents in proptest::collection::vec(1i64..6, 1..4)) {
+/// Row-major linearization is a bijection onto [0, elements).
+#[test]
+fn linearize_bijection() {
+    let mut rng = SplitMix64::new(0xB17);
+    for case in 0..200 {
+        let dims = rng.range_usize(1, 3);
+        let extents: Vec<i64> = (0..dims).map(|_| rng.range_i64(1, 5)).collect();
         let space = DataSpace::new(extents);
         let mut seen = vec![false; space.num_elements() as usize];
         // Walk all elements via delinearize and check the roundtrip.
         for off in 0..space.num_elements() {
             let a = space.delinearize(off);
-            prop_assert!(space.contains(&a));
-            prop_assert_eq!(space.linearize(&a), off);
-            prop_assert!(!seen[off as usize]);
+            assert!(space.contains(&a), "case {case}");
+            assert_eq!(space.linearize(&a), off, "case {case}");
+            assert!(!seen[off as usize], "case {case}");
             seen[off as usize] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "case {case}");
     }
+}
 
-    /// Iteration spaces visit exactly `total_iterations` distinct points.
-    #[test]
-    fn iteration_count(lower in proptest::collection::vec(-3i64..=0, 1..3), widths in proptest::collection::vec(1i64..5, 1..3)) {
-        prop_assume!(lower.len() == widths.len());
+/// Iteration spaces visit exactly `total_iterations` distinct points.
+#[test]
+fn iteration_count() {
+    let mut rng = SplitMix64::new(0x17E);
+    for case in 0..200 {
+        let dims = rng.range_usize(1, 2);
+        let lower: Vec<i64> = (0..dims).map(|_| rng.range_i64(-3, 0)).collect();
+        let widths: Vec<i64> = (0..dims).map(|_| rng.range_i64(1, 4)).collect();
         let upper: Vec<i64> = lower.iter().zip(&widths).map(|(l, w)| l + w).collect();
         let space = IterSpace::new(lower, upper);
         let points: Vec<Vec<i64>> = space.iter().collect();
-        prop_assert_eq!(points.len() as i64, space.total_iterations());
+        assert_eq!(points.len() as i64, space.total_iterations(), "case {case}");
         let mut dedup = points.clone();
         dedup.sort();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), points.len());
+        assert_eq!(dedup.len(), points.len(), "case {case}");
         for p in &points {
-            prop_assert!(space.contains(p));
+            assert!(space.contains(p), "case {case}");
         }
     }
+}
 
-    /// Reference weights accumulate per distinct matrix: `k` references
-    /// sharing `Q` in an `n`-iteration nest weigh `k·n` (Eq. 5).
-    #[test]
-    fn weights_accumulate(reps in 1usize..5, n in 2i64..8) {
+/// Incremental cursor stepping reproduces `eval_into` at every point of
+/// a random iteration space, for random access matrices, offsets, and
+/// projection strides — the invariant the fast trace generator rests on.
+#[test]
+fn cursor_stepping_matches_eval_into() {
+    let mut rng = SplitMix64::new(0xC0A5E);
+    for case in 0..150 {
+        let rank = rng.range_usize(1, 3);
+        let rows = rng.range_usize(1, 3);
+        let lower: Vec<i64> = (0..rank).map(|_| rng.range_i64(-4, 4)).collect();
+        let widths: Vec<i64> = (0..rank).map(|_| rng.range_i64(1, 5)).collect();
+        let upper: Vec<i64> = lower.iter().zip(&widths).map(|(l, w)| l + w).collect();
+        let space = IterSpace::new(lower, upper);
+        let q = small_matrix(&mut rng, rows, rank);
+        let offset: Vec<i64> = (0..rows).map(|_| rng.range_i64(-3, 3)).collect();
+        let acc = AffineAccess::new(q, offset);
+        let strides: Vec<i64> = (0..rows).map(|_| rng.range_i64(-8, 8)).collect();
+
+        let mut cursor = AccessCursor::with_projection(&acc, &space, &strides);
+        let mut buf = vec![0i64; rows];
+        for (step, i) in space.iter().enumerate() {
+            assert_eq!(cursor.iteration(), &i[..], "case {case} step {step}");
+            acc.eval_into(&i, &mut buf);
+            assert_eq!(cursor.element(), &buf[..], "case {case} step {step}");
+            let dot: i64 = strides.iter().zip(&buf).map(|(s, a)| s * a).sum();
+            assert_eq!(cursor.projected(), dot, "case {case} step {step}");
+            cursor.advance();
+        }
+        assert!(cursor.is_done(), "case {case}");
+    }
+}
+
+/// `skip_innermost` lands on the same state as repeated `advance`, and
+/// `step_count` always counts the remaining innermost segment.
+#[test]
+fn cursor_skips_match_single_steps() {
+    let mut rng = SplitMix64::new(0x5C1B);
+    for case in 0..150 {
+        let rank = rng.range_usize(1, 3);
+        let rows = rng.range_usize(1, 2);
+        let extents: Vec<i64> = (0..rank).map(|_| rng.range_i64(2, 6)).collect();
+        let space = IterSpace::from_extents(&extents);
+        let acc = AffineAccess::new(
+            small_matrix(&mut rng, rows, rank),
+            (0..rows).map(|_| rng.range_i64(-2, 2)).collect(),
+        );
+        let mut skipper = AccessCursor::new(&acc, &space);
+        let mut stepper = AccessCursor::new(&acc, &space);
+        while !skipper.is_done() {
+            let remaining = skipper.step_count();
+            assert!(remaining >= 1, "case {case}");
+            let jump = rng.range_i64(0, remaining - 1);
+            skipper.skip_innermost(jump);
+            for _ in 0..jump {
+                stepper.advance();
+            }
+            assert_eq!(skipper.iteration(), stepper.iteration(), "case {case}");
+            assert_eq!(skipper.element(), stepper.element(), "case {case}");
+            assert_eq!(skipper.step_count(), stepper.step_count(), "case {case}");
+            skipper.advance();
+            stepper.advance();
+        }
+        assert!(stepper.is_done(), "case {case}");
+    }
+}
+
+/// Reference weights accumulate per distinct matrix: `k` references
+/// sharing `Q` in an `n`-iteration nest weigh `k·n` (Eq. 5).
+#[test]
+fn weights_accumulate() {
+    let mut rng = SplitMix64::new(0xE05);
+    for case in 0..50 {
+        let reps = rng.range_usize(1, 4);
+        let n = rng.range_i64(2, 7);
         let mut b = ProgramBuilder::new();
         let a = b.array("A", &[n, n]);
         let mut nest = b.nest(&[n, n]);
@@ -74,8 +161,12 @@ proptest! {
         nest.done();
         let p = b.build();
         let profile = p.access_profile(a);
-        prop_assert_eq!(profile.weighted_matrices.len(), 1);
-        prop_assert_eq!(profile.weighted_matrices[0].1, reps as i64 * n * n);
-        prop_assert_eq!(profile.total_accesses, reps as i64 * n * n);
+        assert_eq!(profile.weighted_matrices.len(), 1, "case {case}");
+        assert_eq!(
+            profile.weighted_matrices[0].1,
+            reps as i64 * n * n,
+            "case {case}"
+        );
+        assert_eq!(profile.total_accesses, reps as i64 * n * n, "case {case}");
     }
 }

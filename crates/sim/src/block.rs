@@ -5,13 +5,11 @@
 //! the file it belongs to (one file per disk-resident array) and its block
 //! index within that file.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a file (= one disk-resident array).
 pub type FileId = u32;
 
 /// Address of one data block: `(file, block index within file)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockAddr {
     /// Owning file.
     pub file: FileId,
@@ -29,7 +27,10 @@ impl BlockAddr {
     /// size of `block_size` elements.
     pub fn containing(file: FileId, offset: u64, block_size: u64) -> BlockAddr {
         assert!(block_size > 0, "BlockAddr: zero block size");
-        BlockAddr { file, index: offset / block_size }
+        BlockAddr {
+            file,
+            index: offset / block_size,
+        }
     }
 }
 

@@ -1,16 +1,24 @@
 //! The LRU cache core shared by all policies.
 //!
 //! [`LruCore`] is a fixed-capacity set of [`BlockAddr`]s with O(1) lookup,
-//! promotion, insertion and eviction, implemented as a hash map into a
-//! slab-backed intrusive doubly-linked list (MRU at the head). The three
+//! promotion, insertion and eviction, implemented as a slab-backed
+//! intrusive doubly-linked list (MRU at the head) indexed by a hash map —
+//! or, for the small per-set cores a [`SetAssocCache`] is made of, by a
+//! bitmask-guided linear scan that skips hashing altogether. The three
 //! hierarchy policies (inclusive LRU, DEMOTE-LRU, KARMA) differ only in
 //! *when* they insert/remove/demote — they all reuse this core.
 
 use crate::block::BlockAddr;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 const NIL: usize = usize::MAX;
+
+/// Capacity at or below which the core drops the hash map entirely and
+/// finds blocks by scanning the slab under an occupancy bitmask. The
+/// set-associative caches run 8-way sets; at that size a branch-free
+/// scan of at most `capacity` slots beats computing a hash, and the
+/// recency lists are untouched, so behavior is bit-identical.
+const SMALL_CAP: usize = 64;
 
 #[derive(Clone, Debug)]
 struct Node {
@@ -20,7 +28,7 @@ struct Node {
 }
 
 /// Hit/miss counters for one cache (or one aggregated layer).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Number of lookups.
     pub accesses: u64,
@@ -54,7 +62,13 @@ impl CacheStats {
 #[derive(Clone, Debug)]
 pub struct LruCore {
     capacity: usize,
-    map: HashMap<BlockAddr, usize>,
+    /// Block → slab index; unused (empty) when `capacity <= SMALL_CAP`.
+    map: FxHashMap<BlockAddr, usize>,
+    /// Small-mode occupancy bitmask over `nodes` (bit i ⇔ slot i live).
+    occupied: u64,
+    /// Small-mode copy of each slot's block, kept contiguous so lookups
+    /// scan 16-byte keys instead of the pointer-laden `Node` slab.
+    keys: Vec<BlockAddr>,
     nodes: Vec<Node>,
     free: Vec<usize>,
     head: usize, // MRU
@@ -66,14 +80,66 @@ impl LruCore {
     /// An empty cache holding at most `capacity` blocks.
     pub fn new(capacity: usize) -> LruCore {
         assert!(capacity > 0, "LruCore: zero capacity");
+        let map_slots = if capacity <= SMALL_CAP {
+            0
+        } else {
+            capacity + 1
+        };
         LruCore {
             capacity,
-            map: HashMap::with_capacity(capacity + 1),
+            map: FxHashMap::with_capacity_and_hasher(map_slots, Default::default()),
+            occupied: 0,
+            keys: Vec::new(),
             nodes: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn is_small(&self) -> bool {
+        self.capacity <= SMALL_CAP
+    }
+
+    /// Slab index of `block` if resident.
+    #[inline]
+    fn lookup(&self, block: BlockAddr) -> Option<usize> {
+        if self.is_small() {
+            for (i, &k) in self.keys.iter().enumerate() {
+                if k == block && (self.occupied >> i) & 1 == 1 {
+                    return Some(i);
+                }
+            }
+            None
+        } else {
+            self.map.get(&block).copied()
+        }
+    }
+
+    /// Record that slab slot `idx` now holds `block`.
+    #[inline]
+    fn register(&mut self, block: BlockAddr, idx: usize) {
+        if self.is_small() {
+            self.occupied |= 1 << idx;
+            if idx == self.keys.len() {
+                self.keys.push(block);
+            } else {
+                self.keys[idx] = block;
+            }
+        } else {
+            self.map.insert(block, idx);
+        }
+    }
+
+    /// Record that slab slot `idx` (holding `block`) was vacated.
+    #[inline]
+    fn unregister(&mut self, block: BlockAddr, idx: usize) {
+        if self.is_small() {
+            self.occupied &= !(1 << idx);
+        } else {
+            self.map.remove(&block);
         }
     }
 
@@ -84,17 +150,21 @@ impl LruCore {
 
     /// Current number of resident blocks.
     pub fn len(&self) -> usize {
-        self.map.len()
+        if self.is_small() {
+            self.occupied.count_ones() as usize
+        } else {
+            self.map.len()
+        }
     }
 
     /// Whether no block is resident.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
     }
 
     /// Whether `block` is resident (does not touch recency or stats).
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.map.contains_key(&block)
+        self.lookup(block).is_some()
     }
 
     /// Look up `block`, recording a hit or miss; on hit the block becomes
@@ -111,7 +181,7 @@ impl LruCore {
     pub fn access_weighted(&mut self, block: BlockAddr, weight: u32) -> bool {
         debug_assert!(weight >= 1);
         self.stats.accesses += weight as u64;
-        if let Some(&idx) = self.map.get(&block) {
+        if let Some(idx) = self.lookup(block) {
             self.stats.hits += weight as u64;
             self.unlink(idx);
             self.push_front(idx);
@@ -127,23 +197,35 @@ impl LruCore {
     /// the LRU block is evicted and returned. Inserting a resident block
     /// just promotes it.
     pub fn insert(&mut self, block: BlockAddr) -> Option<BlockAddr> {
-        if let Some(&idx) = self.map.get(&block) {
+        if let Some(idx) = self.lookup(block) {
             self.unlink(idx);
             self.push_front(idx);
             return None;
         }
-        let evicted = if self.map.len() == self.capacity { self.pop_lru() } else { None };
+        let evicted = if self.len() == self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        };
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i] = Node { block, prev: NIL, next: NIL };
+                self.nodes[i] = Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                };
                 i
             }
             None => {
-                self.nodes.push(Node { block, prev: NIL, next: NIL });
+                self.nodes.push(Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.nodes.len() - 1
             }
         };
-        self.map.insert(block, idx);
+        self.register(block, idx);
         self.push_front(idx);
         evicted
     }
@@ -152,31 +234,80 @@ impl LruCore {
     /// where a block should be first in line for eviction). Returns the
     /// evicted block if the cache was full.
     pub fn insert_lru(&mut self, block: BlockAddr) -> Option<BlockAddr> {
-        if let Some(&idx) = self.map.get(&block) {
+        if let Some(idx) = self.lookup(block) {
             // Already resident: move to LRU end.
             self.unlink(idx);
             self.push_back(idx);
             return None;
         }
-        let evicted = if self.map.len() == self.capacity { self.pop_lru() } else { None };
+        let evicted = if self.len() == self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        };
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i] = Node { block, prev: NIL, next: NIL };
+                self.nodes[i] = Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                };
                 i
             }
             None => {
-                self.nodes.push(Node { block, prev: NIL, next: NIL });
+                self.nodes.push(Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.nodes.len() - 1
             }
         };
-        self.map.insert(block, idx);
+        self.register(block, idx);
         self.push_back(idx);
+        evicted
+    }
+
+    /// Insert a block the caller just observed missing — skips the
+    /// residency probe [`insert`](Self::insert) pays. Only valid straight
+    /// after a miss on this core with no intervening mutation.
+    pub(crate) fn insert_absent(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        debug_assert!(
+            self.lookup(block).is_none(),
+            "insert_absent: block resident"
+        );
+        let evicted = if self.len() == self.capacity {
+            self.pop_lru()
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    block,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.register(block, idx);
+        self.push_front(idx);
         evicted
     }
 
     /// Remove `block` if resident; returns whether it was present.
     pub fn remove(&mut self, block: BlockAddr) -> bool {
-        if let Some(idx) = self.map.remove(&block) {
+        if let Some(idx) = self.lookup(block) {
+            self.unregister(block, idx);
             self.unlink(idx);
             self.free.push(idx);
             true
@@ -193,7 +324,7 @@ impl LruCore {
         let idx = self.tail;
         let block = self.nodes[idx].block;
         self.unlink(idx);
-        self.map.remove(&block);
+        self.unregister(block, idx);
         self.free.push(idx);
         Some(block)
     }
@@ -211,7 +342,7 @@ impl LruCore {
 
     /// Resident blocks from MRU to LRU (test helper; O(len)).
     pub fn blocks_mru_to_lru(&self) -> Vec<BlockAddr> {
-        let mut out = Vec::with_capacity(self.map.len());
+        let mut out = Vec::with_capacity(self.len());
         let mut cur = self.head;
         while cur != NIL {
             out.push(self.nodes[cur].block);
@@ -275,16 +406,54 @@ impl LruCore {
 pub struct SetAssocCache {
     sets: Vec<LruCore>,
     ways: usize,
+    set_mod: FastMod,
+}
+
+/// Exact `x % n` without a hardware divide: Lemire's fastmod, widened to
+/// 64-bit operands through 128-bit arithmetic. The set index is computed
+/// on every simulated request and `n` (the set count) is a runtime value,
+/// so the compiler cannot strength-reduce the modulo itself.
+#[derive(Clone, Copy, Debug)]
+struct FastMod {
+    n: u64,
+    /// ceil(2^128 / n), wrapped to 0 for n = 1 (where the remainder is 0).
+    m: u128,
+}
+
+impl FastMod {
+    fn new(n: u64) -> FastMod {
+        debug_assert!(n > 0, "FastMod: zero modulus");
+        FastMod {
+            n,
+            m: (u128::MAX / n as u128).wrapping_add(1),
+        }
+    }
+
+    #[inline]
+    fn rem(&self, x: u64) -> u64 {
+        let low = self.m.wrapping_mul(x as u128);
+        // High 128 bits of `low × n`, assembled from 64-bit halves.
+        let (ah, al) = ((low >> 64) as u64 as u128, low as u64 as u128);
+        let n = self.n as u128;
+        ((ah * n + ((al * n) >> 64)) >> 64) as u64
+    }
 }
 
 impl SetAssocCache {
     /// A cache of `capacity` blocks organized as `capacity / ways` sets of
     /// `ways` blocks. `ways >= capacity` degenerates to fully-associative.
     pub fn new(capacity: usize, ways: usize) -> SetAssocCache {
-        assert!(capacity > 0 && ways > 0, "SetAssocCache: zero capacity/ways");
+        assert!(
+            capacity > 0 && ways > 0,
+            "SetAssocCache: zero capacity/ways"
+        );
         let ways = ways.min(capacity);
         let num_sets = (capacity / ways).max(1);
-        SetAssocCache { sets: (0..num_sets).map(|_| LruCore::new(ways)).collect(), ways }
+        SetAssocCache {
+            sets: (0..num_sets).map(|_| LruCore::new(ways)).collect(),
+            ways,
+            set_mod: FastMod::new(num_sets as u64),
+        }
     }
 
     /// Number of sets.
@@ -303,7 +472,7 @@ impl SetAssocCache {
     }
 
     fn set_of(&self, block: BlockAddr) -> usize {
-        ((block.index + block.file as u64 * 7919) % self.sets.len() as u64) as usize
+        self.set_mod.rem(block.index + block.file as u64 * 7919) as usize
     }
 
     /// Weighted lookup; see [`LruCore::access_weighted`].
@@ -322,6 +491,13 @@ impl SetAssocCache {
     pub fn insert(&mut self, block: BlockAddr) -> Option<BlockAddr> {
         let s = self.set_of(block);
         self.sets[s].insert(block)
+    }
+
+    /// Insert a block that just missed in this cache (see
+    /// [`LruCore::insert_absent`]).
+    pub(crate) fn insert_absent(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        let s = self.set_of(block);
+        self.sets[s].insert_absent(block)
     }
 
     /// Insert at the LRU end of the block's set.
@@ -362,7 +538,10 @@ impl SetAssocCache {
 
     /// Resident blocks (test helper).
     pub fn blocks(&self) -> Vec<BlockAddr> {
-        self.sets.iter().flat_map(LruCore::blocks_mru_to_lru).collect()
+        self.sets
+            .iter()
+            .flat_map(LruCore::blocks_mru_to_lru)
+            .collect()
     }
 }
 
@@ -511,6 +690,103 @@ mod tests {
         assert!(large.stats().hits >= small.stats().hits);
     }
 
+    /// Naive LRU oracle: both the bitmask mode (capacity ≤ 64) and the
+    /// hash-map mode (capacity > 64) must match it move for move.
+    fn oracle_check(capacity: usize) {
+        let mut core = LruCore::new(capacity);
+        let mut oracle: Vec<BlockAddr> = Vec::new(); // MRU first
+        let mut x: u64 = 0x9E37_79B9;
+        for step in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let blk = b(x % (capacity as u64 * 2));
+            let hit = core.access(blk);
+            assert_eq!(hit, oracle.contains(&blk), "cap {capacity} step {step}");
+            if let Some(p) = oracle.iter().position(|&o| o == blk) {
+                oracle.remove(p);
+            }
+            oracle.insert(0, blk);
+            let evicted = core.insert(blk);
+            let expect = if oracle.len() > capacity {
+                oracle.pop()
+            } else {
+                None
+            };
+            assert_eq!(evicted, expect, "cap {capacity} step {step}");
+            assert_eq!(core.len(), oracle.len(), "cap {capacity} step {step}");
+        }
+        assert_eq!(core.blocks_mru_to_lru(), oracle);
+    }
+
+    #[test]
+    fn fastmod_matches_hardware_modulo() {
+        let mut x: u64 = 0x0123_4567_89AB_CDEF;
+        for n in [
+            1u64,
+            2,
+            3,
+            4,
+            5,
+            7,
+            8,
+            12,
+            13,
+            24,
+            63,
+            64,
+            96,
+            1_000_003,
+            u64::MAX,
+        ] {
+            let fm = FastMod::new(n);
+            for edge in [0, 1, n - 1, n, n.wrapping_add(1), u64::MAX - 1, u64::MAX] {
+                assert_eq!(fm.rem(edge), edge % n, "n={n} x={edge}");
+            }
+            for _ in 0..2000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                assert_eq!(fm.rem(x), x % n, "n={n} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_absent_matches_insert_after_miss() {
+        for capacity in [4usize, 100] {
+            let mut a = LruCore::new(capacity);
+            let mut bb = LruCore::new(capacity);
+            let mut x: u64 = 99;
+            for _ in 0..3000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let blk = b(x % (capacity as u64 * 2));
+                let ha = a.access(blk);
+                let hb = bb.access(blk);
+                assert_eq!(ha, hb);
+                if !ha {
+                    assert_eq!(a.insert(blk), bb.insert_absent(blk));
+                }
+            }
+            assert_eq!(a.blocks_mru_to_lru(), bb.blocks_mru_to_lru());
+            assert_eq!(a.stats(), bb.stats());
+        }
+    }
+
+    #[test]
+    fn small_mode_matches_lru_oracle() {
+        oracle_check(8); // bitmask mode
+        oracle_check(64); // bitmask mode, full mask width
+    }
+
+    #[test]
+    fn map_mode_matches_lru_oracle() {
+        oracle_check(65); // smallest hash-map-mode capacity
+        oracle_check(100);
+    }
+
     #[test]
     fn set_assoc_single_set_is_fully_associative() {
         let mut sa = SetAssocCache::new(4, 8); // ways clamped to 4 → 1 set
@@ -539,7 +815,11 @@ mod tests {
     fn set_assoc_consecutive_blocks_spread() {
         let mut sa = SetAssocCache::new(8, 2);
         for i in 0..8 {
-            assert_eq!(sa.insert(b(i)), None, "consecutive blocks must not conflict");
+            assert_eq!(
+                sa.insert(b(i)),
+                None,
+                "consecutive blocks must not conflict"
+            );
         }
         assert_eq!(sa.len(), 8);
     }

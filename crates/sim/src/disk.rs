@@ -7,10 +7,9 @@
 //! which is how PVFS lays out stripe units on each server.
 
 use crate::block::BlockAddr;
-use serde::{Deserialize, Serialize};
 
 /// Disk latency parameters in milliseconds.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DiskModel {
     /// Average seek time.
     pub seek_ms: f64,
@@ -62,11 +61,13 @@ pub const SCHED_WINDOW: usize = 64;
 pub const SKIP_DISTANCE: u64 = 4;
 
 /// Mutable per-disk state: recently served LBAs, used for sequentiality
-/// detection under a scheduling window.
+/// detection under a scheduling window. The window holds at most
+/// [`SCHED_WINDOW`] (= 64) distinct LBAs in first-served order, in a
+/// contiguous vector: one branch-free pass answers both the skip-distance
+/// probe and the residency check cheaper than any hashed set could.
 #[derive(Clone, Debug, Default)]
 pub struct DiskState {
-    recent: std::collections::VecDeque<u64>,
-    recent_set: std::collections::HashSet<u64>,
+    recent: Vec<u64>,
     /// Total reads served.
     pub reads: u64,
     /// Reads that were sequential.
@@ -89,18 +90,26 @@ impl DiskState {
     /// scheduling window.
     pub fn read(&mut self, block: BlockAddr, model: &DiskModel, storage_nodes: usize) -> f64 {
         let lba = Self::lba_of(block, storage_nodes);
-        let sequential = (0..=SKIP_DISTANCE)
-            .any(|d| self.recent_set.contains(&lba.wrapping_sub(d)));
-        if self.recent.len() == SCHED_WINDOW {
-            if let Some(old) = self.recent.pop_front() {
-                self.recent_set.remove(&old);
-            }
+        // One pass, no early exit, so the loop vectorizes:
+        // `lba - x <= SKIP_DISTANCE` (wrapping) covers all skip offsets
+        // 0..=SKIP_DISTANCE, and `d == 0` doubles as the residency check.
+        let mut sequential = false;
+        let mut resident = false;
+        for &x in &self.recent {
+            let d = lba.wrapping_sub(x);
+            sequential |= d <= SKIP_DISTANCE;
+            resident |= d == 0;
         }
-        if self.recent_set.insert(lba) {
-            self.recent.push_back(lba);
-        } else {
-            // Duplicate LBA: keep the set and queue consistent by pushing
-            // anyway only when newly inserted; duplicates refresh nothing.
+        if self.recent.len() == SCHED_WINDOW {
+            let popped = self.recent.remove(0);
+            // The probe above saw the pre-eviction window; the popped LBA
+            // no longer counts for residency (each LBA appears once).
+            resident &= popped != lba;
+        }
+        // Duplicate LBAs refresh nothing: the window holds distinct LBAs
+        // in first-served order.
+        if !resident {
+            self.recent.push(lba);
         }
         self.reads += 1;
         if sequential {

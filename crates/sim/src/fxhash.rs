@@ -1,0 +1,125 @@
+//! A fast, deterministic hasher for the simulator's hot maps.
+//!
+//! The cache cores do a handful of hash-map operations per simulated
+//! block request, and the trace memoizer hashes multi-megabyte layout
+//! tables per lookup; `std`'s SipHash costs more than the rest of the
+//! access path combined. This is the classic Fx multiply-rotate hash
+//! (as used by rustc): not DoS-resistant, which is irrelevant here —
+//! every key is simulator-internal — and fully deterministic, so runs
+//! hash identically across processes.
+//!
+//! Swapping the hasher cannot change any simulated number: the maps are
+//! only consulted by key (`get`/`insert`/`remove`), never iterated, and
+//! eviction order lives in the intrusive recency lists.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Fx multiply-rotate hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of(v: impl Hash) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_ne!(hash_of(42u64), hash_of(43u64));
+        assert_ne!(hash_of((0u32, 1u64)), hash_of((1u32, 0u64)));
+        assert_ne!(hash_of("ab"), hash_of("ba"));
+    }
+
+    #[test]
+    fn byte_stream_matches_word_path() {
+        // 8-byte chunks through `write` equal one `write_u64`.
+        let mut a = FxHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * i);
+        }
+        for i in 0..1000 {
+            assert_eq!(m.get(&i), Some(&(i * i)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+}

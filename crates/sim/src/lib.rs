@@ -24,6 +24,7 @@
 pub mod block;
 pub mod cache;
 pub mod disk;
+pub mod fxhash;
 pub mod policies;
 pub mod sim;
 pub mod stats;
@@ -34,6 +35,7 @@ pub mod trace;
 pub use block::{BlockAddr, FileId};
 pub use cache::LruCore;
 pub use disk::DiskModel;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use policies::karma::KarmaHints;
 pub use policies::PolicyKind;
 pub use sim::{simulate, RunConfig};

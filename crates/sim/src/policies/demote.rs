@@ -127,7 +127,10 @@ mod tests {
             access(&mut upper, &mut lower, b(i));
             // No block may be resident at both layers.
             for blk in upper.blocks_mru_to_lru() {
-                assert!(!lower.contains(blk), "block {blk:?} duplicated across layers");
+                assert!(
+                    !lower.contains(blk),
+                    "block {blk:?} duplicated across layers"
+                );
             }
         }
     }
@@ -152,7 +155,10 @@ mod tests {
         let out = access(&mut upper, &mut lower, b(1)); // hit below
         assert!(matches!(out, DemoteOutcome::LowerHit { .. }));
         assert!(upper.contains(b(1)));
-        assert!(!lower.contains(b(1)), "promoted block must leave the lower cache");
+        assert!(
+            !lower.contains(b(1)),
+            "promoted block must leave the lower cache"
+        );
         assert!(lower.contains(b(2)), "upper victim demoted during promote");
     }
 
@@ -166,11 +172,17 @@ mod tests {
         let trace = [1u64, 2, 3, 1, 2, 3, 1, 2, 3];
         let mut disk_reads = 0;
         for &i in &trace {
-            if matches!(access(&mut upper, &mut lower, b(i)), DemoteOutcome::DiskRead { .. }) {
+            if matches!(
+                access(&mut upper, &mut lower, b(i)),
+                DemoteOutcome::DiskRead { .. }
+            ) {
                 disk_reads += 1;
             }
         }
-        assert_eq!(disk_reads, 3, "only the cold pass should reach disk, got {disk_reads}");
+        assert_eq!(
+            disk_reads, 3,
+            "only the cold pass should reach disk, got {disk_reads}"
+        );
     }
 
     #[test]
@@ -178,6 +190,9 @@ mod tests {
         let mut upper = LruCore::new(2);
         let mut lower = LruCore::new(2);
         access(&mut upper, &mut lower, b(1));
-        assert_eq!(access(&mut upper, &mut lower, b(1)), DemoteOutcome::UpperHit);
+        assert_eq!(
+            access(&mut upper, &mut lower, b(1)),
+            DemoteOutcome::UpperHit
+        );
     }
 }

@@ -22,11 +22,10 @@
 
 use crate::block::FileId;
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One hinted range: a whole file (disk-resident array).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RangeHint {
     /// The file this range covers.
     pub file: FileId,
@@ -46,7 +45,7 @@ impl RangeHint {
 }
 
 /// The application hints handed to KARMA before a run.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KarmaHints {
     /// Per-file ranges (whole-application view, used for the storage
     /// layer's allocation).
@@ -65,7 +64,11 @@ impl KarmaHints {
         KarmaHints {
             ranges: triples
                 .iter()
-                .map(|&(file, num_blocks, accesses)| RangeHint { file, num_blocks, accesses })
+                .map(|&(file, num_blocks, accesses)| RangeHint {
+                    file,
+                    num_blocks,
+                    accesses,
+                })
                 .collect(),
             group_ranges: Vec::new(),
         }
@@ -73,7 +76,7 @@ impl KarmaHints {
 }
 
 /// The cache level a range is assigned to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KarmaLevel {
     /// Cached in the I/O-node caches.
     Io,
@@ -138,8 +141,9 @@ impl KarmaAssignment {
         let mut storage_left = topo.total_storage_cache() as i128;
         let mut level_of_file = HashMap::new();
         for r in &ranges {
-            let everywhere =
-                io_admitted.iter().all(|m| m.get(&r.file).copied().unwrap_or(false));
+            let everywhere = io_admitted
+                .iter()
+                .all(|m| m.get(&r.file).copied().unwrap_or(false));
             if everywhere {
                 level_of_file.insert(r.file, KarmaLevel::Io);
                 continue;
@@ -153,7 +157,10 @@ impl KarmaAssignment {
             };
             level_of_file.insert(r.file, level);
         }
-        KarmaAssignment { io_admitted, level_of_file }
+        KarmaAssignment {
+            io_admitted,
+            level_of_file,
+        }
     }
 
     /// Level of `file` for requests arriving through I/O node `io_idx`.
@@ -169,7 +176,10 @@ impl KarmaAssignment {
             // No allocation installed at all: behave like plain I/O caching.
             return KarmaLevel::Io;
         }
-        self.level_of_file.get(&file).copied().unwrap_or(KarmaLevel::Io)
+        self.level_of_file
+            .get(&file)
+            .copied()
+            .unwrap_or(KarmaLevel::Io)
     }
 
     /// Level assigned to `file` viewed from I/O node 0 (compatibility
@@ -263,8 +273,16 @@ mod tests {
         // Node 0 sees file 0 small (fits); node 1 sees it huge (does not).
         let mut hints = KarmaHints::from_triples(&[(0, 100, 1000)]);
         hints.group_ranges = vec![
-            vec![RangeHint { file: 0, num_blocks: 4, accesses: 1000 }],
-            vec![RangeHint { file: 0, num_blocks: 100, accesses: 1000 }],
+            vec![RangeHint {
+                file: 0,
+                num_blocks: 4,
+                accesses: 1000,
+            }],
+            vec![RangeHint {
+                file: 0,
+                num_blocks: 100,
+                accesses: 1000,
+            }],
         ];
         let asg = KarmaAssignment::allocate(&hints, &topo());
         assert_eq!(asg.level_for(0, 0), KarmaLevel::Io);

@@ -19,10 +19,8 @@ pub mod demote;
 pub mod karma;
 pub mod mq;
 
-use serde::{Deserialize, Serialize};
-
 /// Which hierarchy management scheme the simulated system runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PolicyKind {
     /// Inclusive LRU at both layers (paper default).
     LruInclusive,
@@ -39,7 +37,11 @@ pub enum PolicyKind {
 impl PolicyKind {
     /// The policies of Fig. 7(h), in presentation order.
     pub fn all() -> [PolicyKind; 3] {
-        [PolicyKind::LruInclusive, PolicyKind::Karma, PolicyKind::DemoteLru]
+        [
+            PolicyKind::LruInclusive,
+            PolicyKind::Karma,
+            PolicyKind::DemoteLru,
+        ]
     }
 
     /// All policies including the MQ extension.

@@ -32,7 +32,9 @@ pub struct MqCache {
 }
 
 fn queue_of(freq: u32) -> usize {
-    ((32 - freq.leading_zeros()) as usize).saturating_sub(1).min(NUM_QUEUES - 1)
+    ((32 - freq.leading_zeros()) as usize)
+        .saturating_sub(1)
+        .min(NUM_QUEUES - 1)
 }
 
 impl MqCache {

@@ -3,7 +3,6 @@
 use crate::stats::{LayerStats, SimReport};
 use crate::system::StorageSystem;
 use crate::trace::{JitterInterleaver, ThreadTrace};
-use serde::{Deserialize, Serialize};
 
 /// Per-run parameters of the execution-time model.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// layout (the computation performed by the application does not change
 /// when its files are reorganized); only the I/O stall varies between
 /// layouts.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RunConfig {
     /// CPU time of each thread in milliseconds (the workload crate derives
     /// it from the thread's iteration count and the application's
@@ -21,7 +20,9 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> RunConfig {
-        RunConfig { compute_ms_per_thread: 0.0 }
+        RunConfig {
+            compute_ms_per_thread: 0.0,
+        }
     }
 }
 
@@ -93,7 +94,10 @@ mod tests {
     #[test]
     fn execution_time_is_slowest_thread() {
         let mut sys = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive);
-        let traces = vec![trace(0, 0, &[1]), trace(1, 1, &(10..40).collect::<Vec<_>>())];
+        let traces = vec![
+            trace(0, 0, &[1]),
+            trace(1, 1, &(10..40).collect::<Vec<_>>()),
+        ];
         let cfg = RunConfig::default();
         let report = simulate(&mut sys, &traces, &cfg);
         let t1_total = report.thread_latency_ms[1] + report.thread_compute_ms[1];

@@ -1,10 +1,10 @@
 //! Simulation reports.
 
 use crate::cache::CacheStats;
-use serde::{Deserialize, Serialize};
+use flo_json::Json;
 
 /// Per-layer cache statistics as reported in Tables 2 and 3.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct LayerStats {
     /// I/O-node layer counters.
     pub io: CacheStats,
@@ -13,7 +13,7 @@ pub struct LayerStats {
 }
 
 /// The outcome of one simulated run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimReport {
     /// Per-layer cache counters.
     pub layers: LayerStats,
@@ -57,6 +57,25 @@ impl SimReport {
     pub fn total_io_ms(&self) -> f64 {
         self.thread_latency_ms.iter().sum()
     }
+
+    /// JSON rendering for experiment artifacts.
+    pub fn to_json(&self) -> Json {
+        let layer = |s: &CacheStats| Json::obj().set("accesses", s.accesses).set("hits", s.hits);
+        Json::obj()
+            .set(
+                "layers",
+                Json::obj()
+                    .set("io", layer(&self.layers.io))
+                    .set("storage", layer(&self.layers.storage)),
+            )
+            .set("disk_reads", self.disk_reads)
+            .set("disk_sequential_reads", self.disk_sequential_reads)
+            .set("demotions", self.demotions)
+            .set("thread_latency_ms", self.thread_latency_ms.clone())
+            .set("thread_compute_ms", self.thread_compute_ms.clone())
+            .set("execution_time_ms", self.execution_time_ms)
+            .set("total_requests", self.total_requests)
+    }
 }
 
 #[cfg(test)]
@@ -87,8 +106,17 @@ mod tests {
 
     #[test]
     fn serializes_to_json() {
-        let r = SimReport::default();
-        let json = serde_json::to_string(&r);
-        assert!(json.is_ok());
+        let r = SimReport {
+            disk_reads: 5,
+            execution_time_ms: 1.5,
+            ..SimReport::default()
+        };
+        let json = r.to_json();
+        assert_eq!(json.get("disk_reads").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(
+            json.get("execution_time_ms").and_then(Json::as_f64),
+            Some(1.5)
+        );
+        assert!(flo_json::parse(&json.pretty()).is_ok());
     }
 }

@@ -8,10 +8,9 @@ use crate::policies::karma::{KarmaAssignment, KarmaHints, KarmaLevel};
 use crate::policies::mq::MqCache;
 use crate::policies::PolicyKind;
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 
 /// Latency parameters of the non-disk path, in milliseconds per block.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
     /// Compute node ⇄ I/O node transfer + I/O cache lookup.
     pub io_hit_ms: f64,
@@ -82,9 +81,13 @@ impl StorageSystem {
         let storage_caches = (0..topo.storage_nodes)
             .map(|_| SetAssocCache::new(topo.storage_cache_blocks, ways))
             .collect();
-        let disks = (0..topo.storage_nodes).map(|_| DiskState::default()).collect();
+        let disks = (0..topo.storage_nodes)
+            .map(|_| DiskState::default())
+            .collect();
         let mq_caches = if policy == PolicyKind::MqSecondLevel {
-            (0..topo.storage_nodes).map(|_| MqCache::new(topo.storage_cache_blocks)).collect()
+            (0..topo.storage_nodes)
+                .map(|_| MqCache::new(topo.storage_cache_blocks))
+                .collect()
         } else {
             Vec::new()
         };
@@ -143,22 +146,36 @@ impl StorageSystem {
         self.disks[sc_idx].read(block, &self.disk_model, self.topo.storage_nodes)
     }
 
-    fn access_inclusive(&mut self, io_idx: usize, sc_idx: usize, block: BlockAddr, weight: u32) -> f64 {
+    fn access_inclusive(
+        &mut self,
+        io_idx: usize,
+        sc_idx: usize,
+        block: BlockAddr,
+        weight: u32,
+    ) -> f64 {
         if self.io_caches[io_idx].access_weighted(block, weight) {
             return self.costs.io_hit_ms;
         }
+        // `insert_absent`: the block provably missed the layer it is being
+        // installed into, and nothing touched that layer since.
         if self.storage_caches[sc_idx].access(block) {
-            self.io_caches[io_idx].insert(block);
+            self.io_caches[io_idx].insert_absent(block);
             return self.costs.io_hit_ms + self.costs.storage_hit_ms;
         }
         let disk = self.disk_read(sc_idx, block);
         // Inclusive: the block is installed at both layers.
-        self.storage_caches[sc_idx].insert(block);
-        self.io_caches[io_idx].insert(block);
+        self.storage_caches[sc_idx].insert_absent(block);
+        self.io_caches[io_idx].insert_absent(block);
         self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
     }
 
-    fn access_demote(&mut self, io_idx: usize, sc_idx: usize, block: BlockAddr, weight: u32) -> f64 {
+    fn access_demote(
+        &mut self,
+        io_idx: usize,
+        sc_idx: usize,
+        block: BlockAddr,
+        weight: u32,
+    ) -> f64 {
         let out = demote::access_weighted(
             &mut self.io_caches[io_idx],
             &mut self.storage_caches[sc_idx],
@@ -197,7 +214,7 @@ impl StorageSystem {
                     return self.costs.io_hit_ms;
                 }
                 let disk = self.disk_read(sc_idx, block);
-                self.io_caches[io_idx].insert(block);
+                self.io_caches[io_idx].insert_absent(block);
                 self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
             }
             KarmaLevel::Storage => {
@@ -208,7 +225,7 @@ impl StorageSystem {
                     return self.costs.io_hit_ms + self.costs.storage_hit_ms;
                 }
                 let disk = self.disk_read(sc_idx, block);
-                self.storage_caches[sc_idx].insert(block);
+                self.storage_caches[sc_idx].insert_absent(block);
                 self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
             }
             KarmaLevel::Bypass => {
@@ -225,12 +242,12 @@ impl StorageSystem {
             return self.costs.io_hit_ms;
         }
         if self.mq_caches[sc_idx].access(block) {
-            self.io_caches[io_idx].insert(block);
+            self.io_caches[io_idx].insert_absent(block);
             return self.costs.io_hit_ms + self.costs.storage_hit_ms;
         }
         let disk = self.disk_read(sc_idx, block);
         self.mq_caches[sc_idx].insert(block);
-        self.io_caches[io_idx].insert(block);
+        self.io_caches[io_idx].insert_absent(block);
         self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
     }
 
@@ -344,7 +361,10 @@ mod tests {
         // Block 1 now hits at the storage layer.
         let latency = sys.access(0, b(1));
         let c = tiny_costs();
-        assert!(latency < c.io_hit_ms + c.storage_hit_ms + DiskModel::paper_default().sequential_ms() + 1.0);
+        assert!(
+            latency
+                < c.io_hit_ms + c.storage_hit_ms + DiskModel::paper_default().sequential_ms() + 1.0
+        );
         let (reads, _) = sys.disk_stats();
         assert_eq!(reads, 2, "demoted block must be served from storage cache");
     }

@@ -6,10 +6,9 @@
 //! workload footprints (see DESIGN.md §1, "Scaling substitution").
 
 use crate::block::BlockAddr;
-use serde::{Deserialize, Serialize};
 
 /// Static description of the simulated platform.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Topology {
     /// Number of compute nodes (each runs one application thread in the
     /// default execution).
@@ -92,13 +91,25 @@ impl Topology {
     /// The I/O node serving compute node `c`.
     pub fn io_node_of_compute(&self, c: usize) -> usize {
         assert!(c < self.compute_nodes, "compute node out of range");
-        c / self.compute_per_io()
+        let per = self.compute_per_io();
+        // Fan-ins are powers of two in every paper configuration; a shift
+        // beats a hardware divide on this per-request path.
+        if per.is_power_of_two() {
+            c >> per.trailing_zeros()
+        } else {
+            c / per
+        }
     }
 
     /// The storage node holding `block` (PVFS round-robin striping, stripe
     /// size = block size).
     pub fn storage_node_of_block(&self, block: BlockAddr) -> usize {
-        (block.index % self.storage_nodes as u64) as usize
+        let n = self.storage_nodes as u64;
+        if n.is_power_of_two() {
+            (block.index & (n - 1)) as usize
+        } else {
+            (block.index % n) as usize
+        }
     }
 
     /// Aggregate I/O-layer cache capacity in blocks.

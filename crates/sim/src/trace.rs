@@ -10,6 +10,7 @@
 //! execution-time view.
 
 use crate::block::BlockAddr;
+use std::sync::OnceLock;
 
 /// One coalesced block request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,7 +22,7 @@ pub struct TraceEntry {
 }
 
 /// The block-request stream of one thread.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct ThreadTrace {
     /// Thread id.
     pub thread: usize,
@@ -29,24 +30,52 @@ pub struct ThreadTrace {
     pub compute_node: usize,
     /// Coalesced requests in program order.
     pub entries: Vec<TraceEntry>,
+    /// Lazily computed distinct-block footprint (invalidated on push).
+    distinct: OnceLock<usize>,
 }
+
+impl PartialEq for ThreadTrace {
+    fn eq(&self, other: &ThreadTrace) -> bool {
+        self.thread == other.thread
+            && self.compute_node == other.compute_node
+            && self.entries == other.entries
+    }
+}
+
+impl Eq for ThreadTrace {}
 
 impl ThreadTrace {
     /// Empty trace for `thread` on `compute_node`.
     pub fn new(thread: usize, compute_node: usize) -> ThreadTrace {
-        ThreadTrace { thread, compute_node, entries: Vec::new() }
+        ThreadTrace {
+            thread,
+            compute_node,
+            entries: Vec::new(),
+            distinct: OnceLock::new(),
+        }
     }
 
     /// Record one element access to `block`, coalescing with the previous
     /// request when it targeted the same block.
     pub fn push(&mut self, block: BlockAddr) {
+        self.push_run(block, 1);
+    }
+
+    /// Record `count` consecutive element accesses to `block` at once,
+    /// coalescing with the previous request when it targeted the same
+    /// block. A run is exactly equivalent to `count` successive
+    /// [`push`](ThreadTrace::push) calls — the fast trace generator emits
+    /// whole block runs per innermost loop segment through this.
+    pub fn push_run(&mut self, block: BlockAddr, count: u32) {
+        debug_assert!(count > 0, "push_run: empty run");
+        self.distinct = OnceLock::new();
         if let Some(last) = self.entries.last_mut() {
             if last.block == block {
-                last.count += 1;
+                last.count += count;
                 return;
             }
         }
-        self.entries.push(TraceEntry { block, count: 1 });
+        self.entries.push(TraceEntry { block, count });
     }
 
     /// Number of block requests (transfers).
@@ -65,12 +94,17 @@ impl ThreadTrace {
     }
 
     /// Number of *distinct* blocks touched (the thread's block footprint —
-    /// the quantity the paper's optimization minimizes).
+    /// the quantity the paper's optimization minimizes). Computed on
+    /// first call and cached until the trace is mutated — experiment
+    /// code queries this repeatedly on traces that no longer change, and
+    /// the former sort+dedup per call dominated several figure runs.
     pub fn distinct_blocks(&self) -> usize {
-        let mut set: Vec<BlockAddr> = self.entries.iter().map(|e| e.block).collect();
-        set.sort_unstable();
-        set.dedup();
-        set.len()
+        *self.distinct.get_or_init(|| {
+            let mut set: Vec<BlockAddr> = self.entries.iter().map(|e| e.block).collect();
+            set.sort_unstable();
+            set.dedup();
+            set.len()
+        })
     }
 
     /// Iterate over the requested blocks (ignoring counts).
@@ -93,7 +127,12 @@ impl<'a> Interleaver<'a> {
     /// Start interleaving.
     pub fn new(traces: &'a [ThreadTrace]) -> Interleaver<'a> {
         let remaining = traces.iter().map(ThreadTrace::len).sum();
-        Interleaver { traces, positions: vec![0; traces.len()], current: 0, remaining }
+        Interleaver {
+            traces,
+            positions: vec![0; traces.len()],
+            current: 0,
+            remaining,
+        }
     }
 }
 
@@ -137,7 +176,9 @@ impl<'a> JitterInterleaver<'a> {
     /// Start interleaving with a deterministic seed.
     pub fn new(traces: &'a [ThreadTrace], seed: u64) -> JitterInterleaver<'a> {
         let remaining = traces.iter().map(ThreadTrace::len).sum();
-        let active = (0..traces.len()).filter(|&t| !traces[t].is_empty()).collect();
+        let active = (0..traces.len())
+            .filter(|&t| !traces[t].is_empty())
+            .collect();
         JitterInterleaver {
             traces,
             positions: vec![0; traces.len()],
@@ -196,14 +237,54 @@ mod tests {
         assert_eq!(
             t.entries,
             vec![
-                TraceEntry { block: b(1), count: 2 },
-                TraceEntry { block: b(2), count: 1 },
-                TraceEntry { block: b(1), count: 1 },
+                TraceEntry {
+                    block: b(1),
+                    count: 2
+                },
+                TraceEntry {
+                    block: b(2),
+                    count: 1
+                },
+                TraceEntry {
+                    block: b(1),
+                    count: 1
+                },
             ]
         );
         assert_eq!(t.len(), 3);
         assert_eq!(t.element_accesses(), 4);
         assert_eq!(t.distinct_blocks(), 2);
+    }
+
+    #[test]
+    fn push_run_equals_repeated_push() {
+        let mut runs = ThreadTrace::new(0, 0);
+        runs.push_run(b(1), 3);
+        runs.push_run(b(1), 2);
+        runs.push_run(b(2), 4);
+        runs.push_run(b(1), 1);
+        let mut singles = ThreadTrace::new(0, 0);
+        for i in [1, 1, 1, 1, 1, 2, 2, 2, 2, 1] {
+            singles.push(b(i));
+        }
+        assert_eq!(runs, singles);
+        assert_eq!(runs.element_accesses(), 10);
+    }
+
+    #[test]
+    fn distinct_blocks_cache_invalidates_on_push() {
+        let mut t = ThreadTrace::new(0, 0);
+        t.push(b(1));
+        t.push(b(2));
+        assert_eq!(t.distinct_blocks(), 2);
+        assert_eq!(t.distinct_blocks(), 2, "cached value must be stable");
+        t.push(b(3));
+        assert_eq!(t.distinct_blocks(), 3, "push must invalidate the cache");
+        t.push_run(b(9), 5);
+        assert_eq!(t.distinct_blocks(), 4, "push_run must invalidate the cache");
+        let copy = t.clone();
+        assert_eq!(copy.distinct_blocks(), 4);
+        assert_eq!(copy, t, "equality ignores the cache");
     }
 
     #[test]
@@ -215,8 +296,9 @@ mod tests {
         t1.push(b(10));
         t1.push(b(20));
         let traces = vec![t0, t1];
-        let order: Vec<(usize, BlockAddr)> =
-            Interleaver::new(&traces).map(|(t, e)| (t, e.block)).collect();
+        let order: Vec<(usize, BlockAddr)> = Interleaver::new(&traces)
+            .map(|(t, e)| (t, e.block))
+            .collect();
         assert_eq!(order, vec![(0, b(1)), (1, b(10)), (0, b(2)), (1, b(20))]);
     }
 
@@ -229,8 +311,9 @@ mod tests {
             t1.push(b(10 + i));
         }
         let traces = vec![t0, t1];
-        let order: Vec<(usize, BlockAddr)> =
-            Interleaver::new(&traces).map(|(t, e)| (t, e.block)).collect();
+        let order: Vec<(usize, BlockAddr)> = Interleaver::new(&traces)
+            .map(|(t, e)| (t, e.block))
+            .collect();
         assert_eq!(order.len(), 4);
         assert_eq!(order[0], (0, b(1)));
         assert_eq!(&order[1..], &[(1, b(10)), (1, b(11)), (1, b(12))]);
@@ -255,8 +338,11 @@ mod tests {
         let traces = vec![t0.clone(), t1.clone()];
         let collected: Vec<(usize, TraceEntry)> = Interleaver::new(&traces).collect();
         assert_eq!(collected.len(), 7);
-        let from_t0: Vec<TraceEntry> =
-            collected.iter().filter(|(t, _)| *t == 0).map(|&(_, e)| e).collect();
+        let from_t0: Vec<TraceEntry> = collected
+            .iter()
+            .filter(|(t, _)| *t == 0)
+            .map(|&(_, e)| e)
+            .collect();
         assert_eq!(from_t0, t0.entries);
     }
 
@@ -275,8 +361,11 @@ mod tests {
         assert_eq!(collected.len(), 14);
         // Each thread's own requests keep program order.
         for (idx, trace) in traces.iter().enumerate() {
-            let mine: Vec<TraceEntry> =
-                collected.iter().filter(|(t, _)| *t == idx).map(|&(_, e)| e).collect();
+            let mine: Vec<TraceEntry> = collected
+                .iter()
+                .filter(|(t, _)| *t == idx)
+                .map(|&(_, e)| e)
+                .collect();
             assert_eq!(mine, trace.entries, "thread {idx} reordered");
         }
     }
@@ -311,6 +400,12 @@ mod tests {
         t0.push(b(1));
         let traces = vec![t0];
         let reqs: Vec<TraceEntry> = Interleaver::new(&traces).map(|(_, e)| e).collect();
-        assert_eq!(reqs, vec![TraceEntry { block: b(1), count: 3 }]);
+        assert_eq!(
+            reqs,
+            vec![TraceEntry {
+                block: b(1),
+                count: 3
+            }]
+        );
     }
 }

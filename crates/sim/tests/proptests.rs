@@ -1,69 +1,96 @@
 //! Property-based tests of the storage-cache simulator's invariants.
+//!
+//! Deterministic SplitMix64 case generation replaces `proptest`
+//! (unavailable offline); failures carry a case index for replay.
 
+use flo_linalg::SplitMix64;
 use flo_sim::policies::demote;
 use flo_sim::{BlockAddr, LruCore, PolicyKind, StorageSystem, ThreadTrace, Topology};
-use proptest::prelude::*;
 
-fn block_stream() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..40, 1..200)
+fn block_stream(rng: &mut SplitMix64) -> Vec<u64> {
+    let len = rng.range_usize(1, 199);
+    (0..len).map(|_| rng.below(40)).collect()
 }
 
-proptest! {
-    /// LRU inclusion (stack) property: a larger cache's hits are a
-    /// superset of a smaller one's on any trace.
-    #[test]
-    fn lru_stack_property(stream in block_stream()) {
+/// LRU inclusion (stack) property: a larger cache's hits are a
+/// superset of a smaller one's on any trace.
+#[test]
+fn lru_stack_property() {
+    let mut rng = SplitMix64::new(0x57AC);
+    for case in 0..100 {
+        let stream = block_stream(&mut rng);
         let mut small = LruCore::new(4);
         let mut large = LruCore::new(16);
         for &i in &stream {
             let b = BlockAddr::new(0, i);
             let hs = small.access(b);
             let hl = large.access(b);
-            prop_assert!(!hs || hl, "small hit where large missed at block {i}");
+            assert!(
+                !hs || hl,
+                "case {case}: small hit where large missed at block {i}"
+            );
             small.insert(b);
             large.insert(b);
         }
-        prop_assert!(large.stats().hits >= small.stats().hits);
+        assert!(large.stats().hits >= small.stats().hits, "case {case}");
     }
+}
 
-    /// The LRU cache never exceeds its capacity and never double-counts.
-    #[test]
-    fn lru_capacity_invariant(stream in block_stream(), cap in 1usize..12) {
+/// The LRU cache never exceeds its capacity and never double-counts.
+#[test]
+fn lru_capacity_invariant() {
+    let mut rng = SplitMix64::new(0xCA9);
+    for case in 0..100 {
+        let stream = block_stream(&mut rng);
+        let cap = rng.range_usize(1, 11);
         let mut c = LruCore::new(cap);
         for &i in &stream {
             let b = BlockAddr::new(0, i);
             c.access(b);
             c.insert(b);
-            prop_assert!(c.len() <= cap);
+            assert!(c.len() <= cap, "case {case}");
             let listed = c.blocks_mru_to_lru();
             let mut dedup = listed.clone();
             dedup.sort_unstable();
             dedup.dedup();
-            prop_assert_eq!(dedup.len(), listed.len(), "duplicate resident block");
+            assert_eq!(
+                dedup.len(),
+                listed.len(),
+                "case {case}: duplicate resident block"
+            );
         }
     }
+}
 
-    /// DEMOTE keeps the two layers exclusive on any trace.
-    #[test]
-    fn demote_exclusivity(stream in block_stream()) {
+/// DEMOTE keeps the two layers exclusive on any trace.
+#[test]
+fn demote_exclusivity() {
+    let mut rng = SplitMix64::new(0xDE3);
+    for case in 0..100 {
+        let stream = block_stream(&mut rng);
         let mut upper = LruCore::new(3);
         let mut lower = LruCore::new(5);
         for &i in &stream {
             demote::access(&mut upper, &mut lower, BlockAddr::new(0, i));
             for b in upper.blocks_mru_to_lru() {
-                prop_assert!(!lower.contains(b), "block {b:?} resident at both layers");
+                assert!(
+                    !lower.contains(b),
+                    "case {case}: block {b:?} resident at both layers"
+                );
             }
         }
     }
+}
 
-    /// Any policy on any trace keeps hit counts within access counts, and
-    /// the simulation is deterministic.
-    #[test]
-    fn policies_consistent_and_deterministic(
-        streams in proptest::collection::vec(block_stream(), 1..4),
-        policy_idx in 0usize..3,
-    ) {
-        let policy = PolicyKind::all()[policy_idx];
+/// Any policy on any trace keeps hit counts within access counts, and
+/// the simulation is deterministic.
+#[test]
+fn policies_consistent_and_deterministic() {
+    let mut rng = SplitMix64::new(0x9071C7);
+    for case in 0..40 {
+        let n_streams = rng.range_usize(1, 3);
+        let streams: Vec<Vec<u64>> = (0..n_streams).map(|_| block_stream(&mut rng)).collect();
+        let policy = PolicyKind::all()[rng.range_usize(0, 2)];
         let topo = Topology::tiny();
         let traces: Vec<ThreadTrace> = streams
             .iter()
@@ -82,24 +109,36 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert!(a.layers.io.hits <= a.layers.io.accesses);
-        prop_assert!(a.layers.storage.hits <= a.layers.storage.accesses);
-        prop_assert!(a.disk_sequential_reads <= a.disk_reads);
-        prop_assert_eq!(a.execution_time_ms, b.execution_time_ms);
-        prop_assert_eq!(a.disk_reads, b.disk_reads);
+        assert!(a.layers.io.hits <= a.layers.io.accesses, "case {case}");
+        assert!(
+            a.layers.storage.hits <= a.layers.storage.accesses,
+            "case {case}"
+        );
+        assert!(a.disk_sequential_reads <= a.disk_reads, "case {case}");
+        assert_eq!(a.execution_time_ms, b.execution_time_ms, "case {case}");
+        assert_eq!(a.disk_reads, b.disk_reads, "case {case}");
         // Every block request reaches the I/O layer exactly once (weighted
         // by coalesced element counts).
         let elements: u64 = traces.iter().map(|t| t.element_accesses()).sum();
-        prop_assert_eq!(a.layers.io.accesses, elements);
+        assert_eq!(a.layers.io.accesses, elements, "case {case}");
     }
+}
 
-    /// Striping never routes a block outside the storage nodes and is
-    /// deterministic per address.
-    #[test]
-    fn striping_is_total(file in 0u32..4, index in 0u64..10_000) {
-        let topo = Topology::paper_default();
+/// Striping never routes a block outside the storage nodes and is
+/// deterministic per address.
+#[test]
+fn striping_is_total() {
+    let mut rng = SplitMix64::new(0x57819E);
+    let topo = Topology::paper_default();
+    for case in 0..500 {
+        let file = rng.below(4) as u32;
+        let index = rng.below(10_000);
         let node = topo.storage_node_of_block(BlockAddr::new(file, index));
-        prop_assert!(node < topo.storage_nodes);
-        prop_assert_eq!(node, topo.storage_node_of_block(BlockAddr::new(file, index)));
+        assert!(node < topo.storage_nodes, "case {case}");
+        assert_eq!(
+            node,
+            topo.storage_node_of_block(BlockAddr::new(file, index)),
+            "case {case}"
+        );
     }
 }

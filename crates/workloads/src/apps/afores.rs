@@ -13,8 +13,9 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let n = scale.xy() * 3 / 2;
     let mut b = ProgramBuilder::new();
-    let species: Vec<_> =
-        (0..3).map(|k| b.array(&format!("species{k}"), &[n, n])).collect();
+    let species: Vec<_> = (0..3)
+        .map(|k| b.array(&format!("species{k}"), &[n, n]))
+        .collect();
     let t: &[&[i64]] = &[&[0, 1], &[1, 0]];
     for _ in 0..3 {
         for &a in &species {
@@ -46,7 +47,11 @@ mod tests {
     #[test]
     fn arrays_are_largest_of_2d_suite() {
         let small = build(Scale::Small);
-        let extent = small.program.array(flo_polyhedral::ArrayId(0)).space.extent(0);
+        let extent = small
+            .program
+            .array(flo_polyhedral::ArrayId(0))
+            .space
+            .extent(0);
         assert_eq!(extent, Scale::Small.xy() * 3 / 2);
     }
 }

@@ -15,8 +15,9 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let z = scale.z();
     let mut b = ProgramBuilder::new();
-    let arrays: Vec<_> =
-        (0..6).map(|k| b.array(&format!("rsd{k}"), &[3 * z - 2, z, z])).collect();
+    let arrays: Vec<_> = (0..6)
+        .map(|k| b.array(&format!("rsd{k}"), &[3 * z - 2, z, z]))
+        .collect();
     let flux = b.array("flux", &[z, z]);
     // Wavefront-staged access: a = (i1 + i2 + i3, i2, i3), where i1 is the
     // parallelized wavefront loop.
@@ -26,7 +27,9 @@ pub fn build(scale: Scale) -> Workload {
             b.nest(&[z, z, z]).read(a, wave).write(a, wave).done();
         }
         // Flux coefficients indexed by the non-parallel loops.
-        b.nest(&[z, z, z]).read(flux, &[&[0, 1, 0], &[0, 0, 1]]).done();
+        b.nest(&[z, z, z])
+            .read(flux, &[&[0, 1, 0], &[0, 0, 1]])
+            .done();
     }
     Workload {
         name: "applu",
@@ -62,7 +65,10 @@ mod tests {
         };
         // d ∝ (1, −1, −1): a genuinely skewed hyperplane — no dimension
         // permutation isolates it.
-        assert_eq!(p.d_row.iter().map(|x| x.abs()).collect::<Vec<_>>(), vec![1, 1, 1]);
+        assert_eq!(
+            p.d_row.iter().map(|x| x.abs()).collect::<Vec<_>>(),
+            vec![1, 1, 1]
+        );
         assert_eq!(p.satisfied_weight_fraction, 1.0);
     }
 }

@@ -15,8 +15,12 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let n = scale.xy();
     let mut b = ProgramBuilder::new();
-    let grids: Vec<_> = (0..3).map(|k| b.array(&format!("grid{k}"), &[n, n])).collect();
-    let hists: Vec<_> = (0..2).map(|k| b.array(&format!("hist{k}"), &[n, n])).collect();
+    let grids: Vec<_> = (0..3)
+        .map(|k| b.array(&format!("grid{k}"), &[n, n]))
+        .collect();
+    let hists: Vec<_> = (0..2)
+        .map(|k| b.array(&format!("hist{k}"), &[n, n]))
+        .collect();
     let bins = b.array("bins", &[n]);
     for _ in 0..2 {
         // Grid arrays: pure column sweeps — the layout pass fixes these.
@@ -26,7 +30,10 @@ pub fn build(scale: Scale) -> Workload {
         // Histogram arrays: conflicting row and column passes, plus a
         // shared bin table indexed by the inner loop.
         for &a in &hists {
-            b.nest(&[n, n]).read(a, &[&[1, 0], &[0, 1]]).read(bins, &[&[0, 1]]).done();
+            b.nest(&[n, n])
+                .read(a, &[&[1, 0], &[0, 1]])
+                .read(bins, &[&[0, 1]])
+                .done();
             b.nest(&[n, n]).read(a, &[&[0, 1], &[1, 0]]).done();
         }
     }

@@ -15,19 +15,29 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let z = scale.z();
     let mut b = ProgramBuilder::new();
-    let xs: Vec<_> = (0..3).map(|k| b.array(&format!("xsweep{k}"), &[z, z, z])).collect();
-    let ys: Vec<_> = (0..3).map(|k| b.array(&format!("ysweep{k}"), &[z, z, z])).collect();
-    let coeff: Vec<_> = (0..2).map(|k| b.array(&format!("coeff{k}"), &[z, z])).collect();
+    let xs: Vec<_> = (0..3)
+        .map(|k| b.array(&format!("xsweep{k}"), &[z, z, z]))
+        .collect();
+    let ys: Vec<_> = (0..3)
+        .map(|k| b.array(&format!("ysweep{k}"), &[z, z, z]))
+        .collect();
+    let coeff: Vec<_> = (0..2)
+        .map(|k| b.array(&format!("coeff{k}"), &[z, z]))
+        .collect();
     for _ in 0..2 {
         // x-direction solve: identity accesses.
         for &a in &xs {
-            b.nest(&[z, z, z]).read(a, &[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]).done();
+            b.nest(&[z, z, z])
+                .read(a, &[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])
+                .done();
         }
         // y-direction solve: first array dimension indexed by the middle
         // loop → scattered under row-major, fixed by the inter-node
         // layout (d = (0, 1, 0)).
         for &a in &ys {
-            b.nest(&[z, z, z]).read(a, &[&[0, 1, 0], &[1, 0, 0], &[0, 0, 1]]).done();
+            b.nest(&[z, z, z])
+                .read(a, &[&[0, 1, 0], &[1, 0, 0], &[0, 0, 1]])
+                .done();
         }
         // Solver coefficients indexed by the non-parallel loops — shared
         // by every thread, hence not partitionable (kept row-major).

@@ -14,8 +14,12 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let n = scale.xy() * 3 / 4;
     let mut b = ProgramBuilder::new();
-    let pairs: Vec<_> = (0..3).map(|k| b.array(&format!("pair{k}"), &[n, n])).collect();
-    let seqs: Vec<_> = (0..3).map(|k| b.array(&format!("seq{k}"), &[n, n])).collect();
+    let pairs: Vec<_> = (0..3)
+        .map(|k| b.array(&format!("pair{k}"), &[n, n]))
+        .collect();
+    let seqs: Vec<_> = (0..3)
+        .map(|k| b.array(&format!("seq{k}"), &[n, n]))
+        .collect();
     let lookup = b.array("lookup", &[n]);
     for _ in 0..2 {
         // Pair matrices are filled column-wise (transposed accesses).

@@ -12,7 +12,9 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let n = scale.xy();
     let mut b = ProgramBuilder::new();
-    let fields: Vec<_> = (0..4).map(|k| b.array(&format!("field{k}"), &[n, n])).collect();
+    let fields: Vec<_> = (0..4)
+        .map(|k| b.array(&format!("field{k}"), &[n, n]))
+        .collect();
     for _ in 0..2 {
         for &a in &fields {
             // Two column-marching passes …

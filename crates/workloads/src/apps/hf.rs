@@ -15,8 +15,12 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let n = scale.xy();
     let mut b = ProgramBuilder::new();
-    let eri: Vec<_> = (0..2).map(|k| b.array(&format!("eri{k}"), &[2 * n, n])).collect();
-    let dens: Vec<_> = (0..1).map(|k| b.array(&format!("density{k}"), &[n, n])).collect();
+    let eri: Vec<_> = (0..2)
+        .map(|k| b.array(&format!("eri{k}"), &[2 * n, n]))
+        .collect();
+    let dens: Vec<_> = (0..1)
+        .map(|k| b.array(&format!("density{k}"), &[n, n]))
+        .collect();
     let basis = b.array("basis", &[n]);
     let t: &[&[i64]] = &[&[0, 1], &[1, 0]];
     for _ in 0..3 {
@@ -27,7 +31,11 @@ pub fn build(scale: Scale) -> Workload {
         // Density updates, transposed, consulting the inner-indexed
         // basis-set table.
         for &a in &dens {
-            b.nest(&[n, n]).read(a, t).read(basis, &[&[0, 1]]).write(a, t).done();
+            b.nest(&[n, n])
+                .read(a, t)
+                .read(basis, &[&[0, 1]])
+                .write(a, t)
+                .done();
         }
     }
     Workload {
@@ -63,6 +71,9 @@ mod tests {
             panic!("eri must optimize");
         };
         // d ∝ (1, −1): skewed, not a reindexing.
-        assert_eq!(p.d_row.iter().map(|x| x.abs()).collect::<Vec<_>>(), vec![1, 1]);
+        assert_eq!(
+            p.d_row.iter().map(|x| x.abs()).collect::<Vec<_>>(),
+            vec![1, 1]
+        );
     }
 }

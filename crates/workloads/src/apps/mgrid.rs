@@ -14,8 +14,12 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let z = scale.z();
     let mut b = ProgramBuilder::new();
-    let fine: Vec<_> = (0..3).map(|k| b.array(&format!("fine{k}"), &[2 * z, z, z])).collect();
-    let coarse: Vec<_> = (0..1).map(|k| b.array(&format!("coarse{k}"), &[z, z, z])).collect();
+    let fine: Vec<_> = (0..3)
+        .map(|k| b.array(&format!("fine{k}"), &[2 * z, z, z]))
+        .collect();
+    let coarse: Vec<_> = (0..1)
+        .map(|k| b.array(&format!("coarse{k}"), &[z, z, z]))
+        .collect();
     let interp = b.array("interp", &[z, z]);
     for _ in 0..2 {
         // Restriction: fine[2·i1, i3, i2] → coarse[i1, i2, i3]. The fine
@@ -29,7 +33,9 @@ pub fn build(scale: Scale) -> Workload {
         }
         // Interpolation coefficients indexed by the non-parallel loops:
         // shared by all threads, not partitionable.
-        b.nest(&[z, z, z]).read(interp, &[&[0, 1, 0], &[0, 0, 1]]).done();
+        b.nest(&[z, z, z])
+            .read(interp, &[&[0, 1, 0], &[0, 0, 1]])
+            .done();
         // Smoothing on the fine grids, in the same transposed order, with
         // neighbour offsets.
         for &f in &fine {
@@ -76,6 +82,9 @@ mod tests {
             panic!("fine grids must optimize");
         };
         assert_eq!(p.d_row, vec![1, 0, 0]);
-        assert_eq!(p.satisfied_weight_fraction, 1.0, "stride and identity are compatible");
+        assert_eq!(
+            p.satisfied_weight_fraction, 1.0,
+            "stride and identity are compatible"
+        );
     }
 }

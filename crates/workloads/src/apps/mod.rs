@@ -49,7 +49,11 @@ mod suite_tests {
                 total += 1;
             }
             if w.name == "s3asim" {
-                assert_eq!(app_opt, w.array_count(), "all of s3asim's arrays must optimize");
+                assert_eq!(
+                    app_opt,
+                    w.array_count(),
+                    "all of s3asim's arrays must optimize"
+                );
             }
         }
         let frac = optimized as f64 / total as f64;

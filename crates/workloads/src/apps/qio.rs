@@ -13,13 +13,19 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let n = scale.xy();
     let mut b = ProgramBuilder::new();
-    let recs: Vec<_> = (0..3).map(|k| b.array(&format!("records{k}"), &[n, n])).collect();
+    let recs: Vec<_> = (0..3)
+        .map(|k| b.array(&format!("records{k}"), &[n, n]))
+        .collect();
     let index = b.array("index", &[n]);
     let out = b.array("results", &[n, n]);
     let t: &[&[i64]] = &[&[0, 1], &[1, 0]];
     for _ in 0..4 {
         for &a in &recs {
-            b.nest(&[n, n]).read(a, t).read(index, &[&[0, 1]]).write(out, t).done();
+            b.nest(&[n, n])
+                .read(a, t)
+                .read(index, &[&[0, 1]])
+                .write(out, t)
+                .done();
         }
     }
     Workload {

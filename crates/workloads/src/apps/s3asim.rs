@@ -14,7 +14,9 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let n = scale.xy() / 4;
     let mut b = ProgramBuilder::new();
-    let db: Vec<_> = (0..4).map(|k| b.array(&format!("dbfrag{k}"), &[n, n])).collect();
+    let db: Vec<_> = (0..4)
+        .map(|k| b.array(&format!("dbfrag{k}"), &[n, n]))
+        .collect();
     let score = b.array("score", &[n, n]);
     let result = b.array("result", &[n, n]);
     // Ten query batches: stream the database fragments in row order,

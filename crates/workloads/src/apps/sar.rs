@@ -15,10 +15,15 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let n = scale.xy();
     let mut b = ProgramBuilder::new();
-    let echo: Vec<_> = (0..2).map(|k| b.array(&format!("echo{k}"), &[2 * n, n])).collect();
-    let image: Vec<_> = (0..2).map(|k| b.array(&format!("image{k}"), &[n, n])).collect();
-    let scratch: Vec<_> =
-        (0..1).map(|k| b.array(&format!("scratch{k}"), &[n / 2, n / 2])).collect();
+    let echo: Vec<_> = (0..2)
+        .map(|k| b.array(&format!("echo{k}"), &[2 * n, n]))
+        .collect();
+    let image: Vec<_> = (0..2)
+        .map(|k| b.array(&format!("image{k}"), &[n, n]))
+        .collect();
+    let scratch: Vec<_> = (0..1)
+        .map(|k| b.array(&format!("scratch{k}"), &[n / 2, n / 2]))
+        .collect();
     let window = b.array("window", &[n]);
     let t: &[&[i64]] = &[&[0, 1], &[1, 0]];
     let id: &[&[i64]] = &[&[1, 0], &[0, 1]];

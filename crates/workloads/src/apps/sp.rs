@@ -14,9 +14,13 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let z = scale.z();
     let mut b = ProgramBuilder::new();
-    let zs: Vec<_> = (0..5).map(|k| b.array(&format!("zsweep{k}"), &[z, z, z])).collect();
+    let zs: Vec<_> = (0..5)
+        .map(|k| b.array(&format!("zsweep{k}"), &[z, z, z]))
+        .collect();
     let smooth = b.array("smooth", &[z, z]);
-    let ys: Vec<_> = (0..3).map(|k| b.array(&format!("ysweep{k}"), &[z, z, z])).collect();
+    let ys: Vec<_> = (0..3)
+        .map(|k| b.array(&format!("ysweep{k}"), &[z, z, z]))
+        .collect();
     // The z-solve arrays are swept in two directions per pseudo-time step
     // (a = (i3, i2, i1), then a = (i2, i3, i1)); both orders share the
     // partition d = (0, 0, 1), so the inter-node layout serves both while
@@ -33,7 +37,9 @@ pub fn build(scale: Scale) -> Workload {
             b.nest(&[z, z, z]).read(a, yrot).write(a, yrot).done();
         }
         // Fourth-order smoothing coefficients, inner-indexed.
-        b.nest(&[z, z, z]).read(smooth, &[&[0, 1, 0], &[0, 0, 1]]).done();
+        b.nest(&[z, z, z])
+            .read(smooth, &[&[0, 1, 0], &[0, 0, 1]])
+            .done();
     }
     Workload {
         name: "sp",

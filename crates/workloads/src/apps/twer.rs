@@ -20,10 +20,12 @@ use flo_polyhedral::ProgramBuilder;
 pub fn build(scale: Scale) -> Workload {
     let n = scale.xy();
     let mut b = ProgramBuilder::new();
-    let strips: Vec<_> =
-        (0..12).map(|k| b.array(&format!("state{k}"), &[n, n])).collect();
-    let conflict: Vec<_> =
-        (12..17).map(|k| b.array(&format!("state{k}"), &[n / 2, n / 2])).collect();
+    let strips: Vec<_> = (0..12)
+        .map(|k| b.array(&format!("state{k}"), &[n, n]))
+        .collect();
+    let conflict: Vec<_> = (12..17)
+        .map(|k| b.array(&format!("state{k}"), &[n / 2, n / 2]))
+        .collect();
     let row: &[&[i64]] = &[&[1, 0], &[0, 1]];
     let col: &[&[i64]] = &[&[0, 1], &[1, 0]];
     // Ghost strip: a = (i2, i3) — independent of the parallel loop i1;
@@ -73,7 +75,10 @@ mod tests {
         let w = build(Scale::Small);
         for idx in 0..12 {
             let out = partition_array(&constraints_of(&w, idx));
-            assert!(!out.is_optimized(), "state{idx} must not optimize (strip dominates)");
+            assert!(
+                !out.is_optimized(),
+                "state{idx} must not optimize (strip dominates)"
+            );
         }
     }
 

@@ -16,8 +16,12 @@ pub fn build(scale: Scale) -> Workload {
     let n = scale.xy();
     let mut b = ProgramBuilder::new();
     // Diagonal-access arrays need extent 2n−1 along dim 0.
-    let gauge: Vec<_> = (0..2).map(|k| b.array(&format!("gauge{k}"), &[2 * n, n])).collect();
-    let vecs: Vec<_> = (0..2).map(|k| b.array(&format!("vec{k}"), &[n, n])).collect();
+    let gauge: Vec<_> = (0..2)
+        .map(|k| b.array(&format!("gauge{k}"), &[2 * n, n]))
+        .collect();
+    let vecs: Vec<_> = (0..2)
+        .map(|k| b.array(&format!("vec{k}"), &[n, n]))
+        .collect();
     let res = b.array("residual", &[2 * n, n]);
     for _ in 0..2 {
         // Skewed sweeps over the gauge fields: a = (i1 + i2, i2).
@@ -65,7 +69,10 @@ mod tests {
             PartitionOutcome::Optimized(p) => {
                 // d = ±(1, −1): a genuinely skewed hyperplane, not
                 // expressible as any dimension reindexing.
-                assert_eq!(p.d_row.iter().map(|x| x.abs()).collect::<Vec<_>>(), vec![1, 1]);
+                assert_eq!(
+                    p.d_row.iter().map(|x| x.abs()).collect::<Vec<_>>(),
+                    vec![1, 1]
+                );
                 assert_ne!(p.d_row[0].signum(), p.d_row[1].signum());
             }
             other => panic!("gauge must optimize: {other:?}"),

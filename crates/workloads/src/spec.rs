@@ -55,7 +55,9 @@ impl Workload {
     /// threads.
     pub fn run_config(&self, threads: usize) -> RunConfig {
         let per_thread = self.program.total_accesses() as f64 / threads as f64;
-        RunConfig { compute_ms_per_thread: per_thread * self.compute_ms_per_elem }
+        RunConfig {
+            compute_ms_per_thread: per_thread * self.compute_ms_per_elem,
+        }
     }
 
     /// Number of disk-resident arrays.
@@ -66,8 +68,8 @@ impl Workload {
 
 /// Application names in Table 2 order.
 pub const PAPER_ORDER: [&str; 16] = [
-    "cc-ver-1", "s3asim", "twer", "bt", "cc-ver-2", "astro", "wupwise", "contour", "mgrid",
-    "swim", "afores", "sar", "hf", "qio", "applu", "sp",
+    "cc-ver-1", "s3asim", "twer", "bt", "cc-ver-2", "astro", "wupwise", "contour", "mgrid", "swim",
+    "afores", "sar", "hf", "qio", "applu", "sp",
 ];
 
 /// Build the whole suite at the given scale, in Table 2 order.

@@ -47,7 +47,10 @@ fn main() {
                 d,
                 (report.satisfied_weight_fraction * 100.0) as u32
             ),
-            None => println!("  array {:<2}: kept row-major (not partitionable)", report.name),
+            None => println!(
+                "  array {:<2}: kept row-major (not partitionable)",
+                report.name
+            ),
         }
     }
 

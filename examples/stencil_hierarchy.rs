@@ -35,13 +35,23 @@ fn main() {
     let program = stencil_program(256);
     // Hierarchies: the paper default, a flatter one, and a deeper share.
     let topologies = [
-        ("64 compute / 16 I/O / 4 storage (paper)", Topology::paper_default()),
-        ("64 compute /  8 I/O / 2 storage (more sharing)",
-            Topology::paper_default().with_node_counts(64, 8, 2)),
-        ("64 compute / 32 I/O / 8 storage (less sharing)",
-            Topology::paper_default().with_node_counts(64, 32, 8)),
+        (
+            "64 compute / 16 I/O / 4 storage (paper)",
+            Topology::paper_default(),
+        ),
+        (
+            "64 compute /  8 I/O / 2 storage (more sharing)",
+            Topology::paper_default().with_node_counts(64, 8, 2),
+        ),
+        (
+            "64 compute / 32 I/O / 8 storage (less sharing)",
+            Topology::paper_default().with_node_counts(64, 32, 8),
+        ),
     ];
-    println!("{:<48} {:>10} {:>10} {:>8}", "hierarchy", "stall_def", "stall_opt", "gain");
+    println!(
+        "{:<48} {:>10} {:>10} {:>8}",
+        "hierarchy", "stall_def", "stall_opt", "gain"
+    );
     for (name, topo) in topologies {
         let opts = PassOptions::default_for(&topo);
         let plan = run_layout_pass(&program, &topo, &opts);

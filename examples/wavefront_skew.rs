@@ -34,7 +34,10 @@ fn main() {
     let mut opts = PassOptions::default_for(&topo);
     opts.parallel = cfg.clone();
     let plan = run_layout_pass(&program, &topo, &opts);
-    let d = plan.reports[0].d_row.as_ref().expect("wavefront must optimize");
+    let d = plan.reports[0]
+        .d_row
+        .as_ref()
+        .expect("wavefront must optimize");
     println!("Step I partitioning row: d = {d:?}  (skewed — not a permutation)");
 
     // The reindexing baseline exhaustively profiles all 6 permutations.
@@ -55,7 +58,10 @@ fn main() {
     let perm = run(&reindexed.layouts);
     let inter = run(&plan.layouts);
     println!();
-    println!("{:<22} {:>12} {:>12} {:>10}", "layout", "I/O stall", "disk reads", "io miss%");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "layout", "I/O stall", "disk reads", "io miss%"
+    );
     for (name, r) in [
         ("row-major (default)", &base),
         ("best reindexing [27]", &perm),

@@ -33,7 +33,12 @@ fn pass_layouts_are_injective_for_every_app() {
                 offs.sort_unstable();
                 let before = offs.len();
                 offs.dedup();
-                assert_eq!(offs.len(), before, "{}: array {k} layout not injective", w.name);
+                assert_eq!(
+                    offs.len(),
+                    before,
+                    "{}: array {k} layout not injective",
+                    w.name
+                );
                 assert!(
                     h.file_elems > *offs.last().unwrap(),
                     "{}: array {k} file extent wrong",
@@ -58,7 +63,12 @@ fn layouts_preserve_element_access_counts() {
         let count = |traces: &[flo::sim::ThreadTrace]| -> u64 {
             traces.iter().map(|t| t.element_accesses()).sum()
         };
-        assert_eq!(count(&def), count(&opt), "{}: element accesses changed", w.name);
+        assert_eq!(
+            count(&def),
+            count(&opt),
+            "{}: element accesses changed",
+            w.name
+        );
     }
 }
 
@@ -73,7 +83,10 @@ fn footprints_never_grow() {
             &generate_traces(&w.program, &cfg, &default_layouts(&w.program), &topo),
             &topo,
         );
-        let opt = footprint(&generate_traces(&w.program, &cfg, &plan.layouts, &topo), &topo);
+        let opt = footprint(
+            &generate_traces(&w.program, &cfg, &plan.layouts, &topo),
+            &topo,
+        );
         // Allow a tiny block-rounding slack (unaligned thread shares may
         // straddle one extra block per thread per array).
         let slack = 1 + w.array_count();
@@ -138,8 +151,16 @@ fn both_layers_never_meaningfully_worse() {
         let both = stall(TargetLayers::Both);
         let io_only = stall(TargetLayers::IoOnly);
         let sc_only = stall(TargetLayers::StorageOnly);
-        assert!(both <= io_only * 1.10, "{}: both {both} vs io-only {io_only}", w.name);
-        assert!(both <= sc_only * 1.10, "{}: both {both} vs storage-only {sc_only}", w.name);
+        assert!(
+            both <= io_only * 1.10,
+            "{}: both {both} vs io-only {io_only}",
+            w.name
+        );
+        assert!(
+            both <= sc_only * 1.10,
+            "{}: both {both} vs storage-only {sc_only}",
+            w.name
+        );
     }
 }
 

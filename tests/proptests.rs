@@ -1,12 +1,15 @@
 //! Property-based integration tests over randomly generated affine
 //! programs: the compiler pass must produce valid, injective layouts and
 //! consistent traces for *any* well-formed input, not just the suite.
+//!
+//! Deterministic SplitMix64 case generation replaces `proptest`
+//! (unavailable offline); failures carry a case index for replay.
 
 use flo::core::tracegen::{default_layouts, generate_traces};
 use flo::core::{run_layout_pass, FileLayout, ParallelConfig, PassOptions, TargetLayers};
+use flo::linalg::SplitMix64;
 use flo::polyhedral::{Program, ProgramBuilder};
 use flo::sim::Topology;
-use proptest::prelude::*;
 
 fn tiny_topology() -> Topology {
     let mut t = Topology::tiny();
@@ -14,65 +17,64 @@ fn tiny_topology() -> Topology {
     t
 }
 
-/// A random small 2-D access matrix from a library of realistic patterns
-/// (identity, transpose, skew, stride, inner-only).
-fn access_pattern() -> impl Strategy<Value = (Vec<Vec<i64>>, &'static str)> {
-    prop_oneof![
-        Just((vec![vec![1, 0], vec![0, 1]], "identity")),
-        Just((vec![vec![0, 1], vec![1, 0]], "transpose")),
-        Just((vec![vec![1, 1], vec![0, 1]], "skew")),
-        Just((vec![vec![2, 0], vec![0, 1]], "stride")),
-        Just((vec![vec![0, 1], vec![0, 1]], "inner-only")),
-    ]
-}
+/// A library of realistic 2-D access patterns (identity, transpose, skew,
+/// stride, inner-only).
+const PATTERNS: [[[i64; 2]; 2]; 5] = [
+    [[1, 0], [0, 1]], // identity
+    [[0, 1], [1, 0]], // transpose
+    [[1, 1], [0, 1]], // skew
+    [[2, 0], [0, 1]], // stride
+    [[0, 1], [0, 1]], // inner-only
+];
 
 /// A random program: 1–3 arrays, 1–4 nests, random patterns.
-fn program() -> impl Strategy<Value = Program> {
-    (
-        1usize..=3,
-        proptest::collection::vec((0usize..3, access_pattern()), 1..=4),
-        8i64..=20,
-    )
-        .prop_map(|(num_arrays, nests, n)| {
-            let mut b = ProgramBuilder::new();
-            // Skewed accesses need the first extent to cover i1 + i2.
-            let arrays: Vec<_> = (0..num_arrays)
-                .map(|k| b.array(&format!("A{k}"), &[2 * n, n]))
-                .collect();
-            for (which, (rows, _)) in nests {
-                let a = arrays[which % arrays.len()];
-                let q: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
-                b.nest(&[n, n]).read(a, &q).done();
-            }
-            b.build()
-        })
+fn random_program(rng: &mut SplitMix64) -> Program {
+    let num_arrays = rng.range_usize(1, 3);
+    let num_nests = rng.range_usize(1, 4);
+    let n = rng.range_i64(8, 20);
+    let mut b = ProgramBuilder::new();
+    // Skewed accesses need the first extent to cover i1 + i2.
+    let arrays: Vec<_> = (0..num_arrays)
+        .map(|k| b.array(&format!("A{k}"), &[2 * n, n]))
+        .collect();
+    for _ in 0..num_nests {
+        let a = arrays[rng.range_usize(0, 2) % arrays.len()];
+        let rows = PATTERNS[rng.range_usize(0, PATTERNS.len() - 1)];
+        let q: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        b.nest(&[n, n]).read(a, &q).done();
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Hierarchical layouts are injective and within the file extent for
-    /// any generated program.
-    #[test]
-    fn random_programs_get_valid_layouts(program in program()) {
+/// Hierarchical layouts are injective and within the file extent for
+/// any generated program.
+#[test]
+fn random_programs_get_valid_layouts() {
+    let mut rng = SplitMix64::new(0x1A1);
+    for case in 0..48 {
+        let program = random_program(&mut rng);
         let topo = tiny_topology();
         let plan = run_layout_pass(&program, &topo, &PassOptions::default_for(&topo));
-        prop_assert_eq!(plan.layouts.len(), program.arrays().len());
+        assert_eq!(plan.layouts.len(), program.arrays().len(), "case {case}");
         for layout in &plan.layouts {
             if let FileLayout::Hierarchical(h) = layout {
                 let mut offs = h.table.clone();
                 offs.sort_unstable();
                 let len = offs.len();
                 offs.dedup();
-                prop_assert_eq!(offs.len(), len, "layout must be injective");
-                prop_assert!(h.file_elems > *offs.last().unwrap());
+                assert_eq!(offs.len(), len, "case {case}: layout must be injective");
+                assert!(h.file_elems > *offs.last().unwrap(), "case {case}");
             }
         }
     }
+}
 
-    /// Optimized traces preserve the dynamic element-access count.
-    #[test]
-    fn random_programs_preserve_access_counts(program in program()) {
+/// Optimized traces preserve the dynamic element-access count.
+#[test]
+fn random_programs_preserve_access_counts() {
+    let mut rng = SplitMix64::new(0x2B2);
+    for case in 0..48 {
+        let program = random_program(&mut rng);
         let topo = tiny_topology();
         let cfg = ParallelConfig::default_for(topo.compute_nodes);
         let plan = run_layout_pass(&program, &topo, &PassOptions::default_for(&topo));
@@ -81,34 +83,42 @@ proptest! {
         let count = |traces: &[flo::sim::ThreadTrace]| -> u64 {
             traces.iter().map(|t| t.element_accesses()).sum()
         };
-        prop_assert_eq!(count(&def), count(&opt));
+        assert_eq!(count(&def), count(&opt), "case {case}");
     }
+}
 
-    /// The pass is deterministic for any input.
-    #[test]
-    fn random_programs_pass_deterministically(program in program()) {
+/// The pass is deterministic for any input.
+#[test]
+fn random_programs_pass_deterministically() {
+    let mut rng = SplitMix64::new(0x3C3);
+    for case in 0..48 {
+        let program = random_program(&mut rng);
         let topo = tiny_topology();
         let a = run_layout_pass(&program, &topo, &PassOptions::default_for(&topo));
         let b = run_layout_pass(&program, &topo, &PassOptions::default_for(&topo));
         for (la, lb) in a.layouts.iter().zip(&b.layouts) {
             match (la, lb) {
                 (FileLayout::Hierarchical(x), FileLayout::Hierarchical(y)) => {
-                    prop_assert_eq!(&x.table, &y.table);
+                    assert_eq!(&x.table, &y.table, "case {case}");
                 }
                 (FileLayout::RowMajor, FileLayout::RowMajor) => {}
-                other => prop_assert!(false, "layout kinds diverged: {other:?}"),
+                other => panic!("case {case}: layout kinds diverged: {other:?}"),
             }
         }
     }
+}
 
-    /// Every target-layer choice yields valid layouts.
-    #[test]
-    fn random_programs_all_targets(program in program()) {
+/// Every target-layer choice yields valid layouts.
+#[test]
+fn random_programs_all_targets() {
+    let mut rng = SplitMix64::new(0x4D4);
+    for case in 0..24 {
+        let program = random_program(&mut rng);
         let topo = tiny_topology();
         for target in TargetLayers::all() {
             let opts = PassOptions::default_for(&topo).with_target(target);
             let plan = run_layout_pass(&program, &topo, &opts);
-            prop_assert_eq!(plan.layouts.len(), program.arrays().len());
+            assert_eq!(plan.layouts.len(), program.arrays().len(), "case {case}");
         }
     }
 }
