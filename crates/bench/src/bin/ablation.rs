@@ -9,7 +9,7 @@
 //! 3. **template compilation** (§4.3) — layouts compiled for the
 //!    hierarchy *template* (shape only, minimal capacities) instead of
 //!    the concrete hierarchy.
-//! 4. **MQ second-level caching** ([50]) — the optimization under a
+//! 4. **MQ second-level caching** (\[50\]) — the optimization under a
 //!    Multi-Queue storage cache.
 //!
 //! Each row is the suite-average normalized execution time (variant /

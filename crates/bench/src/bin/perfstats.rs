@@ -23,14 +23,26 @@
 //! directory, so future changes have a baseline to regress against. The
 //! two pipelines' normalized execution times are asserted identical
 //! before anything is written: speed must not move a single number.
+//!
+//! A second section times the **multi-capacity sweep engine**: per
+//! application, the five fig7c capacity points simulated one
+//! [`simulate`] call at a time (the per-config loop fig7c ran before the
+//! sweep engine, traces already cached) against one
+//! [`simulate_sweep`] call classifying every point in a single trace
+//! pass. Reports are asserted bit-identical before the timings go to
+//! `BENCH_sweep.json`. Pass `--sweep-only` to skip the (slow) pipeline
+//! sections and run just this one.
 
+use flo_bench::experiments::fig7c;
 use flo_bench::harness::{prepare_run, PreparedRun, RunOverrides, Scheme};
 use flo_bench::legacy::simulate_legacy;
 use flo_bench::timing::measure_with;
 use flo_bench::{scale_from_env, topology_for, TraceCache};
 use flo_core::{generate_traces, generate_traces_reference};
 use flo_json::Json;
-use flo_sim::{simulate, PolicyKind, StorageSystem, ThreadTrace, Topology};
+use flo_sim::{
+    simulate, simulate_sweep, PolicyKind, SimReport, StorageSystem, ThreadTrace, Topology,
+};
 use flo_workloads::{all, Scale, Workload};
 use std::time::{Duration, Instant};
 
@@ -80,11 +92,141 @@ fn best_of<R>(reps: u32, mut f: impl FnMut() -> R) -> (f64, R) {
     (best, out.unwrap())
 }
 
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// Assert two reports are bit-identical (the sweep engine's contract).
+fn assert_identical(sweep: &SimReport, direct: &SimReport, tag: &str) {
+    assert_eq!(sweep.layers.io.accesses, direct.layers.io.accesses, "{tag}");
+    assert_eq!(sweep.layers.io.hits, direct.layers.io.hits, "{tag}");
+    assert_eq!(
+        sweep.layers.storage.accesses, direct.layers.storage.accesses,
+        "{tag}"
+    );
+    assert_eq!(
+        sweep.layers.storage.hits, direct.layers.storage.hits,
+        "{tag}"
+    );
+    assert_eq!(sweep.disk_reads, direct.disk_reads, "{tag}");
+    assert_eq!(
+        sweep.disk_sequential_reads, direct.disk_sequential_reads,
+        "{tag}"
+    );
+    assert_eq!(sweep.total_requests, direct.total_requests, "{tag}");
+    assert_eq!(
+        sweep.execution_time_ms.to_bits(),
+        direct.execution_time_ms.to_bits(),
+        "{tag}: execution time diverged"
+    );
+    for (a, b) in sweep
+        .thread_latency_ms
+        .iter()
+        .zip(&direct.thread_latency_ms)
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{tag}: thread latency diverged");
+    }
+}
+
+/// Time the per-config loop vs the one-pass sweep engine over the fig7c
+/// capacity points and write `BENCH_sweep.json`. Both sides consume the
+/// same pre-generated traces, so the comparison isolates simulation: the
+/// "before" is exactly what fig7c ran per point before the sweep engine
+/// existed (trace generation was already memoized by [`TraceCache`]).
+fn sweep_bench(scale: Scale, topo: &Topology, suite: &[Workload], budget: Duration) {
+    let points = fig7c::sweep_points(topo);
+    println!(
+        "== multi-capacity sweep engine ({} apps x {} points) ==",
+        suite.len(),
+        points.len()
+    );
+    let point_topos: Vec<Topology> = points
+        .iter()
+        .map(|p| {
+            let mut t = topo.clone();
+            t.io_cache_blocks = p.io_cache_blocks;
+            t.storage_cache_blocks = p.storage_cache_blocks;
+            t
+        })
+        .collect();
+    let mut apps = Vec::new();
+    let (mut total_per_point, mut total_sweep) = (0.0f64, 0.0f64);
+    for w in suite {
+        let prepared = prepare_run(w, topo, Scheme::Default, &RunOverrides::default());
+        let traces = generate_traces(&w.program, &prepared.cfg, &prepared.layouts, topo);
+        let per_point_run = || {
+            point_topos
+                .iter()
+                .map(|t| {
+                    let mut system = StorageSystem::new(t.clone(), PolicyKind::LruInclusive);
+                    simulate(&mut system, &traces, &prepared.run_cfg)
+                })
+                .collect::<Vec<SimReport>>()
+        };
+        let sweep_run = || simulate_sweep(topo, &points, &traces, &prepared.run_cfg);
+        for (i, (s, d)) in sweep_run().iter().zip(per_point_run()).enumerate() {
+            assert_identical(s, &d, &format!("{} point {i}", w.name));
+        }
+        let per_point = measure_with(&format!("{}/per-point", w.name), budget, 20, per_point_run);
+        let sweep = measure_with(&format!("{}/sweep", w.name), budget, 20, sweep_run);
+        for m in [&per_point, &sweep] {
+            println!("{}", m.line());
+        }
+        total_per_point += per_point.min_ms;
+        total_sweep += sweep.min_ms;
+        apps.push(
+            Json::obj()
+                .set("app", w.name)
+                .set("per_point_ms", per_point.min_ms)
+                .set("sweep_ms", sweep.min_ms)
+                .set("speedup", per_point.min_ms / sweep.min_ms),
+        );
+    }
+    let speedup = total_per_point / total_sweep;
+    println!("per-point TOTAL: {total_per_point:>10.1} ms");
+    println!("sweep TOTAL:     {total_sweep:>10.1} ms");
+    println!("sweep-engine speedup: {speedup:.2}x");
+    let doc = Json::obj()
+        .set("scale", scale_name(scale))
+        .set("suite", "fig7c")
+        .set(
+            "points",
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .set("io_cache_blocks", p.io_cache_blocks as u64)
+                        .set("storage_cache_blocks", p.storage_cache_blocks as u64)
+                })
+                .collect::<Vec<Json>>(),
+        )
+        .set("apps", apps)
+        .set(
+            "totals",
+            Json::obj()
+                .set("per_point_ms", total_per_point)
+                .set("sweep_ms", total_sweep)
+                .set("speedup", speedup),
+        );
+    let path = "BENCH_sweep.json";
+    match std::fs::write(path, doc.pretty()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let scale = scale_from_env();
     let topo = topology_for(scale);
     let suite = all(scale);
     let budget = Duration::from_millis(150);
+    if std::env::args().any(|a| a == "--sweep-only") {
+        sweep_bench(scale, &topo, &suite, budget);
+        return;
+    }
 
     println!("== per-app phase timings ({} apps) ==", suite.len());
     let mut apps = Vec::new();
@@ -177,13 +319,7 @@ fn main() {
     println!("end-to-end speedup: {speedup:.2}x");
 
     let doc = Json::obj()
-        .set(
-            "scale",
-            match scale {
-                Scale::Small => "small",
-                Scale::Full => "full",
-            },
-        )
+        .set("scale", scale_name(scale))
         .set("suite", "fig7a")
         .set("apps", apps)
         .set(
@@ -198,4 +334,6 @@ fn main() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("warning: cannot write {path}: {e}"),
     }
+
+    sweep_bench(scale, &topo, &suite, budget);
 }

@@ -2,22 +2,22 @@
 //! normalized to the default execution. The paper reports a 23.7% average
 //! improvement with three application groups (≈0%, 8–13%, 21–26%).
 
-use crate::cache::TraceCache;
+use crate::cache::RunCaches;
 use crate::experiments::{mean, par_over_suite, r3};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
-use flo_workloads::{all, Scale};
+use flo_workloads::Scale;
 
 /// Run the whole suite.
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
-    let suite = all(scale);
-    let cache = TraceCache::new();
+    let suite = crate::suite_from_env(scale);
+    let caches = RunCaches::new();
     let norms = par_over_suite(&suite, |w| {
         normalized_exec_cached(
-            &cache,
+            &caches,
             w,
             &topo,
             PolicyKind::LruInclusive,

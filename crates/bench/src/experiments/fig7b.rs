@@ -3,24 +3,24 @@
 //! within 6%, with only the master–slave apps (cc-ver-2, afores, sar)
 //! showing any sensitivity.
 
-use crate::cache::TraceCache;
+use crate::cache::RunCaches;
 use crate::experiments::{par_over_suite, r3};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_parallel::ThreadMapping;
 use flo_sim::PolicyKind;
-use flo_workloads::{all, Scale};
+use flo_workloads::Scale;
 
 /// Run the suite under all four mappings.
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
-    let suite = all(scale);
+    let suite = crate::suite_from_env(scale);
     let mappings = ThreadMapping::paper_mappings(topo.compute_nodes);
     let headers: Vec<&str> = std::iter::once("application")
         .chain(mappings.iter().map(|(n, _)| *n))
         .collect();
-    let cache = TraceCache::new();
+    let caches = RunCaches::new();
     let rows = par_over_suite(&suite, |w| {
         mappings
             .iter()
@@ -30,7 +30,7 @@ pub fn run(scale: Scale) -> Table {
                     target: None,
                 };
                 normalized_exec_cached(
-                    &cache,
+                    &caches,
                     w,
                     &topo,
                     PolicyKind::LruInclusive,

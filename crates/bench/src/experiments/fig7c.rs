@@ -3,13 +3,13 @@
 //! improvements", because small caches make locality exploitation more
 //! critical.
 
-use crate::cache::TraceCache;
+use crate::cache::RunCaches;
 use crate::experiments::{mean, par_over_suite, r3};
-use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
+use crate::harness::{normalized_exec_sweep, RunOverrides, Scheme};
 use crate::tablefmt::Table;
-use crate::topology_for;
-use flo_sim::PolicyKind;
-use flo_workloads::{all, Scale};
+use crate::{suite_from_env, topology_for};
+use flo_sim::{PolicyKind, SweepPoint};
+use flo_workloads::Scale;
 
 /// Capacity multipliers swept (default = 1×).
 pub const SCALES: [(usize, usize, &str); 5] = [
@@ -20,29 +20,37 @@ pub const SCALES: [(usize, usize, &str); 5] = [
     (4, 1, "4x"),
 ];
 
-/// Run the sweep.
+/// The swept capacity points over `base`.
+pub fn sweep_points(base: &flo_sim::Topology) -> Vec<SweepPoint> {
+    SCALES
+        .iter()
+        .map(|&(num, den, _)| SweepPoint::of(&base.with_cache_scale(num, den)))
+        .collect()
+}
+
+/// Run the sweep. The whole capacity axis is evaluated by the one-pass
+/// sweep engine ([`normalized_exec_sweep`]): per application, the five
+/// `Default` baselines cost one trace pass instead of five, and the
+/// `Inter` side batches whichever points its layout pass maps to the same
+/// layouts.
 pub fn run(scale: Scale) -> Table {
     let base_topo = topology_for(scale);
-    let suite = all(scale);
+    let suite = suite_from_env(scale);
     let headers: Vec<&str> = std::iter::once("application")
         .chain(SCALES.iter().map(|&(_, _, n)| n))
         .collect();
-    let cache = TraceCache::new();
+    let caches = RunCaches::new();
+    let points = sweep_points(&base_topo);
     let rows = par_over_suite(&suite, |w| {
-        SCALES
-            .iter()
-            .map(|&(num, den, _)| {
-                let topo = base_topo.with_cache_scale(num, den);
-                normalized_exec_cached(
-                    &cache,
-                    w,
-                    &topo,
-                    PolicyKind::LruInclusive,
-                    Scheme::Inter,
-                    &RunOverrides::default(),
-                )
-            })
-            .collect::<Vec<f64>>()
+        normalized_exec_sweep(
+            &caches,
+            w,
+            &base_topo,
+            &points,
+            PolicyKind::LruInclusive,
+            Scheme::Inter,
+            &RunOverrides::default(),
+        )
     });
     let mut t = Table::new(
         "Fig. 7(c) — normalized execution time vs cache capacity",

@@ -3,13 +3,13 @@
 //! I/O and storage caches, that is, when they are shared by more client
 //! and I/O nodes".
 
-use crate::cache::TraceCache;
+use crate::cache::RunCaches;
 use crate::experiments::{mean, par_over_suite, r3};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
-use flo_workloads::{all, Scale};
+use flo_workloads::Scale;
 
 /// Node-count configurations swept at full scale: (compute, io, storage).
 /// The first is the default (64, 16, 4); later entries increase sharing.
@@ -32,7 +32,7 @@ pub fn run(scale: Scale) -> Table {
         Scale::Full => FULL_CONFIGS,
         Scale::Small => SMALL_CONFIGS,
     };
-    let suite = all(scale);
+    let suite = crate::suite_from_env(scale);
     let names: Vec<String> = configs
         .iter()
         .map(|&(c, i, s)| format!("({c},{i},{s})"))
@@ -40,14 +40,14 @@ pub fn run(scale: Scale) -> Table {
     let headers: Vec<&str> = std::iter::once("application")
         .chain(names.iter().map(String::as_str))
         .collect();
-    let cache = TraceCache::new();
+    let caches = RunCaches::new();
     let rows = par_over_suite(&suite, |w| {
         configs
             .iter()
             .map(|&(c, i, s)| {
                 let topo = base_topo.with_node_counts(c, i, s);
                 normalized_exec_cached(
-                    &cache,
+                    &caches,
                     w,
                     &topo,
                     PolicyKind::LruInclusive,

@@ -3,13 +3,13 @@
 //! (paper §5.3). Cache capacities in *bytes* are held fixed across the
 //! sweep, as in the paper.
 
-use crate::cache::TraceCache;
+use crate::cache::RunCaches;
 use crate::experiments::{mean, par_over_suite, r3};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
-use flo_workloads::{all, Scale};
+use flo_workloads::Scale;
 
 /// Block-size multipliers swept (default = 1×).
 pub const FACTORS: [(u64, u64, &str); 5] = [
@@ -23,11 +23,11 @@ pub const FACTORS: [(u64, u64, &str); 5] = [
 /// Run the sweep.
 pub fn run(scale: Scale) -> Table {
     let base_topo = topology_for(scale);
-    let suite = all(scale);
+    let suite = crate::suite_from_env(scale);
     let headers: Vec<&str> = std::iter::once("application")
         .chain(FACTORS.iter().map(|&(_, _, n)| n))
         .collect();
-    let cache = TraceCache::new();
+    let caches = RunCaches::new();
     let rows = par_over_suite(&suite, |w| {
         FACTORS
             .iter()
@@ -35,7 +35,7 @@ pub fn run(scale: Scale) -> Table {
                 let block = (base_topo.block_elems * num / den).max(1);
                 let topo = base_topo.with_block_elems(block);
                 normalized_exec_cached(
-                    &cache,
+                    &caches,
                     w,
                     &topo,
                     PolicyKind::LruInclusive,

@@ -2,25 +2,25 @@
 //! The paper: I/O-only gives 9.1%, storage-only 13.0%, both 23.7% —
 //! "targeting the entire storage hierarchy is critical".
 
-use crate::cache::TraceCache;
+use crate::cache::RunCaches;
 use crate::experiments::{mean, par_over_suite, r3};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_core::TargetLayers;
 use flo_sim::PolicyKind;
-use flo_workloads::{all, Scale};
+use flo_workloads::Scale;
 
 /// Run the suite for each target-layer choice.
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
-    let suite = all(scale);
+    let suite = crate::suite_from_env(scale);
     let targets = [
         TargetLayers::IoOnly,
         TargetLayers::StorageOnly,
         TargetLayers::Both,
     ];
-    let cache = TraceCache::new();
+    let caches = RunCaches::new();
     let rows = par_over_suite(&suite, |w| {
         targets
             .iter()
@@ -30,7 +30,7 @@ pub fn run(scale: Scale) -> Table {
                     target: Some(target),
                 };
                 normalized_exec_cached(
-                    &cache,
+                    &caches,
                     w,
                     &topo,
                     PolicyKind::LruInclusive,

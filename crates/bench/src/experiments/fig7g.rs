@@ -1,29 +1,29 @@
 //! Fig. 7(g) — comparison against the two prior-work schemes: the
-//! computation mapping of [26] (first bar, paper avg 7.6%) and the
-//! dimension-reindexing file layout optimization of [27] (second bar,
+//! computation mapping of \[26\] (first bar, paper avg 7.6%) and the
+//! dimension-reindexing file layout optimization of \[27\] (second bar,
 //! paper avg 7.1%), both normalized to the default execution, alongside
 //! the inter-node layout optimization (23.7%).
 
-use crate::cache::TraceCache;
+use crate::cache::RunCaches;
 use crate::experiments::{mean, par_over_suite, r3};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
-use flo_workloads::{all, Scale};
+use flo_workloads::Scale;
 
 /// Run the three schemes over the suite.
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
-    let suite = all(scale);
+    let suite = crate::suite_from_env(scale);
     let schemes = [Scheme::CompMap, Scheme::Reindex, Scheme::Inter];
-    let cache = TraceCache::new();
+    let caches = RunCaches::new();
     let rows = par_over_suite(&suite, |w| {
         schemes
             .iter()
             .map(|&s| {
                 normalized_exec_cached(
-                    &cache,
+                    &caches,
                     w,
                     &topo,
                     PolicyKind::LruInclusive,

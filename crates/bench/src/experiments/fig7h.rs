@@ -1,32 +1,39 @@
 //! Fig. 7(h) — the layout optimization under alternative hierarchy
-//! management policies: KARMA [47] and DEMOTE-LRU [44]. Each bar is
+//! management policies: KARMA \[47\] and DEMOTE-LRU \[44\]. Each bar is
 //! exec(inter, policy) / exec(default, policy); the paper finds the
 //! optimization becomes *more* effective under the exclusive policies
 //! (30.1% with KARMA, 28.6% with DEMOTE-LRU, vs 23.7% with LRU).
 
-use crate::cache::TraceCache;
+use crate::cache::RunCaches;
 use crate::experiments::{mean, par_over_suite, r3};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
-use flo_workloads::{all, Scale};
+use flo_workloads::Scale;
 
 /// Run the suite under each policy.
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
-    let suite = all(scale);
+    let suite = crate::suite_from_env(scale);
     let policies = [
         PolicyKind::LruInclusive,
         PolicyKind::Karma,
         PolicyKind::DemoteLru,
     ];
-    let cache = TraceCache::new();
+    let caches = RunCaches::new();
     let rows = par_over_suite(&suite, |w| {
         policies
             .iter()
             .map(|&p| {
-                normalized_exec_cached(&cache, w, &topo, p, Scheme::Inter, &RunOverrides::default())
+                normalized_exec_cached(
+                    &caches,
+                    w,
+                    &topo,
+                    p,
+                    Scheme::Inter,
+                    &RunOverrides::default(),
+                )
             })
             .collect::<Vec<f64>>()
     });

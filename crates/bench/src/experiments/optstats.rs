@@ -7,12 +7,12 @@ use crate::experiments::{mean, par_over_suite, pct};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_core::{run_layout_pass, PassOptions};
-use flo_workloads::{all, Scale};
+use flo_workloads::Scale;
 
 /// Run the layout pass over the suite and summarize its diagnostics.
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
-    let suite = all(scale);
+    let suite = crate::suite_from_env(scale);
     let plans = par_over_suite(&suite, |w| {
         let opts = PassOptions::default_for(&topo);
         run_layout_pass(&w.program, &topo, &opts)

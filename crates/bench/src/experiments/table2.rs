@@ -1,22 +1,22 @@
 //! Table 2 — applications, storage-cache miss rates, and execution times
 //! under the default execution (row-major layouts, LRU inclusive caches).
 
-use crate::cache::TraceCache;
+use crate::cache::RunCaches;
 use crate::experiments::{par_over_suite, pct};
 use crate::harness::{run_app_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
-use flo_workloads::{all, Scale};
+use flo_workloads::Scale;
 
 /// Run the default execution of every application.
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
-    let suite = all(scale);
-    let cache = TraceCache::new();
+    let suite = crate::suite_from_env(scale);
+    let caches = RunCaches::new();
     let results = par_over_suite(&suite, |w| {
         run_app_cached(
-            &cache,
+            &caches,
             w,
             &topo,
             PolicyKind::LruInclusive,

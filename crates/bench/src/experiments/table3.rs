@@ -1,22 +1,22 @@
 //! Table 3 — cache misses after the inter-node layout optimization,
 //! normalized to the default execution (Table 2).
 
-use crate::cache::TraceCache;
+use crate::cache::RunCaches;
 use crate::experiments::{par_over_suite, r3};
 use crate::harness::{run_app_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
 use flo_sim::PolicyKind;
-use flo_workloads::{all, Scale};
+use flo_workloads::Scale;
 
 /// Run default + optimized executions and normalize miss counts.
 pub fn run(scale: Scale) -> Table {
     let topo = topology_for(scale);
-    let suite = all(scale);
-    let cache = TraceCache::new();
+    let suite = crate::suite_from_env(scale);
+    let caches = RunCaches::new();
     let results = par_over_suite(&suite, |w| {
         let base = run_app_cached(
-            &cache,
+            &caches,
             w,
             &topo,
             PolicyKind::LruInclusive,
@@ -24,7 +24,7 @@ pub fn run(scale: Scale) -> Table {
             &RunOverrides::default(),
         );
         let opt = run_app_cached(
-            &cache,
+            &caches,
             w,
             &topo,
             PolicyKind::LruInclusive,

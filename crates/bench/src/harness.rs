@@ -1,14 +1,16 @@
 //! Run one (workload × scheme × policy × topology) configuration.
 
-use crate::cache::TraceCache;
+use crate::cache::{sim_key, trace_key, RunCaches};
 use flo_core::baseline::{compmap, reindex};
 use flo_core::FileLayout;
 use flo_core::{generate_traces, run_layout_pass, ParallelConfig, PassOptions, TargetLayers};
 use flo_parallel::ThreadMapping;
-use flo_sim::policies::karma::KarmaHints;
-use flo_sim::{simulate, PolicyKind, RunConfig, SimReport, StorageSystem, ThreadTrace, Topology};
+use flo_sim::policies::karma::{KarmaHints, RangeHint};
+use flo_sim::{
+    simulate, simulate_sweep, PolicyKind, RunConfig, SimReport, StorageSystem, SweepPoint,
+    ThreadTrace, Topology,
+};
 use flo_workloads::Workload;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Which layout/computation scheme a run uses.
@@ -18,9 +20,9 @@ pub enum Scheme {
     Default,
     /// The paper's inter-node file layout optimization.
     Inter,
-    /// Computation mapping [26]: clustered blocks, row-major layouts.
+    /// Computation mapping \[26\]: clustered blocks, row-major layouts.
     CompMap,
-    /// Profile-driven dimension reindexing [27].
+    /// Profile-driven dimension reindexing \[27\].
     Reindex,
 }
 
@@ -71,48 +73,59 @@ pub struct RunOverrides {
 /// localized layouts shrink the per-I/O-node footprints, letting more hot
 /// ranges into the upper partitions (§5.4).
 pub fn karma_hints(traces: &[ThreadTrace], topo: &Topology) -> KarmaHints {
-    let mut blocks: HashMap<u32, std::collections::HashSet<u64>> = HashMap::new();
-    let mut accesses: HashMap<u32, u64> = HashMap::new();
-    let mut group_blocks: Vec<HashMap<u32, std::collections::HashSet<u64>>> =
-        vec![HashMap::new(); topo.io_nodes];
-    let mut group_accesses: Vec<HashMap<u32, u64>> = vec![HashMap::new(); topo.io_nodes];
+    // One flat (group, file, block, weight) image of the trace, sorted
+    // twice: distinct-block counts and access sums fall out of linear
+    // scans, with no per-file hash sets rebuilt on every call.
+    let total: usize = traces.iter().map(|t| t.entries.len()).sum();
+    let mut entries: Vec<(u32, u32, u64, u64)> = Vec::with_capacity(total);
     for tr in traces {
-        let g = topo.io_node_of_compute(tr.compute_node);
+        let g = topo.io_node_of_compute(tr.compute_node) as u32;
         for e in &tr.entries {
-            blocks
-                .entry(e.block.file)
-                .or_default()
-                .insert(e.block.index);
-            *accesses.entry(e.block.file).or_insert(0) += e.count as u64;
-            group_blocks[g]
-                .entry(e.block.file)
-                .or_default()
-                .insert(e.block.index);
-            *group_accesses[g].entry(e.block.file).or_insert(0) += e.count as u64;
+            entries.push((g, e.block.file, e.block.index, e.count as u64));
         }
     }
-    let mut triples: Vec<(u32, u64, u64)> = blocks
-        .iter()
-        .map(|(&f, set)| (f, set.len() as u64, accesses[&f]))
-        .collect();
-    triples.sort_unstable();
+    // Global ranges: group-blind, so a block shared by several I/O-node
+    // groups counts once.
+    entries.sort_unstable_by_key(|&(_, f, i, _)| (f, i));
+    let mut triples: Vec<(u32, u64, u64)> = Vec::new();
+    let mut at = 0;
+    while at < entries.len() {
+        let file = entries[at].1;
+        let (mut blocks, mut accesses, mut last) = (0u64, 0u64, None);
+        while at < entries.len() && entries[at].1 == file {
+            let (_, _, index, count) = entries[at];
+            if last != Some(index) {
+                blocks += 1;
+                last = Some(index);
+            }
+            accesses += count;
+            at += 1;
+        }
+        triples.push((file, blocks, accesses));
+    }
     let mut hints = KarmaHints::from_triples(&triples);
-    hints.group_ranges = group_blocks
-        .iter()
-        .zip(&group_accesses)
-        .map(|(gb, ga)| {
-            let mut v: Vec<flo_sim::policies::karma::RangeHint> = gb
-                .iter()
-                .map(|(&f, set)| flo_sim::policies::karma::RangeHint {
-                    file: f,
-                    num_blocks: set.len() as u64,
-                    accesses: ga[&f],
-                })
-                .collect();
-            v.sort_by_key(|r| r.file);
-            v
-        })
-        .collect();
+    // Per-I/O-node ranges: the same scan per (group, file) run.
+    entries.sort_unstable_by_key(|&(g, f, i, _)| (g, f, i));
+    hints.group_ranges = vec![Vec::new(); topo.io_nodes];
+    let mut at = 0;
+    while at < entries.len() {
+        let (group, file) = (entries[at].0, entries[at].1);
+        let (mut blocks, mut accesses, mut last) = (0u64, 0u64, None);
+        while at < entries.len() && entries[at].0 == group && entries[at].1 == file {
+            let (_, _, index, count) = entries[at];
+            if last != Some(index) {
+                blocks += 1;
+                last = Some(index);
+            }
+            accesses += count;
+            at += 1;
+        }
+        hints.group_ranges[group as usize].push(RangeHint {
+            file,
+            num_blocks: blocks,
+            accesses,
+        });
+    }
     hints
 }
 
@@ -187,27 +200,37 @@ pub fn prepare_run(
     }
 }
 
-/// The single trace-generation call site of the harness: through the
-/// cache when one is supplied, directly otherwise.
-fn traces_for(
-    cache: Option<&TraceCache>,
+/// The single `simulate` call site of the harness: generates (or fetches
+/// memoized) traces, builds the system — with memoized KARMA hints when
+/// caches are supplied — and runs it.
+fn simulate_prepared(
+    caches: Option<&RunCaches>,
+    tkey: u64,
     workload: &Workload,
     prepared: &PreparedRun,
     topo: &Topology,
-) -> Arc<Vec<ThreadTrace>> {
-    match cache {
-        Some(c) => c.traces_for(workload, &prepared.cfg, &prepared.layouts, topo),
-        None => Arc::new(generate_traces(
-            &workload.program,
-            &prepared.cfg,
-            &prepared.layouts,
-            topo,
-        )),
+    policy: PolicyKind,
+) -> SimReport {
+    let generate = || generate_traces(&workload.program, &prepared.cfg, &prepared.layouts, topo);
+    let traces: Arc<Vec<ThreadTrace>> = match caches {
+        Some(c) => c.traces.traces_for_key(tkey, generate),
+        None => Arc::new(generate()),
+    };
+    let mut system = StorageSystem::new(topo.clone(), policy);
+    if policy == PolicyKind::Karma {
+        match caches {
+            Some(c) => {
+                system
+                    .set_karma_hints(&c.karma_hints_for(tkey, topo, || karma_hints(&traces, topo)));
+            }
+            None => system.set_karma_hints(&karma_hints(&traces, topo)),
+        }
     }
+    simulate(&mut system, &traces, &prepared.run_cfg)
 }
 
 fn run_with(
-    cache: Option<&TraceCache>,
+    caches: Option<&RunCaches>,
     workload: &Workload,
     topo: &Topology,
     policy: PolicyKind,
@@ -215,12 +238,22 @@ fn run_with(
     overrides: &RunOverrides,
 ) -> RunOutcome {
     let prepared = prepare_run(workload, topo, scheme, overrides);
-    let traces = traces_for(cache, workload, &prepared, topo);
-    let mut system = StorageSystem::new(topo.clone(), policy);
-    if policy == PolicyKind::Karma {
-        system.set_karma_hints(&karma_hints(&traces, topo));
-    }
-    let report = simulate(&mut system, &traces, &prepared.run_cfg);
+    let report = match caches {
+        Some(c) => {
+            let tkey = trace_key(workload, &prepared.cfg, &prepared.layouts, topo);
+            let skey = sim_key(tkey, topo, policy, &prepared.run_cfg);
+            match c.sims.get(skey) {
+                // A memoized simulation skips trace lookup entirely.
+                Some(r) => (*r).clone(),
+                None => {
+                    let r = simulate_prepared(caches, tkey, workload, &prepared, topo, policy);
+                    c.sims.insert(skey, r.clone());
+                    r
+                }
+            }
+        }
+        None => simulate_prepared(None, 0, workload, &prepared, topo, policy),
+    };
     RunOutcome {
         report,
         optimized_fraction: prepared.optimized_fraction,
@@ -239,18 +272,21 @@ pub fn run_app(
     run_with(None, workload, topo, policy, scheme, overrides)
 }
 
-/// [`run_app`] with trace memoization: repeated configurations that
-/// share trace-determining inputs (e.g. the `Default` baseline across a
-/// policy or capacity sweep) generate their traces once.
+/// [`run_app`] with trace and simulation memoization: repeated
+/// configurations that share trace-determining inputs (e.g. the `Default`
+/// baseline across a policy or capacity sweep) generate their traces
+/// once, and configurations that agree on every simulation input (the
+/// shared baseline of every `normalized_exec` variant; schemes whose
+/// layouts equal the default's) simulate once.
 pub fn run_app_cached(
-    cache: &TraceCache,
+    caches: &RunCaches,
     workload: &Workload,
     topo: &Topology,
     policy: PolicyKind,
     scheme: Scheme,
     overrides: &RunOverrides,
 ) -> RunOutcome {
-    run_with(Some(cache), workload, topo, policy, scheme, overrides)
+    run_with(Some(caches), workload, topo, policy, scheme, overrides)
 }
 
 /// Normalized execution time of `scheme` against the `Default` scheme on
@@ -267,18 +303,136 @@ pub fn normalized_exec(
     opt.exec_ms() / base.exec_ms()
 }
 
-/// [`normalized_exec`] with trace memoization for both runs.
+/// [`normalized_exec`] with trace and simulation memoization for both
+/// runs.
 pub fn normalized_exec_cached(
-    cache: &TraceCache,
+    caches: &RunCaches,
     workload: &Workload,
     topo: &Topology,
     policy: PolicyKind,
     scheme: Scheme,
     overrides: &RunOverrides,
 ) -> f64 {
-    let base = run_app_cached(cache, workload, topo, policy, Scheme::Default, overrides);
-    let opt = run_app_cached(cache, workload, topo, policy, scheme, overrides);
+    let base = run_app_cached(caches, workload, topo, policy, Scheme::Default, overrides);
+    let opt = run_app_cached(caches, workload, topo, policy, scheme, overrides);
     opt.exec_ms() / base.exec_ms()
+}
+
+/// Outcomes of `scheme` at every capacity point of a sweep over `base`,
+/// batched: under inclusive LRU, points that share their traces (always
+/// all of them for capacity-independent layouts; whichever subsets the
+/// layout pass happens to map to one layout otherwise) are evaluated in
+/// a single trace pass by [`simulate_sweep`] — bit-identical to the
+/// per-point path. Non-LRU policies and already-memoized points take the
+/// per-config path, all through the same [`RunCaches`].
+pub fn sweep_outcomes(
+    caches: &RunCaches,
+    workload: &Workload,
+    base: &Topology,
+    points: &[SweepPoint],
+    policy: PolicyKind,
+    scheme: Scheme,
+    overrides: &RunOverrides,
+) -> Vec<RunOutcome> {
+    // Preparation stays per point: the Inter layout pass legitimately
+    // depends on the capacities it optimizes for.
+    let prepared: Vec<(Topology, PreparedRun)> = points
+        .iter()
+        .map(|p| {
+            let mut topo = base.clone();
+            topo.io_cache_blocks = p.io_cache_blocks;
+            topo.storage_cache_blocks = p.storage_cache_blocks;
+            let pr = prepare_run(workload, &topo, scheme, overrides);
+            (topo, pr)
+        })
+        .collect();
+    let tkeys: Vec<u64> = prepared
+        .iter()
+        .map(|(t, pr)| trace_key(workload, &pr.cfg, &pr.layouts, t))
+        .collect();
+    let skeys: Vec<u64> = prepared
+        .iter()
+        .zip(&tkeys)
+        .map(|((t, pr), &tk)| sim_key(tk, t, policy, &pr.run_cfg))
+        .collect();
+    let mut reports: Vec<Option<SimReport>> = skeys
+        .iter()
+        .map(|&k| caches.sims.get(k).map(|r| (*r).clone()))
+        .collect();
+    if policy == PolicyKind::LruInclusive {
+        // Group the unmemoized points by trace identity (the trace key
+        // covers the parallelization and the layouts — everything but
+        // the capacities), preserving point order within each group.
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for i in 0..points.len() {
+            if reports[i].is_some() {
+                continue;
+            }
+            match groups.iter_mut().find(|(k, _)| *k == tkeys[i]) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((tkeys[i], vec![i])),
+            }
+        }
+        for (tkey, members) in groups {
+            let (t0, p0) = &prepared[members[0]];
+            let traces = caches.traces.traces_for_key(tkey, || {
+                generate_traces(&workload.program, &p0.cfg, &p0.layouts, t0)
+            });
+            let pts: Vec<SweepPoint> = members.iter().map(|&i| points[i]).collect();
+            let swept = simulate_sweep(base, &pts, &traces, &p0.run_cfg);
+            for (&i, rep) in members.iter().zip(swept) {
+                caches.sims.insert(skeys[i], rep.clone());
+                reports[i] = Some(rep);
+            }
+        }
+    } else {
+        for i in 0..points.len() {
+            if reports[i].is_none() {
+                let (t, pr) = &prepared[i];
+                let rep = simulate_prepared(Some(caches), tkeys[i], workload, pr, t, policy);
+                caches.sims.insert(skeys[i], rep.clone());
+                reports[i] = Some(rep);
+            }
+        }
+    }
+    prepared
+        .into_iter()
+        .zip(reports)
+        .map(|((_, pr), rep)| RunOutcome {
+            report: rep.unwrap(),
+            optimized_fraction: pr.optimized_fraction,
+            compile_ms: pr.compile_ms,
+        })
+        .collect()
+}
+
+/// Normalized execution time of `scheme` against the `Default` scheme at
+/// every capacity point — [`normalized_exec_cached`] over a whole sweep,
+/// with both sides batched through [`sweep_outcomes`].
+pub fn normalized_exec_sweep(
+    caches: &RunCaches,
+    workload: &Workload,
+    base: &Topology,
+    points: &[SweepPoint],
+    policy: PolicyKind,
+    scheme: Scheme,
+    overrides: &RunOverrides,
+) -> Vec<f64> {
+    let bases = sweep_outcomes(
+        caches,
+        workload,
+        base,
+        points,
+        policy,
+        Scheme::Default,
+        overrides,
+    );
+    let opts = sweep_outcomes(caches, workload, base, points, policy, scheme, overrides);
+    bases
+        .iter()
+        .zip(&opts)
+        .map(|(b, o)| o.exec_ms() / b.exec_ms())
+        .collect()
 }
 
 #[cfg(test)]

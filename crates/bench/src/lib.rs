@@ -14,10 +14,10 @@
 //! | `fig7d`    | Fig. 7(d) — node-count sensitivity                     |
 //! | `fig7e`    | Fig. 7(e) — block-size sensitivity                     |
 //! | `fig7f`    | Fig. 7(f) — layers targeted                            |
-//! | `fig7g`    | Fig. 7(g) — vs computation mapping [26] & reindexing [27] |
-//! | `fig7h`    | Fig. 7(h) — under KARMA [47] and DEMOTE-LRU [44]       |
+//! | `fig7g`    | Fig. 7(g) — vs computation mapping \[26\] & reindexing \[27\] |
+//! | `fig7h`    | Fig. 7(h) — under KARMA \[47\] and DEMOTE-LRU \[44\]       |
 //! | `optstats` | §5.1 — optimizable-array statistics & compile times    |
-//! | `ablation` | extension — design-choice ablations & MQ policy [50]   |
+//! | `ablation` | extension — design-choice ablations & MQ policy \[50\]   |
 //! | `calibrate`| the compute/IO calibration that fixed the workload constants |
 //!
 //! Each experiment function returns a [`tablefmt::Table`]; binaries print
@@ -31,11 +31,11 @@ pub mod legacy;
 pub mod tablefmt;
 pub mod timing;
 
-pub use cache::TraceCache;
+pub use cache::{RunCaches, SimCache, TraceCache};
 pub use harness::{run_app, run_app_cached, RunOutcome, Scheme};
 pub use tablefmt::Table;
 
-use flo_workloads::Scale;
+use flo_workloads::{Scale, Workload};
 
 /// Read the workload scale from `FLO_SCALE` (`small` or `full`, default
 /// full).
@@ -48,6 +48,48 @@ pub fn scale_from_env() -> Scale {
             Scale::Full
         }
     }
+}
+
+/// The workload suite at `scale`, filtered by the `FLO_APPS` env var — a
+/// comma-separated list of application names (e.g.
+/// `FLO_APPS=swim,qio fig7c`). Unset or empty means the full suite;
+/// unrecognized names warn and are skipped, mirroring `FLO_SCALE`.
+pub fn suite_from_env(scale: Scale) -> Vec<Workload> {
+    suite_filtered(scale, std::env::var("FLO_APPS").ok().as_deref())
+}
+
+/// [`suite_from_env`] with the filter passed explicitly (testable).
+pub fn suite_filtered(scale: Scale, filter: Option<&str>) -> Vec<Workload> {
+    let suite = flo_workloads::all(scale);
+    let Some(list) = filter else {
+        return suite;
+    };
+    let wanted: Vec<&str> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if wanted.is_empty() {
+        return suite;
+    }
+    for name in &wanted {
+        if !suite.iter().any(|w| w.name == *name) {
+            let known: Vec<&str> = suite.iter().map(|w| w.name).collect();
+            eprintln!(
+                "warning: unrecognized FLO_APPS entry {name:?} (known: {})",
+                known.join(", ")
+            );
+        }
+    }
+    let filtered: Vec<Workload> = suite
+        .into_iter()
+        .filter(|w| wanted.contains(&w.name))
+        .collect();
+    if filtered.is_empty() {
+        eprintln!("warning: FLO_APPS matched no application, running the full suite");
+        return flo_workloads::all(scale);
+    }
+    filtered
 }
 
 /// The simulated cluster for a given scale: the paper topology for full
@@ -99,5 +141,19 @@ mod tests {
             topology_for(Scale::Full),
             flo_sim::Topology::paper_default()
         );
+    }
+
+    #[test]
+    fn flo_apps_filter_selects_named_apps() {
+        let full = suite_filtered(Scale::Small, None);
+        let picked = suite_filtered(Scale::Small, Some("qio, swim"));
+        assert_eq!(picked.len(), 2);
+        assert!(picked.iter().any(|w| w.name == "qio"));
+        assert!(picked.iter().any(|w| w.name == "swim"));
+        // Unrecognized-only filters warn and fall back to the full suite.
+        let fallback = suite_filtered(Scale::Small, Some("nosuchapp"));
+        assert_eq!(fallback.len(), full.len());
+        // Empty filters are no filters.
+        assert_eq!(suite_filtered(Scale::Small, Some("")).len(), full.len());
     }
 }

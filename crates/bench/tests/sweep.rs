@@ -1,0 +1,134 @@
+//! Differential test of the one-pass sweep engine at the harness level:
+//! for every workload in the suite, both schemes, and every fig7c
+//! capacity point, the batched sweep path must reproduce the per-config
+//! path's [`SimReport`] bit for bit — counters equal, floats equal down
+//! to the last ULP.
+
+use flo_bench::experiments::fig7c;
+use flo_bench::harness::{normalized_exec_sweep, run_app, sweep_outcomes, RunOverrides, Scheme};
+use flo_bench::{topology_for, RunCaches};
+use flo_sim::{PolicyKind, SimReport};
+use flo_workloads::Scale;
+
+fn assert_reports_identical(sweep: &SimReport, direct: &SimReport, tag: &str) {
+    assert_eq!(sweep.layers.io.accesses, direct.layers.io.accesses, "{tag}");
+    assert_eq!(sweep.layers.io.hits, direct.layers.io.hits, "{tag}");
+    assert_eq!(
+        sweep.layers.storage.accesses, direct.layers.storage.accesses,
+        "{tag}"
+    );
+    assert_eq!(
+        sweep.layers.storage.hits, direct.layers.storage.hits,
+        "{tag}"
+    );
+    assert_eq!(sweep.disk_reads, direct.disk_reads, "{tag}");
+    assert_eq!(
+        sweep.disk_sequential_reads, direct.disk_sequential_reads,
+        "{tag}"
+    );
+    assert_eq!(sweep.demotions, direct.demotions, "{tag}");
+    assert_eq!(sweep.total_requests, direct.total_requests, "{tag}");
+    assert_eq!(
+        sweep.compute_ms_per_thread.to_bits(),
+        direct.compute_ms_per_thread.to_bits(),
+        "{tag}"
+    );
+    assert_eq!(
+        sweep.execution_time_ms.to_bits(),
+        direct.execution_time_ms.to_bits(),
+        "{tag}: execution time diverged"
+    );
+    assert_eq!(
+        sweep.thread_latency_ms.len(),
+        direct.thread_latency_ms.len(),
+        "{tag}"
+    );
+    for (t, (a, b)) in sweep
+        .thread_latency_ms
+        .iter()
+        .zip(&direct.thread_latency_ms)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{tag} thread {t}");
+    }
+}
+
+/// The whole suite × both schemes × every fig7c capacity point:
+/// sweep-engine outcomes equal uncached per-config outcomes exactly.
+#[test]
+fn sweep_outcomes_match_per_config_runs() {
+    let base = topology_for(Scale::Small);
+    let points = fig7c::sweep_points(&base);
+    let overrides = RunOverrides::default();
+    let caches = RunCaches::new();
+    for w in flo_workloads::all(Scale::Small) {
+        for scheme in [Scheme::Default, Scheme::Inter] {
+            let swept = sweep_outcomes(
+                &caches,
+                &w,
+                &base,
+                &points,
+                PolicyKind::LruInclusive,
+                scheme,
+                &overrides,
+            );
+            assert_eq!(swept.len(), points.len());
+            for (i, p) in points.iter().enumerate() {
+                let mut topo = base.clone();
+                topo.io_cache_blocks = p.io_cache_blocks;
+                topo.storage_cache_blocks = p.storage_cache_blocks;
+                let direct = run_app(&w, &topo, PolicyKind::LruInclusive, scheme, &overrides);
+                let tag = format!("{} {} point {i}", w.name, scheme.name());
+                assert_reports_identical(&swept[i].report, &direct.report, &tag);
+                assert_eq!(
+                    swept[i].optimized_fraction.to_bits(),
+                    direct.optimized_fraction.to_bits(),
+                    "{tag}"
+                );
+                // compile_ms is wall-clock layout-pass time — not
+                // comparable across runs, only sane.
+                assert!(swept[i].compile_ms >= 0.0, "{tag}");
+            }
+        }
+    }
+}
+
+/// The fig7c top-level entry point: batched normalized execution times
+/// equal the per-point cached path bit for bit.
+#[test]
+fn normalized_exec_sweep_matches_per_point() {
+    let base = topology_for(Scale::Small);
+    let points = fig7c::sweep_points(&base);
+    let overrides = RunOverrides::default();
+    let caches = RunCaches::new();
+    for w in flo_workloads::all(Scale::Small) {
+        let norms = normalized_exec_sweep(
+            &caches,
+            &w,
+            &base,
+            &points,
+            PolicyKind::LruInclusive,
+            Scheme::Inter,
+            &overrides,
+        );
+        for (i, p) in points.iter().enumerate() {
+            let mut topo = base.clone();
+            topo.io_cache_blocks = p.io_cache_blocks;
+            topo.storage_cache_blocks = p.storage_cache_blocks;
+            let direct = flo_bench::harness::normalized_exec(
+                &w,
+                &topo,
+                PolicyKind::LruInclusive,
+                Scheme::Inter,
+                &overrides,
+            );
+            assert_eq!(
+                norms[i].to_bits(),
+                direct.to_bits(),
+                "{} point {i}: {} vs {direct}",
+                w.name,
+                norms[i]
+            );
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Computation-mapping baseline [26].
+//! Computation-mapping baseline \[26\].
 //!
 //! The HPDC'10 scheme clusters loop iterations over the storage-cache
 //! topology: iteration blocks that touch adjacent data are placed on

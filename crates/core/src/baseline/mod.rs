@@ -1,12 +1,12 @@
 //! The two prior-work baselines of the paper's comparison (Fig. 7(g)).
 //!
 //! * [`compmap`] — computation mapping for multi-level storage cache
-//!   hierarchies (Kandemir et al., HPDC'10 — the paper's citation [26]):
+//!   hierarchies (Kandemir et al., HPDC'10 — the paper's citation \[26\]):
 //!   restructures *computation* (which thread runs which iteration
 //!   blocks) to match the cache-sharing topology, leaving file layouts
 //!   untouched.
 //! * [`reindex`] — compiler-directed code/layout restructuring (Kandemir
-//!   et al., FAST'08 — citation [27]): a profiler-driven *dimension
+//!   et al., FAST'08 — citation \[27\]): a profiler-driven *dimension
 //!   reindexing* that picks, per array, the best of the `m!` dimension
 //!   permutations (e.g. converting row-major to column-major), without
 //!   knowledge of the storage hierarchy.

@@ -1,4 +1,4 @@
-//! Dimension-reindexing baseline [27].
+//! Dimension-reindexing baseline \[27\].
 //!
 //! The FAST'08 file layout optimization selects, per disk-resident array,
 //! one of the `m!` dimension permutations of its file layout (e.g.

@@ -3,7 +3,7 @@
 //! A [`FileLayout`] is an injective map from the elements of one
 //! disk-resident array to offsets in its file (§2's "file layout"). The
 //! conventional layouts (row-major, column-major, arbitrary dimension
-//! permutations — the search space of the reindexing baseline [27]) are
+//! permutations — the search space of the reindexing baseline \[27\]) are
 //! closed-form; the paper's inter-node layout is carried as the explicit
 //! address table Algorithm 1 constructs at compile time.
 
@@ -121,7 +121,7 @@ impl FileLayout {
     }
 
     /// All dimension permutations of an `m`-dimensional array — the search
-    /// space of the profiler-driven reindexing baseline [27] ("for a
+    /// space of the profiler-driven reindexing baseline \[27\] ("for a
     /// three-dimensional disk-resident array, six possible file layouts").
     pub fn all_permutations(m: usize) -> Vec<FileLayout> {
         let mut perms = Vec::new();

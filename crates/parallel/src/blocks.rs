@@ -29,7 +29,7 @@ pub enum BlockAssignment {
     RoundRobin,
     /// Contiguous runs: thread `t` receives blocks
     /// `[t·⌈x/T⌉, (t+1)·⌈x/T⌉)`. This is the clustered distribution used by
-    /// the computation-mapping baseline [26], which groups adjacent
+    /// the computation-mapping baseline \[26\], which groups adjacent
     /// iteration blocks onto threads that share storage caches.
     Blocked,
 }

@@ -414,14 +414,14 @@ pub struct SetAssocCache {
 /// on every simulated request and `n` (the set count) is a runtime value,
 /// so the compiler cannot strength-reduce the modulo itself.
 #[derive(Clone, Copy, Debug)]
-struct FastMod {
+pub(crate) struct FastMod {
     n: u64,
     /// ceil(2^128 / n), wrapped to 0 for n = 1 (where the remainder is 0).
     m: u128,
 }
 
 impl FastMod {
-    fn new(n: u64) -> FastMod {
+    pub(crate) fn new(n: u64) -> FastMod {
         debug_assert!(n > 0, "FastMod: zero modulus");
         FastMod {
             n,
@@ -430,7 +430,7 @@ impl FastMod {
     }
 
     #[inline]
-    fn rem(&self, x: u64) -> u64 {
+    pub(crate) fn rem(&self, x: u64) -> u64 {
         let low = self.m.wrapping_mul(x as u128);
         // High 128 bits of `low × n`, assembled from 64-bit halves.
         let (ah, al) = ((low >> 64) as u64 as u128, low as u64 as u128);
@@ -439,16 +439,32 @@ impl FastMod {
     }
 }
 
+/// The `(num_sets, ways)` geometry [`SetAssocCache::new`] builds for a
+/// nominal `(capacity, ways)` pair, shared with the stack-distance sweep
+/// engine so both derive identical set structures.
+pub(crate) fn set_geometry(capacity: usize, ways: usize) -> (usize, usize) {
+    assert!(
+        capacity > 0 && ways > 0,
+        "SetAssocCache: zero capacity/ways"
+    );
+    let ways = ways.min(capacity);
+    let num_sets = (capacity / ways).max(1);
+    (num_sets, ways)
+}
+
+/// The set-index hash of a block (before the modulo), shared with the
+/// stack-distance sweep engine: within-file adjacency preserved, files
+/// offset by a prime multiplier.
+#[inline]
+pub(crate) fn set_hash(block: BlockAddr) -> u64 {
+    block.index + block.file as u64 * 7919
+}
+
 impl SetAssocCache {
     /// A cache of `capacity` blocks organized as `capacity / ways` sets of
     /// `ways` blocks. `ways >= capacity` degenerates to fully-associative.
     pub fn new(capacity: usize, ways: usize) -> SetAssocCache {
-        assert!(
-            capacity > 0 && ways > 0,
-            "SetAssocCache: zero capacity/ways"
-        );
-        let ways = ways.min(capacity);
-        let num_sets = (capacity / ways).max(1);
+        let (num_sets, ways) = set_geometry(capacity, ways);
         SetAssocCache {
             sets: (0..num_sets).map(|_| LruCore::new(ways)).collect(),
             ways,
@@ -472,7 +488,7 @@ impl SetAssocCache {
     }
 
     fn set_of(&self, block: BlockAddr) -> usize {
-        self.set_mod.rem(block.index + block.file as u64 * 7919) as usize
+        self.set_mod.rem(set_hash(block)) as usize
     }
 
     /// Weighted lookup; see [`LruCore::access_weighted`].

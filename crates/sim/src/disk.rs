@@ -60,18 +60,43 @@ pub const SCHED_WINDOW: usize = 64;
 /// skips at near-sequential cost).
 pub const SKIP_DISTANCE: u64 = 4;
 
+/// Sentinel filling empty window slots. Far above any reachable LBA
+/// (LBAs are `file << 24 | stripe_index` with 32-bit files, so < 2^56),
+/// and far below `u64::MAX` so the wrapping skip-distance test cannot
+/// alias it onto small LBAs.
+const EMPTY_LBA: u64 = u64::MAX - (SKIP_DISTANCE << 1);
+
 /// Mutable per-disk state: recently served LBAs, used for sequentiality
 /// detection under a scheduling window. The window holds at most
-/// [`SCHED_WINDOW`] (= 64) distinct LBAs in first-served order, in a
-/// contiguous vector: one branch-free pass answers both the skip-distance
-/// probe and the residency check cheaper than any hashed set could.
-#[derive(Clone, Debug, Default)]
+/// [`SCHED_WINDOW`] (= 64) distinct LBAs in first-served order, as a
+/// fixed-size ring whose dead slots carry an unreachable sentinel: the
+/// probe is one branch-free pass over all 64 slots (fully unrollable —
+/// no length to test) and eviction is O(1), answering both the
+/// skip-distance probe and the residency check cheaper than any hashed
+/// set could.
+#[derive(Clone, Debug)]
 pub struct DiskState {
-    recent: Vec<u64>,
+    /// Ring storage; live slots are `head, head+1, …, head+len-1 (mod 64)`
+    /// in first-served order, every other slot holds [`EMPTY_LBA`].
+    recent: [u64; SCHED_WINDOW],
+    head: usize,
+    len: usize,
     /// Total reads served.
     pub reads: u64,
     /// Reads that were sequential.
     pub sequential_reads: u64,
+}
+
+impl Default for DiskState {
+    fn default() -> DiskState {
+        DiskState {
+            recent: [EMPTY_LBA; SCHED_WINDOW],
+            head: 0,
+            len: 0,
+            reads: 0,
+            sequential_reads: 0,
+        }
+    }
 }
 
 impl DiskState {
@@ -100,8 +125,11 @@ impl DiskState {
             sequential |= d <= SKIP_DISTANCE;
             resident |= d == 0;
         }
-        if self.recent.len() == SCHED_WINDOW {
-            let popped = self.recent.remove(0);
+        if self.len == SCHED_WINDOW {
+            let popped = self.recent[self.head];
+            self.recent[self.head] = EMPTY_LBA;
+            self.head = (self.head + 1) % SCHED_WINDOW;
+            self.len -= 1;
             // The probe above saw the pre-eviction window; the popped LBA
             // no longer counts for residency (each LBA appears once).
             resident &= popped != lba;
@@ -109,7 +137,8 @@ impl DiskState {
         // Duplicate LBAs refresh nothing: the window holds distinct LBAs
         // in first-served order.
         if !resident {
-            self.recent.push(lba);
+            self.recent[(self.head + self.len) % SCHED_WINDOW] = lba;
+            self.len += 1;
         }
         self.reads += 1;
         if sequential {

@@ -27,6 +27,7 @@ pub mod disk;
 pub mod fxhash;
 pub mod policies;
 pub mod sim;
+pub mod stackdist;
 pub mod stats;
 pub mod system;
 pub mod topology;
@@ -39,6 +40,7 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use policies::karma::KarmaHints;
 pub use policies::PolicyKind;
 pub use sim::{simulate, RunConfig};
+pub use stackdist::{simulate_sweep, MultiCapacityStack, SweepPoint};
 pub use stats::{LayerStats, SimReport};
 pub use system::StorageSystem;
 pub use topology::Topology;

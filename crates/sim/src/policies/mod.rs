@@ -6,9 +6,9 @@
 //! * [`PolicyKind::LruInclusive`] — the default of §5.1: every layer runs
 //!   LRU and lower layers retain copies of blocks cached above them.
 //! * [`PolicyKind::DemoteLru`] — Wong & Wilkes' DEMOTE with LRU arrays
-//!   (§5.4, [44]): exclusive caching where client evictions are demoted to
+//!   (§5.4, \[44\]): exclusive caching where client evictions are demoted to
 //!   the storage cache.
-//! * [`PolicyKind::Karma`] — Yadgar et al.'s KARMA (§5.4, [47]): exclusive
+//! * [`PolicyKind::Karma`] — Yadgar et al.'s KARMA (§5.4, \[47\]): exclusive
 //!   caching driven by application hints that classify blocks into ranges
 //!   and partition cache space across the hierarchy by marginal gain.
 //!
@@ -24,12 +24,12 @@ pub mod mq;
 pub enum PolicyKind {
     /// Inclusive LRU at both layers (paper default).
     LruInclusive,
-    /// DEMOTE-LRU exclusive caching [44].
+    /// DEMOTE-LRU exclusive caching \[44\].
     DemoteLru,
-    /// KARMA hint-based exclusive partitioning [47].
+    /// KARMA hint-based exclusive partitioning \[47\].
     Karma,
     /// Multi-Queue at the storage layer, LRU at the I/O layer — the
-    /// second-level scheme of the paper's citation [50]; an extension
+    /// second-level scheme of the paper's citation \[50\]; an extension
     /// beyond the evaluated policies.
     MqSecondLevel,
 }

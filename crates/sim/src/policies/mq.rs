@@ -1,6 +1,6 @@
 //! MQ: the Multi-Queue replacement algorithm for second-level caches.
 //!
-//! Zhou, Philbin & Li (USENIX ATC'01 — the paper's citation [50]) observe
+//! Zhou, Philbin & Li (USENIX ATC'01 — the paper's citation \[50\]) observe
 //! that second-level (storage) caches see the *misses* of the layer above,
 //! whose reuse distances defeat plain LRU, and propose Multi-Queue: blocks
 //! live in one of `m` LRU queues by access frequency (queue

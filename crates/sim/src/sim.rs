@@ -43,11 +43,9 @@ pub fn simulate(system: &mut StorageSystem, traces: &[ThreadTrace], cfg: &RunCon
         latency[t] += ms;
         total_requests += 1;
     }
-    let compute: Vec<f64> = traces.iter().map(|_| cfg.compute_ms_per_thread).collect();
     let execution_time_ms = latency
         .iter()
-        .zip(&compute)
-        .map(|(l, c)| l + c)
+        .map(|l| l + cfg.compute_ms_per_thread)
         .fold(0.0f64, f64::max);
     let (disk_reads, disk_sequential_reads) = system.disk_stats();
     SimReport {
@@ -59,7 +57,7 @@ pub fn simulate(system: &mut StorageSystem, traces: &[ThreadTrace], cfg: &RunCon
         disk_sequential_reads,
         demotions: system.demotions(),
         thread_latency_ms: latency,
-        thread_compute_ms: compute,
+        compute_ms_per_thread: cfg.compute_ms_per_thread,
         execution_time_ms,
         total_requests,
     }
@@ -100,7 +98,7 @@ mod tests {
         ];
         let cfg = RunConfig::default();
         let report = simulate(&mut sys, &traces, &cfg);
-        let t1_total = report.thread_latency_ms[1] + report.thread_compute_ms[1];
+        let t1_total = report.thread_latency_ms[1] + report.compute_ms_per_thread;
         assert!((report.execution_time_ms - t1_total).abs() < 1e-9);
         assert!(report.thread_latency_ms[1] > report.thread_latency_ms[0]);
     }

@@ -25,8 +25,11 @@ pub struct SimReport {
     pub demotions: u64,
     /// Per-thread accumulated I/O latency in milliseconds.
     pub thread_latency_ms: Vec<f64>,
-    /// Per-thread compute time in milliseconds.
-    pub thread_compute_ms: Vec<f64>,
+    /// Compute time charged to every thread, in milliseconds. Compute is
+    /// layout-independent and uniform across threads (see
+    /// [`crate::sim::RunConfig`]), so a single scalar replaces the
+    /// constant-broadcast vector older revisions carried.
+    pub compute_ms_per_thread: f64,
     /// Estimated execution time: `max_t(compute_t + latency_t)`.
     pub execution_time_ms: f64,
     /// Total block requests issued.
@@ -72,7 +75,7 @@ impl SimReport {
             .set("disk_sequential_reads", self.disk_sequential_reads)
             .set("demotions", self.demotions)
             .set("thread_latency_ms", self.thread_latency_ms.clone())
-            .set("thread_compute_ms", self.thread_compute_ms.clone())
+            .set("compute_ms_per_thread", self.compute_ms_per_thread)
             .set("execution_time_ms", self.execution_time_ms)
             .set("total_requests", self.total_requests)
     }

@@ -5,7 +5,11 @@
 
 use flo_linalg::SplitMix64;
 use flo_sim::policies::demote;
-use flo_sim::{BlockAddr, LruCore, PolicyKind, StorageSystem, ThreadTrace, Topology};
+use flo_sim::stackdist::StackEngine;
+use flo_sim::{
+    simulate, simulate_sweep, BlockAddr, LruCore, MultiCapacityStack, PolicyKind, RunConfig,
+    StorageSystem, SweepPoint, ThreadTrace, Topology,
+};
 
 fn block_stream(rng: &mut SplitMix64) -> Vec<u64> {
     let len = rng.range_usize(1, 199);
@@ -121,6 +125,170 @@ fn policies_consistent_and_deterministic() {
         // by coalesced element counts).
         let elements: u64 = traces.iter().map(|t| t.element_accesses()).sum();
         assert_eq!(a.layers.io.accesses, elements, "case {case}");
+    }
+}
+
+fn random_traces(rng: &mut SplitMix64, topo: &Topology) -> Vec<ThreadTrace> {
+    let n = rng.range_usize(1, 3);
+    (0..n)
+        .map(|t| {
+            let mut tr = ThreadTrace::new(t, t % topo.compute_nodes);
+            for i in block_stream(rng) {
+                tr.push(BlockAddr::new((i % 3) as u32, i));
+            }
+            tr
+        })
+        .collect()
+}
+
+/// The one-pass sweep engine matches a direct LRU simulation of every
+/// swept point — full-report equality (counters and bit-exact floats)
+/// for random traces, capacities, and set counts.
+#[test]
+fn sweep_matches_direct_lru_simulation() {
+    let mut rng = SplitMix64::new(0x5EE9_D157);
+    for case in 0..25 {
+        let mut topo = Topology::tiny();
+        // Small ways force multi-set geometries; usize::MAX keeps the
+        // fully-associative path covered.
+        topo.cache_ways = [2, 3, 4, usize::MAX][rng.range_usize(0, 3)];
+        let points: Vec<SweepPoint> = (0..rng.range_usize(1, 5))
+            .map(|_| SweepPoint {
+                io_cache_blocks: rng.range_usize(1, 48),
+                storage_cache_blocks: rng.range_usize(2, 64),
+            })
+            .collect();
+        let traces = random_traces(&mut rng, &topo);
+        let cfg = RunConfig {
+            compute_ms_per_thread: rng.below(8) as f64,
+        };
+        let swept = simulate_sweep(&topo, &points, &traces, &cfg);
+        for (i, p) in points.iter().enumerate() {
+            let mut t = topo.clone();
+            t.io_cache_blocks = p.io_cache_blocks;
+            t.storage_cache_blocks = p.storage_cache_blocks;
+            let mut sys = StorageSystem::new(t, PolicyKind::LruInclusive);
+            let direct = simulate(&mut sys, &traces, &cfg);
+            let s = &swept[i];
+            let tag = format!("case {case} point {i}");
+            assert_eq!(s.layers.io.accesses, direct.layers.io.accesses, "{tag}");
+            assert_eq!(s.layers.io.hits, direct.layers.io.hits, "{tag}");
+            assert_eq!(
+                s.layers.storage.accesses, direct.layers.storage.accesses,
+                "{tag}"
+            );
+            assert_eq!(s.layers.storage.hits, direct.layers.storage.hits, "{tag}");
+            assert_eq!(s.disk_reads, direct.disk_reads, "{tag}");
+            assert_eq!(
+                s.disk_sequential_reads, direct.disk_sequential_reads,
+                "{tag}"
+            );
+            assert_eq!(s.demotions, direct.demotions, "{tag}");
+            assert_eq!(s.total_requests, direct.total_requests, "{tag}");
+            assert_eq!(
+                s.compute_ms_per_thread.to_bits(),
+                direct.compute_ms_per_thread.to_bits(),
+                "{tag}"
+            );
+            assert_eq!(
+                s.execution_time_ms.to_bits(),
+                direct.execution_time_ms.to_bits(),
+                "{tag}"
+            );
+            assert_eq!(s.thread_latency_ms.len(), direct.thread_latency_ms.len());
+            for (t_idx, (a, b)) in s
+                .thread_latency_ms
+                .iter()
+                .zip(&direct.thread_latency_ms)
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "{tag} thread {t_idx}");
+            }
+        }
+    }
+}
+
+/// A one-set stack geometry is exactly an always-insert LRU: the
+/// engine's hit bit matches [`LruCore`] access-for-access, at both
+/// timestamp widths.
+#[test]
+fn stack_single_set_matches_lru_core() {
+    let mut rng = SplitMix64::new(0x57AC_D157);
+    for case in 0..50 {
+        let ways = rng.range_usize(1, 12);
+        let mut stack64 = MultiCapacityStack::new(&[(1, ways)]).unwrap();
+        let mut stack32 = StackEngine::<u32>::new(&[(1, ways)]).unwrap();
+        let mut lru = LruCore::new(ways);
+        for (pos, i) in block_stream(&mut rng).into_iter().enumerate() {
+            let b = BlockAddr::new(0, i);
+            let m64 = stack64.access(b);
+            let m32 = stack32.access(b);
+            let hit = lru.access(b);
+            lru.insert(b);
+            assert_eq!(m64 & 1 == 1, hit, "case {case} pos {pos}");
+            assert_eq!(m64, m32, "case {case} pos {pos}: timestamp widths differ");
+        }
+    }
+}
+
+/// Multi-geometry masks agree with independent single-geometry engines
+/// (so classifying many capacities in one walk changes nothing) and
+/// across timestamp widths, for random set counts and ways including
+/// non-dividing mixes that exercise the generic plan.
+#[test]
+fn stack_multi_geometry_is_consistent() {
+    let mut rng = SplitMix64::new(0xD157_CA5E);
+    for case in 0..25 {
+        let geos: Vec<(usize, usize)> = (0..rng.range_usize(1, 5))
+            .map(|_| (rng.range_usize(1, 9), rng.range_usize(1, 9)))
+            .collect();
+        let mut multi64 = MultiCapacityStack::new(&geos).unwrap();
+        let mut multi32 = StackEngine::<u32>::new(&geos).unwrap();
+        let mut singles: Vec<MultiCapacityStack> = geos
+            .iter()
+            .map(|&g| MultiCapacityStack::new(&[g]).unwrap())
+            .collect();
+        for (pos, i) in block_stream(&mut rng).into_iter().enumerate() {
+            let b = BlockAddr::new((i % 2) as u32, i);
+            let m = multi64.access(b);
+            assert_eq!(m, multi32.access(b), "case {case} pos {pos}");
+            for (k, s) in singles.iter_mut().enumerate() {
+                assert_eq!(
+                    (m >> k) & 1,
+                    s.access(b) & 1,
+                    "case {case} pos {pos} geo {k}"
+                );
+            }
+        }
+    }
+}
+
+/// Inclusion across the two-layer hierarchy: doubling both layers'
+/// capacities (nested set geometries) never loses an I/O-layer hit, so
+/// the storage layer sees a weakly shrinking miss stream.
+#[test]
+fn nested_capacity_growth_preserves_io_hits() {
+    let mut rng = SplitMix64::new(0x1C105);
+    let mut topo = Topology::tiny();
+    topo.cache_ways = 2; // finite ways so the sweep exercises real sets
+    let traces = random_traces(&mut rng, &topo);
+    let points: Vec<SweepPoint> = (0..4)
+        .map(|k| SweepPoint {
+            io_cache_blocks: 4 << k,
+            storage_cache_blocks: 8 << k,
+        })
+        .collect();
+    let swept = simulate_sweep(&topo, &points, &traces, &RunConfig::default());
+    for (i, w) in swept.windows(2).enumerate() {
+        assert_eq!(w[0].layers.io.accesses, w[1].layers.io.accesses);
+        assert!(
+            w[1].layers.io.hits >= w[0].layers.io.hits,
+            "point {i}: larger caches lost an I/O hit"
+        );
+        assert!(
+            w[1].layers.storage.accesses <= w[0].layers.storage.accesses,
+            "point {i}: storage layer saw more misses at larger capacity"
+        );
     }
 }
 

@@ -6,7 +6,7 @@
 //! thread owns a set of diagonal wavefront planes — Step I's hyperplane is
 //! the skewed `d = (1, −1, −1)`, and **no dimension permutation** can make
 //! a thread's wavefront data contiguous (this is the class of layouts the
-//! paper's §5.4 argues is out of reach for reindexing [27]).
+//! paper's §5.4 argues is out of reach for reindexing \[27\]).
 
 use crate::spec::{Scale, Workload};
 use flo_polyhedral::ProgramBuilder;

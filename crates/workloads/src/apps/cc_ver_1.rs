@@ -1,7 +1,7 @@
 //! `cc-ver-1` — protein structure prediction, implementation 1.
 //!
-//! **Group 1 (no benefit).** The paper: "cc-ver-1 … already ha[s] very
-//! good cache hit rates in [its] default execution; there is simply no
+//! **Group 1 (no benefit).** The paper: "cc-ver-1 … already ha\[s\] very
+//! good cache hit rates in \[its\] default execution; there is simply no
 //! scope for additional performance improvement." The kernel models the
 //! contact-map scoring phase: many passes over a set of *small*
 //! residue-pair matrices with row-order (identity) accesses. The working

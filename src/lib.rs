@@ -20,7 +20,7 @@
 //! * [`sim`] — the trace-driven multi-layer storage-cache simulator
 //!   (LRU / KARMA / DEMOTE-LRU, striped disks),
 //! * [`workloads`] — the 16 evaluation applications of Table 2,
-//! * [`bench`] — the experiment harness regenerating every table and
+//! * [`mod@bench`] — the experiment harness regenerating every table and
 //!   figure of §5.
 //!
 //! ## Quickstart
