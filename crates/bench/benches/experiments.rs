@@ -5,9 +5,9 @@
 //! (`cargo run --release -p flo-bench --bin fig7a`, …).
 
 use flo_bench::harness::{normalized_exec, run_app, RunOverrides, Scheme};
-use flo_bench::timing::measure;
 use flo_bench::topology_for;
 use flo_core::TargetLayers;
+use flo_obs::timing::measure;
 use flo_parallel::ThreadMapping;
 use flo_sim::PolicyKind;
 use flo_workloads::{by_name, Scale};

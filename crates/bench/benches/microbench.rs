@@ -12,11 +12,11 @@
 //!
 //! Run with `cargo bench -p flo-bench --bench microbench`.
 
-use flo_bench::timing::measure;
 use flo_core::partition::{partition_array, AccessConstraint};
 use flo_core::tracegen::{default_layouts, generate_traces};
 use flo_core::{run_layout_pass, ParallelConfig, PassOptions};
 use flo_linalg::IMat;
+use flo_obs::timing::measure;
 use flo_sim::{simulate, BlockAddr, LruCore, PolicyKind, StorageSystem, Topology};
 use flo_workloads::{by_name, Scale};
 use std::hint::black_box;

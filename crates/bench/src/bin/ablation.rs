@@ -75,6 +75,5 @@ fn main() {
         a_template.period(),
         HierTemplate::of(&concrete).fan_ins,
     ));
-    println!("{table}");
-    flo_bench::persist(&table, "ablation");
+    flo_bench::finish(&table, "ablation");
 }

@@ -1,9 +1,20 @@
 //! Regenerates the paper's `fig7c` experiment. Set `FLO_SCALE=small`
-//! for a fast, test-sized run.
+//! for a fast, test-sized run, `FLO_POLICY=lru|demote|karma|mq` to sweep
+//! capacities under a different cache-management policy (the artifact
+//! name gains a `-<policy>` suffix so `flostat diff` can compare runs).
+
+use flo_sim::PolicyKind;
 
 fn main() {
     let scale = flo_bench::scale_from_env();
-    let table = flo_bench::experiments::fig7c::run(scale);
-    println!("{table}");
-    flo_bench::persist(&table, "fig7c");
+    let policy = flo_bench::policy_from_env();
+    let table = flo_bench::experiments::fig7c::run_with_policy(
+        scale,
+        policy.unwrap_or(PolicyKind::LruInclusive),
+    );
+    let name = match policy {
+        Some(p) => format!("fig7c-{}", p.name().to_lowercase()),
+        None => "fig7c".to_string(),
+    };
+    flo_bench::finish(&table, &name);
 }

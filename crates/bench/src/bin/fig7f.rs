@@ -4,6 +4,5 @@
 fn main() {
     let scale = flo_bench::scale_from_env();
     let table = flo_bench::experiments::fig7f::run(scale);
-    println!("{table}");
-    flo_bench::persist(&table, "fig7f");
+    flo_bench::finish(&table, "fig7f");
 }

@@ -4,6 +4,5 @@
 fn main() {
     let scale = flo_bench::scale_from_env();
     let table = flo_bench::experiments::optstats::run(scale);
-    println!("{table}");
-    flo_bench::persist(&table, "optstats");
+    flo_bench::finish(&table, "optstats");
 }

@@ -31,19 +31,34 @@
 //! [`simulate_sweep`] call classifying every point in a single trace
 //! pass. Reports are asserted bit-identical before the timings go to
 //! `BENCH_sweep.json`. Pass `--sweep-only` to skip the (slow) pipeline
-//! sections and run just this one.
+//! sections and run just the sweep and observer sections.
+//!
+//! A third section is the **observer-overhead gate**: the instrumented
+//! simulator entry point (which the experiments run with
+//! [`NullObserver`](flo_obs::NullObserver) when metrics are off) against
+//! the frozen pre-instrumentation copy in `flo_sim::seedpath`, on the
+//! same traces. Reports are asserted bit-identical; timings are summed
+//! over the suite (min-of-iters per app) to damp noise. Pass
+//! `--obs-gate <pct>` to exit 1 when the aggregate overhead exceeds
+//! `<pct>` percent — CI runs `--sweep-only --obs-gate 2`. With
+//! `FLO_METRICS=jsonl` the section also writes its numbers to
+//! `results/metrics/perfstats-obs.jsonl`.
 
 use flo_bench::experiments::fig7c;
 use flo_bench::harness::{prepare_run, PreparedRun, RunOverrides, Scheme};
 use flo_bench::legacy::simulate_legacy;
-use flo_bench::timing::measure_with;
 use flo_bench::{scale_from_env, topology_for, TraceCache};
 use flo_core::{generate_traces, generate_traces_reference};
 use flo_json::Json;
+use flo_obs::sink::write_json_artifact;
+use flo_obs::timing::measure_with;
+use flo_obs::JsonlSink;
 use flo_sim::{
-    simulate, simulate_sweep, PolicyKind, SimReport, StorageSystem, ThreadTrace, Topology,
+    simulate, simulate_seed, simulate_sweep, PolicyKind, SimReport, StorageSystem, ThreadTrace,
+    Topology,
 };
 use flo_workloads::{all, Scale, Workload};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 fn exec_ms(traces: &[ThreadTrace], prepared: &PreparedRun, topo: &Topology) -> f64 {
@@ -211,11 +226,91 @@ fn sweep_bench(scale: Scale, topo: &Topology, suite: &[Workload], budget: Durati
                 .set("sweep_ms", total_sweep)
                 .set("speedup", speedup),
         );
-    let path = "BENCH_sweep.json";
-    match std::fs::write(path, doc.pretty()) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    let path = Path::new("BENCH_sweep.json");
+    match write_json_artifact(path, doc) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
+}
+
+/// Time the instrumented simulator entry point (null observer — the
+/// experiments' metrics-off configuration) against the frozen seed-path
+/// copy, on identical traces. Returns the aggregate overhead in percent
+/// (positive = instrumented is slower).
+fn obs_overhead_bench(scale: Scale, topo: &Topology, suite: &[Workload], budget: Duration) -> f64 {
+    println!(
+        "== observer overhead: instrumented (null) vs frozen seed path ({} apps) ==",
+        suite.len()
+    );
+    let (mut total_null, mut total_seed) = (0.0f64, 0.0f64);
+    let mut apps = Vec::new();
+    for w in suite {
+        let prepared = prepare_run(w, topo, Scheme::Inter, &RunOverrides::default());
+        let traces = generate_traces(&w.program, &prepared.cfg, &prepared.layouts, topo);
+        let run_null = || {
+            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+            simulate(&mut system, &traces, &prepared.run_cfg)
+        };
+        let run_seed = || {
+            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+            simulate_seed(&mut system, &traces, &prepared.run_cfg)
+        };
+        assert_identical(
+            &run_null(),
+            &run_seed(),
+            &format!("{}: null-observer path diverged from seed path", w.name),
+        );
+        let null = measure_with(&format!("{}/null-observer", w.name), budget, 20, run_null);
+        let seed = measure_with(&format!("{}/seed-path", w.name), budget, 20, run_seed);
+        for m in [&null, &seed] {
+            println!("{}", m.line());
+        }
+        total_null += null.min_ms;
+        total_seed += seed.min_ms;
+        apps.push(
+            Json::obj()
+                .set("app", w.name)
+                .set("null_ms", null.min_ms)
+                .set("seed_ms", seed.min_ms)
+                .set("overhead_pct", (null.min_ms / seed.min_ms - 1.0) * 100.0),
+        );
+    }
+    let overhead_pct = (total_null / total_seed - 1.0) * 100.0;
+    println!("instrumented (null) TOTAL: {total_null:>10.1} ms");
+    println!("seed path TOTAL:           {total_seed:>10.1} ms");
+    println!("aggregate observer overhead: {overhead_pct:+.2}%");
+    if flo_bench::metrics::enabled() {
+        let mut sink = JsonlSink::new("perfstats-obs");
+        for a in apps {
+            sink.push("obs-overhead", a);
+        }
+        sink.push(
+            "obs-overhead-total",
+            Json::obj()
+                .set("scale", scale_name(scale))
+                .set("null_ms", total_null)
+                .set("seed_ms", total_seed)
+                .set("overhead_pct", overhead_pct),
+        );
+        let path = Path::new("results/metrics/perfstats-obs.jsonl");
+        match sink.write_to(path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+    overhead_pct
+}
+
+/// Apply the `--obs-gate <pct>` ceiling, exiting 1 on breach.
+fn apply_obs_gate(overhead_pct: f64, gate_pct: Option<f64>) {
+    let Some(gate) = gate_pct else { return };
+    if overhead_pct > gate {
+        eprintln!(
+            "observer overhead {overhead_pct:+.2}% exceeds the --obs-gate ceiling of {gate}%"
+        );
+        std::process::exit(1);
+    }
+    println!("observer overhead {overhead_pct:+.2}% within the --obs-gate ceiling of {gate}%");
 }
 
 fn main() {
@@ -223,8 +318,19 @@ fn main() {
     let topo = topology_for(scale);
     let suite = all(scale);
     let budget = Duration::from_millis(150);
-    if std::env::args().any(|a| a == "--sweep-only") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gate_pct: Option<f64> = args.iter().position(|a| a == "--obs-gate").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--obs-gate needs a numeric percentage, e.g. --obs-gate 2");
+                std::process::exit(2);
+            })
+    });
+    if args.iter().any(|a| a == "--sweep-only") {
         sweep_bench(scale, &topo, &suite, budget);
+        let overhead = obs_overhead_bench(scale, &topo, &suite, budget);
+        apply_obs_gate(overhead, gate_pct);
         return;
     }
 
@@ -329,11 +435,13 @@ fn main() {
                 .set("after_ms", after_ms)
                 .set("speedup", speedup),
         );
-    let path = "BENCH_pipeline.json";
-    match std::fs::write(path, doc.pretty()) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+    let path = Path::new("BENCH_pipeline.json");
+    match write_json_artifact(path, doc) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 
     sweep_bench(scale, &topo, &suite, budget);
+    let overhead = obs_overhead_bench(scale, &topo, &suite, budget);
+    apply_obs_gate(overhead, gate_pct);
 }

@@ -4,6 +4,5 @@
 fn main() {
     let scale = flo_bench::scale_from_env();
     let table = flo_bench::experiments::table1::run(scale);
-    println!("{table}");
-    flo_bench::persist(&table, "table1");
+    flo_bench::finish(&table, "table1");
 }

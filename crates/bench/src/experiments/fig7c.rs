@@ -34,6 +34,15 @@ pub fn sweep_points(base: &flo_sim::Topology) -> Vec<SweepPoint> {
 /// `Inter` side batches whichever points its layout pass maps to the same
 /// layouts.
 pub fn run(scale: Scale) -> Table {
+    run_with_policy(scale, PolicyKind::LruInclusive)
+}
+
+/// [`run`] under an explicit cache-management policy — what the `fig7c`
+/// binary executes when `FLO_POLICY` is set, so `flostat diff` can put
+/// e.g. KARMA's capacity sensitivity next to inclusive LRU's. Non-LRU
+/// policies take the per-point simulation path instead of the one-pass
+/// sweep engine.
+pub fn run_with_policy(scale: Scale, policy: PolicyKind) -> Table {
     let base_topo = topology_for(scale);
     let suite = suite_from_env(scale);
     let headers: Vec<&str> = std::iter::once("application")
@@ -47,15 +56,22 @@ pub fn run(scale: Scale) -> Table {
             w,
             &base_topo,
             &points,
-            PolicyKind::LruInclusive,
+            policy,
             Scheme::Inter,
             &RunOverrides::default(),
         )
     });
-    let mut t = Table::new(
-        "Fig. 7(c) — normalized execution time vs cache capacity",
-        &headers,
-    );
+    // The default (LRU) title is what the checked-in `results/` tables
+    // carry; only policy overrides annotate it.
+    let title = if policy == PolicyKind::LruInclusive {
+        "Fig. 7(c) — normalized execution time vs cache capacity".to_string()
+    } else {
+        format!(
+            "Fig. 7(c) — normalized execution time vs cache capacity ({})",
+            policy.name()
+        )
+    };
+    let mut t = Table::new(&title, &headers);
     for (w, norms) in suite.iter().zip(&rows) {
         let mut cells = vec![w.name.to_string()];
         cells.extend(norms.iter().map(|&n| r3(n)));

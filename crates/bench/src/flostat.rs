@@ -1,0 +1,373 @@
+//! Aggregation and rendering behind the `flostat` binary.
+//!
+//! Loads the JSONL metrics artifacts the harness writes under
+//! `results/metrics/` (see [`crate::metrics`]), folds them into
+//! per-configuration layer statistics and per-phase time totals, and
+//! renders them as tables — either one artifact (`flostat show`) or an
+//! A/B comparison with deltas (`flostat diff`), e.g. `fig7c` under
+//! inclusive LRU against `fig7c-karma`.
+
+use crate::tablefmt::Table;
+use flo_json::Json;
+use flo_obs::sink::parse_jsonl;
+use std::collections::BTreeMap;
+
+/// Identity of one simulated configuration inside an artifact. The
+/// policy is deliberately *not* part of the key: policy A/B runs (e.g.
+/// `FLO_POLICY=karma`) produce artifacts whose entries differ only in
+/// policy, and the diff must line them up.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimKey {
+    /// Application name.
+    pub app: String,
+    /// Scheme name (`default`, `inter`, ...).
+    pub scheme: String,
+    /// I/O-cache blocks.
+    pub io_cache_blocks: u64,
+    /// Storage-cache blocks.
+    pub storage_cache_blocks: u64,
+}
+
+/// One `sim` event, reduced to what the tables need.
+#[derive(Clone, Debug)]
+pub struct SimEntry {
+    /// Configuration identity.
+    pub key: SimKey,
+    /// Policy name.
+    pub policy: String,
+    /// I/O-layer (element-weighted) accesses and hits, from the report.
+    pub io: (u64, u64),
+    /// Storage-layer accesses and hits.
+    pub storage: (u64, u64),
+    /// Total and sequential disk reads.
+    pub disk: (u64, u64),
+    /// Execution-time estimate in ms.
+    pub exec_ms: f64,
+}
+
+impl SimEntry {
+    fn ratio(pair: (u64, u64)) -> f64 {
+        if pair.0 == 0 {
+            0.0
+        } else {
+            pair.1 as f64 / pair.0 as f64
+        }
+    }
+
+    /// I/O-layer hit ratio in [0, 1].
+    pub fn io_hit_ratio(&self) -> f64 {
+        Self::ratio(self.io)
+    }
+
+    /// Storage-layer hit ratio in [0, 1].
+    pub fn storage_hit_ratio(&self) -> f64 {
+        Self::ratio(self.storage)
+    }
+
+    /// Sequential fraction of disk reads in [0, 1].
+    pub fn disk_sequential_fraction(&self) -> f64 {
+        Self::ratio(self.disk)
+    }
+}
+
+/// Accumulated span time for one phase name.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseAgg {
+    /// Number of spans.
+    pub count: u64,
+    /// Summed elapsed wall-clock, in milliseconds.
+    pub total_ms: f64,
+}
+
+/// One loaded metrics artifact.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// Run name from the meta line.
+    pub run: String,
+    /// Per-configuration entries, in artifact order.
+    pub sims: Vec<SimEntry>,
+    /// Phase-name → accumulated span time.
+    pub phases: BTreeMap<String, PhaseAgg>,
+}
+
+fn field_u64(e: &Json, key: &str) -> Result<u64, String> {
+    e.get(key)
+        .and_then(Json::as_f64)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("sim event lacks `{key}`"))
+}
+
+fn field_str(e: &Json, key: &str) -> Result<String, String> {
+    e.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("event lacks `{key}`"))
+}
+
+/// Parse an artifact's JSONL text (schema-checked by
+/// [`parse_jsonl`]) into its table-ready aggregate.
+pub fn load(text: &str) -> Result<Artifact, String> {
+    let events = parse_jsonl(text)?;
+    let run = field_str(&events[0], "run")?;
+    let mut sims = Vec::new();
+    let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
+    for e in &events[1..] {
+        match e.get("event").and_then(Json::as_str) {
+            Some("sim") => {
+                let report = e.get("report").ok_or("sim event lacks `report`")?;
+                let layer = |name: &str| -> Result<(u64, u64), String> {
+                    let l = report
+                        .get("layers")
+                        .and_then(|ls| ls.get(name))
+                        .ok_or_else(|| format!("report lacks layer `{name}`"))?;
+                    Ok((field_u64(l, "accesses")?, field_u64(l, "hits")?))
+                };
+                sims.push(SimEntry {
+                    key: SimKey {
+                        app: field_str(e, "app")?,
+                        scheme: field_str(e, "scheme")?,
+                        io_cache_blocks: field_u64(e, "io_cache_blocks")?,
+                        storage_cache_blocks: field_u64(e, "storage_cache_blocks")?,
+                    },
+                    policy: field_str(e, "policy")?,
+                    io: layer("io")?,
+                    storage: layer("storage")?,
+                    disk: (
+                        field_u64(report, "disk_reads")?,
+                        field_u64(report, "disk_sequential_reads")?,
+                    ),
+                    exec_ms: report
+                        .get("execution_time_ms")
+                        .and_then(Json::as_f64)
+                        .ok_or("report lacks `execution_time_ms`")?,
+                });
+            }
+            Some("span") => {
+                let name = field_str(e, "name")?;
+                let start = e.get("start_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                let end = e.get("end_ms").and_then(Json::as_f64).unwrap_or(start);
+                let agg = phases.entry(name).or_default();
+                agg.count += 1;
+                agg.total_ms += end - start;
+            }
+            _ => {} // meta handled above; sweep-stream and future kinds pass through
+        }
+    }
+    Ok(Artifact { run, sims, phases })
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+fn delta_pp(a: f64, b: f64) -> String {
+    format!("{:+.1}", (b - a) * 100.0)
+}
+
+/// Per-layer table of one artifact.
+pub fn layer_table(a: &Artifact) -> Table {
+    let mut t = Table::new(
+        &format!("{} — per-layer statistics", a.run),
+        &[
+            "application",
+            "scheme",
+            "policy",
+            "io/st blocks",
+            "io hit%",
+            "st hit%",
+            "disk reads",
+            "seq%",
+            "exec ms",
+        ],
+    );
+    for s in &a.sims {
+        t.row(vec![
+            s.key.app.clone(),
+            s.key.scheme.clone(),
+            s.policy.clone(),
+            format!("{}/{}", s.key.io_cache_blocks, s.key.storage_cache_blocks),
+            pct(s.io_hit_ratio()),
+            pct(s.storage_hit_ratio()),
+            s.disk.0.to_string(),
+            pct(s.disk_sequential_fraction()),
+            format!("{:.1}", s.exec_ms),
+        ]);
+    }
+    t
+}
+
+/// Phase-time table of one artifact.
+pub fn phase_table(a: &Artifact) -> Table {
+    let mut t = Table::new(
+        &format!("{} — phase times", a.run),
+        &["phase", "spans", "total ms", "mean ms"],
+    );
+    for (name, agg) in &a.phases {
+        t.row(vec![
+            name.clone(),
+            agg.count.to_string(),
+            format!("{:.1}", agg.total_ms),
+            format!("{:.3}", agg.total_ms / agg.count.max(1) as f64),
+        ]);
+    }
+    t
+}
+
+/// Per-layer hit-ratio deltas between two artifacts, matched by
+/// [`SimKey`]. Entries present on only one side are listed with a note.
+pub fn diff_layers(a: &Artifact, b: &Artifact) -> Table {
+    let index: BTreeMap<&SimKey, &SimEntry> = b.sims.iter().map(|s| (&s.key, s)).collect();
+    let mut t = Table::new(
+        &format!("{} vs {} — per-layer hit-ratio deltas", a.run, b.run),
+        &[
+            "application",
+            "scheme",
+            "io/st blocks",
+            "policy a→b",
+            "io% a",
+            "io% b",
+            "Δio pp",
+            "st% a",
+            "st% b",
+            "Δst pp",
+            "Δexec%",
+        ],
+    );
+    let mut unmatched = 0usize;
+    for s in &a.sims {
+        let Some(o) = index.get(&s.key) else {
+            unmatched += 1;
+            continue;
+        };
+        t.row(vec![
+            s.key.app.clone(),
+            s.key.scheme.clone(),
+            format!("{}/{}", s.key.io_cache_blocks, s.key.storage_cache_blocks),
+            if s.policy == o.policy {
+                s.policy.clone()
+            } else {
+                format!("{}→{}", s.policy, o.policy)
+            },
+            pct(s.io_hit_ratio()),
+            pct(o.io_hit_ratio()),
+            delta_pp(s.io_hit_ratio(), o.io_hit_ratio()),
+            pct(s.storage_hit_ratio()),
+            pct(o.storage_hit_ratio()),
+            delta_pp(s.storage_hit_ratio(), o.storage_hit_ratio()),
+            format!("{:+.1}", (o.exec_ms / s.exec_ms - 1.0) * 100.0),
+        ]);
+    }
+    if unmatched > 0 {
+        t.note(format!(
+            "{unmatched} configuration(s) of {} have no match in {}",
+            a.run, b.run
+        ));
+    }
+    t
+}
+
+/// Phase-time deltas between two artifacts, matched by phase name.
+pub fn diff_phases(a: &Artifact, b: &Artifact) -> Table {
+    let mut t = Table::new(
+        &format!("{} vs {} — phase-time deltas", a.run, b.run),
+        &["phase", "total ms a", "total ms b", "Δms", "Δ%"],
+    );
+    let mut names: Vec<&String> = a.phases.keys().chain(b.phases.keys()).collect();
+    names.sort();
+    names.dedup();
+    for name in names {
+        let ta = a.phases.get(name).copied().unwrap_or_default().total_ms;
+        let tb = b.phases.get(name).copied().unwrap_or_default().total_ms;
+        let rel = if ta > 0.0 {
+            format!("{:+.1}", (tb / ta - 1.0) * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        t.row(vec![
+            name.clone(),
+            format!("{ta:.1}"),
+            format!("{tb:.1}"),
+            format!("{:+.1}", tb - ta),
+            rel,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flo_obs::JsonlSink;
+
+    fn artifact(run: &str, policy: &str, io_hits: u64, span_ms: f64) -> String {
+        let mut sink = JsonlSink::new(run);
+        sink.push(
+            "sim",
+            Json::obj()
+                .set("app", "qio")
+                .set("scheme", "inter")
+                .set("policy", policy)
+                .set("io_cache_blocks", 24u64)
+                .set("storage_cache_blocks", 48u64)
+                .set("metrics", Json::obj())
+                .set(
+                    "report",
+                    Json::obj()
+                        .set(
+                            "layers",
+                            Json::obj()
+                                .set(
+                                    "io",
+                                    Json::obj().set("accesses", 100u64).set("hits", io_hits),
+                                )
+                                .set(
+                                    "storage",
+                                    Json::obj().set("accesses", 40u64).set("hits", 10u64),
+                                ),
+                        )
+                        .set("disk_reads", 30u64)
+                        .set("disk_sequential_reads", 15u64)
+                        .set("execution_time_ms", 12.5),
+                ),
+        );
+        sink.push(
+            "span",
+            Json::obj()
+                .set("name", "simulate")
+                .set("thread", 0u64)
+                .set("start_ms", 1.0)
+                .set("end_ms", 1.0 + span_ms),
+        );
+        sink.render()
+    }
+
+    #[test]
+    fn loads_and_renders_one_artifact() {
+        let art = load(&artifact("fig7c", "LRU", 80, 4.0)).unwrap();
+        assert_eq!(art.run, "fig7c");
+        assert_eq!(art.sims.len(), 1);
+        assert!((art.sims[0].io_hit_ratio() - 0.8).abs() < 1e-12);
+        assert!((art.phases["simulate"].total_ms - 4.0).abs() < 1e-9);
+        let rendered = format!("{}\n{}", layer_table(&art), phase_table(&art));
+        assert!(rendered.contains("qio"));
+        assert!(rendered.contains("simulate"));
+    }
+
+    #[test]
+    fn diff_matches_configs_across_policies() {
+        let a = load(&artifact("fig7c", "LRU", 80, 4.0)).unwrap();
+        let b = load(&artifact("fig7c-karma", "KARMA", 60, 6.0)).unwrap();
+        let layers = format!("{}", diff_layers(&a, &b));
+        assert!(layers.contains("LRU→KARMA"), "{layers}");
+        assert!(layers.contains("-20.0"), "io hit ratio fell 20pp: {layers}");
+        let phases = format!("{}", diff_phases(&a, &b));
+        assert!(phases.contains("+2.0"), "{phases}");
+        assert!(phases.contains("+50.0"), "{phases}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let bad = "{\"event\":\"meta\",\"schema_version\":999,\"run\":\"x\"}\n";
+        assert!(load(bad).is_err());
+    }
+}

@@ -1,14 +1,17 @@
 //! Run one (workload × scheme × policy × topology) configuration.
 
 use crate::cache::{sim_key, trace_key, RunCaches};
+use crate::metrics::{self, SimRecord};
 use flo_core::baseline::{compmap, reindex};
 use flo_core::FileLayout;
 use flo_core::{generate_traces, run_layout_pass, ParallelConfig, PassOptions, TargetLayers};
+use flo_json::Json;
+use flo_obs::MetricsObserver;
 use flo_parallel::ThreadMapping;
 use flo_sim::policies::karma::{KarmaHints, RangeHint};
 use flo_sim::{
-    simulate, simulate_sweep, PolicyKind, RunConfig, SimReport, StorageSystem, SweepPoint,
-    ThreadTrace, Topology,
+    simulate, simulate_observed, simulate_sweep, simulate_sweep_observed, PolicyKind, RunConfig,
+    SimReport, StorageSystem, SweepPoint, ThreadTrace, Topology,
 };
 use flo_workloads::Workload;
 use std::sync::Arc;
@@ -210,6 +213,7 @@ fn simulate_prepared(
     prepared: &PreparedRun,
     topo: &Topology,
     policy: PolicyKind,
+    scheme: Scheme,
 ) -> SimReport {
     let generate = || generate_traces(&workload.program, &prepared.cfg, &prepared.layouts, topo);
     let traces: Arc<Vec<ThreadTrace>> = match caches {
@@ -226,7 +230,24 @@ fn simulate_prepared(
             None => system.set_karma_hints(&karma_hints(&traces, topo)),
         }
     }
-    simulate(&mut system, &traces, &prepared.run_cfg)
+    let _span = flo_obs::span("simulate");
+    if metrics::enabled() {
+        let mut obs = MetricsObserver::new();
+        let report = simulate_observed(&mut system, &traces, &prepared.run_cfg, &mut obs);
+        metrics::record_sim(SimRecord {
+            kind: "sim",
+            app: workload.name.to_string(),
+            scheme: scheme.name(),
+            policy: policy.name(),
+            io_cache_blocks: topo.io_cache_blocks,
+            storage_cache_blocks: topo.storage_cache_blocks,
+            metrics: obs.to_json(),
+            report: report.to_json(),
+        });
+        report
+    } else {
+        simulate(&mut system, &traces, &prepared.run_cfg)
+    }
 }
 
 fn run_with(
@@ -246,13 +267,14 @@ fn run_with(
                 // A memoized simulation skips trace lookup entirely.
                 Some(r) => (*r).clone(),
                 None => {
-                    let r = simulate_prepared(caches, tkey, workload, &prepared, topo, policy);
+                    let r =
+                        simulate_prepared(caches, tkey, workload, &prepared, topo, policy, scheme);
                     c.sims.insert(skey, r.clone());
                     r
                 }
             }
         }
-        None => simulate_prepared(None, 0, workload, &prepared, topo, policy),
+        None => simulate_prepared(None, 0, workload, &prepared, topo, policy, scheme),
     };
     RunOutcome {
         report,
@@ -379,7 +401,46 @@ pub fn sweep_outcomes(
                 generate_traces(&workload.program, &p0.cfg, &p0.layouts, t0)
             });
             let pts: Vec<SweepPoint> = members.iter().map(|&i| points[i]).collect();
-            let swept = simulate_sweep(base, &pts, &traces, &p0.run_cfg);
+            let _span = flo_obs::span("sweep");
+            let swept = if metrics::enabled() {
+                // One observer per capacity point, plus a stream observer
+                // catching the shared stack-distance classification.
+                let mut stream = MetricsObserver::new();
+                let mut per_point = vec![MetricsObserver::new(); pts.len()];
+                let swept = simulate_sweep_observed(
+                    base,
+                    &pts,
+                    &traces,
+                    &p0.run_cfg,
+                    &mut stream,
+                    &mut per_point,
+                );
+                for ((&i, rep), obs) in members.iter().zip(&swept).zip(per_point) {
+                    metrics::record_sim(SimRecord {
+                        kind: "sim",
+                        app: workload.name.to_string(),
+                        scheme: scheme.name(),
+                        policy: policy.name(),
+                        io_cache_blocks: points[i].io_cache_blocks,
+                        storage_cache_blocks: points[i].storage_cache_blocks,
+                        metrics: obs.to_json(),
+                        report: rep.to_json(),
+                    });
+                }
+                metrics::record_sim(SimRecord {
+                    kind: "sweep-stream",
+                    app: workload.name.to_string(),
+                    scheme: scheme.name(),
+                    policy: policy.name(),
+                    io_cache_blocks: base.io_cache_blocks,
+                    storage_cache_blocks: base.storage_cache_blocks,
+                    metrics: stream.to_json(),
+                    report: Json::Null,
+                });
+                swept
+            } else {
+                simulate_sweep(base, &pts, &traces, &p0.run_cfg)
+            };
             for (&i, rep) in members.iter().zip(swept) {
                 caches.sims.insert(skeys[i], rep.clone());
                 reports[i] = Some(rep);
@@ -389,7 +450,9 @@ pub fn sweep_outcomes(
         for i in 0..points.len() {
             if reports[i].is_none() {
                 let (t, pr) = &prepared[i];
-                let rep = simulate_prepared(Some(caches), tkeys[i], workload, pr, t, policy);
+                let _span = flo_obs::span("sweep-point");
+                let rep =
+                    simulate_prepared(Some(caches), tkeys[i], workload, pr, t, policy, scheme);
                 caches.sims.insert(skeys[i], rep.clone());
                 reports[i] = Some(rep);
             }

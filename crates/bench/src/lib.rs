@@ -26,8 +26,10 @@
 
 pub mod cache;
 pub mod experiments;
+pub mod flostat;
 pub mod harness;
 pub mod legacy;
+pub mod metrics;
 pub mod tablefmt;
 pub mod timing;
 
@@ -92,6 +94,24 @@ pub fn suite_filtered(scale: Scale, filter: Option<&str>) -> Vec<Workload> {
     filtered
 }
 
+/// Read a cache-management policy override from `FLO_POLICY`
+/// (`lru` | `demote` | `karma` | `mq`). `None` when unset; unrecognized
+/// values warn and are ignored, mirroring `FLO_SCALE`.
+pub fn policy_from_env() -> Option<flo_sim::PolicyKind> {
+    use flo_sim::PolicyKind;
+    match std::env::var("FLO_POLICY").as_deref() {
+        Ok("lru") => Some(PolicyKind::LruInclusive),
+        Ok("demote") => Some(PolicyKind::DemoteLru),
+        Ok("karma") => Some(PolicyKind::Karma),
+        Ok("mq") => Some(PolicyKind::MqSecondLevel),
+        Ok(other) => {
+            eprintln!("warning: unrecognized FLO_POLICY={other:?} (use lru|demote|karma|mq)");
+            None
+        }
+        Err(_) => None,
+    }
+}
+
 /// The simulated cluster for a given scale: the paper topology for full
 /// runs, a proportionally shrunken one (8 compute / 4 I/O / 2 storage) for
 /// small runs.
@@ -121,6 +141,17 @@ pub fn persist(table: &Table, name: &str) {
     let path = dir.join(format!("{name}.json"));
     if let Err(e) = std::fs::write(&path, table.to_json().pretty()) {
         eprintln!("warning: cannot write {path:?}: {e}");
+    }
+}
+
+/// Standard experiment epilogue: print the table, persist its JSON, and
+/// — when `FLO_METRICS=jsonl` — drain the harness's collected metrics
+/// and phase spans into `results/metrics/<name>.jsonl`.
+pub fn finish(table: &Table, name: &str) {
+    println!("{table}");
+    persist(table, name);
+    if let Some(path) = metrics::write_artifact(name) {
+        println!("wrote {}", path.display());
     }
 }
 

@@ -1,0 +1,148 @@
+//! Experiment-level metrics collection.
+//!
+//! When `FLO_METRICS=jsonl`, the harness runs every *fresh* simulation
+//! (memoized reports re-surface without re-observing) under a
+//! [`flo_obs::MetricsObserver`] and parks the collected counters here;
+//! phase spans accumulate in the global [`flo_obs::timeline`]. At the end
+//! of an experiment, [`write_artifact`] drains both into one
+//! line-oriented JSON file under `results/metrics/<name>.jsonl` that
+//! `flostat` can render and diff. With metrics off (the default), none
+//! of this runs and the simulator takes its uninstrumented path.
+
+use flo_json::Json;
+use flo_obs::{metrics_mode, timeline, JsonlSink, MetricsMode};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// One observed simulation, labeled with everything needed to find it
+/// again in a diff: application, scheme, policy and cache capacities.
+#[derive(Clone, Debug)]
+pub struct SimRecord {
+    /// Artifact event kind (`"sim"` for per-run records, `"sweep-stream"`
+    /// for the shared stack-distance stream of a capacity sweep).
+    pub kind: &'static str,
+    /// Application name.
+    pub app: String,
+    /// Scheme name (`default`, `inter`, ...).
+    pub scheme: &'static str,
+    /// Policy name (`LRU`, `KARMA`, ...).
+    pub policy: &'static str,
+    /// I/O-cache capacity in blocks.
+    pub io_cache_blocks: usize,
+    /// Storage-cache capacity in blocks.
+    pub storage_cache_blocks: usize,
+    /// The observer's collected counters
+    /// ([`flo_obs::MetricsObserver::to_json`]).
+    pub metrics: Json,
+    /// The run's [`flo_sim::SimReport`] as JSON ([`Json::Null`] for
+    /// stream records, which describe no single run).
+    pub report: Json,
+}
+
+static RECORDS: Mutex<Vec<SimRecord>> = Mutex::new(Vec::new());
+
+/// Whether metric collection is on (`FLO_METRICS=jsonl`).
+pub fn enabled() -> bool {
+    metrics_mode() == MetricsMode::Jsonl
+}
+
+/// Park one observed simulation for the next [`write_artifact`].
+pub fn record_sim(record: SimRecord) {
+    RECORDS.lock().unwrap().push(record);
+}
+
+/// Number of records currently parked (testing / diagnostics).
+pub fn pending() -> usize {
+    RECORDS.lock().unwrap().len()
+}
+
+/// Drain parked records (ordered deterministically) and the span
+/// timeline into `results/metrics/<name>.jsonl`. Returns the path on
+/// success; `None` (and nothing written or drained) when metrics are
+/// off.
+pub fn write_artifact(name: &str) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let mut records: Vec<SimRecord> = std::mem::take(&mut *RECORDS.lock().unwrap());
+    // Experiments run the suite in parallel; fix a stable order so two
+    // runs of the same experiment produce comparable artifacts.
+    records.sort_by(|a, b| {
+        (
+            a.kind,
+            &a.app,
+            a.scheme,
+            a.policy,
+            a.io_cache_blocks,
+            a.storage_cache_blocks,
+        )
+            .cmp(&(
+                b.kind,
+                &b.app,
+                b.scheme,
+                b.policy,
+                b.io_cache_blocks,
+                b.storage_cache_blocks,
+            ))
+    });
+    let mut sink = JsonlSink::new(name);
+    for r in records {
+        sink.push(
+            r.kind,
+            Json::obj()
+                .set("app", r.app.as_str())
+                .set("scheme", r.scheme)
+                .set("policy", r.policy)
+                .set("io_cache_blocks", r.io_cache_blocks)
+                .set("storage_cache_blocks", r.storage_cache_blocks)
+                .set("metrics", r.metrics)
+                .set("report", r.report),
+        );
+    }
+    for s in timeline().drain() {
+        sink.push("span", s.to_json());
+    }
+    let path = PathBuf::from("results/metrics").join(format!("{name}.jsonl"));
+    match sink.write_to(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_park_and_drain_in_order() {
+        // `write_artifact` keys off the FLO_METRICS env var, so this test
+        // only exercises the collector itself.
+        let before = pending();
+        record_sim(SimRecord {
+            kind: "sim",
+            app: "zzz".into(),
+            scheme: "inter",
+            policy: "LRU",
+            io_cache_blocks: 2,
+            storage_cache_blocks: 4,
+            metrics: Json::obj(),
+            report: Json::Null,
+        });
+        record_sim(SimRecord {
+            kind: "sim",
+            app: "aaa".into(),
+            scheme: "default",
+            policy: "LRU",
+            io_cache_blocks: 2,
+            storage_cache_blocks: 4,
+            metrics: Json::obj(),
+            report: Json::Null,
+        });
+        assert_eq!(pending(), before + 2);
+        let drained = std::mem::take(&mut *RECORDS.lock().unwrap());
+        assert!(drained.iter().any(|r| r.app == "zzz"));
+    }
+}

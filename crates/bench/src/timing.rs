@@ -1,81 +1,28 @@
-//! Minimal wall-clock benchmarking (replaces `criterion`, which is
-//! unavailable in the offline build). Each measurement warms up once,
-//! then repeats the closure until a time budget is spent, reporting the
-//! mean and minimum iteration time.
+//! Deprecated shim over [`flo_obs::timing`].
+//!
+//! The wall-clock measurement helpers moved to `flo-obs` so phase spans
+//! and iteration timing live together (and so the mean is computed over
+//! timed iterations only — the old implementation here divided *gross*
+//! elapsed time, harness bookkeeping included, by the iteration count).
+//! Existing callers keep working through these thin wrappers; new code
+//! should use [`flo_obs::timing`] directly.
 
-use std::time::{Duration, Instant};
+pub use flo_obs::timing::Measurement;
+use std::time::Duration;
 
-/// One benchmark result.
-#[derive(Clone, Debug)]
-pub struct Measurement {
-    /// Benchmark label.
-    pub label: String,
-    /// Number of timed iterations.
-    pub iters: u32,
-    /// Mean wall-clock time per iteration, in milliseconds.
-    pub mean_ms: f64,
-    /// Fastest iteration, in milliseconds.
-    pub min_ms: f64,
-}
-
-impl Measurement {
-    /// `label  mean ms (min ms, n iters)` — one printable line.
-    pub fn line(&self) -> String {
-        format!(
-            "{:<40} {:>12.3} ms/iter  (min {:.3} ms, {} iters)",
-            self.label, self.mean_ms, self.min_ms, self.iters
-        )
-    }
-}
-
-/// Time `f` repeatedly for roughly `budget` (after one untimed warmup
-/// call), capped at `max_iters` iterations.
+/// Deprecated alias of [`flo_obs::timing::measure_with`].
+#[deprecated(note = "use flo_obs::timing::measure_with")]
 pub fn measure_with<R>(
     label: &str,
     budget: Duration,
     max_iters: u32,
-    mut f: impl FnMut() -> R,
+    f: impl FnMut() -> R,
 ) -> Measurement {
-    std::hint::black_box(f());
-    let start = Instant::now();
-    let mut iters = 0u32;
-    let mut min = f64::INFINITY;
-    while iters < max_iters && (iters == 0 || start.elapsed() < budget) {
-        let t0 = Instant::now();
-        std::hint::black_box(f());
-        let dt = t0.elapsed().as_secs_f64() * 1e3;
-        if dt < min {
-            min = dt;
-        }
-        iters += 1;
-    }
-    Measurement {
-        label: label.to_string(),
-        iters,
-        mean_ms: start.elapsed().as_secs_f64() * 1e3 / iters as f64,
-        min_ms: min,
-    }
+    flo_obs::timing::measure_with(label, budget, max_iters, f)
 }
 
-/// [`measure_with`] under the default budget (300 ms, ≤200 iterations).
+/// Deprecated alias of [`flo_obs::timing::measure`].
+#[deprecated(note = "use flo_obs::timing::measure")]
 pub fn measure<R>(label: &str, f: impl FnMut() -> R) -> Measurement {
-    let m = measure_with(label, Duration::from_millis(300), 200, f);
-    println!("{}", m.line());
-    m
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn measures_something() {
-        let m = measure_with("spin", Duration::from_millis(5), 50, || {
-            std::hint::black_box((0..1000u64).sum::<u64>())
-        });
-        assert!(m.iters >= 1);
-        assert!(m.mean_ms >= 0.0);
-        assert!(m.min_ms <= m.mean_ms * 1.01 + f64::EPSILON);
-        assert!(m.line().contains("spin"));
-    }
+    flo_obs::timing::measure(label, f)
 }

@@ -111,6 +111,7 @@ fn constraints_for(
 
 /// Run the inter-node file layout optimization.
 pub fn run_layout_pass(program: &Program, topo: &Topology, opts: &PassOptions) -> LayoutPlan {
+    let _span = flo_obs::span("layout-pass");
     let start = Instant::now();
     let cfg = &opts.parallel;
     let spec = HierSpec::build(topo, &cfg.mapping, cfg.threads, opts.target);

@@ -45,6 +45,7 @@ pub fn generate_traces(
         program.arrays().len(),
         "one layout per array"
     );
+    let _span = flo_obs::span("tracegen");
     let partitions: Vec<_> = program
         .nests()
         .iter()

@@ -1,0 +1,162 @@
+//! Power-of-two bucketed histograms for distance/latency distributions.
+
+use flo_json::Json;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` counts the value `0`; bucket `i ≥ 1` counts values in
+/// `[2^(i−1), 2^i)`. 65 buckets cover the full `u64` range, so
+/// [`Hist::record`] is branch-light and never saturates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Hist {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Hist {
+        Hist::default()
+    }
+
+    /// The bucket index `value` falls into.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The half-open range `[lo, hi)` of values bucket `i` counts
+    /// (`hi = u64::MAX` stands in for 2^64 in the last bucket).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Bucket counts, lowest bucket first (trailing empty buckets
+    /// trimmed by construction).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// JSON rendering: bucket counts plus summary moments.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("count", self.count)
+            .set("mean", self.mean())
+            .set("max", self.max)
+            .set("buckets", self.buckets.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(7), 3);
+        assert_eq!(Hist::bucket_of(8), 4);
+        assert_eq!(Hist::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn every_value_lands_in_its_declared_range() {
+        for v in (0..200).chain([1 << 20, u64::MAX - 1, u64::MAX]) {
+            let b = Hist::bucket_of(v);
+            let (lo, hi) = Hist::bucket_range(b);
+            assert!(v >= lo, "{v} below bucket {b} range");
+            assert!(v < hi || b == 64, "{v} above bucket {b}");
+        }
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Hist::new();
+        for v in [0, 1, 1, 3, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 8);
+        assert!((h.mean() - 13.0 / 5.0).abs() < 1e-12);
+        // buckets: [0]=1 (value 0), [1]=2 (two 1s), [2]=1 (3), [4]=1 (8)
+        assert_eq!(h.buckets(), &[1, 2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Hist::new();
+        a.record(1);
+        let mut b = Hist::new();
+        b.record(100);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.buckets()[0], 1);
+        assert_eq!(a.buckets()[1], 1);
+        assert_eq!(a.buckets()[Hist::bucket_of(100)], 1);
+    }
+
+    #[test]
+    fn json_is_parseable() {
+        let mut h = Hist::new();
+        h.record(5);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_f64), Some(1.0));
+        assert!(flo_json::parse(&j.pretty()).is_ok());
+    }
+}

@@ -1,0 +1,139 @@
+//! The observer trait the simulator's hot paths are instrumented with.
+//!
+//! Instrumentation sites call these methods through a generic type
+//! parameter, so each instantiation is monomorphized: with
+//! [`NullObserver`] every call inlines to nothing and the optimizer sees
+//! the exact pre-instrumentation code; with
+//! [`crate::MetricsObserver`] the same sites accumulate counters. The
+//! simulator never behaves differently based on the observer — observers
+//! receive events, they do not steer.
+
+/// The two cache layers of the simulated hierarchy (Fig. 1 of the
+/// paper: caches are allocated at the I/O and storage layers only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layer {
+    /// I/O-node caches (upper layer).
+    Io,
+    /// Storage-node caches (lower layer).
+    Storage,
+}
+
+impl Layer {
+    /// Lower-case display name, used in event encodings.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Layer::Io => "io",
+            Layer::Storage => "storage",
+        }
+    }
+}
+
+/// Where KARMA's hint-driven partitioning routed a request (mirrors
+/// `flo_sim::policies::karma::KarmaLevel` without the dependency cycle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KarmaRoute {
+    /// Range partitioned into the I/O (upper) layer.
+    Upper,
+    /// Range partitioned into the storage (lower) layer.
+    Lower,
+    /// Cold range cached nowhere.
+    Bypass,
+}
+
+/// Callbacks the simulator invokes on the way through an access.
+///
+/// Every method defaults to an empty `#[inline]` body; implementors
+/// override only what they collect. `ENABLED` lets instrumentation sites
+/// skip *setup* work (e.g. occupancy snapshots) that would run even when
+/// every callback is a no-op — per-event calls need no gate, the
+/// monomorphizer deletes them.
+pub trait Observer {
+    /// Whether this observer collects anything. Sites may skip
+    /// batch/snapshot work when `false`; they must not change simulated
+    /// behavior based on it.
+    const ENABLED: bool = true;
+
+    /// A cache lookup at `layer`, node `node`, serving `weight` coalesced
+    /// element accesses; `hit` is the block-level outcome.
+    #[inline]
+    fn cache_access(&mut self, layer: Layer, node: usize, hit: bool, weight: u32) {
+        let _ = (layer, node, hit, weight);
+    }
+
+    /// A cache at `layer`/`node` evicted a block to admit another.
+    #[inline]
+    fn eviction(&mut self, layer: Layer, node: usize) {
+        let _ = (layer, node);
+    }
+
+    /// DEMOTE-LRU demoted a block out of I/O node `node`'s cache.
+    #[inline]
+    fn demotion(&mut self, node: usize) {
+        let _ = node;
+    }
+
+    /// Disk at storage node `node` served a read (`sequential` per the
+    /// elevator-window model) costing `latency_ms`.
+    #[inline]
+    fn disk_read(&mut self, node: usize, sequential: bool, latency_ms: f64) {
+        let _ = (node, sequential, latency_ms);
+    }
+
+    /// KARMA routed a request according to its hinted range.
+    #[inline]
+    fn karma_route(&mut self, route: KarmaRoute) {
+        let _ = route;
+    }
+
+    /// The sweep engine classified an access at stack distance `dist`
+    /// (distinct same-set blocks since the previous access of the same
+    /// block), or `None` for a cold access. The distance saturates at the
+    /// swept geometries' maximum ways — the engine stops counting once
+    /// every verdict is decided — so histograms built from it are exact
+    /// below the saturation point and a lower bound above it.
+    #[inline]
+    fn stack_distance(&mut self, dist: Option<u64>) {
+        let _ = dist;
+    }
+
+    /// End-of-run per-set occupancy of the cache at `layer`/`node`
+    /// (`per_set[s]` = resident blocks in set `s`).
+    #[inline]
+    fn occupancy(&mut self, layer: Layer, node: usize, per_set: &[u32]) {
+        let _ = (layer, node, per_set);
+    }
+}
+
+/// The disabled observer: overrides nothing, so every instrumented call
+/// site compiles to the uninstrumented code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    const ENABLED: bool = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_is_disabled() {
+        const { assert!(!NullObserver::ENABLED) };
+        // Defaults accept every event without effect.
+        let mut o = NullObserver;
+        o.cache_access(Layer::Io, 0, true, 3);
+        o.eviction(Layer::Storage, 1);
+        o.demotion(0);
+        o.disk_read(0, false, 9.0);
+        o.karma_route(KarmaRoute::Bypass);
+        o.stack_distance(None);
+        o.occupancy(Layer::Io, 0, &[1, 2]);
+    }
+
+    #[test]
+    fn layer_names() {
+        assert_eq!(Layer::Io.name(), "io");
+        assert_eq!(Layer::Storage.name(), "storage");
+    }
+}

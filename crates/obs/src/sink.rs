@@ -1,0 +1,195 @@
+//! Structured JSONL metrics artifacts and the `FLO_METRICS` toggle.
+//!
+//! A metrics artifact is a JSON-Lines file: one compact JSON object per
+//! line, each with an `"event"` tag. The first line is always a `meta`
+//! event carrying [`SCHEMA_VERSION`] and the run name; `flostat` (and
+//! [`parse_jsonl`]) reject files whose version does not match instead of
+//! misparsing them.
+
+use std::path::Path;
+use std::sync::OnceLock;
+
+use flo_json::Json;
+
+/// Version of the metrics event schema. Bump on any incompatible change
+/// to event shapes; readers reject mismatched artifacts.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// What `FLO_METRICS` asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Collect metrics and write JSONL artifacts under `results/metrics/`.
+    Jsonl,
+    /// No collection (the default): observers stay null, spans no-op.
+    Off,
+}
+
+/// The process-wide metrics mode, read once from `FLO_METRICS`
+/// (`jsonl` or `off`; unset means off, anything else warns and means off).
+pub fn metrics_mode() -> MetricsMode {
+    static MODE: OnceLock<MetricsMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("FLO_METRICS").as_deref() {
+        Ok("jsonl") => MetricsMode::Jsonl,
+        Ok("off") | Ok("") | Err(_) => MetricsMode::Off,
+        Ok(other) => {
+            eprintln!("FLO_METRICS={other} not recognized (use jsonl|off); metrics stay off");
+            MetricsMode::Off
+        }
+    })
+}
+
+/// An in-memory JSONL artifact under construction.
+#[derive(Clone, Debug)]
+pub struct JsonlSink {
+    events: Vec<Json>,
+}
+
+impl JsonlSink {
+    /// Start an artifact for the run named `run` (e.g. `"fig7c-lru"`).
+    /// The meta event is the first line.
+    pub fn new(run: &str) -> JsonlSink {
+        JsonlSink {
+            events: vec![Json::obj()
+                .set("event", "meta")
+                .set("schema_version", u64::from(SCHEMA_VERSION))
+                .set("run", run)],
+        }
+    }
+
+    /// Append `payload` as an event line tagged `kind`. The tag is
+    /// prepended so every line starts `{"event":"<kind>",...}`.
+    pub fn push(&mut self, kind: &str, payload: Json) {
+        let mut fields = vec![("event".to_string(), Json::from(kind))];
+        match payload {
+            Json::Obj(rest) => fields.extend(rest),
+            other => fields.push(("payload".to_string(), other)),
+        }
+        self.events.push(Json::Obj(fields));
+    }
+
+    /// Events so far, meta line first.
+    pub fn events(&self) -> &[Json] {
+        &self.events
+    }
+
+    /// Render to JSON-Lines text (one compact object per line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the artifact to `path`, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+/// Parse JSONL text back into events, validating the meta line's schema
+/// version. Blank lines are ignored.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Json>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = flo_json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(v);
+    }
+    let meta = events
+        .first()
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("meta"))
+        .ok_or("missing meta line (not a flo metrics artifact?)")?;
+    let version = meta
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("meta line lacks schema_version")?;
+    if version != f64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "schema_version {version} unsupported (this build reads {SCHEMA_VERSION})"
+        ));
+    }
+    Ok(events)
+}
+
+/// Prepend a `schema_version` field to a JSON artifact object, so plain
+/// `.json` artifacts (tables, BENCH files) carry the same version tag as
+/// JSONL metrics.
+pub fn with_schema_version(json: Json) -> Json {
+    let mut fields = vec![(
+        "schema_version".to_string(),
+        Json::from(u64::from(SCHEMA_VERSION)),
+    )];
+    match json {
+        Json::Obj(rest) => fields.extend(rest),
+        other => fields.push(("payload".to_string(), other)),
+    }
+    Json::Obj(fields)
+}
+
+/// Write a pretty-printed, version-tagged JSON artifact to `path`,
+/// creating parent directories.
+pub fn write_json_artifact(path: &Path, json: Json) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, with_schema_version(json).pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_round_trips() {
+        let mut sink = JsonlSink::new("unit");
+        sink.push("layers", Json::obj().set("io_hits", 3u64));
+        sink.push("scalar", Json::from(7u64));
+        let text = sink.render();
+        assert_eq!(text.lines().count(), 3);
+        let events = parse_jsonl(&text).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("run").and_then(Json::as_str), Some("unit"));
+        assert_eq!(
+            events[1].get("event").and_then(Json::as_str),
+            Some("layers")
+        );
+        assert_eq!(events[1].get("io_hits").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(events[2].get("payload").and_then(Json::as_f64), Some(7.0));
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let bad = format!(
+            "{}\n",
+            Json::obj()
+                .set("event", "meta")
+                .set("schema_version", 999u64)
+                .set("run", "x")
+        );
+        let err = parse_jsonl(&bad).unwrap_err();
+        assert!(err.contains("999"), "{err}");
+        assert!(parse_jsonl("{\"event\":\"layers\"}\n").is_err());
+        assert!(parse_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn version_tagging_json_artifacts() {
+        let tagged = with_schema_version(Json::obj().set("n", 1u64));
+        assert_eq!(
+            tagged.get("schema_version").and_then(Json::as_f64),
+            Some(f64::from(SCHEMA_VERSION))
+        );
+        assert_eq!(tagged.get("n").and_then(Json::as_f64), Some(1.0));
+        match &tagged {
+            Json::Obj(fields) => assert_eq!(fields[0].0, "schema_version"),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Thread-aware hierarchical phase spans.
+//!
+//! A [`Span`] is an RAII guard: [`span("tracegen")`](span) records the
+//! monotonic start time, and dropping the guard records the end. Records
+//! land on the process-global [`Timeline`] with the recording thread and
+//! the enclosing span on that thread (if any), so the harness can render
+//! a per-phase, per-thread timeline after the run.
+//!
+//! Recording is disabled unless `FLO_METRICS=jsonl` is set (or a caller
+//! flips [`Timeline::set_enabled`]), in which case opening a span costs
+//! one relaxed atomic load — cheap enough to leave span sites in
+//! always-compiled code.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use flo_json::Json;
+
+use crate::sink::{metrics_mode, MetricsMode};
+
+/// One completed (or still open) phase interval.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Phase name, e.g. `"layout-pass"` or `"sweep-point"`.
+    pub name: String,
+    /// Dense id of the recording thread (assigned in first-span order).
+    pub thread: u64,
+    /// Index (within the same drain batch) of the span that was open on
+    /// this thread when this one started.
+    pub parent: Option<usize>,
+    /// Start, in milliseconds since the timeline epoch (monotonic clock).
+    pub start_ms: f64,
+    /// End, in the same clock; equals `start_ms` until the span closes.
+    pub end_ms: f64,
+}
+
+impl SpanRecord {
+    /// Duration in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+
+    /// JSONL event payload for this span.
+    pub fn to_json(&self) -> Json {
+        let parent = match self.parent {
+            Some(p) => Json::from(p),
+            None => Json::Null,
+        };
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set("thread", self.thread)
+            .set("parent", parent)
+            .set("start_ms", self.start_ms)
+            .set("end_ms", self.end_ms)
+    }
+}
+
+/// The process-global span collector.
+pub struct Timeline {
+    enabled: AtomicBool,
+    epoch: Instant,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+static TIMELINE: OnceLock<Timeline> = OnceLock::new();
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: Cell<Option<u64>> = const { Cell::new(None) };
+    static OPEN: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|c| match c.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            c.set(Some(id));
+            id
+        }
+    })
+}
+
+/// The global timeline (created on first use; recording starts enabled
+/// iff `FLO_METRICS=jsonl`).
+pub fn timeline() -> &'static Timeline {
+    TIMELINE.get_or_init(|| Timeline {
+        enabled: AtomicBool::new(metrics_mode() == MetricsMode::Jsonl),
+        epoch: Instant::now(),
+        records: Mutex::new(Vec::new()),
+    })
+}
+
+/// Open a span named `name` on the global timeline. Returns a guard that
+/// closes the span when dropped. No-op (one atomic load) when recording
+/// is disabled.
+pub fn span(name: &str) -> Span {
+    timeline().start(name)
+}
+
+impl Timeline {
+    /// Turn recording on or off (tests and the perf harness use this to
+    /// override the `FLO_METRICS` default).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a span. Prefer the free function [`span`].
+    pub fn start(&'static self, name: &str) -> Span {
+        if !self.is_enabled() {
+            return Span {
+                timeline: self,
+                idx: None,
+            };
+        }
+        let thread = thread_id();
+        let parent = OPEN.with(|s| s.borrow().last().copied());
+        let start_ms = self.epoch.elapsed().as_secs_f64() * 1e3;
+        let idx = {
+            let mut records = self.records.lock().unwrap();
+            records.push(SpanRecord {
+                name: name.to_string(),
+                thread,
+                parent,
+                start_ms,
+                end_ms: start_ms,
+            });
+            records.len() - 1
+        };
+        OPEN.with(|s| s.borrow_mut().push(idx));
+        Span {
+            timeline: self,
+            idx: Some(idx),
+        }
+    }
+
+    /// Take every record collected so far, emptying the timeline.
+    ///
+    /// `parent` indices refer to positions within the returned batch, so
+    /// drain between top-level phases, not while spans are open.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.records.lock().unwrap())
+    }
+
+    fn close(&self, idx: usize) {
+        OPEN.with(|s| {
+            let mut open = s.borrow_mut();
+            if open.last() == Some(&idx) {
+                open.pop();
+            } else {
+                // Out-of-order drop (guard moved across scopes): remove
+                // wherever it sits so later parents stay correct.
+                open.retain(|&i| i != idx);
+            }
+        });
+        let end_ms = self.epoch.elapsed().as_secs_f64() * 1e3;
+        let mut records = self.records.lock().unwrap();
+        if let Some(r) = records.get_mut(idx) {
+            r.end_ms = end_ms;
+        }
+    }
+}
+
+/// RAII guard for an open phase span; closes it on drop.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct Span {
+    timeline: &'static Timeline,
+    idx: Option<usize>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(idx) = self.idx.take() {
+            self.timeline.close(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises disabled + nested recording sequentially; the
+    // timeline is process-global, so splitting this across #[test]
+    // functions would race under the parallel test runner.
+    #[test]
+    fn disabled_then_nested_recording() {
+        let tl = timeline();
+        tl.set_enabled(false);
+        {
+            let _quiet = span("quiet");
+        }
+        assert!(tl.drain().is_empty(), "disabled spans must not record");
+
+        tl.set_enabled(true);
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            let _sibling = span("sibling");
+        }
+        tl.set_enabled(false);
+        let records = tl.drain();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].name, "outer");
+        assert_eq!(records[0].parent, None);
+        assert_eq!(records[1].name, "inner");
+        assert_eq!(records[1].parent, Some(0), "inner nests under outer");
+        assert_eq!(records[2].parent, Some(0), "sibling also under outer");
+        for r in &records {
+            assert!(r.end_ms >= r.start_ms, "monotonic span: {r:?}");
+            assert_eq!(r.thread, records[0].thread);
+            assert!(flo_json::parse(&r.to_json().to_string()).is_ok());
+        }
+        // inner closed before outer
+        assert!(records[1].end_ms <= records[0].end_ms + 1e-9);
+    }
+}

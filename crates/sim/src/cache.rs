@@ -552,6 +552,12 @@ impl SetAssocCache {
         s
     }
 
+    /// Resident blocks per set (`result[s]` = occupancy of set `s`), for
+    /// end-of-run occupancy snapshots.
+    pub fn set_occupancies(&self) -> Vec<u32> {
+        self.sets.iter().map(|s| s.len() as u32).collect()
+    }
+
     /// Resident blocks (test helper).
     pub fn blocks(&self) -> Vec<BlockAddr> {
         self.sets

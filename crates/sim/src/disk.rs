@@ -114,6 +114,18 @@ impl DiskState {
     /// sequential when it continues (or repeats) any LBA inside the
     /// scheduling window.
     pub fn read(&mut self, block: BlockAddr, model: &DiskModel, storage_nodes: usize) -> f64 {
+        self.read_classified(block, model, storage_nodes).0
+    }
+
+    /// [`read`](Self::read), also returning whether the read was
+    /// sequential — the instrumented access paths report the
+    /// classification to their observer.
+    pub fn read_classified(
+        &mut self,
+        block: BlockAddr,
+        model: &DiskModel,
+        storage_nodes: usize,
+    ) -> (f64, bool) {
         let lba = Self::lba_of(block, storage_nodes);
         // One pass, no early exit, so the loop vectorizes:
         // `lba - x <= SKIP_DISTANCE` (wrapping) covers all skip offsets
@@ -141,12 +153,13 @@ impl DiskState {
             self.len += 1;
         }
         self.reads += 1;
-        if sequential {
+        let ms = if sequential {
             self.sequential_reads += 1;
             model.sequential_ms()
         } else {
             model.random_ms()
-        }
+        };
+        (ms, sequential)
     }
 }
 

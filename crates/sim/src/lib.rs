@@ -26,6 +26,7 @@ pub mod cache;
 pub mod disk;
 pub mod fxhash;
 pub mod policies;
+pub mod seedpath;
 pub mod sim;
 pub mod stackdist;
 pub mod stats;
@@ -39,8 +40,9 @@ pub use disk::DiskModel;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use policies::karma::KarmaHints;
 pub use policies::PolicyKind;
-pub use sim::{simulate, RunConfig};
-pub use stackdist::{simulate_sweep, MultiCapacityStack, SweepPoint};
+pub use seedpath::simulate_seed;
+pub use sim::{simulate, simulate_observed, RunConfig};
+pub use stackdist::{simulate_sweep, simulate_sweep_observed, MultiCapacityStack, SweepPoint};
 pub use stats::{LayerStats, SimReport};
 pub use system::StorageSystem;
 pub use topology::Topology;

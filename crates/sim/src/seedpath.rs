@@ -1,0 +1,189 @@
+//! The frozen, uninstrumented simulation path.
+//!
+//! This module is a verbatim copy of [`crate::simulate`] and the
+//! [`crate::system::StorageSystem`] access walk as they stood *before*
+//! observer instrumentation was threaded through them. It exists for two
+//! guards (the same role `legacy.rs` plays for the trace fast path):
+//!
+//! * the differential tests in `tests/observability.rs` assert that the
+//!   instrumented path under [`flo_obs::NullObserver`] produces
+//!   bit-identical [`SimReport`]s on random traces and topologies, and
+//! * `perfstats --obs-gate` measures instrumented-null against this copy
+//!   and fails the build when the overhead exceeds the budget — the
+//!   monomorphized null callbacks must compile to nothing.
+//!
+//! Do not "improve" this module alongside the live path; its value is
+//! that it does not change.
+
+use crate::block::BlockAddr;
+use crate::policies::demote::{self, DemoteOutcome};
+use crate::policies::karma::KarmaLevel;
+use crate::policies::PolicyKind;
+use crate::sim::{RunConfig, INTERLEAVE_SEED};
+use crate::stats::{LayerStats, SimReport};
+use crate::system::StorageSystem;
+use crate::trace::{JitterInterleaver, ThreadTrace};
+
+/// [`crate::simulate`] as it was before instrumentation: same
+/// interleaving, same access walk, no observer parameter anywhere.
+pub fn simulate_seed(
+    system: &mut StorageSystem,
+    traces: &[ThreadTrace],
+    cfg: &RunConfig,
+) -> SimReport {
+    let mut latency = vec![0.0f64; traces.len()];
+    let mut total_requests = 0u64;
+    for (t, entry) in JitterInterleaver::new(traces, INTERLEAVE_SEED) {
+        let ms = access_weighted(system, traces[t].compute_node, entry.block, entry.count);
+        latency[t] += ms;
+        total_requests += 1;
+    }
+    let execution_time_ms = latency
+        .iter()
+        .map(|l| l + cfg.compute_ms_per_thread)
+        .fold(0.0f64, f64::max);
+    let (disk_reads, disk_sequential_reads) = system.disk_stats();
+    SimReport {
+        layers: LayerStats {
+            io: system.io_layer_stats(),
+            storage: system.storage_layer_stats(),
+        },
+        disk_reads,
+        disk_sequential_reads,
+        demotions: system.demotions(),
+        thread_latency_ms: latency,
+        compute_ms_per_thread: cfg.compute_ms_per_thread,
+        execution_time_ms,
+        total_requests,
+    }
+}
+
+fn access_weighted(
+    sys: &mut StorageSystem,
+    compute_node: usize,
+    block: BlockAddr,
+    weight: u32,
+) -> f64 {
+    let io_idx = sys.topo.io_node_of_compute(compute_node);
+    let sc_idx = sys.topo.storage_node_of_block(block);
+    match sys.policy {
+        PolicyKind::LruInclusive => access_inclusive(sys, io_idx, sc_idx, block, weight),
+        PolicyKind::DemoteLru => access_demote(sys, io_idx, sc_idx, block, weight),
+        PolicyKind::Karma => access_karma(sys, io_idx, sc_idx, block, weight),
+        PolicyKind::MqSecondLevel => access_mq(sys, io_idx, sc_idx, block, weight),
+    }
+}
+
+fn disk_read(sys: &mut StorageSystem, sc_idx: usize, block: BlockAddr) -> f64 {
+    sys.disks[sc_idx].read(block, &sys.disk_model, sys.topo.storage_nodes)
+}
+
+fn access_inclusive(
+    sys: &mut StorageSystem,
+    io_idx: usize,
+    sc_idx: usize,
+    block: BlockAddr,
+    weight: u32,
+) -> f64 {
+    if sys.io_caches[io_idx].access_weighted(block, weight) {
+        return sys.costs.io_hit_ms;
+    }
+    if sys.storage_caches[sc_idx].access(block) {
+        sys.io_caches[io_idx].insert_absent(block);
+        return sys.costs.io_hit_ms + sys.costs.storage_hit_ms;
+    }
+    let disk = disk_read(sys, sc_idx, block);
+    sys.storage_caches[sc_idx].insert_absent(block);
+    sys.io_caches[io_idx].insert_absent(block);
+    sys.costs.io_hit_ms + sys.costs.storage_hit_ms + disk
+}
+
+fn access_demote(
+    sys: &mut StorageSystem,
+    io_idx: usize,
+    sc_idx: usize,
+    block: BlockAddr,
+    weight: u32,
+) -> f64 {
+    let out = demote::access_weighted(
+        &mut sys.io_caches[io_idx],
+        &mut sys.storage_caches[sc_idx],
+        block,
+        weight,
+    );
+    match out {
+        DemoteOutcome::UpperHit => sys.costs.io_hit_ms,
+        DemoteOutcome::LowerHit { demoted } => {
+            if demoted {
+                sys.demotions += 1;
+            }
+            sys.costs.io_hit_ms
+                + sys.costs.storage_hit_ms
+                + if demoted { sys.costs.demote_ms } else { 0.0 }
+        }
+        DemoteOutcome::DiskRead { demoted } => {
+            if demoted {
+                sys.demotions += 1;
+            }
+            let disk = disk_read(sys, sc_idx, block);
+            sys.costs.io_hit_ms
+                + sys.costs.storage_hit_ms
+                + disk
+                + if demoted { sys.costs.demote_ms } else { 0.0 }
+        }
+    }
+}
+
+fn access_karma(
+    sys: &mut StorageSystem,
+    io_idx: usize,
+    sc_idx: usize,
+    block: BlockAddr,
+    weight: u32,
+) -> f64 {
+    match sys.karma.level_for(io_idx, block.file) {
+        KarmaLevel::Io => {
+            if sys.io_caches[io_idx].access_weighted(block, weight) {
+                return sys.costs.io_hit_ms;
+            }
+            let disk = disk_read(sys, sc_idx, block);
+            sys.io_caches[io_idx].insert_absent(block);
+            sys.costs.io_hit_ms + sys.costs.storage_hit_ms + disk
+        }
+        KarmaLevel::Storage => {
+            sys.io_caches[io_idx].access_weighted(block, weight);
+            if sys.storage_caches[sc_idx].access(block) {
+                return sys.costs.io_hit_ms + sys.costs.storage_hit_ms;
+            }
+            let disk = disk_read(sys, sc_idx, block);
+            sys.storage_caches[sc_idx].insert_absent(block);
+            sys.costs.io_hit_ms + sys.costs.storage_hit_ms + disk
+        }
+        KarmaLevel::Bypass => {
+            sys.io_caches[io_idx].access_weighted(block, weight);
+            sys.storage_caches[sc_idx].access(block);
+            let disk = disk_read(sys, sc_idx, block);
+            sys.costs.io_hit_ms + sys.costs.storage_hit_ms + disk
+        }
+    }
+}
+
+fn access_mq(
+    sys: &mut StorageSystem,
+    io_idx: usize,
+    sc_idx: usize,
+    block: BlockAddr,
+    weight: u32,
+) -> f64 {
+    if sys.io_caches[io_idx].access_weighted(block, weight) {
+        return sys.costs.io_hit_ms;
+    }
+    if sys.mq_caches[sc_idx].access(block) {
+        sys.io_caches[io_idx].insert_absent(block);
+        return sys.costs.io_hit_ms + sys.costs.storage_hit_ms;
+    }
+    let disk = disk_read(sys, sc_idx, block);
+    sys.mq_caches[sc_idx].insert(block);
+    sys.io_caches[io_idx].insert_absent(block);
+    sys.costs.io_hit_ms + sys.costs.storage_hit_ms + disk
+}

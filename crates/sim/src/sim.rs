@@ -3,6 +3,7 @@
 use crate::stats::{LayerStats, SimReport};
 use crate::system::StorageSystem;
 use crate::trace::{JitterInterleaver, ThreadTrace};
+use flo_obs::{NullObserver, Observer};
 
 /// Per-run parameters of the execution-time model.
 ///
@@ -36,12 +37,36 @@ pub const INTERLEAVE_SEED: u64 = 0x5EED_F10C;
 /// Execution time is modelled as `max_t(compute_t + io_latency_t)`: the
 /// parallel application finishes when its slowest thread does.
 pub fn simulate(system: &mut StorageSystem, traces: &[ThreadTrace], cfg: &RunConfig) -> SimReport {
+    simulate_observed(system, traces, cfg, &mut NullObserver)
+}
+
+/// [`simulate`], reporting per-event telemetry to `obs` (see
+/// [`StorageSystem::access_observed`]). The report is bit-identical for
+/// every observer; enabled observers additionally receive an end-of-run
+/// per-set occupancy snapshot of every cache.
+pub fn simulate_observed<O: Observer>(
+    system: &mut StorageSystem,
+    traces: &[ThreadTrace],
+    cfg: &RunConfig,
+    obs: &mut O,
+) -> SimReport {
     let mut latency = vec![0.0f64; traces.len()];
     let mut total_requests = 0u64;
+    // The interleaved access walk is the phase worth timing; the span is
+    // gated on `O::ENABLED` so the null-observer path stays free.
+    let span = if O::ENABLED {
+        Some(flo_obs::span("interleave"))
+    } else {
+        None
+    };
     for (t, entry) in JitterInterleaver::new(traces, INTERLEAVE_SEED) {
-        let ms = system.access_weighted(traces[t].compute_node, entry.block, entry.count);
+        let ms = system.access_observed(traces[t].compute_node, entry.block, entry.count, obs);
         latency[t] += ms;
         total_requests += 1;
+    }
+    drop(span);
+    if O::ENABLED {
+        system.snapshot_occupancy(obs);
     }
     let execution_time_ms = latency
         .iter()

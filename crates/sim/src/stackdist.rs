@@ -32,11 +32,12 @@
 use crate::cache::{set_geometry, set_hash, CacheStats, FastMod};
 use crate::disk::{DiskModel, DiskState};
 use crate::policies::PolicyKind;
-use crate::sim::{simulate, RunConfig, INTERLEAVE_SEED};
+use crate::sim::{simulate_observed, RunConfig, INTERLEAVE_SEED};
 use crate::stats::{LayerStats, SimReport};
 use crate::system::{CostModel, StorageSystem};
 use crate::topology::Topology;
 use crate::trace::{JitterInterleaver, ThreadTrace};
+use flo_obs::{Layer, NullObserver, Observer};
 
 /// One swept configuration: per-node cache capacities in blocks. All other
 /// topology parameters (node counts, block size, associativity) are shared
@@ -348,6 +349,17 @@ impl<S: SeqTime> StackEngine<S> {
     /// `geometries[k]` cache serving this stream hits. Promotes the block
     /// to MRU of its class.
     pub fn access(&mut self, block: crate::BlockAddr) -> u64 {
+        self.access_observed(block, &mut NullObserver)
+    }
+
+    /// [`access`](Self::access), reporting the access's stack distance to
+    /// `obs`: `None` for a cold access, otherwise the distinct-same-set-
+    /// blocks-since count the classification walk accumulated. The walk
+    /// stops counting once every geometry's verdict is decided, so the
+    /// distance saturates at the swept geometries' maximum ways — exact
+    /// below that point, a lower bound above it (see
+    /// [`flo_obs::Observer::stack_distance`]).
+    pub fn access_observed<O: Observer>(&mut self, block: crate::BlockAddr, obs: &mut O) -> u64 {
         let r = self.class_mod.rem(set_hash(block)) as usize;
         let base = self.slot[r] as usize * self.stride;
         self.seq = self.seq.next();
@@ -368,8 +380,8 @@ impl<S: SeqTime> StackEngine<S> {
                 (S::ZERO, usize::MAX)
             }
         };
-        let mask = if prev_seq == S::ZERO {
-            0
+        let (mask, dist) = if prev_seq == S::ZERO {
+            (0, None)
         } else {
             match &mut self.plan {
                 Plan::Nested {
@@ -416,7 +428,7 @@ impl<S: SeqTime> StackEngine<S> {
                             break;
                         }
                     }
-                    mask
+                    (mask, Some(u64::from(acc)))
                 }
                 Plan::Generic {
                     off,
@@ -448,10 +460,21 @@ impl<S: SeqTime> StackEngine<S> {
                             mask |= 1 << k;
                         }
                     }
-                    mask
+                    // Geometries partition the classes differently, so
+                    // "the" distance is per-geometry here; report the
+                    // largest (the count over the most classes).
+                    let dist = if O::ENABLED {
+                        u64::from(counts.iter().copied().max().unwrap_or(0))
+                    } else {
+                        0
+                    };
+                    (mask, Some(dist))
                 }
             }
         };
+        if O::ENABLED {
+            obs.stack_distance(dist);
+        }
         // Refresh in place on a re-access; otherwise overwrite the
         // window's oldest entry (min seq; empty slots carry 0 and fill
         // first).
@@ -531,6 +554,22 @@ impl FlatSetLru {
         self.indices[base] = block.index;
         self.files[base] = block.file;
     }
+
+    /// Whether inserting `block` now would push a resident block out of
+    /// its set (observer bookkeeping only).
+    #[inline]
+    fn insert_would_evict(&self, block: crate::BlockAddr) -> bool {
+        let base = self.set_mod.rem(set_hash(block)) as usize * self.ways;
+        self.files[base + self.ways - 1] != u32::MAX
+    }
+
+    /// Resident blocks per set (observer bookkeeping only).
+    fn set_occupancies(&self) -> Vec<u32> {
+        self.files
+            .chunks_exact(self.ways)
+            .map(|set| set.iter().filter(|&&f| f != u32::MAX).count() as u32)
+            .collect()
+    }
 }
 
 /// Per-point live state: storage caches, disks, and accumulators. The I/O
@@ -549,7 +588,8 @@ struct PointState {
 /// in `points`, in one pass over the interleaved stream.
 ///
 /// Returns one [`SimReport`] per point, bit-identical to calling
-/// [`simulate`] on a fresh [`StorageSystem`] with the corresponding
+/// [`simulate`](crate::simulate) on a fresh [`StorageSystem`] with the
+/// corresponding
 /// capacities (`base` with `points[i]`'s capacities substituted). Sweeps
 /// outside the stack engine's envelope (see [`MultiCapacityStack::new`])
 /// transparently fall back to exactly that per-point path.
@@ -559,8 +599,37 @@ pub fn simulate_sweep(
     traces: &[ThreadTrace],
     cfg: &RunConfig,
 ) -> Vec<SimReport> {
+    let mut nulls = vec![NullObserver; points.len()];
+    simulate_sweep_observed(base, points, traces, cfg, &mut NullObserver, &mut nulls)
+}
+
+/// [`simulate_sweep`], reporting telemetry through observers. The shared
+/// I/O-layer classification reports each access's stack distance to
+/// `stream_obs` (the distance profile is a property of the routed stream,
+/// not of any capacity point); `point_obs[k]` receives point `k`'s
+/// per-event telemetry — I/O and storage cache lookups, storage
+/// evictions, disk reads, and an end-of-run storage occupancy snapshot.
+/// (The shared classification stack is not a cache, so sweep runs carry
+/// no I/O-layer eviction or occupancy events.) Sweeps outside the stack
+/// engine's envelope fall back to observed per-point simulation, where
+/// `stream_obs` receives nothing.
+///
+/// Reports stay bit-identical to [`simulate_sweep`] for every observer.
+pub fn simulate_sweep_observed<O: Observer>(
+    base: &Topology,
+    points: &[SweepPoint],
+    traces: &[ThreadTrace],
+    cfg: &RunConfig,
+    stream_obs: &mut O,
+    point_obs: &mut [O],
+) -> Vec<SimReport> {
     base.validate();
     assert!(!points.is_empty(), "simulate_sweep: no points");
+    assert_eq!(
+        point_obs.len(),
+        points.len(),
+        "simulate_sweep_observed: one observer per point"
+    );
     let geometries: Vec<(usize, usize)> = points
         .iter()
         .map(|p| set_geometry(p.io_cache_blocks, base.cache_ways))
@@ -570,24 +639,27 @@ pub fn simulate_sweep(
     let total: u64 = traces.iter().map(|t| t.entries.len() as u64).sum();
     if total < u32::MAX as u64 {
         if let Some(proto) = StackEngine::<u32>::new(&geometries) {
-            return sweep_with(proto, base, points, traces, cfg);
+            return sweep_with(proto, base, points, traces, cfg, stream_obs, point_obs);
         }
     } else if let Some(proto) = StackEngine::<u64>::new(&geometries) {
-        return sweep_with(proto, base, points, traces, cfg);
+        return sweep_with(proto, base, points, traces, cfg, stream_obs, point_obs);
     }
     points
         .iter()
-        .map(|p| simulate_point(base, *p, traces, cfg))
+        .zip(point_obs)
+        .map(|(p, o)| simulate_point_observed(base, *p, traces, cfg, o))
         .collect()
 }
 
 /// The one-pass driver, generic over the stack engine's timestamp width.
-fn sweep_with<S: SeqTime>(
+fn sweep_with<S: SeqTime, O: Observer>(
     proto: StackEngine<S>,
     base: &Topology,
     points: &[SweepPoint],
     traces: &[ThreadTrace],
     cfg: &RunConfig,
+    stream_obs: &mut O,
+    point_obs: &mut [O],
 ) -> Vec<SimReport> {
     let costs = CostModel::for_block_elems(base.block_elems);
     let disk_model = DiskModel::for_block_elems(base.block_elems);
@@ -610,22 +682,41 @@ fn sweep_with<S: SeqTime>(
     for (t, entry) in JitterInterleaver::new(traces, INTERLEAVE_SEED) {
         let io_idx = base.io_node_of_compute(traces[t].compute_node);
         let sc_idx = base.storage_node_of_block(entry.block);
-        let mask = stacks[io_idx].access(entry.block);
+        let mask = stacks[io_idx].access_observed(entry.block, stream_obs);
         total_requests += 1;
         total_weight += entry.count as u64;
         for (k, st) in pts.iter_mut().enumerate() {
             if mask >> k & 1 == 1 {
+                point_obs[k].cache_access(Layer::Io, io_idx, true, entry.count);
                 st.latency[t] += costs.io_hit_ms;
             } else {
+                point_obs[k].cache_access(Layer::Io, io_idx, false, entry.count);
                 st.io_miss_requests += 1;
-                let ms = if st.storage[sc_idx].access(entry.block) {
+                let hit = st.storage[sc_idx].access(entry.block);
+                point_obs[k].cache_access(Layer::Storage, sc_idx, hit, 1);
+                let ms = if hit {
                     costs.io_hit_ms + costs.storage_hit_ms
                 } else {
-                    let disk = st.disks[sc_idx].read(entry.block, &disk_model, base.storage_nodes);
+                    let (disk, sequential) = st.disks[sc_idx].read_classified(
+                        entry.block,
+                        &disk_model,
+                        base.storage_nodes,
+                    );
+                    point_obs[k].disk_read(sc_idx, sequential, disk);
+                    if O::ENABLED && st.storage[sc_idx].insert_would_evict(entry.block) {
+                        point_obs[k].eviction(Layer::Storage, sc_idx);
+                    }
                     st.storage[sc_idx].insert_absent(entry.block);
                     costs.io_hit_ms + costs.storage_hit_ms + disk
                 };
                 st.latency[t] += ms;
+            }
+        }
+    }
+    if O::ENABLED {
+        for (k, st) in pts.iter().enumerate() {
+            for (n, c) in st.storage.iter().enumerate() {
+                point_obs[k].occupancy(Layer::Storage, n, &c.set_occupancies());
             }
         }
     }
@@ -661,18 +752,30 @@ fn sweep_with<S: SeqTime>(
 }
 
 /// The per-point reference path: a fresh inclusive-LRU system at one
-/// capacity point, driven by [`simulate`].
+/// capacity point, driven by [`crate::simulate`].
+#[cfg(test)]
 fn simulate_point(
     base: &Topology,
     point: SweepPoint,
     traces: &[ThreadTrace],
     cfg: &RunConfig,
 ) -> SimReport {
+    simulate_point_observed(base, point, traces, cfg, &mut NullObserver)
+}
+
+/// Observed per-point path (the fallback of [`simulate_sweep_observed`]).
+fn simulate_point_observed<O: Observer>(
+    base: &Topology,
+    point: SweepPoint,
+    traces: &[ThreadTrace],
+    cfg: &RunConfig,
+    obs: &mut O,
+) -> SimReport {
     let mut topo = base.clone();
     topo.io_cache_blocks = point.io_cache_blocks;
     topo.storage_cache_blocks = point.storage_cache_blocks;
     let mut system = StorageSystem::new(topo, PolicyKind::LruInclusive);
-    simulate(&mut system, traces, cfg)
+    simulate_observed(&mut system, traces, cfg, obs)
 }
 
 #[cfg(test)]

@@ -37,6 +37,12 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// Version of the report's JSON schema. Serialized reports carry it
+    /// as `schema_version`; [`SimReport::from_json`] rejects mismatches so
+    /// downstream readers (`flostat`) fail loudly on incompatible
+    /// artifacts instead of misparsing them. Bump on any field change.
+    pub const SCHEMA_VERSION: u32 = 1;
+
     /// I/O-layer miss rate in [0, 1].
     pub fn io_miss_rate(&self) -> f64 {
         self.layers.io.miss_rate()
@@ -61,10 +67,12 @@ impl SimReport {
         self.thread_latency_ms.iter().sum()
     }
 
-    /// JSON rendering for experiment artifacts.
+    /// JSON rendering for experiment artifacts (versioned; see
+    /// [`SimReport::SCHEMA_VERSION`]).
     pub fn to_json(&self) -> Json {
         let layer = |s: &CacheStats| Json::obj().set("accesses", s.accesses).set("hits", s.hits);
         Json::obj()
+            .set("schema_version", u64::from(Self::SCHEMA_VERSION))
             .set(
                 "layers",
                 Json::obj()
@@ -78,6 +86,58 @@ impl SimReport {
             .set("compute_ms_per_thread", self.compute_ms_per_thread)
             .set("execution_time_ms", self.execution_time_ms)
             .set("total_requests", self.total_requests)
+    }
+
+    /// Parse a report serialized by [`to_json`](Self::to_json), rejecting
+    /// missing fields and incompatible schema versions.
+    pub fn from_json(json: &Json) -> Result<SimReport, String> {
+        let num = |j: &Json, key: &str| {
+            j.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("SimReport: missing numeric field `{key}`"))
+        };
+        let version = num(json, "schema_version")?;
+        if version != f64::from(Self::SCHEMA_VERSION) {
+            return Err(format!(
+                "SimReport: schema_version {version} unsupported (this build reads {})",
+                Self::SCHEMA_VERSION
+            ));
+        }
+        let layers = json
+            .get("layers")
+            .ok_or("SimReport: missing `layers`".to_string())?;
+        let layer = |key: &str| -> Result<CacheStats, String> {
+            let l = layers
+                .get(key)
+                .ok_or_else(|| format!("SimReport: missing layer `{key}`"))?;
+            Ok(CacheStats {
+                accesses: num(l, "accesses")? as u64,
+                hits: num(l, "hits")? as u64,
+            })
+        };
+        let thread_latency_ms = json
+            .get("thread_latency_ms")
+            .and_then(Json::as_arr)
+            .ok_or("SimReport: missing `thread_latency_ms`".to_string())?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or("SimReport: non-numeric latency".to_string())
+            })
+            .collect::<Result<Vec<f64>, String>>()?;
+        Ok(SimReport {
+            layers: LayerStats {
+                io: layer("io")?,
+                storage: layer("storage")?,
+            },
+            disk_reads: num(json, "disk_reads")? as u64,
+            disk_sequential_reads: num(json, "disk_sequential_reads")? as u64,
+            demotions: num(json, "demotions")? as u64,
+            thread_latency_ms,
+            compute_ms_per_thread: num(json, "compute_ms_per_thread")?,
+            execution_time_ms: num(json, "execution_time_ms")?,
+            total_requests: num(json, "total_requests")? as u64,
+        })
     }
 }
 
@@ -120,6 +180,69 @@ mod tests {
             json.get("execution_time_ms").and_then(Json::as_f64),
             Some(1.5)
         );
+        assert_eq!(
+            json.get("schema_version").and_then(Json::as_f64),
+            Some(f64::from(SimReport::SCHEMA_VERSION))
+        );
         assert!(flo_json::parse(&json.pretty()).is_ok());
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let r = SimReport {
+            layers: LayerStats {
+                io: CacheStats {
+                    accesses: 1234,
+                    hits: 987,
+                },
+                storage: CacheStats {
+                    accesses: 321,
+                    hits: 45,
+                },
+            },
+            disk_reads: 276,
+            disk_sequential_reads: 100,
+            demotions: 7,
+            thread_latency_ms: vec![1.25, 0.5, 9.875],
+            compute_ms_per_thread: 2.5,
+            execution_time_ms: 12.375,
+            total_requests: 555,
+        };
+        // Through text and back: parse(pretty(to_json)) → from_json.
+        let text = r.to_json().pretty();
+        let back = SimReport::from_json(&flo_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.layers.io, r.layers.io);
+        assert_eq!(back.layers.storage, r.layers.storage);
+        assert_eq!(back.disk_reads, r.disk_reads);
+        assert_eq!(back.disk_sequential_reads, r.disk_sequential_reads);
+        assert_eq!(back.demotions, r.demotions);
+        assert_eq!(back.thread_latency_ms, r.thread_latency_ms);
+        assert_eq!(
+            back.compute_ms_per_thread.to_bits(),
+            r.compute_ms_per_thread.to_bits()
+        );
+        assert_eq!(
+            back.execution_time_ms.to_bits(),
+            r.execution_time_ms.to_bits()
+        );
+        assert_eq!(back.total_requests, r.total_requests);
+        // And the re-serialization is byte-identical.
+        assert_eq!(back.to_json().pretty(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_incompatible_artifacts() {
+        let good = SimReport::default().to_json();
+        assert!(SimReport::from_json(&good).is_ok());
+        // Wrong version.
+        let bad = Json::obj().set("schema_version", 999u64);
+        let err = SimReport::from_json(&bad).unwrap_err();
+        assert!(err.contains("999"), "{err}");
+        // Missing version entirely (pre-versioned artifact).
+        let legacy = Json::obj().set("disk_reads", 1u64);
+        assert!(SimReport::from_json(&legacy).is_err());
+        // Truncated object.
+        let partial = Json::obj().set("schema_version", u64::from(SimReport::SCHEMA_VERSION));
+        assert!(SimReport::from_json(&partial).is_err());
     }
 }

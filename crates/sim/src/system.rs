@@ -8,6 +8,7 @@ use crate::policies::karma::{KarmaAssignment, KarmaHints, KarmaLevel};
 use crate::policies::mq::MqCache;
 use crate::policies::PolicyKind;
 use crate::topology::Topology;
+use flo_obs::{KarmaRoute, Layer, NullObserver, Observer};
 
 /// Latency parameters of the non-disk path, in milliseconds per block.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -44,17 +45,25 @@ impl CostModel {
 ///
 /// Per-access entry point is [`StorageSystem::access`]; it returns the
 /// latency charged to the issuing thread and updates per-layer statistics.
+/// The observed variants ([`StorageSystem::access_observed`]) additionally
+/// report per-event telemetry through a monomorphized
+/// [`flo_obs::Observer`]; the plain entry points instantiate them with
+/// [`NullObserver`], compiling to the uninstrumented walk (the frozen
+/// copy in [`crate::seedpath`] exists to assert exactly that).
+///
+/// Fields are `pub(crate)` so `seedpath` can drive the same state through
+/// its frozen access walk.
 pub struct StorageSystem {
-    topo: Topology,
-    policy: PolicyKind,
-    costs: CostModel,
-    disk_model: DiskModel,
-    io_caches: Vec<SetAssocCache>,
-    storage_caches: Vec<SetAssocCache>,
-    mq_caches: Vec<MqCache>,
-    disks: Vec<DiskState>,
-    karma: KarmaAssignment,
-    demotions: u64,
+    pub(crate) topo: Topology,
+    pub(crate) policy: PolicyKind,
+    pub(crate) costs: CostModel,
+    pub(crate) disk_model: DiskModel,
+    pub(crate) io_caches: Vec<SetAssocCache>,
+    pub(crate) storage_caches: Vec<SetAssocCache>,
+    pub(crate) mq_caches: Vec<MqCache>,
+    pub(crate) disks: Vec<DiskState>,
+    pub(crate) karma: KarmaAssignment,
+    pub(crate) demotions: u64,
 }
 
 impl StorageSystem {
@@ -132,49 +141,78 @@ impl StorageSystem {
     /// buffered element reads); the storage layer and disk see at most one
     /// block request. Returns the latency in milliseconds.
     pub fn access_weighted(&mut self, compute_node: usize, block: BlockAddr, weight: u32) -> f64 {
+        self.access_observed(compute_node, block, weight, &mut NullObserver)
+    }
+
+    /// [`access_weighted`](Self::access_weighted), reporting per-event
+    /// telemetry (cache lookups, evictions, demotions, disk reads, KARMA
+    /// routing) to `obs`. Observers receive events only — the simulated
+    /// behavior and returned latency are identical for every observer.
+    pub fn access_observed<O: Observer>(
+        &mut self,
+        compute_node: usize,
+        block: BlockAddr,
+        weight: u32,
+        obs: &mut O,
+    ) -> f64 {
         let io_idx = self.topo.io_node_of_compute(compute_node);
         let sc_idx = self.topo.storage_node_of_block(block);
         match self.policy {
-            PolicyKind::LruInclusive => self.access_inclusive(io_idx, sc_idx, block, weight),
-            PolicyKind::DemoteLru => self.access_demote(io_idx, sc_idx, block, weight),
-            PolicyKind::Karma => self.access_karma(io_idx, sc_idx, block, weight),
-            PolicyKind::MqSecondLevel => self.access_mq(io_idx, sc_idx, block, weight),
+            PolicyKind::LruInclusive => self.access_inclusive(io_idx, sc_idx, block, weight, obs),
+            PolicyKind::DemoteLru => self.access_demote(io_idx, sc_idx, block, weight, obs),
+            PolicyKind::Karma => self.access_karma(io_idx, sc_idx, block, weight, obs),
+            PolicyKind::MqSecondLevel => self.access_mq(io_idx, sc_idx, block, weight, obs),
         }
     }
 
-    fn disk_read(&mut self, sc_idx: usize, block: BlockAddr) -> f64 {
-        self.disks[sc_idx].read(block, &self.disk_model, self.topo.storage_nodes)
+    fn disk_read<O: Observer>(&mut self, sc_idx: usize, block: BlockAddr, obs: &mut O) -> f64 {
+        let (ms, sequential) =
+            self.disks[sc_idx].read_classified(block, &self.disk_model, self.topo.storage_nodes);
+        obs.disk_read(sc_idx, sequential, ms);
+        ms
     }
 
-    fn access_inclusive(
+    fn access_inclusive<O: Observer>(
         &mut self,
         io_idx: usize,
         sc_idx: usize,
         block: BlockAddr,
         weight: u32,
+        obs: &mut O,
     ) -> f64 {
         if self.io_caches[io_idx].access_weighted(block, weight) {
+            obs.cache_access(Layer::Io, io_idx, true, weight);
             return self.costs.io_hit_ms;
         }
+        obs.cache_access(Layer::Io, io_idx, false, weight);
         // `insert_absent`: the block provably missed the layer it is being
         // installed into, and nothing touched that layer since.
         if self.storage_caches[sc_idx].access(block) {
-            self.io_caches[io_idx].insert_absent(block);
+            obs.cache_access(Layer::Storage, sc_idx, true, 1);
+            if self.io_caches[io_idx].insert_absent(block).is_some() {
+                obs.eviction(Layer::Io, io_idx);
+            }
             return self.costs.io_hit_ms + self.costs.storage_hit_ms;
         }
-        let disk = self.disk_read(sc_idx, block);
+        obs.cache_access(Layer::Storage, sc_idx, false, 1);
+        let disk = self.disk_read(sc_idx, block, obs);
         // Inclusive: the block is installed at both layers.
-        self.storage_caches[sc_idx].insert_absent(block);
-        self.io_caches[io_idx].insert_absent(block);
+        if self.storage_caches[sc_idx].insert_absent(block).is_some() {
+            obs.eviction(Layer::Storage, sc_idx);
+        }
+        if self.io_caches[io_idx].insert_absent(block).is_some() {
+            obs.eviction(Layer::Io, io_idx);
+        }
         self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
     }
 
-    fn access_demote(
+    fn access_demote<O: Observer>(
         &mut self,
         io_idx: usize,
         sc_idx: usize,
         block: BlockAddr,
         weight: u32,
+        obs: &mut O,
     ) -> f64 {
         let out = demote::access_weighted(
             &mut self.io_caches[io_idx],
@@ -183,20 +221,31 @@ impl StorageSystem {
             weight,
         );
         match out {
-            DemoteOutcome::UpperHit => self.costs.io_hit_ms,
+            DemoteOutcome::UpperHit => {
+                obs.cache_access(Layer::Io, io_idx, true, weight);
+                self.costs.io_hit_ms
+            }
             DemoteOutcome::LowerHit { demoted } => {
+                obs.cache_access(Layer::Io, io_idx, false, weight);
+                obs.cache_access(Layer::Storage, sc_idx, true, 1);
                 if demoted {
                     self.demotions += 1;
+                    obs.eviction(Layer::Io, io_idx);
+                    obs.demotion(io_idx);
                 }
                 self.costs.io_hit_ms
                     + self.costs.storage_hit_ms
                     + if demoted { self.costs.demote_ms } else { 0.0 }
             }
             DemoteOutcome::DiskRead { demoted } => {
+                obs.cache_access(Layer::Io, io_idx, false, weight);
+                obs.cache_access(Layer::Storage, sc_idx, false, 1);
                 if demoted {
                     self.demotions += 1;
+                    obs.eviction(Layer::Io, io_idx);
+                    obs.demotion(io_idx);
                 }
-                let disk = self.disk_read(sc_idx, block);
+                let disk = self.disk_read(sc_idx, block, obs);
                 self.costs.io_hit_ms
                     + self.costs.storage_hit_ms
                     + disk
@@ -205,50 +254,99 @@ impl StorageSystem {
         }
     }
 
-    fn access_karma(&mut self, io_idx: usize, sc_idx: usize, block: BlockAddr, weight: u32) -> f64 {
+    fn access_karma<O: Observer>(
+        &mut self,
+        io_idx: usize,
+        sc_idx: usize,
+        block: BlockAddr,
+        weight: u32,
+        obs: &mut O,
+    ) -> f64 {
         match self.karma.level_for(io_idx, block.file) {
             KarmaLevel::Io => {
+                obs.karma_route(KarmaRoute::Upper);
                 // Range partitioned into the I/O layer; the storage layer
                 // read-discards on its behalf.
                 if self.io_caches[io_idx].access_weighted(block, weight) {
+                    obs.cache_access(Layer::Io, io_idx, true, weight);
                     return self.costs.io_hit_ms;
                 }
-                let disk = self.disk_read(sc_idx, block);
-                self.io_caches[io_idx].insert_absent(block);
+                obs.cache_access(Layer::Io, io_idx, false, weight);
+                let disk = self.disk_read(sc_idx, block, obs);
+                if self.io_caches[io_idx].insert_absent(block).is_some() {
+                    obs.eviction(Layer::Io, io_idx);
+                }
                 self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
             }
             KarmaLevel::Storage => {
+                obs.karma_route(KarmaRoute::Lower);
                 // The I/O layer does not cache this range (exclusive): the
                 // lookup below still counts as an I/O-layer miss.
-                self.io_caches[io_idx].access_weighted(block, weight);
+                let io_hit = self.io_caches[io_idx].access_weighted(block, weight);
+                obs.cache_access(Layer::Io, io_idx, io_hit, weight);
                 if self.storage_caches[sc_idx].access(block) {
+                    obs.cache_access(Layer::Storage, sc_idx, true, 1);
                     return self.costs.io_hit_ms + self.costs.storage_hit_ms;
                 }
-                let disk = self.disk_read(sc_idx, block);
-                self.storage_caches[sc_idx].insert_absent(block);
+                obs.cache_access(Layer::Storage, sc_idx, false, 1);
+                let disk = self.disk_read(sc_idx, block, obs);
+                if self.storage_caches[sc_idx].insert_absent(block).is_some() {
+                    obs.eviction(Layer::Storage, sc_idx);
+                }
                 self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
             }
             KarmaLevel::Bypass => {
-                self.io_caches[io_idx].access_weighted(block, weight);
-                self.storage_caches[sc_idx].access(block);
-                let disk = self.disk_read(sc_idx, block);
+                obs.karma_route(KarmaRoute::Bypass);
+                let io_hit = self.io_caches[io_idx].access_weighted(block, weight);
+                obs.cache_access(Layer::Io, io_idx, io_hit, weight);
+                let sc_hit = self.storage_caches[sc_idx].access(block);
+                obs.cache_access(Layer::Storage, sc_idx, sc_hit, 1);
+                let disk = self.disk_read(sc_idx, block, obs);
                 self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
             }
         }
     }
 
-    fn access_mq(&mut self, io_idx: usize, sc_idx: usize, block: BlockAddr, weight: u32) -> f64 {
+    fn access_mq<O: Observer>(
+        &mut self,
+        io_idx: usize,
+        sc_idx: usize,
+        block: BlockAddr,
+        weight: u32,
+        obs: &mut O,
+    ) -> f64 {
         if self.io_caches[io_idx].access_weighted(block, weight) {
+            obs.cache_access(Layer::Io, io_idx, true, weight);
             return self.costs.io_hit_ms;
         }
+        obs.cache_access(Layer::Io, io_idx, false, weight);
         if self.mq_caches[sc_idx].access(block) {
-            self.io_caches[io_idx].insert_absent(block);
+            obs.cache_access(Layer::Storage, sc_idx, true, 1);
+            if self.io_caches[io_idx].insert_absent(block).is_some() {
+                obs.eviction(Layer::Io, io_idx);
+            }
             return self.costs.io_hit_ms + self.costs.storage_hit_ms;
         }
-        let disk = self.disk_read(sc_idx, block);
-        self.mq_caches[sc_idx].insert(block);
-        self.io_caches[io_idx].insert_absent(block);
+        obs.cache_access(Layer::Storage, sc_idx, false, 1);
+        let disk = self.disk_read(sc_idx, block, obs);
+        if self.mq_caches[sc_idx].insert(block).is_some() {
+            obs.eviction(Layer::Storage, sc_idx);
+        }
+        if self.io_caches[io_idx].insert_absent(block).is_some() {
+            obs.eviction(Layer::Io, io_idx);
+        }
         self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
+    }
+
+    /// Report every cache's end-of-run per-set occupancy to `obs` (MQ
+    /// caches have no set structure and are skipped).
+    pub fn snapshot_occupancy<O: Observer>(&self, obs: &mut O) {
+        for (n, c) in self.io_caches.iter().enumerate() {
+            obs.occupancy(Layer::Io, n, &c.set_occupancies());
+        }
+        for (n, c) in self.storage_caches.iter().enumerate() {
+            obs.occupancy(Layer::Storage, n, &c.set_occupancies());
+        }
     }
 
     /// Aggregated I/O-layer statistics.
