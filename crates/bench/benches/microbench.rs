@@ -102,7 +102,7 @@ fn bench_simulate() {
     let cfg = ParallelConfig::default_for(topo.compute_nodes);
     let traces = generate_traces(&w.program, &cfg, &default_layouts(&w.program), &topo);
     measure("simulate_qio_small_default", || {
-        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive).unwrap();
         simulate(&mut system, black_box(&traces), &w.run_config(cfg.threads))
     });
 }

@@ -32,19 +32,23 @@ fn main() {
         &["variant", "normalized_exec"],
     );
     let norm_with = |f: &(dyn Fn(&mut PassOptions) + Sync), policy: PolicyKind| -> f64 {
-        let norms: Vec<f64> = flo_parallel::parallel_map(&suite, |w| {
-            let base = run_app(w, &topo, policy, Scheme::Default, &RunOverrides::default());
-            let mut opts = PassOptions::default_for(&topo);
-            f(&mut opts);
-            let plan = run_layout_pass(&w.program, &topo, &opts);
-            let traces = generate_traces(&w.program, &opts.parallel, &plan.layouts, &topo);
-            let mut system = StorageSystem::new(topo.clone(), policy);
-            if policy == PolicyKind::Karma {
-                system.set_karma_hints(&flo_bench::harness::karma_hints(&traces, &topo));
-            }
-            let r = simulate(&mut system, &traces, &w.run_config(opts.parallel.threads));
-            r.execution_time_ms / base.exec_ms()
-        });
+        let norms: Vec<f64> = flo_bench::exit_on_error(
+            flo_parallel::parallel_map(&suite, |w| {
+                let base = run_app(w, &topo, policy, Scheme::Default, &RunOverrides::default())?;
+                let mut opts = PassOptions::default_for(&topo);
+                f(&mut opts);
+                let plan = run_layout_pass(&w.program, &topo, &opts);
+                let traces = generate_traces(&w.program, &opts.parallel, &plan.layouts, &topo);
+                let mut system = StorageSystem::new(topo.clone(), policy)?;
+                if policy == PolicyKind::Karma {
+                    system.set_karma_hints(&flo_bench::harness::karma_hints(&traces, &topo));
+                }
+                let r = simulate(&mut system, &traces, &w.run_config(opts.parallel.threads));
+                Ok(r.execution_time_ms / base.exec_ms())
+            })
+            .into_iter()
+            .collect::<Result<_, flo_bench::BenchError>>(),
+        );
         norms.iter().sum::<f64>() / norms.len() as f64
     };
 

@@ -37,8 +37,20 @@ fn main() {
     for w in all(scale) {
         let t = targets.iter().find(|(n, _)| *n == w.name).unwrap().1;
         let ov = RunOverrides::default();
-        let base = run_app(&w, &topo, PolicyKind::LruInclusive, Scheme::Default, &ov);
-        let opt = run_app(&w, &topo, PolicyKind::LruInclusive, Scheme::Inter, &ov);
+        let base = flo_bench::exit_on_error(run_app(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Default,
+            &ov,
+        ));
+        let opt = flo_bench::exit_on_error(run_app(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Inter,
+            &ov,
+        ));
         let l_def = base
             .report
             .thread_latency_ms

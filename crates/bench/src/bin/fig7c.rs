@@ -8,10 +8,10 @@ use flo_sim::PolicyKind;
 fn main() {
     let scale = flo_bench::scale_from_env();
     let policy = flo_bench::policy_from_env();
-    let table = flo_bench::experiments::fig7c::run_with_policy(
+    let table = flo_bench::exit_on_error(flo_bench::experiments::fig7c::run_with_policy(
         scale,
         policy.unwrap_or(PolicyKind::LruInclusive),
-    );
+    ));
     let name = match policy {
         Some(p) => format!("fig7c-{}", p.name().to_lowercase()),
         None => "fig7c".to_string(),

@@ -3,6 +3,6 @@
 
 fn main() {
     let scale = flo_bench::scale_from_env();
-    let table = flo_bench::experiments::fig7e::run(scale);
+    let table = flo_bench::exit_on_error(flo_bench::experiments::fig7e::run(scale));
     flo_bench::finish(&table, "fig7e");
 }

@@ -13,7 +13,9 @@
 //! the point of an A/B run — and prints per-layer hit-ratio and
 //! phase-time deltas.
 
-use flo_bench::flostat::{diff_layers, diff_phases, layer_table, load, phase_table, Artifact};
+use flo_bench::flostat::{
+    diff_layers, diff_phases, fault_table, layer_table, load, phase_table, Artifact,
+};
 use std::process::ExitCode;
 
 fn read_artifact(path: &str) -> Result<Artifact, String> {
@@ -34,6 +36,10 @@ fn main() -> ExitCode {
             ["show", path] => {
                 let art = read_artifact(path)?;
                 print!("{}", layer_table(&art));
+                if art.sims.iter().any(|s| s.faults.any()) {
+                    println!();
+                    print!("{}", fault_table(&art));
+                }
                 println!();
                 print!("{}", phase_table(&art));
                 Ok(())

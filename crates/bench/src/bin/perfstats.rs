@@ -54,15 +54,16 @@ use flo_obs::sink::write_json_artifact;
 use flo_obs::timing::measure_with;
 use flo_obs::JsonlSink;
 use flo_sim::{
-    simulate, simulate_seed, simulate_sweep, PolicyKind, SimReport, StorageSystem, ThreadTrace,
-    Topology,
+    simulate, simulate_faulted, simulate_seed, simulate_sweep, FaultPlan, FaultState, PolicyKind,
+    SimReport, StorageSystem, ThreadTrace, Topology,
 };
 use flo_workloads::{all, Scale, Workload};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
 fn exec_ms(traces: &[ThreadTrace], prepared: &PreparedRun, topo: &Topology) -> f64 {
-    let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+    let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive)
+        .expect("perfstats topology is valid");
     simulate(&mut system, traces, &prepared.run_cfg).execution_time_ms
 }
 
@@ -170,18 +171,27 @@ fn sweep_bench(scale: Scale, topo: &Topology, suite: &[Workload], budget: Durati
     let mut apps = Vec::new();
     let (mut total_per_point, mut total_sweep) = (0.0f64, 0.0f64);
     for w in suite {
-        let prepared = prepare_run(w, topo, Scheme::Default, &RunOverrides::default());
+        let prepared = flo_bench::exit_on_error(prepare_run(
+            w,
+            topo,
+            Scheme::Default,
+            &RunOverrides::default(),
+        ));
         let traces = generate_traces(&w.program, &prepared.cfg, &prepared.layouts, topo);
         let per_point_run = || {
             point_topos
                 .iter()
                 .map(|t| {
-                    let mut system = StorageSystem::new(t.clone(), PolicyKind::LruInclusive);
+                    let mut system = StorageSystem::new(t.clone(), PolicyKind::LruInclusive)
+                        .expect("perfstats topology is valid");
                     simulate(&mut system, &traces, &prepared.run_cfg)
                 })
                 .collect::<Vec<SimReport>>()
         };
-        let sweep_run = || simulate_sweep(topo, &points, &traces, &prepared.run_cfg);
+        let sweep_run = || {
+            simulate_sweep(topo, &points, &traces, &prepared.run_cfg)
+                .expect("sweep inputs are valid")
+        };
         for (i, (s, d)) in sweep_run().iter().zip(per_point_run()).enumerate() {
             assert_identical(s, &d, &format!("{} point {i}", w.name));
         }
@@ -245,16 +255,39 @@ fn obs_overhead_bench(scale: Scale, topo: &Topology, suite: &[Workload], budget:
     let (mut total_null, mut total_seed) = (0.0f64, 0.0f64);
     let mut apps = Vec::new();
     for w in suite {
-        let prepared = prepare_run(w, topo, Scheme::Inter, &RunOverrides::default());
+        let prepared = flo_bench::exit_on_error(prepare_run(
+            w,
+            topo,
+            Scheme::Inter,
+            &RunOverrides::default(),
+        ));
         let traces = generate_traces(&w.program, &prepared.cfg, &prepared.layouts, topo);
         let run_null = || {
-            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive)
+                .expect("perfstats topology is valid");
             simulate(&mut system, &traces, &prepared.run_cfg)
         };
         let run_seed = || {
-            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive)
+                .expect("perfstats topology is valid");
             simulate_seed(&mut system, &traces, &prepared.run_cfg)
         };
+        // The fault hook is compiled into the request path; a quiet plan
+        // must leave the healthy numbers untouched, bit for bit.
+        let run_quiet_faults = || {
+            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive)
+                .expect("perfstats topology is valid");
+            let mut faults = FaultState::new(FaultPlan::quiet(1)).expect("quiet plan is valid");
+            simulate_faulted(&mut system, &traces, &prepared.run_cfg, &mut faults)
+        };
+        assert_identical(
+            &run_quiet_faults(),
+            &run_null(),
+            &format!(
+                "{}: quiet fault plan diverged from the no-fault path",
+                w.name
+            ),
+        );
         assert_identical(
             &run_null(),
             &run_seed(),
@@ -340,7 +373,8 @@ fn main() {
         let mut entry = Json::obj().set("app", w.name);
         for scheme in [Scheme::Default, Scheme::Inter] {
             let tag = scheme.name();
-            let prepared = prepare_run(w, &topo, scheme, &RunOverrides::default());
+            let prepared =
+                flo_bench::exit_on_error(prepare_run(w, &topo, scheme, &RunOverrides::default()));
             let reference = measure_with(
                 &format!("{}/{tag}/tracegen-reference", w.name),
                 budget,
@@ -362,7 +396,8 @@ fn main() {
                 || simulate_legacy(&topo, &traces, &prepared.run_cfg),
             );
             let sim = measure_with(&format!("{}/{tag}/simulate", w.name), budget, 20, || {
-                let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+                let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive)
+                    .expect("perfstats topology is valid");
                 simulate(&mut system, &traces, &prepared.run_cfg)
             });
             for m in [&reference, &fast, &sim_legacy, &sim] {
@@ -393,8 +428,18 @@ fn main() {
         .map(|w| {
             (
                 w,
-                prepare_run(w, &topo, Scheme::Default, &RunOverrides::default()),
-                prepare_run(w, &topo, Scheme::Inter, &RunOverrides::default()),
+                flo_bench::exit_on_error(prepare_run(
+                    w,
+                    &topo,
+                    Scheme::Default,
+                    &RunOverrides::default(),
+                )),
+                flo_bench::exit_on_error(prepare_run(
+                    w,
+                    &topo,
+                    Scheme::Inter,
+                    &RunOverrides::default(),
+                )),
             )
         })
         .collect();

@@ -14,13 +14,13 @@ fn main() {
     for name in &apps {
         let w = by_name(name, scale).expect("unknown app");
         for scheme in [Scheme::Default, Scheme::Inter] {
-            let out = run_app(
+            let out = flo_bench::exit_on_error(run_app(
                 &w,
                 &topo,
                 PolicyKind::LruInclusive,
                 scheme,
                 &RunOverrides::default(),
-            );
+            ));
             let r = &out.report;
             let lmax = r.thread_latency_ms.iter().cloned().fold(0.0f64, f64::max);
             println!(

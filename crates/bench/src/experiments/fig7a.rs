@@ -3,19 +3,20 @@
 //! improvement with three application groups (≈0%, 8–13%, 21–26%).
 
 use crate::cache::RunCaches;
-use crate::experiments::{mean, par_over_suite, r3};
+use crate::experiments::{mean, r3, try_par_over_suite};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 
 /// Run the whole suite.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let topo = topology_for(scale);
     let suite = crate::suite_from_env(scale);
     let caches = RunCaches::new();
-    let norms = par_over_suite(&suite, |w| {
+    let norms = try_par_over_suite(&suite, |w| {
         normalized_exec_cached(
             &caches,
             w,
@@ -24,7 +25,7 @@ pub fn run(scale: Scale) -> Table {
             Scheme::Inter,
             &RunOverrides::default(),
         )
-    });
+    })?;
     let mut t = Table::new(
         "Fig. 7(a) — normalized execution time (inter-node layout / default)",
         &["application", "normalized_exec"],
@@ -38,7 +39,7 @@ pub fn run(scale: Scale) -> Table {
         "average improvement: {:.1}% (paper: 23.7%)",
         (1.0 - avg) * 100.0
     ));
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -47,7 +48,7 @@ mod tests {
 
     #[test]
     fn three_groups_emerge() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         let norm = |name: &str| t.cell_f64(name, "normalized_exec").unwrap();
         // Group 1 near (or a little above) 1.0 — cold-pass noise at test
         // scale; group 3 clearly better than group 1.

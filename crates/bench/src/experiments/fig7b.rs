@@ -4,16 +4,17 @@
 //! showing any sensitivity.
 
 use crate::cache::RunCaches;
-use crate::experiments::{par_over_suite, r3};
+use crate::experiments::{r3, try_par_over_suite};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_parallel::ThreadMapping;
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 
 /// Run the suite under all four mappings.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let topo = topology_for(scale);
     let suite = crate::suite_from_env(scale);
     let mappings = ThreadMapping::paper_mappings(topo.compute_nodes);
@@ -21,7 +22,7 @@ pub fn run(scale: Scale) -> Table {
         .chain(mappings.iter().map(|(n, _)| *n))
         .collect();
     let caches = RunCaches::new();
-    let rows = par_over_suite(&suite, |w| {
+    let rows = try_par_over_suite(&suite, |w| {
         mappings
             .iter()
             .map(|(_, m)| {
@@ -38,8 +39,8 @@ pub fn run(scale: Scale) -> Table {
                     &ov,
                 )
             })
-            .collect::<Vec<f64>>()
-    });
+            .collect::<Result<Vec<f64>, BenchError>>()
+    })?;
     let mut t = Table::new(
         "Fig. 7(b) — normalized execution time under thread mappings I-IV",
         &headers,
@@ -51,7 +52,7 @@ pub fn run(scale: Scale) -> Table {
     }
     t.note("each cell: exec(inter, mapping M) / exec(default, mapping M)");
     t.note("paper: spread within 6%; only master-slave apps sensitive");
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -60,7 +61,7 @@ mod tests {
 
     #[test]
     fn mapping_spread_is_bounded() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         for row in &t.rows {
             let vals: Vec<f64> = row[1..].iter().map(|s| s.parse::<f64>().unwrap()).collect();
             let (min, max) = (

@@ -4,9 +4,10 @@
 //! critical.
 
 use crate::cache::RunCaches;
-use crate::experiments::{mean, par_over_suite, r3};
+use crate::experiments::{mean, r3, try_par_over_suite};
 use crate::harness::{normalized_exec_sweep, RunOverrides, Scheme};
 use crate::tablefmt::Table;
+use crate::BenchError;
 use crate::{suite_from_env, topology_for};
 use flo_sim::{PolicyKind, SweepPoint};
 use flo_workloads::Scale;
@@ -33,7 +34,7 @@ pub fn sweep_points(base: &flo_sim::Topology) -> Vec<SweepPoint> {
 /// `Default` baselines cost one trace pass instead of five, and the
 /// `Inter` side batches whichever points its layout pass maps to the same
 /// layouts.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     run_with_policy(scale, PolicyKind::LruInclusive)
 }
 
@@ -42,7 +43,7 @@ pub fn run(scale: Scale) -> Table {
 /// e.g. KARMA's capacity sensitivity next to inclusive LRU's. Non-LRU
 /// policies take the per-point simulation path instead of the one-pass
 /// sweep engine.
-pub fn run_with_policy(scale: Scale, policy: PolicyKind) -> Table {
+pub fn run_with_policy(scale: Scale, policy: PolicyKind) -> Result<Table, BenchError> {
     let base_topo = topology_for(scale);
     let suite = suite_from_env(scale);
     let headers: Vec<&str> = std::iter::once("application")
@@ -50,7 +51,7 @@ pub fn run_with_policy(scale: Scale, policy: PolicyKind) -> Table {
         .collect();
     let caches = RunCaches::new();
     let points = sweep_points(&base_topo);
-    let rows = par_over_suite(&suite, |w| {
+    let rows = try_par_over_suite(&suite, |w| {
         normalized_exec_sweep(
             &caches,
             w,
@@ -60,7 +61,7 @@ pub fn run_with_policy(scale: Scale, policy: PolicyKind) -> Table {
             Scheme::Inter,
             &RunOverrides::default(),
         )
-    });
+    })?;
     // The default (LRU) title is what the checked-in `results/` tables
     // carry; only policy overrides annotate it.
     let title = if policy == PolicyKind::LruInclusive {
@@ -84,7 +85,7 @@ pub fn run_with_policy(scale: Scale, policy: PolicyKind) -> Table {
     }
     t.row(avg);
     t.note("smaller caches → lower normalized time (bigger win), per the paper");
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -93,7 +94,7 @@ mod tests {
 
     #[test]
     fn smaller_caches_bigger_wins() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         let quarter = t.cell_f64("AVERAGE", "1/4x").unwrap();
         let four = t.cell_f64("AVERAGE", "4x").unwrap();
         // The clean monotone trend appears at full scale; at test scale we

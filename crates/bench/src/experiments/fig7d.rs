@@ -4,10 +4,11 @@
 //! and I/O nodes".
 
 use crate::cache::RunCaches;
-use crate::experiments::{mean, par_over_suite, r3};
+use crate::experiments::{mean, r3, try_par_over_suite};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 
@@ -26,7 +27,7 @@ pub const SMALL_CONFIGS: [(usize, usize, usize); 5] =
     [(8, 8, 4), (8, 4, 2), (8, 4, 1), (8, 2, 2), (8, 2, 1)];
 
 /// Run the sweep.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let base_topo = topology_for(scale);
     let configs = match scale {
         Scale::Full => FULL_CONFIGS,
@@ -41,7 +42,7 @@ pub fn run(scale: Scale) -> Table {
         .chain(names.iter().map(String::as_str))
         .collect();
     let caches = RunCaches::new();
-    let rows = par_over_suite(&suite, |w| {
+    let rows = try_par_over_suite(&suite, |w| {
         configs
             .iter()
             .map(|&(c, i, s)| {
@@ -55,8 +56,8 @@ pub fn run(scale: Scale) -> Table {
                     &RunOverrides::default(),
                 )
             })
-            .collect::<Vec<f64>>()
-    });
+            .collect::<Result<Vec<f64>, BenchError>>()
+    })?;
     let mut t = Table::new(
         "Fig. 7(d) — normalized execution time vs node counts (compute, I/O, storage)",
         &headers,
@@ -73,7 +74,7 @@ pub fn run(scale: Scale) -> Table {
     }
     t.row(avg);
     t.note("fewer I/O / storage nodes → more sharing per cache → bigger wins");
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -82,7 +83,7 @@ mod tests {
 
     #[test]
     fn more_sharing_at_least_as_beneficial() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         // Least-shared config vs most-shared config.
         let least = t.cell_f64("AVERAGE", "(8,8,4)").unwrap();
         let most = t.cell_f64("AVERAGE", "(8,2,1)").unwrap();

@@ -4,10 +4,11 @@
 //! sweep, as in the paper.
 
 use crate::cache::RunCaches;
-use crate::experiments::{mean, par_over_suite, r3};
+use crate::experiments::{mean, r3, try_par_over_suite};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 
@@ -21,14 +22,14 @@ pub const FACTORS: [(u64, u64, &str); 5] = [
 ];
 
 /// Run the sweep.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let base_topo = topology_for(scale);
     let suite = crate::suite_from_env(scale);
     let headers: Vec<&str> = std::iter::once("application")
         .chain(FACTORS.iter().map(|&(_, _, n)| n))
         .collect();
     let caches = RunCaches::new();
-    let rows = par_over_suite(&suite, |w| {
+    let rows = try_par_over_suite(&suite, |w| {
         FACTORS
             .iter()
             .map(|&(num, den, _)| {
@@ -43,8 +44,8 @@ pub fn run(scale: Scale) -> Table {
                     &RunOverrides::default(),
                 )
             })
-            .collect::<Vec<f64>>()
-    });
+            .collect::<Result<Vec<f64>, BenchError>>()
+    })?;
     let mut t = Table::new(
         "Fig. 7(e) — normalized execution time vs data block size",
         &headers,
@@ -61,7 +62,7 @@ pub fn run(scale: Scale) -> Table {
     }
     t.row(avg);
     t.note("smaller blocks → finer cache management → bigger wins (paper §5.3)");
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -70,7 +71,7 @@ mod tests {
 
     #[test]
     fn sweep_produces_all_columns() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         assert_eq!(t.headers.len(), 6);
         assert_eq!(t.rows.len(), 17);
         for &(_, _, name) in &FACTORS {

@@ -3,16 +3,17 @@
 //! "targeting the entire storage hierarchy is critical".
 
 use crate::cache::RunCaches;
-use crate::experiments::{mean, par_over_suite, r3};
+use crate::experiments::{mean, r3, try_par_over_suite};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_core::TargetLayers;
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 
 /// Run the suite for each target-layer choice.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let topo = topology_for(scale);
     let suite = crate::suite_from_env(scale);
     let targets = [
@@ -21,7 +22,7 @@ pub fn run(scale: Scale) -> Table {
         TargetLayers::Both,
     ];
     let caches = RunCaches::new();
-    let rows = par_over_suite(&suite, |w| {
+    let rows = try_par_over_suite(&suite, |w| {
         targets
             .iter()
             .map(|&target| {
@@ -38,8 +39,8 @@ pub fn run(scale: Scale) -> Table {
                     &ov,
                 )
             })
-            .collect::<Vec<f64>>()
-    });
+            .collect::<Result<Vec<f64>, BenchError>>()
+    })?;
     let mut t = Table::new(
         "Fig. 7(f) — normalized execution time by targeted layers",
         &["application", "io_only", "storage_only", "both"],
@@ -56,7 +57,7 @@ pub fn run(scale: Scale) -> Table {
     }
     t.row(avg);
     t.note("paper averages: I/O-only 9.1%, storage-only 13.0%, both 23.7% improvement");
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -65,7 +66,7 @@ mod tests {
 
     #[test]
     fn both_layers_at_least_as_good_as_single() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         let io = t.cell_f64("AVERAGE", "io_only").unwrap();
         let sc = t.cell_f64("AVERAGE", "storage_only").unwrap();
         let both = t.cell_f64("AVERAGE", "both").unwrap();

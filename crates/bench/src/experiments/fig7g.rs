@@ -5,20 +5,21 @@
 //! the inter-node layout optimization (23.7%).
 
 use crate::cache::RunCaches;
-use crate::experiments::{mean, par_over_suite, r3};
+use crate::experiments::{mean, r3, try_par_over_suite};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 
 /// Run the three schemes over the suite.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let topo = topology_for(scale);
     let suite = crate::suite_from_env(scale);
     let schemes = [Scheme::CompMap, Scheme::Reindex, Scheme::Inter];
     let caches = RunCaches::new();
-    let rows = par_over_suite(&suite, |w| {
+    let rows = try_par_over_suite(&suite, |w| {
         schemes
             .iter()
             .map(|&s| {
@@ -31,8 +32,8 @@ pub fn run(scale: Scale) -> Table {
                     &RunOverrides::default(),
                 )
             })
-            .collect::<Vec<f64>>()
-    });
+            .collect::<Result<Vec<f64>, BenchError>>()
+    })?;
     let mut t = Table::new(
         "Fig. 7(g) — normalized execution time: prior schemes vs inter-node layout",
         &["application", "compmap[26]", "reindex[27]", "inter"],
@@ -50,7 +51,7 @@ pub fn run(scale: Scale) -> Table {
     t.row(avg);
     t.note("paper averages: compmap 7.6%, reindex 7.1%, inter 23.7% improvement");
     t.note("inter layouts cannot be expressed as dimension reindexings (§5.4)");
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -59,7 +60,7 @@ mod tests {
 
     #[test]
     fn inter_wins_on_average() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         let cm = t.cell_f64("AVERAGE", "compmap[26]").unwrap();
         let ri = t.cell_f64("AVERAGE", "reindex[27]").unwrap();
         let inter = t.cell_f64("AVERAGE", "inter").unwrap();

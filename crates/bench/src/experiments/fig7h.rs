@@ -5,15 +5,16 @@
 //! (30.1% with KARMA, 28.6% with DEMOTE-LRU, vs 23.7% with LRU).
 
 use crate::cache::RunCaches;
-use crate::experiments::{mean, par_over_suite, r3};
+use crate::experiments::{mean, r3, try_par_over_suite};
 use crate::harness::{normalized_exec_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 
 /// Run the suite under each policy.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let topo = topology_for(scale);
     let suite = crate::suite_from_env(scale);
     let policies = [
@@ -22,7 +23,7 @@ pub fn run(scale: Scale) -> Table {
         PolicyKind::DemoteLru,
     ];
     let caches = RunCaches::new();
-    let rows = par_over_suite(&suite, |w| {
+    let rows = try_par_over_suite(&suite, |w| {
         policies
             .iter()
             .map(|&p| {
@@ -35,8 +36,8 @@ pub fn run(scale: Scale) -> Table {
                     &RunOverrides::default(),
                 )
             })
-            .collect::<Vec<f64>>()
-    });
+            .collect::<Result<Vec<f64>, BenchError>>()
+    })?;
     let mut t = Table::new(
         "Fig. 7(h) — normalized execution time under hierarchy management policies",
         &["application", "LRU", "KARMA[47]", "DEMOTE-LRU[44]"],
@@ -54,7 +55,7 @@ pub fn run(scale: Scale) -> Table {
     t.row(avg);
     t.note("each column normalized to the default execution under the SAME policy");
     t.note("paper averages: LRU 23.7%, KARMA 30.1%, DEMOTE-LRU 28.6% improvement");
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -63,7 +64,7 @@ mod tests {
 
     #[test]
     fn optimization_helps_under_every_policy() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         for col in ["LRU", "KARMA[47]", "DEMOTE-LRU[44]"] {
             let avg = t.cell_f64("AVERAGE", col).unwrap();
             assert!(avg < 1.0, "{col}: average must improve, got {avg}");

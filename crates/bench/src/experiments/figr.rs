@@ -1,0 +1,206 @@
+//! Fig. R (robustness extension) — degradation curves under deterministic
+//! fault injection.
+//!
+//! For each cache-management policy (inclusive LRU, KARMA, DEMOTE-LRU)
+//! and each scheme (default layouts, inter-node optimized layouts), the
+//! suite runs under [`FaultPlan::with_intensity`] at increasing fault
+//! intensities: storage-node outage windows with failover re-striping,
+//! straggler disks, transient I/O errors absorbed by retry/backoff, and
+//! fault-injected cache flushes. Every decision in the schedule is a pure
+//! function of `(seed, request sequence number)`, so a figr run is
+//! replayable bit for bit from its reported seed.
+//!
+//! The table reports, per (policy, scheme, intensity): the suite-summed
+//! execution time, the degradation ratio `exec(intensity) / exec(0)`,
+//! and the summed fault counters. The companion JSON artifact
+//! (`BENCH_fault.json`) carries the same curves for regression tracking.
+
+use crate::experiments::r3;
+use crate::harness::{run_app_faulted, RunOverrides, Scheme};
+use crate::tablefmt::Table;
+use crate::BenchError;
+use crate::{suite_from_env, topology_for};
+use flo_json::Json;
+use flo_obs::FaultCounters;
+use flo_sim::{FaultPlan, PolicyKind};
+use flo_workloads::Scale;
+
+/// Fault intensities swept: multiples of the default degraded plan's
+/// rates. `0.0` is the healthy baseline every curve is normalized to.
+pub const INTENSITIES: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
+
+/// The policies the degradation curves compare.
+pub const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::LruInclusive,
+    PolicyKind::Karma,
+    PolicyKind::DemoteLru,
+];
+
+/// One point of a degradation curve.
+#[derive(Clone, Debug)]
+pub struct CurvePoint {
+    /// Fault intensity (0.0 = healthy).
+    pub intensity: f64,
+    /// Suite-summed execution time in milliseconds.
+    pub exec_ms: f64,
+    /// `exec_ms / exec_ms(intensity 0)` for the same policy and scheme.
+    pub degradation: f64,
+    /// Suite-summed fault counters.
+    pub stats: FaultCounters,
+}
+
+/// The table plus the JSON artifact body.
+pub struct FigrOutput {
+    /// The rendered degradation table.
+    pub table: Table,
+    /// The `BENCH_fault.json` document.
+    pub doc: Json,
+}
+
+fn curve(
+    scale: Scale,
+    policy: PolicyKind,
+    scheme: Scheme,
+    seed: u64,
+) -> Result<Vec<CurvePoint>, BenchError> {
+    let topo = topology_for(scale);
+    let suite = suite_from_env(scale);
+    let overrides = RunOverrides::default();
+    let mut points = Vec::with_capacity(INTENSITIES.len());
+    let mut baseline = None;
+    for &intensity in &INTENSITIES {
+        let plan = FaultPlan::with_intensity(seed, intensity);
+        let runs = crate::experiments::try_par_over_suite(&suite, |w| {
+            run_app_faulted(w, &topo, policy, scheme, &overrides, &plan)
+        })?;
+        let exec_ms: f64 = runs.iter().map(|(out, _)| out.exec_ms()).sum();
+        let mut stats = FaultCounters::default();
+        for (_, s) in &runs {
+            stats.merge(s);
+        }
+        let base = *baseline.get_or_insert(exec_ms);
+        points.push(CurvePoint {
+            intensity,
+            exec_ms,
+            degradation: exec_ms / base,
+            stats,
+        });
+    }
+    Ok(points)
+}
+
+/// Run the full fault-intensity sweep.
+pub fn run(scale: Scale, seed: u64) -> Result<FigrOutput, BenchError> {
+    let mut t = Table::new(
+        "Fig. R — degraded-mode execution vs fault intensity (deterministic injection)",
+        &[
+            "policy",
+            "scheme",
+            "intensity",
+            "exec_ms",
+            "degradation",
+            "outages",
+            "failovers",
+            "stragglers",
+            "retries",
+            "flushes",
+        ],
+    );
+    let mut curves = Vec::new();
+    for policy in POLICIES {
+        for scheme in [Scheme::Default, Scheme::Inter] {
+            let points = curve(scale, policy, scheme, seed)?;
+            for p in &points {
+                t.row(vec![
+                    policy.name().to_string(),
+                    scheme.name().to_string(),
+                    format!("{:.2}", p.intensity),
+                    format!("{:.1}", p.exec_ms),
+                    r3(p.degradation),
+                    p.stats.outages.to_string(),
+                    p.stats.failovers.to_string(),
+                    p.stats.straggler_reads.to_string(),
+                    p.stats.retries.to_string(),
+                    p.stats.cache_flushes.to_string(),
+                ]);
+            }
+            curves.push(
+                Json::obj()
+                    .set("policy", policy.name())
+                    .set("scheme", scheme.name())
+                    .set(
+                        "points",
+                        points
+                            .iter()
+                            .map(|p| {
+                                Json::obj()
+                                    .set("intensity", p.intensity)
+                                    .set("exec_ms", p.exec_ms)
+                                    .set("degradation", p.degradation)
+                                    .set("faults", p.stats.to_json())
+                            })
+                            .collect::<Vec<Json>>(),
+                    ),
+            );
+        }
+    }
+    t.note(format!(
+        "fault seed 0x{seed:X}; schedule is a pure function of (seed, request seq) — reruns are bit-identical"
+    ));
+    t.note("intensity scales the default degraded plan: outages 8‰, stragglers 60‰ (4x), transients 30‰, flushes 5‰");
+    t.note("degradation = exec(intensity) / exec(0) under the same policy and scheme");
+    let doc = Json::obj()
+        .set(
+            "scale",
+            match scale {
+                Scale::Small => "small",
+                Scale::Full => "full",
+            },
+        )
+        .set("seed", seed)
+        .set("intensities", INTENSITIES.to_vec())
+        .set("curves", curves);
+    Ok(FigrOutput { table: t, doc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_intensity_is_healthy_and_faults_degrade() {
+        let out = run(Scale::Small, 0xF4017).unwrap();
+        let t = &out.table;
+        // Every (policy, scheme) block starts at degradation 1.000 with no
+        // fault activity, and the highest intensity strictly degrades.
+        for chunk in t.rows.chunks(INTENSITIES.len()) {
+            let first = &chunk[0];
+            assert_eq!(first[4], "1.000", "baseline row: {first:?}");
+            for col in 5..10 {
+                assert_eq!(first[col], "0", "baseline must be fault-free: {first:?}");
+            }
+            let last = chunk.last().unwrap();
+            let degr: f64 = last[4].parse().unwrap();
+            assert!(
+                degr > 1.0,
+                "{}/{}: full intensity must cost something, got {degr}",
+                last[0],
+                last[1]
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_byte_identically() {
+        let a = run(Scale::Small, 42).unwrap();
+        let b = run(Scale::Small, 42).unwrap();
+        assert_eq!(format!("{}", a.table), format!("{}", b.table));
+        assert_eq!(a.doc.pretty(), b.doc.pretty());
+        let c = run(Scale::Small, 43).unwrap();
+        assert_ne!(
+            a.doc.pretty(),
+            c.doc.pretty(),
+            "a different seed must produce a different schedule"
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per experiment of §5. Every module exposes
-//! `run(scale) -> Table` so binaries and integration tests share the same
-//! entry points.
+//! `run(scale) -> Result<Table, BenchError>` so binaries and integration
+//! tests share the same entry points and invalid inputs surface as typed
+//! errors rather than panics.
 
 pub mod fig7a;
 pub mod fig7b;
@@ -10,6 +11,7 @@ pub mod fig7e;
 pub mod fig7f;
 pub mod fig7g;
 pub mod fig7h;
+pub mod figr;
 pub mod optstats;
 pub mod table1;
 pub mod table2;
@@ -42,4 +44,13 @@ pub(crate) fn par_over_suite<T: Send>(
     f: impl Fn(&Workload) -> T + Sync + Send,
 ) -> Vec<T> {
     flo_parallel::parallel_map(suite, f)
+}
+
+/// [`par_over_suite`] for fallible per-app work: every app still runs (the
+/// parallel map is oblivious to failures), then the first error wins.
+pub(crate) fn try_par_over_suite<T: Send>(
+    suite: &[Workload],
+    f: impl Fn(&Workload) -> Result<T, crate::BenchError> + Sync + Send,
+) -> Result<Vec<T>, crate::BenchError> {
+    flo_parallel::parallel_map(suite, f).into_iter().collect()
 }

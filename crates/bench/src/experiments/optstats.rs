@@ -6,11 +6,12 @@
 use crate::experiments::{mean, par_over_suite, pct};
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_core::{run_layout_pass, PassOptions};
 use flo_workloads::Scale;
 
 /// Run the layout pass over the suite and summarize its diagnostics.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let topo = topology_for(scale);
     let suite = crate::suite_from_env(scale);
     let plans = par_over_suite(&suite, |w| {
@@ -47,7 +48,7 @@ pub fn run(scale: Scale) -> Table {
         "".into(),
     ]);
     t.note("paper: ~72% of arrays optimized on average; all arrays of s3asim");
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -56,7 +57,7 @@ mod tests {
 
     #[test]
     fn fraction_in_paper_ballpark() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         let avg = t.cell_f64("AVERAGE", "fraction_%").unwrap();
         assert!(
             (55.0..=95.0).contains(&avg),

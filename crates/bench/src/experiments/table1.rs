@@ -2,10 +2,11 @@
 
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_workloads::Scale;
 
 /// Render Table 1 for the given scale's simulated cluster.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let topo = topology_for(scale);
     let disk = flo_sim::DiskModel::paper_default();
     let mut t = Table::new(
@@ -41,7 +42,7 @@ pub fn run(scale: Scale) -> Table {
         ),
     );
     t.note("paper: 64/16/4 nodes, 128 kB blocks, 1 GB / 2 GB caches, 10k RPM disks");
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -50,7 +51,7 @@ mod tests {
 
     #[test]
     fn full_scale_matches_paper_node_counts() {
-        let t = run(Scale::Full);
+        let t = run(Scale::Full).unwrap();
         assert_eq!(t.cell("number of compute nodes", "value"), Some("64"));
         assert_eq!(t.cell("number of I/O nodes", "value"), Some("16"));
         assert_eq!(t.cell("number of storage nodes", "value"), Some("4"));

@@ -2,19 +2,20 @@
 //! under the default execution (row-major layouts, LRU inclusive caches).
 
 use crate::cache::RunCaches;
-use crate::experiments::{par_over_suite, pct};
+use crate::experiments::{pct, try_par_over_suite};
 use crate::harness::{run_app_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 
 /// Run the default execution of every application.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let topo = topology_for(scale);
     let suite = crate::suite_from_env(scale);
     let caches = RunCaches::new();
-    let results = par_over_suite(&suite, |w| {
+    let results = try_par_over_suite(&suite, |w| {
         run_app_cached(
             &caches,
             w,
@@ -23,7 +24,7 @@ pub fn run(scale: Scale) -> Table {
             Scheme::Default,
             &RunOverrides::default(),
         )
-    });
+    })?;
     let mut t = Table::new(
         "Table 2 — default execution: miss rates and execution time",
         &[
@@ -45,7 +46,7 @@ pub fn run(scale: Scale) -> Table {
     }
     t.note("paper reports miss rates of 6.1–52.2% (I/O) and 4.4–64.2% (storage)");
     t.note("absolute times are simulator milliseconds, not cluster minutes");
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -54,7 +55,7 @@ mod tests {
 
     #[test]
     fn covers_the_whole_suite() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         assert_eq!(t.rows.len(), 16);
         // Group 1 apps must show low default I/O miss rates; group 3 high.
         let cc1 = t.cell_f64("cc-ver-1", "io_miss_%").unwrap();

@@ -2,19 +2,20 @@
 //! normalized to the default execution (Table 2).
 
 use crate::cache::RunCaches;
-use crate::experiments::{par_over_suite, r3};
+use crate::experiments::{r3, try_par_over_suite};
 use crate::harness::{run_app_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
 use crate::topology_for;
+use crate::BenchError;
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 
 /// Run default + optimized executions and normalize miss counts.
-pub fn run(scale: Scale) -> Table {
+pub fn run(scale: Scale) -> Result<Table, BenchError> {
     let topo = topology_for(scale);
     let suite = crate::suite_from_env(scale);
     let caches = RunCaches::new();
-    let results = par_over_suite(&suite, |w| {
+    let results = try_par_over_suite(&suite, |w| {
         let base = run_app_cached(
             &caches,
             w,
@@ -31,8 +32,8 @@ pub fn run(scale: Scale) -> Table {
             Scheme::Inter,
             &RunOverrides::default(),
         );
-        (base, opt)
-    });
+        Ok((base?, opt?))
+    })?;
     let mut t = Table::new(
         "Table 3 — normalized cache misses after optimization (1.0 = default)",
         &["application", "io_caches", "storage_caches"],
@@ -49,7 +50,7 @@ pub fn run(scale: Scale) -> Table {
         t.row(vec![w.name.to_string(), r3(io), r3(sc)]);
     }
     t.note("paper range: 0.43–0.98 (I/O), 0.51–0.98 (storage); group 1 near 1.0");
-    t
+    Ok(t)
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -66,7 +67,7 @@ mod tests {
 
     #[test]
     fn group1_near_one_group3_below() {
-        let t = run(Scale::Small);
+        let t = run(Scale::Small).unwrap();
         let twer = t.cell_f64("twer", "io_caches").unwrap();
         let swim = t.cell_f64("swim", "io_caches").unwrap();
         assert!(twer > 0.8, "twer must barely change, got {twer}");

@@ -10,6 +10,7 @@
 use crate::tablefmt::Table;
 use flo_json::Json;
 use flo_obs::sink::parse_jsonl;
+use flo_obs::FaultCounters;
 use std::collections::BTreeMap;
 
 /// Identity of one simulated configuration inside an artifact. The
@@ -43,6 +44,8 @@ pub struct SimEntry {
     pub disk: (u64, u64),
     /// Execution-time estimate in ms.
     pub exec_ms: f64,
+    /// Injected-fault tallies (all zero for healthy `sim` events).
+    pub faults: FaultCounters,
 }
 
 impl SimEntry {
@@ -90,6 +93,26 @@ pub struct Artifact {
     pub phases: BTreeMap<String, PhaseAgg>,
 }
 
+/// Decode a `faults` object back into counters. Absent objects (healthy
+/// `sim` events, pre-fault artifacts) and absent fields decode to zero.
+fn fault_counters(j: Option<&Json>) -> FaultCounters {
+    let Some(j) = j else {
+        return FaultCounters::default();
+    };
+    let u = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    let f = |k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    FaultCounters {
+        outages: u("outages"),
+        failovers: u("failovers"),
+        straggler_reads: u("straggler_reads"),
+        straggler_ms: f("straggler_ms"),
+        retries: u("retries"),
+        retry_ms: f("retry_ms"),
+        cache_flushes: u("cache_flushes"),
+        flushed_blocks: u("flushed_blocks"),
+    }
+}
+
 fn field_u64(e: &Json, key: &str) -> Result<u64, String> {
     e.get(key)
         .and_then(Json::as_f64)
@@ -113,7 +136,7 @@ pub fn load(text: &str) -> Result<Artifact, String> {
     let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
     for e in &events[1..] {
         match e.get("event").and_then(Json::as_str) {
-            Some("sim") => {
+            Some("sim") | Some("sim-fault") => {
                 let report = e.get("report").ok_or("sim event lacks `report`")?;
                 let layer = |name: &str| -> Result<(u64, u64), String> {
                     let l = report
@@ -140,6 +163,7 @@ pub fn load(text: &str) -> Result<Artifact, String> {
                         .get("execution_time_ms")
                         .and_then(Json::as_f64)
                         .ok_or("report lacks `execution_time_ms`")?,
+                    faults: fault_counters(e.get("metrics").and_then(|m| m.get("faults"))),
                 });
             }
             Some("span") => {
@@ -191,6 +215,47 @@ pub fn layer_table(a: &Artifact) -> Table {
             s.disk.0.to_string(),
             pct(s.disk_sequential_fraction()),
             format!("{:.1}", s.exec_ms),
+        ]);
+    }
+    t
+}
+
+/// Injected-fault table of one artifact: one row per configuration that
+/// saw any fault activity. Empty (zero rows) for healthy artifacts —
+/// callers usually skip printing it then.
+pub fn fault_table(a: &Artifact) -> Table {
+    let mut t = Table::new(
+        &format!("{} — injected faults", a.run),
+        &[
+            "application",
+            "scheme",
+            "policy",
+            "outages",
+            "failovers",
+            "stragglers",
+            "straggler ms",
+            "retries",
+            "retry ms",
+            "flushes",
+            "flushed blocks",
+        ],
+    );
+    for s in &a.sims {
+        if !s.faults.any() {
+            continue;
+        }
+        t.row(vec![
+            s.key.app.clone(),
+            s.key.scheme.clone(),
+            s.policy.clone(),
+            s.faults.outages.to_string(),
+            s.faults.failovers.to_string(),
+            s.faults.straggler_reads.to_string(),
+            format!("{:.1}", s.faults.straggler_ms),
+            s.faults.retries.to_string(),
+            format!("{:.1}", s.faults.retry_ms),
+            s.faults.cache_flushes.to_string(),
+            s.faults.flushed_blocks.to_string(),
         ]);
     }
     t
@@ -363,6 +428,63 @@ mod tests {
         let phases = format!("{}", diff_phases(&a, &b));
         assert!(phases.contains("+2.0"), "{phases}");
         assert!(phases.contains("+50.0"), "{phases}");
+    }
+
+    #[test]
+    fn loads_fault_events_and_renders_fault_table() {
+        let mut sink = JsonlSink::new("figr");
+        sink.push(
+            "sim-fault",
+            Json::obj()
+                .set("app", "qio")
+                .set("scheme", "default")
+                .set("policy", "LRU")
+                .set("io_cache_blocks", 24u64)
+                .set("storage_cache_blocks", 48u64)
+                .set(
+                    "metrics",
+                    Json::obj().set(
+                        "faults",
+                        Json::obj()
+                            .set("outages", 2u64)
+                            .set("failovers", 5u64)
+                            .set("straggler_reads", 7u64)
+                            .set("straggler_ms", 21.5)
+                            .set("retries", 3u64)
+                            .set("retry_ms", 70.0)
+                            .set("cache_flushes", 1u64)
+                            .set("flushed_blocks", 12u64),
+                    ),
+                )
+                .set(
+                    "report",
+                    Json::obj()
+                        .set(
+                            "layers",
+                            Json::obj()
+                                .set("io", Json::obj().set("accesses", 100u64).set("hits", 50u64))
+                                .set(
+                                    "storage",
+                                    Json::obj().set("accesses", 50u64).set("hits", 10u64),
+                                ),
+                        )
+                        .set("disk_reads", 40u64)
+                        .set("disk_sequential_reads", 20u64)
+                        .set("execution_time_ms", 99.0),
+                ),
+        );
+        let art = load(&sink.render()).unwrap();
+        assert_eq!(art.sims.len(), 1, "sim-fault events must load like sim");
+        let faults = &art.sims[0].faults;
+        assert!(faults.any());
+        assert_eq!(faults.failovers, 5);
+        assert_eq!(faults.flushed_blocks, 12);
+        let rendered = format!("{}", fault_table(&art));
+        assert!(rendered.contains("21.5"), "{rendered}");
+        // Healthy artifacts produce an empty fault table.
+        let healthy = load(&artifact("fig7c", "LRU", 80, 4.0)).unwrap();
+        assert!(!healthy.sims[0].faults.any());
+        assert_eq!(fault_table(&healthy).rows.len(), 0);
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! Run one (workload × scheme × policy × topology) configuration.
 
 use crate::cache::{sim_key, trace_key, RunCaches};
+use crate::error::BenchError;
 use crate::metrics::{self, SimRecord};
 use flo_core::baseline::{compmap, reindex};
 use flo_core::FileLayout;
 use flo_core::{generate_traces, run_layout_pass, ParallelConfig, PassOptions, TargetLayers};
 use flo_json::Json;
-use flo_obs::MetricsObserver;
+use flo_obs::{FaultCounters, MetricsObserver};
 use flo_parallel::ThreadMapping;
 use flo_sim::policies::karma::{KarmaHints, RangeHint};
 use flo_sim::{
-    simulate, simulate_observed, simulate_sweep, simulate_sweep_observed, PolicyKind, RunConfig,
-    SimReport, StorageSystem, SweepPoint, ThreadTrace, Topology,
+    simulate, simulate_faulted, simulate_faulted_observed, simulate_observed, simulate_sweep,
+    simulate_sweep_observed, FaultPlan, FaultState, PolicyKind, RunConfig, SimReport,
+    StorageSystem, SweepPoint, ThreadTrace, Topology,
 };
 use flo_workloads::Workload;
 use std::sync::Arc;
@@ -152,16 +154,23 @@ pub struct PreparedRun {
 }
 
 /// Resolve `scheme` into concrete layouts and a parallel configuration.
+///
+/// Validates the topology and the (possibly overridden) parallel
+/// configuration up front so every downstream consumer — single runs,
+/// sweeps, fault runs — rejects degenerate inputs with a typed error
+/// instead of panicking mid-simulation.
 pub fn prepare_run(
     workload: &Workload,
     topo: &Topology,
     scheme: Scheme,
     overrides: &RunOverrides,
-) -> PreparedRun {
+) -> Result<PreparedRun, BenchError> {
+    topo.validate()?;
     let mut cfg = ParallelConfig::default_for(topo.compute_nodes);
     if let Some(m) = &overrides.mapping {
         cfg = cfg.with_mapping(m.clone());
     }
+    cfg.validate().map_err(BenchError::Core)?;
     let target = overrides.target.unwrap_or(TargetLayers::Both);
     let (layouts, opt_fraction, compile_ms, cfg) = match scheme {
         Scheme::Default => (
@@ -189,18 +198,18 @@ pub fn prepare_run(
             )
         }
         Scheme::Reindex => {
-            let plan = reindex::best_reindexing(&workload.program, &cfg, topo);
+            let plan = reindex::best_reindexing(&workload.program, &cfg, topo)?;
             (plan.layouts, 0.0, 0.0, cfg)
         }
     };
     let run_cfg = workload.run_config(cfg.threads);
-    PreparedRun {
+    Ok(PreparedRun {
         cfg,
         layouts,
         run_cfg,
         optimized_fraction: opt_fraction,
         compile_ms,
-    }
+    })
 }
 
 /// The single `simulate` call site of the harness: generates (or fetches
@@ -214,13 +223,13 @@ fn simulate_prepared(
     topo: &Topology,
     policy: PolicyKind,
     scheme: Scheme,
-) -> SimReport {
+) -> Result<SimReport, BenchError> {
     let generate = || generate_traces(&workload.program, &prepared.cfg, &prepared.layouts, topo);
     let traces: Arc<Vec<ThreadTrace>> = match caches {
         Some(c) => c.traces.traces_for_key(tkey, generate),
         None => Arc::new(generate()),
     };
-    let mut system = StorageSystem::new(topo.clone(), policy);
+    let mut system = StorageSystem::new(topo.clone(), policy)?;
     if policy == PolicyKind::Karma {
         match caches {
             Some(c) => {
@@ -244,9 +253,9 @@ fn simulate_prepared(
             metrics: obs.to_json(),
             report: report.to_json(),
         });
-        report
+        Ok(report)
     } else {
-        simulate(&mut system, &traces, &prepared.run_cfg)
+        Ok(simulate(&mut system, &traces, &prepared.run_cfg))
     }
 }
 
@@ -257,8 +266,8 @@ fn run_with(
     policy: PolicyKind,
     scheme: Scheme,
     overrides: &RunOverrides,
-) -> RunOutcome {
-    let prepared = prepare_run(workload, topo, scheme, overrides);
+) -> Result<RunOutcome, BenchError> {
+    let prepared = prepare_run(workload, topo, scheme, overrides)?;
     let report = match caches {
         Some(c) => {
             let tkey = trace_key(workload, &prepared.cfg, &prepared.layouts, topo);
@@ -268,19 +277,19 @@ fn run_with(
                 Some(r) => (*r).clone(),
                 None => {
                     let r =
-                        simulate_prepared(caches, tkey, workload, &prepared, topo, policy, scheme);
+                        simulate_prepared(caches, tkey, workload, &prepared, topo, policy, scheme)?;
                     c.sims.insert(skey, r.clone());
                     r
                 }
             }
         }
-        None => simulate_prepared(None, 0, workload, &prepared, topo, policy, scheme),
+        None => simulate_prepared(None, 0, workload, &prepared, topo, policy, scheme)?,
     };
-    RunOutcome {
+    Ok(RunOutcome {
         report,
         optimized_fraction: prepared.optimized_fraction,
         compile_ms: prepared.compile_ms,
-    }
+    })
 }
 
 /// Run `workload` on `topo` with `policy` under `scheme`.
@@ -290,8 +299,66 @@ pub fn run_app(
     policy: PolicyKind,
     scheme: Scheme,
     overrides: &RunOverrides,
-) -> RunOutcome {
+) -> Result<RunOutcome, BenchError> {
     run_with(None, workload, topo, policy, scheme, overrides)
+}
+
+/// Run `workload` under `scheme` with fault injection from `plan`.
+///
+/// Fault runs are never memoized: the sim cache keys on
+/// (trace, topology, policy, run-config) identity and knows nothing about
+/// fault schedules, and sharing entries with healthy runs would poison
+/// both directions. Each call builds a fresh [`FaultState`], so the same
+/// plan replays the identical schedule — two calls with the same seed are
+/// bit-identical. Returns the outcome plus the fault counters (outages,
+/// failovers, straggler/retry charges, flushes) observed during the run.
+pub fn run_app_faulted(
+    workload: &Workload,
+    topo: &Topology,
+    policy: PolicyKind,
+    scheme: Scheme,
+    overrides: &RunOverrides,
+    plan: &FaultPlan,
+) -> Result<(RunOutcome, FaultCounters), BenchError> {
+    let prepared = prepare_run(workload, topo, scheme, overrides)?;
+    let traces = generate_traces(&workload.program, &prepared.cfg, &prepared.layouts, topo);
+    let mut system = StorageSystem::new(topo.clone(), policy)?;
+    if policy == PolicyKind::Karma {
+        system.set_karma_hints(&karma_hints(&traces, topo));
+    }
+    let mut faults = FaultState::new(*plan)?;
+    let report = if metrics::enabled() {
+        let mut obs = MetricsObserver::new();
+        let report = simulate_faulted_observed(
+            &mut system,
+            &traces,
+            &prepared.run_cfg,
+            &mut obs,
+            &mut faults,
+        );
+        metrics::record_sim(SimRecord {
+            kind: "sim-fault",
+            app: workload.name.to_string(),
+            scheme: scheme.name(),
+            policy: policy.name(),
+            io_cache_blocks: topo.io_cache_blocks,
+            storage_cache_blocks: topo.storage_cache_blocks,
+            metrics: obs.to_json(),
+            report: report.to_json(),
+        });
+        report
+    } else {
+        simulate_faulted(&mut system, &traces, &prepared.run_cfg, &mut faults)
+    };
+    let stats = *faults.stats();
+    Ok((
+        RunOutcome {
+            report,
+            optimized_fraction: prepared.optimized_fraction,
+            compile_ms: prepared.compile_ms,
+        },
+        stats,
+    ))
 }
 
 /// [`run_app`] with trace and simulation memoization: repeated
@@ -307,7 +374,7 @@ pub fn run_app_cached(
     policy: PolicyKind,
     scheme: Scheme,
     overrides: &RunOverrides,
-) -> RunOutcome {
+) -> Result<RunOutcome, BenchError> {
     run_with(Some(caches), workload, topo, policy, scheme, overrides)
 }
 
@@ -319,10 +386,10 @@ pub fn normalized_exec(
     policy: PolicyKind,
     scheme: Scheme,
     overrides: &RunOverrides,
-) -> f64 {
-    let base = run_app(workload, topo, policy, Scheme::Default, overrides);
-    let opt = run_app(workload, topo, policy, scheme, overrides);
-    opt.exec_ms() / base.exec_ms()
+) -> Result<f64, BenchError> {
+    let base = run_app(workload, topo, policy, Scheme::Default, overrides)?;
+    let opt = run_app(workload, topo, policy, scheme, overrides)?;
+    Ok(opt.exec_ms() / base.exec_ms())
 }
 
 /// [`normalized_exec`] with trace and simulation memoization for both
@@ -334,10 +401,10 @@ pub fn normalized_exec_cached(
     policy: PolicyKind,
     scheme: Scheme,
     overrides: &RunOverrides,
-) -> f64 {
-    let base = run_app_cached(caches, workload, topo, policy, Scheme::Default, overrides);
-    let opt = run_app_cached(caches, workload, topo, policy, scheme, overrides);
-    opt.exec_ms() / base.exec_ms()
+) -> Result<f64, BenchError> {
+    let base = run_app_cached(caches, workload, topo, policy, Scheme::Default, overrides)?;
+    let opt = run_app_cached(caches, workload, topo, policy, scheme, overrides)?;
+    Ok(opt.exec_ms() / base.exec_ms())
 }
 
 /// Outcomes of `scheme` at every capacity point of a sweep over `base`,
@@ -355,7 +422,7 @@ pub fn sweep_outcomes(
     policy: PolicyKind,
     scheme: Scheme,
     overrides: &RunOverrides,
-) -> Vec<RunOutcome> {
+) -> Result<Vec<RunOutcome>, BenchError> {
     // Preparation stays per point: the Inter layout pass legitimately
     // depends on the capacities it optimizes for.
     let prepared: Vec<(Topology, PreparedRun)> = points
@@ -364,10 +431,10 @@ pub fn sweep_outcomes(
             let mut topo = base.clone();
             topo.io_cache_blocks = p.io_cache_blocks;
             topo.storage_cache_blocks = p.storage_cache_blocks;
-            let pr = prepare_run(workload, &topo, scheme, overrides);
-            (topo, pr)
+            let pr = prepare_run(workload, &topo, scheme, overrides)?;
+            Ok((topo, pr))
         })
-        .collect();
+        .collect::<Result<_, BenchError>>()?;
     let tkeys: Vec<u64> = prepared
         .iter()
         .map(|(t, pr)| trace_key(workload, &pr.cfg, &pr.layouts, t))
@@ -414,7 +481,7 @@ pub fn sweep_outcomes(
                     &p0.run_cfg,
                     &mut stream,
                     &mut per_point,
-                );
+                )?;
                 for ((&i, rep), obs) in members.iter().zip(&swept).zip(per_point) {
                     metrics::record_sim(SimRecord {
                         kind: "sim",
@@ -439,7 +506,7 @@ pub fn sweep_outcomes(
                 });
                 swept
             } else {
-                simulate_sweep(base, &pts, &traces, &p0.run_cfg)
+                simulate_sweep(base, &pts, &traces, &p0.run_cfg)?
             };
             for (&i, rep) in members.iter().zip(swept) {
                 caches.sims.insert(skeys[i], rep.clone());
@@ -452,21 +519,21 @@ pub fn sweep_outcomes(
                 let (t, pr) = &prepared[i];
                 let _span = flo_obs::span("sweep-point");
                 let rep =
-                    simulate_prepared(Some(caches), tkeys[i], workload, pr, t, policy, scheme);
+                    simulate_prepared(Some(caches), tkeys[i], workload, pr, t, policy, scheme)?;
                 caches.sims.insert(skeys[i], rep.clone());
                 reports[i] = Some(rep);
             }
         }
     }
-    prepared
+    Ok(prepared
         .into_iter()
         .zip(reports)
         .map(|((_, pr), rep)| RunOutcome {
-            report: rep.unwrap(),
+            report: rep.expect("every sweep point simulated or memoized"),
             optimized_fraction: pr.optimized_fraction,
             compile_ms: pr.compile_ms,
         })
-        .collect()
+        .collect())
 }
 
 /// Normalized execution time of `scheme` against the `Default` scheme at
@@ -480,7 +547,7 @@ pub fn normalized_exec_sweep(
     policy: PolicyKind,
     scheme: Scheme,
     overrides: &RunOverrides,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, BenchError> {
     let bases = sweep_outcomes(
         caches,
         workload,
@@ -489,13 +556,13 @@ pub fn normalized_exec_sweep(
         policy,
         Scheme::Default,
         overrides,
-    );
-    let opts = sweep_outcomes(caches, workload, base, points, policy, scheme, overrides);
-    bases
+    )?;
+    let opts = sweep_outcomes(caches, workload, base, points, policy, scheme, overrides)?;
+    Ok(bases
         .iter()
         .zip(&opts)
         .map(|(b, o)| o.exec_ms() / b.exec_ms())
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -517,7 +584,8 @@ mod tests {
             PolicyKind::LruInclusive,
             Scheme::Inter,
             &RunOverrides::default(),
-        );
+        )
+        .unwrap();
         assert!(norm < 0.97, "qio must improve, got {norm:.3}");
     }
 
@@ -531,7 +599,8 @@ mod tests {
             PolicyKind::LruInclusive,
             Scheme::Inter,
             &RunOverrides::default(),
-        );
+        )
+        .unwrap();
         // At test scale the cold pass dominates cc-ver-1's tiny run, so a
         // little reordering noise is visible; at full scale the ratio is
         // exactly 1.00 (see EXPERIMENTS.md).
@@ -571,8 +640,67 @@ mod tests {
             PolicyKind::LruInclusive,
             Scheme::Inter,
             &RunOverrides::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.optimized_fraction, 1.0, "s3asim optimizes every array");
         assert!(out.compile_ms >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_topology_is_an_error_not_a_panic() {
+        let w = by_name("qio", Scale::Small).unwrap();
+        let mut topo = small_topo();
+        topo.storage_nodes = 0;
+        let err = run_app(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Default,
+            &RunOverrides::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid topology"), "{err}");
+    }
+
+    #[test]
+    fn faulted_run_replays_and_quiet_plan_matches_healthy() {
+        let w = by_name("qio", Scale::Small).unwrap();
+        let topo = small_topo();
+        let ov = RunOverrides::default();
+        let plan = flo_sim::FaultPlan::default_degraded(7);
+        let (a, sa) = run_app_faulted(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Default,
+            &ov,
+            &plan,
+        )
+        .unwrap();
+        let (b, sb) = run_app_faulted(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Default,
+            &ov,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(a.exec_ms().to_bits(), b.exec_ms().to_bits());
+        assert_eq!(sa, sb);
+        // A quiet plan charges nothing and reproduces the healthy run.
+        let quiet = flo_sim::FaultPlan::quiet(7);
+        let (q, sq) = run_app_faulted(
+            &w,
+            &topo,
+            PolicyKind::LruInclusive,
+            Scheme::Default,
+            &ov,
+            &quiet,
+        )
+        .unwrap();
+        let healthy = run_app(&w, &topo, PolicyKind::LruInclusive, Scheme::Default, &ov).unwrap();
+        assert_eq!(q.exec_ms().to_bits(), healthy.exec_ms().to_bits());
+        assert!(!sq.any());
     }
 }

@@ -323,10 +323,10 @@ mod tests {
         let topo = topology_for(Scale::Small);
         for w in &all(Scale::Small) {
             for scheme in [Scheme::Default, Scheme::Inter] {
-                let p = prepare_run(w, &topo, scheme, &RunOverrides::default());
+                let p = prepare_run(w, &topo, scheme, &RunOverrides::default()).unwrap();
                 let traces = generate_traces(&w.program, &p.cfg, &p.layouts, &topo);
                 let legacy = simulate_legacy(&topo, &traces, &p.run_cfg);
-                let mut sys = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+                let mut sys = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive).unwrap();
                 let report = simulate(&mut sys, &traces, &p.run_cfg);
                 let tag = format!("{}/{}", w.name, scheme.name());
                 assert_eq!(legacy.execution_time_ms, report.execution_time_ms, "{tag}");

@@ -25,6 +25,7 @@
 //! for a fast run (test-sized workloads on a shrunken cluster).
 
 pub mod cache;
+pub mod error;
 pub mod experiments;
 pub mod flostat;
 pub mod harness;
@@ -34,6 +35,7 @@ pub mod tablefmt;
 pub mod timing;
 
 pub use cache::{RunCaches, SimCache, TraceCache};
+pub use error::{exit_on_error, BenchError};
 pub use harness::{run_app, run_app_cached, RunOutcome, Scheme};
 pub use tablefmt::Table;
 
@@ -112,6 +114,28 @@ pub fn policy_from_env() -> Option<flo_sim::PolicyKind> {
     }
 }
 
+/// Read the fault-plan seed from `FLO_FAULT_SEED` (decimal or `0x`-hex).
+/// Defaults to `0xF4017` when unset; a malformed value is an error, not a
+/// silent fallback — fault runs must be reproducible from their reported
+/// seed.
+pub fn fault_seed_from_env() -> Result<u64, BenchError> {
+    match std::env::var("FLO_FAULT_SEED") {
+        Err(_) => Ok(0xF4017),
+        Ok(s) => {
+            let t = s.trim();
+            let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => t.parse::<u64>(),
+            };
+            parsed.map_err(|_| {
+                BenchError::InvalidArg(format!(
+                    "FLO_FAULT_SEED={s:?} is not a decimal or 0x-hex integer"
+                ))
+            })
+        }
+    }
+}
+
 /// The simulated cluster for a given scale: the paper topology for full
 /// runs, a proportionally shrunken one (8 compute / 4 I/O / 2 storage) for
 /// small runs.
@@ -162,8 +186,24 @@ mod tests {
     #[test]
     fn small_topology_is_consistent() {
         let t = topology_for(Scale::Small);
-        t.validate();
+        t.validate().unwrap();
         assert_eq!(t.compute_per_io(), 2);
+    }
+
+    #[test]
+    fn fault_seed_parses_decimal_and_hex() {
+        // Serialize around the env var: cargo runs tests concurrently.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap();
+        std::env::remove_var("FLO_FAULT_SEED");
+        assert_eq!(fault_seed_from_env().unwrap(), 0xF4017);
+        std::env::set_var("FLO_FAULT_SEED", "12345");
+        assert_eq!(fault_seed_from_env().unwrap(), 12345);
+        std::env::set_var("FLO_FAULT_SEED", "0xBEEF");
+        assert_eq!(fault_seed_from_env().unwrap(), 0xBEEF);
+        std::env::set_var("FLO_FAULT_SEED", "nonsense");
+        assert!(fault_seed_from_env().is_err());
+        std::env::remove_var("FLO_FAULT_SEED");
     }
 
     #[test]

@@ -71,13 +71,15 @@ fn sweep_outcomes_match_per_config_runs() {
                 PolicyKind::LruInclusive,
                 scheme,
                 &overrides,
-            );
+            )
+            .unwrap();
             assert_eq!(swept.len(), points.len());
             for (i, p) in points.iter().enumerate() {
                 let mut topo = base.clone();
                 topo.io_cache_blocks = p.io_cache_blocks;
                 topo.storage_cache_blocks = p.storage_cache_blocks;
-                let direct = run_app(&w, &topo, PolicyKind::LruInclusive, scheme, &overrides);
+                let direct =
+                    run_app(&w, &topo, PolicyKind::LruInclusive, scheme, &overrides).unwrap();
                 let tag = format!("{} {} point {i}", w.name, scheme.name());
                 assert_reports_identical(&swept[i].report, &direct.report, &tag);
                 assert_eq!(
@@ -110,7 +112,8 @@ fn normalized_exec_sweep_matches_per_point() {
             PolicyKind::LruInclusive,
             Scheme::Inter,
             &overrides,
-        );
+        )
+        .unwrap();
         for (i, p) in points.iter().enumerate() {
             let mut topo = base.clone();
             topo.io_cache_blocks = p.io_cache_blocks;
@@ -121,7 +124,8 @@ fn normalized_exec_sweep_matches_per_point() {
                 PolicyKind::LruInclusive,
                 Scheme::Inter,
                 &overrides,
-            );
+            )
+            .unwrap();
             assert_eq!(
                 norms[i].to_bits(),
                 direct.to_bits(),

@@ -16,6 +16,7 @@
 //! digit improvements.
 
 use crate::config::ParallelConfig;
+use crate::error::CoreError;
 use crate::layout::FileLayout;
 use crate::tracegen::generate_traces;
 use flo_polyhedral::Program;
@@ -36,10 +37,10 @@ fn profile_exec_time(
     cfg: &ParallelConfig,
     layouts: &[FileLayout],
     topo: &Topology,
-) -> f64 {
+) -> Result<f64, CoreError> {
     let traces = generate_traces(program, cfg, layouts, topo);
-    let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
-    simulate(&mut system, &traces, &RunConfig::default()).execution_time_ms
+    let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive)?;
+    Ok(simulate(&mut system, &traces, &RunConfig::default()).execution_time_ms)
 }
 
 /// Run the exhaustive per-array permutation search.
@@ -48,7 +49,12 @@ fn profile_exec_time(
 /// profiled with every other array held at its currently chosen layout
 /// (row-major initially), and the best candidate is locked in — the
 /// greedy coordinate descent a profile-driven compiler would perform.
-pub fn best_reindexing(program: &Program, cfg: &ParallelConfig, topo: &Topology) -> ReindexPlan {
+pub fn best_reindexing(
+    program: &Program,
+    cfg: &ParallelConfig,
+    topo: &Topology,
+) -> Result<ReindexPlan, CoreError> {
+    cfg.validate()?;
     let mut layouts: Vec<FileLayout> = program
         .arrays()
         .iter()
@@ -61,7 +67,7 @@ pub fn best_reindexing(program: &Program, cfg: &ParallelConfig, topo: &Topology)
         let mut best = FileLayout::RowMajor;
         for candidate in FileLayout::all_permutations(m) {
             layouts[k] = candidate.clone();
-            let t = profile_exec_time(program, cfg, &layouts, topo);
+            let t = profile_exec_time(program, cfg, &layouts, topo)?;
             profile_runs += 1;
             if t < best_time {
                 best_time = t;
@@ -70,10 +76,10 @@ pub fn best_reindexing(program: &Program, cfg: &ParallelConfig, topo: &Topology)
         }
         layouts[k] = best;
     }
-    ReindexPlan {
+    Ok(ReindexPlan {
         layouts,
         profile_runs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -97,7 +103,7 @@ mod tests {
         let program = b.build();
         let topo = tiny_topology();
         let cfg = ParallelConfig::default_for(topo.compute_nodes);
-        let plan = best_reindexing(&program, &cfg, &topo);
+        let plan = best_reindexing(&program, &cfg, &topo).unwrap();
         assert_eq!(plan.profile_runs, 2);
         match &plan.layouts[0] {
             FileLayout::DimPerm(p) => assert_eq!(p, &vec![1, 0], "must pick the transpose"),
@@ -113,7 +119,7 @@ mod tests {
         let program = b.build();
         let topo = tiny_topology();
         let cfg = ParallelConfig::default_for(topo.compute_nodes);
-        let plan = best_reindexing(&program, &cfg, &topo);
+        let plan = best_reindexing(&program, &cfg, &topo).unwrap();
         match &plan.layouts[0] {
             FileLayout::DimPerm(p) => assert_eq!(p, &vec![0, 1], "identity must win"),
             other => panic!("unexpected layout {other:?}"),
@@ -132,7 +138,7 @@ mod tests {
         let program = b.build();
         let topo = tiny_topology();
         let cfg = ParallelConfig::default_for(topo.compute_nodes);
-        let plan = best_reindexing(&program, &cfg, &topo);
+        let plan = best_reindexing(&program, &cfg, &topo).unwrap();
         assert_eq!(plan.profile_runs, 2 + 6);
         assert_eq!(plan.layouts.len(), 2);
     }

@@ -1,6 +1,7 @@
 //! Parallelization configuration shared by the pass, the trace generator
 //! and the baselines.
 
+use crate::error::CoreError;
 use flo_parallel::{BlockAssignment, BlockPartition, ThreadMapping};
 use flo_polyhedral::LoopNest;
 
@@ -56,6 +57,32 @@ impl ParallelConfig {
         .with_assignment(self.assignment)
     }
 
+    /// Check the configuration for degeneracies the pass and trace
+    /// generator assume away: a positive thread count, at least one
+    /// iteration block per thread, and a thread mapping sized to the
+    /// thread count. The bench harness validates every prepared run
+    /// through this before simulating.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.threads == 0 {
+            return Err(CoreError::InvalidConfig(
+                "threads must be positive".to_string(),
+            ));
+        }
+        if self.blocks_per_thread == 0 {
+            return Err(CoreError::InvalidConfig(
+                "blocks_per_thread must be positive".to_string(),
+            ));
+        }
+        if self.mapping.num_threads() != self.threads {
+            return Err(CoreError::InvalidConfig(format!(
+                "thread mapping covers {} threads, config has {}",
+                self.mapping.num_threads(),
+                self.threads
+            )));
+        }
+        Ok(())
+    }
+
     /// Copy with a different thread mapping (Fig. 7(b) sweeps).
     pub fn with_mapping(mut self, mapping: ThreadMapping) -> ParallelConfig {
         assert_eq!(mapping.num_threads(), self.threads, "mapping size mismatch");
@@ -105,5 +132,20 @@ mod tests {
     fn mapping_size_checked() {
         let cfg = ParallelConfig::default_for(4);
         let _ = cfg.with_mapping(ThreadMapping::identity(8));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        ParallelConfig::default_for(4).validate().unwrap();
+        let mut cfg = ParallelConfig::default_for(4);
+        cfg.threads = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ParallelConfig::default_for(4);
+        cfg.blocks_per_thread = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ParallelConfig::default_for(4);
+        cfg.mapping = ThreadMapping::identity(8);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("thread mapping"));
     }
 }

@@ -1,0 +1,60 @@
+//! The layout pass's typed error spine.
+//!
+//! Hand-rolled (the workspace is dependency-free, so no `thiserror`):
+//! a small enum with `Display`/`Error` impls and a `From` conversion for
+//! the simulator errors the baselines surface. Invalid inputs — a
+//! degenerate topology, a malformed parallel configuration — travel up as
+//! values instead of panics, so every experiment binary can print a
+//! friendly message and exit nonzero.
+
+use flo_sim::SimError;
+use std::fmt;
+
+/// Errors produced by the layout pass, its baselines, and their inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// The simulator rejected its inputs (topology, sweep, fault plan).
+    Sim(SimError),
+    /// A [`crate::ParallelConfig`] is malformed.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "{e}"),
+            CoreError::InvalidConfig(why) => write!(f, "invalid parallel config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> CoreError {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = CoreError::InvalidConfig("threads must be positive".to_string());
+        assert_eq!(
+            e.to_string(),
+            "invalid parallel config: threads must be positive"
+        );
+        let s: CoreError = SimError::InvalidTopology("no nodes".to_string()).into();
+        assert!(s.to_string().contains("invalid topology"));
+    }
+}

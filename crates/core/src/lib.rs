@@ -34,6 +34,7 @@ pub mod canonical;
 pub mod config;
 pub mod cost;
 pub mod emit;
+pub mod error;
 pub mod estimate;
 pub mod layout;
 pub mod partition;
@@ -44,6 +45,7 @@ pub mod template;
 pub mod tracegen;
 
 pub use config::ParallelConfig;
+pub use error::CoreError;
 pub use layout::FileLayout;
 pub use partition::{partition_array, PartitionOutcome, Partitioning};
 pub use pass::{run_layout_pass, ArrayReport, LayoutPlan, PassOptions};

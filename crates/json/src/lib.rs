@@ -119,9 +119,10 @@ fn write_num(out: &mut String, x: f64) {
         // JSON has no Inf/NaN; null is the conventional substitute.
         out.push_str("null");
     } else if x == x.trunc() && x.abs() < 9e15 {
-        fmt::write(out, format_args!("{}", x as i64)).unwrap();
+        // fmt::Write into a String is infallible.
+        let _ = fmt::write(out, format_args!("{}", x as i64));
     } else {
-        fmt::write(out, format_args!("{x}")).unwrap();
+        let _ = fmt::write(out, format_args!("{x}"));
     }
 }
 
@@ -134,7 +135,9 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => fmt::write(out, format_args!("\\u{:04x}", c as u32)).unwrap(),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::write(out, format_args!("\\u{:04x}", c as u32));
+            }
             c => out.push(c),
         }
     }
@@ -387,13 +390,14 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 scalar (input is valid UTF-8 by construction).
+                    // Consume one UTF-8 scalar. The input came in as &str so
+                    // this cannot fail, but the parse path stays panic-free
+                    // regardless of what bytes it is handed.
                     let rest = &self.bytes[self.pos..];
                     let c = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid UTF-8"))?
-                        .chars()
-                        .next()
-                        .unwrap();
+                        .ok()
+                        .and_then(|t| t.chars().next())
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
                     s.push(c);
                     self.pos += c.len_utf8();
                 }

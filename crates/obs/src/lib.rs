@@ -41,7 +41,7 @@ pub mod span;
 pub mod timing;
 
 pub use hist::Hist;
-pub use metrics::MetricsObserver;
-pub use observer::{KarmaRoute, Layer, NullObserver, Observer};
+pub use metrics::{FaultCounters, MetricsObserver};
+pub use observer::{FaultEvent, KarmaRoute, Layer, NullObserver, Observer};
 pub use sink::{metrics_mode, JsonlSink, MetricsMode, SCHEMA_VERSION};
 pub use span::{span, timeline, Span, SpanRecord, Timeline};

@@ -3,7 +3,7 @@
 use flo_json::Json;
 
 use crate::hist::Hist;
-use crate::observer::{KarmaRoute, Layer, Observer};
+use crate::observer::{FaultEvent, KarmaRoute, Layer, Observer};
 
 /// Counters for one cache (one node within a layer).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -67,6 +67,64 @@ pub struct KarmaUtil {
     pub bypass: u64,
 }
 
+/// Tallies of the injected-fault events of a degraded-mode run (all zero
+/// on healthy runs and when no fault plan is active).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultCounters {
+    /// Node-outage windows entered.
+    pub outages: u64,
+    /// Requests re-striped away from a dark storage node.
+    pub failovers: u64,
+    /// Disk reads served by a degraded (straggler) disk.
+    pub straggler_reads: u64,
+    /// Extra straggler latency charged, in milliseconds.
+    pub straggler_ms: f64,
+    /// Transient I/O errors absorbed by the retry model.
+    pub retries: u64,
+    /// Retry backoff/timeout latency charged, in milliseconds.
+    pub retry_ms: f64,
+    /// Fault-injected cache flushes.
+    pub cache_flushes: u64,
+    /// Resident blocks lost to cache flushes.
+    pub flushed_blocks: u64,
+}
+
+impl FaultCounters {
+    /// Whether any fault event was recorded.
+    pub fn any(&self) -> bool {
+        self.outages > 0
+            || self.failovers > 0
+            || self.straggler_reads > 0
+            || self.retries > 0
+            || self.cache_flushes > 0
+    }
+
+    /// Accumulate another run's counters into this one (suite totals).
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.outages += other.outages;
+        self.failovers += other.failovers;
+        self.straggler_reads += other.straggler_reads;
+        self.straggler_ms += other.straggler_ms;
+        self.retries += other.retries;
+        self.retry_ms += other.retry_ms;
+        self.cache_flushes += other.cache_flushes;
+        self.flushed_blocks += other.flushed_blocks;
+    }
+
+    /// JSON image, as embedded in the metrics artifact's `faults` key.
+    pub fn to_json(self) -> Json {
+        Json::obj()
+            .set("outages", self.outages)
+            .set("failovers", self.failovers)
+            .set("straggler_reads", self.straggler_reads)
+            .set("straggler_ms", self.straggler_ms)
+            .set("retries", self.retries)
+            .set("retry_ms", self.retry_ms)
+            .set("cache_flushes", self.cache_flushes)
+            .set("flushed_blocks", self.flushed_blocks)
+    }
+}
+
 /// One end-of-run per-set occupancy snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OccupancySnapshot {
@@ -101,6 +159,8 @@ pub struct MetricsObserver {
     pub cold: u64,
     /// End-of-run occupancy snapshots.
     pub occupancy: Vec<OccupancySnapshot>,
+    /// Injected-fault tallies (degraded-mode runs).
+    pub faults: FaultCounters,
 }
 
 fn at<T: Default + Clone>(v: &mut Vec<T>, i: usize) -> &mut T {
@@ -200,6 +260,7 @@ impl MetricsObserver {
                 self.stack.to_json().set("cold", self.cold),
             )
             .set("occupancy", Json::Arr(occupancy))
+            .set("faults", self.faults.to_json())
     }
 }
 
@@ -253,6 +314,25 @@ impl Observer for MetricsObserver {
             per_set: per_set.to_vec(),
         });
     }
+
+    fn fault(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::Outage { .. } => self.faults.outages += 1,
+            FaultEvent::Failover { .. } => self.faults.failovers += 1,
+            FaultEvent::StragglerRead { extra_ms, .. } => {
+                self.faults.straggler_reads += 1;
+                self.faults.straggler_ms += extra_ms;
+            }
+            FaultEvent::Retry { wait_ms, .. } => {
+                self.faults.retries += 1;
+                self.faults.retry_ms += wait_ms;
+            }
+            FaultEvent::CacheFlush { blocks, .. } => {
+                self.faults.cache_flushes += 1;
+                self.faults.flushed_blocks += blocks as u64;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +354,22 @@ mod tests {
         m.stack_distance(Some(5));
         m.stack_distance(None);
         m.occupancy(Layer::Io, 1, &[2, 0, 1]);
+        m.fault(FaultEvent::Outage { node: 0 });
+        m.fault(FaultEvent::Failover { from: 0, to: 1 });
+        m.fault(FaultEvent::StragglerRead {
+            node: 1,
+            extra_ms: 4.5,
+        });
+        m.fault(FaultEvent::Retry {
+            node: 1,
+            attempt: 0,
+            wait_ms: 2.0,
+        });
+        m.fault(FaultEvent::CacheFlush {
+            layer: Layer::Io,
+            node: 0,
+            blocks: 7,
+        });
 
         assert_eq!(m.io[1].accesses, 2);
         assert_eq!(m.io[1].hits, 1);
@@ -299,6 +395,15 @@ mod tests {
         assert_eq!(m.occupancy[0].per_set, vec![2, 0, 1]);
         assert_eq!(m.disk_reads(), 2);
         assert_eq!(m.layer_totals(Layer::Io).accesses, 2);
+        assert!(m.faults.any());
+        assert_eq!(m.faults.outages, 1);
+        assert_eq!(m.faults.failovers, 1);
+        assert_eq!(m.faults.straggler_reads, 1);
+        assert!((m.faults.straggler_ms - 4.5).abs() < 1e-12);
+        assert_eq!(m.faults.retries, 1);
+        assert!((m.faults.retry_ms - 2.0).abs() < 1e-12);
+        assert_eq!(m.faults.cache_flushes, 1);
+        assert_eq!(m.faults.flushed_blocks, 7);
     }
 
     #[test]

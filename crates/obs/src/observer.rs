@@ -40,6 +40,52 @@ pub enum KarmaRoute {
     Bypass,
 }
 
+/// One injected-fault event, reported by the simulator's fault hook (see
+/// `flo_sim::fault`). Events describe what the *simulated* system
+/// experienced — an outage window, a rerouted request, a degraded read, a
+/// transient error absorbed by a retry, a cache flush — never a host-side
+/// failure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Storage node `node` entered an outage window.
+    Outage {
+        /// The node that went dark.
+        node: usize,
+    },
+    /// A request to a dark node was re-striped onto a live one.
+    Failover {
+        /// The block's home storage node.
+        from: usize,
+        /// The live node that served it instead.
+        to: usize,
+    },
+    /// A disk read was served by a degraded (straggler) disk.
+    StragglerRead {
+        /// The degraded storage node.
+        node: usize,
+        /// Extra latency charged beyond the healthy read, in ms.
+        extra_ms: f64,
+    },
+    /// A transient I/O error was absorbed by the retry model.
+    Retry {
+        /// The storage node whose read failed.
+        node: usize,
+        /// Zero-based retry attempt.
+        attempt: u32,
+        /// Backoff/timeout latency charged for this attempt, in ms.
+        wait_ms: f64,
+    },
+    /// A fault-injected cache flush dropped `blocks` resident blocks.
+    CacheFlush {
+        /// Which layer's cache flushed.
+        layer: Layer,
+        /// Node index within the layer.
+        node: usize,
+        /// Resident blocks lost.
+        blocks: usize,
+    },
+}
+
 /// Callbacks the simulator invokes on the way through an access.
 ///
 /// Every method defaults to an empty `#[inline]` body; implementors
@@ -102,6 +148,14 @@ pub trait Observer {
     fn occupancy(&mut self, layer: Layer, node: usize, per_set: &[u32]) {
         let _ = (layer, node, per_set);
     }
+
+    /// The fault hook injected (or absorbed) a fault. Only emitted when a
+    /// fault plan is active; the no-plan path compiles the call sites out
+    /// entirely.
+    #[inline]
+    fn fault(&mut self, event: FaultEvent) {
+        let _ = event;
+    }
 }
 
 /// The disabled observer: overrides nothing, so every instrumented call
@@ -129,6 +183,12 @@ mod tests {
         o.karma_route(KarmaRoute::Bypass);
         o.stack_distance(None);
         o.occupancy(Layer::Io, 0, &[1, 2]);
+        o.fault(FaultEvent::Outage { node: 0 });
+        o.fault(FaultEvent::Retry {
+            node: 1,
+            attempt: 0,
+            wait_ms: 2.0,
+        });
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Robustness of the metrics-artifact reader: [`parse_jsonl`] must reject
+//! malformed, truncated, and bit-flipped artifacts with a typed error —
+//! never a panic. Deterministic SplitMix64 case generation replaces
+//! `proptest` (unavailable offline); failures carry a case index for
+//! replay.
+
+use flo_json::Json;
+use flo_obs::sink::{parse_jsonl, JsonlSink};
+
+/// Minimal SplitMix64 (flo-obs itself is dependency-free, so the test
+/// carries its own generator).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn random_artifact(rng: &mut Rng) -> String {
+    let mut sink = JsonlSink::new("fuzz");
+    for _ in 0..rng.below(6) {
+        sink.push(
+            "layers",
+            Json::obj()
+                .set("io_hits", rng.below(1000))
+                .set("note", "strings with \"quotes\" and \\ escapes \u{1F600}"),
+        );
+    }
+    sink.render()
+}
+
+/// Truncating an artifact at any char boundary either still parses (cut
+/// fell on a line boundary past the meta line) or errors cleanly.
+#[test]
+fn truncated_artifacts_never_panic() {
+    let mut rng = Rng(0x7121C);
+    for case in 0..200 {
+        let text = random_artifact(&mut rng);
+        let mut cut = rng.below(text.len() as u64 + 1) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let sliced = &text[..cut];
+        match parse_jsonl(sliced) {
+            Ok(events) => {
+                // Success means every surviving line was complete JSON and
+                // the meta line came through intact.
+                assert_eq!(
+                    events.len(),
+                    sliced.lines().filter(|l| !l.trim().is_empty()).count(),
+                    "case {case}"
+                );
+                assert_eq!(
+                    events[0].get("run").and_then(Json::as_str),
+                    Some("fuzz"),
+                    "case {case}: meta line corrupted yet accepted"
+                );
+            }
+            Err(e) => assert!(!e.is_empty(), "case {case}: empty error message"),
+        }
+    }
+}
+
+/// Flipping a random byte (re-interpreted lossily as UTF-8) never panics
+/// the reader; it either still parses or reports which line broke.
+#[test]
+fn bitflipped_artifacts_never_panic() {
+    let mut rng = Rng(0xB17F11B);
+    for case in 0..200 {
+        let text = random_artifact(&mut rng);
+        let mut bytes = text.into_bytes();
+        let at = rng.below(bytes.len() as u64) as usize;
+        bytes[at] ^= 1 << rng.below(8);
+        let corrupted = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_jsonl(&corrupted) {
+            assert!(!e.is_empty(), "case {case}");
+        }
+    }
+}
+
+/// Garbage lines, missing meta lines, and wrong versions are typed
+/// errors, not panics.
+#[test]
+fn malformed_artifacts_are_rejected() {
+    assert!(parse_jsonl("").is_err(), "empty input has no meta line");
+    assert!(parse_jsonl("not json at all\n").is_err());
+    assert!(parse_jsonl("{\"event\":\"layers\"}\n").is_err(), "no meta");
+    assert!(
+        parse_jsonl("{\"event\":\"meta\",\"schema_version\":\"x\"}\n").is_err(),
+        "non-numeric version"
+    );
+    assert!(
+        parse_jsonl("{\"event\":\"meta\"}\n").is_err(),
+        "missing version"
+    );
+    // Valid meta, then a torn second line.
+    let good = JsonlSink::new("x").render();
+    let torn = format!("{good}{{\"event\":\"layers\",");
+    let err = parse_jsonl(&torn).unwrap_err();
+    assert!(err.contains("line 2"), "error must name the line: {err}");
+}

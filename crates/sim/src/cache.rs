@@ -558,6 +558,34 @@ impl SetAssocCache {
         self.sets.iter().map(|s| s.len() as u32).collect()
     }
 
+    /// Drop every resident block, keeping the hit/miss counters (a fault
+    /// event: a node restart or forced cache flush loses contents, not
+    /// statistics). Returns the number of blocks invalidated.
+    pub fn invalidate_all(&mut self) -> usize {
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            while set.pop_lru().is_some() {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Drop the resident blocks of every set whose index has the given
+    /// parity — a degraded-mode "shrink" that transiently halves the
+    /// effective capacity. Returns the number of blocks invalidated.
+    pub fn invalidate_half(&mut self, parity: usize) -> usize {
+        let mut dropped = 0;
+        for (i, set) in self.sets.iter_mut().enumerate() {
+            if i % 2 == parity % 2 {
+                while set.pop_lru().is_some() {
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
     /// Resident blocks (test helper).
     pub fn blocks(&self) -> Vec<BlockAddr> {
         self.sets

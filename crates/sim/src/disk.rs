@@ -37,6 +37,18 @@ impl DiskModel {
         }
     }
 
+    /// This model with every latency component scaled by `mult` — a
+    /// degraded "straggler" disk (vibration, remapped sectors, background
+    /// scrubbing). The fault model applies the multiplier to whole reads;
+    /// this helper exists so tests and docs can state the degraded costs.
+    pub fn degraded(&self, mult: f64) -> DiskModel {
+        DiskModel {
+            seek_ms: self.seek_ms * mult,
+            rotational_ms: self.rotational_ms * mult,
+            transfer_ms: self.transfer_ms * mult,
+        }
+    }
+
     /// Cost of a sequential (track-following) read.
     pub fn sequential_ms(&self) -> f64 {
         self.transfer_ms
@@ -262,5 +274,12 @@ mod tests {
         assert!(m.random_ms() > m.sequential_ms());
         assert_eq!(m.random_ms(), 9.0);
         assert_eq!(m.sequential_ms(), 1.0);
+    }
+
+    #[test]
+    fn degraded_model_scales_every_component() {
+        let m = DiskModel::paper_default().degraded(3.0);
+        assert_eq!(m.random_ms(), 27.0);
+        assert_eq!(m.sequential_ms(), 3.0);
     }
 }

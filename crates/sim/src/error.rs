@@ -1,0 +1,45 @@
+//! The typed error spine of the simulator.
+//!
+//! Invalid configurations — malformed topologies, empty sweeps, nonsense
+//! fault plans — surface as [`SimError`] values instead of panics, so the
+//! experiment binaries can print a friendly message and exit nonzero (the
+//! workspace is dependency-free, so this is a hand-rolled `thiserror`-style
+//! enum: `Display` for humans, `std::error::Error` for composition).
+
+use std::fmt;
+
+/// Everything the simulator can reject about its inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A [`crate::Topology`] violates a structural constraint.
+    InvalidTopology(String),
+    /// A capacity sweep was malformed (no points, observer mismatch).
+    InvalidSweep(String),
+    /// A [`crate::fault::FaultPlan`] violates a parameter constraint.
+    InvalidFaultPlan(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTopology(why) => write!(f, "invalid topology: {why}"),
+            SimError::InvalidSweep(why) => write!(f, "invalid sweep: {why}"),
+            SimError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_reason() {
+        let e = SimError::InvalidTopology("zero storage nodes".into());
+        assert_eq!(e.to_string(), "invalid topology: zero storage nodes");
+        let e: Box<dyn std::error::Error> = Box::new(SimError::InvalidSweep("no points".into()));
+        assert!(e.to_string().contains("no points"));
+    }
+}

@@ -19,11 +19,18 @@
 //! PVFS-style round-robin striping of file blocks across storage nodes.
 //!
 //! Everything is deterministic: same traces + same configuration ⇒ same
-//! report.
+//! report. That extends to fault injection: [`fault`] replays a seeded
+//! [`FaultPlan`] (node outages with failover re-striping, straggler
+//! disks, transient I/O errors absorbed by retry/backoff, cache flushes)
+//! as a pure function of `(seed, sequence time)`, so degraded-mode runs
+//! are as reproducible as healthy ones — and the no-plan path compiles
+//! the fault hooks out entirely.
 
 pub mod block;
 pub mod cache;
 pub mod disk;
+pub mod error;
+pub mod fault;
 pub mod fxhash;
 pub mod policies;
 pub mod seedpath;
@@ -37,12 +44,18 @@ pub mod trace;
 pub use block::{BlockAddr, FileId};
 pub use cache::LruCore;
 pub use disk::DiskModel;
+pub use error::SimError;
+pub use fault::{FaultHook, FaultPlan, FaultState, NoFaults, RetryModel};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use policies::karma::KarmaHints;
 pub use policies::PolicyKind;
 pub use seedpath::simulate_seed;
-pub use sim::{simulate, simulate_observed, RunConfig};
-pub use stackdist::{simulate_sweep, simulate_sweep_observed, MultiCapacityStack, SweepPoint};
+pub use sim::{
+    simulate, simulate_faulted, simulate_faulted_observed, simulate_observed, RunConfig,
+};
+pub use stackdist::{
+    simulate_sweep, simulate_sweep_faulted, simulate_sweep_observed, MultiCapacityStack, SweepPoint,
+};
 pub use stats::{LayerStats, SimReport};
 pub use system::StorageSystem;
 pub use topology::Topology;

@@ -119,6 +119,17 @@ impl MqCache {
         victim
     }
 
+    /// Drop every resident block (fault-injected cache flush), keeping the
+    /// hit/miss counters. Returns the number of blocks invalidated.
+    pub fn invalidate_all(&mut self) -> usize {
+        let dropped = self.meta.len();
+        for q in &mut self.queues {
+            while q.pop_lru().is_some() {}
+        }
+        self.meta.clear();
+        dropped
+    }
+
     /// Remove a block if resident.
     pub fn remove(&mut self, block: BlockAddr) -> bool {
         if let Some((q, _)) = self.meta.remove(&block) {
@@ -206,6 +217,22 @@ mod tests {
         let victim = mq.insert(b(3));
         assert_eq!(victim, Some(b(2)), "low-frequency block evicted first");
         assert!(mq.contains(b(1)));
+    }
+
+    #[test]
+    fn invalidate_all_drops_contents_keeps_stats() {
+        let mut mq = MqCache::new(4);
+        mq.insert(b(1));
+        mq.insert(b(2));
+        mq.access(b(1));
+        let before = mq.stats();
+        assert_eq!(mq.invalidate_all(), 2);
+        assert!(mq.is_empty());
+        assert!(!mq.contains(b(1)));
+        assert_eq!(mq.stats(), before, "flush must not touch counters");
+        // Still usable after the flush.
+        mq.insert(b(3));
+        assert!(mq.contains(b(3)));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The simulation driver.
 
+use crate::fault::{FaultHook, FaultState, NoFaults};
 use crate::stats::{LayerStats, SimReport};
 use crate::system::StorageSystem;
 use crate::trace::{JitterInterleaver, ThreadTrace};
@@ -50,6 +51,45 @@ pub fn simulate_observed<O: Observer>(
     cfg: &RunConfig,
     obs: &mut O,
 ) -> SimReport {
+    drive(system, traces, cfg, obs, &mut NoFaults)
+}
+
+/// [`simulate`] under a fault plan: `faults` replays its seeded schedule
+/// against the run (outages, stragglers, transient errors, cache
+/// flushes), charging the degradation into the report's latencies. Same
+/// state + same traces ⇒ bit-identical report; a quiet plan reproduces
+/// [`simulate`] exactly.
+pub fn simulate_faulted(
+    system: &mut StorageSystem,
+    traces: &[ThreadTrace],
+    cfg: &RunConfig,
+    faults: &mut FaultState,
+) -> SimReport {
+    simulate_faulted_observed(system, traces, cfg, &mut NullObserver, faults)
+}
+
+/// [`simulate_faulted`], additionally reporting telemetry — including the
+/// injected [`flo_obs::FaultEvent`]s — to `obs`.
+pub fn simulate_faulted_observed<O: Observer>(
+    system: &mut StorageSystem,
+    traces: &[ThreadTrace],
+    cfg: &RunConfig,
+    obs: &mut O,
+    faults: &mut FaultState,
+) -> SimReport {
+    let _span = flo_obs::span("faults");
+    drive(system, traces, cfg, obs, faults)
+}
+
+/// The shared driver: generic over both the observer and the fault hook,
+/// so the unfaulted entry points monomorphize to the pre-fault walk.
+fn drive<O: Observer, F: FaultHook>(
+    system: &mut StorageSystem,
+    traces: &[ThreadTrace],
+    cfg: &RunConfig,
+    obs: &mut O,
+    faults: &mut F,
+) -> SimReport {
     let mut latency = vec![0.0f64; traces.len()];
     let mut total_requests = 0u64;
     // The interleaved access walk is the phase worth timing; the span is
@@ -60,7 +100,13 @@ pub fn simulate_observed<O: Observer>(
         None
     };
     for (t, entry) in JitterInterleaver::new(traces, INTERLEAVE_SEED) {
-        let ms = system.access_observed(traces[t].compute_node, entry.block, entry.count, obs);
+        let ms = system.access_faulted(
+            traces[t].compute_node,
+            entry.block,
+            entry.count,
+            obs,
+            faults,
+        );
         latency[t] += ms;
         total_requests += 1;
     }
@@ -105,7 +151,7 @@ mod tests {
 
     #[test]
     fn report_counts_every_request() {
-        let mut sys = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive);
+        let mut sys = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive).unwrap();
         let traces = vec![trace(0, 0, &[1, 2, 3]), trace(1, 1, &[4, 5])];
         let report = simulate(&mut sys, &traces, &RunConfig::default());
         assert_eq!(report.total_requests, 5);
@@ -116,7 +162,7 @@ mod tests {
 
     #[test]
     fn execution_time_is_slowest_thread() {
-        let mut sys = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive);
+        let mut sys = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive).unwrap();
         let traces = vec![
             trace(0, 0, &[1]),
             trace(1, 1, &(10..40).collect::<Vec<_>>()),
@@ -139,9 +185,9 @@ mod tests {
         twice_blocks.extend(&blocks);
         let twice = trace(0, 0, &twice_blocks);
 
-        let mut sys1 = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive);
+        let mut sys1 = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive).unwrap();
         let r1 = simulate(&mut sys1, &[once], &RunConfig::default());
-        let mut sys2 = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive);
+        let mut sys2 = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive).unwrap();
         let r2 = simulate(&mut sys2, &[twice], &RunConfig::default());
         assert!(
             r2.thread_latency_ms[0] < 2.0 * r1.thread_latency_ms[0],
@@ -154,7 +200,7 @@ mod tests {
     fn deterministic_replay() {
         let traces = vec![trace(0, 0, &[1, 5, 9, 1]), trace(1, 2, &[2, 5, 7])];
         let run = || {
-            let mut sys = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive);
+            let mut sys = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive).unwrap();
             simulate(&mut sys, &traces, &RunConfig::default())
         };
         let a = run();
@@ -173,9 +219,10 @@ mod tests {
         let blocks_b: Vec<u64> = (100..112).chain(100..112).collect();
         let shared = vec![trace(0, 0, &blocks_a), trace(1, 1, &blocks_b)]; // both → io node 0
         let split = vec![trace(0, 0, &blocks_a), trace(1, 2, &blocks_b)]; // io nodes 0 and 1
-        let mut sys_shared = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive);
+        let mut sys_shared =
+            StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive).unwrap();
         let r_shared = simulate(&mut sys_shared, &shared, &RunConfig::default());
-        let mut sys_split = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive);
+        let mut sys_split = StorageSystem::new(Topology::tiny(), PolicyKind::LruInclusive).unwrap();
         let r_split = simulate(&mut sys_split, &split, &RunConfig::default());
         assert!(
             r_split.layers.io.hits >= r_shared.layers.io.hits,

@@ -31,6 +31,8 @@
 
 use crate::cache::{set_geometry, set_hash, CacheStats, FastMod};
 use crate::disk::{DiskModel, DiskState};
+use crate::error::SimError;
+use crate::fault::{FaultPlan, FaultState};
 use crate::policies::PolicyKind;
 use crate::sim::{simulate_observed, RunConfig, INTERLEAVE_SEED};
 use crate::stats::{LayerStats, SimReport};
@@ -598,9 +600,61 @@ pub fn simulate_sweep(
     points: &[SweepPoint],
     traces: &[ThreadTrace],
     cfg: &RunConfig,
-) -> Vec<SimReport> {
+) -> Result<Vec<SimReport>, SimError> {
     let mut nulls = vec![NullObserver; points.len()];
     simulate_sweep_observed(base, points, traces, cfg, &mut NullObserver, &mut nulls)
+}
+
+/// Shared input validation of the sweep entry points.
+fn validate_sweep(base: &Topology, points: &[SweepPoint]) -> Result<(), SimError> {
+    base.validate()?;
+    if points.is_empty() {
+        return Err(SimError::InvalidSweep("no capacity points".to_string()));
+    }
+    for (k, p) in points.iter().enumerate() {
+        if p.io_cache_blocks == 0 || p.storage_cache_blocks == 0 {
+            return Err(SimError::InvalidSweep(format!(
+                "point {k} has a zero cache capacity ({} io, {} storage blocks)",
+                p.io_cache_blocks, p.storage_cache_blocks
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// [`simulate_sweep`] under a fault plan: every capacity point replays
+/// the *same* seeded fault schedule from a fresh [`FaultState`] (fault
+/// decisions are pure in `(seed, sequence time)`, and every point sees
+/// the same interleaved stream), so the points stay comparable — each
+/// report is bit-identical to [`crate::simulate_faulted`] on a fresh
+/// system at that capacity. Faulted sweeps always take the per-point
+/// path: fault-injected flushes and reroutes break the stack-inclusion
+/// property the one-pass engine relies on.
+pub fn simulate_sweep_faulted(
+    base: &Topology,
+    points: &[SweepPoint],
+    traces: &[ThreadTrace],
+    cfg: &RunConfig,
+    plan: &FaultPlan,
+) -> Result<Vec<SimReport>, SimError> {
+    validate_sweep(base, points)?;
+    plan.validate()?;
+    points
+        .iter()
+        .map(|p| {
+            let mut topo = base.clone();
+            topo.io_cache_blocks = p.io_cache_blocks;
+            topo.storage_cache_blocks = p.storage_cache_blocks;
+            let mut system = StorageSystem::new(topo, PolicyKind::LruInclusive)?;
+            let mut faults = FaultState::new(*plan)?;
+            Ok(crate::sim::simulate_faulted(
+                &mut system,
+                traces,
+                cfg,
+                &mut faults,
+            ))
+        })
+        .collect()
 }
 
 /// [`simulate_sweep`], reporting telemetry through observers. The shared
@@ -622,14 +676,15 @@ pub fn simulate_sweep_observed<O: Observer>(
     cfg: &RunConfig,
     stream_obs: &mut O,
     point_obs: &mut [O],
-) -> Vec<SimReport> {
-    base.validate();
-    assert!(!points.is_empty(), "simulate_sweep: no points");
-    assert_eq!(
-        point_obs.len(),
-        points.len(),
-        "simulate_sweep_observed: one observer per point"
-    );
+) -> Result<Vec<SimReport>, SimError> {
+    validate_sweep(base, points)?;
+    if point_obs.len() != points.len() {
+        return Err(SimError::InvalidSweep(format!(
+            "one observer per point required ({} observers for {} points)",
+            point_obs.len(),
+            points.len()
+        )));
+    }
     let geometries: Vec<(usize, usize)> = points
         .iter()
         .map(|p| set_geometry(p.io_cache_blocks, base.cache_ways))
@@ -639,10 +694,14 @@ pub fn simulate_sweep_observed<O: Observer>(
     let total: u64 = traces.iter().map(|t| t.entries.len() as u64).sum();
     if total < u32::MAX as u64 {
         if let Some(proto) = StackEngine::<u32>::new(&geometries) {
-            return sweep_with(proto, base, points, traces, cfg, stream_obs, point_obs);
+            return Ok(sweep_with(
+                proto, base, points, traces, cfg, stream_obs, point_obs,
+            ));
         }
     } else if let Some(proto) = StackEngine::<u64>::new(&geometries) {
-        return sweep_with(proto, base, points, traces, cfg, stream_obs, point_obs);
+        return Ok(sweep_with(
+            proto, base, points, traces, cfg, stream_obs, point_obs,
+        ));
     }
     points
         .iter()
@@ -760,7 +819,7 @@ fn simulate_point(
     traces: &[ThreadTrace],
     cfg: &RunConfig,
 ) -> SimReport {
-    simulate_point_observed(base, point, traces, cfg, &mut NullObserver)
+    simulate_point_observed(base, point, traces, cfg, &mut NullObserver).unwrap()
 }
 
 /// Observed per-point path (the fallback of [`simulate_sweep_observed`]).
@@ -770,12 +829,12 @@ fn simulate_point_observed<O: Observer>(
     traces: &[ThreadTrace],
     cfg: &RunConfig,
     obs: &mut O,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     let mut topo = base.clone();
     topo.io_cache_blocks = point.io_cache_blocks;
     topo.storage_cache_blocks = point.storage_cache_blocks;
-    let mut system = StorageSystem::new(topo, PolicyKind::LruInclusive);
-    simulate_observed(&mut system, traces, cfg, obs)
+    let mut system = StorageSystem::new(topo, PolicyKind::LruInclusive)?;
+    Ok(simulate_observed(&mut system, traces, cfg, obs))
 }
 
 #[cfg(test)]
@@ -864,7 +923,7 @@ mod tests {
                 storage_cache_blocks: 5,
             },
         ];
-        let swept = simulate_sweep(&topo, &points, &traces, &cfg);
+        let swept = simulate_sweep(&topo, &points, &traces, &cfg).unwrap();
         for (p, got) in points.iter().zip(&swept) {
             let want = simulate_point(&topo, *p, &traces, &cfg);
             assert_eq!(got.layers.io, want.layers.io, "{p:?}");
@@ -912,7 +971,7 @@ mod tests {
                 })
                 .collect();
             let cfg = RunConfig::default();
-            let swept = simulate_sweep(&topo, &points, &traces, &cfg);
+            let swept = simulate_sweep(&topo, &points, &traces, &cfg).unwrap();
             for (p, got) in points.iter().zip(&swept) {
                 let want = simulate_point(&topo, *p, &traces, &cfg);
                 assert_eq!(got.layers.io, want.layers.io, "case {case} {p:?}");

@@ -3,6 +3,8 @@
 use crate::block::BlockAddr;
 use crate::cache::{CacheStats, SetAssocCache};
 use crate::disk::{DiskModel, DiskState};
+use crate::error::SimError;
+use crate::fault::{FaultHook, NoFaults};
 use crate::policies::demote::{self, DemoteOutcome};
 use crate::policies::karma::{KarmaAssignment, KarmaHints, KarmaLevel};
 use crate::policies::mq::MqCache;
@@ -68,8 +70,9 @@ pub struct StorageSystem {
 
 impl StorageSystem {
     /// Build a system for `topo` under `policy`, with hop and disk costs
-    /// derived from the topology's block size.
-    pub fn new(topo: Topology, policy: PolicyKind) -> StorageSystem {
+    /// derived from the topology's block size. Fails with
+    /// [`SimError::InvalidTopology`] on a degenerate topology.
+    pub fn new(topo: Topology, policy: PolicyKind) -> Result<StorageSystem, SimError> {
         let costs = CostModel::for_block_elems(topo.block_elems);
         let disk = DiskModel::for_block_elems(topo.block_elems);
         StorageSystem::with_costs(topo, policy, costs, disk)
@@ -81,8 +84,8 @@ impl StorageSystem {
         policy: PolicyKind,
         costs: CostModel,
         disk_model: DiskModel,
-    ) -> StorageSystem {
-        topo.validate();
+    ) -> Result<StorageSystem, SimError> {
+        topo.validate()?;
         let ways = topo.cache_ways;
         let io_caches = (0..topo.io_nodes)
             .map(|_| SetAssocCache::new(topo.io_cache_blocks, ways))
@@ -100,7 +103,7 @@ impl StorageSystem {
         } else {
             Vec::new()
         };
-        StorageSystem {
+        Ok(StorageSystem {
             topo,
             policy,
             costs,
@@ -111,7 +114,7 @@ impl StorageSystem {
             disks,
             karma: KarmaAssignment::default(),
             demotions: 0,
-        }
+        })
     }
 
     /// Install KARMA's application hints (required before a
@@ -155,30 +158,65 @@ impl StorageSystem {
         weight: u32,
         obs: &mut O,
     ) -> f64 {
+        self.access_faulted(compute_node, block, weight, obs, &mut NoFaults)
+    }
+
+    /// [`access_observed`](Self::access_observed) under a fault hook: the
+    /// hook ticks its schedule clock, may reroute the request around an
+    /// outage, and may inflate the disk cost (stragglers, transient-error
+    /// retries). With [`NoFaults`] every hook site monomorphizes away and
+    /// this *is* `access_observed`.
+    pub fn access_faulted<O: Observer, F: FaultHook>(
+        &mut self,
+        compute_node: usize,
+        block: BlockAddr,
+        weight: u32,
+        obs: &mut O,
+        faults: &mut F,
+    ) -> f64 {
+        if F::ACTIVE {
+            faults.on_request(self, obs);
+        }
         let io_idx = self.topo.io_node_of_compute(compute_node);
-        let sc_idx = self.topo.storage_node_of_block(block);
+        let mut sc_idx = self.topo.storage_node_of_block(block);
+        if F::ACTIVE {
+            sc_idx = faults.route(&self.topo, block, sc_idx, obs);
+        }
         match self.policy {
-            PolicyKind::LruInclusive => self.access_inclusive(io_idx, sc_idx, block, weight, obs),
-            PolicyKind::DemoteLru => self.access_demote(io_idx, sc_idx, block, weight, obs),
-            PolicyKind::Karma => self.access_karma(io_idx, sc_idx, block, weight, obs),
-            PolicyKind::MqSecondLevel => self.access_mq(io_idx, sc_idx, block, weight, obs),
+            PolicyKind::LruInclusive => {
+                self.access_inclusive(io_idx, sc_idx, block, weight, obs, faults)
+            }
+            PolicyKind::DemoteLru => self.access_demote(io_idx, sc_idx, block, weight, obs, faults),
+            PolicyKind::Karma => self.access_karma(io_idx, sc_idx, block, weight, obs, faults),
+            PolicyKind::MqSecondLevel => self.access_mq(io_idx, sc_idx, block, weight, obs, faults),
         }
     }
 
-    fn disk_read<O: Observer>(&mut self, sc_idx: usize, block: BlockAddr, obs: &mut O) -> f64 {
+    fn disk_read<O: Observer, F: FaultHook>(
+        &mut self,
+        sc_idx: usize,
+        block: BlockAddr,
+        obs: &mut O,
+        faults: &mut F,
+    ) -> f64 {
         let (ms, sequential) =
             self.disks[sc_idx].read_classified(block, &self.disk_model, self.topo.storage_nodes);
         obs.disk_read(sc_idx, sequential, ms);
-        ms
+        if F::ACTIVE {
+            faults.disk_cost(sc_idx, ms, obs)
+        } else {
+            ms
+        }
     }
 
-    fn access_inclusive<O: Observer>(
+    fn access_inclusive<O: Observer, F: FaultHook>(
         &mut self,
         io_idx: usize,
         sc_idx: usize,
         block: BlockAddr,
         weight: u32,
         obs: &mut O,
+        faults: &mut F,
     ) -> f64 {
         if self.io_caches[io_idx].access_weighted(block, weight) {
             obs.cache_access(Layer::Io, io_idx, true, weight);
@@ -195,7 +233,7 @@ impl StorageSystem {
             return self.costs.io_hit_ms + self.costs.storage_hit_ms;
         }
         obs.cache_access(Layer::Storage, sc_idx, false, 1);
-        let disk = self.disk_read(sc_idx, block, obs);
+        let disk = self.disk_read(sc_idx, block, obs, faults);
         // Inclusive: the block is installed at both layers.
         if self.storage_caches[sc_idx].insert_absent(block).is_some() {
             obs.eviction(Layer::Storage, sc_idx);
@@ -206,13 +244,14 @@ impl StorageSystem {
         self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
     }
 
-    fn access_demote<O: Observer>(
+    fn access_demote<O: Observer, F: FaultHook>(
         &mut self,
         io_idx: usize,
         sc_idx: usize,
         block: BlockAddr,
         weight: u32,
         obs: &mut O,
+        faults: &mut F,
     ) -> f64 {
         let out = demote::access_weighted(
             &mut self.io_caches[io_idx],
@@ -245,7 +284,7 @@ impl StorageSystem {
                     obs.eviction(Layer::Io, io_idx);
                     obs.demotion(io_idx);
                 }
-                let disk = self.disk_read(sc_idx, block, obs);
+                let disk = self.disk_read(sc_idx, block, obs, faults);
                 self.costs.io_hit_ms
                     + self.costs.storage_hit_ms
                     + disk
@@ -254,13 +293,14 @@ impl StorageSystem {
         }
     }
 
-    fn access_karma<O: Observer>(
+    fn access_karma<O: Observer, F: FaultHook>(
         &mut self,
         io_idx: usize,
         sc_idx: usize,
         block: BlockAddr,
         weight: u32,
         obs: &mut O,
+        faults: &mut F,
     ) -> f64 {
         match self.karma.level_for(io_idx, block.file) {
             KarmaLevel::Io => {
@@ -272,7 +312,7 @@ impl StorageSystem {
                     return self.costs.io_hit_ms;
                 }
                 obs.cache_access(Layer::Io, io_idx, false, weight);
-                let disk = self.disk_read(sc_idx, block, obs);
+                let disk = self.disk_read(sc_idx, block, obs, faults);
                 if self.io_caches[io_idx].insert_absent(block).is_some() {
                     obs.eviction(Layer::Io, io_idx);
                 }
@@ -289,7 +329,7 @@ impl StorageSystem {
                     return self.costs.io_hit_ms + self.costs.storage_hit_ms;
                 }
                 obs.cache_access(Layer::Storage, sc_idx, false, 1);
-                let disk = self.disk_read(sc_idx, block, obs);
+                let disk = self.disk_read(sc_idx, block, obs, faults);
                 if self.storage_caches[sc_idx].insert_absent(block).is_some() {
                     obs.eviction(Layer::Storage, sc_idx);
                 }
@@ -301,19 +341,20 @@ impl StorageSystem {
                 obs.cache_access(Layer::Io, io_idx, io_hit, weight);
                 let sc_hit = self.storage_caches[sc_idx].access(block);
                 obs.cache_access(Layer::Storage, sc_idx, sc_hit, 1);
-                let disk = self.disk_read(sc_idx, block, obs);
+                let disk = self.disk_read(sc_idx, block, obs, faults);
                 self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
             }
         }
     }
 
-    fn access_mq<O: Observer>(
+    fn access_mq<O: Observer, F: FaultHook>(
         &mut self,
         io_idx: usize,
         sc_idx: usize,
         block: BlockAddr,
         weight: u32,
         obs: &mut O,
+        faults: &mut F,
     ) -> f64 {
         if self.io_caches[io_idx].access_weighted(block, weight) {
             obs.cache_access(Layer::Io, io_idx, true, weight);
@@ -328,7 +369,7 @@ impl StorageSystem {
             return self.costs.io_hit_ms + self.costs.storage_hit_ms;
         }
         obs.cache_access(Layer::Storage, sc_idx, false, 1);
-        let disk = self.disk_read(sc_idx, block, obs);
+        let disk = self.disk_read(sc_idx, block, obs, faults);
         if self.mq_caches[sc_idx].insert(block).is_some() {
             obs.eviction(Layer::Storage, sc_idx);
         }
@@ -336,6 +377,39 @@ impl StorageSystem {
             obs.eviction(Layer::Io, io_idx);
         }
         self.costs.io_hit_ms + self.costs.storage_hit_ms + disk
+    }
+
+    /// Fault-injected full flush of I/O node `node`'s cache; returns the
+    /// resident blocks dropped.
+    pub(crate) fn flush_io_cache(&mut self, node: usize) -> usize {
+        self.io_caches[node].invalidate_all()
+    }
+
+    /// Fault-injected capacity shrink of I/O node `node`'s cache: drops
+    /// every second set (parity chosen by the fault schedule).
+    pub(crate) fn shrink_io_cache(&mut self, node: usize, parity: usize) -> usize {
+        self.io_caches[node].invalidate_half(parity)
+    }
+
+    /// Fault-injected full flush of storage node `node`'s cache (the MQ
+    /// cache under [`PolicyKind::MqSecondLevel`], the set-associative one
+    /// otherwise).
+    pub(crate) fn flush_storage_cache(&mut self, node: usize) -> usize {
+        if self.policy == PolicyKind::MqSecondLevel {
+            self.mq_caches[node].invalidate_all()
+        } else {
+            self.storage_caches[node].invalidate_all()
+        }
+    }
+
+    /// Fault-injected capacity shrink of storage node `node`'s cache. MQ
+    /// caches have no set structure, so they flush fully.
+    pub(crate) fn shrink_storage_cache(&mut self, node: usize, parity: usize) -> usize {
+        if self.policy == PolicyKind::MqSecondLevel {
+            self.mq_caches[node].invalidate_all()
+        } else {
+            self.storage_caches[node].invalidate_half(parity)
+        }
     }
 
     /// Report every cache's end-of-run per-set occupancy to `obs` (MQ
@@ -392,7 +466,7 @@ mod tests {
     }
 
     fn tiny_system(policy: PolicyKind) -> StorageSystem {
-        StorageSystem::new(Topology::tiny(), policy)
+        StorageSystem::new(Topology::tiny(), policy).unwrap()
     }
 
     /// The cost model a tiny-topology system uses (block-size scaled).
@@ -452,7 +526,7 @@ mod tests {
     fn demote_policy_counts_demotions() {
         let mut topo = Topology::tiny();
         topo.io_cache_blocks = 1;
-        let mut sys = StorageSystem::new(topo, PolicyKind::DemoteLru);
+        let mut sys = StorageSystem::new(topo, PolicyKind::DemoteLru).unwrap();
         sys.access(0, b(1));
         sys.access(0, b(2)); // evicts 1 → demotion
         assert!(sys.demotions() >= 1);
@@ -507,7 +581,7 @@ mod tests {
         topo.storage_nodes = 2;
         topo.io_cache_blocks = 1;
         topo.storage_cache_blocks = 1;
-        let mut sys = StorageSystem::new(topo, PolicyKind::LruInclusive);
+        let mut sys = StorageSystem::new(topo, PolicyKind::LruInclusive).unwrap();
         for i in 0..100 {
             sys.access(0, b(i % 50));
         }

@@ -6,6 +6,7 @@
 //! workload footprints (see DESIGN.md §1, "Scaling substitution").
 
 use crate::block::BlockAddr;
+use crate::error::SimError;
 
 /// Static description of the simulated platform.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,15 +61,34 @@ impl Topology {
         }
     }
 
-    /// Validate divisibility constraints; panics on malformed topologies.
-    pub fn validate(&self) {
-        assert!(self.compute_nodes > 0 && self.io_nodes > 0 && self.storage_nodes > 0);
-        assert!(
-            self.compute_nodes.is_multiple_of(self.io_nodes),
-            "compute nodes must divide evenly over I/O nodes"
-        );
-        assert!(self.io_cache_blocks > 0 && self.storage_cache_blocks > 0);
-        assert!(self.block_elems > 0);
+    /// Validate divisibility and positivity constraints. Malformed
+    /// topologies are reported as [`SimError::InvalidTopology`] values so
+    /// callers (and ultimately the experiment binaries) can reject them
+    /// without aborting the process.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fail = |why: String| Err(SimError::InvalidTopology(why));
+        if self.compute_nodes == 0 || self.io_nodes == 0 || self.storage_nodes == 0 {
+            return fail(format!(
+                "node counts must be positive (compute={}, io={}, storage={})",
+                self.compute_nodes, self.io_nodes, self.storage_nodes
+            ));
+        }
+        if !self.compute_nodes.is_multiple_of(self.io_nodes) {
+            return fail(format!(
+                "compute nodes must divide evenly over I/O nodes ({} over {})",
+                self.compute_nodes, self.io_nodes
+            ));
+        }
+        if self.io_cache_blocks == 0 || self.storage_cache_blocks == 0 {
+            return fail(format!(
+                "cache capacities must be positive (io={}, storage={})",
+                self.io_cache_blocks, self.storage_cache_blocks
+            ));
+        }
+        if self.block_elems == 0 {
+            return fail("block size must be positive".to_string());
+        }
+        Ok(())
     }
 
     /// Compute nodes per I/O node.
@@ -112,6 +132,25 @@ impl Topology {
         }
     }
 
+    /// The storage node serving `block` when only the nodes in `live_mask`
+    /// (bit `n` ⇒ node `n` is up) are reachable: the first live node at or
+    /// after the block's home node in round-robin order. This is the
+    /// failover re-striping rule of the fault model — deterministic, and
+    /// the identity map whenever the home node is live. With no live node
+    /// the home node is returned (the caller treats a fully-dark window as
+    /// fault-free rather than deadlocking the request).
+    pub fn storage_node_of_block_masked(&self, block: BlockAddr, live_mask: u64) -> usize {
+        let home = self.storage_node_of_block(block);
+        let n = self.storage_nodes;
+        for off in 0..n {
+            let node = (home + off) % n;
+            if live_mask >> node & 1 == 1 {
+                return node;
+            }
+        }
+        home
+    }
+
     /// Aggregate I/O-layer cache capacity in blocks.
     pub fn total_io_cache(&self) -> usize {
         self.io_nodes * self.io_cache_blocks
@@ -146,13 +185,14 @@ impl Topology {
 
     /// A copy with different node counts (Fig. 7(d)); per-node cache sizes
     /// retain their defaults, matching the paper ("individual cache
-    /// capacities are as shown in Table 1").
+    /// capacities are as shown in Table 1"). The copy is *not* validated —
+    /// [`crate::StorageSystem::with_costs`] rejects malformed topologies
+    /// when a system is built from one.
     pub fn with_node_counts(&self, compute: usize, io: usize, storage: usize) -> Topology {
         let mut t = self.clone();
         t.compute_nodes = compute;
         t.io_nodes = io;
         t.storage_nodes = storage;
-        t.validate();
         t
     }
 }
@@ -164,7 +204,7 @@ mod tests {
     #[test]
     fn paper_default_shape() {
         let t = Topology::paper_default();
-        t.validate();
+        t.validate().unwrap();
         assert_eq!(t.compute_per_io(), 4);
         assert_eq!(t.io_per_storage(), 4);
     }
@@ -220,8 +260,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "divide evenly")]
     fn indivisible_compute_rejected() {
-        Topology::paper_default().with_node_counts(10, 3, 1);
+        let t = Topology::paper_default().with_node_counts(10, 3, 1);
+        let err = t.validate().unwrap_err();
+        assert!(err.to_string().contains("divide evenly"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_topologies_rejected() {
+        let mut t = Topology::paper_default();
+        t.storage_nodes = 0;
+        assert!(t.validate().is_err());
+        let mut t = Topology::paper_default();
+        t.io_cache_blocks = 0;
+        assert!(t.validate().is_err());
+        let mut t = Topology::paper_default();
+        t.block_elems = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn masked_striping_fails_over_round_robin() {
+        let t = Topology::paper_default(); // 4 storage nodes
+        let b = BlockAddr::new(0, 1); // home node 1
+        assert_eq!(t.storage_node_of_block_masked(b, 0b1111), 1);
+        // Node 1 down → next live node in round-robin order.
+        assert_eq!(t.storage_node_of_block_masked(b, 0b1101), 2);
+        assert_eq!(t.storage_node_of_block_masked(b, 0b1001), 3);
+        assert_eq!(t.storage_node_of_block_masked(b, 0b0001), 0);
+        // Fully dark window degrades to the home node.
+        assert_eq!(t.storage_node_of_block_masked(b, 0), 1);
     }
 }

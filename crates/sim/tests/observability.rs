@@ -92,9 +92,9 @@ fn null_observer_matches_frozen_seed_path() {
         let cfg = RunConfig {
             compute_ms_per_thread: rng.below(8) as f64,
         };
-        let mut sys_live = StorageSystem::new(topo.clone(), policy);
+        let mut sys_live = StorageSystem::new(topo.clone(), policy).unwrap();
         let live = simulate(&mut sys_live, &traces, &cfg);
-        let mut sys_seed = StorageSystem::new(topo, policy);
+        let mut sys_seed = StorageSystem::new(topo, policy).unwrap();
         let seed = simulate_seed(&mut sys_seed, &traces, &cfg);
         assert_reports_bit_identical(&live, &seed, &format!("case {case} ({policy:?})"));
     }
@@ -114,11 +114,11 @@ fn metrics_observer_is_passive_and_consistent() {
         let cfg = RunConfig {
             compute_ms_per_thread: rng.below(8) as f64,
         };
-        let mut sys_null = StorageSystem::new(topo.clone(), policy);
+        let mut sys_null = StorageSystem::new(topo.clone(), policy).unwrap();
         let base = simulate(&mut sys_null, &traces, &cfg);
 
         let mut metrics = MetricsObserver::new();
-        let mut sys_obs = StorageSystem::new(topo, policy);
+        let mut sys_obs = StorageSystem::new(topo, policy).unwrap();
         let observed = simulate_observed(&mut sys_obs, &traces, &cfg, &mut metrics);
         let tag = format!("case {case} ({policy:?})");
         assert_reports_bit_identical(&observed, &base, &tag);
@@ -188,11 +188,12 @@ fn observed_sweep_is_passive_and_consistent() {
         let cfg = RunConfig {
             compute_ms_per_thread: rng.below(8) as f64,
         };
-        let plain = simulate_sweep(&topo, &points, &traces, &cfg);
+        let plain = simulate_sweep(&topo, &points, &traces, &cfg).unwrap();
         let mut stream = MetricsObserver::new();
         let mut per_point = vec![MetricsObserver::new(); points.len()];
         let observed =
-            simulate_sweep_observed(&topo, &points, &traces, &cfg, &mut stream, &mut per_point);
+            simulate_sweep_observed(&topo, &points, &traces, &cfg, &mut stream, &mut per_point)
+                .unwrap();
         assert_eq!(observed.len(), plain.len());
         for (k, (o, p)) in observed.iter().zip(&plain).enumerate() {
             let tag = format!("case {case} point {k}");
@@ -243,9 +244,9 @@ fn default_observer_methods_are_noops() {
     let topo = random_topology(&mut rng);
     let traces = random_traces(&mut rng, &topo);
     let cfg = RunConfig::default();
-    let mut sys_a = StorageSystem::new(topo.clone(), PolicyKind::DemoteLru);
+    let mut sys_a = StorageSystem::new(topo.clone(), PolicyKind::DemoteLru).unwrap();
     let a = simulate_observed(&mut sys_a, &traces, &cfg, &mut Inert);
-    let mut sys_b = StorageSystem::new(topo, PolicyKind::DemoteLru);
+    let mut sys_b = StorageSystem::new(topo, PolicyKind::DemoteLru).unwrap();
     let b = simulate_seed(&mut sys_b, &traces, &cfg);
     assert_reports_bit_identical(&a, &b, "inert observer");
     // And NullObserver advertises itself as disabled while a default

@@ -7,8 +7,9 @@ use flo_linalg::SplitMix64;
 use flo_sim::policies::demote;
 use flo_sim::stackdist::StackEngine;
 use flo_sim::{
-    simulate, simulate_sweep, BlockAddr, LruCore, MultiCapacityStack, PolicyKind, RunConfig,
-    StorageSystem, SweepPoint, ThreadTrace, Topology,
+    simulate, simulate_faulted, simulate_sweep, BlockAddr, FaultPlan, FaultState, LruCore,
+    MultiCapacityStack, PolicyKind, RunConfig, SimReport, StorageSystem, SweepPoint, ThreadTrace,
+    Topology,
 };
 
 fn block_stream(rng: &mut SplitMix64) -> Vec<u64> {
@@ -108,7 +109,7 @@ fn policies_consistent_and_deterministic() {
             })
             .collect();
         let run = || {
-            let mut system = StorageSystem::new(topo.clone(), policy);
+            let mut system = StorageSystem::new(topo.clone(), policy).unwrap();
             flo_sim::simulate(&mut system, &traces, &Default::default())
         };
         let a = run();
@@ -162,12 +163,12 @@ fn sweep_matches_direct_lru_simulation() {
         let cfg = RunConfig {
             compute_ms_per_thread: rng.below(8) as f64,
         };
-        let swept = simulate_sweep(&topo, &points, &traces, &cfg);
+        let swept = simulate_sweep(&topo, &points, &traces, &cfg).unwrap();
         for (i, p) in points.iter().enumerate() {
             let mut t = topo.clone();
             t.io_cache_blocks = p.io_cache_blocks;
             t.storage_cache_blocks = p.storage_cache_blocks;
-            let mut sys = StorageSystem::new(t, PolicyKind::LruInclusive);
+            let mut sys = StorageSystem::new(t, PolicyKind::LruInclusive).unwrap();
             let direct = simulate(&mut sys, &traces, &cfg);
             let s = &swept[i];
             let tag = format!("case {case} point {i}");
@@ -278,7 +279,7 @@ fn nested_capacity_growth_preserves_io_hits() {
             storage_cache_blocks: 8 << k,
         })
         .collect();
-    let swept = simulate_sweep(&topo, &points, &traces, &RunConfig::default());
+    let swept = simulate_sweep(&topo, &points, &traces, &RunConfig::default()).unwrap();
     for (i, w) in swept.windows(2).enumerate() {
         assert_eq!(w[0].layers.io.accesses, w[1].layers.io.accesses);
         assert!(
@@ -289,6 +290,82 @@ fn nested_capacity_growth_preserves_io_hits() {
             w[1].layers.storage.accesses <= w[0].layers.storage.accesses,
             "point {i}: storage layer saw more misses at larger capacity"
         );
+    }
+}
+
+fn assert_reports_bit_identical(a: &SimReport, b: &SimReport, tag: &str) {
+    assert_eq!(a.layers.io.accesses, b.layers.io.accesses, "{tag}");
+    assert_eq!(a.layers.io.hits, b.layers.io.hits, "{tag}");
+    assert_eq!(
+        a.layers.storage.accesses, b.layers.storage.accesses,
+        "{tag}"
+    );
+    assert_eq!(a.layers.storage.hits, b.layers.storage.hits, "{tag}");
+    assert_eq!(a.disk_reads, b.disk_reads, "{tag}");
+    assert_eq!(a.disk_sequential_reads, b.disk_sequential_reads, "{tag}");
+    assert_eq!(a.demotions, b.demotions, "{tag}");
+    assert_eq!(a.total_requests, b.total_requests, "{tag}");
+    assert_eq!(
+        a.compute_ms_per_thread.to_bits(),
+        b.compute_ms_per_thread.to_bits(),
+        "{tag}"
+    );
+    assert_eq!(
+        a.execution_time_ms.to_bits(),
+        b.execution_time_ms.to_bits(),
+        "{tag}"
+    );
+    assert_eq!(
+        a.thread_latency_ms.len(),
+        b.thread_latency_ms.len(),
+        "{tag}"
+    );
+    for (t, (x, y)) in a
+        .thread_latency_ms
+        .iter()
+        .zip(&b.thread_latency_ms)
+        .enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{tag} thread {t}");
+    }
+}
+
+/// Differential property: a quiet (zero-rate) [`FaultPlan`] run through
+/// the fault-hooked simulation path is bit-identical to the no-plan path
+/// for randomized traces, topologies, and every policy — the fault
+/// machinery must cost nothing and change nothing when it injects
+/// nothing.
+#[test]
+fn quiet_fault_plan_matches_no_plan_path() {
+    let mut rng = SplitMix64::new(0xFA_017);
+    for case in 0..40 {
+        let mut topo = Topology::tiny();
+        topo.storage_nodes = rng.range_usize(1, 5);
+        topo.io_nodes = [1, 2, 4][rng.range_usize(0, 2)]; // divisors of the 4 compute nodes
+        topo.io_cache_blocks = rng.range_usize(2, 32);
+        topo.storage_cache_blocks = rng.range_usize(4, 48);
+        topo.validate().unwrap();
+        let traces = random_traces(&mut rng, &topo);
+        let cfg = RunConfig {
+            compute_ms_per_thread: rng.below(8) as f64,
+        };
+        let policy = PolicyKind::extended()[case % PolicyKind::extended().len()];
+        let seed = rng.below(u64::MAX);
+        let plain = {
+            let mut sys = StorageSystem::new(topo.clone(), policy).unwrap();
+            simulate(&mut sys, &traces, &cfg)
+        };
+        let quiet = {
+            let mut sys = StorageSystem::new(topo.clone(), policy).unwrap();
+            let mut faults = FaultState::new(FaultPlan::quiet(seed)).unwrap();
+            let rep = simulate_faulted(&mut sys, &traces, &cfg, &mut faults);
+            assert!(
+                !faults.stats().any(),
+                "case {case}: quiet plan injected a fault"
+            );
+            rep
+        };
+        assert_reports_bit_identical(&plain, &quiet, &format!("case {case} policy {policy:?}"));
     }
 }
 

@@ -26,8 +26,9 @@ fn main() {
     );
     for policy in PolicyKind::all() {
         let ov = RunOverrides::default();
-        let base = run_app(&workload, &topo, policy, Scheme::Default, &ov);
-        let opt = run_app(&workload, &topo, policy, Scheme::Inter, &ov);
+        let base =
+            flo::bench::exit_on_error(run_app(&workload, &topo, policy, Scheme::Default, &ov));
+        let opt = flo::bench::exit_on_error(run_app(&workload, &topo, policy, Scheme::Inter, &ov));
         println!(
             "{:<14} {:>10.0}ms {:>10.0}ms {:>10.3} {:>10.1} {:>10}",
             policy.name(),

@@ -67,7 +67,8 @@ fn main() {
     );
 
     let run = |traces| {
-        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive)
+            .expect("example topology is valid");
         simulate(&mut system, traces, &Default::default())
     };
     let r_before = run(&before);

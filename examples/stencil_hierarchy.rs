@@ -57,7 +57,8 @@ fn main() {
         let plan = run_layout_pass(&program, &topo, &opts);
         let run = |layouts: &[flo::core::FileLayout]| {
             let traces = generate_traces(&program, &opts.parallel, layouts, &topo);
-            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive)
+                .expect("example topology is valid");
             simulate(&mut system, &traces, &RunConfig::default()).execution_time_ms
         };
         let def = run(&default_layouts(&program));

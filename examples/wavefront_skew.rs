@@ -41,7 +41,7 @@ fn main() {
     println!("Step I partitioning row: d = {d:?}  (skewed — not a permutation)");
 
     // The reindexing baseline exhaustively profiles all 6 permutations.
-    let reindexed = best_reindexing(&program, &cfg, &topo);
+    let reindexed = best_reindexing(&program, &cfg, &topo).expect("example config is valid");
     if let FileLayout::DimPerm(p) = &reindexed.layouts[0] {
         println!(
             "best of {} profiled permutations: {:?} — still leaves wavefronts scattered",
@@ -51,7 +51,8 @@ fn main() {
 
     let run = |layouts: &[FileLayout]| {
         let traces = generate_traces(&program, &cfg, layouts, &topo);
-        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive)
+            .expect("example topology is valid");
         simulate(&mut system, &traces, &RunConfig::default())
     };
     let base = run(&default_layouts(&program));

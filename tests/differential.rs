@@ -17,7 +17,7 @@ use flo::workloads::{all, Scale};
 fn assert_identical(scheme: Scheme) {
     let topo = topology_for(Scale::Small);
     for w in all(Scale::Small) {
-        let prepared = prepare_run(&w, &topo, scheme, &RunOverrides::default());
+        let prepared = prepare_run(&w, &topo, scheme, &RunOverrides::default()).unwrap();
         let fast = generate_traces(&w.program, &prepared.cfg, &prepared.layouts, &topo);
         let slow = generate_traces_reference(&w.program, &prepared.cfg, &prepared.layouts, &topo);
         assert_eq!(

@@ -111,7 +111,7 @@ fn every_policy_simulates_the_suite() {
         let cfg = ParallelConfig::default_for(topo.compute_nodes);
         let traces = generate_traces(&w.program, &cfg, &default_layouts(&w.program), &topo);
         for policy in PolicyKind::all() {
-            let mut system = StorageSystem::new(topo.clone(), policy);
+            let mut system = StorageSystem::new(topo.clone(), policy).unwrap();
             if policy == PolicyKind::Karma {
                 system.set_karma_hints(&flo::bench::harness::karma_hints(&traces, &topo));
             }
@@ -145,7 +145,7 @@ fn both_layers_never_meaningfully_worse() {
             opts.target = target;
             let plan = run_layout_pass(&w.program, &topo, &opts);
             let traces = generate_traces(&w.program, &cfg, &plan.layouts, &topo);
-            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+            let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive).unwrap();
             simulate(&mut system, &traces, &RunConfig::default()).execution_time_ms
         };
         let both = stall(TargetLayers::Both);
@@ -173,7 +173,7 @@ fn pipeline_is_deterministic() {
         let cfg = ParallelConfig::default_for(topo.compute_nodes);
         let plan = run_layout_pass(&w.program, &topo, &PassOptions::default_for(&topo));
         let traces = generate_traces(&w.program, &cfg, &plan.layouts, &topo);
-        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive);
+        let mut system = StorageSystem::new(topo.clone(), PolicyKind::LruInclusive).unwrap();
         let r = simulate(&mut system, &traces, &RunConfig::default());
         (r.execution_time_ms, r.disk_reads, r.layers.io.hits)
     };
