@@ -1,5 +1,5 @@
 //! Microbenchmarks of the reproduction's hot paths (plain wall-clock
-//! timers via `flo_bench::timing` — the offline build has no criterion):
+//! timers via `flo_obs::timing` — the offline build has no criterion):
 //!
 //! * `step1_partition` — the Step I integer-Gaussian solver,
 //! * `algorithm1_table` — Algorithm 1's layout-table construction,

@@ -14,7 +14,7 @@
 //! phase-time deltas.
 
 use flo_bench::flostat::{
-    diff_layers, diff_phases, fault_table, layer_table, load, phase_table, Artifact,
+    diff_layers, diff_phases, fault_table, layer_table, load, phase_table, serve_table, Artifact,
 };
 use std::process::ExitCode;
 
@@ -39,6 +39,10 @@ fn main() -> ExitCode {
                 if art.sims.iter().any(|s| s.faults.any()) {
                     println!();
                     print!("{}", fault_table(&art));
+                }
+                if !art.serves.is_empty() {
+                    println!();
+                    print!("{}", serve_table(&art));
                 }
                 println!();
                 print!("{}", phase_table(&art));

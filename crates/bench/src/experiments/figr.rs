@@ -16,10 +16,10 @@
 //! (`BENCH_fault.json`) carries the same curves for regression tracking.
 
 use crate::experiments::r3;
-use crate::harness::{run_app_faulted, RunOverrides, Scheme};
+use crate::harness::{run_app_faulted_cached, RunOverrides, Scheme};
 use crate::tablefmt::Table;
-use crate::BenchError;
 use crate::{suite_from_env, topology_for};
+use crate::{BenchError, RunCaches};
 use flo_json::Json;
 use flo_obs::FaultCounters;
 use flo_sim::{FaultPlan, PolicyKind};
@@ -58,6 +58,7 @@ pub struct FigrOutput {
 }
 
 fn curve(
+    caches: &RunCaches,
     scale: Scale,
     policy: PolicyKind,
     scheme: Scheme,
@@ -71,7 +72,7 @@ fn curve(
     for &intensity in &INTENSITIES {
         let plan = FaultPlan::with_intensity(seed, intensity);
         let runs = crate::experiments::try_par_over_suite(&suite, |w| {
-            run_app_faulted(w, &topo, policy, scheme, &overrides, &plan)
+            run_app_faulted_cached(caches, w, &topo, policy, scheme, &overrides, &plan)
         })?;
         let exec_ms: f64 = runs.iter().map(|(out, _)| out.exec_ms()).sum();
         let mut stats = FaultCounters::default();
@@ -106,10 +107,15 @@ pub fn run(scale: Scale, seed: u64) -> Result<FigrOutput, BenchError> {
             "flushes",
         ],
     );
+    // One cache set across the whole sweep: the fault plan is part of
+    // the simulation key, so every (policy, scheme, intensity) point is
+    // memoized — a repeated point (and the shared trace generations
+    // underneath) replays from the cache.
+    let caches = RunCaches::new();
     let mut curves = Vec::new();
     for policy in POLICIES {
         for scheme in [Scheme::Default, Scheme::Inter] {
-            let points = curve(scale, policy, scheme, seed)?;
+            let points = curve(&caches, scale, policy, scheme, seed)?;
             for p in &points {
                 t.row(vec![
                     policy.name().to_string(),

@@ -82,6 +82,22 @@ pub struct PhaseAgg {
     pub total_ms: f64,
 }
 
+/// Accumulated `serve-request` events for one (request kind, app) pair —
+/// what `flod` writes per request when `FLO_METRICS=jsonl`.
+#[derive(Clone, Debug, Default)]
+pub struct ServeAgg {
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+    /// Summed queue-wait time, ms.
+    pub wait_ms: f64,
+    /// Summed execution time, ms.
+    pub exec_ms: f64,
+    /// Maximum queue depth observed at enqueue.
+    pub max_queue_depth: u64,
+}
+
 /// One loaded metrics artifact.
 #[derive(Clone, Debug)]
 pub struct Artifact {
@@ -91,6 +107,9 @@ pub struct Artifact {
     pub sims: Vec<SimEntry>,
     /// Phase-name → accumulated span time.
     pub phases: BTreeMap<String, PhaseAgg>,
+    /// (request kind, app) → accumulated serve-request activity; empty
+    /// for experiment artifacts, populated for `flod` runs.
+    pub serves: BTreeMap<(String, String), ServeAgg>,
 }
 
 /// Decode a `faults` object back into counters. Absent objects (healthy
@@ -134,6 +153,7 @@ pub fn load(text: &str) -> Result<Artifact, String> {
     let run = field_str(&events[0], "run")?;
     let mut sims = Vec::new();
     let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
+    let mut serves: BTreeMap<(String, String), ServeAgg> = BTreeMap::new();
     for e in &events[1..] {
         match e.get("event").and_then(Json::as_str) {
             Some("sim") | Some("sim-fault") => {
@@ -174,10 +194,29 @@ pub fn load(text: &str) -> Result<Artifact, String> {
                 agg.count += 1;
                 agg.total_ms += end - start;
             }
+            Some("serve-request") => {
+                let key = (field_str(e, "request")?, field_str(e, "app")?);
+                let agg = serves.entry(key).or_default();
+                if e.get("ok").and_then(Json::as_bool).unwrap_or(false) {
+                    agg.ok += 1;
+                } else {
+                    agg.errors += 1;
+                }
+                agg.wait_ms += e.get("wait_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                agg.exec_ms += e.get("exec_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                agg.max_queue_depth = agg
+                    .max_queue_depth
+                    .max(e.get("queue_depth").and_then(Json::as_f64).unwrap_or(0.0) as u64);
+            }
             _ => {} // meta handled above; sweep-stream and future kinds pass through
         }
     }
-    Ok(Artifact { run, sims, phases })
+    Ok(Artifact {
+        run,
+        sims,
+        phases,
+        serves,
+    })
 }
 
 fn pct(x: f64) -> String {
@@ -256,6 +295,37 @@ pub fn fault_table(a: &Artifact) -> Table {
             format!("{:.1}", s.faults.retry_ms),
             s.faults.cache_flushes.to_string(),
             s.faults.flushed_blocks.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Served-request table of one artifact: one row per (request kind,
+/// application). Empty for experiment artifacts; `flod` runs with
+/// `FLO_METRICS=jsonl` fill it.
+pub fn serve_table(a: &Artifact) -> Table {
+    let mut t = Table::new(
+        &format!("{} — served requests", a.run),
+        &[
+            "request",
+            "application",
+            "ok",
+            "errors",
+            "mean wait ms",
+            "mean exec ms",
+            "max queue",
+        ],
+    );
+    for ((kind, app), agg) in &a.serves {
+        let n = (agg.ok + agg.errors).max(1) as f64;
+        t.row(vec![
+            kind.clone(),
+            app.clone(),
+            agg.ok.to_string(),
+            agg.errors.to_string(),
+            format!("{:.3}", agg.wait_ms / n),
+            format!("{:.3}", agg.exec_ms / n),
+            agg.max_queue_depth.to_string(),
         ]);
     }
     t
@@ -485,6 +555,39 @@ mod tests {
         let healthy = load(&artifact("fig7c", "LRU", 80, 4.0)).unwrap();
         assert!(!healthy.sims[0].faults.any());
         assert_eq!(fault_table(&healthy).rows.len(), 0);
+    }
+
+    #[test]
+    fn loads_serve_request_events_and_renders_serve_table() {
+        let mut sink = JsonlSink::new("flod");
+        for (ok, wait, exec, depth) in [
+            (true, 1.0, 10.0, 3u64),
+            (true, 3.0, 2.0, 1),
+            (false, 0.5, 0.0, 5),
+        ] {
+            sink.push(
+                "serve-request",
+                Json::obj()
+                    .set("request", "simulate")
+                    .set("app", "qio")
+                    .set("queue_depth", depth)
+                    .set("wait_ms", wait)
+                    .set("exec_ms", exec)
+                    .set("ok", ok),
+            );
+        }
+        let art = load(&sink.render()).unwrap();
+        let agg = &art.serves[&("simulate".to_string(), "qio".to_string())];
+        assert_eq!(agg.ok, 2);
+        assert_eq!(agg.errors, 1);
+        assert_eq!(agg.max_queue_depth, 5);
+        assert!((agg.wait_ms - 4.5).abs() < 1e-12);
+        let rendered = format!("{}", serve_table(&art));
+        assert!(rendered.contains("simulate"), "{rendered}");
+        assert!(rendered.contains("1.500"), "mean wait: {rendered}");
+        // Experiment artifacts have no serve rows.
+        let healthy = load(&artifact("fig7c", "LRU", 80, 4.0)).unwrap();
+        assert!(healthy.serves.is_empty());
     }
 
     #[test]

@@ -271,7 +271,7 @@ fn run_with(
     let report = match caches {
         Some(c) => {
             let tkey = trace_key(workload, &prepared.cfg, &prepared.layouts, topo);
-            let skey = sim_key(tkey, topo, policy, &prepared.run_cfg);
+            let skey = sim_key(tkey, topo, policy, &prepared.run_cfg, None);
             match c.sims.get(skey) {
                 // A memoized simulation skips trace lookup entirely.
                 Some(r) => (*r).clone(),
@@ -305,13 +305,10 @@ pub fn run_app(
 
 /// Run `workload` under `scheme` with fault injection from `plan`.
 ///
-/// Fault runs are never memoized: the sim cache keys on
-/// (trace, topology, policy, run-config) identity and knows nothing about
-/// fault schedules, and sharing entries with healthy runs would poison
-/// both directions. Each call builds a fresh [`FaultState`], so the same
-/// plan replays the identical schedule — two calls with the same seed are
-/// bit-identical. Returns the outcome plus the fault counters (outages,
-/// failovers, straggler/retry charges, flushes) observed during the run.
+/// Each call builds a fresh [`FaultState`], so the same plan replays the
+/// identical schedule — two calls with the same seed are bit-identical.
+/// Returns the outcome plus the fault counters (outages, failovers,
+/// straggler/retry charges, flushes) observed during the run.
 pub fn run_app_faulted(
     workload: &Workload,
     topo: &Topology,
@@ -320,11 +317,80 @@ pub fn run_app_faulted(
     overrides: &RunOverrides,
     plan: &FaultPlan,
 ) -> Result<(RunOutcome, FaultCounters), BenchError> {
+    run_faulted_with(None, workload, topo, policy, scheme, overrides, plan)
+}
+
+/// [`run_app_faulted`] with full memoization. The fault plan (seed,
+/// window, rates, retry model) is folded into the simulation key — see
+/// [`sim_key`] — so a repeated (trace, topology, policy, plan)
+/// configuration replays from the cache instead of resimulating, while
+/// healthy runs and runs under any other plan keep distinct entries.
+/// The deterministic schedule makes this sound: a cache hit returns
+/// exactly the report and counters a fresh replay would produce.
+pub fn run_app_faulted_cached(
+    caches: &RunCaches,
+    workload: &Workload,
+    topo: &Topology,
+    policy: PolicyKind,
+    scheme: Scheme,
+    overrides: &RunOverrides,
+    plan: &FaultPlan,
+) -> Result<(RunOutcome, FaultCounters), BenchError> {
+    run_faulted_with(
+        Some(caches),
+        workload,
+        topo,
+        policy,
+        scheme,
+        overrides,
+        plan,
+    )
+}
+
+fn run_faulted_with(
+    caches: Option<&RunCaches>,
+    workload: &Workload,
+    topo: &Topology,
+    policy: PolicyKind,
+    scheme: Scheme,
+    overrides: &RunOverrides,
+    plan: &FaultPlan,
+) -> Result<(RunOutcome, FaultCounters), BenchError> {
     let prepared = prepare_run(workload, topo, scheme, overrides)?;
-    let traces = generate_traces(&workload.program, &prepared.cfg, &prepared.layouts, topo);
+    let outcome = |report: SimReport| RunOutcome {
+        report,
+        optimized_fraction: prepared.optimized_fraction,
+        compile_ms: prepared.compile_ms,
+    };
+    let (tkey, fkey) = match caches {
+        Some(_) => {
+            let tkey = trace_key(workload, &prepared.cfg, &prepared.layouts, topo);
+            (
+                tkey,
+                sim_key(tkey, topo, policy, &prepared.run_cfg, Some(plan)),
+            )
+        }
+        None => (0, 0),
+    };
+    if let Some(c) = caches {
+        if let Some(hit) = c.faulted_get(fkey) {
+            return Ok((outcome(hit.0.clone()), hit.1));
+        }
+    }
+    let generate = || generate_traces(&workload.program, &prepared.cfg, &prepared.layouts, topo);
+    let traces: Arc<Vec<ThreadTrace>> = match caches {
+        Some(c) => c.traces.traces_for_key(tkey, generate),
+        None => Arc::new(generate()),
+    };
     let mut system = StorageSystem::new(topo.clone(), policy)?;
     if policy == PolicyKind::Karma {
-        system.set_karma_hints(&karma_hints(&traces, topo));
+        match caches {
+            Some(c) => {
+                system
+                    .set_karma_hints(&c.karma_hints_for(tkey, topo, || karma_hints(&traces, topo)));
+            }
+            None => system.set_karma_hints(&karma_hints(&traces, topo)),
+        }
     }
     let mut faults = FaultState::new(*plan)?;
     let report = if metrics::enabled() {
@@ -351,14 +417,10 @@ pub fn run_app_faulted(
         simulate_faulted(&mut system, &traces, &prepared.run_cfg, &mut faults)
     };
     let stats = *faults.stats();
-    Ok((
-        RunOutcome {
-            report,
-            optimized_fraction: prepared.optimized_fraction,
-            compile_ms: prepared.compile_ms,
-        },
-        stats,
-    ))
+    if let Some(c) = caches {
+        c.faulted_insert(fkey, report.clone(), stats);
+    }
+    Ok((outcome(report), stats))
 }
 
 /// [`run_app`] with trace and simulation memoization: repeated
@@ -442,7 +504,7 @@ pub fn sweep_outcomes(
     let skeys: Vec<u64> = prepared
         .iter()
         .zip(&tkeys)
-        .map(|((t, pr), &tk)| sim_key(tk, t, policy, &pr.run_cfg))
+        .map(|((t, pr), &tk)| sim_key(tk, t, policy, &pr.run_cfg, None))
         .collect();
     let mut reports: Vec<Option<SimReport>> = skeys
         .iter()
@@ -702,5 +764,62 @@ mod tests {
         let healthy = run_app(&w, &topo, PolicyKind::LruInclusive, Scheme::Default, &ov).unwrap();
         assert_eq!(q.exec_ms().to_bits(), healthy.exec_ms().to_bits());
         assert!(!sq.any());
+    }
+
+    #[test]
+    fn cached_faulted_run_matches_uncached_and_memoizes() {
+        let w = by_name("qio", Scale::Small).unwrap();
+        let topo = small_topo();
+        let ov = RunOverrides::default();
+        let plan = flo_sim::FaultPlan::default_degraded(11);
+        let caches = RunCaches::new();
+        let (direct, sd) =
+            run_app_faulted(&w, &topo, PolicyKind::Karma, Scheme::Inter, &ov, &plan).unwrap();
+        let (first, s1) = run_app_faulted_cached(
+            &caches,
+            &w,
+            &topo,
+            PolicyKind::Karma,
+            Scheme::Inter,
+            &ov,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(direct.report, first.report, "cached path must match");
+        assert_eq!(sd, s1);
+        let misses = caches.total_misses();
+        let (second, s2) = run_app_faulted_cached(
+            &caches,
+            &w,
+            &topo,
+            PolicyKind::Karma,
+            Scheme::Inter,
+            &ov,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(first.report, second.report);
+        assert_eq!(s1, s2);
+        assert_eq!(
+            caches.total_misses(),
+            misses,
+            "replay must be served from the cache"
+        );
+        // A different intensity is a different key, not a poisoned hit.
+        let other = flo_sim::FaultPlan::with_intensity(11, 0.5);
+        let (third, s3) = run_app_faulted_cached(
+            &caches,
+            &w,
+            &topo,
+            PolicyKind::Karma,
+            Scheme::Inter,
+            &ov,
+            &other,
+        )
+        .unwrap();
+        assert!(
+            third.report != first.report || s3 != s1,
+            "distinct plans must not share cache entries"
+        );
     }
 }

@@ -32,11 +32,12 @@ pub mod harness;
 pub mod legacy;
 pub mod metrics;
 pub mod tablefmt;
-pub mod timing;
 
-pub use cache::{RunCaches, SimCache, TraceCache};
+pub use cache::{RunCaches, ShardedLru, SimCache, TraceCache};
 pub use error::{exit_on_error, BenchError};
-pub use harness::{run_app, run_app_cached, RunOutcome, Scheme};
+pub use harness::{
+    run_app, run_app_cached, run_app_faulted, run_app_faulted_cached, RunOutcome, Scheme,
+};
 pub use tablefmt::Table;
 
 use flo_workloads::{Scale, Workload};
@@ -100,15 +101,13 @@ pub fn suite_filtered(scale: Scale, filter: Option<&str>) -> Vec<Workload> {
 /// (`lru` | `demote` | `karma` | `mq`). `None` when unset; unrecognized
 /// values warn and are ignored, mirroring `FLO_SCALE`.
 pub fn policy_from_env() -> Option<flo_sim::PolicyKind> {
-    use flo_sim::PolicyKind;
     match std::env::var("FLO_POLICY").as_deref() {
-        Ok("lru") => Some(PolicyKind::LruInclusive),
-        Ok("demote") => Some(PolicyKind::DemoteLru),
-        Ok("karma") => Some(PolicyKind::Karma),
-        Ok("mq") => Some(PolicyKind::MqSecondLevel),
-        Ok(other) => {
-            eprintln!("warning: unrecognized FLO_POLICY={other:?} (use lru|demote|karma|mq)");
-            None
+        Ok(s) => {
+            let parsed = flo_sim::PolicyKind::parse(s);
+            if parsed.is_none() {
+                eprintln!("warning: unrecognized FLO_POLICY={s:?} (use lru|demote|karma|mq)");
+            }
+            parsed
         }
         Err(_) => None,
     }

@@ -56,14 +56,12 @@ pub fn pending() -> usize {
     RECORDS.lock().unwrap().len()
 }
 
-/// Drain parked records (ordered deterministically) and the span
-/// timeline into `results/metrics/<name>.jsonl`. Returns the path on
-/// success; `None` (and nothing written or drained) when metrics are
-/// off.
-pub fn write_artifact(name: &str) -> Option<PathBuf> {
-    if !enabled() {
-        return None;
-    }
+/// Drain parked records as `(kind, payload)` artifact events, in the
+/// stable order [`write_artifact`] emits them. Hosts that interleave
+/// harness records into their own artifact — the `flod` server mixes
+/// them with its per-request events — use this instead of
+/// [`write_artifact`].
+pub fn drain_events() -> Vec<(&'static str, Json)> {
     let mut records: Vec<SimRecord> = std::mem::take(&mut *RECORDS.lock().unwrap());
     // Experiments run the suite in parallel; fix a stable order so two
     // runs of the same experiment produce comparable artifacts.
@@ -85,19 +83,35 @@ pub fn write_artifact(name: &str) -> Option<PathBuf> {
                 b.storage_cache_blocks,
             ))
     });
+    records
+        .into_iter()
+        .map(|r| {
+            (
+                r.kind,
+                Json::obj()
+                    .set("app", r.app.as_str())
+                    .set("scheme", r.scheme)
+                    .set("policy", r.policy)
+                    .set("io_cache_blocks", r.io_cache_blocks)
+                    .set("storage_cache_blocks", r.storage_cache_blocks)
+                    .set("metrics", r.metrics)
+                    .set("report", r.report),
+            )
+        })
+        .collect()
+}
+
+/// Drain parked records (ordered deterministically) and the span
+/// timeline into `results/metrics/<name>.jsonl`. Returns the path on
+/// success; `None` (and nothing written or drained) when metrics are
+/// off.
+pub fn write_artifact(name: &str) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
     let mut sink = JsonlSink::new(name);
-    for r in records {
-        sink.push(
-            r.kind,
-            Json::obj()
-                .set("app", r.app.as_str())
-                .set("scheme", r.scheme)
-                .set("policy", r.policy)
-                .set("io_cache_blocks", r.io_cache_blocks)
-                .set("storage_cache_blocks", r.storage_cache_blocks)
-                .set("metrics", r.metrics)
-                .set("report", r.report),
-        );
+    for (kind, payload) in drain_events() {
+        sink.push(kind, payload);
     }
     for s in timeline().drain() {
         sink.push("span", s.to_json());

@@ -7,10 +7,11 @@
 //! closed-form; the paper's inter-node layout is carried as the explicit
 //! address table Algorithm 1 constructs at compile time.
 
+use flo_json::Json;
 use flo_polyhedral::DataSpace;
 
 /// A file layout for one array.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FileLayout {
     /// Row-major (the paper's default layout).
     RowMajor,
@@ -26,7 +27,7 @@ pub enum FileLayout {
 }
 
 /// The table-backed hierarchical layout produced by Algorithm 1.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HierLayout {
     /// `table[row_major_index(a)]` = file offset of element `a`.
     pub table: Vec<u64>,
@@ -140,6 +141,66 @@ impl FileLayout {
             FileLayout::Hierarchical(_) => "inter-node hierarchical".into(),
         }
     }
+
+    /// Serialize to JSON — the wire form `flo-serve` layout responses
+    /// use. Deterministic: the same layout always renders to the same
+    /// bytes (hierarchical tables are emitted in index order).
+    pub fn to_json(&self) -> Json {
+        match self {
+            FileLayout::RowMajor => Json::obj().set("kind", "row-major"),
+            FileLayout::ColMajor => Json::obj().set("kind", "col-major"),
+            FileLayout::DimPerm(p) => Json::obj().set("kind", "dim-perm").set(
+                "perm",
+                p.iter().map(|&d| Json::from(d as u64)).collect::<Vec<_>>(),
+            ),
+            FileLayout::Hierarchical(h) => Json::obj()
+                .set("kind", "hierarchical")
+                .set("file_elems", h.file_elems)
+                .set(
+                    "table",
+                    h.table.iter().map(|&o| Json::from(o)).collect::<Vec<_>>(),
+                ),
+        }
+    }
+
+    /// Inverse of [`FileLayout::to_json`].
+    pub fn from_json(json: &Json) -> Result<FileLayout, String> {
+        let kind = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("layout lacks `kind`")?;
+        match kind {
+            "row-major" => Ok(FileLayout::RowMajor),
+            "col-major" => Ok(FileLayout::ColMajor),
+            "dim-perm" => {
+                let perm = json
+                    .get("perm")
+                    .and_then(Json::as_arr)
+                    .ok_or("dim-perm layout lacks `perm`")?
+                    .iter()
+                    .map(|v| v.as_u64().map(|d| d as usize))
+                    .collect::<Option<Vec<usize>>>()
+                    .ok_or("`perm` entries must be non-negative integers")?;
+                Ok(FileLayout::DimPerm(perm))
+            }
+            "hierarchical" => {
+                let file_elems = json
+                    .get("file_elems")
+                    .and_then(Json::as_u64)
+                    .ok_or("hierarchical layout lacks `file_elems`")?;
+                let table = json
+                    .get("table")
+                    .and_then(Json::as_arr)
+                    .ok_or("hierarchical layout lacks `table`")?
+                    .iter()
+                    .map(Json::as_u64)
+                    .collect::<Option<Vec<u64>>>()
+                    .ok_or("`table` entries must be non-negative integers")?;
+                Ok(FileLayout::Hierarchical(HierLayout { table, file_elems }))
+            }
+            other => Err(format!("unknown layout kind {other:?}")),
+        }
+    }
 }
 
 fn heap_permute(cur: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
@@ -164,6 +225,27 @@ mod tests {
 
     fn space() -> DataSpace {
         DataSpace::new(vec![3, 4])
+    }
+
+    #[test]
+    fn json_round_trips_every_kind() {
+        let layouts = [
+            FileLayout::RowMajor,
+            FileLayout::ColMajor,
+            FileLayout::DimPerm(vec![2, 0, 1]),
+            FileLayout::Hierarchical(HierLayout {
+                table: vec![0, 4, 1, 5, 2, 6, 3, 7],
+                file_elems: 8,
+            }),
+        ];
+        for l in &layouts {
+            let back = FileLayout::from_json(&l.to_json()).unwrap();
+            assert_eq!(&back, l, "round trip of {}", l.describe());
+            // The wire form is deterministic.
+            assert_eq!(back.to_json().to_string(), l.to_json().to_string());
+        }
+        assert!(FileLayout::from_json(&Json::obj().set("kind", "nope")).is_err());
+        assert!(FileLayout::from_json(&Json::obj()).is_err());
     }
 
     #[test]

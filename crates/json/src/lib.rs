@@ -68,6 +68,26 @@ impl Json {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that is
+    /// one (exact: rejects fractions, negatives, and values past 2^53,
+    /// where `f64` stops round-tripping integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 9_007_199_254_740_992.0 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// The value as an array, if it is one.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -447,6 +467,18 @@ mod tests {
             v.to_string(),
             r#"{"name":"swim","values":[1,2.5],"ok":true}"#
         );
+    }
+
+    #[test]
+    fn typed_accessors() {
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Num(1.0).as_bool(), None);
+        assert_eq!(Json::Num(7.0).as_u64(), Some(7));
+        assert_eq!(Json::Num(0.0).as_u64(), Some(0));
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Str("7".into()).as_u64(), None);
+        assert_eq!(Json::Num(1e16).as_u64(), None, "past 2^53 is rejected");
     }
 
     #[test]

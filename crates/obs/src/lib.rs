@@ -31,7 +31,8 @@
 //!   summaries and A/B diffs.
 //!
 //! [`timing`] carries the wall-clock micro-benchmark helpers that used to
-//! live in `flo_bench::timing` (that module now shims here).
+//! live in `flo_bench::timing` (the shim there is gone; this is the one
+//! home).
 
 pub mod hist;
 pub mod metrics;

@@ -3,9 +3,9 @@
 //! then repeats the closure until a time budget is spent, reporting the
 //! mean and minimum iteration time.
 //!
-//! Moved here from `flo_bench::timing` (which now shims to this module)
-//! so coarse phase spans ([`crate::span()`]) and fine-grained iteration
-//! timing share one home. Times come from [`Instant`], a monotonic
+//! Moved here from `flo_bench::timing` (whose deprecated shims have
+//! since been removed) so coarse phase spans ([`crate::span()`]) and
+//! fine-grained iteration timing share one home. Times come from [`Instant`], a monotonic
 //! clock, and the mean is computed over the *timed iterations only* —
 //! harness bookkeeping between iterations no longer inflates it.
 

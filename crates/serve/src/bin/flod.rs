@@ -1,0 +1,35 @@
+//! `flod` — the layout-optimization daemon.
+//!
+//! ```text
+//! FLO_LISTEN=/tmp/flod.sock FLO_WORKERS=4 FLO_CACHE_MB=256 flod
+//! ```
+//!
+//! Listens on a Unix socket (default `<tmp>/flod.sock`; `FLO_LISTEN=tcp:HOST:PORT`
+//! for TCP), serves `layout` / `simulate` / `sweep` requests from a fixed
+//! worker pool over one shared, LRU-bounded cross-request cache, and
+//! drains gracefully on SIGTERM/SIGINT or a `shutdown` request. With
+//! `FLO_METRICS=jsonl`, per-request metrics land in
+//! `results/metrics/flod.jsonl` for `flostat`.
+
+use flo_serve::{server, signal, ServerConfig, Service};
+use std::sync::Arc;
+
+fn main() {
+    signal::reset();
+    signal::install();
+    let cfg = ServerConfig::from_env();
+    let service = Arc::new(Service::from_env());
+    eprintln!(
+        "flod: listening on {} ({} workers, queue {})",
+        cfg.listen.describe(),
+        cfg.workers,
+        cfg.queue_capacity
+    );
+    match server::run(&cfg, service) {
+        Ok(()) => eprintln!("flod: drained, bye"),
+        Err(e) => {
+            eprintln!("flod: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! `floq` — command-line client for `flod`.
+//!
+//! ```text
+//! floq ping
+//! floq stats
+//! floq layout   --app qio  --scale small --target both
+//! floq simulate --app swim --scale small --scheme inter --policy karma
+//! floq simulate --app qio  --fault-seed 7 --fault-intensity 1.0
+//! floq sweep    --app sar  --points 24:48,48:96 --policy lru
+//! floq shutdown
+//! ```
+//!
+//! The daemon address comes from `--socket PATH` / `--tcp ADDR`, then
+//! `FLO_LISTEN`, then the default socket. `--direct` skips the daemon
+//! and executes the request in-process over a fresh cache — the result
+//! JSON is byte-identical to the served one, which is what the CI smoke
+//! job compares. The result (or a typed error) prints to stdout as one
+//! compact JSON line.
+
+use flo_core::TargetLayers;
+use flo_serve::protocol::{parse_scheme, FaultSpec, Request, ServeError};
+use flo_serve::{Client, Listen, Service};
+use flo_sim::{PolicyKind, SweepPoint};
+use flo_workloads::Scale;
+
+struct Args {
+    listen: Option<Listen>,
+    direct: bool,
+    deadline_ms: Option<u64>,
+    kind: String,
+    app: Option<String>,
+    scale: Scale,
+    scheme: flo_bench::Scheme,
+    policy: PolicyKind,
+    target: TargetLayers,
+    fault_seed: Option<u64>,
+    fault_intensity: f64,
+    points: Vec<SweepPoint>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: floq [--socket PATH | --tcp ADDR] [--direct] [--deadline-ms N] KIND [options]
+  KIND: ping | stats | shutdown | layout | simulate | sweep
+  --app NAME            application (layout/simulate/sweep)
+  --scale small|full    workload scale (default small)
+  --scheme NAME         default|inter|compmap|reindex (default inter)
+  --policy NAME         lru|demote|karma|mq (default lru)
+  --target io|storage|both   layout target layers (default both)
+  --fault-seed N        enable fault injection with this seed
+  --fault-intensity X   fault intensity (default 1.0)
+  --points IO:ST,...    sweep capacity points"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: None,
+        direct: false,
+        deadline_ms: None,
+        kind: String::new(),
+        app: None,
+        scale: Scale::Small,
+        scheme: flo_bench::Scheme::Inter,
+        policy: PolicyKind::LruInclusive,
+        target: TargetLayers::Both,
+        fault_seed: None,
+        fault_intensity: 1.0,
+        points: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("floq: {flag} needs a value");
+            std::process::exit(2)
+        })
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => args.listen = Some(Listen::Unix(need(&mut it, "--socket").into())),
+            "--tcp" => args.listen = Some(Listen::Tcp(need(&mut it, "--tcp"))),
+            "--direct" => args.direct = true,
+            "--deadline-ms" => {
+                args.deadline_ms = Some(parse_num(&need(&mut it, "--deadline-ms"), "--deadline-ms"))
+            }
+            "--app" => args.app = Some(need(&mut it, "--app")),
+            "--scale" => {
+                args.scale = match need(&mut it, "--scale").as_str() {
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => die(&format!("unknown scale {other:?}")),
+                }
+            }
+            "--scheme" => {
+                let s = need(&mut it, "--scheme");
+                args.scheme =
+                    parse_scheme(&s).unwrap_or_else(|| die(&format!("unknown scheme {s:?}")));
+            }
+            "--policy" => {
+                let p = need(&mut it, "--policy");
+                args.policy =
+                    PolicyKind::parse(&p).unwrap_or_else(|| die(&format!("unknown policy {p:?}")));
+            }
+            "--target" => {
+                args.target = match need(&mut it, "--target").as_str() {
+                    "io" => TargetLayers::IoOnly,
+                    "storage" => TargetLayers::StorageOnly,
+                    "both" => TargetLayers::Both,
+                    other => die(&format!("unknown target {other:?}")),
+                }
+            }
+            "--fault-seed" => {
+                args.fault_seed = Some(parse_num(&need(&mut it, "--fault-seed"), "--fault-seed"))
+            }
+            "--fault-intensity" => {
+                let v = need(&mut it, "--fault-intensity");
+                args.fault_intensity = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad intensity {v:?}")));
+            }
+            "--points" => {
+                for part in need(&mut it, "--points").split(',') {
+                    let Some((io, st)) = part.split_once(':') else {
+                        die(&format!("bad point {part:?} (want IO:ST)"))
+                    };
+                    args.points.push(SweepPoint {
+                        io_cache_blocks: parse_num(io, "--points") as usize,
+                        storage_cache_blocks: parse_num(st, "--points") as usize,
+                    });
+                }
+            }
+            "--help" | "-h" => usage(),
+            kind if !kind.starts_with('-') && args.kind.is_empty() => args.kind = kind.to_string(),
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    if args.kind.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn parse_num(s: &str, flag: &str) -> u64 {
+    s.trim()
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: {s:?} is not an integer")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("floq: {msg}");
+    std::process::exit(2)
+}
+
+fn build_request(args: &Args) -> Request {
+    let app = || {
+        args.app
+            .clone()
+            .unwrap_or_else(|| die("this request kind needs --app"))
+    };
+    match args.kind.as_str() {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "layout" => Request::Layout {
+            app: app(),
+            scale: args.scale,
+            target: args.target,
+        },
+        "simulate" => Request::Simulate {
+            app: app(),
+            scale: args.scale,
+            scheme: args.scheme,
+            policy: args.policy,
+            fault: args.fault_seed.map(|seed| FaultSpec {
+                seed,
+                intensity: args.fault_intensity,
+            }),
+        },
+        "sweep" => {
+            if args.points.is_empty() {
+                die("sweep needs --points IO:ST,...");
+            }
+            Request::Sweep {
+                app: app(),
+                scale: args.scale,
+                scheme: args.scheme,
+                policy: args.policy,
+                points: args.points.clone(),
+            }
+        }
+        other => die(&format!("unknown request kind {other:?}")),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let req = build_request(&args);
+    let result = if args.direct {
+        Service::from_env().execute(&req)
+    } else {
+        let listen = args
+            .listen
+            .clone()
+            .unwrap_or_else(|| match std::env::var("FLO_LISTEN") {
+                Ok(s) if !s.trim().is_empty() => Listen::parse(s.trim()),
+                _ => Listen::default_socket(),
+            });
+        match Client::connect(&listen) {
+            Ok(mut client) => client.call(&req, args.deadline_ms),
+            Err(e) => Err(ServeError::Internal(format!(
+                "cannot connect to {}: {e}",
+                listen.describe()
+            ))),
+        }
+    };
+    match result {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            eprintln!("floq: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! `servebench` — measures what the shared cross-request cache buys.
+//!
+//! Runs the same mixed request batch twice against an in-process `flod`
+//! (over a temp Unix socket, with concurrent clients):
+//!
+//! * **cold** — cache budget 0, so the service retains nothing and every
+//!   request recomputes (the no-shared-cache baseline);
+//! * **warm** — the normal budget, so repeated keys are served from the
+//!   shared cache after their first computation.
+//!
+//! Responses must be byte-identical across the two phases (determinism
+//! is the contract that makes the cache safe; see DESIGN.md §2.9). The
+//! aggregate-throughput ratio is written to `BENCH_serve.json`; with
+//! `--gate X` the run fails unless the speedup reaches `X` (the CI
+//! serve-smoke job gates at 2.0).
+//!
+//! ```text
+//! servebench [--repeats N] [--clients N] [--workers N] [--gate X]
+//! ```
+
+use flo_obs::sink::write_json_artifact;
+use flo_serve::protocol::Request;
+use flo_serve::{server, signal, Client, Listen, ServerConfig, Service};
+use flo_sim::PolicyKind;
+use flo_workloads::Scale;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Opts {
+    repeats: usize,
+    clients: usize,
+    workers: usize,
+    budget_mb: usize,
+    gate: Option<f64>,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        repeats: 6,
+        clients: 4,
+        workers: 4,
+        budget_mb: 256,
+        gate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("servebench: {flag} needs a value");
+                std::process::exit(2)
+            })
+        };
+        match a.as_str() {
+            "--repeats" => opts.repeats = val("--repeats").parse().expect("--repeats"),
+            "--clients" => opts.clients = val("--clients").parse().expect("--clients"),
+            "--workers" => opts.workers = val("--workers").parse().expect("--workers"),
+            "--budget-mb" => opts.budget_mb = val("--budget-mb").parse().expect("--budget-mb"),
+            "--gate" => opts.gate = Some(val("--gate").parse().expect("--gate")),
+            other => {
+                eprintln!("servebench: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// The repeated-key batch: a few applications under two schemes, each
+/// requested `repeats` times — exactly the shape a sweep-running client
+/// fleet produces, and the shape the shared cache exists for.
+fn batch(repeats: usize) -> Vec<Request> {
+    let apps = ["qio", "swim", "s3asim"];
+    let schemes = [flo_bench::Scheme::Default, flo_bench::Scheme::Inter];
+    let mut reqs = Vec::new();
+    for _ in 0..repeats {
+        for app in apps {
+            for scheme in schemes {
+                reqs.push(Request::Simulate {
+                    app: app.to_string(),
+                    scale: Scale::Small,
+                    scheme,
+                    policy: PolicyKind::LruInclusive,
+                    fault: None,
+                });
+            }
+        }
+    }
+    reqs
+}
+
+/// Serve `requests` from `clients` concurrent connections against a
+/// fresh server whose caches hold `budget_bytes`. Returns the wall time
+/// of the client phase and every response, indexed like `requests`.
+fn run_phase(
+    budget_bytes: usize,
+    workers: usize,
+    clients: usize,
+    listen: &Listen,
+    requests: &[Request],
+) -> (f64, Vec<String>) {
+    signal::reset();
+    let cfg = ServerConfig {
+        listen: listen.clone(),
+        workers,
+        queue_capacity: workers * 8,
+        run_name: "servebench".to_string(),
+    };
+    let service = Arc::new(Service::with_budget(budget_bytes));
+    let server = {
+        let cfg = cfg.clone();
+        std::thread::spawn(move || server::run(&cfg, service))
+    };
+    // Wait for the bind before starting the clock.
+    Client::connect_retry(listen, Duration::from_secs(10)).expect("daemon did not come up");
+    let started = Instant::now();
+    let responses: Vec<(usize, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(listen).expect("client connect");
+                    let mut got = Vec::new();
+                    for (i, req) in requests.iter().enumerate() {
+                        if i % clients != c {
+                            continue;
+                        }
+                        let result = client
+                            .call(req, None)
+                            .unwrap_or_else(|e| panic!("request {i} failed: {e}"));
+                        got.push((i, result.to_string()));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut client = Client::connect(listen).expect("shutdown connect");
+    client.call(&Request::Shutdown, None).expect("shutdown");
+    server
+        .join()
+        .expect("server thread")
+        .expect("server exited with an error");
+    let mut ordered = vec![String::new(); requests.len()];
+    for (i, r) in responses {
+        ordered[i] = r;
+    }
+    (elapsed, ordered)
+}
+
+fn main() {
+    let opts = parse_opts();
+    let listen =
+        Listen::Unix(std::env::temp_dir().join(format!("flod-bench-{}.sock", std::process::id())));
+    let requests = batch(opts.repeats);
+    println!(
+        "servebench: {} requests, {} clients, {} workers",
+        requests.len(),
+        opts.clients,
+        opts.workers
+    );
+
+    let (cold_s, cold) = run_phase(0, opts.workers, opts.clients, &listen, &requests);
+    let (warm_s, warm) = run_phase(
+        opts.budget_mb << 20,
+        opts.workers,
+        opts.clients,
+        &listen,
+        &requests,
+    );
+
+    let identical = cold == warm;
+    if !identical {
+        eprintln!("servebench: FAIL — cold and warm responses differ");
+    }
+    let cold_rps = requests.len() as f64 / cold_s;
+    let warm_rps = requests.len() as f64 / warm_s;
+    let speedup = warm_rps / cold_rps;
+    println!("cold: {cold_s:.3}s ({cold_rps:.1} req/s)");
+    println!("warm: {warm_s:.3}s ({warm_rps:.1} req/s)");
+    println!("speedup: {speedup:.2}x (shared-cache hits on repeated keys)");
+
+    let doc = flo_json::Json::obj()
+        .set("scale", "small")
+        .set("requests", requests.len())
+        .set("repeats", opts.repeats)
+        .set("clients", opts.clients)
+        .set("workers", opts.workers)
+        .set("budget_mb", opts.budget_mb)
+        .set("cold_s", cold_s)
+        .set("warm_s", warm_s)
+        .set("cold_rps", cold_rps)
+        .set("warm_rps", warm_rps)
+        .set("speedup", speedup)
+        .set("identical", identical);
+    let path = Path::new("BENCH_serve.json");
+    match write_json_artifact(path, doc) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("servebench: cannot write {}: {e}", path.display()),
+    }
+
+    if !identical {
+        std::process::exit(1);
+    }
+    if let Some(gate) = opts.gate {
+        if speedup < gate {
+            eprintln!("servebench: FAIL — speedup {speedup:.2}x below the {gate:.2}x gate");
+            std::process::exit(1);
+        }
+        println!("gate: {speedup:.2}x >= {gate:.2}x, ok");
+    }
+}

@@ -1,0 +1,116 @@
+//! The blocking client `floq` (and the test suites) use to talk to
+//! `flod`: connect, frame a request, read the response envelope.
+
+use crate::protocol::{read_frame, write_frame, FrameError, Request, ServeError};
+use crate::server::Listen;
+use flo_json::Json;
+use std::io;
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A connected client.
+pub struct Client {
+    conn: Conn,
+    next_id: u64,
+}
+
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(listen: &Listen) -> io::Result<Client> {
+        let conn = match listen {
+            Listen::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+            Listen::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
+        };
+        Ok(Client { conn, next_id: 1 })
+    }
+
+    /// [`Client::connect`] retried until the daemon's socket appears —
+    /// for harnesses that just spawned `flod` and must wait for the bind.
+    pub fn connect_retry(listen: &Listen, total_wait: Duration) -> io::Result<Client> {
+        let deadline = std::time::Instant::now() + total_wait;
+        loop {
+            match Client::connect(listen) {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Send one request and wait for its response envelope. Returns the
+    /// `result` payload, or the server's typed error.
+    pub fn call(&mut self, req: &Request, deadline_ms: Option<u64>) -> Result<Json, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.conn, &req.to_envelope(id, deadline_ms))
+            .map_err(|e| ServeError::Protocol(format!("cannot send request: {e}")))?;
+        let resp = read_frame(&mut self.conn, &|| false).map_err(|e| match e {
+            FrameError::Closed => ServeError::Protocol("server closed the connection".into()),
+            other => ServeError::Protocol(other.to_string()),
+        })?;
+        let got = resp.get("id").and_then(Json::as_u64);
+        if got != Some(id) {
+            return Err(ServeError::Protocol(format!(
+                "response id {got:?} does not match request id {id}"
+            )));
+        }
+        match resp.get("ok").and_then(Json::as_bool) {
+            Some(true) => resp
+                .get("result")
+                .cloned()
+                .ok_or_else(|| ServeError::Protocol("ok response lacks `result`".into())),
+            Some(false) => {
+                let err = resp.get("error");
+                let kind = err
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("internal");
+                let message = err
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Err(match kind {
+                    "protocol" => ServeError::Protocol(message),
+                    "bad-request" => ServeError::BadRequest(message),
+                    "busy" => ServeError::Busy,
+                    "deadline" => ServeError::DeadlineExceeded,
+                    "shutting-down" => ServeError::ShuttingDown,
+                    _ => ServeError::Internal(message),
+                })
+            }
+            None => Err(ServeError::Protocol("response lacks `ok`".into())),
+        }
+    }
+}

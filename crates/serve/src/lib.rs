@@ -1,0 +1,39 @@
+//! # flo-serve
+//!
+//! A concurrent layout-optimization service over the experiment harness:
+//! the `flod` daemon serves `layout`, `simulate` and `sweep` requests on
+//! a Unix socket (or TCP via `FLO_LISTEN=tcp:...`) from a fixed worker
+//! pool behind a bounded, backpressured job queue; `floq` is its
+//! command-line client; `servebench` measures the throughput the shared
+//! cross-request cache buys.
+//!
+//! The load-bearing property is *bit-identity*: a served response's
+//! `result` field is byte-for-byte the JSON the same computation
+//! produces in-process, because both paths run
+//! [`service::Service::execute`] over the same deterministic harness
+//! (`floq --direct` and the differential suite exercise exactly this).
+//! The shared [`flo_bench::RunCaches`] — promoted from per-binary locals
+//! to service scope, LRU-bounded by `FLO_CACHE_MB` — therefore never
+//! changes an answer, only its latency.
+//!
+//! Module map:
+//!
+//! * [`protocol`] — framing, envelopes, typed [`protocol::ServeError`]s;
+//! * [`service`] — request execution over the shared caches;
+//! * [`server`] — listener, worker pool, queue, graceful drain;
+//! * [`client`] — the blocking client;
+//! * [`signal`] — SIGTERM/SIGINT → drain flag, without libc.
+//!
+//! See README.md (quick start), DESIGN.md §2.9 (architecture and the
+//! shared-cache consistency argument) and EXPERIMENTS.md (servebench).
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod signal;
+
+pub use client::Client;
+pub use protocol::{Request, ServeError, PROTOCOL_VERSION};
+pub use server::{Listen, ServerConfig};
+pub use service::Service;

@@ -1,0 +1,739 @@
+//! The wire protocol `flod` speaks: versioned, length-prefixed JSON
+//! frames built on the panic-free [`flo_json`] parser.
+//!
+//! A frame is a 4-byte little-endian length `n` followed by `n` bytes of
+//! UTF-8 JSON. Requests and responses are JSON objects carrying the
+//! protocol version; mismatched versions, oversized frames, truncated
+//! frames and malformed JSON all surface as *typed* [`ServeError`]s — a
+//! hostile or buggy peer can never panic the server (see the
+//! `protocol_fuzz` suite).
+//!
+//! Request envelope:
+//!
+//! ```json
+//! {"v":1, "id":7, "kind":"simulate", "app":"qio", "scale":"small",
+//!  "scheme":"inter", "policy":"karma", "deadline_ms":5000}
+//! ```
+//!
+//! Response envelope: `{"v":1, "id":7, "ok":true, "result":{...}}` on
+//! success, `{"v":1, "id":7, "ok":false, "error":{"kind":"busy",
+//! "message":"..."}}` on failure. The `result` field of a served
+//! response is **bit-identical** to the JSON the same computation
+//! produces in-process (see `Service::execute` and the `differential`
+//! suite) — only the envelope is the server's.
+
+use flo_bench::Scheme;
+use flo_core::TargetLayers;
+use flo_json::Json;
+use flo_sim::{PolicyKind, SweepPoint};
+use flo_workloads::Scale;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Version of the request/response envelope. Bump on any incompatible
+/// change; the server rejects mismatches with a typed `protocol` error.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard cap on a single frame. Large enough for full-scale hierarchical
+/// layout tables, small enough that a hostile length header cannot make
+/// the server allocate without bound.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Typed service errors — every failure a request can produce on the
+/// wire. The daemon never panics on peer input; it answers with one of
+/// these.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The frame or envelope itself is broken (bad length, bad JSON,
+    /// version mismatch). Framing may be lost; the server closes the
+    /// connection after answering when it cannot resynchronize.
+    Protocol(String),
+    /// A well-formed request asking for something invalid (unknown
+    /// application, bad policy name, malformed points).
+    BadRequest(String),
+    /// The bounded job queue is full — backpressure. Retry later.
+    Busy,
+    /// The request's deadline expired before a worker picked it up.
+    DeadlineExceeded,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// An unexpected internal failure.
+    Internal(String),
+}
+
+impl ServeError {
+    /// Stable wire tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Protocol(_) => "protocol",
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::Busy => "busy",
+            ServeError::DeadlineExceeded => "deadline",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+
+    /// Human-readable message.
+    pub fn message(&self) -> String {
+        match self {
+            ServeError::Protocol(m) | ServeError::BadRequest(m) | ServeError::Internal(m) => {
+                m.clone()
+            }
+            ServeError::Busy => "job queue full, try again".to_string(),
+            ServeError::DeadlineExceeded => "deadline expired before execution".to_string(),
+            ServeError::ShuttingDown => "server is draining for shutdown".to_string(),
+        }
+    }
+
+    /// The error object of a response envelope.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("kind", self.kind())
+            .set("message", self.message().as_str())
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// An optional fault-injection override on a `simulate` request: the
+/// deterministic plan is reconstructed server-side from
+/// [`flo_sim::FaultPlan::with_intensity`], so the request stays small
+/// and the schedule stays replayable from (seed, intensity).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Schedule seed.
+    pub seed: u64,
+    /// Intensity multiplier over the default degraded plan (0.0 = quiet).
+    pub intensity: f64,
+}
+
+/// A parsed request body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline (never queued).
+    Ping,
+    /// Cache/queue counters; answered inline (never queued).
+    Stats,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
+    /// Run the Step I + Algorithm 1 layout pass and return the layouts.
+    Layout {
+        /// Application name (see `flo_workloads::by_name`).
+        app: String,
+        /// Workload scale.
+        scale: Scale,
+        /// Layers the pass optimizes for.
+        target: TargetLayers,
+    },
+    /// Full trace-driven simulation, optionally fault-injected.
+    Simulate {
+        /// Application name.
+        app: String,
+        /// Workload scale.
+        scale: Scale,
+        /// Layout/computation scheme.
+        scheme: Scheme,
+        /// Cache-management policy.
+        policy: PolicyKind,
+        /// Optional deterministic fault plan.
+        fault: Option<FaultSpec>,
+    },
+    /// One-pass multi-capacity sweep over the given capacity points.
+    Sweep {
+        /// Application name.
+        app: String,
+        /// Workload scale.
+        scale: Scale,
+        /// Layout/computation scheme.
+        scheme: Scheme,
+        /// Cache-management policy.
+        policy: PolicyKind,
+        /// The (io, storage) capacity points to classify.
+        points: Vec<SweepPoint>,
+    },
+}
+
+impl Request {
+    /// Wire tag of this request kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+            Request::Layout { .. } => "layout",
+            Request::Simulate { .. } => "simulate",
+            Request::Sweep { .. } => "sweep",
+        }
+    }
+
+    /// The application a request concerns (observability labels).
+    pub fn app(&self) -> &str {
+        match self {
+            Request::Layout { app, .. }
+            | Request::Simulate { app, .. }
+            | Request::Sweep { app, .. } => app,
+            _ => "-",
+        }
+    }
+
+    /// Serialize to a full request envelope (client side).
+    pub fn to_envelope(&self, id: u64, deadline_ms: Option<u64>) -> Json {
+        let mut j = Json::obj()
+            .set("v", PROTOCOL_VERSION)
+            .set("id", id)
+            .set("kind", self.kind());
+        if let Some(ms) = deadline_ms {
+            j = j.set("deadline_ms", ms);
+        }
+        match self {
+            Request::Ping | Request::Stats | Request::Shutdown => j,
+            Request::Layout { app, scale, target } => j
+                .set("app", app.as_str())
+                .set("scale", scale_name(*scale))
+                .set("target", target_name(*target)),
+            Request::Simulate {
+                app,
+                scale,
+                scheme,
+                policy,
+                fault,
+            } => {
+                j = j
+                    .set("app", app.as_str())
+                    .set("scale", scale_name(*scale))
+                    .set("scheme", scheme.name())
+                    .set("policy", policy.name());
+                if let Some(f) = fault {
+                    j = j.set(
+                        "fault",
+                        Json::obj()
+                            .set("seed", f.seed)
+                            .set("intensity", f.intensity),
+                    );
+                }
+                j
+            }
+            Request::Sweep {
+                app,
+                scale,
+                scheme,
+                policy,
+                points,
+            } => j
+                .set("app", app.as_str())
+                .set("scale", scale_name(*scale))
+                .set("scheme", scheme.name())
+                .set("policy", policy.name())
+                .set(
+                    "points",
+                    points
+                        .iter()
+                        .map(|p| {
+                            Json::Arr(vec![
+                                Json::from(p.io_cache_blocks as u64),
+                                Json::from(p.storage_cache_blocks as u64),
+                            ])
+                        })
+                        .collect::<Vec<Json>>(),
+                ),
+        }
+    }
+}
+
+/// Scale wire name.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+fn parse_scale(s: &str) -> Option<Scale> {
+    match s {
+        "small" => Some(Scale::Small),
+        "full" => Some(Scale::Full),
+        _ => None,
+    }
+}
+
+/// Target-layers wire name.
+pub fn target_name(t: TargetLayers) -> &'static str {
+    match t {
+        TargetLayers::IoOnly => "io",
+        TargetLayers::StorageOnly => "storage",
+        TargetLayers::Both => "both",
+    }
+}
+
+fn parse_target(s: &str) -> Option<TargetLayers> {
+    match s {
+        "io" => Some(TargetLayers::IoOnly),
+        "storage" => Some(TargetLayers::StorageOnly),
+        "both" => Some(TargetLayers::Both),
+        _ => None,
+    }
+}
+
+/// Scheme from its wire name.
+pub fn parse_scheme(s: &str) -> Option<Scheme> {
+    match s {
+        "default" => Some(Scheme::Default),
+        "inter" => Some(Scheme::Inter),
+        "compmap" => Some(Scheme::CompMap),
+        "reindex" => Some(Scheme::Reindex),
+        _ => None,
+    }
+}
+
+/// A parsed request envelope: id, optional relative deadline, body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Relative deadline in milliseconds from server receipt.
+    pub deadline_ms: Option<u64>,
+    /// The request body.
+    pub request: Request,
+}
+
+fn need_str<'j>(j: &'j Json, key: &str) -> Result<&'j str, ServeError> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest(format!("request lacks string field `{key}`")))
+}
+
+/// Parse and validate a request envelope.
+pub fn parse_envelope(j: &Json) -> Result<Envelope, ServeError> {
+    let v = j
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::Protocol("request lacks protocol version `v`".into()))?;
+    if v != PROTOCOL_VERSION {
+        return Err(ServeError::Protocol(format!(
+            "protocol version {v} unsupported (this server speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    let id = j.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let deadline_ms = match j.get("deadline_ms") {
+        None => None,
+        Some(d) => Some(d.as_u64().ok_or_else(|| {
+            ServeError::BadRequest("`deadline_ms` must be a non-negative integer".into())
+        })?),
+    };
+    let kind = need_str(j, "kind")
+        .map_err(|_| ServeError::Protocol("request lacks string field `kind`".into()))?;
+    let scale = || -> Result<Scale, ServeError> {
+        let s = need_str(j, "scale")?;
+        parse_scale(s)
+            .ok_or_else(|| ServeError::BadRequest(format!("unknown scale {s:?} (use small|full)")))
+    };
+    let scheme = || -> Result<Scheme, ServeError> {
+        match j.get("scheme") {
+            None => Ok(Scheme::Default),
+            Some(s) => {
+                let s = s
+                    .as_str()
+                    .ok_or_else(|| ServeError::BadRequest("`scheme` must be a string".into()))?;
+                parse_scheme(s).ok_or_else(|| {
+                    ServeError::BadRequest(format!(
+                        "unknown scheme {s:?} (use default|inter|compmap|reindex)"
+                    ))
+                })
+            }
+        }
+    };
+    let policy = || -> Result<PolicyKind, ServeError> {
+        match j.get("policy") {
+            None => Ok(PolicyKind::LruInclusive),
+            Some(p) => {
+                let p = p
+                    .as_str()
+                    .ok_or_else(|| ServeError::BadRequest("`policy` must be a string".into()))?;
+                PolicyKind::parse(p).ok_or_else(|| {
+                    ServeError::BadRequest(format!(
+                        "unknown policy {p:?} (use lru|demote|karma|mq)"
+                    ))
+                })
+            }
+        }
+    };
+    let request = match kind {
+        "ping" => Request::Ping,
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        "layout" => {
+            let target = match j.get("target") {
+                None => TargetLayers::Both,
+                Some(t) => {
+                    let t = t.as_str().ok_or_else(|| {
+                        ServeError::BadRequest("`target` must be a string".into())
+                    })?;
+                    parse_target(t).ok_or_else(|| {
+                        ServeError::BadRequest(format!(
+                            "unknown target {t:?} (use io|storage|both)"
+                        ))
+                    })?
+                }
+            };
+            Request::Layout {
+                app: need_str(j, "app")?.to_string(),
+                scale: scale()?,
+                target,
+            }
+        }
+        "simulate" => {
+            let fault = match j.get("fault") {
+                None | Some(Json::Null) => None,
+                Some(f) => {
+                    let seed = f.get("seed").and_then(Json::as_u64).ok_or_else(|| {
+                        ServeError::BadRequest("`fault` lacks integer `seed`".into())
+                    })?;
+                    let intensity = f.get("intensity").and_then(Json::as_f64).ok_or_else(|| {
+                        ServeError::BadRequest("`fault` lacks number `intensity`".into())
+                    })?;
+                    if !(0.0..=1000.0).contains(&intensity) {
+                        return Err(ServeError::BadRequest(format!(
+                            "fault intensity {intensity} out of range [0, 1000]"
+                        )));
+                    }
+                    Some(FaultSpec { seed, intensity })
+                }
+            };
+            Request::Simulate {
+                app: need_str(j, "app")?.to_string(),
+                scale: scale()?,
+                scheme: scheme()?,
+                policy: policy()?,
+                fault,
+            }
+        }
+        "sweep" => {
+            let raw = j
+                .get("points")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| ServeError::BadRequest("sweep lacks array `points`".into()))?;
+            if raw.is_empty() || raw.len() > 4096 {
+                return Err(ServeError::BadRequest(format!(
+                    "sweep wants 1..=4096 points, got {}",
+                    raw.len()
+                )));
+            }
+            let mut points = Vec::with_capacity(raw.len());
+            for p in raw {
+                let pair = p.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                    ServeError::BadRequest("each sweep point is [io_blocks, storage_blocks]".into())
+                })?;
+                let io = pair[0].as_u64();
+                let st = pair[1].as_u64();
+                match (io, st) {
+                    (Some(io), Some(st)) if io > 0 && st > 0 => points.push(SweepPoint {
+                        io_cache_blocks: io as usize,
+                        storage_cache_blocks: st as usize,
+                    }),
+                    _ => {
+                        return Err(ServeError::BadRequest(
+                            "sweep point capacities must be positive integers".into(),
+                        ))
+                    }
+                }
+            }
+            Request::Sweep {
+                app: need_str(j, "app")?.to_string(),
+                scale: scale()?,
+                scheme: scheme()?,
+                policy: policy()?,
+                points,
+            }
+        }
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "unknown request kind {other:?}"
+            )))
+        }
+    };
+    Ok(Envelope {
+        id,
+        deadline_ms,
+        request,
+    })
+}
+
+/// Build a success response envelope.
+pub fn ok_response(id: u64, result: Json) -> Json {
+    Json::obj()
+        .set("v", PROTOCOL_VERSION)
+        .set("id", id)
+        .set("ok", true)
+        .set("result", result)
+}
+
+/// Build an error response envelope.
+pub fn err_response(id: u64, err: &ServeError) -> Json {
+    Json::obj()
+        .set("v", PROTOCOL_VERSION)
+        .set("id", id)
+        .set("ok", false)
+        .set("error", err.to_json())
+}
+
+/// What reading one frame can yield.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end of stream at a frame boundary.
+    Closed,
+    /// Read timeout with no bytes consumed (socket has a read timeout
+    /// set); the caller polls again or notices shutdown.
+    Idle,
+    /// The peer broke framing: truncated frame, oversized length,
+    /// invalid UTF-8 or JSON. Stream sync may be lost.
+    Malformed(String),
+    /// Transport failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Idle => write!(f, "idle"),
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read exactly `buf.len()` bytes, riding out read-timeout ticks (the
+/// server sets short socket timeouts so connection threads can observe
+/// shutdown). `started` says whether part of the frame was already
+/// consumed: a clean EOF before any byte is [`FrameError::Closed`], a
+/// timeout before any byte is [`FrameError::Idle`]; either one mid-frame
+/// is a truncated, malformed frame.
+fn read_exact_frames(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    mut started: bool,
+    cancel: &dyn Fn() -> bool,
+) -> Result<(), FrameError> {
+    let mut at = 0;
+    while at < buf.len() {
+        match r.read(&mut buf[at..]) {
+            Ok(0) => {
+                return Err(if started {
+                    FrameError::Malformed("stream closed mid-frame".into())
+                } else {
+                    FrameError::Closed
+                })
+            }
+            Ok(n) => {
+                at += n;
+                started = true;
+            }
+            Err(e) if is_timeout(&e) => {
+                if !started {
+                    return Err(FrameError::Idle);
+                }
+                if cancel() {
+                    return Err(FrameError::Malformed(
+                        "connection cancelled mid-frame".into(),
+                    ));
+                }
+                // Mid-frame timeout: keep polling until cancelled.
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame. `cancel` is consulted on idle ticks (and mid-frame
+/// stalls) so a server connection thread can wind down; clients pass
+/// `&|| false`.
+pub fn read_frame(r: &mut impl Read, cancel: &dyn Fn() -> bool) -> Result<Json, FrameError> {
+    let mut header = [0u8; 4];
+    read_exact_frames(r, &mut header, false, cancel)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Malformed(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    read_exact_frames(r, &mut body, true, cancel)?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|e| FrameError::Malformed(format!("frame is not UTF-8: {e}")))?;
+    flo_json::parse(text).map_err(|e| FrameError::Malformed(format!("frame is not JSON: {e}")))
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
+    let body = json.to_string();
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("outbound frame of {} bytes exceeds cap", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips_every_kind() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Layout {
+                app: "qio".into(),
+                scale: Scale::Small,
+                target: TargetLayers::IoOnly,
+            },
+            Request::Simulate {
+                app: "swim".into(),
+                scale: Scale::Full,
+                scheme: Scheme::Inter,
+                policy: PolicyKind::Karma,
+                fault: Some(FaultSpec {
+                    seed: 7,
+                    intensity: 0.5,
+                }),
+            },
+            Request::Sweep {
+                app: "sar".into(),
+                scale: Scale::Small,
+                scheme: Scheme::Default,
+                policy: PolicyKind::LruInclusive,
+                points: vec![
+                    SweepPoint {
+                        io_cache_blocks: 8,
+                        storage_cache_blocks: 16,
+                    },
+                    SweepPoint {
+                        io_cache_blocks: 24,
+                        storage_cache_blocks: 48,
+                    },
+                ],
+            },
+        ];
+        for (i, r) in reqs.iter().enumerate() {
+            let env = r.to_envelope(i as u64, Some(1000));
+            let back = parse_envelope(&env).unwrap();
+            assert_eq!(back.id, i as u64);
+            assert_eq!(back.deadline_ms, Some(1000));
+            assert_eq!(&back.request, r, "round trip of {}", r.kind());
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_protocol_error() {
+        let j = Json::obj().set("v", 99u64).set("kind", "ping");
+        match parse_envelope(&j) {
+            Err(ServeError::Protocol(m)) => assert!(m.contains("99"), "{m}"),
+            other => panic!("wanted protocol error, got {other:?}"),
+        }
+        let missing = Json::obj().set("kind", "ping");
+        assert!(matches!(
+            parse_envelope(&missing),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn bad_bodies_are_bad_requests() {
+        let mk = |kind: &str| {
+            Json::obj()
+                .set("v", PROTOCOL_VERSION)
+                .set("id", 1u64)
+                .set("kind", kind)
+        };
+        assert!(matches!(
+            parse_envelope(&mk("nope")),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_envelope(&mk("simulate")), // missing app/scale
+            Err(ServeError::BadRequest(_))
+        ));
+        let bad_policy = mk("simulate")
+            .set("app", "qio")
+            .set("scale", "small")
+            .set("policy", "optimal");
+        assert!(matches!(
+            parse_envelope(&bad_policy),
+            Err(ServeError::BadRequest(_))
+        ));
+        let bad_points = mk("sweep").set("app", "qio").set("scale", "small").set(
+            "points",
+            vec![Json::Arr(vec![Json::from(0u64), Json::from(4u64)])],
+        );
+        assert!(matches!(
+            parse_envelope(&bad_points),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let j = Request::Ping.to_envelope(3, None);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &j).unwrap();
+        let back = read_frame(&mut buf.as_slice(), &|| false).unwrap();
+        assert_eq!(back.to_string(), j.to_string());
+
+        // A hostile length header is rejected without allocating.
+        let hostile = u32::MAX.to_le_bytes();
+        match read_frame(&mut hostile.as_slice(), &|| false) {
+            Err(FrameError::Malformed(m)) => assert!(m.contains("cap"), "{m}"),
+            other => panic!("wanted Malformed, got {other:?}"),
+        }
+
+        // Truncated body is malformed, not a hang or a panic.
+        let mut trunc = Vec::new();
+        trunc.extend_from_slice(&100u32.to_le_bytes());
+        trunc.extend_from_slice(b"short");
+        assert!(matches!(
+            read_frame(&mut trunc.as_slice(), &|| false),
+            Err(FrameError::Malformed(_))
+        ));
+
+        // Clean EOF at a boundary is Closed.
+        assert!(matches!(
+            read_frame(&mut [].as_slice(), &|| false),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn error_envelopes_carry_typed_kinds() {
+        let e = err_response(5, &ServeError::Busy);
+        assert_eq!(e.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            e.get("error")
+                .and_then(|x| x.get("kind"))
+                .and_then(Json::as_str),
+            Some("busy")
+        );
+        let o = ok_response(5, Json::obj().set("pong", true));
+        assert_eq!(o.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}

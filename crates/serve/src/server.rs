@@ -1,0 +1,539 @@
+//! The `flod` daemon: listener, bounded job queue, fixed worker pool,
+//! graceful drain.
+//!
+//! Threading model:
+//!
+//! * one accept loop (the caller's thread) on a non-blocking listener,
+//!   polling the shutdown flag between accepts;
+//! * one connection thread per client, reading frames with a short
+//!   socket timeout so it observes shutdown at frame boundaries;
+//! * a fixed pool of `FLO_WORKERS` worker threads popping jobs off a
+//!   bounded queue. A full queue is *backpressure*: the connection
+//!   thread answers with a typed `busy` error immediately instead of
+//!   queueing unboundedly.
+//!
+//! Graceful shutdown (SIGTERM, SIGINT, or a `shutdown` request) drains
+//! rather than drops: the accept loop stops, connection threads finish
+//! the request they are waiting on and close, the queue closes, workers
+//! finish whatever was queued, the Unix socket is unlinked, and — when
+//! `FLO_METRICS=jsonl` — the per-request metrics artifact is written.
+//! Ordering matters: connection threads are joined *before* the queue
+//! closes, so every job that was accepted gets executed and answered.
+
+use crate::protocol::{
+    err_response, ok_response, parse_envelope, read_frame, write_frame, Envelope, FrameError,
+    Request, ServeError,
+};
+use crate::service::Service;
+use crate::signal;
+use flo_json::Json;
+use flo_obs::{metrics_mode, JsonlSink, MetricsMode};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Listen {
+    /// A Unix-domain socket at this path (the default transport).
+    Unix(PathBuf),
+    /// A TCP address like `127.0.0.1:7070` (opt-in via `FLO_LISTEN=tcp:...`).
+    Tcp(String),
+}
+
+impl Listen {
+    /// Parse a `FLO_LISTEN` value: `tcp:ADDR` for TCP, anything else is
+    /// a Unix socket path.
+    pub fn parse(s: &str) -> Listen {
+        match s.strip_prefix("tcp:") {
+            Some(addr) => Listen::Tcp(addr.to_string()),
+            None => Listen::Unix(PathBuf::from(s)),
+        }
+    }
+
+    /// The default listen address: `flod.sock` under the system temp dir.
+    pub fn default_socket() -> Listen {
+        Listen::Unix(std::env::temp_dir().join("flod.sock"))
+    }
+
+    /// Human-readable address.
+    pub fn describe(&self) -> String {
+        match self {
+            Listen::Unix(p) => format!("unix:{}", p.display()),
+            Listen::Tcp(a) => format!("tcp:{a}"),
+        }
+    }
+}
+
+/// Server configuration, normally read from the environment.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`FLO_LISTEN`).
+    pub listen: Listen,
+    /// Worker-pool size (`FLO_WORKERS`).
+    pub workers: usize,
+    /// Bounded job-queue capacity; `try_push` past this answers `busy`.
+    pub queue_capacity: usize,
+    /// Metrics artifact name (`results/metrics/<run>.jsonl`).
+    pub run_name: String,
+}
+
+impl ServerConfig {
+    /// Configuration from `FLO_LISTEN` / `FLO_WORKERS`, with defaults
+    /// sized for an interactive daemon.
+    pub fn from_env() -> ServerConfig {
+        let listen = match std::env::var("FLO_LISTEN") {
+            Ok(s) if !s.trim().is_empty() => Listen::parse(s.trim()),
+            _ => Listen::default_socket(),
+        };
+        let workers = std::env::var("FLO_WORKERS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(|n| n.get().min(8))
+                    .unwrap_or(4)
+            });
+        ServerConfig {
+            listen,
+            workers,
+            queue_capacity: workers * 8,
+            run_name: "flod".to_string(),
+        }
+    }
+}
+
+/// A connected client stream, transport-erased.
+pub enum Conn {
+    /// Unix-domain stream.
+    Unix(UnixStream),
+    /// TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(d),
+            Conn::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(listen: &Listen) -> io::Result<Listener> {
+        match listen {
+            Listen::Unix(path) => {
+                // A stale socket from a crashed daemon would fail the
+                // bind; a live daemon also loses it, which is the
+                // standard single-owner convention for named sockets.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l, path.clone()))
+            }
+            Listen::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+        }
+    }
+
+    /// One accept attempt: `Ok(None)` when no client is waiting.
+    fn accept(&self) -> io::Result<Option<Conn>> {
+        let conn = match self {
+            Listener::Unix(l, _) => match l.accept() {
+                Ok((s, _)) => Some(Conn::Unix(s)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Some(Conn::Tcp(s)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+        };
+        if let Some(c) = &conn {
+            // The listener is non-blocking; the accepted stream must not
+            // be. A short read timeout turns blocking reads into
+            // shutdown-observation points.
+            match c {
+                Conn::Unix(s) => s.set_nonblocking(false)?,
+                Conn::Tcp(s) => s.set_nonblocking(false)?,
+            }
+        }
+        Ok(conn)
+    }
+
+    fn cleanup(&self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One queued request plus everything needed to answer and account it.
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    depth_at_enqueue: usize,
+    reply: mpsc::Sender<Result<Json, ServeError>>,
+}
+
+/// The bounded job queue: `try_push` is the backpressure point, `pop`
+/// blocks workers until a job arrives or the queue closes empty.
+struct JobQueue {
+    state: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue, or answer why not: `Busy` at capacity, `ShuttingDown`
+    /// after close. Returns the queue depth *including* the new job.
+    fn try_push(&self, mut job: Job) -> Result<usize, ServeError> {
+        let mut state = self.state.lock().unwrap();
+        if state.1 {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.0.len() >= self.capacity {
+            return Err(ServeError::Busy);
+        }
+        let depth = state.0.len() + 1;
+        job.depth_at_enqueue = depth;
+        state.0.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop; `None` once the queue is closed *and* drained.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.0.pop_front() {
+                return Some(job);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().unwrap().0.len()
+    }
+}
+
+/// Per-request metrics events parked until shutdown.
+type Events = Arc<Mutex<Vec<Json>>>;
+
+fn worker_loop(
+    queue: Arc<JobQueue>,
+    service: Arc<Service>,
+    events: Events,
+    inflight: Arc<AtomicUsize>,
+) {
+    while let Some(job) = queue.pop() {
+        let wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+        let started = Instant::now();
+        inflight.fetch_add(1, Ordering::SeqCst);
+        let result = match job.deadline {
+            Some(d) if Instant::now() > d => Err(ServeError::DeadlineExceeded),
+            _ => {
+                let _span = flo_obs::span("serve-request");
+                service.execute(&job.request)
+            }
+        };
+        inflight.fetch_sub(1, Ordering::SeqCst);
+        if metrics_mode() == MetricsMode::Jsonl {
+            let mut ev = Json::obj()
+                .set("request", job.request.kind())
+                .set("app", job.request.app())
+                .set("queue_depth", job.depth_at_enqueue)
+                .set("wait_ms", wait_ms)
+                .set("exec_ms", started.elapsed().as_secs_f64() * 1e3)
+                .set("ok", result.is_ok());
+            if let Err(e) = &result {
+                ev = ev.set("error", e.kind());
+            }
+            events.lock().unwrap().push(ev);
+        }
+        // A send error means the connection thread is gone (client hung
+        // up); the work is done and cached either way.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn conn_loop(
+    mut conn: Conn,
+    queue: Arc<JobQueue>,
+    service: Arc<Service>,
+    inflight: Arc<AtomicUsize>,
+) {
+    if conn
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        return;
+    }
+    let cancel = signal::shutdown_requested;
+    loop {
+        let json = match read_frame(&mut conn, &cancel) {
+            Ok(j) => j,
+            Err(FrameError::Idle) => {
+                if cancel() {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
+            Err(FrameError::Malformed(m)) => {
+                // Framing may be lost; answer once, then hang up.
+                let _ = write_frame(&mut conn, &err_response(0, &ServeError::Protocol(m)));
+                return;
+            }
+        };
+        // Best-effort id for error envelopes on requests that fail to
+        // parse past the frame level (framing itself is intact here).
+        let raw_id = json.get("id").and_then(Json::as_u64).unwrap_or(0);
+        let Envelope {
+            id,
+            deadline_ms,
+            request,
+        } = match parse_envelope(&json) {
+            Ok(env) => env,
+            Err(e) => {
+                if write_frame(&mut conn, &err_response(raw_id, &e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            // Control requests answer inline: they must work even when
+            // every worker is busy (that is what `stats` is *for*).
+            Request::Ping => ok_response(id, Json::obj().set("pong", true)),
+            Request::Stats => ok_response(
+                id,
+                service
+                    .stats()
+                    .set("queue_depth", queue.depth())
+                    .set("queue_capacity", queue.capacity)
+                    .set("inflight", inflight.load(Ordering::SeqCst)),
+            ),
+            Request::Shutdown => {
+                signal::request_shutdown();
+                let _ = write_frame(
+                    &mut conn,
+                    &ok_response(id, Json::obj().set("draining", true)),
+                );
+                return;
+            }
+            request => {
+                let (tx, rx) = mpsc::channel();
+                let job = Job {
+                    request,
+                    enqueued: Instant::now(),
+                    deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+                    depth_at_enqueue: 0,
+                    reply: tx,
+                };
+                match queue.try_push(job) {
+                    Err(e) => err_response(id, &e),
+                    Ok(_) => match rx.recv() {
+                        Ok(Ok(result)) => ok_response(id, result),
+                        Ok(Err(e)) => err_response(id, &e),
+                        Err(_) => {
+                            err_response(id, &ServeError::Internal("worker dropped the job".into()))
+                        }
+                    },
+                }
+            }
+        };
+        if write_frame(&mut conn, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Run the daemon until shutdown. Blocks the calling thread; returns
+/// after a complete graceful drain. Sized caches come from the
+/// [`Service`] the caller builds (normally [`Service::from_env`]).
+pub fn run(cfg: &ServerConfig, service: Arc<Service>) -> io::Result<()> {
+    let listener = Listener::bind(&cfg.listen)?;
+    let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
+    let events: Events = Arc::new(Mutex::new(Vec::new()));
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<thread::JoinHandle<()>> = (0..cfg.workers)
+        .map(|i| {
+            let q = Arc::clone(&queue);
+            let svc = Arc::clone(&service);
+            let ev = Arc::clone(&events);
+            let inf = Arc::clone(&inflight);
+            thread::Builder::new()
+                .name(format!("flod-worker-{i}"))
+                .spawn(move || worker_loop(q, svc, ev, inf))
+                .expect("spawn worker thread")
+        })
+        .collect();
+    let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !signal::shutdown_requested() {
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                let q = Arc::clone(&queue);
+                let svc = Arc::clone(&service);
+                let inf = Arc::clone(&inflight);
+                let handle = thread::Builder::new()
+                    .name("flod-conn".to_string())
+                    .spawn(move || conn_loop(conn, q, svc, inf))
+                    .expect("spawn connection thread");
+                conns.push(handle);
+            }
+            Ok(None) => thread::sleep(Duration::from_millis(25)),
+            Err(e) => {
+                eprintln!("flod: accept error: {e}");
+                thread::sleep(Duration::from_millis(100));
+            }
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    // Drain: connection threads first (each finishes the request it is
+    // waiting on — workers are still running), then the queue, then the
+    // workers.
+    for h in conns {
+        let _ = h.join();
+    }
+    queue.close();
+    for h in workers {
+        let _ = h.join();
+    }
+    listener.cleanup();
+    write_metrics(&cfg.run_name, &events);
+    Ok(())
+}
+
+/// Drain per-request events, harness records and phase spans into
+/// `results/metrics/<run>.jsonl` (no-op unless `FLO_METRICS=jsonl`).
+fn write_metrics(run: &str, events: &Events) {
+    if metrics_mode() != MetricsMode::Jsonl {
+        return;
+    }
+    let mut sink = JsonlSink::new(run);
+    for ev in events.lock().unwrap().drain(..) {
+        sink.push("serve-request", ev);
+    }
+    for (kind, payload) in flo_bench::metrics::drain_events() {
+        sink.push(kind, payload);
+    }
+    for s in flo_obs::timeline().drain() {
+        sink.push("span", s.to_json());
+    }
+    let path = PathBuf::from("results/metrics").join(format!("{run}.jsonl"));
+    match sink.write_to(&path) {
+        Ok(()) => eprintln!("flod: wrote {}", path.display()),
+        Err(e) => eprintln!("flod: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_job(reply: mpsc::Sender<Result<Json, ServeError>>) -> Job {
+        Job {
+            request: Request::Ping,
+            enqueued: Instant::now(),
+            deadline: None,
+            depth_at_enqueue: 0,
+            reply,
+        }
+    }
+
+    #[test]
+    fn queue_backpressure_is_typed() {
+        let q = JobQueue::new(2);
+        let (tx, _rx) = mpsc::channel();
+        assert_eq!(q.try_push(dummy_job(tx.clone())).unwrap(), 1);
+        assert_eq!(q.try_push(dummy_job(tx.clone())).unwrap(), 2);
+        assert_eq!(q.try_push(dummy_job(tx.clone())), Err(ServeError::Busy));
+        assert_eq!(q.depth(), 2);
+        q.close();
+        assert_eq!(
+            q.try_push(dummy_job(tx)),
+            Err(ServeError::ShuttingDown),
+            "a closed queue refuses even when not full"
+        );
+        // Close drains: both queued jobs still pop, then None.
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn listen_parses_tcp_and_unix() {
+        assert_eq!(
+            Listen::parse("tcp:127.0.0.1:7070"),
+            Listen::Tcp("127.0.0.1:7070".into())
+        );
+        assert_eq!(
+            Listen::parse("/tmp/x.sock"),
+            Listen::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert!(Listen::default_socket().describe().starts_with("unix:"));
+    }
+}

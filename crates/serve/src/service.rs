@@ -1,0 +1,331 @@
+//! Request execution over the shared cross-request cache.
+//!
+//! [`Service::execute`] is the *only* code path that turns a [`Request`]
+//! into a result — the daemon's worker threads, `floq --direct`, and the
+//! differential suite all call it (or the underlying harness functions it
+//! delegates to). Bit-identical served responses are therefore a
+//! construction property, not a testing aspiration: the server adds an
+//! envelope around the very JSON an in-process caller would produce.
+//!
+//! Two things make that sound:
+//!
+//! * every computation behind a request is deterministic — trace
+//!   generation, simulation, sweeps, and fault schedules are all pure
+//!   functions of their inputs (see DESIGN.md §2.7–§2.9) — so cache
+//!   hits, eviction-forced recomputation, and racing duplicate inserts
+//!   all yield the same bytes;
+//! * results carry no wall-clock values. The layout response reports the
+//!   pass's `optimized_fraction` but deliberately omits `compile_ms`.
+
+use crate::protocol::{scale_name, target_name, FaultSpec, Request, ServeError};
+use flo_bench::harness::{prepare_run, sweep_outcomes, RunOverrides};
+use flo_bench::{
+    run_app_cached, run_app_faulted_cached, topology_for, RunCaches, Scheme, ShardedLru,
+};
+use flo_core::TargetLayers;
+use flo_json::Json;
+use flo_sim::{FaultPlan, PolicyKind, SweepPoint};
+use flo_workloads::{by_name, Scale, Workload};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Default service cache budget when `FLO_CACHE_MB` is unset.
+pub const DEFAULT_CACHE_MB: usize = 256;
+
+/// The shared state behind every request: the run caches promoted from
+/// per-binary locals into service scope, plus a small cache of rendered
+/// layout responses (the layout pass has no entry in [`RunCaches`]; its
+/// JSON is tiny and rebuilding it is pure, so caching the rendered form
+/// is both safe and sufficient).
+pub struct Service {
+    /// Trace / simulation / fault / hint memoization shared by all
+    /// requests.
+    pub caches: RunCaches,
+    /// Rendered `layout` results keyed by (app, scale, target).
+    layouts: ShardedLru<Json>,
+}
+
+impl Service {
+    /// A service whose caches hold roughly `budget_bytes` in total.
+    /// `0` disables retention entirely (every request recomputes — the
+    /// cold baseline of `servebench`).
+    pub fn with_budget(budget_bytes: usize) -> Service {
+        Service {
+            caches: RunCaches::with_budget(budget_bytes),
+            // Layout JSON is small; a fixed slice of the budget is plenty.
+            layouts: ShardedLru::bounded(budget_bytes / 16),
+        }
+    }
+
+    /// A service sized from `FLO_CACHE_MB` (default
+    /// [`DEFAULT_CACHE_MB`]).
+    pub fn from_env() -> Service {
+        let mb = std::env::var("FLO_CACHE_MB")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CACHE_MB);
+        Service::with_budget(mb << 20)
+    }
+
+    /// Execute one request. Pure with respect to the request: the same
+    /// request always returns the same result JSON, served or direct,
+    /// cold or warm.
+    pub fn execute(&self, req: &Request) -> Result<Json, ServeError> {
+        match req {
+            Request::Ping => Ok(Json::obj().set("pong", true)),
+            Request::Stats => Ok(self.stats()),
+            // The server intercepts shutdown before execution; answering
+            // here keeps `--direct` total.
+            Request::Shutdown => Ok(Json::obj().set("draining", true)),
+            Request::Layout { app, scale, target } => self.layout(app, *scale, *target),
+            Request::Simulate {
+                app,
+                scale,
+                scheme,
+                policy,
+                fault,
+            } => self.simulate(app, *scale, *scheme, *policy, *fault),
+            Request::Sweep {
+                app,
+                scale,
+                scheme,
+                policy,
+                points,
+            } => self.sweep(app, *scale, *scheme, *policy, points),
+        }
+    }
+
+    /// Cache counters (the server's `stats` response adds queue state).
+    pub fn stats(&self) -> Json {
+        Json::obj()
+            .set("cache_hits", self.caches.total_hits() + self.layouts.hits())
+            .set(
+                "cache_misses",
+                self.caches.total_misses() + self.layouts.misses(),
+            )
+            .set(
+                "cache_evictions",
+                self.caches.total_evictions() + self.layouts.evictions(),
+            )
+            .set(
+                "cache_used_bytes",
+                self.caches.used_bytes() + self.layouts.used_bytes(),
+            )
+    }
+
+    fn workload(&self, app: &str, scale: Scale) -> Result<Workload, ServeError> {
+        by_name(app, scale).ok_or_else(|| {
+            let known: Vec<&str> = flo_workloads::all(scale).iter().map(|w| w.name).collect();
+            ServeError::BadRequest(format!(
+                "unknown application {app:?} (known: {})",
+                known.join(", ")
+            ))
+        })
+    }
+
+    fn layout(&self, app: &str, scale: Scale, target: TargetLayers) -> Result<Json, ServeError> {
+        let workload = self.workload(app, scale)?;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (app, scale_name(scale), target_name(target)).hash(&mut h);
+        let key = h.finish();
+        if let Some(hit) = self.layouts.get(key) {
+            return Ok((*hit).clone());
+        }
+        let topo = topology_for(scale);
+        let overrides = RunOverrides {
+            mapping: None,
+            target: Some(target),
+        };
+        let prepared = prepare_run(&workload, &topo, Scheme::Inter, &overrides)
+            .map_err(|e| ServeError::Internal(e.to_string()))?;
+        // No `compile_ms` here: results must be reproducible bytes, and
+        // wall-clock compile time is not (see the module docs).
+        let result = Json::obj()
+            .set("app", app)
+            .set("scale", scale_name(scale))
+            .set("target", target_name(target))
+            .set("optimized_fraction", prepared.optimized_fraction)
+            .set(
+                "layouts",
+                prepared
+                    .layouts
+                    .iter()
+                    .map(flo_core::FileLayout::to_json)
+                    .collect::<Vec<Json>>(),
+            );
+        let cost = result.to_string().len();
+        Ok((*self.layouts.insert(key, Arc::new(result), cost)).clone())
+    }
+
+    fn simulate(
+        &self,
+        app: &str,
+        scale: Scale,
+        scheme: Scheme,
+        policy: PolicyKind,
+        fault: Option<FaultSpec>,
+    ) -> Result<Json, ServeError> {
+        let workload = self.workload(app, scale)?;
+        let topo = topology_for(scale);
+        let overrides = RunOverrides::default();
+        let base = Json::obj()
+            .set("app", app)
+            .set("scale", scale_name(scale))
+            .set("scheme", scheme.name())
+            .set("policy", policy.name());
+        match fault {
+            None => {
+                let out =
+                    run_app_cached(&self.caches, &workload, &topo, policy, scheme, &overrides)
+                        .map_err(|e| ServeError::Internal(e.to_string()))?;
+                Ok(base
+                    .set("optimized_fraction", out.optimized_fraction)
+                    .set("report", out.report.to_json()))
+            }
+            Some(spec) => {
+                let plan = FaultPlan::with_intensity(spec.seed, spec.intensity);
+                plan.validate()
+                    .map_err(|e| ServeError::BadRequest(format!("invalid fault plan: {e}")))?;
+                let (out, counters) = run_app_faulted_cached(
+                    &self.caches,
+                    &workload,
+                    &topo,
+                    policy,
+                    scheme,
+                    &overrides,
+                    &plan,
+                )
+                .map_err(|e| ServeError::Internal(e.to_string()))?;
+                Ok(base
+                    .set("optimized_fraction", out.optimized_fraction)
+                    .set("report", out.report.to_json())
+                    .set("faults", counters.to_json()))
+            }
+        }
+    }
+
+    fn sweep(
+        &self,
+        app: &str,
+        scale: Scale,
+        scheme: Scheme,
+        policy: PolicyKind,
+        points: &[SweepPoint],
+    ) -> Result<Json, ServeError> {
+        let workload = self.workload(app, scale)?;
+        let topo = topology_for(scale);
+        let outs = sweep_outcomes(
+            &self.caches,
+            &workload,
+            &topo,
+            points,
+            policy,
+            scheme,
+            &RunOverrides::default(),
+        )
+        .map_err(|e| ServeError::Internal(e.to_string()))?;
+        Ok(Json::obj()
+            .set("app", app)
+            .set("scale", scale_name(scale))
+            .set("scheme", scheme.name())
+            .set("policy", policy.name())
+            .set(
+                "reports",
+                points
+                    .iter()
+                    .zip(&outs)
+                    .map(|(p, o)| {
+                        Json::obj()
+                            .set("io_cache_blocks", p.io_cache_blocks)
+                            .set("storage_cache_blocks", p.storage_cache_blocks)
+                            .set("report", o.report.to_json())
+                    })
+                    .collect::<Vec<Json>>(),
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req_simulate(app: &str) -> Request {
+        Request::Simulate {
+            app: app.into(),
+            scale: Scale::Small,
+            scheme: Scheme::Inter,
+            policy: PolicyKind::LruInclusive,
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn unknown_app_is_a_bad_request() {
+        let svc = Service::with_budget(1 << 20);
+        match svc.execute(&req_simulate("no-such-app")) {
+            Err(ServeError::BadRequest(m)) => assert!(m.contains("no-such-app"), "{m}"),
+            other => panic!("wanted bad-request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_requests_are_bit_identical_and_hit_the_cache() {
+        let svc = Service::with_budget(64 << 20);
+        let req = req_simulate("qio");
+        let a = svc.execute(&req).unwrap().to_string();
+        let misses = svc.caches.total_misses();
+        let b = svc.execute(&req).unwrap().to_string();
+        assert_eq!(a, b);
+        assert_eq!(
+            svc.caches.total_misses(),
+            misses,
+            "the replay must be served from the cache"
+        );
+    }
+
+    #[test]
+    fn zero_budget_recomputes_but_stays_identical() {
+        let cold = Service::with_budget(0);
+        let warm = Service::with_budget(64 << 20);
+        let req = req_simulate("swim");
+        let a = cold.execute(&req).unwrap().to_string();
+        let b = cold.execute(&req).unwrap().to_string();
+        let c = warm.execute(&req).unwrap().to_string();
+        assert_eq!(a, b, "cold recomputation is deterministic");
+        assert_eq!(a, c, "cold and warm answers agree");
+    }
+
+    #[test]
+    fn layout_response_has_no_wall_clock_fields() {
+        let svc = Service::with_budget(1 << 20);
+        let req = Request::Layout {
+            app: "qio".into(),
+            scale: Scale::Small,
+            target: TargetLayers::Both,
+        };
+        let a = svc.execute(&req).unwrap();
+        let b = svc.execute(&req).unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+        assert!(a.get("compile_ms").is_none());
+        assert!(!a.get("layouts").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn faulted_simulate_carries_counters() {
+        let svc = Service::with_budget(64 << 20);
+        let req = Request::Simulate {
+            app: "qio".into(),
+            scale: Scale::Small,
+            scheme: Scheme::Default,
+            policy: PolicyKind::LruInclusive,
+            fault: Some(FaultSpec {
+                seed: 7,
+                intensity: 1.0,
+            }),
+        };
+        let a = svc.execute(&req).unwrap();
+        assert!(a.get("faults").is_some());
+        let b = svc.execute(&req).unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+    }
+}

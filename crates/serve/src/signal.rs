@@ -1,0 +1,72 @@
+//! Minimal SIGTERM/SIGINT handling without a libc dependency.
+//!
+//! The workspace builds offline, so there is no `libc`/`signal-hook`
+//! crate to lean on. `signal(2)` is in every libc this repo can run
+//! against, its ABI is stable, and all the handler does is store into an
+//! [`AtomicBool`] — the one thing that is async-signal-safe by
+//! construction. The accept loop and connection threads poll the flag on
+//! their socket-timeout ticks, which is what turns the flag into a
+//! graceful drain (see `server.rs`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Has a shutdown been requested (signal or `shutdown` request)?
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Request a drain-and-exit (also reachable from the wire via the
+/// `shutdown` request kind).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Reset the flag — test harnesses run several servers per process.
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    extern "C" fn on_signal(_sig: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Install the handler for SIGTERM (15) and SIGINT (2).
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op on non-unix targets; `shutdown` requests still work.
+    pub fn install() {}
+}
+
+pub use imp::install;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        reset();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+}

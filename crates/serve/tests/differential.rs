@@ -1,0 +1,339 @@
+//! Serve-vs-direct differential suite: everything `flod` answers must be
+//! byte-identical to the same computation run in-process, under
+//! concurrency, under cache-eviction pressure, and across request kinds.
+//!
+//! The servers in this file share one process, and shutdown is a
+//! process-global flag (that is what lets SIGTERM reach every thread),
+//! so the tests serialize on a lock and reset the flag per server.
+
+use flo_core::TargetLayers;
+use flo_serve::protocol::{FaultSpec, Request};
+use flo_serve::{server, signal, Client, Listen, ServerConfig, Service};
+use flo_sim::{PolicyKind, SweepPoint};
+use flo_workloads::Scale;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+static SERVER_LOCK: Mutex<()> = Mutex::new(());
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn unique_socket() -> Listen {
+    Listen::Unix(std::env::temp_dir().join(format!(
+        "flod-test-{}-{}.sock",
+        std::process::id(),
+        SOCKET_SEQ.fetch_add(1, Ordering::SeqCst)
+    )))
+}
+
+/// Run `f` against a freshly spawned server, then drain it gracefully
+/// and assert the socket is cleaned up.
+fn with_server<T>(
+    budget_bytes: usize,
+    workers: usize,
+    queue_capacity: usize,
+    f: impl FnOnce(&Listen) -> T,
+) -> T {
+    // Recover from poison: one test's failure must not cascade into
+    // spurious `PoisonError`s in the rest of the suite.
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    signal::reset();
+    let listen = unique_socket();
+    let cfg = ServerConfig {
+        listen: listen.clone(),
+        workers,
+        queue_capacity,
+        run_name: "flod-test".to_string(),
+    };
+    let service = Arc::new(Service::with_budget(budget_bytes));
+    let handle = {
+        let cfg = cfg.clone();
+        std::thread::spawn(move || server::run(&cfg, service))
+    };
+    Client::connect_retry(&listen, Duration::from_secs(10)).expect("server did not come up");
+    let out = f(&listen);
+    // Best-effort: a test may have already requested shutdown itself.
+    if let Ok(mut c) = Client::connect(&listen) {
+        let _ = c.call(&Request::Shutdown, None);
+    }
+    signal::request_shutdown();
+    handle
+        .join()
+        .expect("server thread")
+        .expect("graceful drain");
+    if let Listen::Unix(path) = &listen {
+        assert!(!path.exists(), "socket must be unlinked after drain");
+    }
+    out
+}
+
+/// A mixed batch covering all three request kinds, healthy and faulted,
+/// with repeated keys sprinkled in so the shared cache is exercised.
+fn mixed_batch() -> Vec<Request> {
+    let mut reqs = vec![
+        Request::Layout {
+            app: "qio".into(),
+            scale: Scale::Small,
+            target: TargetLayers::Both,
+        },
+        Request::Layout {
+            app: "swim".into(),
+            scale: Scale::Small,
+            target: TargetLayers::IoOnly,
+        },
+        Request::Simulate {
+            app: "qio".into(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Inter,
+            policy: PolicyKind::LruInclusive,
+            fault: None,
+        },
+        Request::Simulate {
+            app: "swim".into(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Default,
+            policy: PolicyKind::Karma,
+            fault: None,
+        },
+        Request::Simulate {
+            app: "qio".into(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Default,
+            policy: PolicyKind::LruInclusive,
+            fault: Some(FaultSpec {
+                seed: 7,
+                intensity: 1.0,
+            }),
+        },
+        Request::Sweep {
+            app: "s3asim".into(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Inter,
+            policy: PolicyKind::LruInclusive,
+            points: vec![
+                SweepPoint {
+                    io_cache_blocks: 24,
+                    storage_cache_blocks: 48,
+                },
+                SweepPoint {
+                    io_cache_blocks: 48,
+                    storage_cache_blocks: 96,
+                },
+            ],
+        },
+    ];
+    // Repeat the batch so concurrent clients race on the same cache keys.
+    let firsts = reqs.clone();
+    reqs.extend(firsts);
+    reqs
+}
+
+/// Direct (in-process) answers for the batch — the reference bytes.
+fn direct_answers(reqs: &[Request]) -> Vec<String> {
+    let svc = Service::with_budget(256 << 20);
+    reqs.iter()
+        .map(|r| svc.execute(r).expect("direct execution").to_string())
+        .collect()
+}
+
+fn served_answers(listen: &Listen, reqs: &[Request], clients: usize) -> Vec<String> {
+    let collected: Vec<(usize, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(listen).expect("client connect");
+                    let mut got = Vec::new();
+                    for (i, req) in reqs.iter().enumerate() {
+                        if i % clients != c {
+                            continue;
+                        }
+                        let result = client
+                            .call(req, None)
+                            .unwrap_or_else(|e| panic!("request {i} failed: {e}"));
+                        got.push((i, result.to_string()));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let mut ordered = vec![String::new(); reqs.len()];
+    for (i, r) in collected {
+        ordered[i] = r;
+    }
+    ordered
+}
+
+#[test]
+fn concurrent_served_responses_match_direct() {
+    let reqs = mixed_batch();
+    let direct = direct_answers(&reqs);
+    let served = with_server(256 << 20, 4, 32, |listen| served_answers(listen, &reqs, 4));
+    for (i, (s, d)) in served.iter().zip(&direct).enumerate() {
+        assert_eq!(s, d, "request {i} ({}) diverged", reqs[i].kind());
+    }
+}
+
+#[test]
+fn tiny_lru_budget_evicts_but_never_changes_bytes() {
+    let reqs = mixed_batch();
+    let direct = direct_answers(&reqs);
+    // A budget far below one trace set forces constant eviction and
+    // recomputation mid-flight; determinism keeps the bytes identical.
+    let (served, evictions) = with_server(64 << 10, 4, 32, |listen| {
+        let served = served_answers(listen, &reqs, 4);
+        let mut c = Client::connect(listen).expect("stats connect");
+        let stats = c.call(&Request::Stats, None).expect("stats");
+        let ev = stats
+            .get("cache_evictions")
+            .and_then(flo_json::Json::as_u64)
+            .unwrap_or(0);
+        (served, ev)
+    });
+    for (i, (s, d)) in served.iter().zip(&direct).enumerate() {
+        assert_eq!(
+            s,
+            d,
+            "request {i} ({}) diverged under eviction",
+            reqs[i].kind()
+        );
+    }
+    assert!(
+        evictions > 0,
+        "a 64 KiB budget must actually evict (saw {evictions})"
+    );
+}
+
+#[test]
+fn backpressure_answers_busy_and_deadline_errors_are_typed() {
+    with_server(256 << 20, 1, 1, |listen| {
+        // Occupy the single worker with a slow sweep, then fill the
+        // 1-slot queue, then overflow it. The sweep must outlive the
+        // stats polling below by a wide margin (seconds, not the test's
+        // millisecond polling cadence), and per-point storage simulation
+        // is what makes it slow — so the point count scales with the
+        // profile's simulator speed.
+        let slow_points = if cfg!(debug_assertions) { 64 } else { 512 };
+        let slow = Request::Sweep {
+            app: "qio".into(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Inter,
+            policy: PolicyKind::LruInclusive,
+            points: (1..=slow_points)
+                .map(|i| SweepPoint {
+                    io_cache_blocks: 24 * i,
+                    storage_cache_blocks: 48 * i,
+                })
+                .collect(),
+        };
+        let quick = Request::Simulate {
+            app: "qio".into(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Default,
+            policy: PolicyKind::LruInclusive,
+            fault: None,
+        };
+        let wait_for = |field: &str, want: u64| {
+            let mut c = Client::connect(listen).unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            loop {
+                let stats = c.call(&Request::Stats, None).expect("stats");
+                let got = stats
+                    .get(field)
+                    .and_then(flo_json::Json::as_u64)
+                    .unwrap_or(0);
+                if got >= want {
+                    return;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "timed out waiting for {field} >= {want} (stuck at {got}; \
+                     the slow sweep likely finished before the queue filled)"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                let mut c = Client::connect(listen).unwrap();
+                c.call(&slow, None)
+            });
+            // The single worker is now executing the slow sweep...
+            wait_for("inflight", 1);
+            let b = scope.spawn(|| {
+                let mut c = Client::connect(listen).unwrap();
+                // Queued behind the slow job with an already-hopeless
+                // deadline: the worker must answer `deadline`, typed.
+                c.call(&quick, Some(1))
+            });
+            // ...and the 1-slot queue now holds b's job.
+            wait_for("queue_depth", 1);
+            // One more must bounce as `busy`.
+            let mut c = Client::connect(listen).unwrap();
+            let overflow = c.call(&quick, None);
+            assert_eq!(
+                overflow,
+                Err(flo_serve::ServeError::Busy),
+                "the bounded queue must answer busy, not block"
+            );
+            assert_eq!(
+                b.join().unwrap(),
+                Err(flo_serve::ServeError::DeadlineExceeded)
+            );
+            assert!(a.join().unwrap().is_ok(), "the slow request completes");
+        });
+    });
+}
+
+#[test]
+fn shutdown_drains_inflight_work() {
+    // One worker, a queued job behind an executing one: shutdown must
+    // answer both before the server exits (`with_server` already joins
+    // the drain and checks socket cleanup).
+    with_server(256 << 20, 1, 8, |listen| {
+        let req = Request::Simulate {
+            app: "swim".into(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Inter,
+            policy: PolicyKind::LruInclusive,
+            fault: None,
+        };
+        std::thread::scope(|scope| {
+            let jobs: Vec<_> = (0..3)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut c = Client::connect(listen).unwrap();
+                        c.call(&req, None)
+                    })
+                })
+                .collect();
+            // Wait until the jobs are demonstrably accepted (one
+            // executing, two queued) before pulling the plug, so the
+            // drain — not the accept loop — is what answers them.
+            let mut stats_conn = Client::connect(listen).unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            loop {
+                let stats = stats_conn.call(&Request::Stats, None).expect("stats");
+                let depth = stats
+                    .get("queue_depth")
+                    .and_then(flo_json::Json::as_u64)
+                    .unwrap_or(0);
+                if depth >= 2 || std::time::Instant::now() > deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            signal::request_shutdown();
+            for j in jobs {
+                assert!(
+                    j.join().unwrap().is_ok(),
+                    "accepted jobs must be answered through the drain"
+                );
+            }
+        });
+    });
+}

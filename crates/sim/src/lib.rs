@@ -59,4 +59,4 @@ pub use stackdist::{
 pub use stats::{LayerStats, SimReport};
 pub use system::StorageSystem;
 pub use topology::Topology;
-pub use trace::{JitterInterleaver, ThreadTrace};
+pub use trace::{JitterInterleaver, ThreadTrace, TraceEntry};

@@ -63,6 +63,19 @@ impl PolicyKind {
             PolicyKind::MqSecondLevel => "MQ",
         }
     }
+
+    /// Parse a policy name: the lowercase env-var/wire spellings
+    /// (`lru` | `demote` | `karma` | `mq`) and the display names both
+    /// work. `None` for anything else.
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s {
+            "lru" | "LRU" => Some(PolicyKind::LruInclusive),
+            "demote" | "DEMOTE-LRU" => Some(PolicyKind::DemoteLru),
+            "karma" | "KARMA" => Some(PolicyKind::Karma),
+            "mq" | "MQ" => Some(PolicyKind::MqSecondLevel),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

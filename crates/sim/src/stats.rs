@@ -4,7 +4,7 @@ use crate::cache::CacheStats;
 use flo_json::Json;
 
 /// Per-layer cache statistics as reported in Tables 2 and 3.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LayerStats {
     /// I/O-node layer counters.
     pub io: CacheStats,
@@ -13,7 +13,7 @@ pub struct LayerStats {
 }
 
 /// The outcome of one simulated run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimReport {
     /// Per-layer cache counters.
     pub layers: LayerStats,
