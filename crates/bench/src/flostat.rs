@@ -96,6 +96,10 @@ pub struct ServeAgg {
     pub exec_ms: f64,
     /// Maximum queue depth observed at enqueue.
     pub max_queue_depth: u64,
+    /// Maximum per-connection pipelining depth observed at dispatch
+    /// (1 = every request waited for its answer; absent in pre-PR-6
+    /// artifacts, which decode as 0).
+    pub max_conn_inflight: u64,
 }
 
 /// One loaded metrics artifact.
@@ -207,6 +211,9 @@ pub fn load(text: &str) -> Result<Artifact, String> {
                 agg.max_queue_depth = agg
                     .max_queue_depth
                     .max(e.get("queue_depth").and_then(Json::as_f64).unwrap_or(0.0) as u64);
+                agg.max_conn_inflight = agg
+                    .max_conn_inflight
+                    .max(e.get("conn_inflight").and_then(Json::as_f64).unwrap_or(0.0) as u64);
             }
             _ => {} // meta handled above; sweep-stream and future kinds pass through
         }
@@ -314,6 +321,7 @@ pub fn serve_table(a: &Artifact) -> Table {
             "mean wait ms",
             "mean exec ms",
             "max queue",
+            "max pipeline",
         ],
     );
     for ((kind, app), agg) in &a.serves {
@@ -326,6 +334,7 @@ pub fn serve_table(a: &Artifact) -> Table {
             format!("{:.3}", agg.wait_ms / n),
             format!("{:.3}", agg.exec_ms / n),
             agg.max_queue_depth.to_string(),
+            agg.max_conn_inflight.to_string(),
         ]);
     }
     t
@@ -560,10 +569,10 @@ mod tests {
     #[test]
     fn loads_serve_request_events_and_renders_serve_table() {
         let mut sink = JsonlSink::new("flod");
-        for (ok, wait, exec, depth) in [
-            (true, 1.0, 10.0, 3u64),
-            (true, 3.0, 2.0, 1),
-            (false, 0.5, 0.0, 5),
+        for (ok, wait, exec, depth, pipelined) in [
+            (true, 1.0, 10.0, 3u64, 1u64),
+            (true, 3.0, 2.0, 1, 7),
+            (false, 0.5, 0.0, 5, 2),
         ] {
             sink.push(
                 "serve-request",
@@ -571,6 +580,7 @@ mod tests {
                     .set("request", "simulate")
                     .set("app", "qio")
                     .set("queue_depth", depth)
+                    .set("conn_inflight", pipelined)
                     .set("wait_ms", wait)
                     .set("exec_ms", exec)
                     .set("ok", ok),
@@ -581,10 +591,12 @@ mod tests {
         assert_eq!(agg.ok, 2);
         assert_eq!(agg.errors, 1);
         assert_eq!(agg.max_queue_depth, 5);
+        assert_eq!(agg.max_conn_inflight, 7, "pipelining gauge is a max");
         assert!((agg.wait_ms - 4.5).abs() < 1e-12);
         let rendered = format!("{}", serve_table(&art));
         assert!(rendered.contains("simulate"), "{rendered}");
         assert!(rendered.contains("1.500"), "mean wait: {rendered}");
+        assert!(rendered.contains("max pipeline"), "{rendered}");
         // Experiment artifacts have no serve rows.
         let healthy = load(&artifact("fig7c", "LRU", 80, 4.0)).unwrap();
         assert!(healthy.serves.is_empty());

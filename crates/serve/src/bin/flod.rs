@@ -5,11 +5,15 @@
 //! ```
 //!
 //! Listens on a Unix socket (default `<tmp>/flod.sock`; `FLO_LISTEN=tcp:HOST:PORT`
-//! for TCP), serves `layout` / `simulate` / `sweep` requests from a fixed
-//! worker pool over one shared, LRU-bounded cross-request cache, and
-//! drains gracefully on SIGTERM/SIGINT or a `shutdown` request. With
-//! `FLO_METRICS=jsonl`, per-request metrics land in
-//! `results/metrics/flod.jsonl` for `flostat`.
+//! for TCP) behind an epoll-style readiness loop — nonblocking framed
+//! I/O, request pipelining per connection (`FLO_PIPELINE_MAX`), up to
+//! `FLO_MAX_CONNS` near-free idle connections — and serves `layout` /
+//! `simulate` / `sweep` requests from a fixed worker pool over one
+//! shared, LRU-bounded cross-request cache. Drains gracefully on
+//! SIGTERM/SIGINT or a `shutdown` request: every accepted (including
+//! pipelined) job is answered before exit. With `FLO_METRICS=jsonl`,
+//! per-request metrics land in `results/metrics/flod.jsonl` for
+//! `flostat`.
 
 use flo_serve::{server, signal, ServerConfig, Service};
 use std::sync::Arc;
@@ -20,10 +24,12 @@ fn main() {
     let cfg = ServerConfig::from_env();
     let service = Arc::new(Service::from_env());
     eprintln!(
-        "flod: listening on {} ({} workers, queue {})",
+        "flod: listening on {} (readiness loop; {} workers, queue {}, pipeline {}, max conns {})",
         cfg.listen.describe(),
         cfg.workers,
-        cfg.queue_capacity
+        cfg.queue_capacity,
+        cfg.pipeline_max,
+        cfg.max_conns
     );
     match server::run(&cfg, service) {
         Ok(()) => eprintln!("flod: drained, bye"),

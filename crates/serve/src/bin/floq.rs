@@ -16,8 +16,15 @@
 //! JSON is byte-identical to the served one, which is what the CI smoke
 //! job compares. The result (or a typed error) prints to stdout as one
 //! compact JSON line.
+//!
+//! `--pipeline N` sends the request N times on one connection without
+//! waiting between sends and prints the N results in request order (one
+//! line each) — the client-side face of the server's pipelining.
+//! `FLO_RETRIES=K` (default 0) retries a typed `busy` response up to K
+//! times with bounded exponential backoff before giving up.
 
 use flo_core::TargetLayers;
+use flo_serve::client::retries_from_env;
 use flo_serve::protocol::{parse_scheme, FaultSpec, Request, ServeError};
 use flo_serve::{Client, Listen, Service};
 use flo_sim::{PolicyKind, SweepPoint};
@@ -27,6 +34,7 @@ struct Args {
     listen: Option<Listen>,
     direct: bool,
     deadline_ms: Option<u64>,
+    pipeline: usize,
     kind: String,
     app: Option<String>,
     scale: Scale,
@@ -40,8 +48,10 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: floq [--socket PATH | --tcp ADDR] [--direct] [--deadline-ms N] KIND [options]
+        "usage: floq [--socket PATH | --tcp ADDR] [--direct] [--deadline-ms N] [--pipeline N] KIND [options]
   KIND: ping | stats | shutdown | layout | simulate | sweep
+  --pipeline N          send the request N times pipelined on one connection
+  env FLO_RETRIES=K     retry typed busy responses up to K times (default 0)
   --app NAME            application (layout/simulate/sweep)
   --scale small|full    workload scale (default small)
   --scheme NAME         default|inter|compmap|reindex (default inter)
@@ -59,6 +69,7 @@ fn parse_args() -> Args {
         listen: None,
         direct: false,
         deadline_ms: None,
+        pipeline: 1,
         kind: String::new(),
         app: None,
         scale: Scale::Small,
@@ -83,6 +94,10 @@ fn parse_args() -> Args {
             "--direct" => args.direct = true,
             "--deadline-ms" => {
                 args.deadline_ms = Some(parse_num(&need(&mut it, "--deadline-ms"), "--deadline-ms"))
+            }
+            "--pipeline" => {
+                args.pipeline =
+                    parse_num(&need(&mut it, "--pipeline"), "--pipeline").max(1) as usize
             }
             "--app" => args.app = Some(need(&mut it, "--app")),
             "--scale" => {
@@ -196,8 +211,10 @@ fn build_request(args: &Args) -> Request {
 fn main() {
     let args = parse_args();
     let req = build_request(&args);
-    let result = if args.direct {
-        Service::from_env().execute(&req)
+    let results: Vec<Result<flo_json::Json, ServeError>> = if args.direct {
+        // In-process: the served result must be byte-identical to this.
+        let service = Service::from_env();
+        (0..args.pipeline).map(|_| service.execute(&req)).collect()
     } else {
         let listen = args
             .listen
@@ -207,18 +224,34 @@ fn main() {
                 _ => Listen::default_socket(),
             });
         match Client::connect(&listen) {
-            Ok(mut client) => client.call(&req, args.deadline_ms),
-            Err(e) => Err(ServeError::Internal(format!(
+            Ok(mut client) => {
+                if args.pipeline > 1 {
+                    let reqs: Vec<Request> = (0..args.pipeline).map(|_| req.clone()).collect();
+                    match client.call_pipelined(&reqs, args.deadline_ms) {
+                        Ok(rs) => rs,
+                        Err(e) => vec![Err(e)],
+                    }
+                } else {
+                    vec![client.call_retry(&req, args.deadline_ms, retries_from_env())]
+                }
+            }
+            Err(e) => vec![Err(ServeError::Internal(format!(
                 "cannot connect to {}: {e}",
                 listen.describe()
-            ))),
+            )))],
         }
     };
-    match result {
-        Ok(json) => println!("{json}"),
-        Err(e) => {
-            eprintln!("floq: {e}");
-            std::process::exit(1);
+    let mut failed = false;
+    for result in results {
+        match result {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("floq: {e}");
+                failed = true;
+            }
         }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

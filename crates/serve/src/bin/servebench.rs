@@ -1,21 +1,29 @@
-//! `servebench` — measures what the shared cross-request cache buys.
+//! `servebench` — measures what the shared cross-request cache buys,
+//! and what a crowd of idle connections costs.
 //!
-//! Runs the same mixed request batch twice against an in-process `flod`
-//! (over a temp Unix socket, with concurrent clients):
+//! Runs the same mixed request batch against an in-process `flod` (over
+//! a temp Unix socket, with concurrent clients):
 //!
 //! * **cold** — cache budget 0, so the service retains nothing and every
 //!   request recomputes (the no-shared-cache baseline);
 //! * **warm** — the normal budget, so repeated keys are served from the
-//!   shared cache after their first computation.
+//!   shared cache after their first computation;
+//! * **hc** (high-concurrency, when `--clients` ≥ 32) — the warm batch
+//!   again, but under `--clients` total connections: a hot minority of
+//!   at most 16 issues the requests while the rest sit connected and
+//!   idle after one `ping`, parked in the readiness loop. On the old
+//!   thread-per-connection server this phase starved; on the event loop
+//!   the idle crowd is near-free, which `--hc-gate` enforces.
 //!
-//! Responses must be byte-identical across the two phases (determinism
-//! is the contract that makes the cache safe; see DESIGN.md §2.9). The
-//! aggregate-throughput ratio is written to `BENCH_serve.json`; with
-//! `--gate X` the run fails unless the speedup reaches `X` (the CI
-//! serve-smoke job gates at 2.0).
+//! Responses must be byte-identical across all phases (determinism is
+//! the contract that makes the cache safe; see DESIGN.md §2.9). The
+//! aggregate throughputs are written to `BENCH_serve.json`; with
+//! `--gate X` the run fails unless the warm/cold speedup reaches `X`,
+//! and with `--hc-gate Y` unless hc throughput reaches `Y`× warm (the
+//! CI serve-smoke job gates at 2.0 and 0.9).
 //!
 //! ```text
-//! servebench [--repeats N] [--clients N] [--workers N] [--gate X]
+//! servebench [--repeats N] [--clients N] [--workers N] [--gate X] [--hc-gate Y]
 //! ```
 
 use flo_obs::sink::write_json_artifact;
@@ -27,12 +35,19 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// `--clients` at or past this threshold turns on the hc phase; below
+/// it the flag just sets the hot-client count, as it always did.
+const HC_THRESHOLD: usize = 32;
+/// Hot clients in the hc phase — the working minority.
+const HC_HOT: usize = 16;
+
 struct Opts {
     repeats: usize,
     clients: usize,
     workers: usize,
     budget_mb: usize,
     gate: Option<f64>,
+    hc_gate: Option<f64>,
 }
 
 fn parse_opts() -> Opts {
@@ -42,6 +57,7 @@ fn parse_opts() -> Opts {
         workers: 4,
         budget_mb: 256,
         gate: None,
+        hc_gate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -57,6 +73,7 @@ fn parse_opts() -> Opts {
             "--workers" => opts.workers = val("--workers").parse().expect("--workers"),
             "--budget-mb" => opts.budget_mb = val("--budget-mb").parse().expect("--budget-mb"),
             "--gate" => opts.gate = Some(val("--gate").parse().expect("--gate")),
+            "--hc-gate" => opts.hc_gate = Some(val("--hc-gate").parse().expect("--hc-gate")),
             other => {
                 eprintln!("servebench: unknown argument {other:?}");
                 std::process::exit(2);
@@ -89,13 +106,16 @@ fn batch(repeats: usize) -> Vec<Request> {
     reqs
 }
 
-/// Serve `requests` from `clients` concurrent connections against a
-/// fresh server whose caches hold `budget_bytes`. Returns the wall time
-/// of the client phase and every response, indexed like `requests`.
+/// Serve `requests` from `hot` concurrent connections — plus `idle`
+/// extra connections that ping once and then sit parked for the whole
+/// phase — against a fresh server whose caches hold `budget_bytes`.
+/// Returns the wall time of the hot-client phase and every response,
+/// indexed like `requests`.
 fn run_phase(
     budget_bytes: usize,
     workers: usize,
-    clients: usize,
+    hot: usize,
+    idle: usize,
     listen: &Listen,
     requests: &[Request],
 ) -> (f64, Vec<String>) {
@@ -105,6 +125,7 @@ fn run_phase(
         workers,
         queue_capacity: workers * 8,
         run_name: "servebench".to_string(),
+        ..ServerConfig::default()
     };
     let service = Arc::new(Service::with_budget(budget_bytes));
     let server = {
@@ -113,15 +134,25 @@ fn run_phase(
     };
     // Wait for the bind before starting the clock.
     Client::connect_retry(listen, Duration::from_secs(10)).expect("daemon did not come up");
+    // The idle crowd: each connects, proves liveness with one ping, and
+    // then just *exists* — no thread per connection here either; the
+    // parked sockets live in the server's poller until this Vec drops.
+    let idles: Vec<Client> = (0..idle)
+        .map(|_| {
+            let mut c = Client::connect(listen).expect("idle connect");
+            c.call(&Request::Ping, None).expect("idle ping");
+            c
+        })
+        .collect();
     let started = Instant::now();
     let responses: Vec<(usize, String)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
+        let handles: Vec<_> = (0..hot)
             .map(|c| {
                 scope.spawn(move || {
                     let mut client = Client::connect(listen).expect("client connect");
                     let mut got = Vec::new();
                     for (i, req) in requests.iter().enumerate() {
-                        if i % clients != c {
+                        if i % hot != c {
                             continue;
                         }
                         let result = client
@@ -139,6 +170,7 @@ fn run_phase(
             .collect()
     });
     let elapsed = started.elapsed().as_secs_f64();
+    drop(idles);
     let mut client = Client::connect(listen).expect("shutdown connect");
     client.call(&Request::Shutdown, None).expect("shutdown");
     server
@@ -157,23 +189,25 @@ fn main() {
     let listen =
         Listen::Unix(std::env::temp_dir().join(format!("flod-bench-{}.sock", std::process::id())));
     let requests = batch(opts.repeats);
+    let hc = opts.clients >= HC_THRESHOLD;
+    let base_clients = if hc { 4 } else { opts.clients };
     println!(
-        "servebench: {} requests, {} clients, {} workers",
+        "servebench: {} requests, {} clients, {} workers{}",
         requests.len(),
         opts.clients,
-        opts.workers
-    );
-
-    let (cold_s, cold) = run_phase(0, opts.workers, opts.clients, &listen, &requests);
-    let (warm_s, warm) = run_phase(
-        opts.budget_mb << 20,
         opts.workers,
-        opts.clients,
-        &listen,
-        &requests,
+        if hc {
+            format!(" (hc phase: {HC_HOT} hot + {} idle)", opts.clients - HC_HOT)
+        } else {
+            String::new()
+        }
     );
 
-    let identical = cold == warm;
+    let budget = opts.budget_mb << 20;
+    let (cold_s, cold) = run_phase(0, opts.workers, base_clients, 0, &listen, &requests);
+    let (warm_s, warm) = run_phase(budget, opts.workers, base_clients, 0, &listen, &requests);
+
+    let mut identical = cold == warm;
     if !identical {
         eprintln!("servebench: FAIL — cold and warm responses differ");
     }
@@ -184,7 +218,7 @@ fn main() {
     println!("warm: {warm_s:.3}s ({warm_rps:.1} req/s)");
     println!("speedup: {speedup:.2}x (shared-cache hits on repeated keys)");
 
-    let doc = flo_json::Json::obj()
+    let mut doc = flo_json::Json::obj()
         .set("scale", "small")
         .set("requests", requests.len())
         .set("repeats", opts.repeats)
@@ -195,8 +229,33 @@ fn main() {
         .set("warm_s", warm_s)
         .set("cold_rps", cold_rps)
         .set("warm_rps", warm_rps)
-        .set("speedup", speedup)
-        .set("identical", identical);
+        .set("speedup", speedup);
+
+    let mut hc_ratio = None;
+    if hc {
+        let idle = opts.clients - HC_HOT;
+        let (hc_s, hc_resp) = run_phase(budget, opts.workers, HC_HOT, idle, &listen, &requests);
+        if hc_resp != warm {
+            eprintln!("servebench: FAIL — high-concurrency responses differ from warm");
+            identical = false;
+        }
+        let hc_rps = requests.len() as f64 / hc_s;
+        let ratio = hc_rps / warm_rps;
+        println!(
+            "hc:   {hc_s:.3}s ({hc_rps:.1} req/s) with {} total conns — {ratio:.2}x of warm",
+            opts.clients
+        );
+        doc = doc
+            .set("hc_clients", opts.clients)
+            .set("hc_hot", HC_HOT)
+            .set("hc_idle", idle)
+            .set("hc_s", hc_s)
+            .set("hc_rps", hc_rps)
+            .set("hc_ratio", ratio);
+        hc_ratio = Some(ratio);
+    }
+    doc = doc.set("identical", identical);
+
     let path = Path::new("BENCH_serve.json");
     match write_json_artifact(path, doc) {
         Ok(()) => println!("wrote {}", path.display()),
@@ -212,5 +271,18 @@ fn main() {
             std::process::exit(1);
         }
         println!("gate: {speedup:.2}x >= {gate:.2}x, ok");
+    }
+    if let Some(gate) = opts.hc_gate {
+        let Some(ratio) = hc_ratio else {
+            eprintln!("servebench: FAIL — --hc-gate needs --clients >= {HC_THRESHOLD}");
+            std::process::exit(1);
+        };
+        if ratio < gate {
+            eprintln!(
+                "servebench: FAIL — hc throughput {ratio:.2}x of warm, below the {gate:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!("hc-gate: {ratio:.2}x >= {gate:.2}x, ok");
     }
 }

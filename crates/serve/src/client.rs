@@ -1,5 +1,17 @@
 //! The blocking client `floq` (and the test suites) use to talk to
-//! `flod`: connect, frame a request, read the response envelope.
+//! `flod`: connect, frame requests, read response envelopes.
+//!
+//! Two calling styles:
+//!
+//! * [`Client::call`] — one request, wait for its answer (the id must
+//!   match: a lone caller's responses cannot be reordered);
+//! * [`Client::send`] + [`Client::recv`] — pipelining. Queue several
+//!   requests without waiting, then collect responses as the server
+//!   answers them *in completion order*; each response is matched back
+//!   to its request by id.
+//!
+//! [`Client::call_retry`] layers bounded exponential backoff over
+//! `call` for typed `busy` responses (`FLO_RETRIES`).
 
 use crate::protocol::{read_frame, write_frame, FrameError, Request, ServeError};
 use crate::server::Listen;
@@ -45,6 +57,57 @@ impl io::Write for Conn {
     }
 }
 
+/// Decode a response envelope into the `result` payload or the typed
+/// error the server sent.
+fn decode_response(resp: &Json) -> Result<Json, ServeError> {
+    match resp.get("ok").and_then(Json::as_bool) {
+        Some(true) => resp
+            .get("result")
+            .cloned()
+            .ok_or_else(|| ServeError::Protocol("ok response lacks `result`".into())),
+        Some(false) => {
+            let err = resp.get("error");
+            let kind = err
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .unwrap_or("internal");
+            let message = err
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            Err(match kind {
+                "protocol" => ServeError::Protocol(message),
+                "bad-request" => ServeError::BadRequest(message),
+                "busy" => ServeError::Busy,
+                "deadline" => ServeError::DeadlineExceeded,
+                "shutting-down" => ServeError::ShuttingDown,
+                _ => ServeError::Internal(message),
+            })
+        }
+        None => Err(ServeError::Protocol("response lacks `ok`".into())),
+    }
+}
+
+/// The retry schedule for [`Client::call_retry`]: `retries` delays,
+/// doubling from 25 ms and capped at 800 ms so a deep backoff cannot
+/// stall a CLI for seconds.
+pub fn backoff_delays(retries: u32) -> Vec<Duration> {
+    (0..retries)
+        .map(|i| Duration::from_millis((25u64 << i.min(5)).min(800)))
+        .collect()
+}
+
+/// `FLO_RETRIES` (default 0 — a busy server stays a visible, typed
+/// error unless the caller opts into waiting it out).
+pub fn retries_from_env() -> u32 {
+    std::env::var("FLO_RETRIES")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .unwrap_or(0)
+        .min(16)
+}
+
 impl Client {
     /// Connect to a daemon.
     pub fn connect(listen: &Listen) -> io::Result<Client> {
@@ -68,49 +131,127 @@ impl Client {
         }
     }
 
-    /// Send one request and wait for its response envelope. Returns the
-    /// `result` payload, or the server's typed error.
-    pub fn call(&mut self, req: &Request, deadline_ms: Option<u64>) -> Result<Json, ServeError> {
+    /// Queue one request without waiting for its answer. Returns the
+    /// request id; collect the response later with [`Client::recv`].
+    pub fn send(&mut self, req: &Request, deadline_ms: Option<u64>) -> Result<u64, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
         write_frame(&mut self.conn, &req.to_envelope(id, deadline_ms))
             .map_err(|e| ServeError::Protocol(format!("cannot send request: {e}")))?;
+        Ok(id)
+    }
+
+    /// Read the next response envelope off the wire, whatever request it
+    /// answers. Returns `(id, result-or-error)` — the server answers
+    /// pipelined requests in *completion* order, not send order.
+    pub fn recv(&mut self) -> Result<(u64, Result<Json, ServeError>), ServeError> {
         let resp = read_frame(&mut self.conn, &|| false).map_err(|e| match e {
             FrameError::Closed => ServeError::Protocol("server closed the connection".into()),
             other => ServeError::Protocol(other.to_string()),
         })?;
-        let got = resp.get("id").and_then(Json::as_u64);
-        if got != Some(id) {
+        let id = resp
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServeError::Protocol("response lacks `id`".into()))?;
+        Ok((id, decode_response(&resp)))
+    }
+
+    /// Send one request and wait for its response envelope. Returns the
+    /// `result` payload, or the server's typed error.
+    pub fn call(&mut self, req: &Request, deadline_ms: Option<u64>) -> Result<Json, ServeError> {
+        let id = self.send(req, deadline_ms)?;
+        let (got, payload) = self.recv()?;
+        if got != id {
             return Err(ServeError::Protocol(format!(
-                "response id {got:?} does not match request id {id}"
+                "response id {got} does not match request id {id}"
             )));
         }
-        match resp.get("ok").and_then(Json::as_bool) {
-            Some(true) => resp
-                .get("result")
-                .cloned()
-                .ok_or_else(|| ServeError::Protocol("ok response lacks `result`".into())),
-            Some(false) => {
-                let err = resp.get("error");
-                let kind = err
-                    .and_then(|e| e.get("kind"))
-                    .and_then(Json::as_str)
-                    .unwrap_or("internal");
-                let message = err
-                    .and_then(|e| e.get("message"))
-                    .and_then(Json::as_str)
-                    .unwrap_or("")
-                    .to_string();
-                Err(match kind {
-                    "protocol" => ServeError::Protocol(message),
-                    "bad-request" => ServeError::BadRequest(message),
-                    "busy" => ServeError::Busy,
-                    "deadline" => ServeError::DeadlineExceeded,
-                    "shutting-down" => ServeError::ShuttingDown,
-                    _ => ServeError::Internal(message),
-                })
+        payload
+    }
+
+    /// [`Client::call`] with bounded exponential backoff on `busy`: up
+    /// to `retries` re-sends spaced by [`backoff_delays`]. Every other
+    /// error — including `deadline` and `shutting-down` — surfaces
+    /// immediately; only transient queue pressure is worth waiting out.
+    pub fn call_retry(
+        &mut self,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        retries: u32,
+    ) -> Result<Json, ServeError> {
+        let mut last = self.call(req, deadline_ms);
+        for delay in backoff_delays(retries) {
+            match last {
+                Err(ServeError::Busy) => {
+                    std::thread::sleep(delay);
+                    last = self.call(req, deadline_ms);
+                }
+                other => return other,
             }
-            None => Err(ServeError::Protocol("response lacks `ok`".into())),
         }
+        last
+    }
+
+    /// Pipeline a whole batch on this connection: send everything, then
+    /// collect every response and return the payloads in *request*
+    /// order (the wire may answer in any completion order).
+    pub fn call_pipelined(
+        &mut self,
+        reqs: &[Request],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Result<Json, ServeError>>, ServeError> {
+        let mut ids = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            ids.push(self.send(req, deadline_ms)?);
+        }
+        let mut by_id: Vec<(u64, Result<Json, ServeError>)> = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            by_id.push(self.recv()?);
+        }
+        ids.iter()
+            .map(|id| {
+                by_id
+                    .iter()
+                    .position(|(got, _)| got == id)
+                    .map(|i| by_id[i].1.clone())
+                    .ok_or_else(|| {
+                        ServeError::Protocol(format!("no response for pipelined request id {id}"))
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert!(
+            backoff_delays(0).is_empty(),
+            "default FLO_RETRIES=0 never sleeps"
+        );
+        let d = backoff_delays(7);
+        assert_eq!(d.len(), 7);
+        assert_eq!(d[0], Duration::from_millis(25));
+        assert_eq!(d[1], Duration::from_millis(50));
+        assert_eq!(d[4], Duration::from_millis(400));
+        assert_eq!(d[5], Duration::from_millis(800), "cap at 800 ms");
+        assert_eq!(d[6], Duration::from_millis(800), "stays capped");
+    }
+
+    #[test]
+    fn decode_maps_typed_errors() {
+        let busy = crate::protocol::err_response(3, &ServeError::Busy);
+        assert_eq!(decode_response(&busy), Err(ServeError::Busy));
+        let ok = crate::protocol::ok_response(4, Json::obj().set("pong", true));
+        let payload = decode_response(&ok).unwrap();
+        assert_eq!(payload.get("pong").and_then(Json::as_bool), Some(true));
+        let junk = Json::obj().set("id", 9u64);
+        assert!(matches!(
+            decode_response(&junk),
+            Err(ServeError::Protocol(_))
+        ));
     }
 }

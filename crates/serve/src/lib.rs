@@ -16,18 +16,27 @@
 //! to service scope, LRU-bounded by `FLO_CACHE_MB` — therefore never
 //! changes an answer, only its latency.
 //!
+//! The transport is an event-driven readiness loop: one event thread
+//! owns accept plus framed nonblocking I/O over a hand-rolled poller
+//! ([`poller`], epoll on Linux), requests pipeline on a single
+//! connection, and CPU work completes back from the `FLO_WORKERS` pool
+//! over a wakeup pipe — so idle connections are near-free and the
+//! layout engine, not the socket loop, is the bottleneck.
+//!
 //! Module map:
 //!
 //! * [`protocol`] — framing, envelopes, typed [`protocol::ServeError`]s;
 //! * [`service`] — request execution over the shared caches;
-//! * [`server`] — listener, worker pool, queue, graceful drain;
-//! * [`client`] — the blocking client;
+//! * [`server`] — readiness loop, worker pool, queue, graceful drain;
+//! * [`poller`] — dependency-free epoll/poll readiness + wakeup pipe;
+//! * [`client`] — the blocking client, with pipelining and busy-retry;
 //! * [`signal`] — SIGTERM/SIGINT → drain flag, without libc.
 //!
 //! See README.md (quick start), DESIGN.md §2.9 (architecture and the
 //! shared-cache consistency argument) and EXPERIMENTS.md (servebench).
 
 pub mod client;
+pub mod poller;
 pub mod protocol;
 pub mod server;
 pub mod service;

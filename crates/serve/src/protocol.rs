@@ -474,6 +474,29 @@ pub fn ok_response(id: u64, result: Json) -> Json {
         .set("result", result)
 }
 
+/// Build a success response envelope directly as bytes, splicing an
+/// already-serialized `result` payload into the envelope without
+/// re-parsing or re-serializing it. Byte-identical to
+/// `ok_response(id, result).to_string()` because [`Json`] objects
+/// serialize compactly in insertion order — the warm path of the
+/// service's response-bytes cache rests on this equivalence (asserted
+/// by a unit test below and the differential suite).
+pub fn ok_response_bytes(id: u64, result: &[u8]) -> Vec<u8> {
+    // Render the scalar prefix through the one true serializer, then
+    // replace its closing brace with the spliced `result` field.
+    let prefix = Json::obj()
+        .set("v", PROTOCOL_VERSION)
+        .set("id", id)
+        .set("ok", true)
+        .to_string();
+    let mut out = Vec::with_capacity(prefix.len() + result.len() + 12);
+    out.extend_from_slice(&prefix.as_bytes()[..prefix.len() - 1]);
+    out.extend_from_slice(b",\"result\":");
+    out.extend_from_slice(result);
+    out.push(b'}');
+    out
+}
+
 /// Build an error response envelope.
 pub fn err_response(id: u64, err: &ServeError) -> Json {
     Json::obj()
@@ -721,6 +744,27 @@ mod tests {
             read_frame(&mut [].as_slice(), &|| false),
             Err(FrameError::Closed)
         ));
+    }
+
+    #[test]
+    fn spliced_response_bytes_match_the_serializer() {
+        let payloads = [
+            Json::obj().set("pong", true),
+            Json::obj()
+                .set("app", "qio")
+                .set("nested", Json::Arr(vec![Json::from(1u64), Json::Null]))
+                .set("x", 0.5),
+            Json::Arr(vec![]),
+        ];
+        for (i, p) in payloads.iter().enumerate() {
+            let spliced = ok_response_bytes(i as u64, p.to_string().as_bytes());
+            let rendered = ok_response(i as u64, p.clone()).to_string();
+            assert_eq!(
+                String::from_utf8(spliced).unwrap(),
+                rendered,
+                "splice must be byte-identical for payload {i}"
+            );
+        }
     }
 
     #[test]

@@ -1,28 +1,43 @@
-//! The `flod` daemon: listener, bounded job queue, fixed worker pool,
-//! graceful drain.
+//! The `flod` daemon: an event-driven readiness loop over nonblocking
+//! sockets, a fixed CPU worker pool, request pipelining, graceful drain.
 //!
-//! Threading model:
+//! Threading model (PR 6 replaced the thread-per-connection design):
 //!
-//! * one accept loop (the caller's thread) on a non-blocking listener,
-//!   polling the shutdown flag between accepts;
-//! * one connection thread per client, reading frames with a short
-//!   socket timeout so it observes shutdown at frame boundaries;
-//! * a fixed pool of `FLO_WORKERS` worker threads popping jobs off a
-//!   bounded queue. A full queue is *backpressure*: the connection
-//!   thread answers with a typed `busy` error immediately instead of
-//!   queueing unboundedly.
+//! * **one event thread** (the caller of [`run`]) owns the listener and
+//!   every connection. A [`Poller`] (epoll on Linux, poll(2) elsewhere)
+//!   reports readiness; the loop does nonblocking framed reads and
+//!   writes with per-connection buffers and a partial-frame state
+//!   machine (`FrameBuf`), so thousands of idle connections cost one
+//!   registration each and no threads;
+//! * **a fixed pool of `FLO_WORKERS` worker threads** pops CPU-bound
+//!   jobs off a bounded queue, executes them over the shared
+//!   [`Service`], and completes back to the event loop through a
+//!   completion list plus a wakeup pipe ([`WakePair`]). A full queue is
+//!   *backpressure*: the event loop answers a typed `busy` error
+//!   immediately instead of queueing unboundedly.
 //!
-//! Graceful shutdown (SIGTERM, SIGINT, or a `shutdown` request) drains
-//! rather than drops: the accept loop stops, connection threads finish
-//! the request they are waiting on and close, the queue closes, workers
-//! finish whatever was queued, the Unix socket is unlinked, and — when
-//! `FLO_METRICS=jsonl` — the per-request metrics artifact is written.
-//! Ordering matters: connection threads are joined *before* the queue
-//! closes, so every job that was accepted gets executed and answered.
+//! **Pipelining.** A client may send many request frames on one
+//! connection without waiting; the loop dispatches each complete frame
+//! as it parses and answers in *completion order*, with responses
+//! matched to requests by `id` (control requests — `ping`, `stats`,
+//! `shutdown` — are still answered inline, so they can overtake queued
+//! work). Per-connection in-flight work is capped at
+//! `FLO_PIPELINE_MAX`: past the cap the loop simply stops reading that
+//! socket, which surfaces to the peer as ordinary transport
+//! backpressure and bounds server-side buffering.
+//!
+//! **Graceful shutdown** (SIGTERM, SIGINT, or a `shutdown` request)
+//! drains rather than drops: the listener is deregistered, every
+//! connection stops reading new bytes, frames already received keep
+//! being parsed and executed, and the loop runs on until every accepted
+//! job has been answered and flushed. Only then does the queue close,
+//! the workers join, the socket unlink, and — when `FLO_METRICS=jsonl`
+//! — the per-request metrics artifact get written.
 
+use crate::poller::{PollEvent, Poller, WakePair, WakeSender};
 use crate::protocol::{
-    err_response, ok_response, parse_envelope, read_frame, write_frame, Envelope, FrameError,
-    Request, ServeError,
+    err_response, ok_response, ok_response_bytes, parse_envelope, Envelope, Request, ServeError,
+    MAX_FRAME_BYTES,
 };
 use crate::service::Service;
 use crate::signal;
@@ -31,10 +46,10 @@ use flo_obs::{metrics_mode, JsonlSink, MetricsMode};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -50,11 +65,12 @@ pub enum Listen {
 
 impl Listen {
     /// Parse a `FLO_LISTEN` value: `tcp:ADDR` for TCP, anything else is
-    /// a Unix socket path.
+    /// a Unix socket path (an optional `unix:` prefix is accepted, so
+    /// the address [`Listen::describe`] prints round-trips).
     pub fn parse(s: &str) -> Listen {
         match s.strip_prefix("tcp:") {
             Some(addr) => Listen::Tcp(addr.to_string()),
-            None => Listen::Unix(PathBuf::from(s)),
+            None => Listen::Unix(PathBuf::from(s.strip_prefix("unix:").unwrap_or(s))),
         }
     }
 
@@ -83,35 +99,62 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Metrics artifact name (`results/metrics/<run>.jsonl`).
     pub run_name: String,
+    /// Per-connection in-flight pipelining cap (`FLO_PIPELINE_MAX`):
+    /// past this many dispatched-but-unanswered jobs on one connection
+    /// the event loop stops reading that socket until completions land.
+    pub pipeline_max: usize,
+    /// Concurrent-connection cap (`FLO_MAX_CONNS`); connections past it
+    /// are accepted and immediately closed.
+    pub max_conns: usize,
 }
 
-impl ServerConfig {
-    /// Configuration from `FLO_LISTEN` / `FLO_WORKERS`, with defaults
-    /// sized for an interactive daemon.
-    pub fn from_env() -> ServerConfig {
-        let listen = match std::env::var("FLO_LISTEN") {
-            Ok(s) if !s.trim().is_empty() => Listen::parse(s.trim()),
-            _ => Listen::default_socket(),
-        };
-        let workers = std::env::var("FLO_WORKERS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .filter(|&w| w >= 1)
-            .unwrap_or_else(|| {
-                thread::available_parallelism()
-                    .map(|n| n.get().min(8))
-                    .unwrap_or(4)
-            });
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
         ServerConfig {
-            listen,
-            workers,
-            queue_capacity: workers * 8,
+            listen: Listen::default_socket(),
+            workers: 4,
+            queue_capacity: 32,
             run_name: "flod".to_string(),
+            pipeline_max: 64,
+            max_conns: 4096,
         }
     }
 }
 
-/// A connected client stream, transport-erased.
+impl ServerConfig {
+    /// Configuration from `FLO_LISTEN` / `FLO_WORKERS` /
+    /// `FLO_PIPELINE_MAX` / `FLO_MAX_CONNS`, with defaults sized for an
+    /// interactive daemon.
+    pub fn from_env() -> ServerConfig {
+        let env_usize = |name: &str, min: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&v| v >= min)
+        };
+        let listen = match std::env::var("FLO_LISTEN") {
+            Ok(s) if !s.trim().is_empty() => Listen::parse(s.trim()),
+            _ => Listen::default_socket(),
+        };
+        let workers = env_usize("FLO_WORKERS", 1).unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4)
+        });
+        let defaults = ServerConfig::default();
+        ServerConfig {
+            listen,
+            workers,
+            queue_capacity: workers * 8,
+            run_name: defaults.run_name,
+            pipeline_max: env_usize("FLO_PIPELINE_MAX", 1).unwrap_or(defaults.pipeline_max),
+            max_conns: env_usize("FLO_MAX_CONNS", 1).unwrap_or(defaults.max_conns),
+        }
+    }
+}
+
+/// A connected client stream, transport-erased. The event loop keeps
+/// every stream nonblocking.
 pub enum Conn {
     /// Unix-domain stream.
     Unix(UnixStream),
@@ -120,10 +163,10 @@ pub enum Conn {
 }
 
 impl Conn {
-    fn set_read_timeout(&self, d: Option<Duration>) -> io::Result<()> {
+    fn raw_fd(&self) -> RawFd {
         match self {
-            Conn::Unix(s) => s.set_read_timeout(d),
-            Conn::Tcp(s) => s.set_read_timeout(d),
+            Conn::Unix(s) => s.as_raw_fd(),
+            Conn::Tcp(s) => s.as_raw_fd(),
         }
     }
 }
@@ -178,7 +221,15 @@ impl Listener {
         }
     }
 
-    /// One accept attempt: `Ok(None)` when no client is waiting.
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Unix(l, _) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+
+    /// One accept attempt: `Ok(None)` when no client is waiting. The
+    /// accepted stream is left nonblocking — the event loop owns it.
     fn accept(&self) -> io::Result<Option<Conn>> {
         let conn = match self {
             Listener::Unix(l, _) => match l.accept() {
@@ -193,12 +244,9 @@ impl Listener {
             },
         };
         if let Some(c) = &conn {
-            // The listener is non-blocking; the accepted stream must not
-            // be. A short read timeout turns blocking reads into
-            // shutdown-observation points.
             match c {
-                Conn::Unix(s) => s.set_nonblocking(false)?,
-                Conn::Tcp(s) => s.set_nonblocking(false)?,
+                Conn::Unix(s) => s.set_nonblocking(true)?,
+                Conn::Tcp(s) => s.set_nonblocking(true)?,
             }
         }
         Ok(conn)
@@ -217,7 +265,14 @@ struct Job {
     enqueued: Instant,
     deadline: Option<Instant>,
     depth_at_enqueue: usize,
-    reply: mpsc::Sender<Result<Json, ServeError>>,
+    /// In-flight requests on the owning connection when this one was
+    /// dispatched (1 = unpipelined) — the pipelining gauge on the
+    /// `serve-request` metrics event.
+    conn_inflight: usize,
+    /// Connection token the response routes back to.
+    token: u64,
+    /// Request id, echoed in the response envelope.
+    id: u64,
 }
 
 /// The bounded job queue: `try_push` is the backpressure point, `pop`
@@ -279,6 +334,31 @@ impl JobQueue {
     }
 }
 
+/// A finished job on its way back to the event loop: the full response
+/// envelope, already serialized, addressed by connection token.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+}
+
+/// Where workers park completions for the event loop, plus the wakeup
+/// sender that makes the poller notice them.
+struct CompletionQueue {
+    done: Mutex<Vec<Completion>>,
+    wake: WakeSender,
+}
+
+impl CompletionQueue {
+    fn push(&self, c: Completion) {
+        self.done.lock().unwrap().push(c);
+        self.wake.wake();
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut self.done.lock().unwrap())
+    }
+}
+
 /// Per-request metrics events parked until shutdown.
 type Events = Arc<Mutex<Vec<Json>>>;
 
@@ -287,6 +367,7 @@ fn worker_loop(
     service: Arc<Service>,
     events: Events,
     inflight: Arc<AtomicUsize>,
+    completions: Arc<CompletionQueue>,
 ) {
     while let Some(job) = queue.pop() {
         let wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
@@ -296,7 +377,7 @@ fn worker_loop(
             Some(d) if Instant::now() > d => Err(ServeError::DeadlineExceeded),
             _ => {
                 let _span = flo_obs::span("serve-request");
-                service.execute(&job.request)
+                service.execute_bytes(&job.request)
             }
         };
         inflight.fetch_sub(1, Ordering::SeqCst);
@@ -305,6 +386,7 @@ fn worker_loop(
                 .set("request", job.request.kind())
                 .set("app", job.request.app())
                 .set("queue_depth", job.depth_at_enqueue)
+                .set("conn_inflight", job.conn_inflight)
                 .set("wait_ms", wait_ms)
                 .set("exec_ms", started.elapsed().as_secs_f64() * 1e3)
                 .set("ok", result.is_ok());
@@ -313,38 +395,305 @@ fn worker_loop(
             }
             events.lock().unwrap().push(ev);
         }
-        // A send error means the connection thread is gone (client hung
-        // up); the work is done and cached either way.
-        let _ = job.reply.send(result);
+        // The response envelope: cached result bytes spliced in on
+        // success (no re-serialization), a typed error otherwise. If the
+        // connection died meanwhile the event loop drops the completion;
+        // the work is done and cached either way.
+        let bytes = match result {
+            Ok(payload) => ok_response_bytes(job.id, &payload),
+            Err(e) => err_response(job.id, &e).to_string().into_bytes(),
+        };
+        completions.push(Completion {
+            token: job.token,
+            bytes,
+        });
     }
 }
 
-fn conn_loop(
-    mut conn: Conn,
+/// Incremental length-prefixed frame reassembly: bytes arrive in
+/// arbitrary fragments (partial length prefix, split headers, frames
+/// glued together); [`FrameBuf::next_frame`] yields each complete body
+/// exactly once.
+#[derive(Default)]
+struct FrameBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+enum Extract {
+    /// Not enough bytes for the next frame yet.
+    NeedMore,
+    /// One complete frame body.
+    Frame(Vec<u8>),
+    /// The length prefix itself is hostile; framing is lost for good.
+    Malformed(String),
+}
+
+impl FrameBuf {
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed byte count (a nonzero value at EOF is a truncated
+    /// frame).
+    fn leftover(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    fn next_frame(&mut self, max_frame: usize) -> Extract {
+        let avail = self.leftover();
+        if avail < 4 {
+            self.compact();
+            return Extract::NeedMore;
+        }
+        let p = self.pos;
+        let len = u32::from_le_bytes([
+            self.buf[p],
+            self.buf[p + 1],
+            self.buf[p + 2],
+            self.buf[p + 3],
+        ]) as usize;
+        if len > max_frame {
+            return Extract::Malformed(format!(
+                "frame of {len} bytes exceeds the {max_frame}-byte cap"
+            ));
+        }
+        if avail - 4 < len {
+            self.compact();
+            return Extract::NeedMore;
+        }
+        let body = self.buf[p + 4..p + 4 + len].to_vec();
+        self.pos += 4 + len;
+        Extract::Frame(body)
+    }
+
+    /// Drop consumed bytes once they dominate the buffer, so a
+    /// long-lived pipelined connection does not accrete history.
+    fn compact(&mut self) {
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// One live connection owned by the event loop.
+struct Connection {
+    conn: Conn,
+    token: u64,
+    rbuf: FrameBuf,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Dispatched-but-unanswered jobs (the pipelining depth).
+    pending: usize,
+    /// No more bytes will be read: EOF, drain, or lost framing.
+    read_closed: bool,
+    /// Truncated-frame error already queued (answer once, like the old
+    /// blocking reader did).
+    truncation_answered: bool,
+    /// Transport failed; discard without flushing.
+    kill: bool,
+    /// Interest bits currently registered with the poller.
+    registered: (bool, bool),
+}
+
+impl Connection {
+    fn wbuf_empty(&self) -> bool {
+        self.wpos >= self.wbuf.len()
+    }
+
+    fn queue_frame(&mut self, body: &[u8]) {
+        self.wbuf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.wbuf.extend_from_slice(body);
+    }
+
+    fn queue_json(&mut self, json: &Json) {
+        self.queue_frame(json.to_string().as_bytes());
+    }
+}
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKE_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+fn conn_token(index: usize, generation: u64) -> u64 {
+    (generation << 32) | (index as u64 + FIRST_CONN_TOKEN)
+}
+
+fn token_index(token: u64) -> usize {
+    ((token & 0xFFFF_FFFF) - FIRST_CONN_TOKEN) as usize
+}
+
+/// The readiness loop and everything it owns.
+struct EventLoop {
+    poller: Poller,
+    listener: Listener,
+    listener_open: bool,
+    wake: WakePair,
+    slots: Vec<Option<Connection>>,
+    free: Vec<usize>,
+    generation: u64,
+    live: usize,
     queue: Arc<JobQueue>,
+    completions: Arc<CompletionQueue>,
     service: Arc<Service>,
     inflight: Arc<AtomicUsize>,
-) {
-    if conn
-        .set_read_timeout(Some(Duration::from_millis(200)))
-        .is_err()
-    {
-        return;
+    pipeline_max: usize,
+    max_conns: usize,
+    /// High-water mark of per-connection pipelining depth.
+    max_conn_inflight: usize,
+    draining: bool,
+}
+
+impl EventLoop {
+    /// Accept until the listener would block.
+    fn accept_burst(&mut self) {
+        while self.listener_open {
+            match self.listener.accept() {
+                Ok(Some(conn)) => {
+                    if self.live >= self.max_conns {
+                        // Over the connection cap: shed immediately. The
+                        // peer sees a clean close before any frame.
+                        drop(conn);
+                        continue;
+                    }
+                    let index = self.free.pop().unwrap_or_else(|| {
+                        self.slots.push(None);
+                        self.slots.len() - 1
+                    });
+                    self.generation += 1;
+                    let token = conn_token(index, self.generation);
+                    if self
+                        .poller
+                        .register(conn.raw_fd(), token, true, false)
+                        .is_err()
+                    {
+                        self.free.push(index);
+                        continue;
+                    }
+                    self.slots[index] = Some(Connection {
+                        conn,
+                        token,
+                        rbuf: FrameBuf::default(),
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        pending: 0,
+                        read_closed: false,
+                        truncation_answered: false,
+                        kill: false,
+                        registered: (true, false),
+                    });
+                    self.live += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("flod: accept error: {e}");
+                    break;
+                }
+            }
+        }
     }
-    let cancel = signal::shutdown_requested;
-    loop {
-        let json = match read_frame(&mut conn, &cancel) {
-            Ok(j) => j,
-            Err(FrameError::Idle) => {
-                if cancel() {
+
+    /// Resolve a token to a live slot index, rejecting stale tokens for
+    /// recycled slots.
+    fn lookup(&self, token: u64) -> Option<usize> {
+        let index = token_index(token);
+        match self.slots.get(index) {
+            Some(Some(c)) if c.token == token => Some(index),
+            _ => None,
+        }
+    }
+
+    /// Read until the socket would block (skipped while the pipeline
+    /// cap has reading paused — kernel-buffer backpressure does the
+    /// rest).
+    fn fill_read(&mut self, index: usize) {
+        let Some(conn) = self.slots[index].as_mut() else {
+            return;
+        };
+        if conn.read_closed || conn.pending >= self.pipeline_max {
+            return;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.conn.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => conn.rbuf.push(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.kill = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The per-connection state machine turn: parse frames, dispatch or
+    /// answer inline, flush, fix poller interest, maybe close.
+    fn advance(&mut self, index: usize) {
+        self.process_frames(index);
+        self.flush_write(index);
+        self.update_interest(index);
+        self.maybe_close(index);
+    }
+
+    fn process_frames(&mut self, index: usize) {
+        loop {
+            let Some(conn) = self.slots[index].as_mut() else {
+                return;
+            };
+            if conn.kill || conn.pending >= self.pipeline_max {
+                return;
+            }
+            match conn.rbuf.next_frame(MAX_FRAME_BYTES) {
+                Extract::NeedMore => {
+                    // EOF (or drain) with a partial frame that can never
+                    // complete: answer the truncation once, then stop.
+                    if conn.read_closed && conn.rbuf.leftover() > 0 && !conn.truncation_answered {
+                        conn.truncation_answered = true;
+                        let msg = ServeError::Protocol("stream closed mid-frame".into());
+                        conn.queue_json(&err_response(0, &msg));
+                        conn.rbuf.clear();
+                    }
                     return;
                 }
-                continue;
+                Extract::Malformed(m) => {
+                    // Framing is lost; answer once, then hang up after
+                    // the flush (matching the old blocking reader).
+                    conn.queue_json(&err_response(0, &ServeError::Protocol(m)));
+                    conn.read_closed = true;
+                    conn.rbuf.clear();
+                    return;
+                }
+                Extract::Frame(body) => self.handle_frame(index, &body),
             }
-            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
-            Err(FrameError::Malformed(m)) => {
-                // Framing may be lost; answer once, then hang up.
-                let _ = write_frame(&mut conn, &err_response(0, &ServeError::Protocol(m)));
+        }
+    }
+
+    fn handle_frame(&mut self, index: usize, body: &[u8]) {
+        let parsed = std::str::from_utf8(body)
+            .map_err(|e| format!("frame is not UTF-8: {e}"))
+            .and_then(|text| flo_json::parse(text).map_err(|e| format!("frame is not JSON: {e}")));
+        let conn = self.slots[index].as_mut().expect("frame on a live conn");
+        let json = match parsed {
+            Ok(j) => j,
+            Err(m) => {
+                // The frame boundary held, but the body is garbage;
+                // framing itself may be fine, yet the old server hung up
+                // here and the fuzz suite pins that behavior.
+                conn.queue_json(&err_response(0, &ServeError::Protocol(m)));
+                conn.read_closed = true;
+                conn.rbuf.clear();
                 return;
             }
         };
@@ -358,113 +707,276 @@ fn conn_loop(
         } = match parse_envelope(&json) {
             Ok(env) => env,
             Err(e) => {
-                if write_frame(&mut conn, &err_response(raw_id, &e)).is_err() {
-                    return;
-                }
-                continue;
-            }
-        };
-        let response = match request {
-            // Control requests answer inline: they must work even when
-            // every worker is busy (that is what `stats` is *for*).
-            Request::Ping => ok_response(id, Json::obj().set("pong", true)),
-            Request::Stats => ok_response(
-                id,
-                service
-                    .stats()
-                    .set("queue_depth", queue.depth())
-                    .set("queue_capacity", queue.capacity)
-                    .set("inflight", inflight.load(Ordering::SeqCst)),
-            ),
-            Request::Shutdown => {
-                signal::request_shutdown();
-                let _ = write_frame(
-                    &mut conn,
-                    &ok_response(id, Json::obj().set("draining", true)),
-                );
+                conn.queue_json(&err_response(raw_id, &e));
                 return;
             }
+        };
+        match request {
+            // Control requests answer inline from the event thread: they
+            // must overtake queued work even when every worker is busy
+            // (that is what `stats` is *for*).
+            Request::Ping => {
+                let resp = ok_response(id, Json::obj().set("pong", true));
+                conn.queue_json(&resp);
+            }
+            Request::Stats => {
+                let stats = self.stats_json();
+                let conn = self.slots[index].as_mut().expect("conn");
+                conn.queue_json(&ok_response(id, stats));
+            }
+            Request::Shutdown => {
+                conn.queue_json(&ok_response(id, Json::obj().set("draining", true)));
+                conn.read_closed = true;
+                signal::request_shutdown();
+            }
             request => {
-                let (tx, rx) = mpsc::channel();
+                let token = conn.token;
+                let conn_inflight = conn.pending + 1;
                 let job = Job {
                     request,
                     enqueued: Instant::now(),
                     deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
                     depth_at_enqueue: 0,
-                    reply: tx,
+                    conn_inflight,
+                    token,
+                    id,
                 };
-                match queue.try_push(job) {
-                    Err(e) => err_response(id, &e),
-                    Ok(_) => match rx.recv() {
-                        Ok(Ok(result)) => ok_response(id, result),
-                        Ok(Err(e)) => err_response(id, &e),
-                        Err(_) => {
-                            err_response(id, &ServeError::Internal("worker dropped the job".into()))
-                        }
-                    },
+                match self.queue.try_push(job) {
+                    Err(e) => {
+                        let conn = self.slots[index].as_mut().expect("conn");
+                        conn.queue_json(&err_response(id, &e));
+                    }
+                    Ok(_) => {
+                        let conn = self.slots[index].as_mut().expect("conn");
+                        conn.pending += 1;
+                        self.max_conn_inflight = self.max_conn_inflight.max(conn.pending);
+                    }
                 }
             }
-        };
-        if write_frame(&mut conn, &response).is_err() {
+        }
+    }
+
+    fn stats_json(&self) -> Json {
+        self.service
+            .stats()
+            .set("queue_depth", self.queue.depth())
+            .set("queue_capacity", self.queue.capacity)
+            .set("inflight", self.inflight.load(Ordering::SeqCst))
+            .set("connections", self.live)
+            .set("max_conn_inflight", self.max_conn_inflight)
+    }
+
+    fn flush_write(&mut self, index: usize) {
+        let Some(conn) = self.slots[index].as_mut() else {
             return;
+        };
+        while conn.wpos < conn.wbuf.len() {
+            match conn.conn.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    conn.kill = true;
+                    break;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.kill = true;
+                    break;
+                }
+            }
+        }
+        if conn.wpos >= conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+        }
+    }
+
+    fn update_interest(&mut self, index: usize) {
+        let pipeline_max = self.pipeline_max;
+        let Some(conn) = self.slots[index].as_mut() else {
+            return;
+        };
+        if conn.kill {
+            return;
+        }
+        let want = (
+            !conn.read_closed && conn.pending < pipeline_max,
+            !conn.wbuf_empty(),
+        );
+        if want != conn.registered {
+            let fd = conn.conn.raw_fd();
+            let token = conn.token;
+            if self.poller.modify(fd, token, want.0, want.1).is_ok() {
+                let conn = self.slots[index].as_mut().expect("conn");
+                conn.registered = want;
+            }
+        }
+    }
+
+    fn maybe_close(&mut self, index: usize) {
+        let Some(conn) = self.slots[index].as_ref() else {
+            return;
+        };
+        let done =
+            conn.read_closed && conn.pending == 0 && conn.wbuf_empty() && conn.rbuf.leftover() < 4; // nothing extractable remains
+        if conn.kill || done {
+            let fd = conn.conn.raw_fd();
+            let _ = self.poller.deregister(fd);
+            self.slots[index] = None;
+            self.free.push(index);
+            self.live -= 1;
+        }
+    }
+
+    /// Route finished jobs back to their connections and advance each
+    /// touched connection (which also resumes reading past the pipeline
+    /// cap).
+    fn deliver_completions(&mut self) {
+        let batch = self.completions.drain();
+        let mut touched = Vec::with_capacity(batch.len());
+        for c in batch {
+            // A completion for a connection that died mid-flight is
+            // dropped: the result is already in the shared cache.
+            if let Some(index) = self.lookup(c.token) {
+                let conn = self.slots[index].as_mut().expect("looked-up conn");
+                conn.queue_frame(&c.bytes);
+                conn.pending -= 1;
+                if !touched.contains(&index) {
+                    touched.push(index);
+                }
+            }
+        }
+        for index in touched {
+            self.advance(index);
+        }
+    }
+
+    /// Quiesce the poller for drain: stop accepting, stop reading.
+    /// Frames already buffered keep being parsed and answered — every
+    /// accepted pipelined job drains through.
+    fn start_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        if self.listener_open {
+            // One final accept first: a client whose connect completed
+            // before the shutdown instant may still be sitting in the
+            // backlog (its frames count as accepted work), and closing
+            // the listener over it would reset a connection we owe.
+            self.accept_burst();
+            let _ = self.poller.deregister(self.listener.raw_fd());
+            self.listener_open = false;
+        }
+        for index in 0..self.slots.len() {
+            // One final read first: frames the kernel already holds at
+            // the shutdown instant count as accepted and must drain.
+            self.fill_read(index);
+            if let Some(conn) = self.slots[index].as_mut() {
+                conn.read_closed = true;
+            }
+            self.advance(index);
+        }
+    }
+
+    fn run(&mut self) -> io::Result<()> {
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            if signal::shutdown_requested() {
+                self.start_drain();
+            }
+            if self.draining && self.live == 0 {
+                return Ok(());
+            }
+            // The tick is only the shutdown-signal observation cadence:
+            // completions and socket readiness wake the loop themselves.
+            self.poller.wait(&mut events, 50)?;
+            // `wait` clears and refills; take the batch so `self` stays
+            // borrowable inside the dispatch below.
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_burst(),
+                    WAKE_TOKEN => {
+                        self.wake.drain();
+                        self.deliver_completions();
+                    }
+                    token => {
+                        if let Some(index) = self.lookup(token) {
+                            if ev.readable {
+                                self.fill_read(index);
+                            }
+                            self.advance(index);
+                        }
+                    }
+                }
+            }
+            events = batch; // give the buffer back for reuse
+                            // Completions may have landed while the wake byte raced the
+                            // poll tick; drain opportunistically so drains cannot stall.
+            self.deliver_completions();
         }
     }
 }
 
-/// Run the daemon until shutdown. Blocks the calling thread; returns
-/// after a complete graceful drain. Sized caches come from the
-/// [`Service`] the caller builds (normally [`Service::from_env`]).
+/// Run the daemon until shutdown. Blocks the calling thread (which
+/// becomes the event thread); returns after a complete graceful drain.
+/// Sized caches come from the [`Service`] the caller builds (normally
+/// [`Service::from_env`]).
 pub fn run(cfg: &ServerConfig, service: Arc<Service>) -> io::Result<()> {
     let listener = Listener::bind(&cfg.listen)?;
     let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
     let events: Events = Arc::new(Mutex::new(Vec::new()));
     let inflight = Arc::new(AtomicUsize::new(0));
+    let wake = WakePair::new()?;
+    let completions = Arc::new(CompletionQueue {
+        done: Mutex::new(Vec::new()),
+        wake: wake.sender()?,
+    });
     let workers: Vec<thread::JoinHandle<()>> = (0..cfg.workers)
         .map(|i| {
             let q = Arc::clone(&queue);
             let svc = Arc::clone(&service);
             let ev = Arc::clone(&events);
             let inf = Arc::clone(&inflight);
+            let comp = Arc::clone(&completions);
             thread::Builder::new()
                 .name(format!("flod-worker-{i}"))
-                .spawn(move || worker_loop(q, svc, ev, inf))
+                .spawn(move || worker_loop(q, svc, ev, inf, comp))
                 .expect("spawn worker thread")
         })
         .collect();
-    let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
-    while !signal::shutdown_requested() {
-        match listener.accept() {
-            Ok(Some(conn)) => {
-                let q = Arc::clone(&queue);
-                let svc = Arc::clone(&service);
-                let inf = Arc::clone(&inflight);
-                let handle = thread::Builder::new()
-                    .name("flod-conn".to_string())
-                    .spawn(move || conn_loop(conn, q, svc, inf))
-                    .expect("spawn connection thread");
-                conns.push(handle);
-            }
-            Ok(None) => thread::sleep(Duration::from_millis(25)),
-            Err(e) => {
-                eprintln!("flod: accept error: {e}");
-                thread::sleep(Duration::from_millis(100));
-            }
-        }
-        conns.retain(|h| !h.is_finished());
-    }
-    // Drain: connection threads first (each finishes the request it is
-    // waiting on — workers are still running), then the queue, then the
-    // workers.
-    for h in conns {
-        let _ = h.join();
-    }
+    let mut poller = Poller::new()?;
+    poller.register(listener.raw_fd(), LISTENER_TOKEN, true, false)?;
+    poller.register(wake.raw_fd(), WAKE_TOKEN, true, false)?;
+    let mut event_loop = EventLoop {
+        poller,
+        listener,
+        listener_open: true,
+        wake,
+        slots: Vec::new(),
+        free: Vec::new(),
+        generation: 0,
+        live: 0,
+        queue: Arc::clone(&queue),
+        completions,
+        service,
+        inflight,
+        pipeline_max: cfg.pipeline_max.max(1),
+        max_conns: cfg.max_conns.max(1),
+        max_conn_inflight: 0,
+        draining: false,
+    };
+    let result = event_loop.run();
+    // Every connection is gone, so every accepted job has been answered
+    // and flushed; now the queue can close and the workers drain out.
     queue.close();
     for h in workers {
         let _ = h.join();
     }
-    listener.cleanup();
+    event_loop.listener.cleanup();
     write_metrics(&cfg.run_name, &events);
-    Ok(())
+    result
 }
 
 /// Drain per-request events, harness records and phase spans into
@@ -494,27 +1006,28 @@ fn write_metrics(run: &str, events: &Events) {
 mod tests {
     use super::*;
 
-    fn dummy_job(reply: mpsc::Sender<Result<Json, ServeError>>) -> Job {
+    fn dummy_job() -> Job {
         Job {
             request: Request::Ping,
             enqueued: Instant::now(),
             deadline: None,
             depth_at_enqueue: 0,
-            reply,
+            conn_inflight: 1,
+            token: conn_token(0, 1),
+            id: 7,
         }
     }
 
     #[test]
     fn queue_backpressure_is_typed() {
         let q = JobQueue::new(2);
-        let (tx, _rx) = mpsc::channel();
-        assert_eq!(q.try_push(dummy_job(tx.clone())).unwrap(), 1);
-        assert_eq!(q.try_push(dummy_job(tx.clone())).unwrap(), 2);
-        assert_eq!(q.try_push(dummy_job(tx.clone())), Err(ServeError::Busy));
+        assert_eq!(q.try_push(dummy_job()).unwrap(), 1);
+        assert_eq!(q.try_push(dummy_job()).unwrap(), 2);
+        assert_eq!(q.try_push(dummy_job()), Err(ServeError::Busy));
         assert_eq!(q.depth(), 2);
         q.close();
         assert_eq!(
-            q.try_push(dummy_job(tx)),
+            q.try_push(dummy_job()),
             Err(ServeError::ShuttingDown),
             "a closed queue refuses even when not full"
         );
@@ -534,6 +1047,82 @@ mod tests {
             Listen::parse("/tmp/x.sock"),
             Listen::Unix(PathBuf::from("/tmp/x.sock"))
         );
+        let roundtrip = Listen::parse("/tmp/x.sock");
+        assert_eq!(
+            Listen::parse(&roundtrip.describe()),
+            roundtrip,
+            "describe() output is a valid FLO_LISTEN value"
+        );
         assert!(Listen::default_socket().describe().starts_with("unix:"));
+    }
+
+    #[test]
+    fn conn_tokens_embed_index_and_generation() {
+        let t1 = conn_token(3, 1);
+        let t2 = conn_token(3, 2);
+        assert_ne!(t1, t2, "recycled slots get fresh tokens");
+        assert_eq!(token_index(t1), 3);
+        assert_eq!(token_index(t2), 3);
+        assert!(t1 >= FIRST_CONN_TOKEN && t1 != LISTENER_TOKEN && t1 != WAKE_TOKEN);
+    }
+
+    /// Frame the body the way the wire does.
+    fn framed(body: &[u8]) -> Vec<u8> {
+        let mut out = (body.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(body);
+        out
+    }
+
+    #[test]
+    fn frame_buf_reassembles_across_every_split_point() {
+        let bodies: [&[u8]; 3] = [b"alpha", b"", b"gamma-delta"];
+        let mut stream = Vec::new();
+        for b in bodies {
+            stream.extend_from_slice(&framed(b));
+        }
+        // Feed the byte stream one byte at a time — the cruelest split —
+        // and expect exactly the three bodies, in order.
+        let mut fb = FrameBuf::default();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for &byte in &stream {
+            fb.push(&[byte]);
+            loop {
+                match fb.next_frame(MAX_FRAME_BYTES) {
+                    Extract::Frame(f) => got.push(f),
+                    Extract::NeedMore => break,
+                    Extract::Malformed(m) => panic!("spurious malformed: {m}"),
+                }
+            }
+        }
+        assert_eq!(got, bodies.map(<[u8]>::to_vec).to_vec());
+        assert_eq!(fb.leftover(), 0);
+    }
+
+    #[test]
+    fn frame_buf_rejects_hostile_lengths_without_allocating() {
+        let mut fb = FrameBuf::default();
+        fb.push(&u32::MAX.to_le_bytes());
+        match fb.next_frame(MAX_FRAME_BYTES) {
+            Extract::Malformed(m) => assert!(m.contains("cap"), "{m}"),
+            _ => panic!("hostile length must be malformed"),
+        }
+    }
+
+    #[test]
+    fn frame_buf_compacts_consumed_prefix() {
+        let mut fb = FrameBuf::default();
+        let body = vec![0xAB; 8 * 1024];
+        fb.push(&framed(&body));
+        assert!(matches!(fb.next_frame(MAX_FRAME_BYTES), Extract::Frame(_)));
+        assert!(matches!(fb.next_frame(MAX_FRAME_BYTES), Extract::NeedMore));
+        assert_eq!(fb.pos, 0, "consumed prefix must be dropped");
+        assert!(fb.buf.is_empty());
+    }
+
+    #[test]
+    fn server_config_defaults_are_sane() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.pipeline_max >= 1);
+        assert!(cfg.max_conns >= 256, "the 256-client scenario must fit");
     }
 }

@@ -43,6 +43,12 @@ pub struct Service {
     pub caches: RunCaches,
     /// Rendered `layout` results keyed by (app, scale, target).
     layouts: ShardedLru<Json>,
+    /// Serialized result bytes keyed by the whole request: a warm hit
+    /// skips JSON re-serialization entirely (the daemon splices these
+    /// bytes straight into the response frame). Safe for exactly the
+    /// reason the other caches are — execution is deterministic, so the
+    /// bytes are a pure function of the request.
+    responses: ShardedLru<Vec<u8>>,
 }
 
 impl Service {
@@ -52,8 +58,10 @@ impl Service {
     pub fn with_budget(budget_bytes: usize) -> Service {
         Service {
             caches: RunCaches::with_budget(budget_bytes),
-            // Layout JSON is small; a fixed slice of the budget is plenty.
+            // Layout and response JSON are small; fixed slices of the
+            // budget are plenty.
             layouts: ShardedLru::bounded(budget_bytes / 16),
+            responses: ShardedLru::bounded(budget_bytes / 16),
         }
     }
 
@@ -95,21 +103,60 @@ impl Service {
         }
     }
 
+    /// Execute one request and return its serialized `result` bytes.
+    /// Work request kinds (`layout` / `simulate` / `sweep`) are memoized
+    /// by the whole request, so a warm hit skips both recomputation
+    /// *and* JSON re-serialization — the daemon splices the bytes into
+    /// the response frame unchanged. Always byte-identical to
+    /// `execute(req)?.to_string()` (the differential suite asserts it).
+    pub fn execute_bytes(&self, req: &Request) -> Result<Arc<Vec<u8>>, ServeError> {
+        let key = match req {
+            Request::Layout { .. } | Request::Simulate { .. } | Request::Sweep { .. } => {
+                // The envelope rendering with fixed id/deadline is a
+                // canonical serialization of the request body.
+                let mut h = flo_sim::FxHasher::default();
+                req.to_envelope(0, None).to_string().hash(&mut h);
+                Some(h.finish())
+            }
+            // Control responses are dynamic (`stats`) or trivial; never
+            // cache them.
+            _ => None,
+        };
+        if let Some(key) = key {
+            if let Some(hit) = self.responses.get(key) {
+                return Ok(hit);
+            }
+        }
+        let bytes = Arc::new(self.execute(req)?.to_string().into_bytes());
+        match key {
+            Some(key) => {
+                let cost = bytes.len();
+                Ok(self.responses.insert(key, bytes, cost))
+            }
+            None => Ok(bytes),
+        }
+    }
+
     /// Cache counters (the server's `stats` response adds queue state).
     pub fn stats(&self) -> Json {
         Json::obj()
-            .set("cache_hits", self.caches.total_hits() + self.layouts.hits())
+            .set(
+                "cache_hits",
+                self.caches.total_hits() + self.layouts.hits() + self.responses.hits(),
+            )
             .set(
                 "cache_misses",
-                self.caches.total_misses() + self.layouts.misses(),
+                self.caches.total_misses() + self.layouts.misses() + self.responses.misses(),
             )
             .set(
                 "cache_evictions",
-                self.caches.total_evictions() + self.layouts.evictions(),
+                self.caches.total_evictions()
+                    + self.layouts.evictions()
+                    + self.responses.evictions(),
             )
             .set(
                 "cache_used_bytes",
-                self.caches.used_bytes() + self.layouts.used_bytes(),
+                self.caches.used_bytes() + self.layouts.used_bytes() + self.responses.used_bytes(),
             )
     }
 
@@ -308,6 +355,26 @@ mod tests {
         assert_eq!(a.to_string(), b.to_string());
         assert!(a.get("compile_ms").is_none());
         assert!(!a.get("layouts").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn execute_bytes_matches_reserialization_and_memoizes() {
+        let svc = Service::with_budget(64 << 20);
+        let req = req_simulate("qio");
+        let cold = svc.execute_bytes(&req).unwrap();
+        assert_eq!(
+            cold.as_slice(),
+            svc.execute(&req).unwrap().to_string().as_bytes(),
+            "cached bytes must equal the re-serialized path"
+        );
+        let before = svc.responses.hits();
+        let warm = svc.execute_bytes(&req).unwrap();
+        assert!(Arc::ptr_eq(&cold, &warm), "warm hit skips serialization");
+        assert_eq!(svc.responses.hits(), before + 1);
+        // Control requests are never cached: stats is dynamic.
+        let s1 = svc.execute_bytes(&Request::Stats).unwrap();
+        let s2 = svc.execute_bytes(&Request::Stats).unwrap();
+        assert!(!Arc::ptr_eq(&s1, &s2));
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn with_server<T>(
         workers,
         queue_capacity,
         run_name: "flod-test".to_string(),
+        ..ServerConfig::default()
     };
     let service = Arc::new(Service::with_budget(budget_bytes));
     let handle = {
@@ -176,6 +177,66 @@ fn concurrent_served_responses_match_direct() {
     for (i, (s, d)) in served.iter().zip(&direct).enumerate() {
         assert_eq!(s, d, "request {i} ({}) diverged", reqs[i].kind());
     }
+}
+
+#[test]
+fn pipelined_responses_match_direct_and_report_completion_order() {
+    // The whole mixed batch pipelined on ONE connection: many in-flight
+    // frames, answered in completion order, reassembled by id — and
+    // still byte-identical to the in-process reference.
+    let reqs = mixed_batch();
+    let direct = direct_answers(&reqs);
+    let served = with_server(256 << 20, 4, 32, |listen| {
+        let mut client = Client::connect(listen).expect("client connect");
+        client
+            .call_pipelined(&reqs, None)
+            .expect("pipelined transport")
+    });
+    for (i, (s, d)) in served.iter().zip(&direct).enumerate() {
+        let s = s.as_ref().expect("pipelined request").to_string();
+        assert_eq!(&s, d, "pipelined request {i} ({}) diverged", reqs[i].kind());
+    }
+    // And the pipelining gauge actually saw depth > 1.
+    let max_depth = with_server(256 << 20, 2, 32, |listen| {
+        let mut client = Client::connect(listen).expect("client connect");
+        let burst: Vec<Request> = (0..6).flat_map(|_| reqs[2..4].to_vec()).collect();
+        client.call_pipelined(&burst, None).expect("burst");
+        let stats = client.call(&Request::Stats, None).expect("stats");
+        stats
+            .get("max_conn_inflight")
+            .and_then(flo_json::Json::as_u64)
+            .unwrap_or(0)
+    });
+    assert!(
+        max_depth > 1,
+        "a 12-request burst on one connection must pipeline (gauge saw {max_depth})"
+    );
+}
+
+#[test]
+fn cached_response_bytes_equal_reserialization_under_concurrency() {
+    // The serialized-response cache must be invisible: under concurrent
+    // repeated keys, `execute_bytes` (cold miss, then warm hit) returns
+    // exactly the bytes a fresh re-serialization of `execute` produces.
+    let svc = Arc::new(Service::with_budget(256 << 20));
+    let reqs = mixed_batch();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let svc = Arc::clone(&svc);
+            let reqs = reqs.clone();
+            scope.spawn(move || {
+                for req in &reqs {
+                    let cached = svc.execute_bytes(req).expect("execute_bytes");
+                    let fresh = svc.execute(req).expect("execute").to_string();
+                    assert_eq!(
+                        String::from_utf8_lossy(&cached),
+                        fresh,
+                        "cached response bytes diverged from re-serialization"
+                    );
+                }
+            });
+        }
+    });
 }
 
 #[test]
@@ -335,5 +396,38 @@ fn shutdown_drains_inflight_work() {
                 );
             }
         });
+    });
+}
+
+#[test]
+fn shutdown_drains_pipelined_jobs_on_one_connection() {
+    // Pipeline a burst on a single connection, pull the plug while it is
+    // in flight, and then collect: every request the server accepted
+    // must still be answered (ok or typed shutting-down), ids intact.
+    with_server(256 << 20, 2, 16, |listen| {
+        let req = Request::Simulate {
+            app: "qio".into(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Default,
+            policy: PolicyKind::LruInclusive,
+            fault: None,
+        };
+        let mut client = Client::connect(listen).expect("client connect");
+        let n = 8;
+        let mut ids = Vec::new();
+        for _ in 0..n {
+            ids.push(client.send(&req, None).expect("pipelined send"));
+        }
+        signal::request_shutdown();
+        let mut answered = Vec::new();
+        for _ in 0..n {
+            let (id, payload) = client.recv().expect("drain must answer, not hang up");
+            match payload {
+                Ok(_) | Err(flo_serve::ServeError::ShuttingDown) => answered.push(id),
+                Err(e) => panic!("pipelined job {id} got unexpected error during drain: {e}"),
+            }
+        }
+        answered.sort_unstable();
+        assert_eq!(answered, ids, "every accepted pipelined job answered once");
     });
 }

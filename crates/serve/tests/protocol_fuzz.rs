@@ -35,6 +35,7 @@ fn with_server<T>(f: impl FnOnce(&Listen) -> T) -> T {
         workers: 2,
         queue_capacity: 8,
         run_name: "flod-fuzz".to_string(),
+        ..ServerConfig::default()
     };
     let service = Arc::new(Service::with_budget(16 << 20));
     let handle = {
@@ -269,6 +270,104 @@ fn bit_flipped_and_random_frames_never_panic_the_daemon() {
                     None => panic!("case {case}: malformed response envelope {r}"),
                 }
             }
+            assert_alive(listen);
+        }
+    });
+}
+
+/// Pipelined requests chopped at hostile split points — inside length
+/// prefixes, inside headers, inside bodies, one byte at a time — must
+/// all reassemble: every request answered exactly once, ids intact,
+/// daemon alive after every plan.
+#[test]
+fn pipelined_partial_frame_interleavings_answer_every_request() {
+    with_server(|listen| {
+        let simulate = |app: &str, id: u64| {
+            frame(
+                Request::Simulate {
+                    app: app.into(),
+                    scale: flo_workloads::Scale::Small,
+                    scheme: flo_bench::Scheme::Default,
+                    policy: flo_sim::PolicyKind::LruInclusive,
+                    fault: None,
+                }
+                .to_envelope(id, Some(30_000))
+                .to_string()
+                .as_bytes(),
+            )
+        };
+        let frames: Vec<Vec<u8>> = vec![
+            frame(Request::Ping.to_envelope(1, None).to_string().as_bytes()),
+            simulate("qio", 2),
+            frame(Request::Stats.to_envelope(3, None).to_string().as_bytes()),
+            simulate("swim", 4),
+            frame(Request::Ping.to_envelope(5, None).to_string().as_bytes()),
+        ];
+        let stream: Vec<u8> = frames.concat();
+        let want_ids: Vec<u64> = vec![1, 2, 3, 4, 5];
+
+        // Split plans: each is the set of offsets where the byte stream
+        // is cut into separate writes.
+        let mut plans: Vec<Vec<usize>> = Vec::new();
+        // Inside every length prefix (2 bytes into each frame's header)
+        // and inside every body (middle of each frame).
+        let mut offset = 0;
+        let mut prefix_splits = Vec::new();
+        let mut body_splits = Vec::new();
+        for f in &frames {
+            prefix_splits.push(offset + 2);
+            body_splits.push(offset + 4 + (f.len() - 4) / 2);
+            offset += f.len();
+        }
+        plans.push(prefix_splits);
+        plans.push(body_splits);
+        // One byte at a time — the cruelest fragmentation.
+        plans.push((1..stream.len()).collect());
+        // Random split sets, reproducible from the seed.
+        let mut rng = XorShift(0x5EED_C0FFEE);
+        for _ in 0..8 {
+            let mut cuts: Vec<usize> = (0..rng.below(9) + 1)
+                .map(|_| rng.below(stream.len() - 1) + 1)
+                .collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            plans.push(cuts);
+        }
+
+        for (plan_idx, plan) in plans.iter().enumerate() {
+            let mut s = UnixStream::connect(socket_path(listen)).expect("connect");
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut prev = 0;
+            for &cut in plan {
+                s.write_all(&stream[prev..cut]).expect("chunk write");
+                s.flush().unwrap();
+                // A short pause between chunks makes the server actually
+                // observe the fragmentation instead of one coalesced
+                // read (skipped for the byte-dribble plan: its coverage
+                // is the reassembly arithmetic, not the event timing).
+                if plan.len() <= 16 {
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+                prev = cut;
+            }
+            s.write_all(&stream[prev..]).expect("tail write");
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            let mut got_ids = Vec::new();
+            while let Ok(r) = read_frame(&mut s, &|| false) {
+                assert_eq!(
+                    r.get("ok").and_then(flo_json::Json::as_bool),
+                    Some(true),
+                    "plan {plan_idx}: pipelined request failed: {r}"
+                );
+                got_ids.push(r.get("id").and_then(flo_json::Json::as_u64).unwrap());
+            }
+            got_ids.sort_unstable();
+            assert_eq!(
+                got_ids,
+                want_ids,
+                "plan {plan_idx} ({} cuts): every request answered exactly once",
+                plan.len()
+            );
             assert_alive(listen);
         }
     });
