@@ -116,9 +116,23 @@ impl<V> ShardedLru<V> {
     /// (per-shard budgets of `budget_bytes / SHARDS`; costs are the
     /// caller-supplied estimates passed to [`ShardedLru::insert`]).
     pub fn bounded(budget_bytes: usize) -> ShardedLru<V> {
+        ShardedLru::bounded_with_shards(budget_bytes, SHARDS)
+    }
+
+    /// [`ShardedLru::bounded`] with an explicit shard count (a power of
+    /// two). The budget splits evenly across shards, so a cache of few,
+    /// large entries (rendered layout/response JSON runs ~100 KiB each)
+    /// wants few shards: with the default 16, an entry bigger than
+    /// `budget / 16` can never stay resident no matter how much of the
+    /// total budget is free.
+    pub fn bounded_with_shards(budget_bytes: usize, shards: usize) -> ShardedLru<V> {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two"
+        );
         ShardedLru {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-            shard_budget: budget_bytes / SHARDS,
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: budget_bytes / shards,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -132,7 +146,7 @@ impl<V> ShardedLru<V> {
 
     fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
         // The low bits of an FxHasher digest are well mixed.
-        &self.shards[(key as usize) & (SHARDS - 1)]
+        &self.shards[(key as usize) & (self.shards.len() - 1)]
     }
 
     /// Look up `key`, refreshing its recency. Counts a hit or a miss.
@@ -144,6 +158,22 @@ impl<V> ShardedLru<V> {
             Some(Arc::clone(&shard.slots[&key].value))
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit — but recording
+    /// *nothing* on a miss. For probe-then-dispatch callers (the serve
+    /// event loop checks the response cache before queueing a worker
+    /// job): on a miss the worker's own `get` counts it, so counting
+    /// here too would double every miss.
+    pub fn peek(&self, key: u64) -> Option<Arc<V>> {
+        let mut shard = self.shard(key).lock().unwrap();
+        if shard.slots.contains_key(&key) {
+            shard.touch(key);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(Arc::clone(&shard.slots[&key].value))
+        } else {
             None
         }
     }

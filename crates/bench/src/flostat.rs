@@ -82,12 +82,18 @@ pub struct PhaseAgg {
     pub total_ms: f64,
 }
 
-/// Accumulated `serve-request` events for one (request kind, app) pair —
-/// what `flod` writes per request when `FLO_METRICS=jsonl`.
+/// Accumulated `serve-request` events for one (request kind, app, node)
+/// triple — what `flod` writes per request when `FLO_METRICS=jsonl`.
+/// Single-daemon artifacts carry node `"-"`; cluster nodes stamp their
+/// `FLO_NODE_ID`, so merged artifacts break down per node.
 #[derive(Clone, Debug, Default)]
 pub struct ServeAgg {
     /// Requests answered successfully.
     pub ok: u64,
+    /// Of `ok`, answered inline from the event thread as a
+    /// response-cache hit (no worker handoff; absent in pre-cluster
+    /// artifacts, which decode as 0).
+    pub inline_hits: u64,
     /// Requests answered with a typed error.
     pub errors: u64,
     /// Summed queue-wait time, ms.
@@ -111,9 +117,9 @@ pub struct Artifact {
     pub sims: Vec<SimEntry>,
     /// Phase-name → accumulated span time.
     pub phases: BTreeMap<String, PhaseAgg>,
-    /// (request kind, app) → accumulated serve-request activity; empty
-    /// for experiment artifacts, populated for `flod` runs.
-    pub serves: BTreeMap<(String, String), ServeAgg>,
+    /// (request kind, app, node) → accumulated serve-request activity;
+    /// empty for experiment artifacts, populated for `flod` runs.
+    pub serves: BTreeMap<(String, String, String), ServeAgg>,
 }
 
 /// Decode a `faults` object back into counters. Absent objects (healthy
@@ -157,7 +163,7 @@ pub fn load(text: &str) -> Result<Artifact, String> {
     let run = field_str(&events[0], "run")?;
     let mut sims = Vec::new();
     let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
-    let mut serves: BTreeMap<(String, String), ServeAgg> = BTreeMap::new();
+    let mut serves: BTreeMap<(String, String, String), ServeAgg> = BTreeMap::new();
     for e in &events[1..] {
         match e.get("event").and_then(Json::as_str) {
             Some("sim") | Some("sim-fault") => {
@@ -199,10 +205,20 @@ pub fn load(text: &str) -> Result<Artifact, String> {
                 agg.total_ms += end - start;
             }
             Some("serve-request") => {
-                let key = (field_str(e, "request")?, field_str(e, "app")?);
+                // Pre-cluster artifacts have no `node`; they aggregate
+                // under the placeholder id a single daemon reports.
+                let node = e
+                    .get("node")
+                    .and_then(Json::as_str)
+                    .unwrap_or("-")
+                    .to_string();
+                let key = (field_str(e, "request")?, field_str(e, "app")?, node);
                 let agg = serves.entry(key).or_default();
                 if e.get("ok").and_then(Json::as_bool).unwrap_or(false) {
                     agg.ok += 1;
+                    if e.get("inline").and_then(Json::as_bool).unwrap_or(false) {
+                        agg.inline_hits += 1;
+                    }
                 } else {
                     agg.errors += 1;
                 }
@@ -308,15 +324,18 @@ pub fn fault_table(a: &Artifact) -> Table {
 }
 
 /// Served-request table of one artifact: one row per (request kind,
-/// application). Empty for experiment artifacts; `flod` runs with
-/// `FLO_METRICS=jsonl` fill it.
+/// application, node). Empty for experiment artifacts; `flod` runs with
+/// `FLO_METRICS=jsonl` fill it. Single daemons show node `-`; cluster
+/// artifacts break activity down per node id.
 pub fn serve_table(a: &Artifact) -> Table {
     let mut t = Table::new(
         &format!("{} — served requests", a.run),
         &[
             "request",
             "application",
+            "node",
             "ok",
+            "inline",
             "errors",
             "mean wait ms",
             "mean exec ms",
@@ -324,12 +343,14 @@ pub fn serve_table(a: &Artifact) -> Table {
             "max pipeline",
         ],
     );
-    for ((kind, app), agg) in &a.serves {
+    for ((kind, app, node), agg) in &a.serves {
         let n = (agg.ok + agg.errors).max(1) as f64;
         t.row(vec![
             kind.clone(),
             app.clone(),
+            node.clone(),
             agg.ok.to_string(),
+            agg.inline_hits.to_string(),
             agg.errors.to_string(),
             format!("{:.3}", agg.wait_ms / n),
             format!("{:.3}", agg.exec_ms / n),
@@ -569,32 +590,66 @@ mod tests {
     #[test]
     fn loads_serve_request_events_and_renders_serve_table() {
         let mut sink = JsonlSink::new("flod");
-        for (ok, wait, exec, depth, pipelined) in [
-            (true, 1.0, 10.0, 3u64, 1u64),
-            (true, 3.0, 2.0, 1, 7),
-            (false, 0.5, 0.0, 5, 2),
+        for (ok, wait, exec, depth, pipelined, inline) in [
+            (true, 1.0, 10.0, 3u64, 1u64, false),
+            (true, 3.0, 2.0, 1, 7, true),
+            (false, 0.5, 0.0, 5, 2, false),
         ] {
-            sink.push(
-                "serve-request",
-                Json::obj()
-                    .set("request", "simulate")
-                    .set("app", "qio")
-                    .set("queue_depth", depth)
-                    .set("conn_inflight", pipelined)
-                    .set("wait_ms", wait)
-                    .set("exec_ms", exec)
-                    .set("ok", ok),
-            );
+            let mut ev = Json::obj()
+                .set("request", "simulate")
+                .set("app", "qio")
+                .set("node", "n1")
+                .set("queue_depth", depth)
+                .set("conn_inflight", pipelined)
+                .set("wait_ms", wait)
+                .set("exec_ms", exec)
+                .set("ok", ok);
+            if inline {
+                ev = ev.set("inline", true);
+            }
+            sink.push("serve-request", ev);
         }
+        // A second node: the table must keep its rows apart from n1's.
+        sink.push(
+            "serve-request",
+            Json::obj()
+                .set("request", "simulate")
+                .set("app", "qio")
+                .set("node", "n2")
+                .set("queue_depth", 0u64)
+                .set("conn_inflight", 1u64)
+                .set("wait_ms", 0.2)
+                .set("exec_ms", 0.1)
+                .set("ok", true),
+        );
+        // A pre-cluster event without `node` lands on the placeholder.
+        sink.push(
+            "serve-request",
+            Json::obj()
+                .set("request", "ping")
+                .set("app", "-")
+                .set("queue_depth", 0u64)
+                .set("conn_inflight", 1u64)
+                .set("wait_ms", 0.0)
+                .set("exec_ms", 0.0)
+                .set("ok", true),
+        );
         let art = load(&sink.render()).unwrap();
-        let agg = &art.serves[&("simulate".to_string(), "qio".to_string())];
+        let agg = &art.serves[&("simulate".to_string(), "qio".to_string(), "n1".to_string())];
         assert_eq!(agg.ok, 2);
         assert_eq!(agg.errors, 1);
+        assert_eq!(agg.inline_hits, 1, "inline fast-path hits are counted");
         assert_eq!(agg.max_queue_depth, 5);
         assert_eq!(agg.max_conn_inflight, 7, "pipelining gauge is a max");
         assert!((agg.wait_ms - 4.5).abs() < 1e-12);
+        let n2 = &art.serves[&("simulate".to_string(), "qio".to_string(), "n2".to_string())];
+        assert_eq!(n2.ok, 1, "per-node rows stay separate");
+        let legacy = &art.serves[&("ping".to_string(), "-".to_string(), "-".to_string())];
+        assert_eq!(legacy.ok, 1, "events without `node` decode as `-`");
         let rendered = format!("{}", serve_table(&art));
         assert!(rendered.contains("simulate"), "{rendered}");
+        assert!(rendered.contains("n1"), "node column: {rendered}");
+        assert!(rendered.contains("n2"), "node column: {rendered}");
         assert!(rendered.contains("1.500"), "mean wait: {rendered}");
         assert!(rendered.contains("max pipeline"), "{rendered}");
         // Experiment artifacts have no serve rows.

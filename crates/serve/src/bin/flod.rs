@@ -24,7 +24,8 @@ fn main() {
     let cfg = ServerConfig::from_env();
     let service = Arc::new(Service::from_env());
     eprintln!(
-        "flod: listening on {} (readiness loop; {} workers, queue {}, pipeline {}, max conns {})",
+        "flod: node {} listening on {} (readiness loop; {} workers, queue {}, pipeline {}, max conns {})",
+        cfg.node_id,
         cfg.listen.describe(),
         cfg.workers,
         cfg.queue_capacity,

@@ -21,17 +21,27 @@
 //! waiting between sends and prints the N results in request order (one
 //! line each) — the client-side face of the server's pipelining.
 //! `FLO_RETRIES=K` (default 0) retries a typed `busy` response up to K
-//! times with bounded exponential backoff before giving up.
+//! times with bounded exponential backoff (seeded jitter; `FLO_SEED`
+//! replays the exact delays) before giving up.
+//!
+//! `--cluster FILE` (or `FLO_CLUSTER=FILE` when no explicit address is
+//! given) turns on cluster mode: work requests route to the member the
+//! consistent-hash ring says owns their work key, while `ping` / `stats`
+//! / `shutdown` fan out to every member and print one aggregate JSON
+//! line (`{"nodes": [...], "totals": {...}}` for stats). An unreachable
+//! member surfaces as the typed `node-down` error — for work keys it
+//! owns, or as an inline per-node `error` entry in fan-out output.
 
 use flo_core::TargetLayers;
-use flo_serve::client::retries_from_env;
+use flo_serve::client::{retries_from_env, DEFAULT_WINDOW};
 use flo_serve::protocol::{parse_scheme, FaultSpec, Request, ServeError};
-use flo_serve::{Client, Listen, Service};
+use flo_serve::{Client, ClusterClient, Listen, Membership, Service};
 use flo_sim::{PolicyKind, SweepPoint};
 use flo_workloads::Scale;
 
 struct Args {
     listen: Option<Listen>,
+    cluster: Option<String>,
     direct: bool,
     deadline_ms: Option<u64>,
     pipeline: usize,
@@ -48,10 +58,13 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: floq [--socket PATH | --tcp ADDR] [--direct] [--deadline-ms N] [--pipeline N] KIND [options]
+        "usage: floq [--socket PATH | --tcp ADDR | --cluster FILE] [--direct] [--deadline-ms N] [--pipeline N] KIND [options]
   KIND: ping | stats | shutdown | layout | simulate | sweep
+  --cluster FILE        membership file; route work keys across nodes, fan out control
+                        requests (FLO_CLUSTER=FILE is the env equivalent)
   --pipeline N          send the request N times pipelined on one connection
   env FLO_RETRIES=K     retry typed busy responses up to K times (default 0)
+  env FLO_SEED=N        seed the busy-retry jitter for exact replay
   --app NAME            application (layout/simulate/sweep)
   --scale small|full    workload scale (default small)
   --scheme NAME         default|inter|compmap|reindex (default inter)
@@ -67,6 +80,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         listen: None,
+        cluster: None,
         direct: false,
         deadline_ms: None,
         pipeline: 1,
@@ -91,6 +105,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--socket" => args.listen = Some(Listen::Unix(need(&mut it, "--socket").into())),
             "--tcp" => args.listen = Some(Listen::Tcp(need(&mut it, "--tcp"))),
+            "--cluster" => args.cluster = Some(need(&mut it, "--cluster")),
             "--direct" => args.direct = true,
             "--deadline-ms" => {
                 args.deadline_ms = Some(parse_num(&need(&mut it, "--deadline-ms"), "--deadline-ms"))
@@ -208,9 +223,113 @@ fn build_request(args: &Args) -> Request {
     }
 }
 
+/// The membership for cluster mode: `--cluster FILE` always wins; the
+/// `FLO_CLUSTER` env var applies only when no explicit single-node
+/// address (`--socket` / `--tcp`) or `--direct` was given, so those
+/// flags keep meaning what they always meant under a cluster-configured
+/// environment.
+fn cluster_membership(args: &Args) -> Option<Membership> {
+    if let Some(path) = &args.cluster {
+        return Some(
+            Membership::load(std::path::Path::new(path)).unwrap_or_else(|e| die(&e.to_string())),
+        );
+    }
+    if args.direct || args.listen.is_some() {
+        return None;
+    }
+    match Membership::from_env() {
+        Some(Ok(m)) => Some(m),
+        Some(Err(e)) => die(&e.to_string()),
+        None => None,
+    }
+}
+
+/// Fan a control request out to every member and fold the answers into
+/// one JSON object: `nodes` (per-member payloads, down members as inline
+/// typed `error` entries) plus, for `stats`, `totals` (gauges summed
+/// across members; `max_conn_inflight` takes the max — a high-water
+/// mark does not add). Returns the aggregate and whether any member
+/// failed.
+fn fan_out_cluster(
+    cc: &mut ClusterClient,
+    req: &Request,
+    deadline_ms: Option<u64>,
+) -> (flo_json::Json, bool) {
+    use flo_json::Json;
+    const SUMMED: [&str; 7] = [
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "cache_used_bytes",
+        "queue_depth",
+        "inflight",
+        "connections",
+    ];
+    let mut nodes: Vec<Json> = Vec::new();
+    let mut failed = false;
+    let mut sums = [0u64; 7];
+    let mut max_infl = 0u64;
+    let mut have_totals = false;
+    for (id, result) in cc.fan_out(req, deadline_ms) {
+        match result {
+            Ok(j) => {
+                for (i, k) in SUMMED.iter().enumerate() {
+                    if let Some(v) = j.get(k).and_then(Json::as_u64) {
+                        sums[i] += v;
+                        have_totals = true;
+                    }
+                }
+                if let Some(v) = j.get("max_conn_inflight").and_then(Json::as_u64) {
+                    max_infl = max_infl.max(v);
+                }
+                nodes.push(match j.get("node") {
+                    Some(_) => j,
+                    None => j.set("node", id),
+                });
+            }
+            Err(e) => {
+                failed = true;
+                nodes.push(
+                    Json::obj().set("node", id).set(
+                        "error",
+                        Json::obj()
+                            .set("kind", e.kind())
+                            .set("message", e.to_string()),
+                    ),
+                );
+            }
+        }
+    }
+    let mut out = Json::obj().set("nodes", nodes);
+    if have_totals {
+        let mut totals = Json::obj();
+        for (i, k) in SUMMED.iter().enumerate() {
+            totals = totals.set(k, sums[i]);
+        }
+        out = out.set("totals", totals.set("max_conn_inflight", max_infl));
+    }
+    (out, failed)
+}
+
 fn main() {
     let args = parse_args();
     let req = build_request(&args);
+    if let Some(membership) = cluster_membership(&args) {
+        let mut cc = ClusterClient::new(membership);
+        let results = match req {
+            Request::Ping | Request::Stats | Request::Shutdown => {
+                let (out, failed) = fan_out_cluster(&mut cc, &req, args.deadline_ms);
+                println!("{out}");
+                std::process::exit(i32::from(failed));
+            }
+            _ if args.pipeline > 1 => {
+                let reqs: Vec<Request> = (0..args.pipeline).map(|_| req.clone()).collect();
+                cc.call_many(&reqs, args.deadline_ms, DEFAULT_WINDOW)
+            }
+            _ => vec![cc.call(&req, args.deadline_ms)],
+        };
+        finish(results);
+    }
     let results: Vec<Result<flo_json::Json, ServeError>> = if args.direct {
         // In-process: the served result must be byte-identical to this.
         let service = Service::from_env();
@@ -241,6 +360,10 @@ fn main() {
             )))],
         }
     };
+    finish(results);
+}
+
+fn finish(results: Vec<Result<flo_json::Json, ServeError>>) -> ! {
     let mut failed = false;
     for result in results {
         match result {
@@ -251,7 +374,5 @@ fn main() {
             }
         }
     }
-    if failed {
-        std::process::exit(1);
-    }
+    std::process::exit(i32::from(failed));
 }

@@ -24,11 +24,32 @@
 //!
 //! ```text
 //! servebench [--repeats N] [--clients N] [--workers N] [--gate X] [--hc-gate Y]
+//! servebench --cluster N [--cluster-gate X] [--node-budget-mb B] [--repeats R]
 //! ```
+//!
+//! **Cluster mode** (`--cluster N`) measures *capacity* scaling: it
+//! launches 1→N in-process flod nodes, each with a deliberately small
+//! per-node cache budget (`--node-budget-mb`), and drives a layout
+//! working set sized to overflow one node's budget but fit the combined
+//! budget of N nodes. With one node the cyclically scanned working set
+//! thrashes its LRU slice and every request recomputes the layout pass;
+//! with N nodes the consistent-hash ring gives each node only its owned
+//! ~1/N of the keys, everything stays resident, and requests are
+//! answered inline from the event thread as cached-byte splices (no
+//! worker handoff). Warm throughput therefore scales with total
+//! cluster cache capacity (N × budget) — the honest scaling story on a
+//! single-core host, where CPU-parallel scaling is unavailable by
+//! construction. Every response, hit or recompute, must stay
+//! byte-identical to in-process `Service::execute`; results land in
+//! `BENCH_cluster.json` and `--cluster-gate X` fails the run below X×.
 
+use flo_core::TargetLayers;
 use flo_obs::sink::write_json_artifact;
+use flo_serve::client::DEFAULT_WINDOW;
 use flo_serve::protocol::Request;
-use flo_serve::{server, signal, Client, Listen, ServerConfig, Service};
+use flo_serve::{
+    server, signal, Client, ClusterClient, Listen, Member, Membership, ServerConfig, Service,
+};
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 use std::path::Path;
@@ -48,6 +69,9 @@ struct Opts {
     budget_mb: usize,
     gate: Option<f64>,
     hc_gate: Option<f64>,
+    cluster: Option<usize>,
+    cluster_gate: Option<f64>,
+    node_budget_mb: usize,
 }
 
 fn parse_opts() -> Opts {
@@ -58,6 +82,13 @@ fn parse_opts() -> Opts {
         budget_mb: 256,
         gate: None,
         hc_gate: None,
+        cluster: None,
+        cluster_gate: None,
+        // Sized so one node's response-cache slice thrashes under the
+        // ~5.7 MB cluster working set while the 4-node union holds it
+        // whole (per-node slice = budget/16, 4 shards; see
+        // `run_cluster_bench`).
+        node_budget_mb: 48,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -74,6 +105,13 @@ fn parse_opts() -> Opts {
             "--budget-mb" => opts.budget_mb = val("--budget-mb").parse().expect("--budget-mb"),
             "--gate" => opts.gate = Some(val("--gate").parse().expect("--gate")),
             "--hc-gate" => opts.hc_gate = Some(val("--hc-gate").parse().expect("--hc-gate")),
+            "--cluster" => opts.cluster = Some(val("--cluster").parse().expect("--cluster")),
+            "--cluster-gate" => {
+                opts.cluster_gate = Some(val("--cluster-gate").parse().expect("--cluster-gate"))
+            }
+            "--node-budget-mb" => {
+                opts.node_budget_mb = val("--node-budget-mb").parse().expect("--node-budget-mb")
+            }
             other => {
                 eprintln!("servebench: unknown argument {other:?}");
                 std::process::exit(2);
@@ -184,8 +222,209 @@ fn run_phase(
     (elapsed, ordered)
 }
 
+/// The cluster working set: every small-scale application under every
+/// layout target. Layout is the right contrast workload because it has
+/// no compact [`flo_bench::RunCaches`] memo — once the rendered result
+/// falls out of the LRU, serving the key means rerunning the whole
+/// Step-I layout pass, not just re-serializing a cached report.
+fn layout_batch() -> Vec<Request> {
+    let targets = [
+        TargetLayers::IoOnly,
+        TargetLayers::StorageOnly,
+        TargetLayers::Both,
+    ];
+    let mut reqs = Vec::new();
+    for w in flo_workloads::all(Scale::Small) {
+        for target in targets {
+            reqs.push(Request::Layout {
+                app: w.name.to_string(),
+                scale: Scale::Small,
+                target,
+            });
+        }
+    }
+    // A slice of full-scale keys from the apps whose layout pass costs
+    // the most *per response byte* (dense access graphs, compact file
+    // sets). They raise the miss/hit cost ratio — the quantity the
+    // capacity-scaling phases actually contrast — without blowing up
+    // either the working set or the cold-phase runtime.
+    for app in ["cc-ver-1", "s3asim", "twer"] {
+        for target in targets {
+            reqs.push(Request::Layout {
+                app: app.to_string(),
+                scale: Scale::Full,
+                target,
+            });
+        }
+    }
+    reqs
+}
+
+/// One cluster phase: `n` in-process nodes, each with its own service
+/// and `budget_bytes` cache, driven through a [`ClusterClient`] for one
+/// populate round plus `rounds` timed rounds over `keys`. Returns the
+/// timed-round wall time and whether every response matched `expected`.
+fn run_cluster_phase(
+    n: usize,
+    budget_bytes: usize,
+    rounds: usize,
+    keys: &[Request],
+    expected: &[String],
+) -> (f64, bool) {
+    signal::reset();
+    let pid = std::process::id();
+    let members: Vec<Member> = (0..n)
+        .map(|i| Member {
+            id: format!("n{i}"),
+            listen: Listen::Unix(
+                std::env::temp_dir().join(format!("flod-cluster-{pid}-{n}-{i}.sock")),
+            ),
+        })
+        .collect();
+    let servers: Vec<_> = members
+        .iter()
+        .map(|m| {
+            let cfg = ServerConfig {
+                listen: m.listen.clone(),
+                workers: 2,
+                // Comfortably above the pipelining window so a routed
+                // burst can never bounce off queue backpressure as
+                // `busy` (the bench runs with zero retries).
+                queue_capacity: 4 * DEFAULT_WINDOW,
+                run_name: format!("servebench-cluster-{}", m.id),
+                node_id: m.id.clone(),
+                ..ServerConfig::default()
+            };
+            let service = Arc::new(Service::with_budget(budget_bytes));
+            std::thread::spawn(move || server::run(&cfg, service))
+        })
+        .collect();
+    for m in &members {
+        Client::connect_retry(&m.listen, Duration::from_secs(10)).expect("node did not come up");
+    }
+    let mut cc = ClusterClient::with_retries(Membership { members }, 0, 1);
+    let mut identical = true;
+    let mut check = |answers: Vec<Result<Vec<u8>, flo_serve::ServeError>>| {
+        for (i, a) in answers.into_iter().enumerate() {
+            match a.and_then(|bytes| flo_serve::client::decode_envelope_bytes(&bytes)) {
+                Ok(j) if j.to_string() == expected[i] => {}
+                Ok(_) => {
+                    eprintln!("servebench: FAIL — response {i} differs from direct execution");
+                    identical = false;
+                }
+                Err(e) => {
+                    eprintln!("servebench: FAIL — request {i}: {e}");
+                    identical = false;
+                }
+            }
+        }
+    };
+    check(cc.call_many_raw(keys, None, DEFAULT_WINDOW));
+    // Timed rounds collect raw envelope frames; decoding, rendering and
+    // comparison all run after the clock stops — verification is a
+    // bench-harness cost, not served throughput.
+    let mut collected = Vec::with_capacity(rounds);
+    let started = Instant::now();
+    for _ in 0..rounds {
+        collected.push(cc.call_many_raw(keys, None, DEFAULT_WINDOW));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    for answers in collected {
+        check(answers);
+    }
+    // One shutdown drains every node: in-process servers share the
+    // global drain flag (which is also why each phase starts with
+    // `signal::reset`).
+    let _ = cc.call_on(0, &Request::Shutdown, None);
+    drop(cc);
+    for s in servers {
+        s.join()
+            .expect("server thread")
+            .expect("server exited with an error");
+    }
+    (elapsed, identical)
+}
+
+fn run_cluster_bench(opts: &Opts, n_max: usize) {
+    let keys = layout_batch();
+    // The identity oracle: an unbounded in-process service. Its rendered
+    // strings are what every node must echo byte-for-byte.
+    let direct = Service::with_budget(1 << 30);
+    let expected: Vec<String> = keys
+        .iter()
+        .map(|r| direct.execute(r).expect("direct execution").to_string())
+        .collect();
+    let working_set: usize = expected.iter().map(String::len).sum();
+    println!(
+        "servebench: cluster mode — {} layout keys ({:.1} MB working set), {} rounds, {} MB per node",
+        keys.len(),
+        working_set as f64 / (1 << 20) as f64,
+        opts.repeats,
+        opts.node_budget_mb
+    );
+    let mut phases: Vec<(usize, f64, f64)> = Vec::new();
+    let mut identical = true;
+    for n in 1..=n_max {
+        let (s, ok) =
+            run_cluster_phase(n, opts.node_budget_mb << 20, opts.repeats, &keys, &expected);
+        identical &= ok;
+        let rps = (keys.len() * opts.repeats) as f64 / s;
+        println!("nodes={n}: {s:.3}s ({rps:.1} req/s)");
+        phases.push((n, s, rps));
+    }
+    let speedup = phases.last().expect("n_max >= 1").2 / phases[0].2;
+    println!(
+        "cluster speedup: {speedup:.2}x warm throughput at {n_max} nodes vs 1 (N x cache capacity)"
+    );
+    let doc = flo_json::Json::obj()
+        .set("scale", "small")
+        .set("mode", "cluster")
+        .set("nodes", n_max)
+        .set("per_node_budget_mb", opts.node_budget_mb)
+        .set("rounds", opts.repeats)
+        .set("keys", keys.len())
+        .set("working_set_bytes", working_set)
+        .set(
+            "phases",
+            phases
+                .iter()
+                .map(|(n, s, rps)| {
+                    flo_json::Json::obj()
+                        .set("nodes", *n)
+                        .set("elapsed_s", *s)
+                        .set("rps", *rps)
+                })
+                .collect::<Vec<flo_json::Json>>(),
+        )
+        .set("speedup", speedup)
+        .set("identical", identical);
+    let path = Path::new("BENCH_cluster.json");
+    match write_json_artifact(path, doc) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("servebench: cannot write {}: {e}", path.display()),
+    }
+    if !identical {
+        std::process::exit(1);
+    }
+    if let Some(gate) = opts.cluster_gate {
+        if speedup < gate {
+            eprintln!("servebench: FAIL — cluster speedup {speedup:.2}x below the {gate:.2}x gate");
+            std::process::exit(1);
+        }
+        println!("cluster-gate: {speedup:.2}x >= {gate:.2}x, ok");
+    }
+}
+
 fn main() {
     let opts = parse_opts();
+    if let Some(n_max) = opts.cluster {
+        if n_max < 1 {
+            eprintln!("servebench: --cluster needs at least 1 node");
+            std::process::exit(2);
+        }
+        run_cluster_bench(&opts, n_max);
+        return;
+    }
     let listen =
         Listen::Unix(std::env::temp_dir().join(format!("flod-bench-{}.sock", std::process::id())));
     let requests = batch(opts.repeats);

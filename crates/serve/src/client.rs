@@ -11,9 +11,22 @@
 //!   to its request by id.
 //!
 //! [`Client::call_retry`] layers bounded exponential backoff over
-//! `call` for typed `busy` responses (`FLO_RETRIES`).
+//! `call` for typed `busy` responses (`FLO_RETRIES`), with seeded
+//! jitter so a fleet of clients bounced by one busy node does not retry
+//! in lockstep.
+//!
+//! [`ClusterClient`] is the cluster-aware layer: it owns one lazily
+//! connected [`Client`] per member, routes every work request to the
+//! node the [`crate::cluster::HashRing`] says owns its work key,
+//! pipelines batches per node over the PR-6 path, and turns an
+//! unreachable node into the typed [`ServeError::NodeDown`] error (the
+//! other nodes keep answering — ownership never silently moves).
 
-use crate::protocol::{read_frame, write_frame, FrameError, Request, ServeError};
+use crate::cluster::{stable_hash64, HashRing, Member, Membership};
+use crate::protocol::{
+    read_frame, read_frame_bytes, response_id, work_key, write_frame, FrameError, Request,
+    ServeError,
+};
 use crate::server::Listen;
 use flo_json::Json;
 use std::io;
@@ -82,6 +95,7 @@ fn decode_response(resp: &Json) -> Result<Json, ServeError> {
                 "busy" => ServeError::Busy,
                 "deadline" => ServeError::DeadlineExceeded,
                 "shutting-down" => ServeError::ShuttingDown,
+                "node-down" => ServeError::NodeDown(message),
                 _ => ServeError::Internal(message),
             })
         }
@@ -89,13 +103,68 @@ fn decode_response(resp: &Json) -> Result<Json, ServeError> {
     }
 }
 
-/// The retry schedule for [`Client::call_retry`]: `retries` delays,
-/// doubling from 25 ms and capped at 800 ms so a deep backoff cannot
-/// stall a CLI for seconds.
+/// Decode a raw response envelope (as returned by [`Client::recv_raw`])
+/// into the `result` payload or the typed error the server sent.
+pub fn decode_envelope_bytes(bytes: &[u8]) -> Result<Json, ServeError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| ServeError::Protocol(format!("response is not UTF-8: {e}")))?;
+    let json = flo_json::parse(text)
+        .map_err(|e| ServeError::Protocol(format!("response is not JSON: {e}")))?;
+    decode_response(&json)
+}
+
+/// The base backoff schedule for [`Client::call_retry`]: `retries`
+/// delays, doubling from 25 ms and capped at 800 ms so a deep backoff
+/// cannot stall a CLI for seconds. These are the *ceilings* the jittered
+/// schedule draws under — see [`retry_schedule`].
 pub fn backoff_delays(retries: u32) -> Vec<Duration> {
     (0..retries)
         .map(|i| Duration::from_millis((25u64 << i.min(5)).min(800)))
         .collect()
+}
+
+/// The jittered retry schedule: each delay is drawn uniformly from
+/// `[base/2, base]` of the corresponding [`backoff_delays`] step, by a
+/// seeded xorshift64* stream. Without jitter, N clients bounced by the
+/// same busy node all sleep exactly 25 ms and stampede back in lockstep
+/// — retry k collides with retry k for every client, forever. Half-range
+/// jitter decorrelates the herd (each client should use a distinct
+/// seed) while keeping the sum bounded by the deterministic schedule.
+///
+/// Seeded, not random: the same `(retries, seed)` always yields the same
+/// delays, so `FLO_SEED` replays reproduce their timing exactly.
+pub fn retry_schedule(retries: u32, seed: u64) -> Vec<Duration> {
+    // xorshift64* with a splitmix-style seed scramble; state must be
+    // nonzero.
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    backoff_delays(retries)
+        .iter()
+        .map(|d| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let draw = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let base = d.as_millis() as u64;
+            Duration::from_millis(base / 2 + draw % (base / 2 + 1))
+        })
+        .collect()
+}
+
+/// The jitter seed: `FLO_SEED` when set (deterministic replay — give
+/// each client of a fleet its own seed), otherwise entropy from the
+/// process id and the clock so independent unseeded clients decorrelate
+/// by default.
+pub fn jitter_seed_from_env() -> u64 {
+    if let Ok(s) = std::env::var("FLO_SEED") {
+        if let Ok(seed) = s.trim().parse::<u64>() {
+            return seed;
+        }
+    }
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    nanos ^ ((std::process::id() as u64) << 32)
 }
 
 /// `FLO_RETRIES` (default 0 — a busy server stays a visible, typed
@@ -156,6 +225,30 @@ impl Client {
         Ok((id, decode_response(&resp)))
     }
 
+    /// Read the next response as raw envelope bytes plus its id — the
+    /// deferred-decode path. The id is scanned from the daemon's fixed
+    /// envelope prefix without a parse ([`response_id`]); a full parse
+    /// is the fallback for an unfamiliar prefix. Bulk drivers collect
+    /// frames at wire speed and run [`decode_envelope_bytes`] outside
+    /// their hot loop.
+    pub fn recv_raw(&mut self) -> Result<(u64, Vec<u8>), ServeError> {
+        let bytes = read_frame_bytes(&mut self.conn, &|| false).map_err(|e| match e {
+            FrameError::Closed => ServeError::Protocol("server closed the connection".into()),
+            other => ServeError::Protocol(other.to_string()),
+        })?;
+        if let Some(id) = response_id(&bytes) {
+            return Ok((id, bytes));
+        }
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| ServeError::Protocol(format!("response is not UTF-8: {e}")))?;
+        let id = flo_json::parse(text)
+            .map_err(|e| ServeError::Protocol(format!("response is not JSON: {e}")))?
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServeError::Protocol("response lacks `id`".into()))?;
+        Ok((id, bytes))
+    }
+
     /// Send one request and wait for its response envelope. Returns the
     /// `result` payload, or the server's typed error.
     pub fn call(&mut self, req: &Request, deadline_ms: Option<u64>) -> Result<Json, ServeError> {
@@ -169,21 +262,38 @@ impl Client {
         payload
     }
 
-    /// [`Client::call`] with bounded exponential backoff on `busy`: up
-    /// to `retries` re-sends spaced by [`backoff_delays`]. Every other
-    /// error — including `deadline` and `shutting-down` — surfaces
-    /// immediately; only transient queue pressure is worth waiting out.
+    /// [`Client::call`] with bounded, jittered exponential backoff on
+    /// `busy`: up to `retries` re-sends spaced by
+    /// [`retry_schedule`]`(retries, `[`jitter_seed_from_env`]`())`.
+    /// Every other error — including `deadline` and `shutting-down` —
+    /// surfaces immediately; only transient queue pressure is worth
+    /// waiting out.
     pub fn call_retry(
         &mut self,
         req: &Request,
         deadline_ms: Option<u64>,
         retries: u32,
     ) -> Result<Json, ServeError> {
+        self.call_retry_scheduled(
+            req,
+            deadline_ms,
+            &retry_schedule(retries, jitter_seed_from_env()),
+        )
+    }
+
+    /// [`Client::call_retry`] with an explicit delay schedule (the
+    /// cluster layer derives per-node seeds; tests pin exact delays).
+    pub fn call_retry_scheduled(
+        &mut self,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        delays: &[Duration],
+    ) -> Result<Json, ServeError> {
         let mut last = self.call(req, deadline_ms);
-        for delay in backoff_delays(retries) {
+        for delay in delays {
             match last {
                 Err(ServeError::Busy) => {
-                    std::thread::sleep(delay);
+                    std::thread::sleep(*delay);
                     last = self.call(req, deadline_ms);
                 }
                 other => return other,
@@ -222,6 +332,246 @@ impl Client {
     }
 }
 
+/// Per-node send window for [`ClusterClient::call_many`]: at most this
+/// many frames are in flight on one node's connection before responses
+/// are collected, so a batch never outruns the server's bounded job
+/// queue into typed `busy` errors.
+pub const DEFAULT_WINDOW: usize = 16;
+
+/// A cluster-aware client: one lazily connected [`Client`] per member,
+/// consistent-hash routing of work keys, per-node pipelining, and typed
+/// [`ServeError::NodeDown`] when a node is unreachable.
+///
+/// Routing is pure — the ring is a function of the membership and the
+/// request's [`work_key`] — so every `ClusterClient` over the same
+/// membership file sends the same key to the same node, which is what
+/// makes each node's cache the single home of its key range.
+pub struct ClusterClient {
+    membership: Membership,
+    ring: HashRing,
+    conns: Vec<Option<Client>>,
+    retries: u32,
+    jitter_seed: u64,
+}
+
+impl ClusterClient {
+    /// A client over this membership, with busy-retry and jitter-seed
+    /// settings from the environment (`FLO_RETRIES`, `FLO_SEED`).
+    pub fn new(membership: Membership) -> ClusterClient {
+        ClusterClient::with_retries(membership, retries_from_env(), jitter_seed_from_env())
+    }
+
+    /// A client with explicit retry count and jitter seed.
+    pub fn with_retries(membership: Membership, retries: u32, jitter_seed: u64) -> ClusterClient {
+        let ring = HashRing::build(&membership);
+        let conns = membership.members.iter().map(|_| None).collect();
+        ClusterClient {
+            membership,
+            ring,
+            conns,
+            retries,
+            jitter_seed,
+        }
+    }
+
+    /// The members, in membership-file order.
+    pub fn members(&self) -> &[Member] {
+        &self.membership.members
+    }
+
+    /// The member index owning a request's work key; `None` for control
+    /// requests (`ping` / `stats` / `shutdown`), which have no single
+    /// home — use [`ClusterClient::fan_out`] for those.
+    pub fn node_of(&self, req: &Request) -> Option<usize> {
+        work_key(req).map(|key| self.ring.node_for_key(&key))
+    }
+
+    fn node_down(&self, node: usize, why: &str) -> ServeError {
+        let m = &self.membership.members[node];
+        ServeError::NodeDown(format!(
+            "node {} ({}) is unreachable: {why}",
+            m.id,
+            m.listen.describe()
+        ))
+    }
+
+    /// The lazily established connection to `node`, or `NodeDown`.
+    fn conn(&mut self, node: usize) -> Result<&mut Client, ServeError> {
+        if self.conns[node].is_none() {
+            match Client::connect(&self.membership.members[node].listen) {
+                Ok(c) => self.conns[node] = Some(c),
+                Err(e) => return Err(self.node_down(node, &format!("connect failed: {e}"))),
+            }
+        }
+        Ok(self.conns[node].as_mut().expect("connection just ensured"))
+    }
+
+    /// Send one request to the node that owns its work key.
+    pub fn call(&mut self, req: &Request, deadline_ms: Option<u64>) -> Result<Json, ServeError> {
+        let Some(node) = self.node_of(req) else {
+            return Err(ServeError::BadRequest(format!(
+                "{} has no work key — control requests fan out to every node",
+                req.kind()
+            )));
+        };
+        self.call_on(node, req, deadline_ms)
+    }
+
+    /// Send one request to a specific node, reconnecting once if the
+    /// cached connection turns out to be dead (a restarted or crashed
+    /// node): work requests are deterministic and response-cached, so a
+    /// replay after a torn connection cannot change the answer.
+    pub fn call_on(
+        &mut self,
+        node: usize,
+        req: &Request,
+        deadline_ms: Option<u64>,
+    ) -> Result<Json, ServeError> {
+        let had_conn = self.conns[node].is_some();
+        let delays = retry_schedule(
+            self.retries,
+            self.jitter_seed ^ stable_hash64(self.membership.members[node].id.as_bytes()),
+        );
+        let first = self
+            .conn(node)?
+            .call_retry_scheduled(req, deadline_ms, &delays);
+        match first {
+            Err(ServeError::Protocol(_)) if had_conn => {
+                // The pooled connection may have died since we last used
+                // it; one reconnect decides between a blip and NodeDown.
+                self.conns[node] = None;
+                self.conn(node)?
+                    .call_retry_scheduled(req, deadline_ms, &delays)
+            }
+            other => other,
+        }
+    }
+
+    /// Route a whole batch: group requests by owning node, pipeline each
+    /// node's share in windows of `window` frames (see
+    /// [`DEFAULT_WINDOW`]), and return results in *request* order. A
+    /// node failing mid-batch yields `NodeDown` for its unanswered
+    /// requests; other nodes' requests are unaffected.
+    pub fn call_many(
+        &mut self,
+        reqs: &[Request],
+        deadline_ms: Option<u64>,
+        window: usize,
+    ) -> Vec<Result<Json, ServeError>> {
+        self.call_many_raw(reqs, deadline_ms, window)
+            .into_iter()
+            .map(|r| r.and_then(|bytes| decode_envelope_bytes(&bytes)))
+            .collect()
+    }
+
+    /// [`ClusterClient::call_many`] without the decode: each answered
+    /// request yields its raw envelope bytes (run
+    /// [`decode_envelope_bytes`] later); `Err` is reserved for
+    /// transport-level failures — routing a control request
+    /// (`BadRequest`) or an unreachable node (`NodeDown`).
+    pub fn call_many_raw(
+        &mut self,
+        reqs: &[Request],
+        deadline_ms: Option<u64>,
+        window: usize,
+    ) -> Vec<Result<Vec<u8>, ServeError>> {
+        let mut out: Vec<Option<Result<Vec<u8>, ServeError>>> = reqs.iter().map(|_| None).collect();
+        let mut by_node: Vec<Vec<usize>> = self.membership.members.iter().map(|_| vec![]).collect();
+        for (i, req) in reqs.iter().enumerate() {
+            match self.node_of(req) {
+                Some(node) => by_node[node].push(i),
+                None => {
+                    out[i] = Some(Err(ServeError::BadRequest(format!(
+                        "{} has no work key — control requests fan out to every node",
+                        req.kind()
+                    ))))
+                }
+            }
+        }
+        for (node, ixs) in by_node.iter().enumerate() {
+            if ixs.is_empty() {
+                continue;
+            }
+            let mut failed: Option<ServeError> = None;
+            'chunks: for chunk in ixs.chunks(window.max(1)) {
+                let client = match self.conn(node) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        failed = Some(e);
+                        break 'chunks;
+                    }
+                };
+                let mut pending: Vec<(u64, usize)> = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    match client.send(&reqs[i], deadline_ms) {
+                        Ok(id) => pending.push((id, i)),
+                        Err(e) => {
+                            // The write side died; answer what is already
+                            // in flight if possible, then mark the rest.
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                for _ in 0..pending.len() {
+                    match client.recv_raw() {
+                        Ok((id, bytes)) => {
+                            if let Some(&(_, i)) = pending.iter().find(|&&(sent, _)| sent == id) {
+                                out[i] = Some(Ok(bytes));
+                            }
+                        }
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                if failed.is_some() {
+                    break 'chunks;
+                }
+            }
+            if let Some(e) = failed {
+                // The connection is unusable; drop it so a later batch
+                // re-probes, and mark this node's unanswered requests.
+                self.conns[node] = None;
+                let down = self.node_down(node, &e.to_string());
+                for &i in ixs {
+                    if out[i].is_none() {
+                        out[i] = Some(Err(down.clone()));
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request answered or marked"))
+            .collect()
+    }
+
+    /// Send a control request to *every* node, in membership order.
+    /// Returns `(node id, result)` pairs; an unreachable node
+    /// contributes its typed `NodeDown` error instead of halting the
+    /// fan-out.
+    pub fn fan_out(
+        &mut self,
+        req: &Request,
+        deadline_ms: Option<u64>,
+    ) -> Vec<(String, Result<Json, ServeError>)> {
+        (0..self.membership.members.len())
+            .map(|node| {
+                let id = self.membership.members[node].id.clone();
+                let result = self.call_on(node, req, deadline_ms);
+                if result.is_err() {
+                    // Whatever failed, do not trust the pooled stream.
+                    if let Err(ServeError::NodeDown(_) | ServeError::Protocol(_)) = result {
+                        self.conns[node] = None;
+                    }
+                }
+                (id, result)
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +589,22 @@ mod tests {
         assert_eq!(d[4], Duration::from_millis(400));
         assert_eq!(d[5], Duration::from_millis(800), "cap at 800 ms");
         assert_eq!(d[6], Duration::from_millis(800), "stays capped");
+    }
+
+    #[test]
+    fn jittered_schedule_is_seeded_and_bounded() {
+        let a = retry_schedule(7, 42);
+        let b = retry_schedule(7, 42);
+        assert_eq!(a, b, "same seed, same delays — FLO_SEED replays exactly");
+        let c = retry_schedule(7, 43);
+        assert_ne!(a, c, "different seeds decorrelate the herd");
+        for (jittered, base) in a.iter().zip(backoff_delays(7)) {
+            assert!(
+                *jittered >= base / 2 && *jittered <= base,
+                "jitter {jittered:?} outside [{:?}, {base:?}]",
+                base / 2
+            );
+        }
     }
 
     #[test]

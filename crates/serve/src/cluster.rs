@@ -1,0 +1,291 @@
+//! Cluster sharding: static membership and consistent-hash routing of
+//! work keys onto nodes.
+//!
+//! A flo-serve cluster is N `flod` processes — the same binary, each
+//! with its own listen address — named by a static membership file
+//! (`FLO_CLUSTER=members.txt`):
+//!
+//! ```text
+//! # node-id  listen-address
+//! n0  unix:/tmp/flod-0.sock
+//! n1  tcp:127.0.0.1:7071
+//! ```
+//!
+//! Clients (not servers) route: [`HashRing`] places [`VNODES`] virtual
+//! points per member on a 64-bit ring keyed by [`ring_hash64`] (FNV-1a
+//! through a splitmix64 finisher — fully specified, no per-process
+//! seed), and a request's
+//! [`crate::protocol::work_key`] hashes to the first point at or after
+//! it. The ring is therefore a **pure function of (membership, key)**:
+//! every `floq` invocation, every client process, and every test reaches
+//! the same owner for the same key — which is what lets each node's
+//! cache be the single home of its keys (total cluster cache capacity =
+//! N × `FLO_CACHE_MB`) with no cross-node traffic on the hot path.
+//!
+//! Consistent hashing bounds churn: adding or removing one member moves
+//! only the keys whose arcs that member's points cover — ~1/N of the key
+//! space — and every unmoved key keeps its owner exactly (the property
+//! test in `tests/cluster.rs` pins both halves).
+
+use crate::protocol::ServeError;
+use crate::server::Listen;
+use std::path::Path;
+
+/// Virtual points each member contributes to the ring. More points
+/// flatten the per-node share distribution (the standard deviation of a
+/// member's arc share scales like 1/√VNODES).
+pub const VNODES: usize = 128;
+
+/// FNV-1a 64-bit. Chosen over `std` hashing because the routing
+/// contract requires one fixed, documented function: `std`'s hasher is
+/// explicitly unspecified across releases, while FNV-1a's offset basis
+/// and prime are constants any other implementation can reproduce.
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The ring-position hash: [`stable_hash64`] finished with the
+/// splitmix64 avalanche. Plain FNV-1a mixes short, similar strings
+/// (`"n0#17"`, `"n1#17"`, …) too weakly for ring placement — whole runs
+/// of a member's points land near each other, and a member's share can
+/// drift 2× from 1/N. The finisher is as fixed and reproducible as FNV
+/// itself (splitmix64's published constants), so the routing contract
+/// stays a pure, documented function.
+pub fn ring_hash64(bytes: &[u8]) -> u64 {
+    let mut x = stable_hash64(bytes);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// One cluster member: a stable node id (the hash-ring identity) and
+/// where it listens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Member {
+    /// Node id — the string the ring hashes, the `node` field of stats
+    /// and `serve-request` metrics events, and the label `flostat`
+    /// breaks tables down by. Renaming a node *is* a membership change.
+    pub id: String,
+    /// The node's listen address.
+    pub listen: Listen,
+}
+
+/// A parsed membership file: the ordered member list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Membership {
+    /// Members in file order (order does not affect routing — the ring
+    /// sorts by hash — but it fixes fan-out and table order).
+    pub members: Vec<Member>,
+}
+
+impl Membership {
+    /// Parse membership text: one `<node-id> <listen-address>` pair per
+    /// line; blank lines and `#` comments are ignored. Ids must be
+    /// unique — the id is the ring identity, so a duplicate would give
+    /// two processes the same key range.
+    pub fn parse(text: &str) -> Result<Membership, ServeError> {
+        let mut members = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((id, addr)) = line.split_once(char::is_whitespace) else {
+                return Err(ServeError::BadRequest(format!(
+                    "membership line {}: want `<node-id> <listen-address>`, got {line:?}",
+                    lineno + 1
+                )));
+            };
+            let (id, addr) = (id.trim(), addr.trim());
+            if members.iter().any(|m: &Member| m.id == id) {
+                return Err(ServeError::BadRequest(format!(
+                    "membership line {}: duplicate node id {id:?}",
+                    lineno + 1
+                )));
+            }
+            members.push(Member {
+                id: id.to_string(),
+                listen: Listen::parse(addr),
+            });
+        }
+        if members.is_empty() {
+            return Err(ServeError::BadRequest(
+                "membership file names no nodes".into(),
+            ));
+        }
+        Ok(Membership { members })
+    }
+
+    /// Load and parse a membership file.
+    pub fn load(path: &Path) -> Result<Membership, ServeError> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            ServeError::BadRequest(format!(
+                "cannot read membership file {}: {e}",
+                path.display()
+            ))
+        })?;
+        Membership::parse(&text)
+    }
+
+    /// The membership `FLO_CLUSTER` names, if set and non-empty.
+    pub fn from_env() -> Option<Result<Membership, ServeError>> {
+        match std::env::var("FLO_CLUSTER") {
+            Ok(s) if !s.trim().is_empty() => Some(Membership::load(Path::new(s.trim()))),
+            _ => None,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no members are listed (unreachable after `parse`).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Render as membership-file text (what `parse` accepts).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.members {
+            out.push_str(&format!("{} {}\n", m.id, m.listen.describe()));
+        }
+        out
+    }
+}
+
+/// The consistent-hash ring: every member contributes [`VNODES`] points
+/// at `ring_hash64("<id>#<v>")`; a key is owned by the member of the
+/// first point at or clockwise-after the key's hash (wrapping at the
+/// top of the u64 space).
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// (point hash, member index), sorted by hash.
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// Build the ring for a membership. Pure: the same membership always
+    /// yields the same ring.
+    pub fn build(membership: &Membership) -> HashRing {
+        let mut points = Vec::with_capacity(membership.members.len() * VNODES);
+        for (i, m) in membership.members.iter().enumerate() {
+            for v in 0..VNODES {
+                let point = ring_hash64(format!("{}#{v}", m.id).as_bytes());
+                points.push((point, i as u32));
+            }
+        }
+        // Ties (two ids whose vnode strings collide in FNV space) are
+        // broken by member index so the ring stays a pure function of
+        // the membership list.
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// Member index owning a raw key hash.
+    pub fn node_for_hash(&self, hash: u64) -> usize {
+        let at = self.points.partition_point(|&(p, _)| p < hash);
+        let (_, member) = self.points[at % self.points.len()];
+        member as usize
+    }
+
+    /// Member index owning a work key.
+    pub fn node_for_key(&self, key: &str) -> usize {
+        self.node_for_hash(ring_hash64(key.as_bytes()))
+    }
+
+    /// Number of ring points (members × [`VNODES`]).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the ring has no points (unreachable via [`HashRing::build`] on a
+    /// parsed membership).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_published_vectors() {
+        // The routing contract depends on this exact function; pin it to
+        // the published FNV-1a 64 test vectors.
+        assert_eq!(stable_hash64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_hash64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(stable_hash64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn membership_parses_ids_comments_and_rejects_duplicates() {
+        let m = Membership::parse(
+            "# comment\n\n n0  unix:/tmp/a.sock \nn1 tcp:127.0.0.1:7071\nn2 /tmp/c.sock\n",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.members[0].id, "n0");
+        assert_eq!(m.members[1].listen, Listen::Tcp("127.0.0.1:7071".into()));
+        assert_eq!(m.members[2].listen, Listen::Unix("/tmp/c.sock".into()));
+        // Round trip through render.
+        assert_eq!(Membership::parse(&m.render()).unwrap(), m);
+
+        assert!(matches!(
+            Membership::parse("n0 /a\nn0 /b\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            Membership::parse("# only comments\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            Membership::parse("lonely-token\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_members() {
+        let m = Membership::parse("n0 /a\nn1 /b\nn2 /c\nn3 /d\n").unwrap();
+        let ring = HashRing::build(&m);
+        let again = HashRing::build(&m);
+        assert_eq!(ring.points, again.points, "ring is a pure function");
+        assert_eq!(ring.len(), 4 * VNODES);
+        // Every member owns some keys and the shares are not wildly
+        // skewed (vnodes flatten the distribution).
+        let mut counts = [0usize; 4];
+        for i in 0..10_000u64 {
+            counts[ring.node_for_key(&format!("key-{i}"))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 1000 && c < 5000,
+                "member {i} owns {c}/10000 keys — ring badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wraparound_routes_to_the_first_point() {
+        let m = Membership::parse("n0 /a\nn1 /b\n").unwrap();
+        let ring = HashRing::build(&m);
+        // A hash above the highest point wraps to the ring's first point.
+        let top = ring.points.last().unwrap().0;
+        let first = ring.points.first().unwrap().1 as usize;
+        if top < u64::MAX {
+            assert_eq!(ring.node_for_hash(top + 1), first);
+        }
+        assert_eq!(ring.node_for_hash(u64::MAX), first);
+    }
+}

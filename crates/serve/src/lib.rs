@@ -30,19 +30,23 @@
 //! * [`server`] — readiness loop, worker pool, queue, graceful drain;
 //! * [`poller`] — dependency-free epoll/poll readiness + wakeup pipe;
 //! * [`client`] — the blocking client, with pipelining and busy-retry;
+//! * [`cluster`] — static membership + consistent-hash ring: N nodes,
+//!   each the single home of its work-key range (client-side routing);
 //! * [`signal`] — SIGTERM/SIGINT → drain flag, without libc.
 //!
 //! See README.md (quick start), DESIGN.md §2.9 (architecture and the
 //! shared-cache consistency argument) and EXPERIMENTS.md (servebench).
 
 pub mod client;
+pub mod cluster;
 pub mod poller;
 pub mod protocol;
 pub mod server;
 pub mod service;
 pub mod signal;
 
-pub use client::Client;
+pub use client::{Client, ClusterClient};
+pub use cluster::{HashRing, Member, Membership};
 pub use protocol::{Request, ServeError, PROTOCOL_VERSION};
 pub use server::{Listen, ServerConfig};
 pub use service::Service;

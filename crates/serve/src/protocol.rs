@@ -57,6 +57,11 @@ pub enum ServeError {
     DeadlineExceeded,
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// The cluster node that owns this request's work key is
+    /// unreachable (connect refused, or the connection died and could
+    /// not be re-established). Synthesized client-side by the
+    /// cluster-routing layer — a daemon never sends it about itself.
+    NodeDown(String),
     /// An unexpected internal failure.
     Internal(String),
 }
@@ -70,6 +75,7 @@ impl ServeError {
             ServeError::Busy => "busy",
             ServeError::DeadlineExceeded => "deadline",
             ServeError::ShuttingDown => "shutting-down",
+            ServeError::NodeDown(_) => "node-down",
             ServeError::Internal(_) => "internal",
         }
     }
@@ -77,9 +83,10 @@ impl ServeError {
     /// Human-readable message.
     pub fn message(&self) -> String {
         match self {
-            ServeError::Protocol(m) | ServeError::BadRequest(m) | ServeError::Internal(m) => {
-                m.clone()
-            }
+            ServeError::Protocol(m)
+            | ServeError::BadRequest(m)
+            | ServeError::NodeDown(m)
+            | ServeError::Internal(m) => m.clone(),
             ServeError::Busy => "job queue full, try again".to_string(),
             ServeError::DeadlineExceeded => "deadline expired before execution".to_string(),
             ServeError::ShuttingDown => "server is draining for shutdown".to_string(),
@@ -244,6 +251,25 @@ impl Request {
                         .collect::<Vec<Json>>(),
                 ),
         }
+    }
+}
+
+/// The canonical *work key* of a request: the envelope rendering with a
+/// fixed id and no deadline, which serializes the whole request body in
+/// insertion order. `None` for control requests (`ping` / `stats` /
+/// `shutdown`), which have no cacheable work behind them.
+///
+/// This one string is both the service's response-cache key (hashed in
+/// `Service::execute_bytes`) and the cluster routing key (hashed onto
+/// the ring in `cluster`): a work key is owned by exactly one node, so
+/// that node's cache shard is the only place the key's result ever
+/// lives, and a warm hit never pays a cross-node hop.
+pub fn work_key(req: &Request) -> Option<String> {
+    match req {
+        Request::Layout { .. } | Request::Simulate { .. } | Request::Sweep { .. } => {
+            Some(req.to_envelope(0, None).to_string())
+        }
+        Request::Ping | Request::Stats | Request::Shutdown => None,
     }
 }
 
@@ -583,10 +609,13 @@ fn read_exact_frames(
     Ok(())
 }
 
-/// Read one frame. `cancel` is consulted on idle ticks (and mid-frame
-/// stalls) so a server connection thread can wind down; clients pass
-/// `&|| false`.
-pub fn read_frame(r: &mut impl Read, cancel: &dyn Fn() -> bool) -> Result<Json, FrameError> {
+/// Read one frame's raw body bytes, without UTF-8 or JSON validation —
+/// the deferred-decode path: bulk clients collect frames at wire speed
+/// and parse outside their hot loop. `cancel` as in [`read_frame`].
+pub fn read_frame_bytes(
+    r: &mut impl Read,
+    cancel: &dyn Fn() -> bool,
+) -> Result<Vec<u8>, FrameError> {
     let mut header = [0u8; 4];
     read_exact_frames(r, &mut header, false, cancel)?;
     let len = u32::from_le_bytes(header) as usize;
@@ -597,9 +626,30 @@ pub fn read_frame(r: &mut impl Read, cancel: &dyn Fn() -> bool) -> Result<Json, 
     }
     let mut body = vec![0u8; len];
     read_exact_frames(r, &mut body, true, cancel)?;
+    Ok(body)
+}
+
+/// Read one frame. `cancel` is consulted on idle ticks (and mid-frame
+/// stalls) so a server connection thread can wind down; clients pass
+/// `&|| false`.
+pub fn read_frame(r: &mut impl Read, cancel: &dyn Fn() -> bool) -> Result<Json, FrameError> {
+    let body = read_frame_bytes(r, cancel)?;
     let text = std::str::from_utf8(&body)
         .map_err(|e| FrameError::Malformed(format!("frame is not UTF-8: {e}")))?;
     flo_json::parse(text).map_err(|e| FrameError::Malformed(format!("frame is not JSON: {e}")))
+}
+
+/// Scan the response id out of a serialized envelope without parsing
+/// it: every envelope the daemon emits — [`ok_response`],
+/// [`ok_response_bytes`], [`err_response`] — starts with the fixed
+/// prefix `{"v":<version>,"id":<digits>`. `None` means the prefix is
+/// unfamiliar and the caller must fall back to a full parse; pipelined
+/// raw receivers use this to match responses to requests at wire speed.
+pub fn response_id(bytes: &[u8]) -> Option<u64> {
+    let prefix = format!("{{\"v\":{PROTOCOL_VERSION},\"id\":");
+    let rest = bytes.strip_prefix(prefix.as_bytes())?;
+    let end = rest.iter().position(|b| !b.is_ascii_digit())?;
+    std::str::from_utf8(&rest[..end]).ok()?.parse().ok()
 }
 
 /// Write one frame.
@@ -765,6 +815,18 @@ mod tests {
                 "splice must be byte-identical for payload {i}"
             );
         }
+    }
+
+    #[test]
+    fn response_id_scans_every_envelope_shape() {
+        let ok = ok_response(42, Json::obj().set("pong", true)).to_string();
+        assert_eq!(response_id(ok.as_bytes()), Some(42));
+        let spliced = ok_response_bytes(7, b"{\"x\":1}");
+        assert_eq!(response_id(&spliced), Some(7));
+        let err = err_response(0, &ServeError::Busy).to_string();
+        assert_eq!(response_id(err.as_bytes()), Some(0));
+        assert_eq!(response_id(b"{\"id\":3}"), None, "unfamiliar prefix");
+        assert_eq!(response_id(b""), None);
     }
 
     #[test]

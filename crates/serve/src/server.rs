@@ -106,6 +106,10 @@ pub struct ServerConfig {
     /// Concurrent-connection cap (`FLO_MAX_CONNS`); connections past it
     /// are accepted and immediately closed.
     pub max_conns: usize,
+    /// Cluster node id (`FLO_NODE_ID`): the membership-file name of this
+    /// node, stamped into `stats` responses and `serve-request` metrics
+    /// events so cluster runs break down per node. `-` when standalone.
+    pub node_id: String,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +121,7 @@ impl Default for ServerConfig {
             run_name: "flod".to_string(),
             pipeline_max: 64,
             max_conns: 4096,
+            node_id: "-".to_string(),
         }
     }
 }
@@ -149,6 +154,10 @@ impl ServerConfig {
             run_name: defaults.run_name,
             pipeline_max: env_usize("FLO_PIPELINE_MAX", 1).unwrap_or(defaults.pipeline_max),
             max_conns: env_usize("FLO_MAX_CONNS", 1).unwrap_or(defaults.max_conns),
+            node_id: match std::env::var("FLO_NODE_ID") {
+                Ok(s) if !s.trim().is_empty() => s.trim().to_string(),
+                _ => defaults.node_id,
+            },
         }
     }
 }
@@ -205,10 +214,36 @@ impl Listener {
     fn bind(listen: &Listen) -> io::Result<Listener> {
         match listen {
             Listen::Unix(path) => {
-                // A stale socket from a crashed daemon would fail the
-                // bind; a live daemon also loses it, which is the
-                // standard single-owner convention for named sockets.
-                let _ = std::fs::remove_file(path);
+                // An existing path is either a live daemon (refuse — two
+                // daemons silently stealing one socket is how a cluster
+                // member ends up serving another member's key range), a
+                // stale socket from an unclean shutdown (take over:
+                // connect-probe fails, so unlink and bind), or not a
+                // socket at all (refuse — never unlink a user's file).
+                if let Ok(meta) = std::fs::symlink_metadata(path) {
+                    use std::os::unix::fs::FileTypeExt;
+                    if !meta.file_type().is_socket() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AlreadyExists,
+                            format!(
+                                "{} exists and is not a socket; refusing to replace it",
+                                path.display()
+                            ),
+                        ));
+                    }
+                    match UnixStream::connect(path) {
+                        Ok(_) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!("{} is owned by a live daemon; stop it or pick another FLO_LISTEN", path.display()),
+                            ));
+                        }
+                        Err(_) => {
+                            // Nobody answers: a crashed daemon's leftover.
+                            std::fs::remove_file(path)?;
+                        }
+                    }
+                }
                 let l = UnixListener::bind(path)?;
                 l.set_nonblocking(true)?;
                 Ok(Listener::Unix(l, path.clone()))
@@ -368,6 +403,7 @@ fn worker_loop(
     events: Events,
     inflight: Arc<AtomicUsize>,
     completions: Arc<CompletionQueue>,
+    node_id: Arc<str>,
 ) {
     while let Some(job) = queue.pop() {
         let wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
@@ -385,6 +421,7 @@ fn worker_loop(
             let mut ev = Json::obj()
                 .set("request", job.request.kind())
                 .set("app", job.request.app())
+                .set("node", &*node_id)
                 .set("queue_depth", job.depth_at_enqueue)
                 .set("conn_inflight", job.conn_inflight)
                 .set("wait_ms", wait_ms)
@@ -543,12 +580,14 @@ struct EventLoop {
     queue: Arc<JobQueue>,
     completions: Arc<CompletionQueue>,
     service: Arc<Service>,
+    events: Events,
     inflight: Arc<AtomicUsize>,
     pipeline_max: usize,
     max_conns: usize,
     /// High-water mark of per-connection pipelining depth.
     max_conn_inflight: usize,
     draining: bool,
+    node_id: Arc<str>,
 }
 
 impl EventLoop {
@@ -732,6 +771,31 @@ impl EventLoop {
             request => {
                 let token = conn.token;
                 let conn_inflight = conn.pending + 1;
+                // Warm fast path: when the rendered response bytes are
+                // already resident, answer inline from the event thread.
+                // A queue round-trip through a worker would add two
+                // thread handoffs per request only to rediscover bytes
+                // that are sitting ready — on a single core that is the
+                // difference between wire-limited and handoff-limited
+                // warm throughput.
+                if let Some(payload) = self.service.cached_response_bytes(&request) {
+                    if metrics_mode() == MetricsMode::Jsonl {
+                        let ev = Json::obj()
+                            .set("request", request.kind())
+                            .set("app", request.app())
+                            .set("node", &*self.node_id)
+                            .set("queue_depth", self.queue.depth())
+                            .set("conn_inflight", conn_inflight)
+                            .set("wait_ms", 0.0)
+                            .set("exec_ms", 0.0)
+                            .set("inline", true)
+                            .set("ok", true);
+                        self.events.lock().unwrap().push(ev);
+                    }
+                    let conn = self.slots[index].as_mut().expect("conn");
+                    conn.queue_frame(&ok_response_bytes(id, &payload));
+                    return;
+                }
                 let job = Job {
                     request,
                     enqueued: Instant::now(),
@@ -759,6 +823,7 @@ impl EventLoop {
     fn stats_json(&self) -> Json {
         self.service
             .stats()
+            .set("node", &*self.node_id)
             .set("queue_depth", self.queue.depth())
             .set("queue_capacity", self.queue.capacity)
             .set("inflight", self.inflight.load(Ordering::SeqCst))
@@ -933,6 +998,7 @@ pub fn run(cfg: &ServerConfig, service: Arc<Service>) -> io::Result<()> {
         done: Mutex::new(Vec::new()),
         wake: wake.sender()?,
     });
+    let node_id: Arc<str> = Arc::from(cfg.node_id.as_str());
     let workers: Vec<thread::JoinHandle<()>> = (0..cfg.workers)
         .map(|i| {
             let q = Arc::clone(&queue);
@@ -940,9 +1006,10 @@ pub fn run(cfg: &ServerConfig, service: Arc<Service>) -> io::Result<()> {
             let ev = Arc::clone(&events);
             let inf = Arc::clone(&inflight);
             let comp = Arc::clone(&completions);
+            let node = Arc::clone(&node_id);
             thread::Builder::new()
                 .name(format!("flod-worker-{i}"))
-                .spawn(move || worker_loop(q, svc, ev, inf, comp))
+                .spawn(move || worker_loop(q, svc, ev, inf, comp, node))
                 .expect("spawn worker thread")
         })
         .collect();
@@ -961,11 +1028,13 @@ pub fn run(cfg: &ServerConfig, service: Arc<Service>) -> io::Result<()> {
         queue: Arc::clone(&queue),
         completions,
         service,
+        events: Arc::clone(&events),
         inflight,
         pipeline_max: cfg.pipeline_max.max(1),
         max_conns: cfg.max_conns.max(1),
         max_conn_inflight: 0,
         draining: false,
+        node_id,
     };
     let result = event_loop.run();
     // Every connection is gone, so every accepted job has been answered
@@ -1124,5 +1193,62 @@ mod tests {
         let cfg = ServerConfig::default();
         assert!(cfg.pipeline_max >= 1);
         assert!(cfg.max_conns >= 256, "the 256-client scenario must fit");
+        assert_eq!(cfg.node_id, "-", "standalone daemons report node `-`");
+    }
+
+    fn scratch_socket(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "flod-bind-{tag}-{}-{}.sock",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ))
+    }
+
+    #[test]
+    fn bind_refuses_a_live_daemons_socket() {
+        let path = scratch_socket("live");
+        let listen = Listen::Unix(path.clone());
+        let first = Listener::bind(&listen).expect("first bind owns the path");
+        let clash = Listener::bind(&listen);
+        match clash {
+            Err(e) => {
+                assert_eq!(e.kind(), io::ErrorKind::AddrInUse);
+                assert!(e.to_string().contains("live daemon"), "{e}");
+            }
+            Ok(_) => panic!("second bind must refuse a live socket"),
+        }
+        drop(first);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bind_takes_over_a_stale_socket() {
+        let path = scratch_socket("stale");
+        // A socket file with no listener behind it — what an unclean
+        // shutdown (SIGKILL, power loss) leaves on disk.
+        drop(UnixListener::bind(&path).expect("create then abandon"));
+        assert!(path.exists(), "the stale socket file remains");
+        let l = Listener::bind(&Listen::Unix(path.clone()))
+            .expect("stale socket must be taken over, not refused");
+        drop(l);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bind_never_unlinks_a_regular_file() {
+        let path = scratch_socket("file");
+        std::fs::write(&path, b"precious").unwrap();
+        let clash = Listener::bind(&Listen::Unix(path.clone()));
+        match clash {
+            Err(e) => assert!(e.to_string().contains("not a socket"), "{e}"),
+            Ok(_) => panic!("a regular file at the socket path must refuse the bind"),
+        }
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"precious",
+            "the user's file survives"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

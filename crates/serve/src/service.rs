@@ -58,10 +58,14 @@ impl Service {
     pub fn with_budget(budget_bytes: usize) -> Service {
         Service {
             caches: RunCaches::with_budget(budget_bytes),
-            // Layout and response JSON are small; fixed slices of the
-            // budget are plenty.
-            layouts: ShardedLru::bounded(budget_bytes / 16),
-            responses: ShardedLru::bounded(budget_bytes / 16),
+            // Fixed slices of the budget, split over few shards: a
+            // rendered large-scale layout response runs to ~130 KB, and
+            // an entry larger than its *shard's* budget is never
+            // retained — 4 shards keep the per-shard budget above the
+            // biggest single response at much smaller total budgets
+            // than the default 16 shards would.
+            layouts: ShardedLru::bounded_with_shards(budget_bytes / 16, 4),
+            responses: ShardedLru::bounded_with_shards(budget_bytes / 16, 4),
         }
     }
 
@@ -110,18 +114,7 @@ impl Service {
     /// the response frame unchanged. Always byte-identical to
     /// `execute(req)?.to_string()` (the differential suite asserts it).
     pub fn execute_bytes(&self, req: &Request) -> Result<Arc<Vec<u8>>, ServeError> {
-        let key = match req {
-            Request::Layout { .. } | Request::Simulate { .. } | Request::Sweep { .. } => {
-                // The envelope rendering with fixed id/deadline is a
-                // canonical serialization of the request body.
-                let mut h = flo_sim::FxHasher::default();
-                req.to_envelope(0, None).to_string().hash(&mut h);
-                Some(h.finish())
-            }
-            // Control responses are dynamic (`stats`) or trivial; never
-            // cache them.
-            _ => None,
-        };
+        let key = Self::response_key(req);
         if let Some(key) = key {
             if let Some(hit) = self.responses.get(key) {
                 return Ok(hit);
@@ -135,6 +128,26 @@ impl Service {
             }
             None => Ok(bytes),
         }
+    }
+
+    /// The response-cache key for a work request: an `FxHasher` digest
+    /// of the canonical request rendering — the same string the cluster
+    /// hash-ring routes by, so one node's response cache is exactly the
+    /// cache of its owned key range. `None` for control requests.
+    fn response_key(req: &Request) -> Option<u64> {
+        let canonical = crate::protocol::work_key(req)?;
+        let mut h = flo_sim::FxHasher::default();
+        canonical.hash(&mut h);
+        Some(h.finish())
+    }
+
+    /// The already-rendered response bytes for a work request, if
+    /// resident. This is the event loop's inline fast path: a probe
+    /// only, nothing executes, and a miss records no counter (the
+    /// worker's [`Service::execute_bytes`] counts it when the job
+    /// actually runs).
+    pub fn cached_response_bytes(&self, req: &Request) -> Option<Arc<Vec<u8>>> {
+        self.responses.peek(Self::response_key(req)?)
     }
 
     /// Cache counters (the server's `stats` response adds queue state).

@@ -1,0 +1,273 @@
+//! Cluster-mode integration suite: hash-ring stability properties and
+//! multi-node serve-vs-direct differentials.
+//!
+//! The ring properties are what make static-membership sharding usable:
+//! routing must be a pure function of (membership, key) — identical
+//! across processes and rebuilds — and a single-member change must
+//! remap only ~1/N of the key space, never shuffle survivors between
+//! staying nodes.
+//!
+//! The in-process nodes here share one process-global shutdown flag
+//! (that is what lets one SIGTERM drain a whole local cluster), so the
+//! server-backed tests serialize on a lock and reset the flag, exactly
+//! like the single-node differential suite.
+
+use flo_core::TargetLayers;
+use flo_serve::protocol::{Request, ServeError};
+use flo_serve::{server, signal, HashRing, Listen, Member, Membership, ServerConfig, Service};
+use flo_sim::PolicyKind;
+use flo_workloads::Scale;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+static SERVER_LOCK: Mutex<()> = Mutex::new(());
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn unique_socket() -> Listen {
+    Listen::Unix(std::env::temp_dir().join(format!(
+        "flod-cluster-test-{}-{}.sock",
+        std::process::id(),
+        SOCKET_SEQ.fetch_add(1, Ordering::SeqCst)
+    )))
+}
+
+fn membership_of(n: usize) -> Membership {
+    Membership {
+        members: (0..n)
+            .map(|i| Member {
+                id: format!("n{i}"),
+                listen: unique_socket(),
+            })
+            .collect(),
+    }
+}
+
+/// Sampled key space for the ring properties: enough keys that the
+/// expected remap fraction concentrates, few enough to stay instant.
+fn sample_keys() -> Vec<String> {
+    (0..10_000).map(|i| format!("work-key-{i}")).collect()
+}
+
+#[test]
+fn ring_routing_is_identical_across_rebuilds() {
+    let membership = membership_of(5);
+    let a = HashRing::build(&membership);
+    let b = HashRing::build(&membership);
+    for key in sample_keys() {
+        assert_eq!(
+            a.node_for_key(&key),
+            b.node_for_key(&key),
+            "routing must be a pure function of (membership, key): {key}"
+        );
+    }
+}
+
+#[test]
+fn removing_one_member_remaps_only_its_own_keys() {
+    let n = 5;
+    let full = membership_of(n);
+    let before = HashRing::build(&full);
+    let keys = sample_keys();
+    let removed = 2usize;
+    let mut shrunk = full.clone();
+    shrunk.members.remove(removed);
+    let after = HashRing::build(&shrunk);
+    let mut moved = 0usize;
+    for key in &keys {
+        let was = before.node_for_key(key);
+        let now = &shrunk.members[after.node_for_key(key)].id;
+        if was == removed {
+            moved += 1;
+        } else {
+            // Survivors must not shuffle among themselves: every key the
+            // removed node did not own keeps its exact owner.
+            assert_eq!(
+                &full.members[was].id, now,
+                "key {key} moved between surviving nodes"
+            );
+        }
+    }
+    // The removed node owned ~1/N of the space; virtual nodes bound the
+    // imbalance. ε covers the variance of 64 vnodes over 10k keys.
+    let bound = 1.0 / n as f64 + 0.10;
+    let fraction = moved as f64 / keys.len() as f64;
+    assert!(
+        fraction <= bound,
+        "removal remapped {fraction:.3} of keys, bound {bound:.3}"
+    );
+    assert!(moved > 0, "the removed node must have owned some keys");
+}
+
+#[test]
+fn adding_one_member_moves_keys_only_to_the_new_node() {
+    let n = 4;
+    let base = membership_of(n);
+    let before = HashRing::build(&base);
+    let mut grown = base.clone();
+    grown.members.push(Member {
+        id: "n-new".into(),
+        listen: unique_socket(),
+    });
+    let after = HashRing::build(&grown);
+    let keys = sample_keys();
+    let mut moved = 0usize;
+    for key in &keys {
+        let was = &base.members[before.node_for_key(key)].id;
+        let now = &grown.members[after.node_for_key(key)].id;
+        if was != now {
+            moved += 1;
+            assert_eq!(
+                now, "n-new",
+                "key {key} moved to {now}, not to the added node"
+            );
+        }
+    }
+    let fraction = moved as f64 / keys.len() as f64;
+    let bound = 1.0 / (n + 1) as f64 + 0.10;
+    assert!(
+        fraction <= bound,
+        "addition remapped {fraction:.3} of keys, bound {bound:.3}"
+    );
+    assert!(moved > 0, "the added node must take over some keys");
+}
+
+/// A mixed work batch with keys spread over apps, kinds and targets so
+/// a 2-node ring almost surely splits it (asserted, not assumed).
+fn work_batch() -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for app in ["qio", "swim", "s3asim", "mgrid", "bt", "applu"] {
+        reqs.push(Request::Layout {
+            app: app.into(),
+            scale: Scale::Small,
+            target: TargetLayers::Both,
+        });
+        reqs.push(Request::Simulate {
+            app: app.into(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Inter,
+            policy: PolicyKind::LruInclusive,
+            fault: None,
+        });
+    }
+    reqs
+}
+
+/// Spawn one in-process flod per member; returns the join handles.
+fn spawn_nodes(membership: &Membership) -> Vec<std::thread::JoinHandle<std::io::Result<()>>> {
+    membership
+        .members
+        .iter()
+        .map(|m| {
+            let cfg = ServerConfig {
+                listen: m.listen.clone(),
+                workers: 2,
+                queue_capacity: 64,
+                node_id: m.id.clone(),
+                run_name: format!("flod-cluster-test-{}", m.id),
+                ..ServerConfig::default()
+            };
+            let service = Arc::new(Service::with_budget(64 << 20));
+            std::thread::spawn(move || server::run(&cfg, service))
+        })
+        .collect()
+}
+
+fn wait_up(membership: &Membership) {
+    for m in &membership.members {
+        flo_serve::Client::connect_retry(&m.listen, Duration::from_secs(10))
+            .expect("node did not come up");
+    }
+}
+
+#[test]
+fn two_node_cluster_matches_direct_bytes() {
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    signal::reset();
+    let membership = membership_of(2);
+    let handles = spawn_nodes(&membership);
+    wait_up(&membership);
+    let mut cc = flo_serve::ClusterClient::with_retries(membership.clone(), 0, 1);
+    let batch = work_batch();
+    // The batch must actually exercise routing: both nodes own keys.
+    let mut owners = [0usize; 2];
+    for req in &batch {
+        owners[cc.node_of(req).expect("work request")] += 1;
+    }
+    assert!(
+        owners.iter().all(|&c| c > 0),
+        "batch does not split across the ring: {owners:?}"
+    );
+    let direct = Service::with_budget(1 << 30);
+    let expected: Vec<String> = batch
+        .iter()
+        .map(|r| direct.execute(r).expect("direct").to_string())
+        .collect();
+    // Pipelined and one-at-a-time paths must both match the oracle.
+    let many = cc.call_many(&batch, None, 4);
+    for ((req, got), want) in batch.iter().zip(many).zip(&expected) {
+        let got = got.unwrap_or_else(|e| panic!("{} failed: {e}", req.kind()));
+        assert_eq!(&got.to_string(), want, "pipelined {:?}", req.kind());
+    }
+    for (req, want) in batch.iter().zip(&expected) {
+        let got = cc.call(req, None).expect("routed call");
+        assert_eq!(&got.to_string(), want, "routed {:?}", req.kind());
+    }
+    // Control fan-out reaches every node.
+    let pongs = cc.fan_out(&Request::Ping, None);
+    assert_eq!(pongs.len(), 2);
+    for (id, r) in &pongs {
+        let j = r.as_ref().unwrap_or_else(|e| panic!("ping {id}: {e}"));
+        assert_eq!(j.get("pong").and_then(flo_json::Json::as_bool), Some(true));
+    }
+    // One shutdown drains the whole in-process cluster (shared flag).
+    signal::request_shutdown();
+    for h in handles {
+        h.join().expect("server thread").expect("graceful drain");
+    }
+}
+
+#[test]
+fn keys_owned_by_a_dead_node_fail_typed_and_the_live_node_keeps_answering() {
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    signal::reset();
+    // Two members in the ring, but only n0 is ever started: n1's socket
+    // path is never bound, which is exactly what a crashed node looks
+    // like to the router.
+    let membership = membership_of(2);
+    let live = Membership {
+        members: vec![membership.members[0].clone()],
+    };
+    let handles = spawn_nodes(&live);
+    wait_up(&live);
+    let mut cc = flo_serve::ClusterClient::with_retries(membership.clone(), 0, 1);
+    let batch = work_batch();
+    let direct = Service::with_budget(1 << 30);
+    let results = cc.call_many(&batch, None, 4);
+    let (mut served, mut down) = (0usize, 0usize);
+    for (req, result) in batch.iter().zip(results) {
+        match (cc.node_of(req).expect("work request"), result) {
+            (0, Ok(j)) => {
+                served += 1;
+                assert_eq!(
+                    j.to_string(),
+                    direct.execute(req).expect("direct").to_string(),
+                    "live node must stay byte-identical while its peer is down"
+                );
+            }
+            (0, Err(e)) => panic!("live-node key failed: {e}"),
+            (1, Err(ServeError::NodeDown(m))) => {
+                down += 1;
+                assert!(m.contains("n1"), "node-down names the node: {m}");
+            }
+            (1, other) => panic!("dead-node key must be typed node-down, got {other:?}"),
+            (n, _) => unreachable!("2-node ring routed to {n}"),
+        }
+    }
+    assert!(served > 0, "no key routed to the live node");
+    assert!(down > 0, "no key routed to the dead node");
+    signal::request_shutdown();
+    for h in handles {
+        h.join().expect("server thread").expect("graceful drain");
+    }
+}
