@@ -8,13 +8,17 @@
 //!
 //! `show` prints per-layer statistics (hit ratios, disk reads,
 //! sequential fraction) for every simulated configuration plus a phase
-//! summary of the run's spans. `diff` lines up two artifacts by
+//! summary of the run's spans. For `flod` artifacts it adds the served
+//! request table (per-stage means) and, when events carry trace ids,
+//! the slowest traced requests with their stage-by-stage critical
+//! paths. `diff` lines up two artifacts by
 //! (application, scheme, capacities) — the policy may differ, that is
 //! the point of an A/B run — and prints per-layer hit-ratio and
 //! phase-time deltas.
 
 use flo_bench::flostat::{
-    diff_layers, diff_phases, fault_table, layer_table, load, phase_table, serve_table, Artifact,
+    diff_layers, diff_phases, fault_table, layer_table, load, phase_table, serve_table,
+    trace_table, Artifact,
 };
 use std::process::ExitCode;
 
@@ -43,6 +47,10 @@ fn main() -> ExitCode {
                 if !art.serves.is_empty() {
                     println!();
                     print!("{}", serve_table(&art));
+                }
+                if !art.traces.is_empty() {
+                    println!();
+                    print!("{}", trace_table(&art, 10));
                 }
                 println!();
                 print!("{}", phase_table(&art));

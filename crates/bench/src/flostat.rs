@@ -100,12 +100,66 @@ pub struct ServeAgg {
     pub wait_ms: f64,
     /// Summed execution time, ms.
     pub exec_ms: f64,
+    /// Summed frame-parse time, ms (absent in pre-telemetry artifacts,
+    /// which decode as 0; likewise the next two).
+    pub parse_ms: f64,
+    /// Summed response-serialization time, ms.
+    pub serialize_ms: f64,
+    /// Summed completion-flush time, ms.
+    pub flush_ms: f64,
     /// Maximum queue depth observed at enqueue.
     pub max_queue_depth: u64,
     /// Maximum per-connection pipelining depth observed at dispatch
     /// (1 = every request waited for its answer; absent in pre-PR-6
     /// artifacts, which decode as 0).
     pub max_conn_inflight: u64,
+}
+
+/// The lifecycle stages of one served request, in pipeline order, as
+/// `(label, ms)` pairs — shared by [`ServeAgg`] means and the
+/// per-trace critical-path breakdown.
+pub const SERVE_STAGES: [&str; 5] = ["parse", "wait", "exec", "serialize", "flush"];
+
+/// One trace-stamped `serve-request` event, kept verbatim so the
+/// slowest requests can be broken down stage by stage. Only events that
+/// carry a `trace` field land here (pre-telemetry artifacts produce
+/// none).
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// The request's trace id.
+    pub trace: u64,
+    /// Request kind.
+    pub kind: String,
+    /// Application label.
+    pub app: String,
+    /// Serving node.
+    pub node: String,
+    /// Cache-probe outcome (`inline` / `warm` / `miss` / `-`).
+    pub cache: String,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Per-stage wall time, parallel to [`SERVE_STAGES`].
+    pub stages_ms: [f64; 5],
+}
+
+impl TraceEntry {
+    /// End-to-end server-side time: the sum of the stages.
+    pub fn total_ms(&self) -> f64 {
+        self.stages_ms.iter().sum()
+    }
+
+    /// The critical path: the stage that dominated this request, with
+    /// its share of the total.
+    pub fn critical_stage(&self) -> (&'static str, f64) {
+        let (i, &ms) = self
+            .stages_ms
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("five stages");
+        let total = self.total_ms();
+        (SERVE_STAGES[i], if total > 0.0 { ms / total } else { 0.0 })
+    }
 }
 
 /// One loaded metrics artifact.
@@ -120,6 +174,9 @@ pub struct Artifact {
     /// (request kind, app, node) → accumulated serve-request activity;
     /// empty for experiment artifacts, populated for `flod` runs.
     pub serves: BTreeMap<(String, String, String), ServeAgg>,
+    /// Trace-stamped serve-request events, in artifact order — the raw
+    /// material for [`trace_table`]'s slowest-requests breakdown.
+    pub traces: Vec<TraceEntry>,
 }
 
 /// Decode a `faults` object back into counters. Absent objects (healthy
@@ -164,6 +221,7 @@ pub fn load(text: &str) -> Result<Artifact, String> {
     let mut sims = Vec::new();
     let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
     let mut serves: BTreeMap<(String, String, String), ServeAgg> = BTreeMap::new();
+    let mut traces: Vec<TraceEntry> = Vec::new();
     for e in &events[1..] {
         match e.get("event").and_then(Json::as_str) {
             Some("sim") | Some("sim-fault") => {
@@ -222,14 +280,51 @@ pub fn load(text: &str) -> Result<Artifact, String> {
                 } else {
                     agg.errors += 1;
                 }
-                agg.wait_ms += e.get("wait_ms").and_then(Json::as_f64).unwrap_or(0.0);
-                agg.exec_ms += e.get("exec_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                let ms = |key: &str| e.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                agg.wait_ms += ms("wait_ms");
+                agg.exec_ms += ms("exec_ms");
+                agg.parse_ms += ms("parse_ms");
+                agg.serialize_ms += ms("serialize_ms");
+                agg.flush_ms += ms("flush_ms");
                 agg.max_queue_depth = agg
                     .max_queue_depth
                     .max(e.get("queue_depth").and_then(Json::as_f64).unwrap_or(0.0) as u64);
                 agg.max_conn_inflight = agg
                     .max_conn_inflight
                     .max(e.get("conn_inflight").and_then(Json::as_f64).unwrap_or(0.0) as u64);
+                if let Some(trace) = e.get("trace").and_then(Json::as_u64) {
+                    traces.push(TraceEntry {
+                        trace,
+                        kind: e
+                            .get("request")
+                            .and_then(Json::as_str)
+                            .unwrap_or("?")
+                            .to_string(),
+                        app: e
+                            .get("app")
+                            .and_then(Json::as_str)
+                            .unwrap_or("-")
+                            .to_string(),
+                        node: e
+                            .get("node")
+                            .and_then(Json::as_str)
+                            .unwrap_or("-")
+                            .to_string(),
+                        cache: e
+                            .get("cache")
+                            .and_then(Json::as_str)
+                            .unwrap_or("-")
+                            .to_string(),
+                        ok: e.get("ok").and_then(Json::as_bool).unwrap_or(false),
+                        stages_ms: [
+                            ms("parse_ms"),
+                            ms("wait_ms"),
+                            ms("exec_ms"),
+                            ms("serialize_ms"),
+                            ms("flush_ms"),
+                        ],
+                    });
+                }
             }
             _ => {} // meta handled above; sweep-stream and future kinds pass through
         }
@@ -239,6 +334,7 @@ pub fn load(text: &str) -> Result<Artifact, String> {
         sims,
         phases,
         serves,
+        traces,
     })
 }
 
@@ -337,8 +433,11 @@ pub fn serve_table(a: &Artifact) -> Table {
             "ok",
             "inline",
             "errors",
+            "mean parse ms",
             "mean wait ms",
             "mean exec ms",
+            "mean ser ms",
+            "mean flush ms",
             "max queue",
             "max pipeline",
         ],
@@ -352,11 +451,65 @@ pub fn serve_table(a: &Artifact) -> Table {
             agg.ok.to_string(),
             agg.inline_hits.to_string(),
             agg.errors.to_string(),
+            format!("{:.3}", agg.parse_ms / n),
             format!("{:.3}", agg.wait_ms / n),
             format!("{:.3}", agg.exec_ms / n),
+            format!("{:.3}", agg.serialize_ms / n),
+            format!("{:.3}", agg.flush_ms / n),
             agg.max_queue_depth.to_string(),
             agg.max_conn_inflight.to_string(),
         ]);
+    }
+    t
+}
+
+/// The slowest trace-stamped requests of one artifact, one row per
+/// request with its stage-by-stage breakdown and the critical path —
+/// the stage that dominated, with its share of the total. This is the
+/// post-hoc view over the daemon's JSONL events; the same trace ids
+/// appear in `flotop`'s live slowest panel and in the `telemetry`
+/// snapshot ring, so a spike can be chased across all three.
+pub fn trace_table(a: &Artifact, limit: usize) -> Table {
+    let mut t = Table::new(
+        &format!("{} — slowest traced requests", a.run),
+        &[
+            "trace",
+            "request",
+            "application",
+            "node",
+            "cache",
+            "ok",
+            "parse ms",
+            "wait ms",
+            "exec ms",
+            "ser ms",
+            "flush ms",
+            "total ms",
+            "critical path",
+        ],
+    );
+    let mut sorted: Vec<&TraceEntry> = a.traces.iter().collect();
+    sorted.sort_by(|x, y| y.total_ms().total_cmp(&x.total_ms()));
+    for e in sorted.iter().take(limit) {
+        let (stage, share) = e.critical_stage();
+        let mut row = vec![
+            e.trace.to_string(),
+            e.kind.clone(),
+            e.app.clone(),
+            e.node.clone(),
+            e.cache.clone(),
+            if e.ok { "yes" } else { "NO" }.to_string(),
+        ];
+        row.extend(e.stages_ms.iter().map(|ms| format!("{ms:.3}")));
+        row.push(format!("{:.3}", e.total_ms()));
+        row.push(format!("{stage} ({:.0}%)", share * 100.0));
+        t.row(row);
+    }
+    if a.traces.len() > limit {
+        t.note(format!(
+            "showing the {limit} slowest of {} traced requests",
+            a.traces.len()
+        ));
     }
     t
 }
@@ -655,6 +808,70 @@ mod tests {
         // Experiment artifacts have no serve rows.
         let healthy = load(&artifact("fig7c", "LRU", 80, 4.0)).unwrap();
         assert!(healthy.serves.is_empty());
+    }
+
+    #[test]
+    fn loads_traced_events_and_ranks_critical_paths() {
+        let mut sink = JsonlSink::new("flod");
+        // Three traced requests: exec-bound, wait-bound, and a fast
+        // inline hit; plus one legacy event without a trace id.
+        for (trace, cache, parse, wait, exec, ser, flush) in [
+            (901u64, "miss", 0.1, 0.2, 50.0, 0.3, 0.1),
+            (902, "miss", 0.1, 30.0, 5.0, 0.2, 0.1),
+            (903, "inline", 0.05, 0.0, 0.0, 0.02, 0.0),
+        ] {
+            sink.push(
+                "serve-request",
+                Json::obj()
+                    .set("request", "simulate")
+                    .set("app", "qio")
+                    .set("node", "n1")
+                    .set("trace", trace)
+                    .set("cache", cache)
+                    .set("queue_depth", 1u64)
+                    .set("conn_inflight", 1u64)
+                    .set("parse_ms", parse)
+                    .set("wait_ms", wait)
+                    .set("exec_ms", exec)
+                    .set("serialize_ms", ser)
+                    .set("flush_ms", flush)
+                    .set("ok", true),
+            );
+        }
+        sink.push(
+            "serve-request",
+            Json::obj()
+                .set("request", "ping")
+                .set("app", "-")
+                .set("queue_depth", 0u64)
+                .set("conn_inflight", 1u64)
+                .set("wait_ms", 0.0)
+                .set("exec_ms", 0.0)
+                .set("ok", true),
+        );
+        let art = load(&sink.render()).unwrap();
+        assert_eq!(art.traces.len(), 3, "only trace-stamped events collect");
+        let agg = &art.serves[&("simulate".to_string(), "qio".to_string(), "n1".to_string())];
+        assert!((agg.parse_ms - 0.25).abs() < 1e-9, "stage sums accumulate");
+        assert!((agg.flush_ms - 0.2).abs() < 1e-9);
+        // Slowest first, and the critical path names the right stage.
+        let rendered = format!("{}", trace_table(&art, 2));
+        let pos = |needle: &str| rendered.find(needle).unwrap_or(usize::MAX);
+        assert!(
+            pos("901") < pos("902"),
+            "exec-bound request is slowest:\n{rendered}"
+        );
+        assert!(rendered.contains("exec (99%)"), "{rendered}");
+        assert!(rendered.contains("wait (85%)"), "{rendered}");
+        assert!(!rendered.contains("903"), "limit trims the fast inline hit");
+        assert!(
+            rendered.contains("showing the 2 slowest of 3"),
+            "{rendered}"
+        );
+        // The serve table now renders per-stage means.
+        let serve = format!("{}", serve_table(&art));
+        assert!(serve.contains("mean parse ms"), "{serve}");
+        assert!(serve.contains("mean flush ms"), "{serve}");
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl Hist {
         }
         self.buckets[b] += 1;
         self.count += 1;
-        self.sum += value;
+        // Saturating: a telemetry accumulator must never panic on an
+        // extreme sample, and saturating addition stays associative, so
+        // cluster merges remain order-independent even at the rail.
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
@@ -74,6 +77,11 @@ impl Hist {
         &self.buckets
     }
 
+    /// Sum of the recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Hist) {
         if self.buckets.len() < other.buckets.len() {
@@ -83,17 +91,86 @@ impl Hist {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 
-    /// JSON rendering: bucket counts plus summary moments.
+    /// Estimate the `q`-quantile (`0.0..=1.0`) of the recorded samples.
+    ///
+    /// The rank-`⌈q·count⌉` sample's bucket is found by a cumulative
+    /// walk, then the estimate interpolates linearly within the bucket's
+    /// value range (capped at the observed max, so a lone sample in a
+    /// wide bucket never reports a value larger than anything recorded).
+    /// The log2 bucketing bounds the relative error at 2× — the right
+    /// trade for latency tails, where the *order of magnitude* is the
+    /// signal and the accumulator must stay a few dozen counters.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = Self::bucket_range(i);
+                let hi = hi.min(self.max.saturating_add(1)).max(lo + 1);
+                let within = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + within * (hi - 1 - lo) as f64;
+                return (est as u64).min(self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// JSON rendering: bucket counts plus summary moments and the
+    /// standard latency quantiles. `count`/`sum`/`max`/`buckets` are the
+    /// lossless fields [`Hist::from_json`] reads back; the quantiles are
+    /// derived conveniences for reporters.
     pub fn to_json(&self) -> Json {
         Json::obj()
             .set("count", self.count)
+            .set("sum", self.sum)
             .set("mean", self.mean())
             .set("max", self.max)
+            .set("p50", self.quantile(0.5))
+            .set("p95", self.quantile(0.95))
+            .set("p99", self.quantile(0.99))
             .set("buckets", self.buckets.clone())
+    }
+
+    /// Rebuild a histogram from its [`Hist::to_json`] rendering — the
+    /// cluster fan-out path deserializes per-node histograms with this
+    /// and [`Hist::merge`]s them into cluster-wide distributions.
+    /// `None` when the JSON lacks the lossless fields or a bucket is not
+    /// a non-negative integer.
+    pub fn from_json(j: &Json) -> Option<Hist> {
+        let count = j.get("count").and_then(Json::as_u64)?;
+        let sum = j.get("sum").and_then(Json::as_u64)?;
+        let max = j.get("max").and_then(Json::as_u64)?;
+        let raw = j.get("buckets").and_then(Json::as_arr)?;
+        if raw.len() > 65 {
+            return None;
+        }
+        let mut buckets = Vec::with_capacity(raw.len());
+        for b in raw {
+            buckets.push(b.as_u64()?);
+        }
+        let total = buckets
+            .iter()
+            .try_fold(0u64, |acc, &b| acc.checked_add(b))?;
+        if total != count {
+            return None;
+        }
+        Some(Hist {
+            buckets,
+            count,
+            sum,
+            max,
+        })
     }
 }
 
@@ -158,5 +235,98 @@ mod tests {
         let j = h.to_json();
         assert_eq!(j.get("count").and_then(Json::as_f64), Some(1.0));
         assert!(flo_json::parse(&j.pretty()).is_ok());
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let mut h = Hist::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram quantile is 0");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Log2 buckets bound the relative error at 2× on each side.
+        let p50 = h.quantile(0.5);
+        assert!((250..=1000).contains(&p50), "p50 {p50} out of band");
+        let p99 = h.quantile(0.99);
+        assert!((495..=1000).contains(&p99), "p99 {p99} out of band");
+        assert!(p50 <= p99, "quantiles are monotone");
+        assert_eq!(h.quantile(1.0), 1000, "p100 is the max exactly");
+        // A single sample reports itself at every quantile (the cap at
+        // the observed max, not the bucket's upper edge).
+        let mut one = Hist::new();
+        one.record(777);
+        assert_eq!(one.quantile(0.5), 777);
+        assert_eq!(one.quantile(0.99), 777);
+    }
+
+    #[test]
+    fn json_round_trips_losslessly() {
+        let mut h = Hist::new();
+        // Samples stay below 2^53: flo_json carries numbers as f64, so
+        // only such integers survive the wire (telemetry records
+        // microseconds — 2^53 µs is ~285 years).
+        for v in [0, 1, 3, 900, 70_000, 1u64 << 52] {
+            h.record(v);
+        }
+        let back = Hist::from_json(&h.to_json()).expect("round trip");
+        assert_eq!(back, h);
+        assert_eq!(back.quantile(0.95), h.quantile(0.95));
+        // Missing lossless fields or corrupt counts are rejected.
+        assert!(Hist::from_json(&Json::obj().set("count", 1u64)).is_none());
+        let lying = Json::obj()
+            .set("count", 999u64)
+            .set("sum", h.sum())
+            .set("max", h.max())
+            .set("buckets", h.buckets().to_vec());
+        assert!(
+            Hist::from_json(&lying).is_none(),
+            "bucket sum must match count"
+        );
+    }
+
+    /// The cluster fan-out folds per-node histograms pairwise in
+    /// membership order; the fold is only well-defined if merge is
+    /// associative (and commutative) — pin it across disjoint and
+    /// overlapping bucket shapes.
+    #[test]
+    fn merge_is_associative_across_nodes() {
+        let node = |samples: &[u64]| {
+            let mut h = Hist::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        let a = node(&[1, 2, 3, 500]);
+        let b = node(&[0, 0, 9_000_000]);
+        let c = node(&[42, 1 << 40, 7]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        assert_eq!(ab_c, a_bc, "(a·b)·c == a·(b·c)");
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "merge commutes");
+
+        // Merging through the JSON wire form changes nothing.
+        let mut via_json = Hist::from_json(&a.to_json()).unwrap();
+        via_json.merge(&Hist::from_json(&b.to_json()).unwrap());
+        via_json.merge(&Hist::from_json(&c.to_json()).unwrap());
+        assert_eq!(via_json, ab_c);
+
+        // Identity element.
+        let mut with_empty = a.clone();
+        with_empty.merge(&Hist::new());
+        assert_eq!(with_empty, a);
     }
 }

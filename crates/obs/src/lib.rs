@@ -39,6 +39,7 @@ pub mod metrics;
 pub mod observer;
 pub mod sink;
 pub mod span;
+pub mod telemetry;
 pub mod timing;
 
 pub use hist::Hist;
@@ -46,3 +47,6 @@ pub use metrics::{FaultCounters, MetricsObserver};
 pub use observer::{FaultEvent, KarmaRoute, Layer, NullObserver, Observer};
 pub use sink::{metrics_mode, JsonlSink, MetricsMode, SCHEMA_VERSION};
 pub use span::{span, timeline, Span, SpanRecord, Timeline};
+pub use telemetry::{
+    merge_snapshots, render_prometheus, RequestSummary, StageSample, Telemetry, TELEMETRY_VERSION,
+};

@@ -1,0 +1,697 @@
+//! Request-level telemetry for the serve tier: per-work-kind stage
+//! latency histograms, a bounded ring of recent request summaries, and
+//! the snapshot/merge/rendering machinery behind the `telemetry`
+//! protocol request, `flotop` and the Prometheus text endpoint.
+//!
+//! **Cost model.** The accumulator is written from the daemon's hottest
+//! threads — the event thread stamps inline answers and completions,
+//! workers never touch it (they only carry timestamps). Updates go
+//! through a small set of sharded mutexes: each thread is pinned to one
+//! shard on first use (round-robin, cached in a thread-local), so the
+//! event thread and every worker effectively own private shards and an
+//! update is an uncontended lock around a handful of integer adds —
+//! tens of nanoseconds against requests that cost microseconds to parse
+//! and milliseconds to execute. `servebench --telemetry-gate` holds the
+//! whole layer to ≥0.97× telemetry-off warm throughput.
+//!
+//! **Quantiles.** Stage and total latencies accumulate into log2-bucketed
+//! [`Hist`]s (microseconds); p50/p95/p99 are estimated by cumulative
+//! bucket walk with linear interpolation inside the hit bucket
+//! ([`Hist::quantile`]). The 2× relative error bound of power-of-two
+//! buckets is the deliberate trade: tail latencies are order-of-magnitude
+//! signals, and fixed bucket edges are what make per-node histograms
+//! mergeable into exact cluster-wide distributions ([`merge_snapshots`]).
+//!
+//! Snapshots are plain JSON (schema-versioned via the `v` field) so the
+//! cluster client can fan them out, merge them, and render them without
+//! this crate knowing anything about the wire protocol.
+
+use crate::hist::Hist;
+use flo_json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Version of the telemetry snapshot schema (the `v` field). Bump on
+/// any incompatible change; [`merge_snapshots`] refuses to mix versions.
+pub const TELEMETRY_VERSION: u64 = 1;
+
+/// The lifecycle stages stamped on every request, in pipeline order.
+/// `parse` is frame-to-envelope on the event thread; `queue` is
+/// enqueue-to-worker-pop; `exec` is the service execution (zero for
+/// inline answers); `serialize` is response-envelope construction;
+/// `flush` is completion-push-to-event-loop-delivery.
+pub const STAGES: [&str; 5] = [
+    "parse_us",
+    "queue_us",
+    "exec_us",
+    "serialize_us",
+    "flush_us",
+];
+
+/// Cache-probe outcome labels: `inline` (event-thread response-cache
+/// hit, no queue), `warm` (worker-side response-cache hit), `miss`
+/// (executed).
+pub const CACHE_OUTCOMES: [&str; 3] = ["inline", "warm", "miss"];
+
+/// Per-stage microsecond timings of one request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageSample {
+    /// Frame parse + envelope validation (event thread).
+    pub parse_us: u64,
+    /// Time between enqueue and a worker popping the job.
+    pub queue_us: u64,
+    /// Service execution inside the worker.
+    pub exec_us: u64,
+    /// Response-envelope construction (splice or serialize).
+    pub serialize_us: u64,
+    /// Completion push to event-loop delivery (the write-back handoff).
+    pub flush_us: u64,
+}
+
+impl StageSample {
+    /// The stages as an array parallel to [`STAGES`].
+    pub fn as_array(&self) -> [u64; 5] {
+        [
+            self.parse_us,
+            self.queue_us,
+            self.exec_us,
+            self.serialize_us,
+            self.flush_us,
+        ]
+    }
+
+    /// End-to-end server-side latency: the sum of the stages.
+    pub fn total_us(&self) -> u64 {
+        self.as_array().iter().sum()
+    }
+}
+
+/// One request's summary, as held in the recent-requests ring.
+#[derive(Clone, Debug)]
+pub struct RequestSummary {
+    /// The request's trace id (client-assigned, or the server's
+    /// fallback).
+    pub trace: u64,
+    /// The request's envelope id.
+    pub id: u64,
+    /// The request kind (`simulate`, `layout`, `ping`, ...).
+    pub kind: &'static str,
+    /// The application label (`-` for control requests).
+    pub app: String,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Cache-probe outcome, one of [`CACHE_OUTCOMES`].
+    pub cache: &'static str,
+    /// Per-stage timings.
+    pub stages: StageSample,
+}
+
+impl RequestSummary {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .set("trace", self.trace)
+            .set("id", self.id)
+            .set("kind", self.kind)
+            .set("app", self.app.as_str())
+            .set("ok", self.ok)
+            .set("cache", self.cache)
+            .set("total_us", self.stages.total_us());
+        for (name, v) in STAGES.iter().zip(self.stages.as_array()) {
+            j = j.set(name, v);
+        }
+        j
+    }
+}
+
+/// Per-kind accumulated stats: counts, cache outcomes, total and
+/// per-stage latency histograms.
+#[derive(Default)]
+struct KindStats {
+    count: u64,
+    errors: u64,
+    cache: [u64; 3],
+    total: Hist,
+    stages: [Hist; 5],
+}
+
+impl KindStats {
+    fn record(&mut self, s: &RequestSummary) {
+        self.count += 1;
+        if !s.ok {
+            self.errors += 1;
+        }
+        if let Some(i) = CACHE_OUTCOMES.iter().position(|&c| c == s.cache) {
+            self.cache[i] += 1;
+        }
+        self.total.record(s.stages.total_us());
+        for (h, v) in self.stages.iter_mut().zip(s.stages.as_array()) {
+            h.record(v);
+        }
+    }
+
+    fn merge(&mut self, other: &KindStats) {
+        self.count += other.count;
+        self.errors += other.errors;
+        for (a, b) in self.cache.iter_mut().zip(&other.cache) {
+            *a += b;
+        }
+        self.total.merge(&other.total);
+        for (a, b) in self.stages.iter_mut().zip(&other.stages) {
+            a.merge(b);
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut cache = Json::obj();
+        for (name, v) in CACHE_OUTCOMES.iter().zip(self.cache) {
+            cache = cache.set(name, v);
+        }
+        let mut stages = Json::obj();
+        for (name, h) in STAGES.iter().zip(&self.stages) {
+            stages = stages.set(name, h.to_json());
+        }
+        Json::obj()
+            .set("count", self.count)
+            .set("errors", self.errors)
+            .set("cache", cache)
+            .set("total_us", self.total.to_json())
+            .set("stages", stages)
+    }
+}
+
+/// One accumulator shard: the per-kind table plus the event-loop gauges
+/// (kept per shard so the event thread updates them without crossing
+/// into another thread's lock).
+#[derive(Default)]
+struct Shard {
+    /// Tiny and scanned linearly: a daemon sees at most the handful of
+    /// protocol kinds, and a 7-entry scan beats hashing.
+    kinds: Vec<(&'static str, KindStats)>,
+    tick_us: Hist,
+    queue_depth: Hist,
+}
+
+impl Shard {
+    fn kind_mut(&mut self, kind: &'static str) -> &mut KindStats {
+        if let Some(i) = self.kinds.iter().position(|(k, _)| *k == kind) {
+            return &mut self.kinds[i].1;
+        }
+        self.kinds.push((kind, KindStats::default()));
+        &mut self.kinds.last_mut().expect("just pushed").1
+    }
+}
+
+/// How many recent-request summaries the snapshot reports (the
+/// slowest-N list).
+pub const SLOWEST_N: usize = 8;
+
+const SHARDS: usize = 8;
+
+/// The telemetry accumulator: sharded per-kind stage histograms plus a
+/// bounded ring of recent request summaries. One instance lives for the
+/// daemon's lifetime; every method takes `&self` and is safe from any
+/// thread.
+pub struct Telemetry {
+    shards: Vec<Mutex<Shard>>,
+    ring: Mutex<VecDeque<RequestSummary>>,
+    ring_cap: usize,
+}
+
+impl Telemetry {
+    /// An accumulator whose recent-requests ring holds `ring_cap`
+    /// summaries (0 disables the ring; histograms still accumulate).
+    pub fn new(ring_cap: usize) -> Telemetry {
+        Telemetry {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            ring: Mutex::new(VecDeque::with_capacity(ring_cap.min(4096))),
+            ring_cap,
+        }
+    }
+
+    /// The calling thread's shard: assigned round-robin on first use and
+    /// cached in a thread-local, so a daemon's event thread and each
+    /// worker land on distinct shards (uncontended locks) as long as the
+    /// thread count stays near the shard count.
+    fn shard(&self) -> &Mutex<Shard> {
+        use std::cell::Cell;
+        thread_local! {
+            static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let i = SHARD.with(|s| {
+            let mut v = s.get();
+            if v == usize::MAX {
+                v = NEXT.fetch_add(1, Ordering::Relaxed);
+                s.set(v);
+            }
+            v
+        });
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// Record one finished request: fold it into the calling thread's
+    /// shard and push its summary onto the recent ring (two short,
+    /// effectively uncontended lock acquisitions).
+    pub fn record(&self, summary: RequestSummary) {
+        self.shard()
+            .lock()
+            .unwrap()
+            .kind_mut(summary.kind)
+            .record(&summary);
+        if self.ring_cap > 0 {
+            let mut ring = self.ring.lock().unwrap();
+            if ring.len() >= self.ring_cap {
+                ring.pop_front();
+            }
+            ring.push_back(summary);
+        }
+    }
+
+    /// Record one event-loop tick's busy duration (ticks that did work;
+    /// idle wakeups are not interesting).
+    pub fn record_tick(&self, us: u64) {
+        self.shard().lock().unwrap().tick_us.record(us);
+    }
+
+    /// Record the job-queue depth observed at an enqueue.
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.shard().lock().unwrap().queue_depth.record(depth);
+    }
+
+    /// Fold every shard into one per-kind table plus the event-loop
+    /// histograms.
+    fn merged(&self) -> (Vec<(&'static str, KindStats)>, Hist, Hist) {
+        let mut kinds: Vec<(&'static str, KindStats)> = Vec::new();
+        let mut tick = Hist::new();
+        let mut depth = Hist::new();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            tick.merge(&s.tick_us);
+            depth.merge(&s.queue_depth);
+            for (k, stats) in &s.kinds {
+                match kinds.iter_mut().find(|(name, _)| name == k) {
+                    Some((_, agg)) => agg.merge(stats),
+                    None => {
+                        let mut fresh = KindStats::default();
+                        fresh.merge(stats);
+                        kinds.push((k, fresh));
+                    }
+                }
+            }
+        }
+        kinds.sort_by_key(|(k, _)| *k);
+        (kinds, tick, depth)
+    }
+
+    /// The full snapshot: schema version, per-kind quantiles and stage
+    /// breakdowns, cache outcomes, event-loop tick/queue-depth
+    /// histograms, and the slowest-[`SLOWEST_N`] recent requests.
+    pub fn snapshot(&self) -> Json {
+        let (kinds, tick, depth) = self.merged();
+        let mut kinds_json = Json::obj();
+        for (k, stats) in &kinds {
+            kinds_json = kinds_json.set(k, stats.to_json());
+        }
+        let mut recent: Vec<RequestSummary> = self.ring.lock().unwrap().iter().cloned().collect();
+        recent.sort_by_key(|s| std::cmp::Reverse(s.stages.total_us()));
+        recent.truncate(SLOWEST_N);
+        Json::obj()
+            .set("v", TELEMETRY_VERSION)
+            .set("kinds", kinds_json)
+            .set(
+                "event_loop",
+                Json::obj()
+                    .set("tick_us", tick.to_json())
+                    .set("queue_depth", depth.to_json()),
+            )
+            .set(
+                "slowest",
+                recent
+                    .iter()
+                    .map(RequestSummary::to_json)
+                    .collect::<Vec<Json>>(),
+            )
+    }
+
+    /// The per-kind total-latency histograms alone — what the daemon
+    /// folds into its `stats` response so `floq stats --cluster` can
+    /// merge latency distributions next to the summed gauges.
+    pub fn latency_json(&self) -> Json {
+        let (kinds, _, _) = self.merged();
+        let mut out = Json::obj();
+        for (k, stats) in &kinds {
+            out = out.set(k, stats.total.to_json());
+        }
+        out
+    }
+}
+
+impl KindStats {
+    /// Rebuild from the [`KindStats::to_json`] rendering. Tolerant of a
+    /// missing `cache`/`stages` sub-object (treated as empty) but not of
+    /// corrupt histograms — those drop to empty, keeping the merge total
+    /// rather than failing the whole snapshot.
+    fn from_json(j: &Json) -> KindStats {
+        let mut s = KindStats {
+            count: j.get("count").and_then(Json::as_u64).unwrap_or(0),
+            errors: j.get("errors").and_then(Json::as_u64).unwrap_or(0),
+            ..KindStats::default()
+        };
+        if let Some(cache) = j.get("cache") {
+            for (slot, name) in s.cache.iter_mut().zip(CACHE_OUTCOMES) {
+                *slot = cache.get(name).and_then(Json::as_u64).unwrap_or(0);
+            }
+        }
+        if let Some(h) = j.get("total_us").and_then(Hist::from_json) {
+            s.total = h;
+        }
+        if let Some(stages) = j.get("stages") {
+            for (slot, name) in s.stages.iter_mut().zip(STAGES) {
+                if let Some(h) = stages.get(name).and_then(Hist::from_json) {
+                    *slot = h;
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Merge per-node telemetry snapshots into one cluster-wide snapshot:
+/// counts sum, histograms [`Hist::merge`] bucket-wise (so the merged
+/// quantiles are exactly the quantiles of the union of samples, up to
+/// bucket resolution), and the `slowest` lists interleave, keeping the
+/// overall slowest [`SLOWEST_N`] with each entry tagged by its node id.
+/// Snapshots whose `v` is not [`TELEMETRY_VERSION`] are skipped (a
+/// mixed-version cluster degrades to the nodes we understand).
+pub fn merge_snapshots(snaps: &[(String, Json)]) -> Json {
+    let mut kinds: Vec<(String, KindStats)> = Vec::new();
+    let mut tick = Hist::new();
+    let mut depth = Hist::new();
+    let mut slowest: Vec<(u64, Json)> = Vec::new();
+    for (node, snap) in snaps {
+        if snap.get("v").and_then(Json::as_u64) != Some(TELEMETRY_VERSION) {
+            continue;
+        }
+        if let Some(Json::Obj(entries)) = snap.get("kinds") {
+            for (kind, stats) in entries {
+                let theirs = KindStats::from_json(stats);
+                match kinds.iter_mut().find(|(k, _)| k == kind) {
+                    Some((_, agg)) => agg.merge(&theirs),
+                    None => kinds.push((kind.clone(), theirs)),
+                }
+            }
+        }
+        if let Some(ev) = snap.get("event_loop") {
+            if let Some(h) = ev.get("tick_us").and_then(Hist::from_json) {
+                tick.merge(&h);
+            }
+            if let Some(h) = ev.get("queue_depth").and_then(Hist::from_json) {
+                depth.merge(&h);
+            }
+        }
+        if let Some(list) = snap.get("slowest").and_then(Json::as_arr) {
+            for entry in list {
+                let total = entry.get("total_us").and_then(Json::as_u64).unwrap_or(0);
+                let tagged = match entry.get("node") {
+                    Some(_) => entry.clone(),
+                    None => entry.clone().set("node", node.as_str()),
+                };
+                slowest.push((total, tagged));
+            }
+        }
+    }
+    slowest.sort_by_key(|(total, _)| std::cmp::Reverse(*total));
+    slowest.truncate(SLOWEST_N);
+    let mut kinds_json = Json::obj();
+    kinds.sort_by(|(a, _), (b, _)| a.cmp(b));
+    for (k, stats) in kinds {
+        kinds_json = kinds_json.set(k.as_str(), stats.to_json());
+    }
+    Json::obj()
+        .set("v", TELEMETRY_VERSION)
+        .set("nodes_merged", snaps.len() as u64)
+        .set("kinds", kinds_json)
+        .set(
+            "event_loop",
+            Json::obj()
+                .set("tick_us", tick.to_json())
+                .set("queue_depth", depth.to_json()),
+        )
+        .set(
+            "slowest",
+            slowest.into_iter().map(|(_, j)| j).collect::<Vec<Json>>(),
+        )
+}
+
+fn prom_hist(out: &mut String, metric: &str, labels: &str, j: &Json) {
+    let comma = if labels.is_empty() { "" } else { "," };
+    for (q, name) in [("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")] {
+        if let Some(v) = j.get(q).and_then(Json::as_u64) {
+            out.push_str(&format!(
+                "{metric}{{{labels}{comma}quantile=\"{name}\"}} {v}\n"
+            ));
+        }
+    }
+    let count = j.get("count").and_then(Json::as_u64).unwrap_or(0);
+    let sum = j.get("sum").and_then(Json::as_u64).unwrap_or(0);
+    out.push_str(&format!("{metric}_count{{{labels}}} {count}\n"));
+    out.push_str(&format!("{metric}_sum{{{labels}}} {sum}\n"));
+}
+
+/// Render a telemetry snapshot (per-node or merged) as Prometheus-style
+/// text: `flo_requests_total`, `flo_request_errors_total`,
+/// `flo_cache_outcomes_total`, quantile-labelled summaries for total and
+/// per-stage durations, and the event-loop gauges. Pure text generation
+/// from the snapshot JSON, so the cluster-merged snapshot renders
+/// through the same path as a single node's.
+pub fn render_prometheus(snap: &Json) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE flo_requests_total counter\n");
+    out.push_str("# TYPE flo_request_duration_us summary\n");
+    out.push_str("# TYPE flo_stage_duration_us summary\n");
+    if let Some(Json::Obj(kinds)) = snap.get("kinds") {
+        for (kind, stats) in kinds {
+            let count = stats.get("count").and_then(Json::as_u64).unwrap_or(0);
+            let errors = stats.get("errors").and_then(Json::as_u64).unwrap_or(0);
+            out.push_str(&format!("flo_requests_total{{kind=\"{kind}\"}} {count}\n"));
+            out.push_str(&format!(
+                "flo_request_errors_total{{kind=\"{kind}\"}} {errors}\n"
+            ));
+            if let Some(cache) = stats.get("cache") {
+                for outcome in CACHE_OUTCOMES {
+                    let v = cache.get(outcome).and_then(Json::as_u64).unwrap_or(0);
+                    out.push_str(&format!(
+                        "flo_cache_outcomes_total{{kind=\"{kind}\",outcome=\"{outcome}\"}} {v}\n"
+                    ));
+                }
+            }
+            if let Some(total) = stats.get("total_us") {
+                prom_hist(
+                    &mut out,
+                    "flo_request_duration_us",
+                    &format!("kind=\"{kind}\""),
+                    total,
+                );
+            }
+            if let Some(stages) = stats.get("stages") {
+                for stage in STAGES {
+                    let label = stage.trim_end_matches("_us");
+                    if let Some(h) = stages.get(stage) {
+                        prom_hist(
+                            &mut out,
+                            "flo_stage_duration_us",
+                            &format!("kind=\"{kind}\",stage=\"{label}\""),
+                            h,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if let Some(ev) = snap.get("event_loop") {
+        if let Some(t) = ev.get("tick_us") {
+            prom_hist(&mut out, "flo_event_loop_tick_us", "", t);
+        }
+        if let Some(d) = ev.get("queue_depth") {
+            prom_hist(&mut out, "flo_queue_depth", "", d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(trace: u64, kind: &'static str, exec_us: u64, ok: bool) -> RequestSummary {
+        RequestSummary {
+            trace,
+            id: trace,
+            kind,
+            app: "qio".to_string(),
+            ok,
+            cache: if exec_us == 0 { "warm" } else { "miss" },
+            stages: StageSample {
+                parse_us: 2,
+                queue_us: 5,
+                exec_us,
+                serialize_us: 1,
+                flush_us: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_aggregates_across_threads_and_kinds() {
+        let t = std::sync::Arc::new(Telemetry::new(64));
+        std::thread::scope(|s| {
+            for worker in 0..4u64 {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..25u64 {
+                        t.record(sample(worker * 100 + i, "simulate", 100 + i, true));
+                    }
+                    t.record(sample(worker, "layout", 0, false));
+                });
+            }
+        });
+        t.record_tick(12);
+        t.record_queue_depth(3);
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.get("v").and_then(Json::as_u64),
+            Some(TELEMETRY_VERSION)
+        );
+        let sim = snap.get("kinds").and_then(|k| k.get("simulate")).unwrap();
+        assert_eq!(sim.get("count").and_then(Json::as_u64), Some(100));
+        assert_eq!(sim.get("errors").and_then(Json::as_u64), Some(0));
+        let total = sim.get("total_us").unwrap();
+        assert_eq!(total.get("count").and_then(Json::as_u64), Some(100));
+        assert!(total.get("p50").and_then(Json::as_u64).unwrap() > 0);
+        let exec = sim.get("stages").and_then(|s| s.get("exec_us")).unwrap();
+        assert_eq!(exec.get("count").and_then(Json::as_u64), Some(100));
+        let lay = snap.get("kinds").and_then(|k| k.get("layout")).unwrap();
+        assert_eq!(lay.get("errors").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            lay.get("cache")
+                .and_then(|c| c.get("warm"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+        let slowest = snap.get("slowest").and_then(Json::as_arr).unwrap();
+        assert_eq!(slowest.len(), SLOWEST_N);
+        // Sorted slowest-first.
+        let totals: Vec<u64> = slowest
+            .iter()
+            .map(|s| s.get("total_us").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert!(totals.windows(2).all(|w| w[0] >= w[1]));
+        let ev = snap.get("event_loop").unwrap();
+        assert_eq!(
+            ev.get("tick_us")
+                .and_then(|t| t.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let t = Telemetry::new(4);
+        for i in 0..100 {
+            t.record(sample(i, "ping", 0, true));
+        }
+        assert_eq!(t.ring.lock().unwrap().len(), 4);
+        let t0 = Telemetry::new(0);
+        t0.record(sample(1, "ping", 0, true));
+        assert!(
+            t0.ring.lock().unwrap().is_empty(),
+            "cap 0 disables the ring"
+        );
+    }
+
+    #[test]
+    fn merged_snapshots_equal_one_big_accumulator() {
+        let a = Telemetry::new(16);
+        let b = Telemetry::new(16);
+        let both = Telemetry::new(16);
+        for i in 0..20u64 {
+            let s = sample(i, "simulate", 50 + i * 3, i % 5 != 0);
+            if i % 2 == 0 {
+                a.record(s.clone());
+            } else {
+                b.record(s.clone());
+            }
+            both.record(s);
+        }
+        let merged = merge_snapshots(&[
+            ("n0".to_string(), a.snapshot()),
+            ("n1".to_string(), b.snapshot()),
+        ]);
+        let one = both.snapshot();
+        let get = |j: &Json, path: [&str; 3]| {
+            j.get(path[0])
+                .and_then(|x| x.get(path[1]))
+                .and_then(|x| x.get(path[2]))
+                .map(|x| x.to_string())
+        };
+        for field in ["count", "errors"] {
+            assert_eq!(
+                get(&merged, ["kinds", "simulate", field]),
+                get(&one, ["kinds", "simulate", field])
+            );
+        }
+        // Bucket-wise merge: the merged total histogram is exactly the
+        // union accumulator's.
+        let mh = merged
+            .get("kinds")
+            .and_then(|k| k.get("simulate"))
+            .and_then(|s| s.get("total_us"))
+            .and_then(Hist::from_json)
+            .unwrap();
+        let oh = one
+            .get("kinds")
+            .and_then(|k| k.get("simulate"))
+            .and_then(|s| s.get("total_us"))
+            .and_then(Hist::from_json)
+            .unwrap();
+        assert_eq!(mh, oh);
+        // Merged slowest entries carry their node tags.
+        let slowest = merged.get("slowest").and_then(Json::as_arr).unwrap();
+        assert!(!slowest.is_empty() && slowest.len() <= SLOWEST_N);
+        for s in slowest {
+            assert!(matches!(
+                s.get("node").and_then(Json::as_str),
+                Some("n0") | Some("n1")
+            ));
+        }
+        // Version skew: an unknown snapshot version contributes nothing.
+        let skewed = merge_snapshots(&[(
+            "nx".to_string(),
+            Json::obj().set("v", 99u64).set("kinds", Json::obj()),
+        )]);
+        assert!(matches!(skewed.get("kinds"), Some(Json::Obj(k)) if k.is_empty()));
+    }
+
+    #[test]
+    fn prometheus_rendering_has_the_metric_families() {
+        let t = Telemetry::new(8);
+        for i in 0..10 {
+            t.record(sample(i, "sweep", 200, true));
+        }
+        t.record_tick(40);
+        t.record_queue_depth(2);
+        let text = render_prometheus(&t.snapshot());
+        assert!(text.contains("flo_requests_total{kind=\"sweep\"} 10"));
+        assert!(text.contains("flo_request_errors_total{kind=\"sweep\"} 0"));
+        assert!(text.contains("flo_cache_outcomes_total{kind=\"sweep\",outcome=\"miss\"} 10"));
+        assert!(text.contains("flo_request_duration_us{kind=\"sweep\",quantile=\"0.5\"}"));
+        assert!(
+            text.contains("flo_stage_duration_us{kind=\"sweep\",stage=\"exec\",quantile=\"0.99\"}")
+        );
+        assert!(text.contains("flo_request_duration_us_count{kind=\"sweep\"} 10"));
+        assert!(text.contains("flo_event_loop_tick_us{quantile=\"0.5\"} 40"));
+        assert!(text.contains("flo_queue_depth_count{} 1"));
+    }
+}

@@ -12,8 +12,11 @@
 //! shared, LRU-bounded cross-request cache. Drains gracefully on
 //! SIGTERM/SIGINT or a `shutdown` request: every accepted (including
 //! pipelined) job is answered before exit. With `FLO_METRICS=jsonl`,
-//! per-request metrics land in `results/metrics/flod.jsonl` for
-//! `flostat`.
+//! per-request metrics land in `results/metrics/<FLO_RUN_NAME>.jsonl`
+//! (default `flod`) for `flostat`, each event stamped with the
+//! request's trace id. Request-level telemetry (`FLO_TELEMETRY`,
+//! default on; ring size `FLO_TELEMETRY_RING`) feeds the inline
+//! `telemetry` request behind `floq telemetry` and `flotop`.
 
 use flo_serve::{server, signal, ServerConfig, Service};
 use std::sync::Arc;

@@ -45,6 +45,7 @@ struct Args {
     direct: bool,
     deadline_ms: Option<u64>,
     pipeline: usize,
+    prometheus: bool,
     kind: String,
     app: Option<String>,
     scale: Scale,
@@ -59,10 +60,11 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: floq [--socket PATH | --tcp ADDR | --cluster FILE] [--direct] [--deadline-ms N] [--pipeline N] KIND [options]
-  KIND: ping | stats | shutdown | layout | simulate | sweep
+  KIND: ping | stats | telemetry | shutdown | layout | simulate | sweep
   --cluster FILE        membership file; route work keys across nodes, fan out control
                         requests (FLO_CLUSTER=FILE is the env equivalent)
   --pipeline N          send the request N times pipelined on one connection
+  --prometheus          render a telemetry snapshot as Prometheus text instead of JSON
   env FLO_RETRIES=K     retry typed busy responses up to K times (default 0)
   env FLO_SEED=N        seed the busy-retry jitter for exact replay
   --app NAME            application (layout/simulate/sweep)
@@ -84,6 +86,7 @@ fn parse_args() -> Args {
         direct: false,
         deadline_ms: None,
         pipeline: 1,
+        prometheus: false,
         kind: String::new(),
         app: None,
         scale: Scale::Small,
@@ -107,6 +110,7 @@ fn parse_args() -> Args {
             "--tcp" => args.listen = Some(Listen::Tcp(need(&mut it, "--tcp"))),
             "--cluster" => args.cluster = Some(need(&mut it, "--cluster")),
             "--direct" => args.direct = true,
+            "--prometheus" => args.prometheus = true,
             "--deadline-ms" => {
                 args.deadline_ms = Some(parse_num(&need(&mut it, "--deadline-ms"), "--deadline-ms"))
             }
@@ -191,6 +195,7 @@ fn build_request(args: &Args) -> Request {
     match args.kind.as_str() {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "telemetry" => Request::Telemetry,
         "shutdown" => Request::Shutdown,
         "layout" => Request::Layout {
             app: app(),
@@ -248,14 +253,17 @@ fn cluster_membership(args: &Args) -> Option<Membership> {
 /// one JSON object: `nodes` (per-member payloads, down members as inline
 /// typed `error` entries) plus, for `stats`, `totals` (gauges summed
 /// across members; `max_conn_inflight` takes the max — a high-water
-/// mark does not add). Returns the aggregate and whether any member
-/// failed.
+/// mark does not add; per-kind `latency` histograms merge bucket-wise
+/// via [`flo_obs::Hist::merge`], so the cluster totals carry real
+/// distribution quantiles, not sums of per-node quantiles). Returns the
+/// aggregate and whether any member failed.
 fn fan_out_cluster(
     cc: &mut ClusterClient,
     req: &Request,
     deadline_ms: Option<u64>,
 ) -> (flo_json::Json, bool) {
     use flo_json::Json;
+    use flo_obs::Hist;
     const SUMMED: [&str; 7] = [
         "cache_hits",
         "cache_misses",
@@ -270,6 +278,7 @@ fn fan_out_cluster(
     let mut sums = [0u64; 7];
     let mut max_infl = 0u64;
     let mut have_totals = false;
+    let mut latency: Vec<(String, Hist)> = Vec::new();
     for (id, result) in cc.fan_out(req, deadline_ms) {
         match result {
             Ok(j) => {
@@ -281,6 +290,16 @@ fn fan_out_cluster(
                 }
                 if let Some(v) = j.get("max_conn_inflight").and_then(Json::as_u64) {
                     max_infl = max_infl.max(v);
+                }
+                if let Some(Json::Obj(kinds)) = j.get("latency") {
+                    for (kind, hj) in kinds {
+                        if let Some(h) = Hist::from_json(hj) {
+                            match latency.iter_mut().find(|(k, _)| k == kind) {
+                                Some((_, acc)) => acc.merge(&h),
+                                None => latency.push((kind.clone(), h)),
+                            }
+                        }
+                    }
                 }
                 nodes.push(match j.get("node") {
                     Some(_) => j,
@@ -306,7 +325,16 @@ fn fan_out_cluster(
         for (i, k) in SUMMED.iter().enumerate() {
             totals = totals.set(k, sums[i]);
         }
-        out = out.set("totals", totals.set("max_conn_inflight", max_infl));
+        totals = totals.set("max_conn_inflight", max_infl);
+        if !latency.is_empty() {
+            latency.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut merged = Json::obj();
+            for (kind, h) in &latency {
+                merged = merged.set(kind, h.to_json());
+            }
+            totals = totals.set("latency", merged);
+        }
+        out = out.set("totals", totals);
     }
     (out, failed)
 }
@@ -317,6 +345,16 @@ fn main() {
     if let Some(membership) = cluster_membership(&args) {
         let mut cc = ClusterClient::new(membership);
         let results = match req {
+            Request::Telemetry => {
+                let (out, failed) = cc.telemetry_snapshot(args.deadline_ms);
+                if args.prometheus {
+                    let merged = out.get("merged").unwrap_or(&out);
+                    print!("{}", flo_obs::render_prometheus(merged));
+                } else {
+                    println!("{out}");
+                }
+                std::process::exit(i32::from(failed));
+            }
             Request::Ping | Request::Stats | Request::Shutdown => {
                 let (out, failed) = fan_out_cluster(&mut cc, &req, args.deadline_ms);
                 println!("{out}");
@@ -328,7 +366,7 @@ fn main() {
             }
             _ => vec![cc.call(&req, args.deadline_ms)],
         };
-        finish(results);
+        finish(results, args.prometheus);
     }
     let results: Vec<Result<flo_json::Json, ServeError>> = if args.direct {
         // In-process: the served result must be byte-identical to this.
@@ -360,13 +398,14 @@ fn main() {
             )))],
         }
     };
-    finish(results);
+    finish(results, args.prometheus);
 }
 
-fn finish(results: Vec<Result<flo_json::Json, ServeError>>) -> ! {
+fn finish(results: Vec<Result<flo_json::Json, ServeError>>, prometheus: bool) -> ! {
     let mut failed = false;
     for result in results {
         match result {
+            Ok(json) if prometheus => print!("{}", flo_obs::render_prometheus(&json)),
             Ok(json) => println!("{json}"),
             Err(e) => {
                 eprintln!("floq: {e}");

@@ -24,8 +24,18 @@
 //!
 //! ```text
 //! servebench [--repeats N] [--clients N] [--workers N] [--gate X] [--hc-gate Y]
+//!            [--telemetry-gate Z]
 //! servebench --cluster N [--cluster-gate X] [--node-budget-mb B] [--repeats R]
 //! ```
+//!
+//! Every phase also records the *client-observed* per-request latency
+//! distribution (each `call` timed at the caller) into the JSON
+//! artifacts as p50/p95/p99 — the round-trip numbers to hold against
+//! the server's own stage telemetry. A separate experiment re-runs the
+//! warm phase with the telemetry accumulator on and off (best-of-3 per
+//! side, interleaved) and writes the throughput ratio to
+//! `BENCH_telemetry.json`; `--telemetry-gate Z` fails the run if the
+//! on/off ratio drops below `Z` (CI gates at 0.97).
 //!
 //! **Cluster mode** (`--cluster N`) measures *capacity* scaling: it
 //! launches 1→N in-process flod nodes, each with a deliberately small
@@ -45,6 +55,7 @@
 
 use flo_core::TargetLayers;
 use flo_obs::sink::write_json_artifact;
+use flo_obs::Hist;
 use flo_serve::client::DEFAULT_WINDOW;
 use flo_serve::protocol::Request;
 use flo_serve::{
@@ -72,6 +83,7 @@ struct Opts {
     cluster: Option<usize>,
     cluster_gate: Option<f64>,
     node_budget_mb: usize,
+    telemetry_gate: Option<f64>,
 }
 
 fn parse_opts() -> Opts {
@@ -89,6 +101,7 @@ fn parse_opts() -> Opts {
         // whole (per-node slice = budget/16, 4 shards; see
         // `run_cluster_bench`).
         node_budget_mb: 48,
+        telemetry_gate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -111,6 +124,10 @@ fn parse_opts() -> Opts {
             }
             "--node-budget-mb" => {
                 opts.node_budget_mb = val("--node-budget-mb").parse().expect("--node-budget-mb")
+            }
+            "--telemetry-gate" => {
+                opts.telemetry_gate =
+                    Some(val("--telemetry-gate").parse().expect("--telemetry-gate"))
             }
             other => {
                 eprintln!("servebench: unknown argument {other:?}");
@@ -147,8 +164,10 @@ fn batch(repeats: usize) -> Vec<Request> {
 /// Serve `requests` from `hot` concurrent connections — plus `idle`
 /// extra connections that ping once and then sit parked for the whole
 /// phase — against a fresh server whose caches hold `budget_bytes`.
-/// Returns the wall time of the hot-client phase and every response,
-/// indexed like `requests`.
+/// Returns the wall time of the hot-client phase, every response
+/// (indexed like `requests`), and the client-observed per-request
+/// latency distribution (each call timed at the caller, in µs — the
+/// whole round trip, not the server's view of itself).
 fn run_phase(
     budget_bytes: usize,
     workers: usize,
@@ -156,13 +175,15 @@ fn run_phase(
     idle: usize,
     listen: &Listen,
     requests: &[Request],
-) -> (f64, Vec<String>) {
+    telemetry: bool,
+) -> (f64, Vec<String>, Hist) {
     signal::reset();
     let cfg = ServerConfig {
         listen: listen.clone(),
         workers,
         queue_capacity: workers * 8,
         run_name: "servebench".to_string(),
+        telemetry,
         ..ServerConfig::default()
     };
     let service = Arc::new(Service::with_budget(budget_bytes));
@@ -183,29 +204,36 @@ fn run_phase(
         })
         .collect();
     let started = Instant::now();
-    let responses: Vec<(usize, String)> = std::thread::scope(|scope| {
+    let (responses, latency): (Vec<(usize, String)>, Hist) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..hot)
             .map(|c| {
                 scope.spawn(move || {
                     let mut client = Client::connect(listen).expect("client connect");
                     let mut got = Vec::new();
+                    let mut lat = Hist::new();
                     for (i, req) in requests.iter().enumerate() {
                         if i % hot != c {
                             continue;
                         }
+                        let t0 = Instant::now();
                         let result = client
                             .call(req, None)
                             .unwrap_or_else(|e| panic!("request {i} failed: {e}"));
+                        lat.record(t0.elapsed().as_micros() as u64);
                         got.push((i, result.to_string()));
                     }
-                    got
+                    (got, lat)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
-            .collect()
+        let mut all = Vec::new();
+        let mut merged = Hist::new();
+        for h in handles {
+            let (got, lat) = h.join().expect("client thread");
+            all.extend(got);
+            merged.merge(&lat);
+        }
+        (all, merged)
     });
     let elapsed = started.elapsed().as_secs_f64();
     drop(idles);
@@ -219,7 +247,7 @@ fn run_phase(
     for (i, r) in responses {
         ordered[i] = r;
     }
-    (elapsed, ordered)
+    (elapsed, ordered, latency)
 }
 
 /// The cluster working set: every small-scale application under every
@@ -270,7 +298,7 @@ fn run_cluster_phase(
     rounds: usize,
     keys: &[Request],
     expected: &[String],
-) -> (f64, bool) {
+) -> (f64, bool, Hist) {
     signal::reset();
     let pid = std::process::id();
     let members: Vec<Member> = (0..n)
@@ -332,6 +360,26 @@ fn run_cluster_phase(
     for answers in collected {
         check(answers);
     }
+    // One unpipelined round with each call timed at the client — the
+    // per-request latency distribution the pipelined throughput rounds
+    // cannot see (a batched frame's wait includes its queue neighbours).
+    let mut latency = Hist::new();
+    for (i, req) in keys.iter().enumerate() {
+        let t0 = Instant::now();
+        match cc.call(req, None) {
+            Ok(j) if j.to_string() == expected[i] => {
+                latency.record(t0.elapsed().as_micros() as u64)
+            }
+            Ok(_) => {
+                eprintln!("servebench: FAIL — latency-round response {i} differs");
+                identical = false;
+            }
+            Err(e) => {
+                eprintln!("servebench: FAIL — latency-round request {i}: {e}");
+                identical = false;
+            }
+        }
+    }
     // One shutdown drains every node: in-process servers share the
     // global drain flag (which is also why each phase starts with
     // `signal::reset`).
@@ -342,7 +390,7 @@ fn run_cluster_phase(
             .expect("server thread")
             .expect("server exited with an error");
     }
-    (elapsed, identical)
+    (elapsed, identical, latency)
 }
 
 fn run_cluster_bench(opts: &Opts, n_max: usize) {
@@ -362,15 +410,20 @@ fn run_cluster_bench(opts: &Opts, n_max: usize) {
         opts.repeats,
         opts.node_budget_mb
     );
-    let mut phases: Vec<(usize, f64, f64)> = Vec::new();
+    let mut phases: Vec<(usize, f64, f64, Hist)> = Vec::new();
     let mut identical = true;
     for n in 1..=n_max {
-        let (s, ok) =
+        let (s, ok, lat) =
             run_cluster_phase(n, opts.node_budget_mb << 20, opts.repeats, &keys, &expected);
         identical &= ok;
         let rps = (keys.len() * opts.repeats) as f64 / s;
-        println!("nodes={n}: {s:.3}s ({rps:.1} req/s)");
-        phases.push((n, s, rps));
+        println!(
+            "nodes={n}: {s:.3}s ({rps:.1} req/s), warm latency p50/p95/p99 {}/{}/{} µs",
+            lat.quantile(0.5),
+            lat.quantile(0.95),
+            lat.quantile(0.99)
+        );
+        phases.push((n, s, rps, lat));
     }
     let speedup = phases.last().expect("n_max >= 1").2 / phases[0].2;
     println!(
@@ -388,11 +441,12 @@ fn run_cluster_bench(opts: &Opts, n_max: usize) {
             "phases",
             phases
                 .iter()
-                .map(|(n, s, rps)| {
+                .map(|(n, s, rps, lat)| {
                     flo_json::Json::obj()
                         .set("nodes", *n)
                         .set("elapsed_s", *s)
                         .set("rps", *rps)
+                        .set("latency_us", lat.to_json())
                 })
                 .collect::<Vec<flo_json::Json>>(),
         )
@@ -443,8 +497,17 @@ fn main() {
     );
 
     let budget = opts.budget_mb << 20;
-    let (cold_s, cold) = run_phase(0, opts.workers, base_clients, 0, &listen, &requests);
-    let (warm_s, warm) = run_phase(budget, opts.workers, base_clients, 0, &listen, &requests);
+    let (cold_s, cold, cold_lat) =
+        run_phase(0, opts.workers, base_clients, 0, &listen, &requests, true);
+    let (warm_s, warm, warm_lat) = run_phase(
+        budget,
+        opts.workers,
+        base_clients,
+        0,
+        &listen,
+        &requests,
+        true,
+    );
 
     let mut identical = cold == warm;
     if !identical {
@@ -453,8 +516,22 @@ fn main() {
     let cold_rps = requests.len() as f64 / cold_s;
     let warm_rps = requests.len() as f64 / warm_s;
     let speedup = warm_rps / cold_rps;
-    println!("cold: {cold_s:.3}s ({cold_rps:.1} req/s)");
-    println!("warm: {warm_s:.3}s ({warm_rps:.1} req/s)");
+    let show = |h: &Hist| {
+        format!(
+            "p50/p95/p99 {}/{}/{} µs",
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        )
+    };
+    println!(
+        "cold: {cold_s:.3}s ({cold_rps:.1} req/s), {}",
+        show(&cold_lat)
+    );
+    println!(
+        "warm: {warm_s:.3}s ({warm_rps:.1} req/s), {}",
+        show(&warm_lat)
+    );
     println!("speedup: {speedup:.2}x (shared-cache hits on repeated keys)");
 
     let mut doc = flo_json::Json::obj()
@@ -468,12 +545,15 @@ fn main() {
         .set("warm_s", warm_s)
         .set("cold_rps", cold_rps)
         .set("warm_rps", warm_rps)
+        .set("cold_latency_us", cold_lat.to_json())
+        .set("warm_latency_us", warm_lat.to_json())
         .set("speedup", speedup);
 
     let mut hc_ratio = None;
     if hc {
         let idle = opts.clients - HC_HOT;
-        let (hc_s, hc_resp) = run_phase(budget, opts.workers, HC_HOT, idle, &listen, &requests);
+        let (hc_s, hc_resp, hc_lat) =
+            run_phase(budget, opts.workers, HC_HOT, idle, &listen, &requests, true);
         if hc_resp != warm {
             eprintln!("servebench: FAIL — high-concurrency responses differ from warm");
             identical = false;
@@ -481,8 +561,9 @@ fn main() {
         let hc_rps = requests.len() as f64 / hc_s;
         let ratio = hc_rps / warm_rps;
         println!(
-            "hc:   {hc_s:.3}s ({hc_rps:.1} req/s) with {} total conns — {ratio:.2}x of warm",
-            opts.clients
+            "hc:   {hc_s:.3}s ({hc_rps:.1} req/s) with {} total conns — {ratio:.2}x of warm, {}",
+            opts.clients,
+            show(&hc_lat)
         );
         doc = doc
             .set("hc_clients", opts.clients)
@@ -490,10 +571,63 @@ fn main() {
             .set("hc_idle", idle)
             .set("hc_s", hc_s)
             .set("hc_rps", hc_rps)
-            .set("hc_ratio", ratio);
+            .set("hc_ratio", ratio)
+            .set("hc_latency_us", hc_lat.to_json());
         hc_ratio = Some(ratio);
     }
     doc = doc.set("identical", identical);
+
+    // The telemetry-overhead experiment: the warm phase again, with the
+    // accumulator on and off, interleaved best-of-3 per side so one
+    // scheduler hiccup cannot decide the ratio. Telemetry is on by
+    // default in production, so the on-side is the number that must not
+    // regress — the ≥0.97× gate is the tentpole's near-zero-cost claim.
+    let mut on_best = 0.0f64;
+    let mut off_best = 0.0f64;
+    let mut tele_identical = true;
+    for _ in 0..3 {
+        let (on_s, on_resp, _) = run_phase(
+            budget,
+            opts.workers,
+            base_clients,
+            0,
+            &listen,
+            &requests,
+            true,
+        );
+        let (off_s, off_resp, _) = run_phase(
+            budget,
+            opts.workers,
+            base_clients,
+            0,
+            &listen,
+            &requests,
+            false,
+        );
+        tele_identical &= on_resp == warm && off_resp == warm;
+        on_best = on_best.max(requests.len() as f64 / on_s);
+        off_best = off_best.max(requests.len() as f64 / off_s);
+    }
+    let tele_ratio = on_best / off_best;
+    println!(
+        "telemetry: on {on_best:.1} req/s vs off {off_best:.1} req/s — {tele_ratio:.3}x overhead ratio"
+    );
+    if !tele_identical {
+        eprintln!("servebench: FAIL — telemetry on/off responses differ from warm");
+        identical = false;
+    }
+    let tele_doc = flo_json::Json::obj()
+        .set("requests", requests.len())
+        .set("rounds", 3u64)
+        .set("on_rps", on_best)
+        .set("off_rps", off_best)
+        .set("ratio", tele_ratio)
+        .set("identical", tele_identical);
+    let tele_path = Path::new("BENCH_telemetry.json");
+    match write_json_artifact(tele_path, tele_doc) {
+        Ok(()) => println!("wrote {}", tele_path.display()),
+        Err(e) => eprintln!("servebench: cannot write {}: {e}", tele_path.display()),
+    }
 
     let path = Path::new("BENCH_serve.json");
     match write_json_artifact(path, doc) {
@@ -523,5 +657,14 @@ fn main() {
             std::process::exit(1);
         }
         println!("hc-gate: {ratio:.2}x >= {gate:.2}x, ok");
+    }
+    if let Some(gate) = opts.telemetry_gate {
+        if tele_ratio < gate {
+            eprintln!(
+                "servebench: FAIL — telemetry-on throughput {tele_ratio:.3}x of off, below the {gate:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!("telemetry-gate: {tele_ratio:.3}x >= {gate:.2}x, ok");
     }
 }

@@ -25,7 +25,7 @@
 use crate::cluster::{stable_hash64, HashRing, Member, Membership};
 use crate::protocol::{
     read_frame, read_frame_bytes, response_id, work_key, write_frame, FrameError, Request,
-    ServeError,
+    ServeError, TRACE_MASK,
 };
 use crate::server::Listen;
 use flo_json::Json;
@@ -38,6 +38,16 @@ use std::time::Duration;
 pub struct Client {
     conn: Conn,
     next_id: u64,
+    next_trace: u64,
+}
+
+/// The base of a client's trace-id stream: the jitter seed scrambled by
+/// the splitmix64 multiplier (so `FLO_SEED=1` and `FLO_SEED=2` produce
+/// far-apart streams), forced odd so consecutive ids never collide with
+/// another client's stream stepping from the same base, and confined to
+/// [`TRACE_MASK`] (53 bits — the JSON `f64` rail).
+fn trace_base(seed: u64) -> u64 {
+    (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1) & TRACE_MASK
 }
 
 enum Conn {
@@ -184,7 +194,21 @@ impl Client {
             Listen::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
             Listen::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
         };
-        Ok(Client { conn, next_id: 1 })
+        Ok(Client {
+            conn,
+            next_id: 1,
+            next_trace: trace_base(jitter_seed_from_env()),
+        })
+    }
+
+    /// The next trace id from this client's stream (53-bit, see
+    /// [`TRACE_MASK`]). Callers that need one trace across several wire
+    /// attempts (retries, failover replays) draw it once and pass it to
+    /// the `_traced` variants.
+    pub fn gen_trace(&mut self) -> u64 {
+        let t = self.next_trace;
+        self.next_trace = self.next_trace.wrapping_add(1) & TRACE_MASK;
+        t
     }
 
     /// [`Client::connect`] retried until the daemon's socket appears —
@@ -200,13 +224,32 @@ impl Client {
         }
     }
 
-    /// Queue one request without waiting for its answer. Returns the
-    /// request id; collect the response later with [`Client::recv`].
+    /// Queue one request without waiting for its answer, stamped with a
+    /// fresh trace id from this client's stream. Returns the request id;
+    /// collect the response later with [`Client::recv`].
     pub fn send(&mut self, req: &Request, deadline_ms: Option<u64>) -> Result<u64, ServeError> {
+        let trace = self.gen_trace();
+        self.send_traced(req, deadline_ms, Some(trace))
+    }
+
+    /// [`Client::send`] with an explicit trace id (`None` sends an
+    /// untraced frame — the server then assigns its own). Retry and
+    /// failover layers pass the *same* trace on every attempt, so one
+    /// logical request is one trace in every node's telemetry no matter
+    /// how many wire attempts it took.
+    pub fn send_traced(
+        &mut self,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        trace: Option<u64>,
+    ) -> Result<u64, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
-        write_frame(&mut self.conn, &req.to_envelope(id, deadline_ms))
-            .map_err(|e| ServeError::Protocol(format!("cannot send request: {e}")))?;
+        write_frame(
+            &mut self.conn,
+            &req.to_envelope_traced(id, deadline_ms, trace),
+        )
+        .map_err(|e| ServeError::Protocol(format!("cannot send request: {e}")))?;
         Ok(id)
     }
 
@@ -252,7 +295,18 @@ impl Client {
     /// Send one request and wait for its response envelope. Returns the
     /// `result` payload, or the server's typed error.
     pub fn call(&mut self, req: &Request, deadline_ms: Option<u64>) -> Result<Json, ServeError> {
-        let id = self.send(req, deadline_ms)?;
+        let trace = self.gen_trace();
+        self.call_traced(req, deadline_ms, Some(trace))
+    }
+
+    /// [`Client::call`] with an explicit trace id.
+    pub fn call_traced(
+        &mut self,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        trace: Option<u64>,
+    ) -> Result<Json, ServeError> {
+        let id = self.send_traced(req, deadline_ms, trace)?;
         let (got, payload) = self.recv()?;
         if got != id {
             return Err(ServeError::Protocol(format!(
@@ -289,12 +343,27 @@ impl Client {
         deadline_ms: Option<u64>,
         delays: &[Duration],
     ) -> Result<Json, ServeError> {
-        let mut last = self.call(req, deadline_ms);
+        let trace = self.gen_trace();
+        self.call_retry_scheduled_traced(req, deadline_ms, delays, Some(trace))
+    }
+
+    /// [`Client::call_retry_scheduled`] with an explicit trace id. One
+    /// trace covers the whole retry loop: every `busy` re-send carries
+    /// the same id, so telemetry shows one logical request with N
+    /// attempts, not N unrelated requests.
+    pub fn call_retry_scheduled_traced(
+        &mut self,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        delays: &[Duration],
+        trace: Option<u64>,
+    ) -> Result<Json, ServeError> {
+        let mut last = self.call_traced(req, deadline_ms, trace);
         for delay in delays {
             match last {
                 Err(ServeError::Busy) => {
                     std::thread::sleep(*delay);
-                    last = self.call(req, deadline_ms);
+                    last = self.call_traced(req, deadline_ms, trace);
                 }
                 other => return other,
             }
@@ -352,6 +421,7 @@ pub struct ClusterClient {
     conns: Vec<Option<Client>>,
     retries: u32,
     jitter_seed: u64,
+    next_trace: u64,
 }
 
 impl ClusterClient {
@@ -371,7 +441,20 @@ impl ClusterClient {
             conns,
             retries,
             jitter_seed,
+            // Offset from the per-connection streams so a cluster
+            // client's ids do not collide with its own pooled clients'.
+            next_trace: trace_base(jitter_seed ^ 0x5EED_C1A5_7E12),
         }
+    }
+
+    /// The next trace id from this cluster client's stream — drawn once
+    /// per logical request and reused across retries *and* the failover
+    /// reconnect, so a request that survives a node restart keeps its
+    /// identity in the replacement connection's telemetry.
+    pub fn gen_trace(&mut self) -> u64 {
+        let t = self.next_trace;
+        self.next_trace = self.next_trace.wrapping_add(1) & TRACE_MASK;
+        t
     }
 
     /// The members, in membership-file order.
@@ -427,6 +510,21 @@ impl ClusterClient {
         req: &Request,
         deadline_ms: Option<u64>,
     ) -> Result<Json, ServeError> {
+        let trace = self.gen_trace();
+        self.call_on_traced(node, req, deadline_ms, Some(trace))
+    }
+
+    /// [`ClusterClient::call_on`] with an explicit trace id. The same
+    /// trace is sent on both attempts — the one drawn here survives the
+    /// reconnect, which is what lets a failover replay be recognized in
+    /// the restarted node's telemetry ring as the same logical request.
+    pub fn call_on_traced(
+        &mut self,
+        node: usize,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        trace: Option<u64>,
+    ) -> Result<Json, ServeError> {
         let had_conn = self.conns[node].is_some();
         let delays = retry_schedule(
             self.retries,
@@ -434,14 +532,14 @@ impl ClusterClient {
         );
         let first = self
             .conn(node)?
-            .call_retry_scheduled(req, deadline_ms, &delays);
+            .call_retry_scheduled_traced(req, deadline_ms, &delays, trace);
         match first {
             Err(ServeError::Protocol(_)) if had_conn => {
                 // The pooled connection may have died since we last used
                 // it; one reconnect decides between a blip and NodeDown.
                 self.conns[node] = None;
                 self.conn(node)?
-                    .call_retry_scheduled(req, deadline_ms, &delays)
+                    .call_retry_scheduled_traced(req, deadline_ms, &delays, trace)
             }
             other => other,
         }
@@ -569,6 +667,37 @@ impl ClusterClient {
                 (id, result)
             })
             .collect()
+    }
+
+    /// Fan a `telemetry` request out to every node and merge the
+    /// per-node snapshots into one cluster-wide view
+    /// ([`flo_obs::merge_snapshots`]): histograms add, cache tallies
+    /// add, the slowest-traces list is re-ranked with each entry tagged
+    /// by its node. Returns `{"nodes": {...}, "merged": {...}}` plus a
+    /// flag for whether any node failed to answer (its entry carries the
+    /// error string; the merge covers the nodes that did answer).
+    pub fn telemetry_snapshot(&mut self, deadline_ms: Option<u64>) -> (Json, bool) {
+        let per_node = self.fan_out(&Request::Telemetry, deadline_ms);
+        let mut nodes = Json::obj();
+        let mut answered: Vec<(String, Json)> = Vec::new();
+        let mut failed = false;
+        for (id, result) in per_node {
+            match result {
+                Ok(snapshot) => {
+                    nodes = nodes.set(&id, snapshot.clone());
+                    answered.push((id, snapshot));
+                }
+                Err(e) => {
+                    failed = true;
+                    nodes = nodes.set(&id, Json::obj().set("error", e.to_string()));
+                }
+            }
+        }
+        let merged = flo_obs::merge_snapshots(&answered);
+        (
+            Json::obj().set("nodes", nodes).set("merged", merged),
+            failed,
+        )
     }
 }
 

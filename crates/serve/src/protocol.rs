@@ -11,16 +11,26 @@
 //! Request envelope:
 //!
 //! ```json
-//! {"v":1, "id":7, "kind":"simulate", "app":"qio", "scale":"small",
-//!  "scheme":"inter", "policy":"karma", "deadline_ms":5000}
+//! {"v":1, "id":7, "trace":9221120237963520, "kind":"simulate",
+//!  "app":"qio", "scale":"small", "scheme":"inter", "policy":"karma",
+//!  "deadline_ms":5000}
 //! ```
 //!
-//! Response envelope: `{"v":1, "id":7, "ok":true, "result":{...}}` on
-//! success, `{"v":1, "id":7, "ok":false, "error":{"kind":"busy",
-//! "message":"..."}}` on failure. The `result` field of a served
-//! response is **bit-identical** to the JSON the same computation
-//! produces in-process (see `Service::execute` and the `differential`
-//! suite) — only the envelope is the server's.
+//! Response envelope: `{"v":1, "id":7, "trace":..., "ok":true,
+//! "result":{...}}` on success, `{"v":1, "id":7, "trace":..., "ok":false,
+//! "error":{"kind":"busy", "message":"..."}}` on failure. The `result`
+//! field of a served response is **bit-identical** to the JSON the same
+//! computation produces in-process (see `Service::execute` and the
+//! `differential` suite) — only the envelope is the server's.
+//!
+//! `trace` is the optional client-assigned **trace id**: an opaque u64
+//! the server echoes in the response envelope, stamps on the request's
+//! `serve-request` JSONL event and telemetry ring entry, and — because
+//! the client reuses one trace across busy retries and cluster failover
+//! reconnects — the one identifier that follows a logical request across
+//! every hop. It is deliberately **not** part of [`work_key`]: two
+//! requests for the same work share a cache entry and a routing owner no
+//! matter whose trace asked.
 
 use flo_bench::Scheme;
 use flo_core::TargetLayers;
@@ -38,6 +48,14 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// layout tables, small enough that a hostile length header cannot make
 /// the server allocate without bound.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Trace ids are confined to 53 bits: the protocol carries numbers as
+/// JSON, where integers only round-trip up to 2^53, so a generator that
+/// used the full u64 space would see its ids silently corrupted in
+/// flight. Every trace generator (client and server fallback) masks
+/// with this; 53 random bits keep collisions vanishingly unlikely for
+/// any realistic request volume.
+pub const TRACE_MASK: u64 = (1 << 53) - 1;
 
 /// Typed service errors — every failure a request can produce on the
 /// wire. The daemon never panics on peer input; it answers with one of
@@ -128,6 +146,9 @@ pub enum Request {
     Ping,
     /// Cache/queue counters; answered inline (never queued).
     Stats,
+    /// Request-level telemetry snapshot (stage-latency histograms,
+    /// cache outcomes, slowest recent traces); answered inline.
+    Telemetry,
     /// Ask the daemon to drain and exit.
     Shutdown,
     /// Run the Step I + Algorithm 1 layout pass and return the layouts.
@@ -173,6 +194,7 @@ impl Request {
         match self {
             Request::Ping => "ping",
             Request::Stats => "stats",
+            Request::Telemetry => "telemetry",
             Request::Shutdown => "shutdown",
             Request::Layout { .. } => "layout",
             Request::Simulate { .. } => "simulate",
@@ -191,16 +213,33 @@ impl Request {
     }
 
     /// Serialize to a full request envelope (client side).
+    ///
+    /// Note the traceless rendering is the canonical one — [`work_key`]
+    /// is defined over it, so adding fields here is a cache/routing
+    /// compatibility change.
     pub fn to_envelope(&self, id: u64, deadline_ms: Option<u64>) -> Json {
-        let mut j = Json::obj()
-            .set("v", PROTOCOL_VERSION)
-            .set("id", id)
-            .set("kind", self.kind());
+        self.to_envelope_traced(id, deadline_ms, None)
+    }
+
+    /// [`Request::to_envelope`] with an optional trace id, placed
+    /// directly after `id` so the response-side fast scanner
+    /// ([`response_id`]) and the work-key rendering are both unaffected.
+    pub fn to_envelope_traced(
+        &self,
+        id: u64,
+        deadline_ms: Option<u64>,
+        trace: Option<u64>,
+    ) -> Json {
+        let mut j = Json::obj().set("v", PROTOCOL_VERSION).set("id", id);
+        if let Some(t) = trace {
+            j = j.set("trace", t);
+        }
+        j = j.set("kind", self.kind());
         if let Some(ms) = deadline_ms {
             j = j.set("deadline_ms", ms);
         }
         match self {
-            Request::Ping | Request::Stats | Request::Shutdown => j,
+            Request::Ping | Request::Stats | Request::Telemetry | Request::Shutdown => j,
             Request::Layout { app, scale, target } => j
                 .set("app", app.as_str())
                 .set("scale", scale_name(*scale))
@@ -269,7 +308,7 @@ pub fn work_key(req: &Request) -> Option<String> {
         Request::Layout { .. } | Request::Simulate { .. } | Request::Sweep { .. } => {
             Some(req.to_envelope(0, None).to_string())
         }
-        Request::Ping | Request::Stats | Request::Shutdown => None,
+        Request::Ping | Request::Stats | Request::Telemetry | Request::Shutdown => None,
     }
 }
 
@@ -318,11 +357,17 @@ pub fn parse_scheme(s: &str) -> Option<Scheme> {
     }
 }
 
-/// A parsed request envelope: id, optional relative deadline, body.
+/// A parsed request envelope: id, optional trace, optional relative
+/// deadline, body.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Envelope {
     /// Client-chosen correlation id, echoed in the response.
     pub id: u64,
+    /// Client-assigned trace id, echoed in the response and stamped on
+    /// the request's telemetry. `None` when the client sent none (the
+    /// server then assigns a fallback so every served request is
+    /// traceable).
+    pub trace: Option<u64>,
     /// Relative deadline in milliseconds from server receipt.
     pub deadline_ms: Option<u64>,
     /// The request body.
@@ -347,6 +392,12 @@ pub fn parse_envelope(j: &Json) -> Result<Envelope, ServeError> {
         )));
     }
     let id = j.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let trace = match j.get("trace") {
+        None | Some(Json::Null) => None,
+        Some(t) => Some(t.as_u64().ok_or_else(|| {
+            ServeError::BadRequest("`trace` must be a non-negative integer".into())
+        })?),
+    };
     let deadline_ms = match j.get("deadline_ms") {
         None => None,
         Some(d) => Some(d.as_u64().ok_or_else(|| {
@@ -393,6 +444,7 @@ pub fn parse_envelope(j: &Json) -> Result<Envelope, ServeError> {
     let request = match kind {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "telemetry" => Request::Telemetry,
         "shutdown" => Request::Shutdown,
         "layout" => {
             let target = match j.get("target") {
@@ -486,16 +538,32 @@ pub fn parse_envelope(j: &Json) -> Result<Envelope, ServeError> {
     };
     Ok(Envelope {
         id,
+        trace,
         deadline_ms,
         request,
     })
 }
 
+/// The shared scalar head of every response envelope: `v`, `id`, and —
+/// when the request carried (or was assigned) one — the echoed `trace`,
+/// placed directly after `id` so [`response_id`]'s fixed-prefix scan is
+/// oblivious to it.
+fn response_head(id: u64, trace: Option<u64>) -> Json {
+    let j = Json::obj().set("v", PROTOCOL_VERSION).set("id", id);
+    match trace {
+        Some(t) => j.set("trace", t),
+        None => j,
+    }
+}
+
 /// Build a success response envelope.
 pub fn ok_response(id: u64, result: Json) -> Json {
-    Json::obj()
-        .set("v", PROTOCOL_VERSION)
-        .set("id", id)
+    ok_response_traced(id, None, result)
+}
+
+/// [`ok_response`] echoing a trace id.
+pub fn ok_response_traced(id: u64, trace: Option<u64>, result: Json) -> Json {
+    response_head(id, trace)
         .set("ok", true)
         .set("result", result)
 }
@@ -508,13 +576,14 @@ pub fn ok_response(id: u64, result: Json) -> Json {
 /// service's response-bytes cache rests on this equivalence (asserted
 /// by a unit test below and the differential suite).
 pub fn ok_response_bytes(id: u64, result: &[u8]) -> Vec<u8> {
+    ok_response_bytes_traced(id, None, result)
+}
+
+/// [`ok_response_bytes`] echoing a trace id.
+pub fn ok_response_bytes_traced(id: u64, trace: Option<u64>, result: &[u8]) -> Vec<u8> {
     // Render the scalar prefix through the one true serializer, then
     // replace its closing brace with the spliced `result` field.
-    let prefix = Json::obj()
-        .set("v", PROTOCOL_VERSION)
-        .set("id", id)
-        .set("ok", true)
-        .to_string();
+    let prefix = response_head(id, trace).set("ok", true).to_string();
     let mut out = Vec::with_capacity(prefix.len() + result.len() + 12);
     out.extend_from_slice(&prefix.as_bytes()[..prefix.len() - 1]);
     out.extend_from_slice(b",\"result\":");
@@ -525,9 +594,12 @@ pub fn ok_response_bytes(id: u64, result: &[u8]) -> Vec<u8> {
 
 /// Build an error response envelope.
 pub fn err_response(id: u64, err: &ServeError) -> Json {
-    Json::obj()
-        .set("v", PROTOCOL_VERSION)
-        .set("id", id)
+    err_response_traced(id, None, err)
+}
+
+/// [`err_response`] echoing a trace id.
+pub fn err_response_traced(id: u64, trace: Option<u64>, err: &ServeError) -> Json {
+    response_head(id, trace)
         .set("ok", false)
         .set("error", err.to_json())
 }
@@ -675,6 +747,7 @@ mod tests {
         let reqs = [
             Request::Ping,
             Request::Stats,
+            Request::Telemetry,
             Request::Shutdown,
             Request::Layout {
                 app: "qio".into(),
@@ -712,8 +785,17 @@ mod tests {
             let env = r.to_envelope(i as u64, Some(1000));
             let back = parse_envelope(&env).unwrap();
             assert_eq!(back.id, i as u64);
+            assert_eq!(back.trace, None, "traceless envelope parses traceless");
             assert_eq!(back.deadline_ms, Some(1000));
             assert_eq!(&back.request, r, "round trip of {}", r.kind());
+
+            // The traced rendering round-trips the trace and nothing else
+            // changes.
+            let trace = 0x7ACE_0000 ^ i as u64;
+            let traced = r.to_envelope_traced(i as u64, Some(1000), Some(trace));
+            let back = parse_envelope(&traced).unwrap();
+            assert_eq!(back.trace, Some(trace));
+            assert_eq!(&back.request, r, "traced round trip of {}", r.kind());
         }
     }
 
@@ -814,6 +896,14 @@ mod tests {
                 rendered,
                 "splice must be byte-identical for payload {i}"
             );
+            // Same equivalence with a trace echoed into the envelope.
+            let spliced = ok_response_bytes_traced(i as u64, Some(999), p.to_string().as_bytes());
+            let rendered = ok_response_traced(i as u64, Some(999), p.clone()).to_string();
+            assert_eq!(
+                String::from_utf8(spliced).unwrap(),
+                rendered,
+                "traced splice must be byte-identical for payload {i}"
+            );
         }
     }
 
@@ -825,8 +915,50 @@ mod tests {
         assert_eq!(response_id(&spliced), Some(7));
         let err = err_response(0, &ServeError::Busy).to_string();
         assert_eq!(response_id(err.as_bytes()), Some(0));
+        // The trace sits after `id`, so the fixed-prefix scan is blind
+        // to it — every traced shape still scans.
+        let traced = ok_response_traced(13, Some(u64::MAX), Json::obj()).to_string();
+        assert_eq!(response_id(traced.as_bytes()), Some(13));
+        let traced = ok_response_bytes_traced(14, Some(1), b"{}");
+        assert_eq!(response_id(&traced), Some(14));
+        let traced = err_response_traced(15, Some(2), &ServeError::Busy).to_string();
+        assert_eq!(response_id(traced.as_bytes()), Some(15));
         assert_eq!(response_id(b"{\"id\":3}"), None, "unfamiliar prefix");
         assert_eq!(response_id(b""), None);
+    }
+
+    #[test]
+    fn trace_must_be_an_integer_and_never_enters_the_work_key() {
+        let bad = Json::obj()
+            .set("v", PROTOCOL_VERSION)
+            .set("id", 1u64)
+            .set("trace", "abc")
+            .set("kind", "ping");
+        assert!(matches!(
+            parse_envelope(&bad),
+            Err(ServeError::BadRequest(_))
+        ));
+
+        // Identical work, different traces: one cache/routing key.
+        let req = Request::Layout {
+            app: "qio".into(),
+            scale: Scale::Small,
+            target: TargetLayers::Both,
+        };
+        assert_eq!(
+            work_key(&req).unwrap(),
+            req.to_envelope(0, None).to_string()
+        );
+        assert!(
+            !req.to_envelope_traced(0, None, Some(7))
+                .to_string()
+                .eq(&work_key(&req).unwrap()),
+            "traced envelope differs from the canonical rendering"
+        );
+        assert!(
+            work_key(&Request::Telemetry).is_none(),
+            "telemetry is control"
+        );
     }
 
     #[test]

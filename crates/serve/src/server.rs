@@ -36,13 +36,13 @@
 
 use crate::poller::{PollEvent, Poller, WakePair, WakeSender};
 use crate::protocol::{
-    err_response, ok_response, ok_response_bytes, parse_envelope, Envelope, Request, ServeError,
-    MAX_FRAME_BYTES,
+    err_response, err_response_traced, ok_response_bytes_traced, ok_response_traced,
+    parse_envelope, Envelope, Request, ServeError, MAX_FRAME_BYTES, TRACE_MASK,
 };
 use crate::service::Service;
 use crate::signal;
 use flo_json::Json;
-use flo_obs::{metrics_mode, JsonlSink, MetricsMode};
+use flo_obs::{metrics_mode, JsonlSink, MetricsMode, RequestSummary, StageSample, Telemetry};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -97,7 +97,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded job-queue capacity; `try_push` past this answers `busy`.
     pub queue_capacity: usize,
-    /// Metrics artifact name (`results/metrics/<run>.jsonl`).
+    /// Metrics artifact name (`FLO_RUN_NAME`, default `flod`):
+    /// `results/metrics/<run>.jsonl`. Give each node of a local cluster
+    /// its own name or they overwrite one another's artifact.
     pub run_name: String,
     /// Per-connection in-flight pipelining cap (`FLO_PIPELINE_MAX`):
     /// past this many dispatched-but-unanswered jobs on one connection
@@ -110,6 +112,15 @@ pub struct ServerConfig {
     /// node, stamped into `stats` responses and `serve-request` metrics
     /// events so cluster runs break down per node. `-` when standalone.
     pub node_id: String,
+    /// Request-level telemetry (`FLO_TELEMETRY`, default on; `0` / `off`
+    /// / `false` disable): stage-latency histograms, cache-probe
+    /// outcomes and the recent-request ring, served by the inline
+    /// `telemetry` request.
+    pub telemetry: bool,
+    /// Capacity of the recent-request summary ring
+    /// (`FLO_TELEMETRY_RING`, default 256; 0 keeps histograms but no
+    /// per-request ring).
+    pub telemetry_ring: usize,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +133,8 @@ impl Default for ServerConfig {
             pipeline_max: 64,
             max_conns: 4096,
             node_id: "-".to_string(),
+            telemetry: true,
+            telemetry_ring: 256,
         }
     }
 }
@@ -151,13 +164,21 @@ impl ServerConfig {
             listen,
             workers,
             queue_capacity: workers * 8,
-            run_name: defaults.run_name,
+            run_name: match std::env::var("FLO_RUN_NAME") {
+                Ok(s) if !s.trim().is_empty() => s.trim().to_string(),
+                _ => defaults.run_name,
+            },
             pipeline_max: env_usize("FLO_PIPELINE_MAX", 1).unwrap_or(defaults.pipeline_max),
             max_conns: env_usize("FLO_MAX_CONNS", 1).unwrap_or(defaults.max_conns),
             node_id: match std::env::var("FLO_NODE_ID") {
                 Ok(s) if !s.trim().is_empty() => s.trim().to_string(),
                 _ => defaults.node_id,
             },
+            telemetry: match std::env::var("FLO_TELEMETRY") {
+                Ok(s) => !matches!(s.trim(), "0" | "off" | "false"),
+                Err(_) => defaults.telemetry,
+            },
+            telemetry_ring: env_usize("FLO_TELEMETRY_RING", 0).unwrap_or(defaults.telemetry_ring),
         }
     }
 }
@@ -308,6 +329,12 @@ struct Job {
     token: u64,
     /// Request id, echoed in the response envelope.
     id: u64,
+    /// Trace id (client-assigned or server fallback), echoed in the
+    /// response envelope and stamped on telemetry.
+    trace: u64,
+    /// Frame-parse time measured on the event thread, carried through so
+    /// the completion's stage sample covers the whole lifecycle.
+    parse_us: u64,
 }
 
 /// The bounded job queue: `try_push` is the backpressure point, `pop`
@@ -374,6 +401,36 @@ impl JobQueue {
 struct Completion {
     token: u64,
     bytes: Vec<u8>,
+    /// Observability payload, built only when telemetry or JSONL metrics
+    /// are on (`None` keeps the off path allocation-free). Boxed so the
+    /// common completion stays two words plus the bytes.
+    meta: Option<Box<CompletionMeta>>,
+}
+
+/// Everything the event thread needs to account a finished job: the
+/// worker measures its own stages and timestamps the push; the event
+/// thread adds the flush stage on delivery and records the whole sample
+/// — *before* routing, so requests whose connection died mid-flight
+/// still count.
+struct CompletionMeta {
+    trace: u64,
+    id: u64,
+    kind: &'static str,
+    app: String,
+    ok: bool,
+    error: Option<&'static str>,
+    /// Cache-probe outcome: `warm` (response-bytes hit in the worker) or
+    /// `miss` (executed). Inline hits never reach a worker.
+    cache: &'static str,
+    queue_depth: usize,
+    conn_inflight: usize,
+    parse_us: u64,
+    queue_us: u64,
+    exec_us: u64,
+    serialize_us: u64,
+    /// When the worker pushed the completion; `elapsed()` at delivery is
+    /// the flush stage.
+    pushed: Instant,
 }
 
 /// Where workers park completions for the event loop, plus the wakeup
@@ -397,52 +454,68 @@ impl CompletionQueue {
 /// Per-request metrics events parked until shutdown.
 type Events = Arc<Mutex<Vec<Json>>>;
 
+/// Microseconds since `t0`, as the telemetry layer's sample unit.
+fn us_since(t0: Instant) -> u64 {
+    t0.elapsed().as_micros() as u64
+}
+
 fn worker_loop(
     queue: Arc<JobQueue>,
     service: Arc<Service>,
-    events: Events,
     inflight: Arc<AtomicUsize>,
     completions: Arc<CompletionQueue>,
-    node_id: Arc<str>,
+    want_meta: bool,
 ) {
     while let Some(job) = queue.pop() {
-        let wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+        let queue_us = job.enqueued.elapsed().as_micros() as u64;
         let started = Instant::now();
         inflight.fetch_add(1, Ordering::SeqCst);
-        let result = match job.deadline {
-            Some(d) if Instant::now() > d => Err(ServeError::DeadlineExceeded),
+        let (result, warm) = match job.deadline {
+            Some(d) if Instant::now() > d => (Err(ServeError::DeadlineExceeded), false),
             _ => {
                 let _span = flo_obs::span("serve-request");
-                service.execute_bytes(&job.request)
+                service.execute_bytes_probed(&job.request)
             }
         };
         inflight.fetch_sub(1, Ordering::SeqCst);
-        if metrics_mode() == MetricsMode::Jsonl {
-            let mut ev = Json::obj()
-                .set("request", job.request.kind())
-                .set("app", job.request.app())
-                .set("node", &*node_id)
-                .set("queue_depth", job.depth_at_enqueue)
-                .set("conn_inflight", job.conn_inflight)
-                .set("wait_ms", wait_ms)
-                .set("exec_ms", started.elapsed().as_secs_f64() * 1e3)
-                .set("ok", result.is_ok());
-            if let Err(e) = &result {
-                ev = ev.set("error", e.kind());
-            }
-            events.lock().unwrap().push(ev);
-        }
+        let exec_us = started.elapsed().as_micros() as u64;
         // The response envelope: cached result bytes spliced in on
         // success (no re-serialization), a typed error otherwise. If the
         // connection died meanwhile the event loop drops the completion;
         // the work is done and cached either way.
-        let bytes = match result {
-            Ok(payload) => ok_response_bytes(job.id, &payload),
-            Err(e) => err_response(job.id, &e).to_string().into_bytes(),
+        let ser_started = Instant::now();
+        let bytes = match &result {
+            Ok(payload) => ok_response_bytes_traced(job.id, Some(job.trace), payload),
+            Err(e) => err_response_traced(job.id, Some(job.trace), e)
+                .to_string()
+                .into_bytes(),
         };
+        let serialize_us = ser_started.elapsed().as_micros() as u64;
+        // All accounting rides the completion: the event thread records
+        // it at delivery (adding the flush stage), so the worker's hot
+        // loop touches no shared telemetry state at all.
+        let meta = want_meta.then(|| {
+            Box::new(CompletionMeta {
+                trace: job.trace,
+                id: job.id,
+                kind: job.request.kind(),
+                app: job.request.app().to_string(),
+                ok: result.is_ok(),
+                error: result.as_ref().err().map(ServeError::kind),
+                cache: if warm { "warm" } else { "miss" },
+                queue_depth: job.depth_at_enqueue,
+                conn_inflight: job.conn_inflight,
+                parse_us: job.parse_us,
+                queue_us,
+                exec_us,
+                serialize_us,
+                pushed: Instant::now(),
+            })
+        });
         completions.push(Completion {
             token: job.token,
             bytes,
+            meta,
         });
     }
 }
@@ -588,6 +661,14 @@ struct EventLoop {
     max_conn_inflight: usize,
     draining: bool,
     node_id: Arc<str>,
+    /// Request-level telemetry accumulator; `None` when `FLO_TELEMETRY`
+    /// is off.
+    telemetry: Option<Arc<Telemetry>>,
+    /// Fallback-trace generator state for clients that send no trace:
+    /// `(base + seq) & TRACE_MASK`, where the base hashes (node id, pid)
+    /// so two nodes' fallback streams never collide.
+    trace_base: u64,
+    trace_seq: u64,
 }
 
 impl EventLoop {
@@ -720,16 +801,19 @@ impl EventLoop {
     }
 
     fn handle_frame(&mut self, index: usize, body: &[u8]) {
+        // Stage clock: everything up to a parsed envelope is the
+        // request's `parse` stage.
+        let t0 = Instant::now();
         let parsed = std::str::from_utf8(body)
             .map_err(|e| format!("frame is not UTF-8: {e}"))
             .and_then(|text| flo_json::parse(text).map_err(|e| format!("frame is not JSON: {e}")));
-        let conn = self.slots[index].as_mut().expect("frame on a live conn");
         let json = match parsed {
             Ok(j) => j,
             Err(m) => {
                 // The frame boundary held, but the body is garbage;
                 // framing itself may be fine, yet the old server hung up
                 // here and the fuzz suite pins that behavior.
+                let conn = self.slots[index].as_mut().expect("frame on a live conn");
                 conn.queue_json(&err_response(0, &ServeError::Protocol(m)));
                 conn.read_closed = true;
                 conn.rbuf.clear();
@@ -741,34 +825,73 @@ impl EventLoop {
         let raw_id = json.get("id").and_then(Json::as_u64).unwrap_or(0);
         let Envelope {
             id,
+            trace,
             deadline_ms,
             request,
         } = match parse_envelope(&json) {
             Ok(env) => env,
             Err(e) => {
+                let conn = self.slots[index].as_mut().expect("conn");
                 conn.queue_json(&err_response(raw_id, &e));
                 return;
             }
         };
+        let parse_us = t0.elapsed().as_micros() as u64;
+        // Every served request carries a trace: the client's if it sent
+        // one, a node-unique fallback otherwise — so JSONL events and
+        // the telemetry ring can always follow a request, even from
+        // clients that predate tracing.
+        let trace = trace.unwrap_or_else(|| {
+            self.trace_seq = self.trace_seq.wrapping_add(1);
+            self.trace_base.wrapping_add(self.trace_seq) & TRACE_MASK
+        });
         match request {
             // Control requests answer inline from the event thread: they
             // must overtake queued work even when every worker is busy
             // (that is what `stats` is *for*).
             Request::Ping => {
-                let resp = ok_response(id, Json::obj().set("pong", true));
+                let s0 = Instant::now();
+                let resp = ok_response_traced(id, Some(trace), Json::obj().set("pong", true));
+                let conn = self.slots[index].as_mut().expect("conn");
                 conn.queue_json(&resp);
+                self.note_inline(trace, id, "ping", true, parse_us, us_since(s0));
             }
             Request::Stats => {
+                let s0 = Instant::now();
                 let stats = self.stats_json();
                 let conn = self.slots[index].as_mut().expect("conn");
-                conn.queue_json(&ok_response(id, stats));
+                conn.queue_json(&ok_response_traced(id, Some(trace), stats));
+                self.note_inline(trace, id, "stats", true, parse_us, us_since(s0));
+            }
+            Request::Telemetry => {
+                let s0 = Instant::now();
+                let snap = match &self.telemetry {
+                    Some(t) => t
+                        .snapshot()
+                        .set("enabled", true)
+                        .set("node", &*self.node_id),
+                    None => Json::obj()
+                        .set("v", flo_obs::TELEMETRY_VERSION)
+                        .set("enabled", false)
+                        .set("node", &*self.node_id),
+                };
+                let conn = self.slots[index].as_mut().expect("conn");
+                conn.queue_json(&ok_response_traced(id, Some(trace), snap));
+                self.note_inline(trace, id, "telemetry", true, parse_us, us_since(s0));
             }
             Request::Shutdown => {
-                conn.queue_json(&ok_response(id, Json::obj().set("draining", true)));
+                let conn = self.slots[index].as_mut().expect("conn");
+                conn.queue_json(&ok_response_traced(
+                    id,
+                    Some(trace),
+                    Json::obj().set("draining", true),
+                ));
                 conn.read_closed = true;
                 signal::request_shutdown();
+                self.note_inline(trace, id, "shutdown", true, parse_us, 0);
             }
             request => {
+                let conn = self.slots[index].as_mut().expect("conn");
                 let token = conn.token;
                 let conn_inflight = conn.pending + 1;
                 // Warm fast path: when the rendered response bytes are
@@ -779,23 +902,47 @@ impl EventLoop {
                 // difference between wire-limited and handoff-limited
                 // warm throughput.
                 if let Some(payload) = self.service.cached_response_bytes(&request) {
+                    let s0 = Instant::now();
+                    let bytes = ok_response_bytes_traced(id, Some(trace), &payload);
+                    let serialize_us = us_since(s0);
                     if metrics_mode() == MetricsMode::Jsonl {
                         let ev = Json::obj()
                             .set("request", request.kind())
                             .set("app", request.app())
                             .set("node", &*self.node_id)
+                            .set("trace", trace)
+                            .set("cache", "inline")
                             .set("queue_depth", self.queue.depth())
                             .set("conn_inflight", conn_inflight)
                             .set("wait_ms", 0.0)
                             .set("exec_ms", 0.0)
+                            .set("parse_ms", parse_us as f64 / 1e3)
+                            .set("serialize_ms", serialize_us as f64 / 1e3)
                             .set("inline", true)
                             .set("ok", true);
                         self.events.lock().unwrap().push(ev);
                     }
+                    if let Some(t) = &self.telemetry {
+                        t.record(RequestSummary {
+                            trace,
+                            id,
+                            kind: request.kind(),
+                            app: request.app().to_string(),
+                            ok: true,
+                            cache: "inline",
+                            stages: StageSample {
+                                parse_us,
+                                serialize_us,
+                                ..StageSample::default()
+                            },
+                        });
+                    }
                     let conn = self.slots[index].as_mut().expect("conn");
-                    conn.queue_frame(&ok_response_bytes(id, &payload));
+                    conn.queue_frame(&bytes);
                     return;
                 }
+                let kind = request.kind();
+                let app = request.app().to_string();
                 let job = Job {
                     request,
                     enqueued: Instant::now(),
@@ -804,13 +951,35 @@ impl EventLoop {
                     conn_inflight,
                     token,
                     id,
+                    trace,
+                    parse_us,
                 };
                 match self.queue.try_push(job) {
                     Err(e) => {
+                        // Backpressure refusals are telemetry too: a
+                        // busy storm shows up as an error spike on the
+                        // kind it starved, not as silence.
+                        if let Some(t) = &self.telemetry {
+                            t.record(RequestSummary {
+                                trace,
+                                id,
+                                kind,
+                                app,
+                                ok: false,
+                                cache: "-",
+                                stages: StageSample {
+                                    parse_us,
+                                    ..StageSample::default()
+                                },
+                            });
+                        }
                         let conn = self.slots[index].as_mut().expect("conn");
-                        conn.queue_json(&err_response(id, &e));
+                        conn.queue_json(&err_response_traced(id, Some(trace), &e));
                     }
-                    Ok(_) => {
+                    Ok(depth) => {
+                        if let Some(t) = &self.telemetry {
+                            t.record_queue_depth(depth as u64);
+                        }
                         let conn = self.slots[index].as_mut().expect("conn");
                         conn.pending += 1;
                         self.max_conn_inflight = self.max_conn_inflight.max(conn.pending);
@@ -820,15 +989,51 @@ impl EventLoop {
         }
     }
 
+    /// Record an inline (event-thread) answer: control requests have no
+    /// queue, exec, or flush stage by construction, and no cache probe
+    /// (`"-"` counts under no cache outcome).
+    fn note_inline(
+        &self,
+        trace: u64,
+        id: u64,
+        kind: &'static str,
+        ok: bool,
+        parse_us: u64,
+        serialize_us: u64,
+    ) {
+        if let Some(t) = &self.telemetry {
+            t.record(RequestSummary {
+                trace,
+                id,
+                kind,
+                app: "-".to_string(),
+                ok,
+                cache: "-",
+                stages: StageSample {
+                    parse_us,
+                    serialize_us,
+                    ..StageSample::default()
+                },
+            });
+        }
+    }
+
     fn stats_json(&self) -> Json {
-        self.service
+        let mut j = self
+            .service
             .stats()
             .set("node", &*self.node_id)
             .set("queue_depth", self.queue.depth())
             .set("queue_capacity", self.queue.capacity)
             .set("inflight", self.inflight.load(Ordering::SeqCst))
             .set("connections", self.live)
-            .set("max_conn_inflight", self.max_conn_inflight)
+            .set("max_conn_inflight", self.max_conn_inflight);
+        // Per-kind total-latency histograms ride along so cluster stats
+        // fan-out can merge latency distributions, not just sum gauges.
+        if let Some(t) = &self.telemetry {
+            j = j.set("latency", t.latency_json());
+        }
+        j
     }
 
     fn flush_write(&mut self, index: usize) {
@@ -900,6 +1105,12 @@ impl EventLoop {
         let batch = self.completions.drain();
         let mut touched = Vec::with_capacity(batch.len());
         for c in batch {
+            // Account first, route second: a request whose connection
+            // died mid-flight still happened, so it still counts in the
+            // histograms and the JSONL record.
+            if let Some(meta) = &c.meta {
+                self.finish_request(meta);
+            }
             // A completion for a connection that died mid-flight is
             // dropped: the result is already in the shared cache.
             if let Some(index) = self.lookup(c.token) {
@@ -913,6 +1124,52 @@ impl EventLoop {
         }
         for index in touched {
             self.advance(index);
+        }
+    }
+
+    /// Fold one worker-completed request into telemetry and the JSONL
+    /// event list. The flush stage closes here: push-to-delivery is the
+    /// cross-thread handoff the client's latency actually contains.
+    fn finish_request(&self, meta: &CompletionMeta) {
+        let flush_us = us_since(meta.pushed);
+        if let Some(t) = &self.telemetry {
+            t.record(RequestSummary {
+                trace: meta.trace,
+                id: meta.id,
+                kind: meta.kind,
+                app: meta.app.clone(),
+                ok: meta.ok,
+                cache: meta.cache,
+                stages: StageSample {
+                    parse_us: meta.parse_us,
+                    queue_us: meta.queue_us,
+                    exec_us: meta.exec_us,
+                    serialize_us: meta.serialize_us,
+                    flush_us,
+                },
+            });
+        }
+        if metrics_mode() == MetricsMode::Jsonl {
+            // `wait_ms` / `exec_ms` keep their PR-5 names — flostat and
+            // any downstream consumer of serve-request events read them.
+            let mut ev = Json::obj()
+                .set("request", meta.kind)
+                .set("app", meta.app.as_str())
+                .set("node", &*self.node_id)
+                .set("trace", meta.trace)
+                .set("cache", meta.cache)
+                .set("queue_depth", meta.queue_depth)
+                .set("conn_inflight", meta.conn_inflight)
+                .set("wait_ms", meta.queue_us as f64 / 1e3)
+                .set("exec_ms", meta.exec_us as f64 / 1e3)
+                .set("parse_ms", meta.parse_us as f64 / 1e3)
+                .set("serialize_ms", meta.serialize_us as f64 / 1e3)
+                .set("flush_ms", flush_us as f64 / 1e3)
+                .set("ok", meta.ok);
+            if let Some(err) = meta.error {
+                ev = ev.set("error", err);
+            }
+            self.events.lock().unwrap().push(ev);
         }
     }
 
@@ -959,6 +1216,9 @@ impl EventLoop {
             // `wait` clears and refills; take the batch so `self` stays
             // borrowable inside the dispatch below.
             let batch = std::mem::take(&mut events);
+            // Time busy ticks only: idle 50 ms timeouts would drown the
+            // event-loop histogram in the poll cadence.
+            let tick_start = (!batch.is_empty()).then(Instant::now);
             for ev in &batch {
                 match ev.token {
                     LISTENER_TOKEN => self.accept_burst(),
@@ -980,6 +1240,9 @@ impl EventLoop {
                             // Completions may have landed while the wake byte raced the
                             // poll tick; drain opportunistically so drains cannot stall.
             self.deliver_completions();
+            if let (Some(t0), Some(t)) = (tick_start, &self.telemetry) {
+                t.record_tick(us_since(t0));
+            }
         }
     }
 }
@@ -999,17 +1262,21 @@ pub fn run(cfg: &ServerConfig, service: Arc<Service>) -> io::Result<()> {
         wake: wake.sender()?,
     });
     let node_id: Arc<str> = Arc::from(cfg.node_id.as_str());
+    let telemetry = cfg
+        .telemetry
+        .then(|| Arc::new(Telemetry::new(cfg.telemetry_ring)));
+    // Workers build completion metadata whenever anyone consumes it —
+    // the telemetry accumulator or the JSONL sink.
+    let want_meta = telemetry.is_some() || metrics_mode() == MetricsMode::Jsonl;
     let workers: Vec<thread::JoinHandle<()>> = (0..cfg.workers)
         .map(|i| {
             let q = Arc::clone(&queue);
             let svc = Arc::clone(&service);
-            let ev = Arc::clone(&events);
             let inf = Arc::clone(&inflight);
             let comp = Arc::clone(&completions);
-            let node = Arc::clone(&node_id);
             thread::Builder::new()
                 .name(format!("flod-worker-{i}"))
-                .spawn(move || worker_loop(q, svc, ev, inf, comp, node))
+                .spawn(move || worker_loop(q, svc, inf, comp, want_meta))
                 .expect("spawn worker thread")
         })
         .collect();
@@ -1034,7 +1301,12 @@ pub fn run(cfg: &ServerConfig, service: Arc<Service>) -> io::Result<()> {
         max_conns: cfg.max_conns.max(1),
         max_conn_inflight: 0,
         draining: false,
+        trace_base: crate::cluster::ring_hash64(
+            format!("{}#{}", cfg.node_id, std::process::id()).as_bytes(),
+        ),
+        trace_seq: 0,
         node_id,
+        telemetry,
     };
     let result = event_loop.run();
     // Every connection is gone, so every accepted job has been answered
@@ -1084,6 +1356,8 @@ mod tests {
             conn_inflight: 1,
             token: conn_token(0, 1),
             id: 7,
+            trace: 7,
+            parse_us: 0,
         }
     }
 

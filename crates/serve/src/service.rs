@@ -86,8 +86,12 @@ impl Service {
         match req {
             Request::Ping => Ok(Json::obj().set("pong", true)),
             Request::Stats => Ok(self.stats()),
-            // The server intercepts shutdown before execution; answering
-            // here keeps `--direct` total.
+            // The server intercepts telemetry and shutdown before
+            // execution; answering here keeps `--direct` total (an
+            // in-process caller has no daemon accumulator to report).
+            Request::Telemetry => Ok(Json::obj()
+                .set("v", flo_obs::TELEMETRY_VERSION)
+                .set("enabled", false)),
             Request::Shutdown => Ok(Json::obj().set("draining", true)),
             Request::Layout { app, scale, target } => self.layout(app, *scale, *target),
             Request::Simulate {
@@ -114,20 +118,33 @@ impl Service {
     /// the response frame unchanged. Always byte-identical to
     /// `execute(req)?.to_string()` (the differential suite asserts it).
     pub fn execute_bytes(&self, req: &Request) -> Result<Arc<Vec<u8>>, ServeError> {
+        self.execute_bytes_probed(req).0
+    }
+
+    /// [`Service::execute_bytes`] that also reports whether the bytes
+    /// came warm from the response cache (`true`) or were computed
+    /// (`false`) — the telemetry layer's cache-probe outcome. Kept as
+    /// the primitive so the probe costs nothing extra: the flag falls
+    /// out of the lookup the execution already does.
+    pub fn execute_bytes_probed(&self, req: &Request) -> (Result<Arc<Vec<u8>>, ServeError>, bool) {
         let key = Self::response_key(req);
         if let Some(key) = key {
             if let Some(hit) = self.responses.get(key) {
-                return Ok(hit);
+                return (Ok(hit), true);
             }
         }
-        let bytes = Arc::new(self.execute(req)?.to_string().into_bytes());
-        match key {
+        let bytes = match self.execute(req) {
+            Ok(json) => Arc::new(json.to_string().into_bytes()),
+            Err(e) => return (Err(e), false),
+        };
+        let resident = match key {
             Some(key) => {
                 let cost = bytes.len();
-                Ok(self.responses.insert(key, bytes, cost))
+                self.responses.insert(key, bytes, cost)
             }
-            None => Ok(bytes),
-        }
+            None => bytes,
+        };
+        (Ok(resident), false)
     }
 
     /// The response-cache key for a work request: an `FxHasher` digest

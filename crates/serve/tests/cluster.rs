@@ -228,6 +228,76 @@ fn two_node_cluster_matches_direct_bytes() {
 }
 
 #[test]
+fn trace_ids_survive_cluster_restart_and_reconnect_failover() {
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    signal::reset();
+    let membership = membership_of(2);
+    let handles = spawn_nodes(&membership);
+    wait_up(&membership);
+    let mut cc = flo_serve::ClusterClient::with_retries(membership.clone(), 0, 1);
+    let req = Request::Simulate {
+        app: "qio".into(),
+        scale: Scale::Small,
+        scheme: flo_bench::Scheme::Inter,
+        policy: PolicyKind::LruInclusive,
+        fault: None,
+    };
+    let node = cc.node_of(&req).expect("work request");
+    let trace_before = 0x00AB_CD01u64;
+    let first = cc
+        .call_on_traced(node, &req, None, Some(trace_before))
+        .expect("first routed call");
+    // Restart the whole in-process cluster: the client's pooled
+    // connections now point at dead sockets, exactly what a node crash
+    // plus supervisor restart looks like from the router's side.
+    signal::request_shutdown();
+    for h in handles {
+        h.join().expect("server thread").expect("graceful drain");
+    }
+    signal::reset();
+    let handles = spawn_nodes(&membership);
+    wait_up(&membership);
+    // The pinned trace must ride through the reconnect-and-resend path
+    // unchanged — one logical request, one trace id, even across the
+    // transport failure.
+    let trace_after = 0x00AB_CD02u64;
+    let second = cc
+        .call_on_traced(node, &req, None, Some(trace_after))
+        .expect("reconnect failover must answer");
+    assert_eq!(
+        first.to_string(),
+        second.to_string(),
+        "restart must not change the bytes"
+    );
+    // The restarted node's telemetry ring proves the trace arrived: it
+    // has served exactly one simulate, and it carries the pinned trace.
+    let snap = cc
+        .call_on_traced(node, &Request::Telemetry, None, None)
+        .expect("telemetry from restarted node");
+    let ring_traces: Vec<u64> = match snap.get("slowest") {
+        Some(flo_json::Json::Arr(entries)) => entries
+            .iter()
+            .filter_map(|e| e.get("trace").and_then(flo_json::Json::as_u64))
+            .collect(),
+        other => panic!("snapshot lacks a slowest ring: {other:?}"),
+    };
+    assert!(
+        ring_traces.contains(&trace_after),
+        "pinned trace must survive the failover into the restarted \
+         node's ring (ring {ring_traces:?})"
+    );
+    assert!(
+        !ring_traces.contains(&trace_before),
+        "the pre-restart trace belongs to the dead process, not the new \
+         ring (ring {ring_traces:?})"
+    );
+    signal::request_shutdown();
+    for h in handles {
+        h.join().expect("server thread").expect("graceful drain");
+    }
+}
+
+#[test]
 fn keys_owned_by_a_dead_node_fail_typed_and_the_live_node_keeps_answering() {
     let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     signal::reset();

@@ -351,6 +351,103 @@ fn backpressure_answers_busy_and_deadline_errors_are_typed() {
 }
 
 #[test]
+fn trace_ids_survive_pipelining_and_land_in_telemetry() {
+    // Pin a distinct trace id on every frame of a pipelined burst, then
+    // check each response envelope echoes exactly the trace of the
+    // request it answers — completion order scrambles ids, traces must
+    // follow them. Afterwards the node's telemetry snapshot must have
+    // counted every request with nonzero stage histograms and hold the
+    // pinned traces in its recent-request ring.
+    with_server(256 << 20, 4, 32, |listen| {
+        let req = Request::Simulate {
+            app: "qio".into(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Inter,
+            policy: PolicyKind::LruInclusive,
+            fault: None,
+        };
+        let mut client = Client::connect(listen).expect("client connect");
+        let n = 6u64;
+        let mut sent: Vec<(u64, u64)> = Vec::new(); // (id, pinned trace)
+        for i in 0..n {
+            let trace = 0x5EED_0000 + i * 7;
+            let id = client
+                .send_traced(&req, None, Some(trace))
+                .expect("traced send");
+            sent.push((id, trace));
+        }
+        for _ in 0..n {
+            let (id, bytes) = client.recv_raw().expect("pipelined recv");
+            let envelope = flo_json::parse(std::str::from_utf8(&bytes).expect("utf8 envelope"))
+                .expect("parse envelope");
+            assert_eq!(
+                envelope.get("ok").and_then(flo_json::Json::as_bool),
+                Some(true),
+                "pipelined request {id} failed: {envelope}"
+            );
+            let want = sent
+                .iter()
+                .find(|(sent_id, _)| *sent_id == id)
+                .map(|(_, trace)| *trace)
+                .expect("response id matches a sent frame");
+            assert_eq!(
+                envelope.get("trace").and_then(flo_json::Json::as_u64),
+                Some(want),
+                "request {id} must echo its own trace through completion-order scrambling"
+            );
+        }
+        let snap = client
+            .call(&Request::Telemetry, None)
+            .expect("telemetry snapshot");
+        let sim = snap
+            .get("kinds")
+            .and_then(|k| k.get("simulate"))
+            .expect("simulate kind in snapshot");
+        assert!(
+            sim.get("count")
+                .and_then(flo_json::Json::as_u64)
+                .unwrap_or(0)
+                >= n,
+            "snapshot must count the burst: {sim}"
+        );
+        for stage in [
+            "parse_us",
+            "queue_us",
+            "exec_us",
+            "serialize_us",
+            "flush_us",
+        ] {
+            let recorded = sim
+                .get("stages")
+                .and_then(|s| s.get(stage))
+                .and_then(|h| h.get("count"))
+                .and_then(flo_json::Json::as_u64)
+                .unwrap_or(0);
+            assert!(
+                recorded >= n,
+                "stage {stage} must record every request (saw {recorded})"
+            );
+        }
+        let ring_traces: Vec<u64> = match snap.get("slowest") {
+            Some(flo_json::Json::Arr(entries)) => entries
+                .iter()
+                .filter_map(|e| e.get("trace").and_then(flo_json::Json::as_u64))
+                .collect(),
+            other => panic!("snapshot lacks a slowest ring: {other:?}"),
+        };
+        let landed = sent
+            .iter()
+            .filter(|(_, trace)| ring_traces.contains(trace))
+            .count();
+        assert!(
+            landed >= 1,
+            "at least one pinned trace must surface in the slowest ring \
+             (sent {sent:?}, ring {ring_traces:?})"
+        );
+    });
+}
+
+#[test]
 fn shutdown_drains_inflight_work() {
     // One worker, a queued job behind an executing one: shutdown must
     // answer both before the server exits (`with_server` already joins

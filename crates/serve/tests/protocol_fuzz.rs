@@ -373,6 +373,91 @@ fn pipelined_partial_frame_interleavings_answer_every_request() {
     });
 }
 
+/// The `telemetry` control frame through the same hostile gauntlet as
+/// every other kind: valid frames answer with a versioned snapshot,
+/// truncation hangs up cleanly, version skew and malformed trace ids
+/// come back typed, bit-flips never panic — and the daemon answers a
+/// liveness probe after every case.
+#[test]
+fn telemetry_frames_survive_truncation_bitflips_and_version_skew() {
+    with_server(|listen| {
+        // Valid frame: ok response carrying a versioned snapshot.
+        let responses = fire(listen, &frame(br#"{"v":1,"id":7,"kind":"telemetry"}"#));
+        assert_eq!(responses.len(), 1, "telemetry must be answered");
+        assert_eq!(
+            responses[0].get("ok").and_then(flo_json::Json::as_bool),
+            Some(true)
+        );
+        let result = responses[0].get("result").expect("snapshot payload");
+        assert_eq!(
+            result.get("v").and_then(flo_json::Json::as_u64),
+            Some(flo_obs::TELEMETRY_VERSION),
+            "snapshot is schema-versioned: {result}"
+        );
+        assert_alive(listen);
+
+        // A client-assigned trace id echoes in the response envelope.
+        let responses = fire(
+            listen,
+            &frame(br#"{"v":1,"id":8,"trace":123456789,"kind":"telemetry"}"#),
+        );
+        assert_eq!(
+            responses[0].get("trace").and_then(flo_json::Json::as_u64),
+            Some(123456789),
+            "trace id must echo: {:?}",
+            responses[0]
+        );
+        assert_alive(listen);
+
+        // Truncated mid-body: clean hangup, nothing wedged.
+        let mut partial = frame(br#"{"v":1,"id":9,"kind":"telemetry"}"#);
+        partial.truncate(partial.len() - 6);
+        fire(listen, &partial);
+        assert_alive(listen);
+
+        // Version skew: typed protocol error, not a best-effort answer.
+        let responses = fire(listen, &frame(br#"{"v":99,"id":10,"kind":"telemetry"}"#));
+        assert_eq!(error_kind(&responses[0]).as_deref(), Some("protocol"));
+        assert_alive(listen);
+
+        // A non-integer trace is a typed bad-request.
+        let responses = fire(
+            listen,
+            &frame(br#"{"v":1,"id":11,"trace":"abc","kind":"telemetry"}"#),
+        );
+        assert_eq!(error_kind(&responses[0]).as_deref(), Some("bad-request"));
+        assert_alive(listen);
+
+        // Bit-flipped telemetry frames: whatever comes back is a typed
+        // envelope, and the daemon stays alive.
+        let good = frame(br#"{"v":1,"id":12,"trace":42,"kind":"telemetry"}"#);
+        let mut rng = XorShift(0x7E1E_3E7A);
+        for case in 0..40 {
+            let mut b = good.clone();
+            let at = rng.below(b.len());
+            b[at] ^= 1 << rng.below(8);
+            for r in fire(listen, &b) {
+                match r.get("ok").and_then(flo_json::Json::as_bool) {
+                    Some(true) => {}
+                    Some(false) => {
+                        let kind = r
+                            .get("error")
+                            .and_then(|e| e.get("kind"))
+                            .and_then(flo_json::Json::as_str)
+                            .unwrap_or("");
+                        assert!(
+                            matches!(kind, "protocol" | "bad-request"),
+                            "case {case}: untyped error kind {kind:?} in {r}"
+                        );
+                    }
+                    None => panic!("case {case}: malformed response envelope {r}"),
+                }
+            }
+            assert_alive(listen);
+        }
+    });
+}
+
 #[test]
 fn version_constant_is_what_the_suite_fuzzes() {
     // The structured cases above hard-code v1 envelopes; fail loudly if
