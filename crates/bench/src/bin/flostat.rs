@@ -17,8 +17,8 @@
 //! phase-time deltas.
 
 use flo_bench::flostat::{
-    diff_layers, diff_phases, fault_table, layer_table, load, phase_table, serve_table,
-    trace_table, Artifact,
+    diff_layers, diff_phases, fault_table, health_table, layer_table, load, phase_table,
+    serve_table, trace_table, Artifact,
 };
 use std::process::ExitCode;
 
@@ -30,6 +30,7 @@ fn read_artifact(path: &str) -> Result<Artifact, String> {
 fn usage() -> ExitCode {
     eprintln!("usage: flostat show <metrics.jsonl>");
     eprintln!("       flostat diff <a.jsonl> <b.jsonl>");
+    eprintln!("       flostat health <snapshot.json>   (saved `floq telemetry --cluster` output)");
     ExitCode::from(2)
 }
 
@@ -61,6 +62,18 @@ fn main() -> ExitCode {
                 print!("{}", diff_layers(&a, &b));
                 println!();
                 print!("{}", diff_phases(&a, &b));
+                Ok(())
+            }
+            ["health", path] => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let snap = flo_json::parse(text.trim()).map_err(|e| format!("{path}: {e:?}"))?;
+                match health_table(&snap) {
+                    Some(t) => print!("{t}"),
+                    None => println!(
+                        "{path}: no client_health section (not a cluster telemetry snapshot?)"
+                    ),
+                }
                 Ok(())
             }
             _ => Err("bad arguments".to_string()),

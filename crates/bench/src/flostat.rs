@@ -612,6 +612,50 @@ pub fn diff_phases(a: &Artifact, b: &Artifact) -> Table {
     t
 }
 
+/// Per-node health table from a saved cluster telemetry snapshot (the
+/// JSON `floq telemetry --cluster` prints, whose `client_health` section
+/// is the routing client's circuit-breaker view). `None` when the
+/// snapshot carries no `client_health` — e.g. a single-daemon snapshot.
+pub fn health_table(snapshot: &Json) -> Option<Table> {
+    let health = snapshot.get("client_health")?;
+    let Some(Json::Obj(nodes)) = health.get("nodes") else {
+        return None;
+    };
+    let u = |j: &Json, k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let mut t = Table::new(
+        "cluster node health (client view)",
+        &[
+            "node",
+            "circuit",
+            "opens",
+            "probes",
+            "failovers",
+            "hedges",
+            "hedge wins",
+        ],
+    );
+    for (id, h) in nodes {
+        t.row(vec![
+            id.clone(),
+            h.get("state").and_then(Json::as_str).unwrap_or("?").into(),
+            u(h, "opens").to_string(),
+            u(h, "probes").to_string(),
+            u(h, "failovers").to_string(),
+            u(h, "hedges").to_string(),
+            u(h, "hedge_wins").to_string(),
+        ]);
+    }
+    if let Some(b) = health.get("budget") {
+        t.note(format!(
+            "retry budget: {} token(s) left, {} spent, {} denied",
+            u(b, "balance"),
+            u(b, "spent"),
+            u(b, "denied")
+        ));
+    }
+    Some(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

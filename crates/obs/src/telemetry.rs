@@ -50,9 +50,10 @@ pub const STAGES: [&str; 5] = [
 ];
 
 /// Cache-probe outcome labels: `inline` (event-thread response-cache
-/// hit, no queue), `warm` (worker-side response-cache hit), `miss`
-/// (executed).
-pub const CACHE_OUTCOMES: [&str; 3] = ["inline", "warm", "miss"];
+/// hit, no queue), `warm` (worker-side response-cache hit), `dedup`
+/// (absorbed by server-side single-flight — another worker was already
+/// computing the same work key), `miss` (executed).
+pub const CACHE_OUTCOMES: [&str; 4] = ["inline", "warm", "dedup", "miss"];
 
 /// Per-stage microsecond timings of one request.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -130,7 +131,7 @@ impl RequestSummary {
 struct KindStats {
     count: u64,
     errors: u64,
-    cache: [u64; 3],
+    cache: [u64; 4],
     total: Hist,
     stages: [Hist; 5],
 }

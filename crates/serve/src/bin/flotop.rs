@@ -130,6 +130,15 @@ impl Source {
                 .collect(),
         }
     }
+
+    /// The client-side resilience view, when there is one (cluster
+    /// mode; a single daemon has no routing client to be healthy about).
+    fn health(&self) -> Option<Json> {
+        match self {
+            Source::Single(..) => None,
+            Source::Cluster(cc) => Some(cc.health_json()),
+        }
+    }
 }
 
 /// Previous per-`(node, kind)` request totals, for rate deltas.
@@ -168,12 +177,15 @@ fn render_node(
         let count = q(stats, "count");
         let errors = q(stats, "errors");
         let cache = stats.get("cache");
-        let inline = cache.map(|c| q(c, "inline")).unwrap_or(0);
-        let warm = cache.map(|c| q(c, "warm")).unwrap_or(0);
+        // A single-flight dedup is a hit for this purpose: the request
+        // was answered without executing the work.
+        let hits = cache
+            .map(|c| q(c, "inline") + q(c, "warm") + q(c, "dedup"))
+            .unwrap_or(0);
         let hit_pct = if count == 0 {
             0.0
         } else {
-            100.0 * (inline + warm) as f64 / count as f64
+            100.0 * hits as f64 / count as f64
         };
         let rate = match prev_count(prev, node, kind) {
             Some(p) if count >= p => (count - p) as f64 * 1000.0 / interval_ms as f64,
@@ -235,6 +247,38 @@ fn render_slowest(out: &mut String, snaps: &[(String, Result<Json, String>)]) {
     }
 }
 
+/// Per-node circuit state and resilience counters, as this flotop's own
+/// routing client observed them across its sampling fan-outs.
+fn render_health(out: &mut String, health: &Json) {
+    let Some(Json::Obj(nodes)) = health.get("nodes") else {
+        return;
+    };
+    out.push_str("\nnode health (client view):\n");
+    out.push_str(&format!(
+        "  {:<12} {:<9} {:>6} {:>7} {:>9} {:>7} {:>9}\n",
+        "node", "circuit", "opens", "probes", "failover", "hedges", "hedge-win"
+    ));
+    for (id, h) in nodes {
+        out.push_str(&format!(
+            "  {id:<12} {:<9} {:>6} {:>7} {:>9} {:>7} {:>9}\n",
+            h.get("state").and_then(Json::as_str).unwrap_or("?"),
+            q(h, "opens"),
+            q(h, "probes"),
+            q(h, "failovers"),
+            q(h, "hedges"),
+            q(h, "hedge_wins"),
+        ));
+    }
+    if let Some(b) = health.get("budget") {
+        out.push_str(&format!(
+            "  retry budget: {} token(s) left, {} spent, {} denied\n",
+            q(b, "balance"),
+            q(b, "spent"),
+            q(b, "denied")
+        ));
+    }
+}
+
 fn main() {
     let args = parse_args();
     let mut source = if let Some(path) = &args.cluster {
@@ -275,6 +319,9 @@ fn main() {
             }
         }
         render_slowest(&mut out, &snaps);
+        if let Some(h) = source.health() {
+            render_health(&mut out, &h);
+        }
         if live {
             // Redraw in place: clear, home, then the frame.
             print!("\x1b[2J\x1b[H{out}");

@@ -26,6 +26,7 @@
 //! servebench [--repeats N] [--clients N] [--workers N] [--gate X] [--hc-gate Y]
 //!            [--telemetry-gate Z]
 //! servebench --cluster N [--cluster-gate X] [--node-budget-mb B] [--repeats R]
+//! servebench --chaos N [--chaos-gate X] [--node-budget-mb B] [--repeats R]
 //! ```
 //!
 //! Every phase also records the *client-observed* per-request latency
@@ -52,14 +53,31 @@
 //! construction. Every response, hit or recompute, must stay
 //! byte-identical to in-process `Service::execute`; results land in
 //! `BENCH_cluster.json` and `--cluster-gate X` fails the run below X×.
+//!
+//! **Chaos mode** (`--chaos N [--chaos-gate X]`) is the resilience
+//! harness: it launches N in-process nodes, drives a mixed workload
+//! (simulate + faulted simulate + layout, ≥8 keys per kind so the
+//! client's per-kind latency histograms arm the batch black-hole
+//! timeout), then executes a *seeded* fault schedule — abrupt kill +
+//! restart of one node, SIGSTOP-style stall + resume of another, both
+//! chosen by xorshift64* off `FLO_SEED` (default 42) so the entire run
+//! replays bit-identically. Through every phase each response must stay
+//! byte-identical to direct `Service::execute` and zero routed requests
+//! may surface a node-down error — the ring-successor failover,
+//! circuit breakers, retry budget, and hedging (DESIGN.md §2.12) must
+//! absorb the churn. Results land in `BENCH_chaos.json`; `--chaos-gate
+//! X` fails the run if mid-outage throughput drops below X× warm or
+//! post-rejoin throughput below 0.8× warm (CI chaos-smoke gates at
+//! 0.5).
 
 use flo_core::TargetLayers;
 use flo_obs::sink::write_json_artifact;
 use flo_obs::Hist;
 use flo_serve::client::DEFAULT_WINDOW;
-use flo_serve::protocol::Request;
+use flo_serve::protocol::{FaultSpec, Request};
 use flo_serve::{
-    server, signal, Client, ClusterClient, Listen, Member, Membership, ServerConfig, Service,
+    server, signal, CircuitState, Client, ClusterClient, HedgePolicy, Listen, Member, Membership,
+    Resilience, ServeError, ServerConfig, ServerControl, Service,
 };
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
@@ -84,6 +102,8 @@ struct Opts {
     cluster_gate: Option<f64>,
     node_budget_mb: usize,
     telemetry_gate: Option<f64>,
+    chaos: Option<usize>,
+    chaos_gate: Option<f64>,
 }
 
 fn parse_opts() -> Opts {
@@ -102,6 +122,8 @@ fn parse_opts() -> Opts {
         // `run_cluster_bench`).
         node_budget_mb: 48,
         telemetry_gate: None,
+        chaos: None,
+        chaos_gate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -128,6 +150,10 @@ fn parse_opts() -> Opts {
             "--telemetry-gate" => {
                 opts.telemetry_gate =
                     Some(val("--telemetry-gate").parse().expect("--telemetry-gate"))
+            }
+            "--chaos" => opts.chaos = Some(val("--chaos").parse().expect("--chaos")),
+            "--chaos-gate" => {
+                opts.chaos_gate = Some(val("--chaos-gate").parse().expect("--chaos-gate"))
             }
             other => {
                 eprintln!("servebench: unknown argument {other:?}");
@@ -469,8 +495,453 @@ fn run_cluster_bench(opts: &Opts, n_max: usize) {
     }
 }
 
+/// The chaos workload: every key kind the cluster routes, small scale
+/// only, with at least 8 keys per kind so the client's per-kind latency
+/// histograms arm the batch read timeout (the black-hole detector)
+/// after one latency round.
+fn chaos_batch() -> Vec<Request> {
+    let apps = ["qio", "swim", "s3asim"];
+    let mut reqs = Vec::new();
+    for app in apps {
+        for scheme in [flo_bench::Scheme::Default, flo_bench::Scheme::Inter] {
+            reqs.push(Request::Simulate {
+                app: app.to_string(),
+                scale: Scale::Small,
+                scheme,
+                policy: PolicyKind::LruInclusive,
+                fault: None,
+            });
+        }
+        reqs.push(Request::Simulate {
+            app: app.to_string(),
+            scale: Scale::Small,
+            scheme: flo_bench::Scheme::Inter,
+            policy: PolicyKind::LruInclusive,
+            fault: Some(FaultSpec {
+                seed: 7,
+                intensity: 1.0,
+            }),
+        });
+        for target in [
+            TargetLayers::IoOnly,
+            TargetLayers::StorageOnly,
+            TargetLayers::Both,
+        ] {
+            reqs.push(Request::Layout {
+                app: app.to_string(),
+                scale: Scale::Small,
+                target,
+            });
+        }
+    }
+    reqs
+}
+
+/// One restartable in-process node of the chaos cluster.
+struct ChaosNode {
+    member: Member,
+    budget: usize,
+    control: ServerControl,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl ChaosNode {
+    /// (Re)start the node: fresh control flags, fresh (cold) service —
+    /// a restart after a crash loses the cache, like a real process.
+    fn start(&mut self) {
+        let control = ServerControl::armed();
+        self.control = control.clone();
+        let cfg = ServerConfig {
+            listen: self.member.listen.clone(),
+            workers: 2,
+            queue_capacity: 4 * DEFAULT_WINDOW,
+            run_name: format!("servebench-chaos-{}", self.member.id),
+            node_id: self.member.id.clone(),
+            control,
+            ..ServerConfig::default()
+        };
+        let service = Arc::new(Service::with_budget(self.budget));
+        self.handle = Some(std::thread::spawn(move || server::run(&cfg, service)));
+        Client::connect_retry(&self.member.listen, Duration::from_secs(10))
+            .expect("chaos node did not come up");
+    }
+
+    /// Crash the node abruptly and reap its thread. The socket file is
+    /// left stale on purpose — the restart must take the address over.
+    fn halt(&mut self) {
+        self.control.halt();
+        if let Some(h) = self.handle.take() {
+            h.join()
+                .expect("server thread")
+                .expect("halted server returned an error");
+        }
+    }
+
+    /// Graceful end-of-run shutdown.
+    fn stop(&mut self) {
+        self.control.request_shutdown();
+        if let Some(h) = self.handle.take() {
+            h.join()
+                .expect("server thread")
+                .expect("server exited with an error");
+        }
+    }
+}
+
+/// Drive `rounds` pipelined rounds of `keys`; returns the wall time and
+/// every raw answer (verified after the clock stops).
+#[allow(clippy::type_complexity)]
+fn chaos_rounds(
+    cc: &mut ClusterClient,
+    keys: &[Request],
+    rounds: usize,
+) -> (f64, Vec<Vec<Result<Vec<u8>, ServeError>>>) {
+    let started = Instant::now();
+    let mut collected = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        collected.push(cc.call_many_raw(keys, None, DEFAULT_WINDOW));
+    }
+    (started.elapsed().as_secs_f64(), collected)
+}
+
+/// One unpipelined round with each `call` timed at the client — the
+/// failover/hedge path the pipelined rounds don't exercise.
+fn chaos_latency_round(
+    cc: &mut ClusterClient,
+    keys: &[Request],
+    expected: &[String],
+    phase: &str,
+    errors: &mut u64,
+    identical: &mut bool,
+) -> Hist {
+    let mut lat = Hist::new();
+    for (i, req) in keys.iter().enumerate() {
+        let t0 = Instant::now();
+        match cc.call(req, None) {
+            Ok(j) if j.to_string() == expected[i] => lat.record(t0.elapsed().as_micros() as u64),
+            Ok(_) => {
+                eprintln!("servebench: FAIL — {phase} latency response {i} diverges");
+                *identical = false;
+            }
+            Err(e) => {
+                eprintln!("servebench: FAIL — {phase} latency request {i}: {e}");
+                *errors += 1;
+            }
+        }
+    }
+    lat
+}
+
+/// Drive rounds until `node`'s breaker closes again (probe succeeded).
+fn chaos_await_closed(cc: &mut ClusterClient, node: usize, keys: &[Request]) -> bool {
+    for _ in 0..200 {
+        if cc.node_health(node).breaker.state() == CircuitState::Closed {
+            return true;
+        }
+        let _ = cc.call_many_raw(keys, None, DEFAULT_WINDOW);
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    false
+}
+
+fn run_chaos_bench(opts: &Opts, n: usize) {
+    if n < 2 {
+        eprintln!("servebench: --chaos needs at least 2 nodes");
+        std::process::exit(2);
+    }
+    signal::reset();
+    let seed = std::env::var("FLO_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(42);
+    // The seeded schedule: which node dies, which node black-holes.
+    // xorshift64* off FLO_SEED, same construction as every other jitter
+    // stream in the repo — the whole run replays from one number.
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut draw = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let victim = (draw() % n as u64) as usize;
+    let stall_victim = (victim + 1 + (draw() % (n as u64 - 1)) as usize) % n;
+    let keys = chaos_batch();
+    let direct = Service::with_budget(1 << 30);
+    let expected: Vec<String> = keys
+        .iter()
+        .map(|r| direct.execute(r).expect("direct execution").to_string())
+        .collect();
+    println!(
+        "servebench: chaos mode — {n} nodes, {} mixed keys, {} rounds/phase, FLO_SEED={seed}",
+        keys.len(),
+        opts.repeats
+    );
+    println!("schedule: kill+restart n{victim}, stall+resume n{stall_victim}");
+    let pid = std::process::id();
+    let mut nodes: Vec<ChaosNode> = (0..n)
+        .map(|i| ChaosNode {
+            member: Member {
+                id: format!("n{i}"),
+                listen: Listen::Unix(
+                    std::env::temp_dir().join(format!("flod-chaos-{pid}-{n}-{i}.sock")),
+                ),
+            },
+            budget: opts.node_budget_mb << 20,
+            control: ServerControl::default(),
+            handle: None,
+        })
+        .collect();
+    for node in &mut nodes {
+        node.start();
+    }
+    let membership = Membership {
+        members: nodes.iter().map(|c| c.member.clone()).collect(),
+    };
+    // Pinned resilience, not from_env: the chaos run IS the resilience
+    // test, so its knobs must not drift with the caller's environment.
+    // A fixed 50 ms hedge keeps the latency rounds deterministic in
+    // *shape* (auto-p95 would move with the host).
+    let resilience = Resilience {
+        fallbacks: 2.min(n - 1),
+        retry_budget: 64,
+        hedge: HedgePolicy::FixedMs(50),
+        connect_timeout: Duration::from_millis(1000),
+        breaker_threshold: 2,
+    };
+    let mut cc = ClusterClient::with_resilience(membership, 0, seed, resilience);
+    let mut errors = 0u64;
+    let mut identical = true;
+    // Pre-warm every key on *every* node (any node can compute any key —
+    // that is the whole failover premise), so the phases below measure
+    // routing resilience, not one-time recompute cost. The artifact
+    // still records the restarted node's cold re-warm separately.
+    for node in 0..n {
+        for (i, req) in keys.iter().enumerate() {
+            match cc.call_on(node, req, None) {
+                Ok(j) if j.to_string() == expected[i] => {}
+                Ok(_) => {
+                    eprintln!("servebench: FAIL — pre-warm response {i} on n{node} diverges");
+                    identical = false;
+                }
+                Err(e) => {
+                    eprintln!("servebench: FAIL — pre-warm request {i} on n{node}: {e}");
+                    errors += 1;
+                }
+            }
+        }
+    }
+    let verify = |phase: &str,
+                  collected: Vec<Vec<Result<Vec<u8>, ServeError>>>,
+                  errors: &mut u64,
+                  identical: &mut bool| {
+        for round in collected {
+            for (i, a) in round.into_iter().enumerate() {
+                match a.and_then(|b| flo_serve::client::decode_envelope_bytes(&b)) {
+                    Ok(j) if j.to_string() == expected[i] => {}
+                    Ok(_) => {
+                        eprintln!("servebench: FAIL — {phase} response {i} diverges from direct");
+                        *identical = false;
+                    }
+                    Err(e) => {
+                        eprintln!("servebench: FAIL — {phase} request {i}: {e}");
+                        *errors += 1;
+                    }
+                }
+            }
+        }
+    };
+    let rounds = opts.repeats.max(2);
+    let rps = |elapsed: f64| keys.len() as f64 * rounds as f64 / elapsed;
+
+    // Phase 1: everything up.
+    let (warm_s, got) = chaos_rounds(&mut cc, &keys, rounds);
+    verify("warm", got, &mut errors, &mut identical);
+    let warm_lat = chaos_latency_round(
+        &mut cc,
+        &keys,
+        &expected,
+        "warm",
+        &mut errors,
+        &mut identical,
+    );
+    let warm_rps = rps(warm_s);
+
+    // Phase 2: kill the victim abruptly, keep serving. The first round
+    // after the kill is the *detection* round — it pays the transport
+    // failures that trip the breaker — and is timed separately so the
+    // outage gate measures steady-state routed-around throughput, not
+    // the one-time discovery cost.
+    nodes[victim].halt();
+    let (detection_s, got) = chaos_rounds(&mut cc, &keys, 1);
+    verify("detection", got, &mut errors, &mut identical);
+    let (outage_s, got) = chaos_rounds(&mut cc, &keys, rounds);
+    verify("outage", got, &mut errors, &mut identical);
+    let outage_lat = chaos_latency_round(
+        &mut cc,
+        &keys,
+        &expected,
+        "outage",
+        &mut errors,
+        &mut identical,
+    );
+    let outage_rps = rps(outage_s);
+
+    // Phase 3: restart the victim (cold) and wait for the client's
+    // breaker probe to rediscover it, then re-warm its owned keys.
+    let rewarm_t0 = Instant::now();
+    nodes[victim].start();
+    if !chaos_await_closed(&mut cc, victim, &keys) {
+        eprintln!("servebench: FAIL — n{victim} breaker never closed after restart");
+        errors += 1;
+    }
+    let (_, got) = chaos_rounds(&mut cc, &keys, 1);
+    verify("re-warm", got, &mut errors, &mut identical);
+    let rewarm_s = rewarm_t0.elapsed().as_secs_f64();
+    let (recovered_s, got) = chaos_rounds(&mut cc, &keys, rounds);
+    verify("recovered", got, &mut errors, &mut identical);
+    let recovered_lat = chaos_latency_round(
+        &mut cc,
+        &keys,
+        &expected,
+        "recovered",
+        &mut errors,
+        &mut identical,
+    );
+    let recovered_rps = rps(recovered_s);
+
+    // Phase 4: black-hole a different node (SIGSTOP semantics — the
+    // kernel keeps accepting, nothing answers). The batch read timeout
+    // and the hedge are the only detectors; no typed error ever arrives.
+    nodes[stall_victim].control.set_stall(true);
+    let (stall_s, got) = chaos_rounds(&mut cc, &keys, rounds.min(3));
+    verify("stall", got, &mut errors, &mut identical);
+    nodes[stall_victim].control.set_stall(false);
+    if !chaos_await_closed(&mut cc, stall_victim, &keys) {
+        eprintln!("servebench: FAIL — n{stall_victim} breaker never closed after resume");
+        errors += 1;
+    }
+    let (resumed_s, got) = chaos_rounds(&mut cc, &keys, rounds);
+    verify("resumed", got, &mut errors, &mut identical);
+    let resumed_rps = rps(resumed_s);
+
+    let health = cc.health_json();
+    for node in &mut nodes {
+        node.stop();
+    }
+    let outage_ratio = outage_rps / warm_rps;
+    let recovered_ratio = recovered_rps / warm_rps;
+    let show = |h: &Hist| {
+        format!(
+            "p50/p95/p99 {}/{}/{} µs",
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        )
+    };
+    println!(
+        "warm:      {warm_s:.3}s ({warm_rps:.1} req/s), {}",
+        show(&warm_lat)
+    );
+    println!(
+        "outage:    {outage_s:.3}s ({outage_rps:.1} req/s, {outage_ratio:.2}x of warm, detection {detection_s:.3}s), {}",
+        show(&outage_lat)
+    );
+    println!(
+        "recovered: {recovered_s:.3}s ({recovered_rps:.1} req/s, {recovered_ratio:.2}x of warm), {} (restart-to-closed {rewarm_s:.2}s)",
+        show(&recovered_lat)
+    );
+    println!("stall:     {stall_s:.3}s; resumed {resumed_s:.3}s ({resumed_rps:.1} req/s)");
+    println!("routed errors: {errors} (must be 0), byte-identical: {identical}");
+    // Bounded tail: even mid-outage no routed call may take longer than
+    // the failover machinery can explain (connect timeout + hedge +
+    // probe backoff ceiling, with slack).
+    let p99_bound_us = 5_000_000u64;
+    let outage_p99 = outage_lat.quantile(0.99);
+    if outage_p99 > p99_bound_us {
+        eprintln!(
+            "servebench: FAIL — outage p99 {outage_p99} µs above the {p99_bound_us} µs bound"
+        );
+        errors += 1;
+    }
+    let phase_json = |elapsed: f64, rps: f64, lat: Option<&Hist>| {
+        let j = flo_json::Json::obj()
+            .set("elapsed_s", elapsed)
+            .set("rps", rps);
+        match lat {
+            Some(h) => j.set("latency_us", h.to_json()),
+            None => j,
+        }
+    };
+    let doc = flo_json::Json::obj()
+        .set("mode", "chaos")
+        .set("seed", seed)
+        .set("nodes", n)
+        .set("keys", keys.len())
+        .set("rounds_per_phase", rounds)
+        .set(
+            "schedule",
+            flo_json::Json::obj()
+                .set("kill_restart", format!("n{victim}"))
+                .set("stall_resume", format!("n{stall_victim}"))
+                .set("hedge_ms", 50u64)
+                .set("fallbacks", 2.min(n - 1)),
+        )
+        .set(
+            "phases",
+            flo_json::Json::obj()
+                .set("warm", phase_json(warm_s, warm_rps, Some(&warm_lat)))
+                .set(
+                    "outage",
+                    phase_json(outage_s, outage_rps, Some(&outage_lat))
+                        .set("detection_s", detection_s),
+                )
+                .set(
+                    "recovered",
+                    phase_json(recovered_s, recovered_rps, Some(&recovered_lat))
+                        .set("restart_to_closed_s", rewarm_s),
+                )
+                .set("stall", phase_json(stall_s, rps(stall_s), None))
+                .set("resumed", phase_json(resumed_s, resumed_rps, None)),
+        )
+        .set("outage_ratio", outage_ratio)
+        .set("recovered_ratio", recovered_ratio)
+        .set("routed_errors", errors)
+        .set("identical", identical)
+        .set("client_health", health);
+    let path = Path::new("BENCH_chaos.json");
+    match write_json_artifact(path, doc) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("servebench: cannot write {}: {e}", path.display()),
+    }
+    if errors > 0 || !identical {
+        std::process::exit(1);
+    }
+    if let Some(gate) = opts.chaos_gate {
+        if outage_ratio < gate {
+            eprintln!(
+                "servebench: FAIL — outage throughput {outage_ratio:.2}x of warm, below the {gate:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        if recovered_ratio < 0.8 {
+            eprintln!(
+                "servebench: FAIL — recovered throughput {recovered_ratio:.2}x of warm, below the 0.80x full-recovery bar"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "chaos-gate: outage {outage_ratio:.2}x >= {gate:.2}x and recovery {recovered_ratio:.2}x >= 0.80x, ok"
+        );
+    }
+}
+
 fn main() {
     let opts = parse_opts();
+    if let Some(n) = opts.chaos {
+        run_chaos_bench(&opts, n);
+        return;
+    }
     if let Some(n_max) = opts.cluster {
         if n_max < 1 {
             eprintln!("servebench: --cluster needs at least 1 node");

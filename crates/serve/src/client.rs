@@ -27,12 +27,14 @@ use crate::protocol::{
     read_frame, read_frame_bytes, response_id, work_key, write_frame, FrameError, Request,
     ServeError, TRACE_MASK,
 };
+use crate::resilience::{Breaker, CircuitState, HedgePolicy, Resilience, RetryBudget};
 use crate::server::Listen;
 use flo_json::Json;
+use flo_obs::Hist;
 use std::io;
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A connected client.
 pub struct Client {
@@ -190,15 +192,48 @@ pub fn retries_from_env() -> u32 {
 impl Client {
     /// Connect to a daemon.
     pub fn connect(listen: &Listen) -> io::Result<Client> {
+        Client::connect_bounded(listen, None)
+    }
+
+    /// [`Client::connect`] with a bound on the TCP connect
+    /// (`FLO_CONNECT_TIMEOUT_MS` at the cluster layer): a black-holed
+    /// address — a routed-away host, a SIGSTOPped peer behind a full
+    /// backlog — fails in `timeout` instead of the kernel's minutes-long
+    /// SYN retry ladder. Unix-socket connects are not bounded: a dead
+    /// path is refused immediately by the kernel, so there is nothing to
+    /// wait out.
+    pub fn connect_bounded(listen: &Listen, timeout: Option<Duration>) -> io::Result<Client> {
         let conn = match listen {
             Listen::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
-            Listen::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
+            Listen::Tcp(addr) => Conn::Tcp(match timeout {
+                None => TcpStream::connect(addr.as_str())?,
+                Some(t) => {
+                    let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("{addr}: no resolvable address"),
+                        )
+                    })?;
+                    TcpStream::connect_timeout(&sockaddr, t)?
+                }
+            }),
         };
         Ok(Client {
             conn,
             next_id: 1,
             next_trace: trace_base(jitter_seed_from_env()),
         })
+    }
+
+    /// Set (or clear) the socket read timeout. With a timeout set,
+    /// [`Client::try_recv_raw`] returns `Ok(None)` instead of blocking
+    /// when no response arrives in time — the primitive under hedging
+    /// and bounded batch collection.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        match &self.conn {
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+        }
     }
 
     /// The next trace id from this client's stream (53-bit, see
@@ -282,6 +317,29 @@ impl Client {
         if let Some(id) = response_id(&bytes) {
             return Ok((id, bytes));
         }
+        Self::slow_path_id(bytes)
+    }
+
+    /// [`Client::recv_raw`] that treats a read timeout before any byte as
+    /// "nothing yet" (`Ok(None)`) rather than an error. Requires a read
+    /// timeout on the socket ([`Client::set_read_timeout`]); without one
+    /// it simply blocks like `recv_raw`.
+    pub fn try_recv_raw(&mut self) -> Result<Option<(u64, Vec<u8>)>, ServeError> {
+        let bytes = match read_frame_bytes(&mut self.conn, &|| false) {
+            Ok(b) => b,
+            Err(FrameError::Idle) => return Ok(None),
+            Err(FrameError::Closed) => {
+                return Err(ServeError::Protocol("server closed the connection".into()))
+            }
+            Err(other) => return Err(ServeError::Protocol(other.to_string())),
+        };
+        if let Some(id) = response_id(&bytes) {
+            return Ok(Some((id, bytes)));
+        }
+        Self::slow_path_id(bytes).map(Some)
+    }
+
+    fn slow_path_id(bytes: Vec<u8>) -> Result<(u64, Vec<u8>), ServeError> {
         let text = std::str::from_utf8(&bytes)
             .map_err(|e| ServeError::Protocol(format!("response is not UTF-8: {e}")))?;
         let id = flo_json::parse(text)
@@ -407,14 +465,78 @@ impl Client {
 /// queue into typed `busy` errors.
 pub const DEFAULT_WINDOW: usize = 16;
 
+/// Work-request kinds with their own client-side latency accounting:
+/// hedging delays and bounded batch reads key off the per-kind p95.
+const WORK_KINDS: [&str; 3] = ["layout", "simulate", "sweep"];
+
+fn kind_index(kind: &str) -> Option<usize> {
+    WORK_KINDS.iter().position(|&k| k == kind)
+}
+
+/// Errors that mean "this node did not serve the request and a
+/// different node can": connect failures and torn connections
+/// (`NodeDown` / `Protocol`) and a node draining for shutdown
+/// (`ShuttingDown`). Typed application errors — `BadRequest`, `Busy`,
+/// `DeadlineExceeded` — mean the node is up and answering; failing over
+/// would just re-ask the same deterministic question elsewhere.
+fn transport_error(e: &ServeError) -> bool {
+    matches!(
+        e,
+        ServeError::NodeDown(_) | ServeError::Protocol(_) | ServeError::ShuttingDown
+    )
+}
+
+/// Per-node health the routing layer maintains: the circuit breaker
+/// plus failover/hedge tallies (surfaced via
+/// [`ClusterClient::health_json`] into `flotop` / `flostat`).
+pub struct NodeHealth {
+    /// The node's circuit breaker.
+    pub breaker: Breaker,
+    /// Requests routed away from this node (open breaker or failover).
+    pub failovers: u64,
+    /// Hedges fired while this node was the slow primary.
+    pub hedges: u64,
+    /// Hedges that answered before this node did.
+    pub hedge_wins: u64,
+    /// Consecutive hedge losses; two in a row count as a breaker
+    /// failure so a black-holed node (accepts connects, never answers)
+    /// eventually trips the breaker even though nothing errors.
+    hedge_losses: u32,
+}
+
+impl NodeHealth {
+    fn new(threshold: u32, seed: u64) -> NodeHealth {
+        NodeHealth {
+            breaker: Breaker::new(threshold, seed),
+            failovers: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            hedge_losses: 0,
+        }
+    }
+}
+
 /// A cluster-aware client: one lazily connected [`Client`] per member,
-/// consistent-hash routing of work keys, per-node pipelining, and typed
-/// [`ServeError::NodeDown`] when a node is unreachable.
+/// consistent-hash routing of work keys, per-node pipelining, and —
+/// because every work result is a deterministic pure function of the
+/// request — transparent ring-successor failover when a node is down.
 ///
 /// Routing is pure — the ring is a function of the membership and the
 /// request's [`work_key`] — so every `ClusterClient` over the same
 /// membership file sends the same key to the same node, which is what
-/// makes each node's cache the single home of its key range.
+/// makes each node's cache the single home of its key range. The
+/// failover chain ([`HashRing::fallback_chain`]) is equally pure:
+/// attempt `k` of any client goes to the same k-th distinct ring
+/// successor, so a failed-over key has *one* deterministic second home
+/// (and third, …) whose cache warms instead of scattering the key
+/// across the cluster.
+///
+/// Per-node [`Breaker`]s stop a dead node from costing a connect probe
+/// per call; the client-wide [`RetryBudget`] bounds how much extra load
+/// failover and hedging may add; [`ServeError::NodeDown`] is only
+/// surfaced once the owner *and* every configured fallback are
+/// unreachable (or with `FLO_FALLBACKS=0`, which restores strict
+/// single-owner routing).
 pub struct ClusterClient {
     membership: Membership,
     ring: HashRing,
@@ -422,19 +544,58 @@ pub struct ClusterClient {
     retries: u32,
     jitter_seed: u64,
     next_trace: u64,
+    resilience: Resilience,
+    health: Vec<NodeHealth>,
+    budget: RetryBudget,
+    /// Client-side latency (µs) of successful routed calls, per work
+    /// kind — the `Auto` hedge delay and the bounded batch read derive
+    /// from these p95s.
+    kind_lat: [Hist; 3],
+    /// Per-kind p95 (µs) seeded once from the server telemetry
+    /// snapshot (the PR-8 accumulator), so `Auto` hedging has a floor
+    /// before this client has observed anything.
+    hedge_seed_us: [Option<u64>; 3],
+    hedge_primed: bool,
 }
 
 impl ClusterClient {
-    /// A client over this membership, with busy-retry and jitter-seed
-    /// settings from the environment (`FLO_RETRIES`, `FLO_SEED`).
+    /// A client over this membership, with busy-retry, jitter-seed and
+    /// resilience settings from the environment (`FLO_RETRIES`,
+    /// `FLO_SEED`, `FLO_FALLBACKS`, `FLO_RETRY_BUDGET`, `FLO_HEDGE`,
+    /// `FLO_CONNECT_TIMEOUT_MS`).
     pub fn new(membership: Membership) -> ClusterClient {
         ClusterClient::with_retries(membership, retries_from_env(), jitter_seed_from_env())
     }
 
-    /// A client with explicit retry count and jitter seed.
+    /// A client with explicit retry count and jitter seed (resilience
+    /// settings still come from the environment).
     pub fn with_retries(membership: Membership, retries: u32, jitter_seed: u64) -> ClusterClient {
+        ClusterClient::with_resilience(membership, retries, jitter_seed, Resilience::from_env())
+    }
+
+    /// A client with everything explicit — chaos harnesses and tests
+    /// pin the whole resilience configuration here.
+    pub fn with_resilience(
+        membership: Membership,
+        retries: u32,
+        jitter_seed: u64,
+        resilience: Resilience,
+    ) -> ClusterClient {
         let ring = HashRing::build(&membership);
         let conns = membership.members.iter().map(|_| None).collect();
+        // Per-node breaker seeds: the client seed scrambled by the node
+        // id, the same construction the per-node busy-retry jitter uses
+        // — deterministic per (seed, membership), decorrelated per node.
+        let health = membership
+            .members
+            .iter()
+            .map(|m| {
+                NodeHealth::new(
+                    resilience.breaker_threshold,
+                    jitter_seed ^ stable_hash64(m.id.as_bytes()),
+                )
+            })
+            .collect();
         ClusterClient {
             membership,
             ring,
@@ -444,6 +605,12 @@ impl ClusterClient {
             // Offset from the per-connection streams so a cluster
             // client's ids do not collide with its own pooled clients'.
             next_trace: trace_base(jitter_seed ^ 0x5EED_C1A5_7E12),
+            budget: RetryBudget::new(resilience.retry_budget),
+            resilience,
+            health,
+            kind_lat: std::array::from_fn(|_| Hist::new()),
+            hedge_seed_us: [None; 3],
+            hedge_primed: false,
         }
     }
 
@@ -478,10 +645,14 @@ impl ClusterClient {
         ))
     }
 
-    /// The lazily established connection to `node`, or `NodeDown`.
+    /// The lazily established connection to `node`, or `NodeDown`. TCP
+    /// connects are bounded by the configured `FLO_CONNECT_TIMEOUT_MS`.
     fn conn(&mut self, node: usize) -> Result<&mut Client, ServeError> {
         if self.conns[node].is_none() {
-            match Client::connect(&self.membership.members[node].listen) {
+            match Client::connect_bounded(
+                &self.membership.members[node].listen,
+                Some(self.resilience.connect_timeout),
+            ) {
                 Ok(c) => self.conns[node] = Some(c),
                 Err(e) => return Err(self.node_down(node, &format!("connect failed: {e}"))),
             }
@@ -489,15 +660,127 @@ impl ClusterClient {
         Ok(self.conns[node].as_mut().expect("connection just ensured"))
     }
 
-    /// Send one request to the node that owns its work key.
+    /// The failover chain for a request: owner first, then the
+    /// configured number of distinct ring successors. `None` for
+    /// control requests.
+    fn chain_of(&self, req: &Request) -> Option<Vec<usize>> {
+        let max = (1 + self.resilience.fallbacks).min(self.membership.len());
+        work_key(req).map(|key| self.ring.fallback_chain(&key, max))
+    }
+
+    /// The resilience configuration in effect.
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
+    }
+
+    /// Per-node health (breaker state, failover/hedge tallies).
+    pub fn node_health(&self, node: usize) -> &NodeHealth {
+        &self.health[node]
+    }
+
+    /// The client-wide retry budget.
+    pub fn budget(&self) -> &RetryBudget {
+        &self.budget
+    }
+
+    /// Send one request along its failover chain: the owner first, then
+    /// — on transport failure, budget permitting — each distinct ring
+    /// successor. Typed application errors surface immediately (the
+    /// node answered); `NodeDown` only when the whole chain is
+    /// unreachable.
     pub fn call(&mut self, req: &Request, deadline_ms: Option<u64>) -> Result<Json, ServeError> {
-        let Some(node) = self.node_of(req) else {
+        let Some(chain) = self.chain_of(req) else {
             return Err(ServeError::BadRequest(format!(
                 "{} has no work key — control requests fan out to every node",
                 req.kind()
             )));
         };
-        self.call_on(node, req, deadline_ms)
+        let trace = self.gen_trace();
+        self.call_routed_traced(&chain, req, deadline_ms, Some(trace))
+    }
+
+    /// [`ClusterClient::call`] with an explicit trace id: one trace
+    /// covers every attempt across every node the chain visits, so a
+    /// request that fails over reads as one logical request in each
+    /// node's telemetry.
+    fn call_routed_traced(
+        &mut self,
+        chain: &[usize],
+        req: &Request,
+        deadline_ms: Option<u64>,
+        trace: Option<u64>,
+    ) -> Result<Json, ServeError> {
+        let t0 = Instant::now();
+        let mut last: Option<ServeError> = None;
+        let mut attempted = 0usize;
+        for (pos, &node) in chain.iter().enumerate() {
+            if !self.health[node].breaker.allow() {
+                self.health[node].failovers += 1;
+                continue;
+            }
+            if attempted > 0 && !self.budget.try_spend() {
+                break;
+            }
+            attempted += 1;
+            let hedge_node = self.hedge_candidate(chain, pos);
+            match self.attempt_on(node, hedge_node, req, deadline_ms, trace) {
+                Ok((json, via)) => {
+                    self.health[via].breaker.on_success();
+                    self.budget.deposit();
+                    self.observe_kind_latency(req, t0);
+                    return Ok(json);
+                }
+                Err(e) if transport_error(&e) => {
+                    self.health[node].breaker.on_failure();
+                    self.conns[node] = None;
+                    if pos + 1 < chain.len() {
+                        self.health[node].failovers += 1;
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        match last {
+            Some(e) => Err(e),
+            None => {
+                // Every breaker in the chain was open with no probe due
+                // (a full blip). Force one attempt on the owner so the
+                // cluster can be rediscovered instead of returning
+                // NodeDown forever.
+                let owner = chain[0];
+                match self.attempt_on(owner, None, req, deadline_ms, trace) {
+                    Ok((json, _)) => {
+                        self.health[owner].breaker.on_success();
+                        self.budget.deposit();
+                        self.observe_kind_latency(req, t0);
+                        Ok(json)
+                    }
+                    Err(e) => {
+                        if transport_error(&e) {
+                            self.health[owner].breaker.on_failure();
+                            self.conns[owner] = None;
+                        }
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// The node a hedge for attempt `pos` would race against the
+    /// primary: the next chain entry whose breaker currently allows
+    /// traffic. Peeked without consuming a half-open probe slot —
+    /// only an actually fired hedge touches the breaker.
+    fn hedge_candidate(&self, chain: &[usize], pos: usize) -> Option<usize> {
+        if self.resilience.hedge == HedgePolicy::Off {
+            return None;
+        }
+        chain
+            .get(pos + 1..)?
+            .iter()
+            .find(|&&n| self.health[n].breaker.state() == CircuitState::Closed)
+            .copied()
     }
 
     /// Send one request to a specific node, reconnecting once if the
@@ -545,11 +828,317 @@ impl ClusterClient {
         }
     }
 
+    /// One failover-chain attempt against `node`, with busy-retry and
+    /// (when configured) a hedge raced on `hedge_node`. Returns the
+    /// payload plus the node that actually answered.
+    fn attempt_on(
+        &mut self,
+        node: usize,
+        hedge_node: Option<usize>,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        trace: Option<u64>,
+    ) -> Result<(Json, usize), ServeError> {
+        let delays = retry_schedule(
+            self.retries,
+            self.jitter_seed ^ stable_hash64(self.membership.members[node].id.as_bytes()),
+        );
+        let mut last = self.attempt_once(node, hedge_node, req, deadline_ms, trace);
+        for delay in &delays {
+            match &last {
+                Err(ServeError::Busy) => {
+                    std::thread::sleep(*delay);
+                    last = self.attempt_once(node, hedge_node, req, deadline_ms, trace);
+                }
+                _ => break,
+            }
+        }
+        last
+    }
+
+    /// One wire attempt, reconnecting once when a pooled connection
+    /// turns out to be dead (same blip-vs-down rule as
+    /// [`ClusterClient::call_on_traced`]).
+    fn attempt_once(
+        &mut self,
+        node: usize,
+        hedge_node: Option<usize>,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        trace: Option<u64>,
+    ) -> Result<(Json, usize), ServeError> {
+        let had_conn = self.conns[node].is_some();
+        let first = self.attempt_wire(node, hedge_node, req, deadline_ms, trace);
+        match first {
+            Err(ServeError::Protocol(_)) if had_conn => {
+                self.conns[node] = None;
+                self.attempt_wire(node, hedge_node, req, deadline_ms, trace)
+            }
+            other => other,
+        }
+    }
+
+    /// Send on `node`'s connection; when hedging applies, wait only the
+    /// hedge delay before racing a second copy on `hedge_node`.
+    fn attempt_wire(
+        &mut self,
+        node: usize,
+        hedge_node: Option<usize>,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        trace: Option<u64>,
+    ) -> Result<(Json, usize), ServeError> {
+        let hedge_after = match hedge_node {
+            Some(_) => self.hedge_delay_for(req),
+            None => None,
+        };
+        let (Some(delay), Some(h)) = (hedge_after, hedge_node) else {
+            return self
+                .conn(node)?
+                .call_traced(req, deadline_ms, trace)
+                .map(|j| (j, node));
+        };
+        let id = self.conn(node)?.send_traced(req, deadline_ms, trace)?;
+        let c = self.conns[node].as_mut().expect("connection just ensured");
+        if c.set_read_timeout(Some(delay)).is_err() {
+            // Cannot arm the timer: fall back to a plain blocking wait.
+            let (got, bytes) = c.recv_raw()?;
+            return Self::matched(got, id, bytes).map(|j| (j, node));
+        }
+        match c.try_recv_raw() {
+            Ok(Some((got, bytes))) => {
+                let _ = c.set_read_timeout(None);
+                Self::matched(got, id, bytes).map(|j| (j, node))
+            }
+            Ok(None) => self.race_hedge(node, id, h, req, deadline_ms, trace),
+            Err(e) => {
+                if let Some(c) = self.conns[node].as_mut() {
+                    let _ = c.set_read_timeout(None);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn matched(got: u64, want: u64, bytes: Vec<u8>) -> Result<Json, ServeError> {
+        if got != want {
+            return Err(ServeError::Protocol(format!(
+                "response id {got} does not match request id {want}"
+            )));
+        }
+        decode_envelope_bytes(&bytes)
+    }
+
+    /// The primary on `node` is slow past the hedge delay: race a
+    /// second copy on `h` and return whichever answers first. The
+    /// loser's connection is dropped (its response is still in flight
+    /// and would desynchronize the pool); server-side single-flight on
+    /// the work key means the loser's node wastes no duplicate compute.
+    fn race_hedge(
+        &mut self,
+        primary: usize,
+        primary_id: u64,
+        h: usize,
+        req: &Request,
+        deadline_ms: Option<u64>,
+        trace: Option<u64>,
+    ) -> Result<(Json, usize), ServeError> {
+        // Hedging costs a retry-budget token and a half-open slot on the
+        // hedge node; without either, just keep waiting on the primary.
+        if !self.budget.try_spend() || !self.health[h].breaker.allow() {
+            return self.block_on_primary(primary, primary_id);
+        }
+        self.health[primary].hedges += 1;
+        let hedge_id = match self
+            .conn(h)
+            .and_then(|c| c.send_traced(req, deadline_ms, trace))
+        {
+            Ok(id) => id,
+            Err(_) => {
+                // The hedge node is down too; the primary is all we have.
+                self.health[h].breaker.on_failure();
+                self.conns[h] = None;
+                return self.block_on_primary(primary, primary_id);
+            }
+        };
+        // Poll both connections in short slices until one answers. The
+        // overall race is capped so two simultaneously black-holed nodes
+        // cannot hold the caller forever — the cap surfaces as a
+        // transport error, which the chain above treats as failover.
+        let slice = Duration::from_millis(5);
+        let cap = Instant::now() + Duration::from_secs(60);
+        for conn_idx in [primary, h] {
+            if let Some(c) = self.conns[conn_idx].as_mut() {
+                let _ = c.set_read_timeout(Some(slice));
+            }
+        }
+        let mut primary_err: Option<ServeError> = None;
+        let mut hedge_err: Option<ServeError> = None;
+        loop {
+            if primary_err.is_none() {
+                match self.conns[primary]
+                    .as_mut()
+                    .expect("primary connected")
+                    .try_recv_raw()
+                {
+                    Ok(Some((got, bytes))) if got == primary_id => {
+                        // Primary wins: the hedge's answer is still in
+                        // flight on h's connection — drop it.
+                        self.conns[h] = None;
+                        self.health[primary].hedge_losses = 0;
+                        if let Some(c) = self.conns[primary].as_mut() {
+                            let _ = c.set_read_timeout(None);
+                        }
+                        return Self::matched(got, primary_id, bytes).map(|j| (j, primary));
+                    }
+                    Ok(Some(_)) | Ok(None) => {}
+                    Err(e) => primary_err = Some(e),
+                }
+            }
+            if hedge_err.is_none() {
+                match self.conns[h]
+                    .as_mut()
+                    .expect("hedge connected")
+                    .try_recv_raw()
+                {
+                    Ok(Some((got, bytes))) if got == hedge_id => {
+                        // Hedge wins: drop the primary's connection (its
+                        // answer, if any ever comes, is stray now).
+                        self.conns[primary] = None;
+                        self.health[primary].hedge_wins += 1;
+                        self.health[primary].hedge_losses += 1;
+                        if self.health[primary].hedge_losses >= 2 {
+                            // Two silent losses in a row: the primary is
+                            // black-holed, not merely slow — trip it.
+                            self.health[primary].breaker.on_failure();
+                            self.health[primary].hedge_losses = 0;
+                        }
+                        if let Some(c) = self.conns[h].as_mut() {
+                            let _ = c.set_read_timeout(None);
+                        }
+                        return Self::matched(got, hedge_id, bytes).map(|j| (j, h));
+                    }
+                    Ok(Some(_)) | Ok(None) => {}
+                    Err(e) => {
+                        self.health[h].breaker.on_failure();
+                        self.conns[h] = None;
+                        hedge_err = Some(e);
+                    }
+                }
+            }
+            if let (Some(e), true) = (&primary_err, hedge_err.is_some()) {
+                return Err(e.clone());
+            }
+            if primary_err.is_some() && self.conns[h].is_none() {
+                return Err(primary_err.take().expect("primary error set"));
+            }
+            if Instant::now() >= cap {
+                self.conns[primary] = None;
+                self.conns[h] = None;
+                return Err(ServeError::Protocol(
+                    "hedge race timed out: neither node answered".into(),
+                ));
+            }
+        }
+    }
+
+    fn block_on_primary(
+        &mut self,
+        primary: usize,
+        primary_id: u64,
+    ) -> Result<(Json, usize), ServeError> {
+        let c = self.conns[primary].as_mut().expect("primary connected");
+        let _ = c.set_read_timeout(None);
+        let (got, bytes) = c.recv_raw()?;
+        Self::matched(got, primary_id, bytes).map(|j| (j, primary))
+    }
+
+    /// How long to wait before hedging this request, per the configured
+    /// policy. `Auto` uses the kind's p95 — the larger of the
+    /// snapshot-seeded floor and the client's own observations —
+    /// clamped to [5 ms, 2 s]; no hedge until at least one source has
+    /// data, so cold kinds never hedge blindly.
+    fn hedge_delay_for(&mut self, req: &Request) -> Option<Duration> {
+        let ki = kind_index(req.kind())?;
+        match self.resilience.hedge {
+            HedgePolicy::Off => None,
+            HedgePolicy::FixedMs(ms) => Some(Duration::from_millis(ms.max(1))),
+            HedgePolicy::Auto => {
+                self.prime_hedge();
+                let local =
+                    (self.kind_lat[ki].count() >= 8).then(|| self.kind_lat[ki].quantile(0.95));
+                let us = match (local, self.hedge_seed_us[ki]) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                }?;
+                Some(Duration::from_micros(us.clamp(5_000, 2_000_000)))
+            }
+        }
+    }
+
+    /// One-time seeding of the `Auto` hedge floors from the cluster's
+    /// telemetry snapshot: the per-kind `total_us` p95 of whatever the
+    /// nodes have already served. Nodes without telemetry (or without
+    /// samples for a kind) simply contribute nothing.
+    fn prime_hedge(&mut self) {
+        if self.hedge_primed {
+            return;
+        }
+        self.hedge_primed = true;
+        for (_, result) in self.fan_out(&Request::Telemetry, Some(2_000)) {
+            let Ok(snap) = result else { continue };
+            let Some(kinds) = snap.get("kinds") else {
+                continue;
+            };
+            for (ki, kind) in WORK_KINDS.iter().enumerate() {
+                let p95 = kinds
+                    .get(kind)
+                    .and_then(|k| k.get("total_us"))
+                    .and_then(|t| t.get("p95"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                if p95 > 0 {
+                    self.hedge_seed_us[ki] =
+                        Some(self.hedge_seed_us[ki].map_or(p95, |v| v.max(p95)));
+                }
+            }
+        }
+    }
+
+    /// Record a successful routed call's client-observed latency.
+    fn observe_kind_latency(&mut self, req: &Request, t0: Instant) {
+        if let Some(ki) = kind_index(req.kind()) {
+            self.kind_lat[ki].record(t0.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// The read timeout for collecting a batch chunk whose requests are
+    /// of `kinds_present`: 8× the worst per-kind p95, clamped to
+    /// [500 ms, 15 s]. `None` — block indefinitely, the pre-failover
+    /// behavior — until every present kind has at least 8 samples, so a
+    /// cold cluster's first heavy computations are never cut short.
+    fn batch_read_timeout(&self, kinds_present: &[bool; 3]) -> Option<Duration> {
+        if self.resilience.fallbacks == 0 {
+            return None;
+        }
+        let mut worst = 0u64;
+        for (ki, present) in kinds_present.iter().enumerate() {
+            if *present {
+                if self.kind_lat[ki].count() < 8 {
+                    return None;
+                }
+                worst = worst.max(self.kind_lat[ki].quantile(0.95));
+            }
+        }
+        (worst > 0).then(|| Duration::from_micros((worst * 8).clamp(500_000, 15_000_000)))
+    }
+
     /// Route a whole batch: group requests by owning node, pipeline each
     /// node's share in windows of `window` frames (see
     /// [`DEFAULT_WINDOW`]), and return results in *request* order. A
-    /// node failing mid-batch yields `NodeDown` for its unanswered
-    /// requests; other nodes' requests are unaffected.
+    /// node failing mid-batch has its unanswered requests re-routed
+    /// along their fallback chains (budget permitting); `NodeDown` only
+    /// surfaces once a request's whole chain is exhausted.
     pub fn call_many(
         &mut self,
         reqs: &[Request],
@@ -566,18 +1155,31 @@ impl ClusterClient {
     /// request yields its raw envelope bytes (run
     /// [`decode_envelope_bytes`] later); `Err` is reserved for
     /// transport-level failures — routing a control request
-    /// (`BadRequest`) or an unreachable node (`NodeDown`).
+    /// (`BadRequest`) or a whole chain unreachable (`NodeDown`).
+    ///
+    /// Failure handling per node group: a connect failure, a torn
+    /// connection, or (once per-kind latency samples exist) a read that
+    /// outlives the batch read timeout (8× worst per-kind p95) — the
+    /// black-holed node case — marks the node's breaker, costs one retry-budget
+    /// token, and re-queues the group's unanswered requests at the next
+    /// position of each one's own fallback chain. Re-routing is
+    /// assignment, not broadcast: each request lands on exactly one
+    /// node per round, so no duplicate responses can ever be collected.
     pub fn call_many_raw(
         &mut self,
         reqs: &[Request],
         deadline_ms: Option<u64>,
         window: usize,
     ) -> Vec<Result<Vec<u8>, ServeError>> {
+        /// Chain position marking "whole chain was gated; owner forced,
+        /// no further failover".
+        const FORCED: usize = usize::MAX;
         let mut out: Vec<Option<Result<Vec<u8>, ServeError>>> = reqs.iter().map(|_| None).collect();
-        let mut by_node: Vec<Vec<usize>> = self.membership.members.iter().map(|_| vec![]).collect();
+        let chains: Vec<Option<Vec<usize>>> = reqs.iter().map(|r| self.chain_of(r)).collect();
+        let mut pending: Vec<(usize, usize)> = Vec::new();
         for (i, req) in reqs.iter().enumerate() {
-            match self.node_of(req) {
-                Some(node) => by_node[node].push(i),
+            match &chains[i] {
+                Some(_) => pending.push((i, 0)),
                 None => {
                     out[i] = Some(Err(ServeError::BadRequest(format!(
                         "{} has no work key — control requests fan out to every node",
@@ -586,56 +1188,133 @@ impl ClusterClient {
                 }
             }
         }
-        for (node, ixs) in by_node.iter().enumerate() {
-            if ixs.is_empty() {
-                continue;
-            }
-            let mut failed: Option<ServeError> = None;
-            'chunks: for chunk in ixs.chunks(window.max(1)) {
-                let client = match self.conn(node) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        failed = Some(e);
-                        break 'chunks;
+        while !pending.is_empty() {
+            // Assign every pending request to the first node at or after
+            // its chain position whose breaker admits traffic. A node
+            // coming out of an open period admits exactly one request —
+            // the half-open probe — and the rest of its share falls
+            // through to the next chain entry for this round.
+            let mut by_node: Vec<Vec<(usize, usize)>> =
+                self.membership.members.iter().map(|_| vec![]).collect();
+            for (i, mut pos) in pending.drain(..) {
+                let chain = chains[i].as_ref().expect("pending implies a chain");
+                loop {
+                    if pos >= chain.len() {
+                        // Whole chain gated with no probe due: force the
+                        // owner once so a full blip can recover.
+                        by_node[chain[0]].push((i, FORCED));
+                        break;
                     }
-                };
-                let mut pending: Vec<(u64, usize)> = Vec::with_capacity(chunk.len());
-                for &i in chunk {
-                    match client.send(&reqs[i], deadline_ms) {
-                        Ok(id) => pending.push((id, i)),
-                        Err(e) => {
-                            // The write side died; answer what is already
-                            // in flight if possible, then mark the rest.
-                            failed = Some(e);
-                            break;
-                        }
+                    let node = chain[pos];
+                    if self.health[node].breaker.allow() {
+                        by_node[node].push((i, pos));
+                        break;
+                    }
+                    self.health[node].failovers += 1;
+                    pos += 1;
+                }
+            }
+            for (node, slot) in by_node.iter_mut().enumerate() {
+                let group = std::mem::take(slot);
+                if group.is_empty() {
+                    continue;
+                }
+                let mut kinds_present = [false; 3];
+                for &(i, _) in &group {
+                    if let Some(ki) = kind_index(reqs[i].kind()) {
+                        kinds_present[ki] = true;
                     }
                 }
-                for _ in 0..pending.len() {
-                    match client.recv_raw() {
-                        Ok((id, bytes)) => {
-                            if let Some(&(_, i)) = pending.iter().find(|&&(sent, _)| sent == id) {
-                                out[i] = Some(Ok(bytes));
+                let read_timeout = self.batch_read_timeout(&kinds_present);
+                let mut failed: Option<ServeError> = None;
+                let mut answered = 0usize;
+                'chunks: for chunk in group.chunks(window.max(1)) {
+                    let client = match self.conn(node) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            failed = Some(e);
+                            break 'chunks;
+                        }
+                    };
+                    let mut inflight: Vec<(u64, usize)> = Vec::with_capacity(chunk.len());
+                    for &(i, _) in chunk {
+                        match client.send(&reqs[i], deadline_ms) {
+                            Ok(id) => inflight.push((id, i)),
+                            Err(e) => {
+                                // The write side died; answer what is
+                                // already in flight, then mark the rest.
+                                failed = Some(e);
+                                break;
                             }
                         }
-                        Err(e) => {
-                            failed = Some(e);
-                            break;
+                    }
+                    if read_timeout.is_some() && client.set_read_timeout(read_timeout).is_err() {
+                        failed = Some(ServeError::Protocol("cannot set read timeout".into()));
+                    }
+                    if failed.is_none() {
+                        for _ in 0..inflight.len() {
+                            let next = match read_timeout {
+                                Some(_) => match client.try_recv_raw() {
+                                    Ok(Some(r)) => Ok(r),
+                                    Ok(None) => Err(ServeError::Protocol(
+                                        "read timed out — node unresponsive".into(),
+                                    )),
+                                    Err(e) => Err(e),
+                                },
+                                None => client.recv_raw(),
+                            };
+                            match next {
+                                Ok((id, bytes)) => {
+                                    if let Some(&(_, i)) =
+                                        inflight.iter().find(|&&(sent, _)| sent == id)
+                                    {
+                                        out[i] = Some(Ok(bytes));
+                                        answered += 1;
+                                    }
+                                }
+                                Err(e) => {
+                                    failed = Some(e);
+                                    break;
+                                }
+                            }
                         }
                     }
+                    if read_timeout.is_some() {
+                        let _ = client.set_read_timeout(None);
+                    }
+                    if failed.is_some() {
+                        break 'chunks;
+                    }
                 }
-                if failed.is_some() {
-                    break 'chunks;
+                for _ in 0..answered {
+                    self.budget.deposit();
                 }
-            }
-            if let Some(e) = failed {
-                // The connection is unusable; drop it so a later batch
-                // re-probes, and mark this node's unanswered requests.
-                self.conns[node] = None;
-                let down = self.node_down(node, &e.to_string());
-                for &i in ixs {
-                    if out[i].is_none() {
-                        out[i] = Some(Err(down.clone()));
+                match failed {
+                    None => self.health[node].breaker.on_success(),
+                    Some(e) => {
+                        // The connection is unusable; drop it, mark the
+                        // breaker, and fail the unanswered share over to
+                        // each request's next chain entry. One budget
+                        // token covers the whole group's re-route — the
+                        // budget gates extra *connection* attempts, and
+                        // the re-route adds exactly one.
+                        self.health[node].breaker.on_failure();
+                        self.conns[node] = None;
+                        let unanswered: Vec<(usize, usize)> = group
+                            .iter()
+                            .filter(|&&(i, _)| out[i].is_none())
+                            .copied()
+                            .collect();
+                        let can_reroute = !unanswered.is_empty() && self.budget.try_spend();
+                        for (i, pos) in unanswered {
+                            let chain = chains[i].as_ref().expect("pending implies a chain");
+                            if can_reroute && pos != FORCED && pos + 1 < chain.len() {
+                                self.health[node].failovers += 1;
+                                pending.push((i, pos + 1));
+                            } else {
+                                out[i] = Some(Err(self.node_down(node, &e.to_string())));
+                            }
+                        }
                     }
                 }
             }
@@ -658,11 +1337,17 @@ impl ClusterClient {
             .map(|node| {
                 let id = self.membership.members[node].id.clone();
                 let result = self.call_on(node, req, deadline_ms);
-                if result.is_err() {
-                    // Whatever failed, do not trust the pooled stream.
-                    if let Err(ServeError::NodeDown(_) | ServeError::Protocol(_)) = result {
+                match &result {
+                    Ok(_) => self.health[node].breaker.on_success(),
+                    // Whatever failed, do not trust the pooled stream —
+                    // and let the breaker learn from control-plane
+                    // probes too, so `flostat health` reflects reality
+                    // even on a client that only ever fans out.
+                    Err(ServeError::NodeDown(_) | ServeError::Protocol(_)) => {
+                        self.health[node].breaker.on_failure();
                         self.conns[node] = None;
                     }
+                    Err(_) => {}
                 }
                 (id, result)
             })
@@ -695,8 +1380,37 @@ impl ClusterClient {
         }
         let merged = flo_obs::merge_snapshots(&answered);
         (
-            Json::obj().set("nodes", nodes).set("merged", merged),
+            Json::obj()
+                .set("nodes", nodes)
+                .set("merged", merged)
+                .set("client_health", self.health_json()),
             failed,
+        )
+    }
+
+    /// The client-side view of cluster health as JSON: per-node circuit
+    /// state and counters, plus the shared retry-budget gauge. This is
+    /// what `flostat health` and the `flotop` health line render.
+    pub fn health_json(&self) -> Json {
+        let mut nodes = Json::obj();
+        for (node, h) in self.health.iter().enumerate() {
+            nodes = nodes.set(
+                &self.membership.members[node].id,
+                Json::obj()
+                    .set("state", h.breaker.state().name())
+                    .set("opens", h.breaker.opens)
+                    .set("probes", h.breaker.probes)
+                    .set("failovers", h.failovers)
+                    .set("hedges", h.hedges)
+                    .set("hedge_wins", h.hedge_wins),
+            );
+        }
+        Json::obj().set("nodes", nodes).set(
+            "budget",
+            Json::obj()
+                .set("balance", self.budget.balance())
+                .set("spent", self.budget.spent)
+                .set("denied", self.budget.denied),
         )
     }
 }

@@ -203,6 +203,40 @@ impl HashRing {
         self.node_for_hash(ring_hash64(key.as_bytes()))
     }
 
+    /// The first `max` **distinct** member indices met walking the ring
+    /// clockwise from `hash`: element 0 is the owner
+    /// ([`HashRing::node_for_hash`]), element `k` is the k-th fallback.
+    /// Pure in `(membership, hash)` — every client derives the same
+    /// chain — and duplicate-free by construction, so a fallback is
+    /// never the node it falls back *from* and a chain of length
+    /// `members` covers every live member exactly once.
+    pub fn successors_for_hash(&self, hash: u64, max: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::with_capacity(max.min(8));
+        if self.points.is_empty() || max == 0 {
+            return out;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        for i in 0..self.points.len() {
+            let (_, member) = self.points[(start + i) % self.points.len()];
+            let member = member as usize;
+            if !out.contains(&member) {
+                out.push(member);
+                if out.len() == max {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// [`HashRing::successors_for_hash`] for a work key: the failover
+    /// chain `ClusterClient` routes along. `max` caps the chain length
+    /// (owner + fallbacks); the chain is a pure function of
+    /// `(membership, key)`, and attempt `k` reads entry `k`.
+    pub fn fallback_chain(&self, key: &str, max: usize) -> Vec<usize> {
+        self.successors_for_hash(ring_hash64(key.as_bytes()), max)
+    }
+
     /// Number of ring points (members × [`VNODES`]).
     pub fn len(&self) -> usize {
         self.points.len()
@@ -273,6 +307,31 @@ mod tests {
                 c > 1000 && c < 5000,
                 "member {i} owns {c}/10000 keys — ring badly skewed: {counts:?}"
             );
+        }
+    }
+
+    #[test]
+    fn fallback_chain_is_pure_distinct_and_covering() {
+        let m = Membership::parse("n0 /a\nn1 /b\nn2 /c\nn3 /d\nn4 /e\n").unwrap();
+        let ring = HashRing::build(&m);
+        let again = HashRing::build(&m);
+        for i in 0..2_000u64 {
+            let key = format!("key-{i}");
+            let chain = ring.fallback_chain(&key, m.len());
+            // Pure: a rebuilt ring derives the identical chain.
+            assert_eq!(chain, again.fallback_chain(&key, m.len()));
+            // Owner-first.
+            assert_eq!(chain[0], ring.node_for_key(&key));
+            // Distinct: a fallback is never the node it falls back from,
+            // and the full-length chain covers every member.
+            let mut sorted = chain.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), chain.len(), "duplicate in {chain:?}");
+            assert_eq!(chain.len(), m.len(), "full chain covers all members");
+            // Truncation is a prefix, so attempt k is stable under the
+            // chain-length cap.
+            assert_eq!(ring.fallback_chain(&key, 2), chain[..2].to_vec());
         }
     }
 

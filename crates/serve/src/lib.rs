@@ -32,6 +32,8 @@
 //! * [`client`] — the blocking client, with pipelining and busy-retry;
 //! * [`cluster`] — static membership + consistent-hash ring: N nodes,
 //!   each the single home of its work-key range (client-side routing);
+//! * [`resilience`] — per-node circuit breakers, the client-wide retry
+//!   budget, and the hedge policy that make node churn transparent;
 //! * [`signal`] — SIGTERM/SIGINT → drain flag, without libc.
 //!
 //! See README.md (quick start), DESIGN.md §2.9 (architecture and the
@@ -41,12 +43,14 @@ pub mod client;
 pub mod cluster;
 pub mod poller;
 pub mod protocol;
+pub mod resilience;
 pub mod server;
 pub mod service;
 pub mod signal;
 
-pub use client::{Client, ClusterClient};
+pub use client::{Client, ClusterClient, NodeHealth};
 pub use cluster::{HashRing, Member, Membership};
 pub use protocol::{Request, ServeError, PROTOCOL_VERSION};
-pub use server::{Listen, ServerConfig};
+pub use resilience::{Breaker, CircuitState, HedgePolicy, Resilience, RetryBudget};
+pub use server::{Listen, ServerConfig, ServerControl};
 pub use service::Service;

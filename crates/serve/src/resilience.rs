@@ -1,0 +1,506 @@
+//! Client-side resilience primitives: per-node circuit breakers, the
+//! client-wide retry budget, and the hedging policy.
+//!
+//! These three pieces, wired into [`crate::client::ClusterClient`], are
+//! what makes node churn transparent to routed work. Because every work
+//! result is a deterministic pure function of the request (DESIGN.md
+//! §2.9), *any* node can compute *any* key — failover needs no data
+//! migration, only a decision about where to send the next attempt:
+//!
+//! * the **breaker** ([`Breaker`]) is a per-node closed/open/half-open
+//!   state machine. While closed, traffic flows. Enough consecutive
+//!   transport failures open it: an open breaker answers "route around
+//!   me" instantly instead of paying a connect probe on every call.
+//!   After a seeded, jittered delay the breaker goes half-open and
+//!   admits **exactly one** probe; the probe's outcome closes it or
+//!   re-opens it with a doubled delay.
+//! * the **retry budget** ([`RetryBudget`]) is a token bucket shared by
+//!   the whole client. Extra attempts — failover replays while a
+//!   breaker is still closed, hedges — spend a token; every successful
+//!   primary call deposits a fraction of one. When the bucket runs dry
+//!   the client stops amplifying load and fails fast, which is what
+//!   keeps a brown-out from turning into a retry storm. The balance is
+//!   unsigned by construction: it can never go negative.
+//! * the **hedge policy** ([`HedgePolicy`]) decides when a second copy
+//!   of a request may be raced against a slow primary. `Auto` fires
+//!   after the per-kind p95 (seeded from the server telemetry snapshot
+//!   and refined from observed latencies); a fixed millisecond value
+//!   pins the delay for deterministic harnesses. Server-side
+//!   single-flight on `work_key` ([`crate::service::Service`])
+//!   guarantees a hedge can never duplicate expensive compute on one
+//!   node, and cross-node duplicates only warm a second cache.
+//!
+//! Everything timing-related is seeded off `FLO_SEED` through the same
+//! xorshift64* stream the busy-retry jitter uses
+//! ([`crate::client::retry_schedule`]), so a chaos run replays its
+//! probe schedule bit-identically.
+
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker states. See the module docs for the transitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Healthy: traffic flows, consecutive failures are counted.
+    Closed,
+    /// Tripped: all traffic is routed around the node until the probe
+    /// delay elapses.
+    Open,
+    /// One probe is in flight; its outcome decides closed vs re-open.
+    HalfOpen,
+}
+
+impl CircuitState {
+    /// Stable label for telemetry and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CircuitState::Closed => "closed",
+            CircuitState::Open => "open",
+            CircuitState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Base probe-delay ceilings: doubling from 100 ms, capped at 1.6 s —
+/// long enough that a dead node costs almost nothing, short enough that
+/// a restarted node is rediscovered within a couple of seconds.
+pub fn probe_ceilings(steps: u32) -> Vec<Duration> {
+    (0..steps)
+        .map(|i| Duration::from_millis((100u64 << i.min(4)).min(1600)))
+        .collect()
+}
+
+/// The seeded, jittered probe schedule: step `k`'s delay is drawn
+/// uniformly from `[base/2, base]` of [`probe_ceilings`] step `k`, by
+/// the same xorshift64* construction as
+/// [`crate::client::retry_schedule`]. Deterministic: the same
+/// `(steps, seed)` always yields the same delays, so `FLO_SEED` replays
+/// a chaos run's probe timing exactly, while distinct per-node seeds
+/// keep a fleet's probes decorrelated.
+pub fn probe_schedule(steps: u32, seed: u64) -> Vec<Duration> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    probe_ceilings(steps)
+        .iter()
+        .map(|d| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let draw = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let base = d.as_millis() as u64;
+            Duration::from_millis(base / 2 + draw % (base / 2 + 1))
+        })
+        .collect()
+}
+
+/// Per-node circuit breaker. All transitions take an explicit `now` so
+/// tests can drive the clock; the convenience wrappers pass
+/// `Instant::now()`.
+#[derive(Debug)]
+pub struct Breaker {
+    state: CircuitState,
+    /// Consecutive failures while closed.
+    failures: u32,
+    /// Failures that trip the breaker.
+    threshold: u32,
+    /// When the breaker last opened.
+    opened_at: Option<Instant>,
+    /// Current probe delay (from [`probe_schedule`]).
+    wait: Duration,
+    /// Consecutive failed probes — the backoff exponent.
+    probe_step: u32,
+    seed: u64,
+    /// Times the breaker has tripped (telemetry).
+    pub opens: u64,
+    /// Probes admitted while half-open (telemetry).
+    pub probes: u64,
+}
+
+impl Breaker {
+    /// A closed breaker that trips after `threshold` consecutive
+    /// failures, with probe jitter drawn from `seed`.
+    pub fn new(threshold: u32, seed: u64) -> Breaker {
+        Breaker {
+            state: CircuitState::Closed,
+            failures: 0,
+            threshold: threshold.max(1),
+            opened_at: None,
+            wait: Duration::ZERO,
+            probe_step: 0,
+            seed,
+            opens: 0,
+            probes: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CircuitState {
+        self.state
+    }
+
+    /// The delay the current open period waits before probing.
+    pub fn current_wait(&self) -> Duration {
+        self.wait
+    }
+
+    /// May a request flow to this node at `now`? `Closed` always says
+    /// yes. `Open` says yes exactly once per open period — when the
+    /// jittered delay has elapsed, the breaker moves to `HalfOpen` and
+    /// admits that single probe. `HalfOpen` says no: the probe is
+    /// already in flight, and piling more requests onto a node that may
+    /// still be dead is what the breaker exists to prevent.
+    pub fn allow_at(&mut self, now: Instant) -> bool {
+        match self.state {
+            CircuitState::Closed => true,
+            CircuitState::Open => {
+                let due = self
+                    .opened_at
+                    .map(|t| now.duration_since(t) >= self.wait)
+                    .unwrap_or(true);
+                if due {
+                    self.state = CircuitState::HalfOpen;
+                    self.probes += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            CircuitState::HalfOpen => false,
+        }
+    }
+
+    /// [`Breaker::allow_at`] at the wall clock.
+    pub fn allow(&mut self) -> bool {
+        self.allow_at(Instant::now())
+    }
+
+    /// A request to this node succeeded: close and reset the backoff.
+    pub fn on_success(&mut self) {
+        self.state = CircuitState::Closed;
+        self.failures = 0;
+        self.probe_step = 0;
+        self.opened_at = None;
+    }
+
+    /// A request to this node failed at the transport level.
+    pub fn on_failure_at(&mut self, now: Instant) {
+        match self.state {
+            CircuitState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.threshold {
+                    self.trip(now);
+                }
+            }
+            CircuitState::HalfOpen => {
+                // The probe failed: re-open with a deeper backoff step.
+                self.probe_step = (self.probe_step + 1).min(16);
+                self.trip(now);
+            }
+            // A straggling failure report while already open (e.g. a
+            // batch that was in flight when the breaker tripped) keeps
+            // the current open period — restarting the timer on every
+            // report could starve the probe forever.
+            CircuitState::Open => {}
+        }
+    }
+
+    /// [`Breaker::on_failure_at`] at the wall clock.
+    pub fn on_failure(&mut self) {
+        self.on_failure_at(Instant::now())
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = CircuitState::Open;
+        self.opens += 1;
+        self.failures = 0;
+        self.opened_at = Some(now);
+        self.wait = probe_schedule(self.probe_step + 1, self.seed)[self.probe_step as usize];
+    }
+}
+
+/// The client-wide retry budget: a token bucket in milli-tokens so the
+/// per-success deposit can be a fraction of a token without floats.
+/// Extra attempts (failover replays against closed breakers, hedges)
+/// spend one token; each successful primary call deposits
+/// [`RetryBudget::DEPOSIT_M`] milli-tokens. The bucket starts full so a
+/// cold client can still fail over, and the balance is a `u64` checked
+/// before every spend — it cannot go negative.
+#[derive(Debug)]
+pub struct RetryBudget {
+    balance_m: u64,
+    cap_m: u64,
+    /// Tokens spent (telemetry).
+    pub spent: u64,
+    /// Spends denied because the bucket ran dry (telemetry).
+    pub denied: u64,
+}
+
+impl RetryBudget {
+    /// Milli-tokens one extra attempt costs.
+    pub const COST_M: u64 = 1000;
+    /// Milli-tokens one successful primary call deposits (0.1 token —
+    /// the classic "retries may add at most ~10% load" ratio).
+    pub const DEPOSIT_M: u64 = 100;
+
+    /// A full bucket capped at `cap_tokens` tokens. `0` disables extra
+    /// attempts entirely.
+    pub fn new(cap_tokens: u64) -> RetryBudget {
+        let cap_m = cap_tokens.saturating_mul(Self::COST_M);
+        RetryBudget {
+            balance_m: cap_m,
+            cap_m,
+            spent: 0,
+            denied: 0,
+        }
+    }
+
+    /// Deposit the per-success fraction, saturating at the cap.
+    pub fn deposit(&mut self) {
+        self.balance_m = (self.balance_m + Self::DEPOSIT_M).min(self.cap_m);
+    }
+
+    /// Try to spend one token. `false` (and no change) when the balance
+    /// is short — the caller must fail fast instead of retrying.
+    pub fn try_spend(&mut self) -> bool {
+        if self.balance_m >= Self::COST_M {
+            self.balance_m -= Self::COST_M;
+            self.spent += 1;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+
+    /// Current balance in whole tokens (rounded down).
+    pub fn balance(&self) -> u64 {
+        self.balance_m / Self::COST_M
+    }
+}
+
+/// When may a hedge — a second copy of a slow request, raced against
+/// the primary on the next fallback node — be fired?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HedgePolicy {
+    /// Never hedge (the default: hedging is opt-in via `FLO_HEDGE`).
+    Off,
+    /// Hedge after a fixed delay — deterministic harnesses pin this.
+    FixedMs(u64),
+    /// Hedge after the request kind's observed p95, seeded from the
+    /// server telemetry snapshot and refined from client-side samples;
+    /// no hedge until enough samples exist.
+    Auto,
+}
+
+impl HedgePolicy {
+    /// Parse `FLO_HEDGE`: unset/`0`/`off`/`false` → [`HedgePolicy::Off`],
+    /// `auto` → [`HedgePolicy::Auto`], a number → that many ms.
+    pub fn from_env() -> HedgePolicy {
+        match std::env::var("FLO_HEDGE") {
+            Ok(s) => HedgePolicy::parse(&s),
+            Err(_) => HedgePolicy::Off,
+        }
+    }
+
+    /// [`HedgePolicy::from_env`]'s parser, exposed for tests.
+    pub fn parse(s: &str) -> HedgePolicy {
+        let t = s.trim();
+        if t.is_empty()
+            || t.eq_ignore_ascii_case("off")
+            || t.eq_ignore_ascii_case("false")
+            || t == "0"
+        {
+            HedgePolicy::Off
+        } else if t.eq_ignore_ascii_case("auto") || t.eq_ignore_ascii_case("on") {
+            HedgePolicy::Auto
+        } else {
+            t.parse::<u64>()
+                .map(HedgePolicy::FixedMs)
+                .unwrap_or(HedgePolicy::Off)
+        }
+    }
+}
+
+/// The knobs [`crate::client::ClusterClient`] reads, normally from the
+/// environment. README.md documents each variable.
+#[derive(Clone, Copy, Debug)]
+pub struct Resilience {
+    /// Ring-successor fallbacks tried after the owner (`FLO_FALLBACKS`,
+    /// default 2; 0 restores strict single-owner routing and typed
+    /// `node-down` errors).
+    pub fallbacks: usize,
+    /// Retry-budget cap in tokens (`FLO_RETRY_BUDGET`, default 64).
+    pub retry_budget: u64,
+    /// Hedging policy (`FLO_HEDGE`, default off).
+    pub hedge: HedgePolicy,
+    /// TCP connect timeout (`FLO_CONNECT_TIMEOUT_MS`, default 1000).
+    /// Unix-socket connects are refused immediately by a dead path, so
+    /// the bound matters for black-holed TCP nodes.
+    pub connect_timeout: Duration,
+    /// Consecutive transport failures that trip a node's breaker
+    /// (fixed default 2: one blip survives, a repeat routes around).
+    pub breaker_threshold: u32,
+}
+
+impl Default for Resilience {
+    fn default() -> Resilience {
+        Resilience {
+            fallbacks: 2,
+            retry_budget: 64,
+            hedge: HedgePolicy::Off,
+            connect_timeout: Duration::from_millis(1000),
+            breaker_threshold: 2,
+        }
+    }
+}
+
+impl Resilience {
+    /// Read `FLO_FALLBACKS` / `FLO_RETRY_BUDGET` / `FLO_HEDGE` /
+    /// `FLO_CONNECT_TIMEOUT_MS` with the documented defaults.
+    pub fn from_env() -> Resilience {
+        let d = Resilience::default();
+        let env_u64 = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok())
+        };
+        Resilience {
+            fallbacks: env_u64("FLO_FALLBACKS")
+                .map(|v| v as usize)
+                .unwrap_or(d.fallbacks),
+            retry_budget: env_u64("FLO_RETRY_BUDGET").unwrap_or(d.retry_budget),
+            hedge: HedgePolicy::from_env(),
+            connect_timeout: env_u64("FLO_CONNECT_TIMEOUT_MS")
+                .map(Duration::from_millis)
+                .unwrap_or(d.connect_timeout),
+            breaker_threshold: d.breaker_threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_schedule_is_seeded_and_bounded() {
+        let a = probe_schedule(6, 9);
+        let b = probe_schedule(6, 9);
+        assert_eq!(a, b, "same seed, same probe delays");
+        assert_ne!(a, probe_schedule(6, 10), "seeds decorrelate");
+        for (jittered, base) in a.iter().zip(probe_ceilings(6)) {
+            assert!(*jittered >= base / 2 && *jittered <= base);
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_admits_one_probe() {
+        let t0 = Instant::now();
+        let mut b = Breaker::new(2, 7);
+        assert_eq!(b.state(), CircuitState::Closed);
+        b.on_failure_at(t0);
+        assert_eq!(b.state(), CircuitState::Closed, "one blip survives");
+        b.on_failure_at(t0);
+        assert_eq!(b.state(), CircuitState::Open);
+        assert_eq!(b.opens, 1);
+        // Before the delay: no traffic.
+        assert!(!b.allow_at(t0));
+        assert!(!b.allow_at(t0 + b.current_wait() / 2));
+        // After the delay: exactly one probe.
+        let due = t0 + b.current_wait();
+        assert!(b.allow_at(due));
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        for _ in 0..10 {
+            assert!(!b.allow_at(due), "half-open admits exactly one probe");
+        }
+        // Failed probe → deeper backoff; successful probe → closed.
+        let w1 = b.current_wait();
+        b.on_failure_at(due);
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(
+            b.current_wait() > w1,
+            "failed probe deepens the backoff: {:?} vs {w1:?}",
+            b.current_wait()
+        );
+        let due2 = due + b.current_wait();
+        assert!(b.allow_at(due2));
+        b.on_success();
+        assert_eq!(b.state(), CircuitState::Closed);
+        assert!(b.allow_at(due2), "closed flows freely again");
+    }
+
+    #[test]
+    fn breaker_delays_replay_under_a_fixed_seed() {
+        let t0 = Instant::now();
+        let mut a = Breaker::new(1, 42);
+        let mut b = Breaker::new(1, 42);
+        let mut waits_a = Vec::new();
+        let mut waits_b = Vec::new();
+        let mut now = t0;
+        for _ in 0..4 {
+            a.on_failure_at(now);
+            b.on_failure_at(now);
+            waits_a.push(a.current_wait());
+            waits_b.push(b.current_wait());
+            now += a.current_wait();
+            assert!(a.allow_at(now) && b.allow_at(now));
+            a.on_failure_at(now);
+            b.on_failure_at(now);
+        }
+        assert_eq!(waits_a, waits_b, "same seed replays the same schedule");
+    }
+
+    #[test]
+    fn budget_never_goes_negative_and_caps() {
+        let mut b = RetryBudget::new(2);
+        assert_eq!(b.balance(), 2, "starts full");
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "dry bucket denies");
+        assert_eq!(b.balance(), 0);
+        assert_eq!(b.denied, 1);
+        // 10 successes = 1 token.
+        for _ in 0..10 {
+            b.deposit();
+        }
+        assert_eq!(b.balance(), 1);
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        // Deposits saturate at the cap.
+        for _ in 0..1000 {
+            b.deposit();
+        }
+        assert_eq!(b.balance(), 2);
+        // A pseudo-random hammer: the balance is unsigned and checked,
+        // so whatever order spends and deposits arrive in, it stays in
+        // [0, cap].
+        let mut s = 0x5EEDu64;
+        for _ in 0..10_000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            if s.is_multiple_of(3) {
+                b.deposit();
+            } else {
+                let _ = b.try_spend();
+            }
+            assert!(b.balance() <= 2);
+        }
+    }
+
+    #[test]
+    fn zero_budget_disables_extra_attempts() {
+        let mut b = RetryBudget::new(0);
+        assert!(!b.try_spend());
+        b.deposit();
+        assert!(!b.try_spend(), "deposits cannot exceed a zero cap");
+    }
+
+    #[test]
+    fn hedge_policy_parses() {
+        assert_eq!(HedgePolicy::parse(""), HedgePolicy::Off);
+        assert_eq!(HedgePolicy::parse("off"), HedgePolicy::Off);
+        assert_eq!(HedgePolicy::parse("0"), HedgePolicy::Off);
+        assert_eq!(HedgePolicy::parse("auto"), HedgePolicy::Auto);
+        assert_eq!(HedgePolicy::parse("75"), HedgePolicy::FixedMs(75));
+        assert_eq!(HedgePolicy::parse("junk"), HedgePolicy::Off);
+    }
+}

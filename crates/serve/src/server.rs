@@ -49,7 +49,7 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -88,6 +88,90 @@ impl Listen {
     }
 }
 
+/// Per-node lifecycle control for in-process daemons. The chaos harness
+/// and the cluster tests run several nodes inside one process, where the
+/// process-wide [`signal`] flag cannot address an individual node; an
+/// *armed* control gives each node its own kill switches:
+///
+/// * [`ServerControl::request_shutdown`] — graceful drain, like SIGTERM;
+/// * [`ServerControl::halt`] — abrupt crash, like SIGKILL: the event
+///   loop exits without draining, connections are torn down mid-frame,
+///   the Unix socket file is left stale (a restarted node must take the
+///   address over) and no metrics flush happens;
+/// * [`ServerControl::set_stall`] — black hole, like SIGSTOP: the event
+///   loop stops processing readiness; the kernel still accepts and
+///   buffers, so clients see silence, not errors.
+///
+/// The `Default` control is *unarmed* (no flags allocated): the daemon
+/// answers to the process-wide signal flag alone, and every check below
+/// is a null-test.
+#[derive(Clone, Debug, Default)]
+pub struct ServerControl {
+    flags: Option<Arc<ControlFlags>>,
+}
+
+#[derive(Debug, Default)]
+struct ControlFlags {
+    shutdown: AtomicBool,
+    halt: AtomicBool,
+    stall: AtomicBool,
+}
+
+impl ServerControl {
+    /// A control with live flags. Clone it: one copy goes into the
+    /// node's [`ServerConfig`], the driving thread keeps the other.
+    pub fn armed() -> ServerControl {
+        ServerControl {
+            flags: Some(Arc::new(ControlFlags::default())),
+        }
+    }
+
+    /// Whether this control carries flags (armed) or is the production
+    /// default (unarmed).
+    pub fn is_armed(&self) -> bool {
+        self.flags.is_some()
+    }
+
+    /// Request a graceful drain of this node (no-op when unarmed).
+    pub fn request_shutdown(&self) {
+        if let Some(f) = &self.flags {
+            f.shutdown.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Crash this node abruptly (no-op when unarmed).
+    pub fn halt(&self) {
+        if let Some(f) = &self.flags {
+            f.halt.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Start or stop black-holing this node (no-op when unarmed).
+    pub fn set_stall(&self, on: bool) {
+        if let Some(f) = &self.flags {
+            f.stall.store(on, Ordering::SeqCst);
+        }
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.flags
+            .as_ref()
+            .is_some_and(|f| f.shutdown.load(Ordering::SeqCst))
+    }
+
+    fn halted(&self) -> bool {
+        self.flags
+            .as_ref()
+            .is_some_and(|f| f.halt.load(Ordering::SeqCst))
+    }
+
+    fn stalled(&self) -> bool {
+        self.flags
+            .as_ref()
+            .is_some_and(|f| f.stall.load(Ordering::SeqCst))
+    }
+}
+
 /// Server configuration, normally read from the environment.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -121,6 +205,9 @@ pub struct ServerConfig {
     /// (`FLO_TELEMETRY_RING`, default 256; 0 keeps histograms but no
     /// per-request ring).
     pub telemetry_ring: usize,
+    /// Per-node lifecycle control (unarmed by default; the chaos
+    /// harness and in-process cluster tests arm it).
+    pub control: ServerControl,
 }
 
 impl Default for ServerConfig {
@@ -135,6 +222,7 @@ impl Default for ServerConfig {
             node_id: "-".to_string(),
             telemetry: true,
             telemetry_ring: 256,
+            control: ServerControl::default(),
         }
     }
 }
@@ -179,6 +267,7 @@ impl ServerConfig {
                 Err(_) => defaults.telemetry,
             },
             telemetry_ring: env_usize("FLO_TELEMETRY_RING", 0).unwrap_or(defaults.telemetry_ring),
+            control: ServerControl::default(),
         }
     }
 }
@@ -419,8 +508,10 @@ struct CompletionMeta {
     app: String,
     ok: bool,
     error: Option<&'static str>,
-    /// Cache-probe outcome: `warm` (response-bytes hit in the worker) or
-    /// `miss` (executed). Inline hits never reach a worker.
+    /// Cache-probe outcome: `warm` (response-bytes hit in the worker),
+    /// `dedup` (absorbed by single-flight — another worker was already
+    /// computing the same work key) or `miss` (executed). Inline hits
+    /// never reach a worker.
     cache: &'static str,
     queue_depth: usize,
     conn_inflight: usize,
@@ -470,8 +561,8 @@ fn worker_loop(
         let queue_us = job.enqueued.elapsed().as_micros() as u64;
         let started = Instant::now();
         inflight.fetch_add(1, Ordering::SeqCst);
-        let (result, warm) = match job.deadline {
-            Some(d) if Instant::now() > d => (Err(ServeError::DeadlineExceeded), false),
+        let (result, cache) = match job.deadline {
+            Some(d) if Instant::now() > d => (Err(ServeError::DeadlineExceeded), "miss"),
             _ => {
                 let _span = flo_obs::span("serve-request");
                 service.execute_bytes_probed(&job.request)
@@ -502,7 +593,7 @@ fn worker_loop(
                 app: job.request.app().to_string(),
                 ok: result.is_ok(),
                 error: result.as_ref().err().map(ServeError::kind),
-                cache: if warm { "warm" } else { "miss" },
+                cache,
                 queue_depth: job.depth_at_enqueue,
                 conn_inflight: job.conn_inflight,
                 parse_us: job.parse_us,
@@ -669,6 +760,8 @@ struct EventLoop {
     /// so two nodes' fallback streams never collide.
     trace_base: u64,
     trace_seq: u64,
+    /// Per-node lifecycle flags (unarmed outside chaos/tests).
+    control: ServerControl,
 }
 
 impl EventLoop {
@@ -887,7 +980,13 @@ impl EventLoop {
                     Json::obj().set("draining", true),
                 ));
                 conn.read_closed = true;
-                signal::request_shutdown();
+                // An armed control scopes the drain to this node; the
+                // global flag would drain every node in the process.
+                if self.control.is_armed() {
+                    self.control.request_shutdown();
+                } else {
+                    signal::request_shutdown();
+                }
                 self.note_inline(trace, id, "shutdown", true, parse_us, 0);
             }
             request => {
@@ -1201,14 +1300,29 @@ impl EventLoop {
         }
     }
 
-    fn run(&mut self) -> io::Result<()> {
+    /// Returns `Ok(true)` when the node was halted abruptly (crash
+    /// semantics — the caller must skip the graceful teardown),
+    /// `Ok(false)` after a complete drain.
+    fn run(&mut self) -> io::Result<bool> {
         let mut events: Vec<PollEvent> = Vec::new();
         loop {
-            if signal::shutdown_requested() {
+            if self.control.halted() {
+                return Ok(true);
+            }
+            if self.control.stalled() {
+                // Black hole: stop processing readiness entirely. The
+                // kernel keeps accepting and buffering on our behalf —
+                // peers see silence, exactly like a SIGSTOPped process.
+                // Safe to skip the poll: the poller is level-triggered,
+                // so pending readiness re-reports when we resume.
+                thread::sleep(std::time::Duration::from_millis(5));
+                continue;
+            }
+            if signal::shutdown_requested() || self.control.shutdown_requested() {
                 self.start_drain();
             }
             if self.draining && self.live == 0 {
-                return Ok(());
+                return Ok(false);
             }
             // The tick is only the shutdown-signal observation cadence:
             // completions and socket readiness wake the loop themselves.
@@ -1307,8 +1421,23 @@ pub fn run(cfg: &ServerConfig, service: Arc<Service>) -> io::Result<()> {
         trace_seq: 0,
         node_id,
         telemetry,
+        control: cfg.control.clone(),
     };
     let result = event_loop.run();
+    let halted = matches!(result, Ok(true));
+    if halted {
+        // Crash semantics: tear every connection down mid-whatever (the
+        // drop closes the fds — peers see an abrupt EOF/RST), leave the
+        // socket file stale, skip the metrics flush. Workers still get
+        // joined — they are this process's threads, and a wedged
+        // harness would be worse than a slightly-too-graceful crash.
+        event_loop.slots.clear();
+        queue.close();
+        for h in workers {
+            let _ = h.join();
+        }
+        return Ok(());
+    }
     // Every connection is gone, so every accepted job has been answered
     // and flushed; now the queue can close and the workers drain out.
     queue.close();
@@ -1317,7 +1446,7 @@ pub fn run(cfg: &ServerConfig, service: Arc<Service>) -> io::Result<()> {
     }
     event_loop.listener.cleanup();
     write_metrics(&cfg.run_name, &events);
-    result
+    result.map(|_| ())
 }
 
 /// Drain per-request events, harness records and phase spans into

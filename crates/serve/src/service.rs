@@ -26,11 +26,40 @@ use flo_core::TargetLayers;
 use flo_json::Json;
 use flo_sim::{FaultPlan, PolicyKind, SweepPoint};
 use flo_workloads::{by_name, Scale, Workload};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Default service cache budget when `FLO_CACHE_MB` is unset.
 pub const DEFAULT_CACHE_MB: usize = 256;
+
+/// One in-flight computation of a work key: the leader thread computes
+/// and publishes the result; followers block on the condvar and clone
+/// it. Results are `Arc<Vec<u8>>`, so "clone" is a pointer bump — the
+/// followers get the *same bytes* the leader produced, which is what
+/// makes hedges and failover replays free of duplicate compute on a
+/// node.
+#[derive(Default)]
+struct Flight {
+    done: Mutex<Option<Result<Arc<Vec<u8>>, ServeError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn finish(&self, r: Result<Arc<Vec<u8>>, ServeError>) {
+        *self.done.lock().unwrap() = Some(r);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<Vec<u8>>, ServeError> {
+        let mut g = self.done.lock().unwrap();
+        while g.is_none() {
+            g = self.cv.wait(g).unwrap();
+        }
+        g.clone().unwrap()
+    }
+}
 
 /// The shared state behind every request: the run caches promoted from
 /// per-binary locals into service scope, plus a small cache of rendered
@@ -49,6 +78,15 @@ pub struct Service {
     /// reason the other caches are — execution is deterministic, so the
     /// bytes are a pure function of the request.
     responses: ShardedLru<Vec<u8>>,
+    /// Single-flight table: work keys currently being computed. A
+    /// duplicate arriving while the leader runs (a client hedge, a
+    /// failover replay) waits for the leader's bytes instead of burning
+    /// a worker on the same deterministic computation.
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    /// Work computations actually run (cache misses that executed).
+    executions: AtomicU64,
+    /// Duplicates absorbed by the single-flight table.
+    dedups: AtomicU64,
 }
 
 impl Service {
@@ -66,6 +104,9 @@ impl Service {
             // than the default 16 shards would.
             layouts: ShardedLru::bounded_with_shards(budget_bytes / 16, 4),
             responses: ShardedLru::bounded_with_shards(budget_bytes / 16, 4),
+            inflight: Mutex::new(HashMap::new()),
+            executions: AtomicU64::new(0),
+            dedups: AtomicU64::new(0),
         }
     }
 
@@ -121,30 +162,78 @@ impl Service {
         self.execute_bytes_probed(req).0
     }
 
-    /// [`Service::execute_bytes`] that also reports whether the bytes
-    /// came warm from the response cache (`true`) or were computed
-    /// (`false`) — the telemetry layer's cache-probe outcome. Kept as
-    /// the primitive so the probe costs nothing extra: the flag falls
-    /// out of the lookup the execution already does.
-    pub fn execute_bytes_probed(&self, req: &Request) -> (Result<Arc<Vec<u8>>, ServeError>, bool) {
-        let key = Self::response_key(req);
-        if let Some(key) = key {
-            if let Some(hit) = self.responses.get(key) {
-                return (Ok(hit), true);
-            }
-        }
-        let bytes = match self.execute(req) {
-            Ok(json) => Arc::new(json.to_string().into_bytes()),
-            Err(e) => return (Err(e), false),
+    /// [`Service::execute_bytes`] that also reports where the bytes came
+    /// from — the telemetry layer's cache-probe outcome: `"warm"` (the
+    /// response cache had them), `"dedup"` (another thread was already
+    /// computing this work key; we waited for its bytes), or `"miss"`
+    /// (this call executed the work). Kept as the primitive so the probe
+    /// costs nothing extra: the outcome falls out of lookups the
+    /// execution already does.
+    pub fn execute_bytes_probed(
+        &self,
+        req: &Request,
+    ) -> (Result<Arc<Vec<u8>>, ServeError>, &'static str) {
+        let key = match Self::response_key(req) {
+            // Control requests: dynamic, never cached, never deduped.
+            None => return (self.compute_bytes(req, None), "miss"),
+            Some(key) => key,
         };
-        let resident = match key {
+        if let Some(hit) = self.responses.get(key) {
+            return (Ok(hit), "warm");
+        }
+        // Single-flight: exactly one thread computes a given work key at
+        // a time. Join an existing flight as a follower, or become the
+        // leader of a new one.
+        let (flight, leader) = {
+            let mut map = self.inflight.lock().unwrap();
+            match map.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight::default());
+                    map.insert(key, Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if !leader {
+            self.dedups.fetch_add(1, Ordering::Relaxed);
+            return (flight.wait(), "dedup");
+        }
+        let result = self.compute_bytes(req, Some(key));
+        // Retire the flight *before* publishing: compute_bytes already
+        // inserted the bytes into the response cache, so a request
+        // arriving after removal takes the warm path, and one that
+        // joined earlier gets the published result. Either way nobody
+        // recomputes and nobody waits forever.
+        self.inflight.lock().unwrap().remove(&key);
+        flight.finish(result.clone());
+        (result, "miss")
+    }
+
+    /// Execute `req` and (for work requests, `key = Some`) retain the
+    /// serialized bytes in the response cache.
+    fn compute_bytes(&self, req: &Request, key: Option<u64>) -> Result<Arc<Vec<u8>>, ServeError> {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        let bytes = Arc::new(self.execute(req)?.to_string().into_bytes());
+        Ok(match key {
             Some(key) => {
                 let cost = bytes.len();
                 self.responses.insert(key, bytes, cost)
             }
             None => bytes,
-        };
-        (Ok(resident), false)
+        })
+    }
+
+    /// Computations actually executed (as opposed to served warm or
+    /// absorbed by single-flight). The chaos harness and the dedup test
+    /// assert on this.
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate requests absorbed by the single-flight table.
+    pub fn dedups(&self) -> u64 {
+        self.dedups.load(Ordering::Relaxed)
     }
 
     /// The response-cache key for a work request: an `FxHasher` digest
@@ -188,6 +277,7 @@ impl Service {
                 "cache_used_bytes",
                 self.caches.used_bytes() + self.layouts.used_bytes() + self.responses.used_bytes(),
             )
+            .set("singleflight_dedups", self.dedups())
     }
 
     fn workload(&self, app: &str, scale: Scale) -> Result<Workload, ServeError> {
@@ -405,6 +495,38 @@ mod tests {
         let s1 = svc.execute_bytes(&Request::Stats).unwrap();
         let s2 = svc.execute_bytes(&Request::Stats).unwrap();
         assert!(!Arc::ptr_eq(&s1, &s2));
+    }
+
+    #[test]
+    fn concurrent_duplicates_single_flight_to_one_execution() {
+        let svc = Arc::new(Service::with_budget(64 << 20));
+        let req = req_simulate("qio");
+        let n = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        let results: Vec<Vec<u8>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    let svc = Arc::clone(&svc);
+                    let req = req.clone();
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        (*svc.execute_bytes(&req).unwrap()).clone()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "every duplicate sees identical bytes");
+        }
+        assert_eq!(
+            svc.executions(),
+            1,
+            "one leader computes; {} duplicates wait ({} deduped, rest warm)",
+            n - 1,
+            svc.dedups()
+        );
     }
 
     #[test]

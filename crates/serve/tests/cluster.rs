@@ -14,7 +14,10 @@
 
 use flo_core::TargetLayers;
 use flo_serve::protocol::{Request, ServeError};
-use flo_serve::{server, signal, HashRing, Listen, Member, Membership, ServerConfig, Service};
+use flo_serve::resilience::{CircuitState, Resilience};
+use flo_serve::{
+    server, signal, HashRing, Listen, Member, Membership, ServerConfig, ServerControl, Service,
+};
 use flo_sim::PolicyKind;
 use flo_workloads::Scale;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -310,7 +313,17 @@ fn keys_owned_by_a_dead_node_fail_typed_and_the_live_node_keeps_answering() {
     };
     let handles = spawn_nodes(&live);
     wait_up(&live);
-    let mut cc = flo_serve::ClusterClient::with_retries(membership.clone(), 0, 1);
+    // Failover pinned OFF: this test is about the *typed* node-down
+    // contract the fallback layer is built on top of.
+    let mut cc = flo_serve::ClusterClient::with_resilience(
+        membership.clone(),
+        0,
+        1,
+        Resilience {
+            fallbacks: 0,
+            ..Resilience::default()
+        },
+    );
     let batch = work_batch();
     let direct = Service::with_budget(1 << 30);
     let results = cc.call_many(&batch, None, 4);
@@ -340,4 +353,136 @@ fn keys_owned_by_a_dead_node_fail_typed_and_the_live_node_keeps_answering() {
     for h in handles {
         h.join().expect("server thread").expect("graceful drain");
     }
+}
+
+#[test]
+fn dead_node_keys_fail_over_to_the_ring_successor_byte_identically() {
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    signal::reset();
+    // Same crashed-peer setup as the typed-error test above, but with
+    // the fallback chain enabled: the router must now answer *every*
+    // key, including the dead node's, from the ring successor — and the
+    // bytes must be indistinguishable from a healthy cluster's.
+    let membership = membership_of(2);
+    let live = Membership {
+        members: vec![membership.members[0].clone()],
+    };
+    let handles = spawn_nodes(&live);
+    wait_up(&live);
+    let mut cc = flo_serve::ClusterClient::with_resilience(
+        membership.clone(),
+        0,
+        1,
+        Resilience {
+            fallbacks: 1,
+            ..Resilience::default()
+        },
+    );
+    let batch = work_batch();
+    let mut dead_owned = 0usize;
+    for req in &batch {
+        if cc.node_of(req) == Some(1) {
+            dead_owned += 1;
+        }
+    }
+    assert!(dead_owned > 0, "no key routed to the dead node");
+    let direct = Service::with_budget(1 << 30);
+    for (req, result) in batch.iter().zip(cc.call_many(&batch, None, 4)) {
+        let got = result.unwrap_or_else(|e| panic!("{:?} must fail over, got {e}", req.kind()));
+        assert_eq!(
+            got.to_string(),
+            direct.execute(req).expect("direct").to_string(),
+            "failover answer for {:?} diverges from direct",
+            req.kind()
+        );
+    }
+    // Unpipelined path too, now against a tripped breaker (no more
+    // connect-timeout discovery cost — the chain skips the open node).
+    for req in &batch {
+        let got = cc.call(req, None).expect("routed call must fail over");
+        assert_eq!(
+            got.to_string(),
+            direct.execute(req).expect("direct").to_string()
+        );
+    }
+    let dead = cc.node_health(1);
+    assert_eq!(
+        dead.breaker.state(),
+        CircuitState::Open,
+        "repeated transport failures must trip the dead node's breaker"
+    );
+    assert!(dead.failovers > 0, "failovers must be counted");
+    signal::request_shutdown();
+    for h in handles {
+        h.join().expect("server thread").expect("graceful drain");
+    }
+}
+
+#[test]
+fn halt_mid_pipelined_inflight_resolves_every_frame_to_a_typed_error() {
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    signal::reset();
+    // One armed node; the stall flag guarantees the whole pipelined
+    // window is in flight (sent, unanswered) when the halt lands — the
+    // worst case for a client: bytes on the wire, nothing coming back.
+    let membership = membership_of(1);
+    let m = &membership.members[0];
+    let control = ServerControl::armed();
+    let cfg = ServerConfig {
+        listen: m.listen.clone(),
+        workers: 2,
+        queue_capacity: 64,
+        node_id: m.id.clone(),
+        run_name: "flod-cluster-test-halt".into(),
+        control: control.clone(),
+        ..ServerConfig::default()
+    };
+    let service = Arc::new(Service::with_budget(64 << 20));
+    let handle = std::thread::spawn(move || server::run(&cfg, service));
+    wait_up(&membership);
+    // Failover off: a typed error, not a rerouted answer, is the
+    // contract under test here.
+    let mut cc = flo_serve::ClusterClient::with_resilience(
+        membership.clone(),
+        0,
+        1,
+        Resilience {
+            fallbacks: 0,
+            breaker_threshold: 1,
+            ..Resilience::default()
+        },
+    );
+    control.set_stall(true);
+    let halter = {
+        let control = control.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            control.halt();
+        })
+    };
+    let batch = work_batch();
+    let results = cc.call_many(&batch, None, batch.len());
+    halter.join().expect("halter thread");
+    handle
+        .join()
+        .expect("server thread")
+        .expect("halted server");
+    // Every frame must resolve — same count, same order, no hang — and
+    // since the stalled node answered nothing before dying, every one
+    // must be the typed node-down error, never a wrong-slot response.
+    assert_eq!(results.len(), batch.len(), "every in-flight frame resolves");
+    for (req, result) in batch.iter().zip(results) {
+        match result {
+            Err(ServeError::NodeDown(_)) | Err(ServeError::Protocol(_)) => {}
+            other => panic!(
+                "{:?} must resolve to a typed transport error, got {other:?}",
+                req.kind()
+            ),
+        }
+    }
+    assert_eq!(
+        cc.node_health(0).breaker.state(),
+        CircuitState::Open,
+        "the kill must trip the node's breaker"
+    );
 }
