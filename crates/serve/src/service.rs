@@ -18,9 +18,11 @@
 //!   pass's `optimized_fraction` but deliberately omits `compile_ms`.
 
 use crate::protocol::{scale_name, target_name, FaultSpec, Request, ServeError};
+use flo_bench::experiments::figm;
 use flo_bench::harness::{prepare_run, sweep_outcomes, RunOverrides};
 use flo_bench::{
-    run_app_cached, run_app_faulted_cached, topology_for, RunCaches, Scheme, ShardedLru,
+    run_app_cached, run_app_faulted_cached, store_dir_from_env, topology_for, RunCaches, Scheme,
+    ShardedLru,
 };
 use flo_core::TargetLayers;
 use flo_json::Json;
@@ -78,6 +80,11 @@ pub struct Service {
     /// reason the other caches are — execution is deterministic, so the
     /// bytes are a pure function of the request.
     responses: ShardedLru<Vec<u8>>,
+    /// Latest measured store-replay point per (app, policy), rendered:
+    /// the telemetry `store` panel `flotop` shows next to simulated
+    /// predictions. A replaced entry keeps its slot, so the panel stays
+    /// one row per point no matter how often it is re-measured.
+    stores: Mutex<Vec<(String, Json)>>,
     /// Single-flight table: work keys currently being computed. A
     /// duplicate arriving while the leader runs (a client hedge, a
     /// failover replay) waits for the leader's bytes instead of burning
@@ -104,6 +111,7 @@ impl Service {
             // than the default 16 shards would.
             layouts: ShardedLru::bounded_with_shards(budget_bytes / 16, 4),
             responses: ShardedLru::bounded_with_shards(budget_bytes / 16, 4),
+            stores: Mutex::new(Vec::new()),
             inflight: Mutex::new(HashMap::new()),
             executions: AtomicU64::new(0),
             dedups: AtomicU64::new(0),
@@ -142,6 +150,7 @@ impl Service {
                 policy,
                 fault,
             } => self.simulate(app, *scale, *scheme, *policy, *fault),
+            Request::Store { app, scale, policy } => self.store(app, *scale, *policy),
             Request::Sweep {
                 app,
                 scale,
@@ -371,6 +380,48 @@ impl Service {
         }
     }
 
+    /// The `store` work kind: materialize the app's optimized layouts
+    /// as real bytes under `FLO_STORE_DIR` and replay its trace, via
+    /// [`figm::measure_point`] — exactly what the `figm` experiment
+    /// runs per point, so the served verdict and the CI gate agree by
+    /// construction. The result rendering omits wall-clock fields
+    /// (reproducible bytes, like every work kind); as a side effect the
+    /// point is retained for [`Service::store_panel`].
+    fn store(&self, app: &str, scale: Scale, policy: PolicyKind) -> Result<Json, ServeError> {
+        let workload = self.workload(app, scale)?;
+        if !matches!(policy, PolicyKind::LruInclusive | PolicyKind::Karma) {
+            return Err(ServeError::BadRequest(format!(
+                "policy {:?} has no measured replay (use lru|karma)",
+                policy.name()
+            )));
+        }
+        let topo = topology_for(scale);
+        let point = figm::measure_point(&store_dir_from_env(), &workload, &topo, policy)
+            .map_err(|e| ServeError::Internal(e.to_string()))?;
+        let result = point.to_stable_json().set("scale", scale_name(scale));
+        let key = format!("{app}/{}", policy.name());
+        let mut panel = self.stores.lock().unwrap();
+        match panel.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, row)) => *row = result.clone(),
+            None => panel.push((key, result.clone())),
+        }
+        Ok(result)
+    }
+
+    /// The latest measured store-replay point per (app, policy) this
+    /// node has executed, for the telemetry snapshot's `store` panel.
+    /// `None` until a `store` request has actually run (a warm cache
+    /// hit keeps the panel from the original execution).
+    pub fn store_panel(&self) -> Option<Json> {
+        let panel = self.stores.lock().unwrap();
+        if panel.is_empty() {
+            return None;
+        }
+        Some(Json::Arr(
+            panel.iter().map(|(_, row)| row.clone()).collect(),
+        ))
+    }
+
     fn sweep(
         &self,
         app: &str,
@@ -527,6 +578,39 @@ mod tests {
             n - 1,
             svc.dedups()
         );
+    }
+
+    #[test]
+    fn store_requests_measure_agree_and_fill_the_panel() {
+        let svc = Service::with_budget(64 << 20);
+        assert!(svc.store_panel().is_none(), "panel starts empty");
+        let req = Request::Store {
+            app: "qio".into(),
+            scale: Scale::Small,
+            policy: PolicyKind::LruInclusive,
+        };
+        let a = svc.execute(&req).unwrap();
+        assert_eq!(a.get("agree").and_then(Json::as_bool), Some(true));
+        assert!(
+            a.get("replay_wall_ms").is_none() && a.get("wall_ms").is_none(),
+            "served store results must not carry wall-clock fields"
+        );
+        let b = svc.execute(&req).unwrap();
+        assert_eq!(a.to_string(), b.to_string(), "reproducible bytes");
+        let panel = svc.store_panel().unwrap();
+        assert_eq!(
+            panel.as_arr().unwrap().len(),
+            1,
+            "re-measuring replaces the panel row, not appends"
+        );
+
+        // Policies without a measured replay are rejected, typed.
+        let bad = Request::Store {
+            app: "qio".into(),
+            scale: Scale::Small,
+            policy: PolicyKind::MqSecondLevel,
+        };
+        assert!(matches!(svc.execute(&bad), Err(ServeError::BadRequest(_))));
     }
 
     #[test]

@@ -166,6 +166,23 @@ impl FaultPlan {
         }
     }
 
+    /// Whether the transient-error schedule fires for retry `attempt` of
+    /// the disk read served at interleaved request `request`. This is the
+    /// exact draw [`FaultState::disk_cost`] consults — exported so the
+    /// real-bytes store's I/O fault injector fails its pread calls on the
+    /// *same* schedule and the measured retry tallies can be asserted
+    /// equal to the simulated ones.
+    #[inline]
+    pub fn transient_fires(&self, request: u64, attempt: u32) -> bool {
+        chance(
+            self.seed,
+            STREAM_TRANSIENT,
+            request,
+            u64::from(attempt),
+            self.transient_per_mille,
+        )
+    }
+
     /// Whether this plan can ever inject a fault.
     pub fn is_quiet(&self) -> bool {
         self.outage_per_mille == 0
@@ -435,13 +452,7 @@ impl FaultHook for FaultState {
             let req = self.seq.wrapping_sub(1);
             let mut wait = self.plan.retry.base_timeout_ms;
             for attempt in 0..self.plan.retry.max_retries {
-                if !chance(
-                    self.plan.seed,
-                    STREAM_TRANSIENT,
-                    req,
-                    u64::from(attempt),
-                    self.plan.transient_per_mille,
-                ) {
+                if !self.plan.transient_fires(req, attempt) {
                     break;
                 }
                 total += wait;

@@ -1,0 +1,315 @@
+//! The block cache: real buffers behind the simulator's own index.
+//!
+//! [`BlockCache`] pairs a [`SetAssocCache`] — the exact residency,
+//! recency and hit/miss machinery the simulator runs — with a map of
+//! real data buffers, one per resident block. Every lookup and insert
+//! goes through the shared index, so the measured hit/miss/eviction
+//! stream is *bit-identical* to the simulated one on the same trace:
+//! that is what lets `figm` assert simulated-vs-measured agreement
+//! instead of merely eyeballing it. (The set-associative index is the
+//! sharded-LRU structure: `capacity/ways` independent LRU lists.)
+//!
+//! The cache is write-back: [`fill`](BlockCache::fill)ed or
+//! [`mark_dirty`](BlockCache::mark_dirty)ed buffers age in memory until
+//! eviction or an explicit [`drain_dirty`](BlockCache::drain_dirty).
+//! The cache itself never touches the disk — evictions hand the victim
+//! buffer (with its dirty bit) back to the caller, which owns the flush
+//! discipline (data before superblock; see `materialize`).
+
+use flo_sim::cache::{CacheStats, SetAssocCache};
+use flo_sim::BlockAddr;
+use std::collections::HashMap;
+
+/// One resident block's real bytes plus its write-back state.
+#[derive(Clone, Debug)]
+struct Buffer {
+    data: Vec<u8>,
+    dirty: bool,
+}
+
+/// A block evicted from the cache: the caller must write it back iff
+/// `dirty` is set.
+#[derive(Clone, Debug)]
+pub struct Eviction {
+    /// Which block was evicted.
+    pub block: BlockAddr,
+    /// The evicted buffer.
+    pub data: Vec<u8>,
+    /// Whether the buffer holds unwritten modifications.
+    pub dirty: bool,
+}
+
+/// Counters the cache keeps beyond the index's hit/miss stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Blocks evicted to make room.
+    pub evictions: u64,
+    /// Dirty buffers handed back for write-back (evictions + drains).
+    pub writebacks: u64,
+    /// Most dirty buffers ever resident at once.
+    pub dirty_high_water: u64,
+}
+
+/// A fixed-capacity write-back block cache over real buffers.
+#[derive(Clone, Debug)]
+pub struct BlockCache {
+    index: SetAssocCache,
+    buffers: HashMap<BlockAddr, Buffer>,
+    dirty: u64,
+    counters: CacheCounters,
+}
+
+impl BlockCache {
+    /// A cache of `capacity` blocks with `ways`-way sharded LRU sets —
+    /// the same geometry rule the simulator's caches use.
+    pub fn new(capacity: usize, ways: usize) -> BlockCache {
+        let index = SetAssocCache::new(capacity, ways);
+        let cap = index.capacity();
+        BlockCache {
+            index,
+            buffers: HashMap::with_capacity(cap + 1),
+            dirty: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Capacity in blocks (after geometry rounding).
+    pub fn capacity(&self) -> usize {
+        self.index.capacity()
+    }
+
+    /// Resident block count.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Currently dirty buffer count.
+    pub fn dirty_count(&self) -> u64 {
+        self.dirty
+    }
+
+    /// Weighted lookup, identical accounting to the simulator's caches:
+    /// all `weight` element accesses hit when resident; on a miss the
+    /// first is the miss and the rest are buffered hits. Promotes to MRU
+    /// on hit. Returns `true` when resident.
+    pub fn access(&mut self, block: BlockAddr, weight: u32) -> bool {
+        let hit = self.index.access_weighted(block, weight);
+        debug_assert_eq!(hit, self.buffers.contains_key(&block), "index/buffer split");
+        hit
+    }
+
+    /// Borrow a resident block's bytes (no recency or stats effect).
+    pub fn peek(&self, block: BlockAddr) -> Option<&[u8]> {
+        self.buffers.get(&block).map(|b| b.data.as_slice())
+    }
+
+    /// Install `data` for a block that just missed (or overwrite a
+    /// resident block's buffer). Returns the victim the caller must
+    /// handle — write it back iff `Eviction::dirty`.
+    pub fn fill(&mut self, block: BlockAddr, data: Vec<u8>, dirty: bool) -> Option<Eviction> {
+        let evicted = if self.buffers.contains_key(&block) {
+            // Overwrite in place: promote, replace bytes, update dirty.
+            self.index.insert(block);
+            let buf = self.buffers.get_mut(&block).expect("resident");
+            match (buf.dirty, dirty) {
+                (false, true) => self.dirty += 1,
+                (true, false) => self.dirty -= 1,
+                _ => {}
+            }
+            buf.data = data;
+            buf.dirty = dirty;
+            None
+        } else {
+            let victim = self.index.insert(block);
+            if dirty {
+                self.dirty += 1;
+            }
+            self.buffers.insert(block, Buffer { data, dirty });
+            victim.map(|v| {
+                self.counters.evictions += 1;
+                let buf = self.buffers.remove(&v).expect("victim had a buffer");
+                if buf.dirty {
+                    self.dirty -= 1;
+                    self.counters.writebacks += 1;
+                }
+                Eviction {
+                    block: v,
+                    data: buf.data,
+                    dirty: buf.dirty,
+                }
+            })
+        };
+        self.counters.dirty_high_water = self.counters.dirty_high_water.max(self.dirty);
+        evicted
+    }
+
+    /// Mark a resident block dirty (a write hit). Returns whether the
+    /// block was resident.
+    pub fn mark_dirty(&mut self, block: BlockAddr) -> bool {
+        match self.buffers.get_mut(&block) {
+            Some(buf) => {
+                if !buf.dirty {
+                    buf.dirty = true;
+                    self.dirty += 1;
+                    self.counters.dirty_high_water = self.counters.dirty_high_water.max(self.dirty);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Hand back every dirty buffer (cloned; blocks stay resident and
+    /// become clean). Sorted by block address so the flush order — and
+    /// therefore the on-disk write pattern — is deterministic.
+    pub fn drain_dirty(&mut self) -> Vec<(BlockAddr, Vec<u8>)> {
+        let mut out: Vec<(BlockAddr, Vec<u8>)> = self
+            .buffers
+            .iter_mut()
+            .filter(|(_, b)| b.dirty)
+            .map(|(blk, b)| {
+                b.dirty = false;
+                (*blk, b.data.clone())
+            })
+            .collect();
+        out.sort_by_key(|(blk, _)| *blk);
+        self.counters.writebacks += out.len() as u64;
+        self.dirty = 0;
+        out
+    }
+
+    /// Drop every resident buffer, keeping counters — the real-bytes
+    /// analogue of the simulator's `invalidate_all` fault event. Dirty
+    /// buffers are *lost*, so callers flush first; returns how many
+    /// dirty buffers were discarded (tests assert 0 on clean paths).
+    pub fn invalidate_all(&mut self) -> u64 {
+        self.index.invalidate_all();
+        let lost = self.dirty;
+        self.buffers.clear();
+        self.dirty = 0;
+        lost
+    }
+
+    /// The index's hit/miss counters — directly comparable with the
+    /// simulator's per-layer [`CacheStats`].
+    pub fn stats(&self) -> CacheStats {
+        self.index.stats()
+    }
+
+    /// Eviction/write-back/dirty counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::new(0, i)
+    }
+
+    fn bytes(i: u64) -> Vec<u8> {
+        vec![i as u8; 16]
+    }
+
+    #[test]
+    fn hit_rate_matches_bare_index_on_same_trace() {
+        // The whole point: a BlockCache and a bare SetAssocCache driven
+        // by the same access/insert sequence produce identical stats.
+        let mut cache = BlockCache::new(8, 2);
+        let mut index = SetAssocCache::new(8, 2);
+        let mut x: u64 = 7;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let blk = b(x % 24);
+            let hc = cache.access(blk, 3);
+            let hi = index.access_weighted(blk, 3);
+            assert_eq!(hc, hi);
+            if !hc {
+                cache.fill(blk, bytes(blk.index), false);
+                index.insert(blk);
+            }
+        }
+        assert_eq!(cache.stats(), index.stats());
+        assert_eq!(cache.len(), index.len());
+    }
+
+    #[test]
+    fn eviction_returns_victim_buffer() {
+        // 1-set cache of 2 ways: third insert evicts the LRU victim.
+        let mut c = BlockCache::new(2, 2);
+        c.fill(b(0), bytes(0), false);
+        c.fill(b(8), bytes(8), true);
+        let ev = c
+            .fill(b(16), bytes(16), false)
+            .expect("full set must evict");
+        assert_eq!(ev.block, b(0));
+        assert_eq!(ev.data, bytes(0));
+        assert!(!ev.dirty);
+        assert_eq!(c.counters().evictions, 1);
+        assert_eq!(c.counters().writebacks, 0, "clean victim: no write-back");
+        // Next eviction takes the dirty block.
+        let ev = c.fill(b(24), bytes(24), false).expect("evicts again");
+        assert_eq!(ev.block, b(8));
+        assert!(ev.dirty);
+        assert_eq!(c.counters().writebacks, 1);
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn dirty_tracking_and_high_water() {
+        let mut c = BlockCache::new(8, 2);
+        c.fill(b(0), bytes(0), true);
+        c.fill(b(1), bytes(1), true);
+        c.fill(b(2), bytes(2), false);
+        assert!(c.mark_dirty(b(2)));
+        assert!(!c.mark_dirty(b(99)), "absent block cannot be dirtied");
+        assert_eq!(c.dirty_count(), 3);
+        assert_eq!(c.counters().dirty_high_water, 3);
+        let drained = c.drain_dirty();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(c.dirty_count(), 0);
+        assert_eq!(c.counters().writebacks, 3);
+        // Drained blocks stay resident and clean.
+        assert!(c.access(b(0), 1));
+        assert_eq!(c.counters().dirty_high_water, 3, "high water persists");
+        // Drain order is deterministic (sorted by address).
+        let blocks: Vec<_> = drained.iter().map(|(blk, _)| *blk).collect();
+        assert_eq!(blocks, vec![b(0), b(1), b(2)]);
+    }
+
+    #[test]
+    fn overwrite_in_place_updates_dirty_state() {
+        let mut c = BlockCache::new(4, 4);
+        c.fill(b(1), bytes(1), true);
+        assert_eq!(c.dirty_count(), 1);
+        assert!(c.fill(b(1), bytes(2), false).is_none(), "no self-eviction");
+        assert_eq!(c.dirty_count(), 0);
+        assert_eq!(c.peek(b(1)), Some(&bytes(2)[..]));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_reports_lost_dirty_buffers() {
+        let mut c = BlockCache::new(4, 4);
+        c.fill(b(0), bytes(0), true);
+        c.fill(b(1), bytes(1), false);
+        assert_eq!(c.invalidate_all(), 1, "one dirty buffer lost");
+        assert!(c.is_empty());
+        assert_eq!(c.dirty_count(), 0);
+        // Stats survive invalidation, like the simulator's caches.
+        assert_eq!(c.stats().accesses, 0);
+        c.fill(b(0), bytes(0), false);
+        assert!(c.access(b(0), 1));
+        assert_eq!(c.stats().hits, 1);
+    }
+}

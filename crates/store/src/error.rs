@@ -1,0 +1,147 @@
+//! The typed error spine of the store.
+//!
+//! Everything that can go wrong with real bytes — I/O failures, corrupt
+//! or truncated on-disk structures, version skew, configuration mistakes
+//! — surfaces as a [`StoreError`] value. The store never panics on bad
+//! input or bad disk state: the format-fuzz suite feeds it truncated
+//! superblocks, bit-flipped block maps and version-skewed stripe headers
+//! and asserts a typed error comes back every time.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything the store can reject.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O error, with the path it occurred on.
+    Io {
+        /// What the store was doing.
+        op: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// An on-disk structure is shorter than its format requires.
+    Truncated {
+        /// Which structure.
+        what: &'static str,
+        /// The file involved.
+        path: PathBuf,
+        /// Bytes needed.
+        need: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// An on-disk structure fails a magic/checksum/tag check.
+    Corrupt {
+        /// Which structure, and how it is corrupt.
+        why: String,
+        /// The file involved.
+        path: PathBuf,
+    },
+    /// The on-disk format version is not the one this build speaks.
+    VersionSkew {
+        /// Which structure.
+        what: &'static str,
+        /// Version found on disk.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// The sealed superblock does not match the requested layout/topology.
+    Mismatch(String),
+    /// A configuration or argument error (bad capacities, unsupported
+    /// policy, missing store directory).
+    Invalid(String),
+    /// The injected kill switch fired mid-materialization (crash tests).
+    Crashed(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, path, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            StoreError::Truncated {
+                what,
+                path,
+                need,
+                got,
+            } => write!(
+                f,
+                "truncated {what} in {}: need {need} bytes, got {got}",
+                path.display()
+            ),
+            StoreError::Corrupt { why, path } => {
+                write!(f, "corrupt store file {}: {why}", path.display())
+            }
+            StoreError::VersionSkew {
+                what,
+                found,
+                expected,
+            } => write!(f, "{what} version {found}, this build speaks {expected}"),
+            StoreError::Mismatch(why) => write!(f, "store mismatch: {why}"),
+            StoreError::Invalid(why) => write!(f, "invalid store request: {why}"),
+            StoreError::Crashed(point) => write!(f, "writer killed at crash point {point}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl StoreError {
+    /// Wrap an I/O error with its operation and path.
+    pub fn io(op: &'static str, path: &std::path::Path, source: std::io::Error) -> StoreError {
+        StoreError::Io {
+            op,
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    /// Whether this error indicates on-disk damage (as opposed to plain
+    /// I/O failure or caller mistakes) — what recovery should treat as
+    /// "this generation is unusable".
+    pub fn is_damage(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Truncated { .. }
+                | StoreError::Corrupt { .. }
+                | StoreError::VersionSkew { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn display_carries_context() {
+        let e = StoreError::io(
+            "read superblock",
+            Path::new("/tmp/s"),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("read superblock"));
+        assert!(e.to_string().contains("/tmp/s"));
+        let e = StoreError::VersionSkew {
+            what: "superblock",
+            found: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        assert!(e.is_damage());
+        assert!(!StoreError::Invalid("x".into()).is_damage());
+    }
+}

@@ -1,0 +1,413 @@
+//! The materializer: turn a layout's block map into real stripe files.
+//!
+//! Materialization writes a fresh *generation*: brand-new stripe files
+//! (`node<k>.g<gen>.stripe`) filled with every block's deterministic
+//! content, then — only after every stripe is written **and** fsync'd —
+//! an atomically renamed superblock naming the new generation. The old
+//! generation's stripe files are never touched, so a writer killed at
+//! any point leaves the previously sealed generation fully readable:
+//! the crash-consistency suite drives the [`CrashPoint`] kill switch
+//! through every stage and asserts old-complete-or-new, never torn.
+//!
+//! Flush ordering invariant (DESIGN §2.13): **data before superblock.**
+//! 1. write stripe headers + all block slots (through the write-back
+//!    [`BlockCache`], which batches and re-orders the physical writes);
+//! 2. `sync_all` every stripe file;
+//! 3. write `superblock.tmp`, `sync_all` it;
+//! 4. rename over `superblock`, fsync the directory.
+//!
+//! A superblock therefore never names a generation whose data could
+//! still be sitting in a volatile page cache.
+
+use crate::cache::{BlockCache, CacheCounters};
+use crate::error::StoreError;
+use crate::format::{
+    self, block_fill, encode_slot, encode_stripe_header, slot_len, StoreSpec, STRIPE_HEADER_LEN,
+};
+use flo_sim::BlockAddr;
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+/// Where the injected kill switch fires during materialization — the
+/// crash-consistency tests' analogue of `kill -9` at each stage of the
+/// flush discipline. The writer returns [`StoreError::Crashed`] with
+/// buffers deliberately left unflushed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Run to completion.
+    #[default]
+    None,
+    /// Die midway through writing block slots: new stripes torn, nothing
+    /// synced.
+    AfterStripeWrite,
+    /// Die after the stripes are written and fsync'd but before any
+    /// superblock byte is written.
+    AfterDataSync,
+    /// Die after `superblock.tmp` is written and synced but before the
+    /// rename that seals the generation.
+    AfterSuperblockTmp,
+}
+
+/// Materialization knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct MaterializeOptions {
+    /// Write-back cache capacity in blocks.
+    pub cache_blocks: usize,
+    /// Cache associativity (sharding), same geometry rule as the sim.
+    pub cache_ways: usize,
+    /// `true` (default): write-back — blocks age dirty in the cache and
+    /// reach the stripe on eviction or the final drain. `false`:
+    /// write-through — every block is written as it is produced
+    /// (`FLO_STORE_WRITEBACK=0`). The sealed bytes are identical.
+    pub writeback: bool,
+    /// Injected kill switch for crash-consistency tests.
+    pub crash: CrashPoint,
+}
+
+impl Default for MaterializeOptions {
+    fn default() -> MaterializeOptions {
+        MaterializeOptions {
+            cache_blocks: 256,
+            cache_ways: 8,
+            writeback: true,
+            crash: CrashPoint::None,
+        }
+    }
+}
+
+/// What a completed materialization did.
+#[derive(Clone, Debug)]
+pub struct MaterializeReport {
+    /// The generation just sealed.
+    pub generation: u64,
+    /// Block slots written (= the spec's total block count).
+    pub blocks_written: u64,
+    /// Bytes written to stripe files (headers + slots).
+    pub bytes_written: u64,
+    /// Stripe files created.
+    pub stripe_files: usize,
+    /// Write-back cache counters (evictions, writebacks, dirty
+    /// high-water) from pushing every block through the cache.
+    pub cache: CacheCounters,
+}
+
+/// Slot destinations of every block: stripe file index + byte offset.
+struct SlotMap {
+    of: HashMap<BlockAddr, (usize, u64)>,
+}
+
+impl SlotMap {
+    fn build(spec: &StoreSpec) -> (SlotMap, Vec<Vec<BlockAddr>>) {
+        let mut of = HashMap::new();
+        let mut per_node = Vec::with_capacity(spec.storage_nodes as usize);
+        for node in 0..spec.storage_nodes as usize {
+            let slots = spec.slots_for_node(node);
+            for (i, &b) in slots.iter().enumerate() {
+                let offset = STRIPE_HEADER_LEN as u64 + i as u64 * slot_len(spec.block_bytes);
+                of.insert(b, (node, offset));
+            }
+            per_node.push(slots);
+        }
+        (SlotMap { of }, per_node)
+    }
+}
+
+/// The sealed generation currently named by `dir`'s superblock, if a
+/// readable one exists. Damage in the superblock is reported; a missing
+/// superblock is `Ok(None)` (an empty store).
+pub fn sealed_generation(dir: &Path) -> Result<Option<(u64, StoreSpec)>, StoreError> {
+    let path = dir.join(format::superblock_name());
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::io("read superblock", &path, e)),
+    };
+    format::decode_superblock(&bytes, &path).map(Some)
+}
+
+/// The next unused generation number in `dir`: one past both the sealed
+/// generation (when the superblock is readable) and any stray stripe
+/// files a crashed writer left behind.
+fn next_generation(dir: &Path) -> u64 {
+    let mut max = 0u64;
+    if let Ok(Some((g, _))) = sealed_generation(dir) {
+        max = max.max(g);
+    }
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            // node<k>.g<gen>.stripe
+            if let Some(rest) = name
+                .strip_suffix(".stripe")
+                .and_then(|s| s.split(".g").nth(1))
+            {
+                if let Ok(g) = rest.parse::<u64>() {
+                    max = max.max(g);
+                }
+            }
+        }
+    }
+    max + 1
+}
+
+fn pwrite(file: &File, path: &Path, buf: &[u8], offset: u64) -> Result<(), StoreError> {
+    file.write_all_at(buf, offset)
+        .map_err(|e| StoreError::io("write stripe slot", path, e))
+}
+
+/// Materialize one new generation of `spec` under `dir` and seal it.
+/// Returns the report on success; on a [`CrashPoint`] kill the partial
+/// generation's files are left exactly as a real crash would.
+pub fn materialize(
+    dir: &Path,
+    spec: &StoreSpec,
+    opts: &MaterializeOptions,
+) -> Result<MaterializeReport, StoreError> {
+    spec.validate()?;
+    if opts.cache_blocks == 0 {
+        return Err(StoreError::Invalid("cache_blocks must be positive".into()));
+    }
+    fs::create_dir_all(dir).map_err(|e| StoreError::io("create store dir", dir, e))?;
+    let generation = next_generation(dir);
+    let (slot_map, per_node) = SlotMap::build(spec);
+
+    // Create every stripe file and write its header.
+    let mut files: Vec<(File, PathBuf)> = Vec::with_capacity(per_node.len());
+    let mut bytes_written = 0u64;
+    for (node, slots) in per_node.iter().enumerate() {
+        let path = dir.join(format::stripe_name(node, generation));
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| StoreError::io("create stripe", &path, e))?;
+        let header = encode_stripe_header(node as u32, generation, spec, slots.len() as u64);
+        pwrite(&file, &path, &header, 0)?;
+        bytes_written += header.len() as u64;
+        files.push((file, path));
+    }
+
+    // Push every block through the write-back cache; physical slot
+    // writes happen on dirty eviction and at the final drain (or
+    // immediately, in write-through mode).
+    let mut cache = BlockCache::new(opts.cache_blocks, opts.cache_ways);
+    let total = spec.total_blocks();
+    let crash_at = total / 2; // AfterStripeWrite dies midway, torn
+    let mut written = 0u64;
+    let flush = |block: BlockAddr, data: &[u8], bytes: &mut u64| -> Result<(), StoreError> {
+        let (node, offset) = slot_map.of[&block];
+        let slot = encode_slot(block, data);
+        pwrite(&files[node].0, &files[node].1, &slot, offset)?;
+        *bytes += slot.len() as u64;
+        Ok(())
+    };
+    'produce: for slots in &per_node {
+        for &block in slots {
+            if opts.crash == CrashPoint::AfterStripeWrite && written >= crash_at {
+                return Err(StoreError::Crashed("after-stripe-write"));
+            }
+            let data = block_fill(spec.layout_hash, block, spec.block_bytes);
+            if opts.writeback {
+                if let Some(ev) = cache.fill(block, data, true) {
+                    debug_assert!(ev.dirty, "materializer buffers are all dirty");
+                    flush(ev.block, &ev.data, &mut bytes_written)?;
+                }
+            } else {
+                flush(block, &data, &mut bytes_written)?;
+                cache.fill(block, data, false);
+            }
+            written += 1;
+            if written == total {
+                break 'produce;
+            }
+        }
+    }
+    for (block, data) in cache.drain_dirty() {
+        flush(block, &data, &mut bytes_written)?;
+    }
+
+    // Data flush: every stripe durable before any superblock byte.
+    for (file, path) in &files {
+        file.sync_all()
+            .map_err(|e| StoreError::io("sync stripe", path, e))?;
+    }
+    if opts.crash == CrashPoint::AfterDataSync {
+        return Err(StoreError::Crashed("after-data-sync"));
+    }
+
+    // Seal: tmp superblock, sync, rename, directory fsync.
+    let tmp = dir.join("superblock.tmp");
+    let sb = dir.join(format::superblock_name());
+    {
+        let mut f =
+            File::create(&tmp).map_err(|e| StoreError::io("create superblock.tmp", &tmp, e))?;
+        f.write_all(&format::encode_superblock(generation, spec))
+            .map_err(|e| StoreError::io("write superblock.tmp", &tmp, e))?;
+        f.sync_all()
+            .map_err(|e| StoreError::io("sync superblock.tmp", &tmp, e))?;
+    }
+    if opts.crash == CrashPoint::AfterSuperblockTmp {
+        return Err(StoreError::Crashed("after-superblock-tmp"));
+    }
+    fs::rename(&tmp, &sb).map_err(|e| StoreError::io("rename superblock", &sb, e))?;
+    if let Ok(d) = File::open(dir) {
+        // Directory fsync makes the rename itself durable; best-effort on
+        // filesystems that reject directory handles.
+        let _ = d.sync_all();
+    }
+
+    // The new generation is sealed; stale stripe files of older
+    // generations are dead weight and can go (best-effort).
+    prune_below(dir, generation);
+
+    Ok(MaterializeReport {
+        generation,
+        blocks_written: written,
+        bytes_written,
+        stripe_files: files.len(),
+        cache: cache.counters(),
+    })
+}
+
+/// Remove stripe files of generations older than `keep` (best-effort;
+/// called only after a newer generation is sealed).
+pub fn prune_below(dir: &Path, keep: u64) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(rest) = name
+            .strip_suffix(".stripe")
+            .and_then(|s| s.split(".g").nth(1))
+        {
+            if rest.parse::<u64>().is_ok_and(|g| g < keep) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FileBlocks;
+
+    fn spec() -> StoreSpec {
+        StoreSpec {
+            layout_hash: 0x1234_5678,
+            block_bytes: 64,
+            storage_nodes: 2,
+            files: vec![
+                FileBlocks {
+                    file: 0,
+                    blocks: 20,
+                },
+                FileBlocks {
+                    file: 1,
+                    blocks: 13,
+                },
+            ],
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("flo-store-mat-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn materialize_seals_a_readable_generation() {
+        let dir = tmpdir("seal");
+        let r = materialize(&dir, &spec(), &MaterializeOptions::default()).unwrap();
+        assert_eq!(r.generation, 1);
+        assert_eq!(r.blocks_written, 33);
+        assert_eq!(r.stripe_files, 2);
+        assert!(r.cache.writebacks > 0, "write-back path must be exercised");
+        let (gen, s) = sealed_generation(&dir).unwrap().expect("sealed");
+        assert_eq!(gen, 1);
+        assert_eq!(s, spec());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writeback_and_writethrough_seal_identical_bytes() {
+        let dir_a = tmpdir("wb");
+        let dir_b = tmpdir("wt");
+        let wb = MaterializeOptions {
+            cache_blocks: 8, // tiny: forces dirty evictions mid-run
+            ..MaterializeOptions::default()
+        };
+        let wt = MaterializeOptions {
+            writeback: false,
+            ..MaterializeOptions::default()
+        };
+        let ra = materialize(&dir_a, &spec(), &wb).unwrap();
+        let rb = materialize(&dir_b, &spec(), &wt).unwrap();
+        assert!(ra.cache.evictions > 0, "tiny cache must evict");
+        assert_eq!(rb.cache.writebacks, 0, "write-through never write-backs");
+        for node in 0..2 {
+            let name = format::stripe_name(node, 1);
+            let a = fs::read(dir_a.join(&name)).unwrap();
+            let b = fs::read(dir_b.join(&name)).unwrap();
+            assert_eq!(a, b, "stripe {name} differs between modes");
+        }
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn rematerialize_bumps_generation_and_prunes() {
+        let dir = tmpdir("regen");
+        materialize(&dir, &spec(), &MaterializeOptions::default()).unwrap();
+        let mut s2 = spec();
+        s2.layout_hash = 0x9999;
+        let r = materialize(&dir, &s2, &MaterializeOptions::default()).unwrap();
+        assert_eq!(r.generation, 2);
+        let (gen, s) = sealed_generation(&dir).unwrap().expect("sealed");
+        assert_eq!(gen, 2);
+        assert_eq!(s.layout_hash, 0x9999);
+        assert!(
+            !dir.join(format::stripe_name(0, 1)).exists(),
+            "old generation pruned after seal"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_before_seal_preserves_old_generation() {
+        let dir = tmpdir("crash");
+        materialize(&dir, &spec(), &MaterializeOptions::default()).unwrap();
+        for crash in [
+            CrashPoint::AfterStripeWrite,
+            CrashPoint::AfterDataSync,
+            CrashPoint::AfterSuperblockTmp,
+        ] {
+            let mut s2 = spec();
+            s2.layout_hash = 0xDEAD;
+            let opts = MaterializeOptions {
+                crash,
+                ..MaterializeOptions::default()
+            };
+            match materialize(&dir, &s2, &opts) {
+                Err(StoreError::Crashed(_)) => {}
+                other => panic!("expected crash, got {other:?}"),
+            }
+            let (gen, s) = sealed_generation(&dir).unwrap().expect("old seal intact");
+            assert_eq!(gen, 1, "crash at {crash:?} must not advance the seal");
+            assert_eq!(s.layout_hash, spec().layout_hash);
+        }
+        // Recovery: a post-crash materialization picks an unused
+        // generation (stray stripes notwithstanding) and seals cleanly.
+        let r = materialize(&dir, &spec(), &MaterializeOptions::default()).unwrap();
+        assert!(r.generation > 1);
+        assert_eq!(sealed_generation(&dir).unwrap().unwrap().0, r.generation);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,286 @@
+//! The read path: open a sealed generation and serve verified preads.
+
+use crate::error::StoreError;
+use crate::format::{
+    self, block_fill, decode_slot, decode_stripe_header, slot_len, StoreSpec, STRIPE_HEADER_LEN,
+};
+use crate::materialize::sealed_generation;
+use flo_sim::BlockAddr;
+use std::collections::HashMap;
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+struct Stripe {
+    file: File,
+    path: PathBuf,
+}
+
+/// A sealed store generation opened for reading. Every block read is a
+/// real `pread` against the stripe file, verified against the slot's
+/// tag and checksum before the bytes are returned.
+pub struct Store {
+    generation: u64,
+    spec: StoreSpec,
+    stripes: Vec<Stripe>,
+    slots: HashMap<BlockAddr, (usize, u64)>,
+}
+
+impl Store {
+    /// Open the generation sealed by `dir`'s superblock, verifying every
+    /// stripe header and stripe length against the block map before any
+    /// read is served. Short-written stripes surface as
+    /// [`StoreError::Truncated`], stale or foreign ones as
+    /// [`StoreError::Mismatch`].
+    pub fn open(dir: &Path) -> Result<Store, StoreError> {
+        let (generation, spec) = sealed_generation(dir)?.ok_or_else(|| {
+            StoreError::Invalid(format!("no sealed superblock in {}", dir.display()))
+        })?;
+        let mut stripes = Vec::with_capacity(spec.storage_nodes as usize);
+        let mut slots = HashMap::new();
+        for node in 0..spec.storage_nodes as usize {
+            let path = dir.join(format::stripe_name(node, generation));
+            let file = File::open(&path).map_err(|e| StoreError::io("open stripe", &path, e))?;
+            let mut header = vec![0u8; STRIPE_HEADER_LEN];
+            read_exact_at(&file, &path, "stripe header", &mut header, 0)?;
+            let h = decode_stripe_header(&header, &path)?;
+            let node_slots = spec.slots_for_node(node);
+            let mismatch = |why: String| Err(StoreError::Mismatch(why));
+            if h.node != node as u32 || h.generation != generation {
+                return mismatch(format!(
+                    "{}: header names node {} generation {}, expected node {node} generation \
+                     {generation}",
+                    path.display(),
+                    h.node,
+                    h.generation
+                ));
+            }
+            if h.layout_hash != spec.layout_hash || h.block_bytes != spec.block_bytes {
+                return mismatch(format!(
+                    "{}: stripe built for layout {:#x} block_bytes {}, superblock says {:#x}/{}",
+                    path.display(),
+                    h.layout_hash,
+                    h.block_bytes,
+                    spec.layout_hash,
+                    spec.block_bytes
+                ));
+            }
+            if h.slot_count != node_slots.len() as u64 {
+                return mismatch(format!(
+                    "{}: {} slots on disk, block map expects {}",
+                    path.display(),
+                    h.slot_count,
+                    node_slots.len()
+                ));
+            }
+            let expect_len = STRIPE_HEADER_LEN as u64 + h.slot_count * slot_len(spec.block_bytes);
+            let actual = file
+                .metadata()
+                .map_err(|e| StoreError::io("stat stripe", &path, e))?
+                .len();
+            if actual < expect_len {
+                return Err(StoreError::Truncated {
+                    what: "stripe file",
+                    path,
+                    need: expect_len as usize,
+                    got: actual as usize,
+                });
+            }
+            for (i, &b) in node_slots.iter().enumerate() {
+                let offset = STRIPE_HEADER_LEN as u64 + i as u64 * slot_len(spec.block_bytes);
+                slots.insert(b, (node, offset));
+            }
+            stripes.push(Stripe { file, path });
+        }
+        Ok(Store {
+            generation,
+            spec,
+            stripes,
+            slots,
+        })
+    }
+
+    /// [`open`](Store::open), additionally requiring the sealed
+    /// generation to materialize layout `layout_hash` — how the replayer
+    /// refuses to measure one layout against another's bytes.
+    pub fn open_expecting(dir: &Path, layout_hash: u64) -> Result<Store, StoreError> {
+        let store = Store::open(dir)?;
+        if store.spec.layout_hash != layout_hash {
+            return Err(StoreError::Mismatch(format!(
+                "store materializes layout {:#x}, caller expects {:#x}",
+                store.spec.layout_hash, layout_hash
+            )));
+        }
+        Ok(store)
+    }
+
+    /// The sealed generation number.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The sealed generation's spec.
+    pub fn spec(&self) -> &StoreSpec {
+        &self.spec
+    }
+
+    /// Whether `block` exists in the sealed block map.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.slots.contains_key(&block)
+    }
+
+    /// Read and verify one block; returns its data bytes.
+    pub fn read_block(&self, block: BlockAddr) -> Result<Vec<u8>, StoreError> {
+        let &(node, offset) = self.slots.get(&block).ok_or_else(|| {
+            StoreError::Invalid(format!(
+                "block ({},{}) is not in the sealed block map",
+                block.file, block.index
+            ))
+        })?;
+        let stripe = &self.stripes[node];
+        let mut buf = vec![0u8; slot_len(self.spec.block_bytes) as usize];
+        read_exact_at(&stripe.file, &stripe.path, "block slot", &mut buf, offset)?;
+        let data = decode_slot(&buf, block, self.spec.block_bytes, &stripe.path)?;
+        Ok(data.to_vec())
+    }
+
+    /// [`read_block`](Store::read_block), additionally checking the data
+    /// against the deterministic fill — end-to-end content verification.
+    pub fn read_block_verified(&self, block: BlockAddr) -> Result<Vec<u8>, StoreError> {
+        let data = self.read_block(block)?;
+        let expect = block_fill(self.spec.layout_hash, block, self.spec.block_bytes);
+        if data != expect {
+            let path = self.stripes[self.slots[&block].0].path.clone();
+            return Err(StoreError::Corrupt {
+                why: format!(
+                    "block ({},{}) content does not match its deterministic fill",
+                    block.file, block.index
+                ),
+                path,
+            });
+        }
+        Ok(data)
+    }
+}
+
+fn read_exact_at(
+    file: &File,
+    path: &Path,
+    what: &'static str,
+    buf: &mut [u8],
+    offset: u64,
+) -> Result<(), StoreError> {
+    file.read_exact_at(buf, offset).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated {
+                what,
+                path: path.to_path_buf(),
+                need: buf.len(),
+                got: 0,
+            }
+        } else {
+            StoreError::io("read", path, e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FileBlocks;
+    use crate::materialize::{materialize, MaterializeOptions};
+    use std::fs;
+
+    fn spec() -> StoreSpec {
+        StoreSpec {
+            layout_hash: 0xFEED,
+            block_bytes: 32,
+            storage_nodes: 3,
+            files: vec![
+                FileBlocks {
+                    file: 0,
+                    blocks: 10,
+                },
+                FileBlocks { file: 5, blocks: 7 },
+            ],
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("flo-store-read-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn every_block_reads_back_verified() {
+        let dir = tmpdir("verify");
+        materialize(&dir, &spec(), &MaterializeOptions::default()).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.generation(), 1);
+        for f in &spec().files {
+            for i in 0..f.blocks {
+                let b = BlockAddr::new(f.file, i);
+                assert!(store.contains(b));
+                store.read_block_verified(b).unwrap();
+            }
+        }
+        assert!(!store.contains(BlockAddr::new(9, 0)));
+        assert!(matches!(
+            store.read_block(BlockAddr::new(9, 0)),
+            Err(StoreError::Invalid(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_expecting_rejects_other_layout() {
+        let dir = tmpdir("expect");
+        materialize(&dir, &spec(), &MaterializeOptions::default()).unwrap();
+        assert!(Store::open_expecting(&dir, 0xFEED).is_ok());
+        assert!(matches!(
+            Store::open_expecting(&dir, 0xBAD),
+            Err(StoreError::Mismatch(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_written_stripe_is_truncated_error() {
+        let dir = tmpdir("short");
+        materialize(&dir, &spec(), &MaterializeOptions::default()).unwrap();
+        let path = dir.join(format::stripe_name(0, 1));
+        let len = fs::metadata(&path).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap(); // a short write lost the tail
+        match Store::open(&dir) {
+            Err(StoreError::Truncated { what, .. }) => assert_eq!(what, "stripe file"),
+            Err(other) => panic!("expected Truncated, got {other:?}"),
+            Ok(_) => panic!("expected Truncated, got a sealed store"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_block_is_detected_on_read() {
+        let dir = tmpdir("flip");
+        materialize(&dir, &spec(), &MaterializeOptions::default()).unwrap();
+        let store = Store::open(&dir).unwrap();
+        let block = BlockAddr::new(0, 0);
+        let (node, offset) = store.slots[&block];
+        let path = dir.join(format::stripe_name(node, 1));
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one data byte inside the slot.
+        let at = offset as usize + format::SLOT_META + 3;
+        bytes[at] ^= 0x40;
+        fs::write(&path, bytes).unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert!(matches!(
+            store.read_block(block),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Other blocks are unaffected.
+        store.read_block_verified(BlockAddr::new(0, 3)).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
